@@ -1,0 +1,90 @@
+// Shared benchmark fixture: XMark documents shredded once per scale, engine
+// + compiled query caching (the paper's "physical query plan caching").
+//
+// Scales are multiplied by the env var MXQ_SCALE (default 1.0) so the same
+// binaries can reproduce the paper's larger document series when given time:
+// paper sizes 1.1 MB / 11 MB / 110 MB / 1.1 GB == scale 0.01 / 0.1 / 1 / 10.
+
+#ifndef MXQ_BENCH_BENCH_UTIL_H_
+#define MXQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseline/interpreter.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xml/shredder.h"
+#include "xquery/engine.h"
+
+namespace mxq {
+namespace bench {
+
+inline double ScaleEnv() {
+  const char* s = std::getenv("MXQ_SCALE");
+  return s ? std::atof(s) : 1.0;
+}
+
+/// One shredded XMark instance (document + engine + compiled query cache).
+class XMarkInstance {
+ public:
+  explicit XMarkInstance(double scale) : engine_(&mgr_) {
+    xmark::XMarkOptions opts;
+    opts.scale = scale;
+    xml_size_ = 0;
+    std::string xml = xmark::GenerateXMark(opts);
+    xml_size_ = xml.size();
+    auto r = ShredDocument(&mgr_, "auction.xml", xml);
+    if (!r.ok()) std::abort();
+    doc_ = *r;
+  }
+
+  /// Cached per (query, join_recognition) compilation.
+  const xq::CompiledQuery& Compiled(int qn, bool join_recognition = true) {
+    auto key = std::make_pair(qn, join_recognition);
+    auto it = plans_.find(key);
+    if (it == plans_.end()) {
+      xq::CompileOptions co;
+      co.join_recognition = join_recognition;
+      auto c = engine_.Compile(xmark::XMarkQuery(qn), co);
+      if (!c.ok()) std::abort();
+      it = plans_.emplace(key, std::move(*c)).first;
+    }
+    return it->second;
+  }
+
+  /// Executes query qn; aborts on error; returns result size.
+  size_t Run(int qn, xq::EvalOptions* opts, bool join_recognition = true) {
+    auto r = engine_.Execute(Compiled(qn, join_recognition), opts);
+    if (!r.ok()) std::abort();
+    return r->items.size();
+  }
+
+  DocumentManager& mgr() { return mgr_; }
+  xq::XQueryEngine& engine() { return engine_; }
+  DocumentContainer* doc() { return doc_; }
+  size_t xml_size() const { return xml_size_; }
+
+  /// Process-wide instance per scale (documents are expensive to shred).
+  static XMarkInstance& Get(double scale) {
+    static std::map<double, std::unique_ptr<XMarkInstance>> cache;
+    auto it = cache.find(scale);
+    if (it == cache.end())
+      it = cache.emplace(scale, std::make_unique<XMarkInstance>(scale)).first;
+    return *it->second;
+  }
+
+ private:
+  DocumentManager mgr_;
+  xq::XQueryEngine engine_;
+  DocumentContainer* doc_ = nullptr;
+  size_t xml_size_ = 0;
+  std::map<std::pair<int, bool>, xq::CompiledQuery> plans_;
+};
+
+}  // namespace bench
+}  // namespace mxq
+
+#endif  // MXQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,56 @@
+// Figure 15: scalability with respect to document size.
+//
+// Q1-Q20 over a geometric document-size series (x10 per step, like the
+// paper's 110 MB / 1.1 GB / 11 GB). The paper's findings to reproduce:
+// near-linear scaling overall; Q11/Q12 quadratic (theta-join result size);
+// Q6/Q7/Q15/Q16 sub-linear thanks to pushed-down nametests on indexes.
+// Normalization to the smallest size is reported as the `normalized`
+// counter (the y-axis of Figure 15).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+
+#include "bench_util.h"
+
+namespace {
+
+const double kScales[] = {0.002, 0.02, 0.2};
+
+std::map<std::pair<int, int>, double>& BaseTimes() {
+  static std::map<std::pair<int, int>, double> t;
+  return t;
+}
+
+void Scalability(benchmark::State& state) {
+  int qn = static_cast<int>(state.range(0));
+  int si = static_cast<int>(state.range(1));
+  double scale = kScales[si] * mxq::bench::ScaleEnv();
+  auto& inst = mxq::bench::XMarkInstance::Get(scale);
+  mxq::xq::EvalOptions eo;
+  eo.nametest_pushdown = true;  // the paper's sub-linear queries need this
+  size_t n = 0;
+  for (auto _ : state) n = inst.Run(qn, &eo);
+  double ms = 0;
+  // benchmark reports mean internally; recompute a representative time for
+  // the normalized series from one extra run.
+  auto t0 = std::chrono::steady_clock::now();
+  inst.Run(qn, &eo);
+  ms = std::chrono::duration<double, std::milli>(
+           std::chrono::steady_clock::now() - t0)
+           .count();
+  if (si == 0) BaseTimes()[{qn, 0}] = ms;
+  double base = BaseTimes().count({qn, 0}) ? BaseTimes()[{qn, 0}] : ms;
+  state.counters["result_items"] = static_cast<double>(n);
+  state.counters["doc_bytes"] = static_cast<double>(inst.xml_size());
+  state.counters["normalized"] = base > 0 ? ms / base : 0;
+}
+
+}  // namespace
+
+BENCHMARK(Scalability)
+    ->ArgsProduct({benchmark::CreateDenseRange(1, 20, 1), {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

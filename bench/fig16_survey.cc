@@ -1,0 +1,115 @@
+// Figure 16 / Table 2: survey of published XMark results, normalized to
+// MonetDB/XQuery.
+//
+// The paper collects published per-query times from the literature, divides
+// them by SPECint-CPU2000 ratios, and plots everything relative to MXQ.
+// Those systems cannot be re-run; this harness (a) replays the paper's own
+// published numbers (its Table 1, 11 MB column, plus the Table 2 SPEC
+// factors) as data, and (b) measures *this* implementation and the naive
+// baseline on the equivalent document, printing the same normalized series
+// so the relative picture — joins separating the field, MXQ ahead on
+// path-heavy queries — can be compared against the paper's plot.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+// Paper Table 1, 11 MB column (seconds); -1 == DNF / not reported.
+struct PublishedRow {
+  const char* system;
+  double spec_factor;  // Table 2 normalization (already applied in Table 1)
+  double q[20];
+};
+
+const PublishedRow kPublished[] = {
+    {"MXQ-paper", 1.00,
+     {0.01, 0.02, 0.14, 0.03, 0.01, 0.00, 0.00, 0.04, 0.05, 2.54,
+      0.11, 0.09, 0.03, 0.12, 0.03, 0.03, 0.03, 0.02, 0.06, 0.11}},
+    {"Galax-0.5", 1.00,
+     {0.06, 0.03, 0.14, 0.22, 0.05, 1.30, 2.68, 0.16, 113.23, 1.74,
+      2.62, 1.44, 0.03, 1.92, 0.02, 0.03, 0.06, 0.07, 1.17, 0.28}},
+    {"X-Hive-6.0", 1.00,
+     {0.37, 0.45, 0.65, 0.10, 0.13, 1.07, 1.57, 0.85, 32.25, 5.28,
+      98.91, 23.39, 0.10, 0.72, 0.03, 0.03, 0.09, 0.08, 0.67, 0.11}},
+    {"BDB-XML-2.2", 1.00,
+     {0.05, 0.13, 0.34, 0.39, 0.10, 1.14, 1.31, 51.21, 47.03, 5.15,
+      121.75, 118.70, 0.08, 1.07, 0.13, 0.14, 0.20, 0.19, 0.57, 0.34}},
+    {"eXist-2006", 1.00,
+     {0.10, 5.67, 6.61, 15.40, 185.47, 0.01, 0.01, 429.89, 333.47,
+      1559.17, 374.46, 1584.91, 0.03, 0.44, 0.05, 22.21, 0.18, 0.12,
+      0.51, 0.98}},
+};
+
+constexpr double kScale = 0.1;  // the 11 MB point at MXQ_SCALE=1
+
+void PrintSurvey() {
+  auto& inst = mxq::bench::XMarkInstance::Get(kScale * mxq::bench::ScaleEnv());
+  mxq::xq::EvalOptions eo;
+  eo.nametest_pushdown = true;
+
+  // Measure this implementation (best of 3, like the paper's best-of-5).
+  double ours[20];
+  for (int qn = 1; qn <= 20; ++qn) {
+    double best = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      inst.Run(qn, &eo);
+      best = std::min(best, std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+    }
+    ours[qn - 1] = best;
+  }
+
+  std::printf(
+      "\nFigure 16 replay: published 11 MB XMark results (seconds, "
+      "SPEC-normalized by the paper) with this reproduction appended.\n"
+      "Times are *not* comparable across hardware generations; compare the "
+      "normalized-to-MXQ ratios (who wins, and by what factor).\n\n");
+  std::printf("%-14s", "system");
+  for (int q = 1; q <= 20; ++q) std::printf("%9s", ("Q" + std::to_string(q)).c_str());
+  std::printf("\n");
+  for (const auto& row : kPublished) {
+    std::printf("%-14s", row.system);
+    for (int q = 0; q < 20; ++q) std::printf("%9.2f", row.q[q]);
+    std::printf("\n");
+  }
+  std::printf("%-14s", "MXQ-repro");
+  for (int q = 0; q < 20; ++q) std::printf("%9.3f", ours[q]);
+  std::printf("\n\nnormalized to the respective MXQ (paper row / paper MXQ; "
+              "repro row == 1.0 by construction):\n");
+  for (const auto& row : kPublished) {
+    std::printf("%-14s", row.system);
+    for (int q = 0; q < 20; ++q) {
+      double mxq = kPublished[0].q[q];
+      if (mxq <= 0) mxq = 0.005;  // the paper reports 0.00 for Q6/Q7
+      std::printf("%9.1f", row.q[q] / mxq);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void SurveyMeasurement(benchmark::State& state) {
+  auto& inst = mxq::bench::XMarkInstance::Get(kScale * mxq::bench::ScaleEnv());
+  int qn = static_cast<int>(state.range(0));
+  mxq::xq::EvalOptions eo;
+  eo.nametest_pushdown = true;
+  for (auto _ : state) inst.Run(qn, &eo);
+}
+
+}  // namespace
+
+BENCHMARK(SurveyMeasurement)->DenseRange(1, 20)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  PrintSurvey();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// §4.1 plan statistics: "the generated query plans contain 86 relational
+// algebra operators on average, of which 9 are joins" over XMark.
+//
+// Prints the per-query operator/join/step/sort counts of this compiler and
+// the averages, with and without join recognition.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+void PrintStats() {
+  mxq::DocumentManager mgr;
+  mxq::xq::XQueryEngine eng(&mgr);
+  std::printf("\nXMark compiled-plan statistics (paper §4.1: avg 86 ops, 9 "
+              "joins)\n\n");
+  std::printf("%5s %8s %8s %8s %8s   %s\n", "query", "ops", "joins", "steps",
+              "sorts", "class");
+  int tops = 0, tjoins = 0;
+  for (int qn = 1; qn <= 20; ++qn) {
+    auto c = eng.Compile(mxq::xmark::XMarkQuery(qn));
+    if (!c.ok()) {
+      std::printf("Q%-4d compile error: %s\n", qn,
+                  c.status().ToString().c_str());
+      continue;
+    }
+    std::printf("Q%-4d %8d %8d %8d %8d   %s\n", qn, c->stats.num_ops,
+                c->stats.num_joins, c->stats.num_steps, c->stats.num_sorts,
+                mxq::xmark::XMarkQueryLabel(qn));
+    tops += c->stats.num_ops;
+    tjoins += c->stats.num_joins;
+  }
+  std::printf("%5s %8.1f %8.1f\n\n", "avg", tops / 20.0, tjoins / 20.0);
+}
+
+void CompileTime(benchmark::State& state) {
+  mxq::DocumentManager mgr;
+  mxq::xq::XQueryEngine eng(&mgr);
+  int qn = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto c = eng.Compile(mxq::xmark::XMarkQuery(qn));
+    benchmark::DoNotOptimize(c.ok());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(CompileTime)->DenseRange(1, 20)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  PrintStats();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Staircase-join micro-benchmarks (Figures 1-3 techniques + the §2/§3
+// touch bound).
+//
+// Measures, on a real XMark document:
+//  * pruning: context nodes eliminated per axis,
+//  * skipping: slots touched vs |result| + |context| (the paper's bound),
+//  * loop-lifting: one shared scan vs one scan per iteration (the §3 core),
+//  * nametest pushdown: candidate-list evaluation vs scan-and-test (§3.2).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_util.h"
+#include "staircase/loop_lifted.h"
+#include "staircase/staircase.h"
+
+namespace {
+
+using namespace mxq;
+
+constexpr double kScale = 0.1;
+
+std::vector<int64_t> SampleContext(const DocumentContainer& doc, int count,
+                                   uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<int64_t> all;
+  for (int64_t p = 0; p < doc.LogicalSlots(); ++p)
+    if (!doc.IsUnused(p) && doc.KindAt(p) == NodeKind::kElem)
+      all.push_back(p);
+  std::shuffle(all.begin(), all.end(), rng);
+  all.resize(std::min<size_t>(count, all.size()));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+void PlainAxis(benchmark::State& state, Axis axis) {
+  auto& inst = bench::XMarkInstance::Get(kScale * bench::ScaleEnv());
+  auto ctx = SampleContext(*inst.doc(), static_cast<int>(state.range(0)), 7);
+  ScanStats stats;
+  size_t results = 0;
+  for (auto _ : state) {
+    stats.Reset();
+    auto r = StaircaseJoin(*inst.doc(), axis, ctx, NodeTest::AnyNode(),
+                           &stats);
+    results = r.size();
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.counters["context"] = static_cast<double>(ctx.size());
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["slots_touched"] = static_cast<double>(stats.slots_touched);
+  state.counters["pruned"] = static_cast<double>(stats.contexts_pruned);
+  state.counters["touch_per_result"] =
+      results ? static_cast<double>(stats.slots_touched) / results : 0;
+}
+
+void Descendant(benchmark::State& s) { PlainAxis(s, Axis::kDescendant); }
+void Child(benchmark::State& s) { PlainAxis(s, Axis::kChild); }
+void Ancestor(benchmark::State& s) { PlainAxis(s, Axis::kAncestor); }
+void Following(benchmark::State& s) { PlainAxis(s, Axis::kFollowing); }
+
+// Loop-lifted vs iterative: the same context node set used by k iterations.
+void LoopLiftedVsIterative(benchmark::State& state, bool loop_lifted) {
+  auto& inst = bench::XMarkInstance::Get(kScale * bench::ScaleEnv());
+  int iters = static_cast<int>(state.range(0));
+  auto base = SampleContext(*inst.doc(), 64, 11);
+  std::vector<int64_t> ctx_pre, ctx_iter;
+  for (int64_t p : base)
+    for (int k = 0; k < iters; ++k) {
+      ctx_pre.push_back(p);
+      ctx_iter.push_back(k);
+    }
+  ScanStats stats;
+  for (auto _ : state) {
+    stats.Reset();
+    auto r = loop_lifted
+                 ? LoopLiftedStaircase(*inst.doc(), Axis::kChild, ctx_iter,
+                                       ctx_pre, NodeTest::AnyNode(), &stats)
+                 : IterativeStaircase(*inst.doc(), Axis::kChild, ctx_iter,
+                                      ctx_pre, NodeTest::AnyNode(), &stats);
+    benchmark::DoNotOptimize(r.node.data());
+  }
+  state.counters["slots_touched"] = static_cast<double>(stats.slots_touched);
+}
+
+void LoopLifted(benchmark::State& s) { LoopLiftedVsIterative(s, true); }
+void Iterative(benchmark::State& s) { LoopLiftedVsIterative(s, false); }
+
+// §3.2 predicate pushdown: descendant step with a selective nametest.
+void NameTestScan(benchmark::State& state) {
+  auto& inst = bench::XMarkInstance::Get(kScale * bench::ScaleEnv());
+  StrId qn = inst.mgr().strings().Find("keyword");
+  std::vector<int64_t> ctx_pre = {0}, ctx_iter = {1};
+  ScanStats stats;
+  for (auto _ : state) {
+    stats.Reset();
+    auto r = LoopLiftedStaircase(*inst.doc(), Axis::kDescendant, ctx_iter,
+                                 ctx_pre, NodeTest::Named(qn), &stats);
+    benchmark::DoNotOptimize(r.node.data());
+  }
+  state.counters["slots_touched"] = static_cast<double>(stats.slots_touched);
+}
+
+void NameTestPushdown(benchmark::State& state) {
+  auto& inst = bench::XMarkInstance::Get(kScale * bench::ScaleEnv());
+  StrId qn = inst.mgr().strings().Find("keyword");
+  const auto& cand = inst.doc()->ElementsNamed(qn);
+  std::vector<int64_t> ctx_pre = {0}, ctx_iter = {1};
+  ScanStats stats;
+  for (auto _ : state) {
+    stats.Reset();
+    auto r = LoopLiftedStaircaseCandidates(*inst.doc(), Axis::kDescendant,
+                                           ctx_iter, ctx_pre, cand, &stats);
+    benchmark::DoNotOptimize(r.node.data());
+  }
+  state.counters["slots_touched"] = static_cast<double>(stats.slots_touched);
+  state.counters["candidates"] = static_cast<double>(cand.size());
+}
+
+}  // namespace
+
+BENCHMARK(Descendant)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(Child)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(Ancestor)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(Following)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(LoopLifted)->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+BENCHMARK(Iterative)->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+BENCHMARK(NameTestScan)->Unit(benchmark::kMicrosecond);
+BENCHMARK(NameTestPushdown)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

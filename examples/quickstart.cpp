@@ -1,0 +1,70 @@
+// Quickstart: load an XML document, run XQuery, read the results.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface: DocumentManager (storage),
+// ShredDocument (XML -> pre|size|level), XQueryEngine (compile + execute),
+// and serialization.
+
+#include <cstdio>
+
+#include "xml/shredder.h"
+#include "xquery/engine.h"
+
+int main() {
+  using namespace mxq;
+
+  // 1. A document manager owns all loaded documents and the string pool.
+  DocumentManager mgr;
+
+  // 2. Shred an XML document into the relational encoding.
+  const char* xml = R"(
+    <library>
+      <book year="2006"><title>MonetDB/XQuery</title><pages>12</pages></book>
+      <book year="2004"><title>Staircase Join</title><pages>10</pages></book>
+      <book year="2003"><title>Holistic Twig Joins</title><pages>12</pages></book>
+    </library>)";
+  auto doc = ShredDocument(&mgr, "library.xml", xml);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "shred error: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded library.xml: %lld nodes\n",
+              static_cast<long long>((*doc)->NodeCount()));
+
+  // 3. Compile and run XQuery.
+  xq::XQueryEngine engine(&mgr);
+  const char* queries[] = {
+      // Path navigation with a predicate.
+      R"(doc("library.xml")/library/book[@year >= 2004]/title/text())",
+      // FLWOR with ordering and element construction.
+      R"(for $b in doc("library.xml")//book
+         order by zero-or-one($b/title/text())
+         return <entry year="{$b/@year}">{$b/title/text()}</entry>)",
+      // Aggregation.
+      R"(sum(doc("library.xml")//pages))",
+      // Existential comparison semantics: any pair satisfying "=".
+      R"(doc("library.xml")//book[pages = 12]/title/text())",
+  };
+  for (const char* q : queries) {
+    auto result = engine.Run(q);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nquery : %s\nresult: %s\n", q, result->c_str());
+  }
+
+  // 4. Compile once, execute many times (plan caching), inspect statistics.
+  auto compiled = engine.Compile(R"(count(doc("library.xml")//book))");
+  std::printf("\nplan: %d operators, %d joins, %d staircase steps\n",
+              compiled->stats.num_ops, compiled->stats.num_joins,
+              compiled->stats.num_steps);
+  xq::EvalOptions opts;
+  for (int i = 0; i < 3; ++i) {
+    auto r = engine.Execute(*compiled, &opts);
+    std::printf("execution %d -> %s\n", i + 1, r->Serialize(mgr).c_str());
+  }
+  return 0;
+}

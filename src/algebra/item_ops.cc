@@ -1,0 +1,284 @@
+#include "algebra/item_ops.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "xml/serializer.h"
+
+namespace mxq {
+
+namespace {
+
+/// Parses a whole (whitespace-trimmed) string as double; NaN on any junk.
+double ParseDouble(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return std::nan("");
+  size_t e = s.find_last_not_of(" \t\n\r");
+  char* end = nullptr;
+  double v = std::strtod(s.c_str() + b, &end);
+  if (end != s.c_str() + e + 1) return std::nan("");
+  return v;
+}
+
+int ClassRank(ItemKind k) {
+  switch (k) {
+    case ItemKind::kEmpty: return 0;
+    case ItemKind::kInt:
+    case ItemKind::kDouble: return 1;
+    case ItemKind::kString:
+    case ItemKind::kUntyped: return 2;
+    case ItemKind::kBool: return 3;
+    case ItemKind::kNode:
+    case ItemKind::kAttr: return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;
+  }
+}
+
+CmpOp NegateCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+  }
+  return op;
+}
+
+Item Atomize(DocumentManager& mgr, const Item& item) {
+  if (item.is_any_node()) return mgr.AtomizeNode(item);
+  return item;
+}
+
+double ToDouble(const DocumentManager& mgr, const Item& item) {
+  switch (item.kind) {
+    case ItemKind::kInt: return static_cast<double>(item.i);
+    case ItemKind::kDouble: return item.d;
+    case ItemKind::kBool: return item.b ? 1.0 : 0.0;
+    case ItemKind::kString:
+    case ItemKind::kUntyped:
+      return ParseDouble(mgr.strings().Get(item.str_id()));
+    case ItemKind::kNode:
+    case ItemKind::kAttr:
+      return ParseDouble(mgr.StringValueOf(item));
+    case ItemKind::kEmpty: return std::nan("");
+  }
+  return std::nan("");
+}
+
+bool LooksNumeric(const DocumentManager& mgr, const Item& item) {
+  if (item.is_numeric()) return true;
+  if (item.is_stringlike() || item.is_any_node())
+    return !std::isnan(ToDouble(mgr, item));
+  return false;
+}
+
+bool CompareItems(DocumentManager& mgr, const Item& a_in, CmpOp op,
+                  const Item& b_in) {
+  Item a = Atomize(mgr, a_in);
+  Item b = Atomize(mgr, b_in);
+  if (a.kind == ItemKind::kEmpty || b.kind == ItemKind::kEmpty) return false;
+
+  // Numeric coercion: any numeric operand forces a numeric comparison.
+  if (a.is_numeric() || b.is_numeric()) {
+    double x = ToDouble(mgr, a);
+    double y = ToDouble(mgr, b);
+    if (std::isnan(x) || std::isnan(y)) return op == CmpOp::kNe;
+    switch (op) {
+      case CmpOp::kEq: return x == y;
+      case CmpOp::kNe: return x != y;
+      case CmpOp::kLt: return x < y;
+      case CmpOp::kLe: return x <= y;
+      case CmpOp::kGt: return x > y;
+      case CmpOp::kGe: return x >= y;
+    }
+  }
+  if (a.kind == ItemKind::kBool || b.kind == ItemKind::kBool) {
+    bool x = ItemEbv(mgr, a);
+    bool y = ItemEbv(mgr, b);
+    switch (op) {
+      case CmpOp::kEq: return x == y;
+      case CmpOp::kNe: return x != y;
+      case CmpOp::kLt: return x < y;
+      case CmpOp::kLe: return x <= y;
+      case CmpOp::kGt: return x > y;
+      case CmpOp::kGe: return x >= y;
+    }
+  }
+  // String comparison. Interned ids shortcut equality.
+  if ((op == CmpOp::kEq || op == CmpOp::kNe) && a.i == b.i)
+    return op == CmpOp::kEq;
+  int c = mgr.strings().Get(a.str_id()).compare(mgr.strings().Get(b.str_id()));
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+int OrderCompare(const DocumentManager& mgr, const Item& a, const Item& b) {
+  int ra = ClassRank(a.kind), rb = ClassRank(b.kind);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0: return 0;
+    case 1: {
+      double x = a.as_double(), y = b.as_double();
+      if (x < y) return -1;
+      if (x > y) return 1;
+      return 0;
+    }
+    case 2: {
+      if (a.i == b.i) return 0;
+      int c =
+          mgr.strings().Get(a.str_id()).compare(mgr.strings().Get(b.str_id()));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case 3:
+      return static_cast<int>(a.b) - static_cast<int>(b.b);
+    default: {
+      // Nodes: document order (container-major packed payload). Attributes
+      // order after their siblings with the same payload arithmetic.
+      if (a.i != b.i) return a.i < b.i ? -1 : 1;
+      return static_cast<int>(a.kind) - static_cast<int>(b.kind);
+    }
+  }
+}
+
+Item Arith(DocumentManager& mgr, const Item& a_in, ArithOp op,
+           const Item& b_in) {
+  Item a = Atomize(mgr, a_in);
+  Item b = Atomize(mgr, b_in);
+  if (a.kind == ItemKind::kEmpty || b.kind == ItemKind::kEmpty) return Item();
+
+  bool int_math = a.kind == ItemKind::kInt && b.kind == ItemKind::kInt;
+  if (int_math) {
+    int64_t x = a.i, y = b.i;
+    switch (op) {
+      case ArithOp::kAdd: return Item::Int(x + y);
+      case ArithOp::kSub: return Item::Int(x - y);
+      case ArithOp::kMul: return Item::Int(x * y);
+      case ArithOp::kIDiv: return y == 0 ? Item() : Item::Int(x / y);
+      case ArithOp::kMod: return y == 0 ? Item() : Item::Int(x % y);
+      case ArithOp::kDiv:
+        if (y != 0 && x % y == 0) return Item::Int(x / y);
+        return y == 0 ? Item()
+                      : Item::Double(static_cast<double>(x) /
+                                     static_cast<double>(y));
+    }
+  }
+  double x = ToDouble(mgr, a);
+  double y = ToDouble(mgr, b);
+  if (std::isnan(x) || std::isnan(y)) return Item();
+  switch (op) {
+    case ArithOp::kAdd: return Item::Double(x + y);
+    case ArithOp::kSub: return Item::Double(x - y);
+    case ArithOp::kMul: return Item::Double(x * y);
+    case ArithOp::kDiv: return Item::Double(x / y);
+    case ArithOp::kIDiv:
+      return y == 0 ? Item() : Item::Int(static_cast<int64_t>(x / y));
+    case ArithOp::kMod: return Item::Double(std::fmod(x, y));
+  }
+  return Item();
+}
+
+bool ItemEbv(const DocumentManager& mgr, const Item& item) {
+  switch (item.kind) {
+    case ItemKind::kEmpty: return false;
+    case ItemKind::kBool: return item.b;
+    case ItemKind::kInt: return item.i != 0;
+    case ItemKind::kDouble: return item.d != 0.0 && !std::isnan(item.d);
+    case ItemKind::kString:
+    case ItemKind::kUntyped:
+      return !mgr.strings().Get(item.str_id()).empty();
+    case ItemKind::kNode:
+    case ItemKind::kAttr:
+      return true;
+  }
+  return false;
+}
+
+uint64_t HashItem(const DocumentManager& mgr, const Item& item) {
+  auto mix = [](uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  };
+  switch (item.kind) {
+    case ItemKind::kNode:
+    case ItemKind::kAttr:
+      return mix(static_cast<uint64_t>(item.i) ^ 0x9e3779b97f4a7c15ULL);
+    case ItemKind::kBool:
+      return mix(item.b ? 3 : 5);
+    default:
+      break;
+  }
+  // Values that may compare equal across kinds (int 20, double 20.0,
+  // untyped "20") hash through their numeric image when they have one.
+  double d = ToDouble(mgr, item);
+  if (!std::isnan(d)) {
+    uint64_t bits;
+    if (d == 0.0) d = 0.0;  // normalize -0
+    std::memcpy(&bits, &d, sizeof(bits));
+    return mix(bits);
+  }
+  if (item.is_stringlike()) {
+    const std::string& s = mgr.strings().Get(item.str_id());
+    uint64_t h = 1469598103934665603ULL;
+    for (char ch : s) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 1099511628211ULL;
+    }
+    return mix(h);
+  }
+  return mix(static_cast<uint64_t>(item.i));
+}
+
+Item CastString(DocumentManager& mgr, const Item& item) {
+  if (item.is_any_node())
+    return Item::String(mgr.strings().Intern(mgr.StringValueOf(item)));
+  if (item.kind == ItemKind::kString) return item;
+  if (item.kind == ItemKind::kUntyped) return Item::String(item.str_id());
+  if (item.kind == ItemKind::kEmpty)
+    return Item::String(mgr.strings().Intern(""));
+  return Item::String(mgr.strings().Intern(AtomicToString(mgr, item)));
+}
+
+Item CastNumber(const DocumentManager& mgr, const Item& item) {
+  return Item::Double(ToDouble(mgr, item));
+}
+
+}  // namespace mxq

@@ -1,0 +1,70 @@
+// Scalar semantics of the polymorphic `item` domain: atomization, XQuery
+// general/value comparisons, arithmetic, effective boolean value, casts and
+// the canonical hash used by value-based joins.
+//
+// Dialect notes (documented deviations from strict XQuery 1.0):
+//  * untypedAtomic operands that fail numeric casts compare as NaN (always
+//    false) instead of raising err:FORG0001;
+//  * value and general comparison operators share one coercion table:
+//    any numeric operand forces numeric comparison, otherwise bool/bool or
+//    string comparison;
+//  * effective boolean value of a multi-item atomic sequence is "true"
+//    instead of err:FORG0006.
+// XMark data never hits these corners; tests pin the chosen behaviour.
+
+#ifndef MXQ_ALGEBRA_ITEM_OPS_H_
+#define MXQ_ALGEBRA_ITEM_OPS_H_
+
+#include <cstdint>
+
+#include "common/item.h"
+#include "storage/document.h"
+
+namespace mxq {
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kIDiv, kMod };
+
+const char* CmpOpName(CmpOp op);
+CmpOp FlipCmp(CmpOp op);    // argument swap: a op b == b flip(op) a
+CmpOp NegateCmp(CmpOp op);  // logical negation
+
+/// Atomizes an item: nodes/attributes become untypedAtomic (via the string
+/// value), atomic items pass through.
+Item Atomize(DocumentManager& mgr, const Item& item);
+
+/// Numeric value of an item (atomizing nodes); NaN when not numeric.
+double ToDouble(const DocumentManager& mgr, const Item& item);
+
+/// True when the item is numeric or an untyped/string value that looks
+/// numeric.
+bool LooksNumeric(const DocumentManager& mgr, const Item& item);
+
+/// XQuery comparison with the coercion rules above. Operands should be
+/// atomized; nodes are atomized defensively.
+bool CompareItems(DocumentManager& mgr, const Item& a, CmpOp op,
+                  const Item& b);
+
+/// Total order used by sort operators / order by: empty < numeric < string
+/// < bool < node. Strings collate by codepoint.
+int OrderCompare(const DocumentManager& mgr, const Item& a, const Item& b);
+
+/// Arithmetic with numeric promotion; kEmpty on non-numeric operands
+/// (empty-sequence propagation).
+Item Arith(DocumentManager& mgr, const Item& a, ArithOp op, const Item& b);
+
+/// Effective boolean value of a single item.
+bool ItemEbv(const DocumentManager& mgr, const Item& item);
+
+/// Canonical hash compatible with CompareItems equality: items that can
+/// compare equal hash identically.
+uint64_t HashItem(const DocumentManager& mgr, const Item& item);
+
+/// Casts to string (the fn:string of an atomic/node item).
+Item CastString(DocumentManager& mgr, const Item& item);
+/// Casts to double (fn:number); NaN item when not castable.
+Item CastNumber(const DocumentManager& mgr, const Item& item);
+
+}  // namespace mxq
+
+#endif  // MXQ_ALGEBRA_ITEM_OPS_H_

@@ -1,0 +1,722 @@
+#include "algebra/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mxq {
+namespace alg {
+
+namespace {
+
+// ---- generic helpers -------------------------------------------------------
+
+ColumnPtr GatherColumn(const ColumnPtr& col, const std::vector<size_t>& perm) {
+  if (col->is_i64()) {
+    std::vector<int64_t> out(perm.size());
+    const auto& in = col->i64();
+    for (size_t k = 0; k < perm.size(); ++k) out[k] = in[perm[k]];
+    return Column::MakeI64(std::move(out));
+  }
+  std::vector<Item> out(perm.size());
+  const auto& in = col->items();
+  for (size_t k = 0; k < perm.size(); ++k) out[k] = in[perm[k]];
+  return Column::MakeItem(std::move(out));
+}
+
+TablePtr ApplyPerm(const TablePtr& t, const std::vector<size_t>& perm) {
+  auto out = Table::Make();
+  for (size_t c = 0; c < t->num_cols(); ++c)
+    out->AddColumn(t->name(c), GatherColumn(t->col(c), perm));
+  out->set_rows(perm.size());
+  return out;
+}
+
+TablePtr FilterRows(const TablePtr& t, const std::vector<size_t>& rows) {
+  return ApplyPerm(t, rows);
+}
+
+/// Row comparison over a column list (I64 numeric, items by OrderCompare).
+class RowLess {
+ public:
+  RowLess(const DocumentManager& mgr, const Table& t,
+          const std::vector<std::string>& cols, const std::vector<bool>& desc)
+      : mgr_(mgr) {
+    for (size_t k = 0; k < cols.size(); ++k) {
+      cols_.push_back(t.col(cols[k]).get());
+      desc_.push_back(k < desc.size() && desc[k]);
+    }
+  }
+
+  int Compare(size_t a, size_t b) const {
+    for (size_t k = 0; k < cols_.size(); ++k) {
+      int c;
+      if (cols_[k]->is_i64()) {
+        int64_t x = cols_[k]->i64()[a], y = cols_[k]->i64()[b];
+        c = x < y ? -1 : (x > y ? 1 : 0);
+      } else {
+        c = OrderCompare(mgr_, cols_[k]->items()[a], cols_[k]->items()[b]);
+      }
+      if (c != 0) return desc_[k] ? -c : c;
+    }
+    return 0;
+  }
+
+  bool operator()(size_t a, size_t b) const { return Compare(a, b) < 0; }
+
+ private:
+  const DocumentManager& mgr_;
+  std::vector<const Column*> cols_;
+  std::vector<bool> desc_;
+};
+
+void CountMaterialized(const ExecFlags& fl, const TablePtr& t) {
+  fl.stats.tuples_materialized += static_cast<int64_t>(t->rows());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// constructors
+// ---------------------------------------------------------------------------
+
+TablePtr MakeLoop(int64_t n, const std::string& col) {
+  std::vector<int64_t> v(n);
+  for (int64_t i = 0; i < n; ++i) v[i] = i + 1;
+  auto t = Table::Make();
+  t->AddColumn(col, Column::MakeI64(std::move(v)));
+  t->props().dense.insert(col);
+  t->props().key.insert(col);
+  t->props().ord = {col};
+  return t;
+}
+
+TablePtr MakeTable(std::vector<std::pair<std::string, ColumnPtr>> cols) {
+  auto t = Table::Make();
+  for (auto& [name, col] : cols) t->AddColumn(name, std::move(col));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// projection & column arithmetic
+// ---------------------------------------------------------------------------
+
+TablePtr Project(const TablePtr& t,
+                 const std::vector<std::pair<std::string, std::string>>& cols) {
+  auto out = Table::Make();
+  TableProps props = t->props();
+  std::set<std::string> kept;
+  for (const auto& [src, dst] : cols) kept.insert(src);
+  props.RestrictTo(kept);
+  for (const auto& [src, dst] : cols) {
+    out->AddColumn(dst, t->col(src));
+    if (src != dst) props.RenameCol(src, dst);
+  }
+  out->set_rows(t->rows());
+  out->props() = std::move(props);
+  return out;
+}
+
+TablePtr WithColumn(const TablePtr& t, const std::string& name,
+                    ColumnPtr col) {
+  assert(t->num_cols() == 0 || col->size() == t->rows());
+  auto out = t->ShallowCopy();
+  out->AddColumn(name, std::move(col));
+  if (out->num_cols() == 1) out->set_rows(out->col(0)->size());
+  return out;
+}
+
+TablePtr AppendConst(const TablePtr& t, const std::string& name, Item value) {
+  auto out = WithColumn(t, name,
+                        Column::MakeItem(std::vector<Item>(t->rows(), value)));
+  out->props().constants[name] = value;
+  return out;
+}
+
+TablePtr AppendArith(DocumentManager& mgr, const TablePtr& t,
+                     const std::string& out, const std::string& a, ArithOp op,
+                     const std::string& b) {
+  return AppendMap2(t, out, a, b, [&mgr, op](const Item& x, const Item& y) {
+    return Arith(mgr, x, op, y);
+  });
+}
+
+TablePtr AppendCompare(DocumentManager& mgr, const TablePtr& t,
+                       const std::string& out, const std::string& a, CmpOp op,
+                       const std::string& b) {
+  return AppendMap2(t, out, a, b, [&mgr, op](const Item& x, const Item& y) {
+    return Item::Bool(CompareItems(mgr, x, op, y));
+  });
+}
+
+TablePtr AppendAtomize(DocumentManager& mgr, const TablePtr& t,
+                       const std::string& out, const std::string& in) {
+  return AppendMap(t, out, in,
+                   [&mgr](const Item& x) { return Atomize(mgr, x); });
+}
+
+TablePtr AppendMap(const TablePtr& t, const std::string& out,
+                   const std::string& in,
+                   const std::function<Item(const Item&)>& fn) {
+  const ColumnPtr& src = t->col(in);
+  std::vector<Item> v(t->rows());
+  for (size_t i = 0; i < t->rows(); ++i) v[i] = fn(src->GetItem(i));
+  return WithColumn(t, out, Column::MakeItem(std::move(v)));
+}
+
+TablePtr AppendMap2(const TablePtr& t, const std::string& out,
+                    const std::string& a, const std::string& b,
+                    const std::function<Item(const Item&, const Item&)>& fn) {
+  const ColumnPtr& ca = t->col(a);
+  const ColumnPtr& cb = t->col(b);
+  std::vector<Item> v(t->rows());
+  for (size_t i = 0; i < t->rows(); ++i)
+    v[i] = fn(ca->GetItem(i), cb->GetItem(i));
+  return WithColumn(t, out, Column::MakeItem(std::move(v)));
+}
+
+// ---------------------------------------------------------------------------
+// selection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Row subsets keep ord/grpord/key/const; dense breaks.
+TableProps SubsetProps(const TableProps& in) {
+  TableProps p = in;
+  p.dense.clear();
+  return p;
+}
+
+}  // namespace
+
+TablePtr SelectTrue(const DocumentManager& mgr, const ExecFlags& fl,
+                    const TablePtr& t, const std::string& col, bool negate) {
+  const ColumnPtr& c = t->col(col);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < t->rows(); ++i)
+    if (ItemEbv(mgr, c->GetItem(i)) != negate) rows.push_back(i);
+  auto out = FilterRows(t, rows);
+  out->props() = SubsetProps(t->props());
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr SelectEqI64(const ExecFlags& fl, const TablePtr& t,
+                     const std::string& col, int64_t v) {
+  const ColumnPtr& c = t->col(col);
+  std::vector<size_t> rows;
+  if (fl.positional && t->props().is_dense(col)) {
+    // Positional selection (paper §4.1): dense 1..n, the row is v-1.
+    ++fl.stats.positional_selects;
+    if (v >= 1 && v <= static_cast<int64_t>(t->rows()))
+      rows.push_back(static_cast<size_t>(v - 1));
+  } else {
+    for (size_t i = 0; i < t->rows(); ++i)
+      if (c->GetI64(i) == v) rows.push_back(i);
+  }
+  auto out = FilterRows(t, rows);
+  out->props() = SubsetProps(t->props());
+  out->props().constants[col] = Item::Int(v);
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr SelectRows(const TablePtr& t, const std::vector<uint8_t>& keep) {
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < keep.size(); ++i)
+    if (keep[i]) rows.push_back(i);
+  auto out = FilterRows(t, rows);
+  out->props() = SubsetProps(t->props());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// union / distinct / sort / rownum
+// ---------------------------------------------------------------------------
+
+TablePtr DisjointUnion(const TablePtr& a, const TablePtr& b,
+                       const std::vector<std::string>& disjoint_keys) {
+  auto out = Table::Make();
+  for (size_t c = 0; c < a->num_cols(); ++c) {
+    const std::string& name = a->name(c);
+    const ColumnPtr& ca = a->col(c);
+    const ColumnPtr& cb = b->col(name);
+    if (ca->is_i64()) {
+      std::vector<int64_t> v = ca->i64();
+      v.insert(v.end(), cb->i64().begin(), cb->i64().end());
+      out->AddColumn(name, Column::MakeI64(std::move(v)));
+    } else {
+      std::vector<Item> v = ca->items();
+      if (cb->is_item()) {
+        v.insert(v.end(), cb->items().begin(), cb->items().end());
+      } else {
+        for (int64_t x : cb->i64()) v.push_back(Item::Int(x));
+      }
+      out->AddColumn(name, Column::MakeItem(std::move(v)));
+    }
+  }
+  out->set_rows(a->rows() + b->rows());
+  // Properties: consts that agree survive; caller-asserted disjoint keys
+  // survive; order survives only if the concatenation happens to respect it
+  // (checked cheaply at the boundary row).
+  TableProps props;
+  for (const auto& [name, v] : a->props().constants) {
+    auto it = b->props().constants.find(name);
+    if (it != b->props().constants.end() && it->second == v)
+      props.constants[name] = v;
+  }
+  for (const std::string& k : disjoint_keys)
+    if (a->props().is_key(k) && b->props().is_key(k)) props.key.insert(k);
+  if (a->rows() == 0) props = b->props();
+  if (b->rows() == 0) props = a->props();
+  out->props() = std::move(props);
+  return out;
+}
+
+TablePtr Distinct(const DocumentManager& mgr, const ExecFlags& fl,
+                  const TablePtr& t, const std::vector<std::string>& cols) {
+  std::vector<size_t> rows;
+  if (fl.order_opt && t->props().OrderedBy(cols)) {
+    // Order-aware linear dedup (the merge-based δ of §4.2).
+    ++fl.stats.merge_dedups;
+    RowLess less(mgr, *t, cols, {});
+    for (size_t i = 0; i < t->rows(); ++i)
+      if (i == 0 || less.Compare(i - 1, i) != 0) rows.push_back(i);
+  } else {
+    ++fl.stats.hash_dedups;
+    struct Key {
+      uint64_t h;
+      size_t row;
+    };
+    std::unordered_map<uint64_t, std::vector<size_t>> seen;
+    RowLess less(mgr, *t, cols, {});
+    std::vector<const Column*> cs;
+    for (const auto& c : cols) cs.push_back(t->col(c).get());
+    for (size_t i = 0; i < t->rows(); ++i) {
+      uint64_t h = 14695981039346656037ULL;
+      for (const Column* c : cs) {
+        uint64_t x = c->is_i64() ? static_cast<uint64_t>(c->i64()[i])
+                                 : HashItem(mgr, c->items()[i]);
+        h = (h ^ x) * 1099511628211ULL;
+      }
+      auto& bucket = seen[h];
+      bool dup = false;
+      for (size_t j : bucket)
+        if (less.Compare(j, i) == 0) {
+          dup = true;
+          break;
+        }
+      if (!dup) {
+        bucket.push_back(i);
+        rows.push_back(i);
+      }
+    }
+  }
+  auto out = FilterRows(t, rows);
+  out->props() = SubsetProps(t->props());
+  if (cols.size() == 1) out->props().key.insert(cols[0]);
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr Sort(const DocumentManager& mgr, const ExecFlags& fl,
+              const TablePtr& t, const std::vector<std::string>& cols,
+              const std::vector<bool>& desc) {
+  bool all_asc =
+      std::none_of(desc.begin(), desc.end(), [](bool d) { return d; });
+  if (fl.order_opt && all_asc && t->props().OrderedBy(cols)) {
+    ++fl.stats.sorts_elided;
+    return t;
+  }
+  // Refine sort: with a known ordered prefix, sort only within runs of
+  // equal prefix values (the incremental, pipelinable refine-sort of §4.2).
+  size_t known = 0;
+  if (fl.order_opt && all_asc) {
+    while (known < cols.size() && known < t->props().ord.size() &&
+           t->props().ord[known] == cols[known])
+      ++known;
+  }
+  std::vector<size_t> perm(t->rows());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  RowLess full(mgr, *t, cols, desc);
+  if (known > 0 && known < cols.size()) {
+    ++fl.stats.refine_sorts;
+    std::vector<std::string> prefix(cols.begin(), cols.begin() + known);
+    RowLess pre(mgr, *t, prefix, {});
+    size_t run = 0;
+    for (size_t i = 1; i <= perm.size(); ++i) {
+      if (i == perm.size() || pre.Compare(perm[run], perm[i]) != 0) {
+        std::stable_sort(perm.begin() + run, perm.begin() + i, full);
+        run = i;
+      }
+    }
+  } else if (known >= cols.size() && !cols.empty()) {
+    // Fully ordered but flags force the sort (order_opt off): still sort.
+    ++fl.stats.sorts_performed;
+    std::stable_sort(perm.begin(), perm.end(), full);
+  } else {
+    ++fl.stats.sorts_performed;
+    std::stable_sort(perm.begin(), perm.end(), full);
+  }
+  auto out = ApplyPerm(t, perm);
+  TableProps props;
+  props.key = t->props().key;
+  props.constants = t->props().constants;
+  if (all_asc) props.ord = cols;
+  out->props() = std::move(props);
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr RowNum(const DocumentManager& mgr, const ExecFlags& fl,
+                const TablePtr& t, const std::string& new_col,
+                const std::vector<std::string>& order_cols,
+                const std::string& group_col) {
+  const size_t n = t->rows();
+  std::vector<int64_t> num(n);
+
+  if (group_col.empty()) {
+    bool ordered = order_cols.empty() ||
+                   (fl.order_opt && t->props().OrderedBy(order_cols));
+    if (ordered) {
+      ++fl.stats.rownum_streaming;
+      for (size_t i = 0; i < n; ++i) num[i] = static_cast<int64_t>(i) + 1;
+      auto out = WithColumn(t, new_col, Column::MakeI64(std::move(num)));
+      out->props().dense.insert(new_col);
+      out->props().key.insert(new_col);
+      if (t->props().OrderedBy(order_cols))
+        out->props().ord.push_back(new_col);
+      return out;
+    }
+    // Sorting variant: number in sort order, emit in sort order (the
+    // full-sort DENSE_RANK the paper's streaming variant replaces).
+    ++fl.stats.rownum_sorting;
+    auto sorted = Sort(mgr, fl, t, order_cols);
+    for (size_t i = 0; i < n; ++i) num[i] = static_cast<int64_t>(i) + 1;
+    auto out = WithColumn(sorted, new_col, Column::MakeI64(std::move(num)));
+    out->props().dense.insert(new_col);
+    out->props().key.insert(new_col);
+    out->props().ord.push_back(new_col);
+    return out;
+  }
+
+  // Grouped numbering.
+  if (fl.order_opt && t->props().GrpOrderedBy(order_cols, group_col)) {
+    // Streaming hash-based numbering (§4.1): one counter per live group;
+    // groups need not be clustered.
+    ++fl.stats.rownum_streaming;
+    const ColumnPtr& g = t->col(group_col);
+    std::unordered_map<int64_t, int64_t> counter;
+    for (size_t i = 0; i < n; ++i) num[i] = ++counter[g->GetI64(i)];
+    auto out = WithColumn(t, new_col, Column::MakeI64(std::move(num)));
+    out->props().grpord.push_back({{new_col}, group_col});
+    return out;
+  }
+  // Default re-numbering: full sort on [g, order_cols].
+  ++fl.stats.rownum_sorting;
+  std::vector<std::string> sort_cols;
+  sort_cols.push_back(group_col);
+  sort_cols.insert(sort_cols.end(), order_cols.begin(), order_cols.end());
+  auto sorted = Sort(mgr, fl, t, sort_cols);
+  const ColumnPtr& g = sorted->col(group_col);
+  int64_t run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && g->GetI64(i) == g->GetI64(i - 1))
+      ++run;
+    else
+      run = 1;
+    num[i] = run;
+  }
+  auto out = WithColumn(sorted, new_col, Column::MakeI64(std::move(num)));
+  out->props().grpord.push_back({{new_col}, group_col});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// joins
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TablePtr BuildJoinOutput(const TablePtr& left,
+                         const std::vector<size_t>& lrows,
+                         const TablePtr& right,
+                         const std::vector<size_t>& rrows,
+                         const KeepCols& right_keep) {
+  auto out = Table::Make();
+  for (size_t c = 0; c < left->num_cols(); ++c)
+    out->AddColumn(left->name(c), GatherColumn(left->col(c), lrows));
+  for (const auto& [src, dst] : right_keep)
+    out->AddColumn(dst, GatherColumn(right->col(src), rrows));
+  out->set_rows(lrows.size());
+  return out;
+}
+
+/// Order/const props a probe-order-preserving join grants the output.
+void ProbeJoinProps(const TablePtr& left, const TablePtr& right,
+                    const std::string& rcol, const KeepCols& right_keep,
+                    bool right_unique, Table* out) {
+  TableProps p;
+  p.ord = left->props().ord;   // probe order preserved (dup runs allowed)
+  p.constants = left->props().constants;
+  p.grpord = left->props().grpord;
+  if (right_unique) {
+    p.key = left->props().key;  // each left row matched at most once
+    // dense additionally requires that no probe row was dropped.
+    if (out->rows() == left->rows()) p.dense = left->props().dense;
+  }
+  for (const auto& [src, dst] : right_keep) {
+    auto it = right->props().constants.find(src);
+    if (it != right->props().constants.end()) p.constants[dst] = it->second;
+  }
+  out->props() = std::move(p);
+}
+
+}  // namespace
+
+TablePtr EquiJoinI64(const ExecFlags& fl, const TablePtr& left,
+                     const std::string& lcol, const TablePtr& right,
+                     const std::string& rcol, const KeepCols& right_keep) {
+  std::vector<size_t> lrows, rrows;
+  const ColumnPtr& lc = left->col(lcol);
+  const ColumnPtr& rc = right->col(rcol);
+  bool right_unique =
+      right->props().is_key(rcol) || right->props().is_dense(rcol);
+
+  if (fl.positional && right->props().is_dense(rcol)) {
+    // Positional join (§4.1 / §8): key lookup by address computation.
+    ++fl.stats.positional_joins;
+    const int64_t nr = static_cast<int64_t>(right->rows());
+    for (size_t i = 0; i < left->rows(); ++i) {
+      int64_t v = lc->GetI64(i);
+      if (v >= 1 && v <= nr) {
+        lrows.push_back(i);
+        rrows.push_back(static_cast<size_t>(v - 1));
+      }
+    }
+  } else {
+    ++fl.stats.hash_joins;
+    std::unordered_map<int64_t, std::vector<size_t>> ht;
+    ht.reserve(right->rows() * 2);
+    for (size_t j = 0; j < right->rows(); ++j)
+      ht[rc->GetI64(j)].push_back(j);
+    for (size_t i = 0; i < left->rows(); ++i) {
+      auto it = ht.find(lc->GetI64(i));
+      if (it == ht.end()) continue;
+      for (size_t j : it->second) {
+        lrows.push_back(i);
+        rrows.push_back(j);
+      }
+    }
+  }
+  auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep);
+  ProbeJoinProps(left, right, rcol, right_keep, right_unique, out.get());
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
+                      const TablePtr& left, const std::string& lcol,
+                      const TablePtr& right, const std::string& rcol,
+                      const KeepCols& right_keep) {
+  ++fl.stats.hash_joins;
+  const ColumnPtr& lc = left->col(lcol);
+  const ColumnPtr& rc = right->col(rcol);
+  std::unordered_map<uint64_t, std::vector<size_t>> ht;
+  for (size_t j = 0; j < right->rows(); ++j)
+    ht[HashItem(mgr, rc->GetItem(j))].push_back(j);
+  std::vector<size_t> lrows, rrows;
+  for (size_t i = 0; i < left->rows(); ++i) {
+    Item li = lc->GetItem(i);
+    auto it = ht.find(HashItem(mgr, li));
+    if (it == ht.end()) continue;
+    for (size_t j : it->second)
+      if (CompareItems(mgr, li, CmpOp::kEq, rc->GetItem(j))) {
+        lrows.push_back(i);
+        rrows.push_back(j);
+      }
+  }
+  auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep);
+  ProbeJoinProps(left, right, rcol, right_keep, false, out.get());
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr SemiJoinI64(const ExecFlags& fl, const TablePtr& left,
+                     const std::string& lcol, const TablePtr& right,
+                     const std::string& rcol, bool anti) {
+  const ColumnPtr& lc = left->col(lcol);
+  const ColumnPtr& rc = right->col(rcol);
+  std::vector<size_t> rows;
+  if (fl.positional && right->props().is_dense(rcol)) {
+    ++fl.stats.positional_joins;
+    const int64_t nr = static_cast<int64_t>(right->rows());
+    for (size_t i = 0; i < left->rows(); ++i) {
+      int64_t v = lc->GetI64(i);
+      bool hit = v >= 1 && v <= nr;
+      if (hit != anti) rows.push_back(i);
+    }
+  } else {
+    ++fl.stats.hash_joins;
+    std::unordered_set<int64_t> keys;
+    for (size_t j = 0; j < right->rows(); ++j) keys.insert(rc->GetI64(j));
+    for (size_t i = 0; i < left->rows(); ++i) {
+      bool hit = keys.count(lc->GetI64(i)) > 0;
+      if (hit != anti) rows.push_back(i);
+    }
+  }
+  auto out = FilterRows(left, rows);
+  out->props() = SubsetProps(left->props());
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr Cross(const TablePtr& a, const TablePtr& b,
+               const KeepCols& right_keep) {
+  const size_t na = a->rows(), nb = b->rows();
+  std::vector<size_t> lrows, rrows;
+  lrows.reserve(na * nb);
+  rrows.reserve(na * nb);
+  for (size_t i = 0; i < na; ++i)
+    for (size_t j = 0; j < nb; ++j) {
+      lrows.push_back(i);
+      rrows.push_back(j);
+    }
+  auto out = BuildJoinOutput(a, lrows, b, rrows, right_keep);
+  // loop × constant (nb == 1): the left side survives intact.
+  TableProps p;
+  p.ord = a->props().ord;
+  p.constants = a->props().constants;
+  if (nb == 1) {
+    p.dense = a->props().dense;
+    p.key = a->props().key;
+    p.grpord = a->props().grpord;
+    for (const auto& [src, dst] : right_keep) {
+      // A single right row is a constant column in the product.
+      const ColumnPtr& c = b->col(src);
+      p.constants[dst] = c->GetItem(0);
+    }
+  }
+  out->props() = std::move(p);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// aggregation
+// ---------------------------------------------------------------------------
+
+TablePtr GroupAggr(DocumentManager& mgr, const ExecFlags& fl,
+                   const TablePtr& t, const std::string& group_col,
+                   const std::string& val_col, AggKind kind) {
+  struct Acc {
+    int64_t count = 0;
+    double sum = 0;
+    bool all_int = true;
+    int64_t isum = 0;
+    Item best;  // min/max
+  };
+  const ColumnPtr& g = t->col(group_col);
+  const Column* v = val_col.empty() ? nullptr : t->col(val_col).get();
+
+  // Grouping is free when the input is ordered by the group column (§4.2);
+  // otherwise fall back to a hash accumulator.
+  bool ordered = fl.order_opt && t->props().OrderedBy({group_col});
+  std::vector<std::pair<int64_t, Acc>> accs;
+  std::unordered_map<int64_t, size_t> idx;
+  for (size_t i = 0; i < t->rows(); ++i) {
+    int64_t key = g->GetI64(i);
+    Acc* acc;
+    if (ordered) {
+      if (accs.empty() || accs.back().first != key)
+        accs.emplace_back(key, Acc{});
+      acc = &accs.back().second;
+    } else {
+      auto [it, inserted] = idx.try_emplace(key, accs.size());
+      if (inserted) accs.emplace_back(key, Acc{});
+      acc = &accs[it->second].second;
+    }
+    ++acc->count;
+    if (v) {
+      Item item = Atomize(mgr, v->GetItem(i));
+      if (kind == AggKind::kSum || kind == AggKind::kAvg) {
+        if (item.kind == ItemKind::kInt) {
+          acc->isum += item.i;
+          acc->sum += static_cast<double>(item.i);
+        } else {
+          acc->all_int = false;
+          acc->sum += ToDouble(mgr, item);
+        }
+      } else if (kind == AggKind::kMin || kind == AggKind::kMax) {
+        // Numeric-or-string min/max via the comparison semantics.
+        if (acc->best.kind == ItemKind::kEmpty) {
+          acc->best = item;
+        } else {
+          CmpOp op = kind == AggKind::kMin ? CmpOp::kLt : CmpOp::kGt;
+          if (CompareItems(mgr, item, op, acc->best)) acc->best = item;
+        }
+      }
+    }
+  }
+  if (!ordered)
+    std::sort(accs.begin(), accs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<int64_t> groups;
+  std::vector<Item> out_val;
+  for (auto& [key, acc] : accs) {
+    groups.push_back(key);
+    switch (kind) {
+      case AggKind::kCount: out_val.push_back(Item::Int(acc.count)); break;
+      case AggKind::kSum:
+        out_val.push_back(acc.all_int ? Item::Int(acc.isum)
+                                      : Item::Double(acc.sum));
+        break;
+      case AggKind::kAvg:
+        out_val.push_back(Item::Double(acc.sum / acc.count));
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: out_val.push_back(acc.best); break;
+    }
+  }
+  auto out = Table::Make();
+  out->AddColumn(group_col, Column::MakeI64(std::move(groups)));
+  out->AddColumn("agg", Column::MakeItem(std::move(out_val)));
+  out->props().ord = {group_col};
+  out->props().key.insert(group_col);
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr FillGroups(const ExecFlags& fl, const TablePtr& aggr,
+                    const std::string& group_col, const std::string& agg_col,
+                    const TablePtr& loop, const std::string& loop_col,
+                    Item dflt) {
+  const ColumnPtr& lc = loop->col(loop_col);
+  const ColumnPtr& gc = aggr->col(group_col);
+  const ColumnPtr& vc = aggr->col(agg_col);
+  std::unordered_map<int64_t, size_t> idx;
+  for (size_t j = 0; j < aggr->rows(); ++j) idx[gc->GetI64(j)] = j;
+  std::vector<int64_t> groups(loop->rows());
+  std::vector<Item> vals(loop->rows());
+  for (size_t i = 0; i < loop->rows(); ++i) {
+    int64_t key = lc->GetI64(i);
+    groups[i] = key;
+    auto it = idx.find(key);
+    vals[i] = it == idx.end() ? dflt : vc->GetItem(it->second);
+  }
+  auto out = Table::Make();
+  out->AddColumn(group_col, Column::MakeI64(std::move(groups)));
+  out->AddColumn(agg_col, Column::MakeItem(std::move(vals)));
+  out->props().ord = loop->props().OrderedBy({loop_col})
+                         ? std::vector<std::string>{group_col}
+                         : std::vector<std::string>{};
+  if (loop->props().is_key(loop_col)) out->props().key.insert(group_col);
+  if (loop->props().is_dense(loop_col)) out->props().dense.insert(group_col);
+  CountMaterialized(fl, out);
+  return out;
+}
+
+}  // namespace alg
+}  // namespace mxq

@@ -1,0 +1,578 @@
+#include "baseline/interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "algebra/item_ops.h"
+#include "staircase/naive_axes.h"
+#include "xml/serializer.h"
+#include "xquery/parser.h"
+
+namespace mxq {
+namespace baseline {
+
+namespace {
+
+using xq::Clause;
+using xq::Expr;
+using xq::ExprKind;
+using xq::FunctionDecl;
+using xq::Step;
+
+using Seq = std::vector<Item>;
+
+class Evaluator {
+ public:
+  Evaluator(DocumentManager* mgr, DocumentContainer* transient)
+      : mgr_(*mgr), tr_(transient) {}
+
+  Result<Seq> Run(const xq::Query& q) {
+    for (const FunctionDecl& f : q.functions) funcs_[f.name] = &f;
+    Env env;
+    return E(*q.body, env);
+  }
+
+ private:
+  struct Env {
+    std::map<std::string, Seq> vars;
+  };
+
+  Status Err(const std::string& m) {
+    return Status::TypeError("naive interpreter: " + m);
+  }
+
+  bool Ebv(const Seq& s) {
+    if (s.empty()) return false;
+    if (s[0].is_any_node()) return true;
+    return ItemEbv(mgr_, s[0]);
+  }
+
+  Seq AtomizeSeq(const Seq& s) {
+    Seq out;
+    out.reserve(s.size());
+    for (const Item& it : s) out.push_back(Atomize(mgr_, it));
+    return out;
+  }
+
+  bool ExistentialCmp(const Seq& a, CmpOp op, const Seq& b) {
+    // The naive nested-loop comparison first-generation engines used.
+    for (const Item& x : a)
+      for (const Item& y : b)
+        if (CompareItems(mgr_, Atomize(mgr_, x), op, Atomize(mgr_, y)))
+          return true;
+    return false;
+  }
+
+  // ---- paths ---------------------------------------------------------------
+
+  Result<Seq> EvalSteps(Seq input, const std::vector<Step>& steps, Env& env) {
+    Seq cur = std::move(input);
+    for (const Step& s : steps) {
+      if (!(s.axis == Axis::kSelf && s.sel == NodeTest::Sel::kAnyNode &&
+            s.name.empty())) {
+        NodeTest test;
+        test.sel = s.sel;
+        test.qn = s.name.empty() ? kInvalidStrId
+                                 : mgr_.strings().Find(s.name);
+        if (!s.name.empty() && test.qn == kInvalidStrId) {
+          cur.clear();
+        } else {
+          // Per container: collect contexts, evaluate the axis naively.
+          std::map<int32_t, std::vector<int64_t>> per_container;
+          for (const Item& it : cur)
+            if (it.kind == ItemKind::kNode)
+              per_container[it.node().container].push_back(it.node().pre);
+          Seq next;
+          for (auto& [cid, pres] : per_container) {
+            std::sort(pres.begin(), pres.end());
+            pres.erase(std::unique(pres.begin(), pres.end()), pres.end());
+            const DocumentContainer& doc = *mgr_.container(cid);
+            for (int64_t v : EvalAxisNaive(doc, s.axis, pres, test))
+              next.push_back(s.axis == Axis::kAttribute ? Item::Attr(cid, v)
+                                                        : Item::Node(cid, v));
+          }
+          cur = std::move(next);
+        }
+      }
+      for (const xq::ExprPtr& pred : s.preds) {
+        MXQ_ASSIGN_OR_RETURN(cur, Filter(std::move(cur), *pred, env));
+      }
+    }
+    return cur;
+  }
+
+  Result<Seq> Filter(Seq input, const Expr& pred, Env& env) {
+    Seq out;
+    int64_t last = static_cast<int64_t>(input.size());
+    for (int64_t p = 0; p < last; ++p) {
+      Env env2 = env;
+      env2.vars["."] = {input[p]};
+      env2.vars["#pos"] = {Item::Int(p + 1)};
+      env2.vars["#last"] = {Item::Int(last)};
+      MXQ_ASSIGN_OR_RETURN(Seq v, E(pred, env2));
+      bool keep;
+      if (!v.empty() && v[0].is_numeric())
+        keep = v[0].as_double() == static_cast<double>(p + 1);
+      else
+        keep = Ebv(v);
+      if (keep) out.push_back(input[p]);
+    }
+    return out;
+  }
+
+  // ---- FLWOR ----------------------------------------------------------------
+
+  Result<Seq> EvalFLWOR(const Expr& e, Env& env) {
+    std::vector<Env> tuples = {env};
+    for (const Clause& c : e.clauses) {
+      std::vector<Env> next;
+      for (Env& t : tuples) {
+        MXQ_ASSIGN_OR_RETURN(Seq seq, E(*c.expr, t));
+        if (c.type == Clause::Type::kLet) {
+          Env t2 = t;
+          t2.vars[c.var] = std::move(seq);
+          next.push_back(std::move(t2));
+        } else {
+          int64_t pos = 0;
+          for (const Item& it : seq) {
+            Env t2 = t;
+            t2.vars[c.var] = {it};
+            if (!c.pos_var.empty()) t2.vars[c.pos_var] = {Item::Int(++pos)};
+            next.push_back(std::move(t2));
+            if (c.pos_var.empty()) ++pos;
+          }
+        }
+      }
+      tuples = std::move(next);
+    }
+    if (e.where) {
+      std::vector<Env> kept;
+      for (Env& t : tuples) {
+        MXQ_ASSIGN_OR_RETURN(Seq w, E(*e.where, t));
+        if (Ebv(w)) kept.push_back(std::move(t));
+      }
+      tuples = std::move(kept);
+    }
+    if (!e.order.empty()) {
+      std::vector<std::pair<std::vector<Item>, size_t>> keyed(tuples.size());
+      for (size_t i = 0; i < tuples.size(); ++i) {
+        keyed[i].second = i;
+        for (const xq::OrderSpec& os : e.order) {
+          MXQ_ASSIGN_OR_RETURN(Seq k, E(*os.key, tuples[i]));
+          keyed[i].first.push_back(k.empty() ? Item() : Atomize(mgr_, k[0]));
+        }
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [&](const auto& a, const auto& b) {
+                         for (size_t k = 0; k < e.order.size(); ++k) {
+                           int c = OrderCompare(mgr_, a.first[k], b.first[k]);
+                           if (c) return e.order[k].descending ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+      std::vector<Env> sorted;
+      sorted.reserve(tuples.size());
+      for (auto& [k, idx] : keyed) sorted.push_back(std::move(tuples[idx]));
+      tuples = std::move(sorted);
+    }
+    Seq out;
+    for (Env& t : tuples) {
+      MXQ_ASSIGN_OR_RETURN(Seq r, E(*e.ret, t));
+      out.insert(out.end(), r.begin(), r.end());
+    }
+    return out;
+  }
+
+  Result<Seq> EvalQuantified(const Expr& e, Env& env) {
+    bool every = e.every;
+    std::function<Result<bool>(size_t, Env&)> rec =
+        [&](size_t level, Env& t) -> Result<bool> {
+      if (level == e.clauses.size()) {
+        MXQ_ASSIGN_OR_RETURN(Seq c, E(*e.ret, t));
+        return Ebv(c);
+      }
+      MXQ_ASSIGN_OR_RETURN(Seq seq, E(*e.clauses[level].expr, t));
+      for (const Item& it : seq) {
+        Env t2 = t;
+        t2.vars[e.clauses[level].var] = {it};
+        MXQ_ASSIGN_OR_RETURN(bool b, rec(level + 1, t2));
+        if (b != every) return !every;  // short-circuit
+      }
+      return every;
+    };
+    MXQ_ASSIGN_OR_RETURN(bool b, rec(0, env));
+    return Seq{Item::Bool(b)};
+  }
+
+  // ---- constructors -----------------------------------------------------------
+
+  Result<std::string> AVTString(
+      const std::vector<xq::CtorContent>& pieces, Env& env) {
+    std::string out;
+    for (const xq::CtorContent& p : pieces) {
+      if (!p.expr) {
+        out += p.text;
+        continue;
+      }
+      MXQ_ASSIGN_OR_RETURN(Seq v, E(*p.expr, env));
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i) out += " ";
+        Item s = CastString(mgr_, v[i]);
+        out += mgr_.strings().Get(s.str_id());
+      }
+    }
+    return out;
+  }
+
+  Result<Seq> EvalCtor(const Expr& e, Env& env) {
+    // Evaluate all content first: nested constructors append fragments to
+    // the same transient container, which must happen before this node's
+    // slot range opens.
+    std::vector<std::pair<std::string, std::string>> attr_vals;
+    for (const auto& [name, pieces] : e.attrs) {
+      MXQ_ASSIGN_OR_RETURN(std::string v, AVTString(pieces, env));
+      attr_vals.emplace_back(name, v);
+    }
+    std::vector<Seq> content(e.content.size());
+    for (size_t i = 0; i < e.content.size(); ++i) {
+      const xq::CtorContent& c = e.content[i];
+      if (c.expr) {
+        MXQ_ASSIGN_OR_RETURN(content[i], E(*c.expr, env));
+      } else {
+        content[i] = {Item::String(mgr_.strings().Intern(c.text))};
+      }
+    }
+
+    StrId tag = mgr_.strings().Intern(e.str);
+    int32_t frag = tr_->next_frag();
+    int64_t root = tr_->AppendSlot(NodeKind::kElem, tag, 0, frag);
+    for (const auto& [name, v] : attr_vals)
+      tr_->AppendAttr(root, mgr_.strings().Intern(name),
+                      mgr_.strings().Intern(v));
+    std::string text_run;
+    bool have_text = false;
+    auto flush = [&] {
+      if (!have_text) return;
+      tr_->AppendSlot(NodeKind::kText, mgr_.strings().Intern(text_run), 1,
+                      frag);
+      text_run.clear();
+      have_text = false;
+    };
+    for (const Seq& items : content) {
+      for (const Item& v : items) {
+        if (v.kind == ItemKind::kAttr) {
+          AttrRef a = v.attr();
+          const DocumentContainer& src = *mgr_.container(a.container);
+          tr_->AppendAttr(root, src.AttrQn(a.row), src.AttrValue(a.row));
+        } else if (v.kind == ItemKind::kNode) {
+          flush();
+          NodeRef nr = v.node();
+          const DocumentContainer& src = *mgr_.container(nr.container);
+          if (src.KindAt(nr.pre) == NodeKind::kDoc) {
+            int64_t end = nr.pre + src.SizeAt(nr.pre);
+            for (int64_t p = nr.pre + 1; p <= end;) {
+              if (src.IsUnused(p)) {
+                p += src.SizeAt(p) + 1;
+                continue;
+              }
+              tr_->CopySubtree(src, p, 1, frag);
+              p += src.SizeAt(p) + 1;
+            }
+          } else {
+            tr_->CopySubtree(src, nr.pre, 1, frag);
+          }
+        } else if (v.kind != ItemKind::kEmpty) {
+          if (have_text) text_run += " ";
+          text_run += AtomicToString(mgr_, v);
+          have_text = true;
+        }
+      }
+    }
+    flush();
+    tr_->SetSize(root, tr_->PhysicalSlots() - root - 1);
+    tr_->InvalidateIndexes();
+    return Seq{Item::Node(tr_->id(), root)};
+  }
+
+  // ---- calls -----------------------------------------------------------------
+
+  Result<Seq> EvalCall(const Expr& e, Env& env) {
+    const std::string& f = e.str;
+    std::vector<Seq> args(e.children.size());
+    for (size_t i = 0; i < e.children.size(); ++i) {
+      MXQ_ASSIGN_OR_RETURN(args[i], E(*e.children[i], env));
+    }
+    auto one = [&](size_t i) -> Item {
+      return args[i].empty() ? Item() : args[i][0];
+    };
+    auto str_of = [&](const Item& it) -> std::string {
+      Item s = CastString(mgr_, it);
+      return mgr_.strings().Get(s.str_id());
+    };
+
+    if (f == "count") return Seq{Item::Int(static_cast<int64_t>(args[0].size()))};
+    if (f == "sum" || f == "avg" || f == "min" || f == "max") {
+      Seq a = AtomizeSeq(args[0]);
+      if (a.empty())
+        return f == "sum" ? Seq{Item::Int(0)} : Seq{};
+      if (f == "sum" || f == "avg") {
+        double s = 0;
+        bool all_int = true;
+        int64_t si = 0;
+        for (const Item& it : a) {
+          if (it.kind == ItemKind::kInt) si += it.i;
+          else all_int = false;
+          s += ToDouble(mgr_, it);
+        }
+        if (f == "avg") return Seq{Item::Double(s / a.size())};
+        return Seq{all_int ? Item::Int(si) : Item::Double(s)};
+      }
+      Item best = a[0];
+      for (const Item& it : a)
+        if (CompareItems(mgr_, it, f == "min" ? CmpOp::kLt : CmpOp::kGt, best))
+          best = it;
+      return Seq{best};
+    }
+    if (f == "not") return Seq{Item::Bool(!Ebv(args[0]))};
+    if (f == "boolean") return Seq{Item::Bool(Ebv(args[0]))};
+    if (f == "empty") return Seq{Item::Bool(args[0].empty())};
+    if (f == "exists") return Seq{Item::Bool(!args[0].empty())};
+    if (f == "true") return Seq{Item::Bool(true)};
+    if (f == "false") return Seq{Item::Bool(false)};
+    if (f == "contains")
+      return Seq{Item::Bool(str_of(one(0)).find(str_of(one(1))) !=
+                            std::string::npos)};
+    if (f == "starts-with")
+      return Seq{Item::Bool(str_of(one(0)).rfind(str_of(one(1)), 0) == 0)};
+    if (f == "string") {
+      std::string out;
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        if (i) out += " ";
+        out += str_of(args[0][i]);
+      }
+      return Seq{Item::String(mgr_.strings().Intern(out))};
+    }
+    if (f == "string-join") {
+      std::string sep = str_of(one(1));
+      std::string out;
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        if (i) out += sep;
+        out += str_of(args[0][i]);
+      }
+      return Seq{Item::String(mgr_.strings().Intern(out))};
+    }
+    if (f == "concat") {
+      std::string out;
+      for (const Seq& a : args)
+        for (const Item& it : a) out += str_of(it);
+      return Seq{Item::String(mgr_.strings().Intern(out))};
+    }
+    if (f == "data") return AtomizeSeq(args[0]);
+    if (f == "number")
+      return Seq{Item::Double(ToDouble(mgr_, one(0)))};
+    if (f == "round")
+      return Seq{Item::Double(std::round(ToDouble(mgr_, one(0))))};
+    if (f == "floor")
+      return Seq{Item::Double(std::floor(ToDouble(mgr_, one(0))))};
+    if (f == "ceiling")
+      return Seq{Item::Double(std::ceil(ToDouble(mgr_, one(0))))};
+    if (f == "abs")
+      return Seq{Item::Double(std::fabs(ToDouble(mgr_, one(0))))};
+    if (f == "string-length")
+      return Seq{Item::Int(static_cast<int64_t>(str_of(one(0)).size()))};
+    if (f == "substring") {
+      std::string s = str_of(one(0));
+      double st = ToDouble(mgr_, one(1));
+      size_t from = st <= 1 ? 0 : static_cast<size_t>(st) - 1;
+      return Seq{Item::String(
+          mgr_.strings().Intern(from >= s.size() ? "" : s.substr(from)))};
+    }
+    if (f == "name" || f == "local-name") {
+      Item it = one(0);
+      StrId qn = kInvalidStrId;
+      if (it.kind == ItemKind::kNode) {
+        NodeRef nr = it.node();
+        const DocumentContainer& c = *mgr_.container(nr.container);
+        if (c.KindAt(nr.pre) == NodeKind::kElem)
+          qn = static_cast<StrId>(c.RefAt(nr.pre));
+      } else if (it.kind == ItemKind::kAttr) {
+        qn = mgr_.container(it.attr().container)->AttrQn(it.attr().row);
+      }
+      std::string name = qn == kInvalidStrId ? "" : mgr_.strings().Get(qn);
+      if (f == "local-name") {
+        size_t colon = name.rfind(':');
+        if (colon != std::string::npos) name = name.substr(colon + 1);
+      }
+      return Seq{Item::String(mgr_.strings().Intern(name))};
+    }
+    if (f == "zero-or-one" || f == "exactly-one" || f == "one-or-more")
+      return args[0];
+    if (f == "distinct-values") {
+      Seq out;
+      for (const Item& raw : AtomizeSeq(args[0])) {
+        Item canon = raw;
+        if (raw.is_stringlike()) {
+          double d = ToDouble(mgr_, raw);
+          if (!std::isnan(d)) canon = Item::Double(d);
+          else canon = Item::String(raw.str_id());
+        } else if (raw.is_numeric()) {
+          canon = Item::Double(raw.as_double());
+        }
+        bool dup = false;
+        for (const Item& seen : out)
+          if (OrderCompare(mgr_, seen, canon) == 0) {
+            dup = true;
+            break;
+          }
+        if (!dup) out.push_back(canon);
+      }
+      return out;
+    }
+    if (f == "position") return Seq{env.vars["#pos"]};
+    if (f == "last") return Seq{env.vars["#last"]};
+
+    auto it = funcs_.find(f);
+    if (it == funcs_.end()) return Status(Err("unknown function " + f));
+    if (++depth_ > 64) {
+      --depth_;
+      return Status(Err("recursion too deep"));
+    }
+    Env fenv;
+    for (size_t i = 0; i < it->second->params.size(); ++i)
+      fenv.vars[it->second->params[i]] = args[i];
+    auto r = E(*it->second->body, fenv);
+    --depth_;
+    return r;
+  }
+
+  // ---- dispatcher -----------------------------------------------------------
+
+  Result<Seq> E(const Expr& e, Env& env) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: return Seq{Item::Int(e.ival)};
+      case ExprKind::kDoubleLit: return Seq{Item::Double(e.dval)};
+      case ExprKind::kStringLit:
+        return Seq{Item::String(mgr_.strings().Intern(e.str))};
+      case ExprKind::kEmptySeq: return Seq{};
+      case ExprKind::kSequence: {
+        Seq out;
+        for (const xq::ExprPtr& c : e.children) {
+          MXQ_ASSIGN_OR_RETURN(Seq v, E(*c, env));
+          out.insert(out.end(), v.begin(), v.end());
+        }
+        return out;
+      }
+      case ExprKind::kVarRef: {
+        auto it = env.vars.find(e.str);
+        if (it == env.vars.end())
+          return Status(Err("unbound variable $" + e.str));
+        return it->second;
+      }
+      case ExprKind::kDoc: {
+        MXQ_ASSIGN_OR_RETURN(DocumentContainer * d,
+                             mgr_.GetDocument(e.str));
+        return Seq{Item::Node(d->id(), 0)};
+      }
+      case ExprKind::kRoot:
+        return Status(Err("'/' without context document"));
+      case ExprKind::kPath: {
+        Seq input;
+        if (e.children[0]) {
+          MXQ_ASSIGN_OR_RETURN(input, E(*e.children[0], env));
+        } else {
+          auto it = env.vars.find(".");
+          if (it == env.vars.end())
+            return Status(Err("path without context item"));
+          input = it->second;
+        }
+        return EvalSteps(std::move(input), e.steps, env);
+      }
+      case ExprKind::kFLWOR: return EvalFLWOR(e, env);
+      case ExprKind::kQuantified: return EvalQuantified(e, env);
+      case ExprKind::kIf: {
+        MXQ_ASSIGN_OR_RETURN(Seq c, E(*e.children[0], env));
+        return E(Ebv(c) ? *e.children[1] : *e.children[2], env);
+      }
+      case ExprKind::kAnd: {
+        MXQ_ASSIGN_OR_RETURN(Seq a, E(*e.children[0], env));
+        if (!Ebv(a)) return Seq{Item::Bool(false)};
+        MXQ_ASSIGN_OR_RETURN(Seq b, E(*e.children[1], env));
+        return Seq{Item::Bool(Ebv(b))};
+      }
+      case ExprKind::kOr: {
+        MXQ_ASSIGN_OR_RETURN(Seq a, E(*e.children[0], env));
+        if (Ebv(a)) return Seq{Item::Bool(true)};
+        MXQ_ASSIGN_OR_RETURN(Seq b, E(*e.children[1], env));
+        return Seq{Item::Bool(Ebv(b))};
+      }
+      case ExprKind::kGeneralCmp:
+      case ExprKind::kValueCmp: {
+        MXQ_ASSIGN_OR_RETURN(Seq a, E(*e.children[0], env));
+        MXQ_ASSIGN_OR_RETURN(Seq b, E(*e.children[1], env));
+        return Seq{Item::Bool(ExistentialCmp(a, e.cmp, b))};
+      }
+      case ExprKind::kNodeBefore:
+      case ExprKind::kNodeAfter:
+      case ExprKind::kNodeIs: {
+        MXQ_ASSIGN_OR_RETURN(Seq a, E(*e.children[0], env));
+        MXQ_ASSIGN_OR_RETURN(Seq b, E(*e.children[1], env));
+        if (a.empty() || b.empty()) return Seq{};
+        const Item& x = a[0];
+        const Item& y = b[0];
+        if (!x.is_any_node() || !y.is_any_node())
+          return Seq{Item::Bool(false)};
+        bool r = e.kind == ExprKind::kNodeBefore   ? x.i < y.i
+                 : e.kind == ExprKind::kNodeAfter ? x.i > y.i
+                                                  : (x.i == y.i &&
+                                                     x.kind == y.kind);
+        return Seq{Item::Bool(r)};
+      }
+      case ExprKind::kArith: {
+        MXQ_ASSIGN_OR_RETURN(Seq a, E(*e.children[0], env));
+        MXQ_ASSIGN_OR_RETURN(Seq b, E(*e.children[1], env));
+        if (a.empty() || b.empty()) return Seq{};
+        Item r = Arith(mgr_, a[0], e.arith, b[0]);
+        if (r.kind == ItemKind::kEmpty) return Seq{};
+        return Seq{r};
+      }
+      case ExprKind::kUnaryMinus: {
+        MXQ_ASSIGN_OR_RETURN(Seq a, E(*e.children[0], env));
+        if (a.empty()) return Seq{};
+        Item v = Atomize(mgr_, a[0]);
+        if (v.kind == ItemKind::kInt) return Seq{Item::Int(-v.i)};
+        double d = ToDouble(mgr_, v);
+        if (std::isnan(d)) return Seq{};
+        return Seq{Item::Double(-d)};
+      }
+      case ExprKind::kCall: return EvalCall(e, env);
+      case ExprKind::kElemCtor: return EvalCtor(e, env);
+      default:
+        return Status(Err("unsupported expression"));
+    }
+  }
+
+  DocumentManager& mgr_;
+  DocumentContainer* tr_;
+  std::map<std::string, const FunctionDecl*> funcs_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Item>> NaiveInterpreter::Eval(const std::string& query) {
+  MXQ_ASSIGN_OR_RETURN(xq::Query q, xq::ParseQuery(query));
+  if (!transient_) transient_ = mgr_->CreateContainer("");
+  transient_->Clear();
+  Evaluator ev(mgr_, transient_);
+  return ev.Run(q);
+}
+
+Result<std::string> NaiveInterpreter::Run(const std::string& query) {
+  MXQ_ASSIGN_OR_RETURN(std::vector<Item> items, Eval(query));
+  return SerializeSequence(*mgr_, items);
+}
+
+}  // namespace baseline
+}  // namespace mxq

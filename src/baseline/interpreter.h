@@ -1,0 +1,41 @@
+// Naive tree-walking XQuery interpreter — the comparison baseline.
+//
+// Implements the same dialect as the relational engine, the way first-
+// generation XQuery processors did: axes evaluated per context node with the
+// quadratic naive axis oracle, joins as nested loops over binding tuples,
+// one evaluation of every subexpression per binding. This reproduces the
+// performance silhouette of the paper's comparison systems (Galax, eXist):
+// fine on small documents, DNF-style blowup on the XMark join queries — and
+// doubles as a differential-testing oracle for the relational engine.
+
+#ifndef MXQ_BASELINE_INTERPRETER_H_
+#define MXQ_BASELINE_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/document.h"
+
+namespace mxq {
+namespace baseline {
+
+class NaiveInterpreter {
+ public:
+  explicit NaiveInterpreter(DocumentManager* mgr) : mgr_(mgr) {}
+
+  /// Parses and evaluates `query`; returns the result item sequence.
+  Result<std::vector<Item>> Eval(const std::string& query);
+
+  /// Convenience: evaluate and serialize.
+  Result<std::string> Run(const std::string& query);
+
+ private:
+  DocumentManager* mgr_;
+  DocumentContainer* transient_ = nullptr;
+};
+
+}  // namespace baseline
+}  // namespace mxq
+
+#endif  // MXQ_BASELINE_INTERPRETER_H_

@@ -1,0 +1,19 @@
+#include "common/item.h"
+
+namespace mxq {
+
+const char* ItemKindName(ItemKind kind) {
+  switch (kind) {
+    case ItemKind::kEmpty: return "empty";
+    case ItemKind::kInt: return "int";
+    case ItemKind::kDouble: return "double";
+    case ItemKind::kBool: return "bool";
+    case ItemKind::kString: return "string";
+    case ItemKind::kUntyped: return "untyped";
+    case ItemKind::kNode: return "node";
+    case ItemKind::kAttr: return "attr";
+  }
+  return "unknown";
+}
+
+}  // namespace mxq

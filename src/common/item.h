@@ -1,0 +1,153 @@
+// The polymorphic XQuery `item` value.
+//
+// The relational encoding of XQuery sequences uses a polymorphic `item`
+// column (paper §2.1). Every item fits a fixed-width 16-byte struct: a kind
+// tag plus a 64-bit payload. Strings are StringPool ids; nodes are packed
+// (container, pre) node surrogates; attribute nodes are packed
+// (container, attribute-row) surrogates.
+
+#ifndef MXQ_COMMON_ITEM_H_
+#define MXQ_COMMON_ITEM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mxq {
+
+enum class ItemKind : uint8_t {
+  kEmpty = 0,  // used only as a padding/placeholder value, never in results
+  kInt,        // xs:integer
+  kDouble,     // xs:double / xs:decimal
+  kBool,       // xs:boolean
+  kString,     // xs:string       (payload = StrId)
+  kUntyped,    // xs:untypedAtomic (payload = StrId) — node atomization result
+  kNode,       // element/text/comment/PI/document node surrogate
+  kAttr,       // attribute node surrogate
+};
+
+/// \brief Node surrogate: identifies a tree node by container and preorder
+/// rank. Document order across fragments is (container, pre) order — the
+/// paper's [frag, pre] sort (§5.1, footnote 4).
+struct NodeRef {
+  int32_t container;  // DocumentContainer id
+  int64_t pre;        // preorder rank within the container
+
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+  friend auto operator<=>(const NodeRef&, const NodeRef&) = default;
+};
+
+/// \brief Attribute surrogate: row into a container's attribute table.
+struct AttrRef {
+  int32_t container;
+  int64_t row;
+
+  friend bool operator==(const AttrRef&, const AttrRef&) = default;
+  friend auto operator<=>(const AttrRef&, const AttrRef&) = default;
+};
+
+/// \brief A single XQuery item: tagged 64-bit payload.
+struct Item {
+  ItemKind kind = ItemKind::kEmpty;
+  union {
+    int64_t i;   // kInt, kString/kUntyped (StrId), packed node/attr payload
+    double d;    // kDouble
+    bool b;      // kBool
+  };
+
+  Item() : i(0) {}
+
+  static Item Int(int64_t v) {
+    Item it;
+    it.kind = ItemKind::kInt;
+    it.i = v;
+    return it;
+  }
+  static Item Double(double v) {
+    Item it;
+    it.kind = ItemKind::kDouble;
+    it.d = v;
+    return it;
+  }
+  static Item Bool(bool v) {
+    Item it;
+    it.kind = ItemKind::kBool;
+    it.b = v;
+    return it;
+  }
+  static Item String(int32_t str_id) {
+    Item it;
+    it.kind = ItemKind::kString;
+    it.i = str_id;
+    return it;
+  }
+  static Item Untyped(int32_t str_id) {
+    Item it;
+    it.kind = ItemKind::kUntyped;
+    it.i = str_id;
+    return it;
+  }
+  static Item Node(NodeRef n) {
+    Item it;
+    it.kind = ItemKind::kNode;
+    it.i = Pack(n.container, n.pre);
+    return it;
+  }
+  static Item Node(int32_t container, int64_t pre) {
+    return Node(NodeRef{container, pre});
+  }
+  static Item Attr(AttrRef a) {
+    Item it;
+    it.kind = ItemKind::kAttr;
+    it.i = Pack(a.container, a.row);
+    return it;
+  }
+  static Item Attr(int32_t container, int64_t row) {
+    return Attr(AttrRef{container, row});
+  }
+
+  bool is_node() const { return kind == ItemKind::kNode; }
+  bool is_attr() const { return kind == ItemKind::kAttr; }
+  bool is_any_node() const { return is_node() || is_attr(); }
+  bool is_numeric() const {
+    return kind == ItemKind::kInt || kind == ItemKind::kDouble;
+  }
+  bool is_stringlike() const {
+    return kind == ItemKind::kString || kind == ItemKind::kUntyped;
+  }
+
+  NodeRef node() const { return NodeRef{UnpackContainer(i), UnpackPre(i)}; }
+  AttrRef attr() const { return AttrRef{UnpackContainer(i), UnpackPre(i)}; }
+  int32_t str_id() const { return static_cast<int32_t>(i); }
+  double as_double() const { return kind == ItemKind::kDouble ? d : static_cast<double>(i); }
+
+  /// Total order on packed node payloads == document order within and across
+  /// containers (container major, pre minor).
+  int64_t node_order_key() const { return i; }
+
+  friend bool operator==(const Item& a, const Item& b) {
+    if (a.kind != b.kind) return false;
+    return a.i == b.i;  // covers all payload variants bit-wise
+  }
+
+  // ---- packing ------------------------------------------------------------
+  // 16 bits container | 48 bits pre/row. Packed value preserves
+  // (container, pre) lexicographic order for non-negative fields.
+  static constexpr int kPreBits = 48;
+  static constexpr int64_t kPreMask = (int64_t{1} << kPreBits) - 1;
+
+  static int64_t Pack(int32_t container, int64_t pre) {
+    return (static_cast<int64_t>(container) << kPreBits) | (pre & kPreMask);
+  }
+  static int32_t UnpackContainer(int64_t packed) {
+    return static_cast<int32_t>(packed >> kPreBits);
+  }
+  static int64_t UnpackPre(int64_t packed) { return packed & kPreMask; }
+};
+
+static_assert(sizeof(Item) == 16, "Item must stay fixed-width");
+
+const char* ItemKindName(ItemKind kind);
+
+}  // namespace mxq
+
+#endif  // MXQ_COMMON_ITEM_H_

@@ -1,0 +1,145 @@
+// Status / Result error handling for mxq (no exceptions on hot paths).
+//
+// Follows the Arrow/RocksDB idiom: fallible operations return Status (or
+// Result<T> when they produce a value). Statuses carry an error code and a
+// human-readable message.
+
+#ifndef MXQ_COMMON_STATUS_H_
+#define MXQ_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mxq {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,       // XML or XQuery syntax error
+  kTypeError,        // static or dynamic XQuery type error
+  kNotFound,         // unknown document, function, variable
+  kUnsupported,      // feature outside the implemented dialect
+  kOutOfRange,       // cardinality violations (zero-or-one etc.)
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// The OK status is represented without allocation; error statuses carry a
+/// heap-allocated code+message record.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code())) + ": " + message();
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+/// \brief A value or an error Status (Arrow's Result / absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+  Result(Status status) : status_(std::move(status)), has_value_(false) {}
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  T& value() & { return value_; }
+  const T& value() const& { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  T& operator*() { return value_; }
+  const T& operator*() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+  /// Returns the contained value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return has_value_ ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_;
+};
+
+// Propagate errors to the caller (statement context).
+#define MXQ_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::mxq::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define MXQ_CONCAT_IMPL(a, b) a##b
+#define MXQ_CONCAT(a, b) MXQ_CONCAT_IMPL(a, b)
+
+// Assign from a Result<T>, propagating errors.
+#define MXQ_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto MXQ_CONCAT(_res_, __LINE__) = (rexpr);                  \
+  if (!MXQ_CONCAT(_res_, __LINE__).ok())                       \
+    return MXQ_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(MXQ_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace mxq
+
+#endif  // MXQ_COMMON_STATUS_H_

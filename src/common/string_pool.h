@@ -1,0 +1,63 @@
+// Interned string storage.
+//
+// All variable-length strings in the engine (tag names, attribute values,
+// text content, XQuery string items) are interned into a StringPool and
+// referred to by dense int32 ids. This keeps every column fixed-width — the
+// core MonetDB storage discipline — and makes equality comparisons O(1).
+
+#ifndef MXQ_COMMON_STRING_POOL_H_
+#define MXQ_COMMON_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mxq {
+
+using StrId = int32_t;
+inline constexpr StrId kInvalidStrId = -1;
+
+/// \brief Append-only interning pool mapping strings <-> dense int ids.
+///
+/// Ids are assigned densely from 0 in insertion order, so they can be used
+/// directly as positional indexes into per-string side tables.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Interns `s`, returning its id (existing id if already present).
+  StrId Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    StrId id = static_cast<StrId>(strings_.size());
+    strings_.emplace_back(s);
+    // string_view key points into the deque-stored string, which never moves.
+    index_.emplace(std::string_view(strings_.back()), id);
+    return id;
+  }
+
+  /// Returns the id of `s` or kInvalidStrId if not interned.
+  StrId Find(std::string_view s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? kInvalidStrId : it->second;
+  }
+
+  /// Returns the string for a valid id.
+  const std::string& Get(StrId id) const { return strings_[id]; }
+
+  std::string_view View(StrId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;  // deque: stable addresses for the index
+  std::unordered_map<std::string_view, StrId> index_;
+};
+
+}  // namespace mxq
+
+#endif  // MXQ_COMMON_STRING_POOL_H_

@@ -1,0 +1,102 @@
+// XPath axes and node tests over the pre|size|level encoding.
+
+#ifndef MXQ_STAIRCASE_AXIS_H_
+#define MXQ_STAIRCASE_AXIS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/document.h"
+
+namespace mxq {
+
+enum class Axis : uint8_t {
+  kChild = 0,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kAttribute,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowing,
+  kPreceding,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+const char* AxisName(Axis axis);
+
+inline bool IsReverseAxis(Axis axis) {
+  return axis == Axis::kParent || axis == Axis::kAncestor ||
+         axis == Axis::kAncestorOrSelf || axis == Axis::kPreceding ||
+         axis == Axis::kPrecedingSibling;
+}
+
+/// \brief Node test of an XPath step: kind test plus optional name test.
+struct NodeTest {
+  enum class Sel : uint8_t {
+    kAnyNode = 0,  // node()
+    kAnyElem,      // * (principal node kind: element)
+    kNamedElem,    // name test on elements
+    kText,         // text()
+    kComment,      // comment()
+    kPI,           // processing-instruction()
+    kNamedAttr,    // @name (attribute axis only)
+    kAnyAttr,      // @*
+  };
+
+  Sel sel = Sel::kAnyNode;
+  StrId qn = kInvalidStrId;
+
+  static NodeTest AnyNode() { return {Sel::kAnyNode, kInvalidStrId}; }
+  static NodeTest AnyElem() { return {Sel::kAnyElem, kInvalidStrId}; }
+  static NodeTest Named(StrId qn) { return {Sel::kNamedElem, qn}; }
+  static NodeTest Text() { return {Sel::kText, kInvalidStrId}; }
+
+  /// Does the (non-attribute) node at `pre` match?
+  bool Matches(const DocumentContainer& c, int64_t pre) const {
+    switch (sel) {
+      case Sel::kAnyNode:
+        return c.KindAt(pre) != NodeKind::kUnused;
+      case Sel::kAnyElem:
+        return c.KindAt(pre) == NodeKind::kElem;
+      case Sel::kNamedElem:
+        return c.KindAt(pre) == NodeKind::kElem && c.RefAt(pre) == qn;
+      case Sel::kText:
+        return c.KindAt(pre) == NodeKind::kText;
+      case Sel::kComment:
+        return c.KindAt(pre) == NodeKind::kComment;
+      case Sel::kPI:
+        return c.KindAt(pre) == NodeKind::kPI;
+      case Sel::kNamedAttr:
+      case Sel::kAnyAttr:
+        return false;  // attribute tests never match tree nodes
+    }
+    return false;
+  }
+
+  bool MatchesAttr(const DocumentContainer& c, int64_t row) const {
+    if (sel == Sel::kAnyAttr || sel == Sel::kAnyNode) return true;
+    return sel == Sel::kNamedAttr && c.AttrQn(row) == qn;
+  }
+
+  /// True when the test selects elements with one specific tag — the case
+  /// the nametest-pushdown variant (paper §3.2) accelerates via the element
+  /// name index.
+  bool is_named_elem() const { return sel == Sel::kNamedElem; }
+};
+
+/// \brief Instrumentation counters: the paper's claim is that staircase join
+/// touches at most |result| + |context| document slots (§2, §3).
+struct ScanStats {
+  int64_t slots_touched = 0;    // document slots inspected
+  int64_t contexts_pruned = 0;  // context nodes removed by pruning
+  int64_t results = 0;          // result tuples emitted
+
+  void Reset() { *this = ScanStats{}; }
+};
+
+}  // namespace mxq
+
+#endif  // MXQ_STAIRCASE_AXIS_H_

@@ -1,0 +1,630 @@
+#include "staircase/loop_lifted.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "staircase/staircase.h"
+
+namespace mxq {
+
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+
+inline void Touch(ScanStats* stats, int64_t n = 1) {
+  if (stats) stats->slots_touched += n;
+}
+inline void Pruned(ScanStats* stats, int64_t n = 1) {
+  if (stats) stats->contexts_pruned += n;
+}
+
+using Pairs = std::vector<std::pair<int64_t, int64_t>>;  // (node, iter)
+
+void SortUniqueInto(Pairs* acc, LLStepResult* out) {
+  std::sort(acc->begin(), acc->end());
+  acc->erase(std::unique(acc->begin(), acc->end()), acc->end());
+  out->iter.reserve(acc->size());
+  out->node.reserve(acc->size());
+  for (auto& [node, iter] : *acc) {
+    out->iter.push_back(iter);
+    out->node.push_back(node);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// child — the paper's Figure 6, verbatim structure
+// ---------------------------------------------------------------------------
+
+void LLChild(const DocumentContainer& doc, std::span<const int64_t> iters,
+             std::span<const int64_t> pres, const NodeTest& test,
+             ScanStats* stats, LLStepResult* out) {
+  struct Active {
+    int64_t eos;      // end of the context's subtree range
+    int64_t nxt_chld; // next candidate child slot
+    size_t fst_iter;  // first ctx row of this context node
+    size_t lst_iter;  // last ctx row of this context node
+  };
+  std::vector<Active> active;
+  size_t nxt_ctx = 0;
+  const size_t n = pres.size();
+
+  // push_ctx (Fig 6): groups all iterations of the context node at nxt_ctx.
+  auto push_ctx = [&]() {
+    int64_t cur = pres[nxt_ctx];
+    Active a{cur + doc.SizeAt(cur), cur + 1, nxt_ctx, nxt_ctx};
+    while (nxt_ctx < n && pres[nxt_ctx] == cur) ++nxt_ctx;
+    a.lst_iter = nxt_ctx - 1;
+    active.push_back(a);
+  };
+
+  // inner_loop_child (Fig 6): produce children of the top context up to
+  // `eos_arg`, skipping grandchild subtrees (v += size(v)+1).
+  auto inner_loop_child = [&](int64_t eos_arg) {
+    Active& top = active.back();
+    int64_t v = top.nxt_chld;
+    while (v <= eos_arg) {
+      Touch(stats);
+      if (doc.IsUnused(v)) {
+        v += doc.SizeAt(v) + 1;
+        continue;
+      }
+      if (test.Matches(doc, v)) {
+        for (size_t k = top.fst_iter; k <= top.lst_iter; ++k) {
+          out->iter.push_back(iters[k]);
+          out->node.push_back(v);
+        }
+      }
+      v += doc.SizeAt(v) + 1;
+    }
+    top.nxt_chld = v;
+  };
+
+  while (nxt_ctx < n) {
+    if (active.empty()) {
+      push_ctx();                                    // 1©
+    } else if (active.back().eos >= pres[nxt_ctx]) {
+      inner_loop_child(pres[nxt_ctx]);               // 2©
+      push_ctx();                                    // 3©
+    } else {
+      inner_loop_child(active.back().eos);           // 4©
+      active.pop_back();                             // 5©
+    }
+  }
+  while (!active.empty()) {
+    inner_loop_child(active.back().eos);             // 6©
+    active.pop_back();                               // 7©
+  }
+}
+
+// ---------------------------------------------------------------------------
+// descendant / descendant-or-self
+// ---------------------------------------------------------------------------
+
+// Stack of active contexts; at most one active context per iter (per-iter
+// pruning). All stack entries are nested, so every slot inside the top
+// entry's range is a descendant of every active context; emission per slot
+// is simply "all active iters".
+void LLDescendant(const DocumentContainer& doc, std::span<const int64_t> iters,
+                  std::span<const int64_t> pres, const NodeTest& test,
+                  bool or_self, ScanStats* stats, LLStepResult* out) {
+  struct Entry {
+    int64_t eos;
+    std::vector<int64_t> added;  // iters this entry activated
+  };
+  std::vector<Entry> stack;
+  std::set<int64_t> active;
+  size_t i = 0;
+  const size_t n = pres.size();
+  int64_t p = 0;
+
+  auto emit_for = [&](int64_t node, const auto& iter_range) {
+    for (int64_t it : iter_range) {
+      out->iter.push_back(it);
+      out->node.push_back(node);
+    }
+  };
+
+  while (true) {
+    if (stack.empty()) {
+      if (i >= n) break;
+      p = pres[i];  // skipping: jump straight to the next context node
+    }
+    // Deactivate finished contexts.
+    while (!stack.empty() && stack.back().eos < p) {
+      for (int64_t it : stack.back().added) active.erase(it);
+      stack.pop_back();
+    }
+    if (stack.empty() && (i >= n || pres[i] != p)) continue;
+
+    if (i < n && pres[i] == p) {
+      // Context group starts at p. Gather its new iters (per-iter pruning).
+      Touch(stats);
+      std::vector<int64_t> added;
+      while (i < n && pres[i] == p) {
+        if (active.count(iters[i]))
+          Pruned(stats);
+        else
+          added.push_back(iters[i]);
+        ++i;
+      }
+      bool match = test.Matches(doc, p);
+      if (match) {
+        if (or_self) {
+          // p is a self-result for its own (new) iters and a descendant
+          // result for already-active iters: merge for iter order.
+          std::vector<int64_t> merged;
+          std::merge(active.begin(), active.end(), added.begin(), added.end(),
+                     std::back_inserter(merged));
+          emit_for(p, merged);
+        } else {
+          emit_for(p, active);
+        }
+      }
+      if (!added.empty()) {
+        for (int64_t it : added) active.insert(it);
+        stack.push_back({p + doc.SizeAt(p), std::move(added)});
+      }
+      ++p;
+      continue;
+    }
+
+    Touch(stats);
+    if (doc.IsUnused(p)) {
+      p += doc.SizeAt(p) + 1;
+      continue;
+    }
+    if (test.Matches(doc, p)) emit_for(p, active);
+    ++p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// path-stack walker shared by ancestor / parent / siblings
+// ---------------------------------------------------------------------------
+
+class PathWalker {
+ public:
+  PathWalker(const DocumentContainer& doc, ScanStats* stats)
+      : doc_(doc), stats_(stats) {}
+
+  void AdvanceTo(int64_t c) {
+    while (!stack_.empty() && stack_.back().end < c) stack_.pop_back();
+    while (p_ < c) {
+      Touch(stats_);
+      int64_t sz = doc_.SizeAt(p_);
+      if (!doc_.IsUnused(p_) && p_ + sz >= c) {
+        stack_.push_back({p_, p_ + sz});
+        ++p_;
+      } else {
+        p_ += sz + 1;
+      }
+    }
+  }
+
+  struct Entry {
+    int64_t pre;
+    int64_t end;
+  };
+  const std::vector<Entry>& stack() const { return stack_; }
+
+ private:
+  const DocumentContainer& doc_;
+  ScanStats* stats_;
+  std::vector<Entry> stack_;
+  int64_t p_ = 0;
+};
+
+// Per-iter partitioning: for iter i, ancestors at or before the previous
+// context of that same iter were already emitted for it.
+void LLAncestor(const DocumentContainer& doc, std::span<const int64_t> iters,
+                std::span<const int64_t> pres, const NodeTest& test,
+                bool or_self, ScanStats* stats, LLStepResult* out) {
+  PathWalker walk(doc, stats);
+  std::unordered_map<int64_t, int64_t> last;  // iter -> previous context pre
+  Pairs acc;
+  size_t i = 0;
+  const size_t n = pres.size();
+  while (i < n) {
+    int64_t c = pres[i];
+    size_t fst = i;
+    while (i < n && pres[i] == c) ++i;
+    walk.AdvanceTo(c);
+    for (const auto& a : walk.stack()) {
+      if (!test.Matches(doc, a.pre)) continue;
+      for (size_t k = fst; k < i; ++k) {
+        auto f = last.find(iters[k]);
+        // ">=": the previous context of this iter may itself be an ancestor
+        // of c and has not been emitted for the iter yet.
+        if (f == last.end() || a.pre >= f->second)
+          acc.emplace_back(a.pre, iters[k]);
+      }
+    }
+    if (or_self && test.Matches(doc, c))
+      for (size_t k = fst; k < i; ++k) acc.emplace_back(c, iters[k]);
+    for (size_t k = fst; k < i; ++k) last[iters[k]] = c;
+  }
+  SortUniqueInto(&acc, out);
+}
+
+void LLParent(const DocumentContainer& doc, std::span<const int64_t> iters,
+              std::span<const int64_t> pres, const NodeTest& test,
+              ScanStats* stats, LLStepResult* out) {
+  PathWalker walk(doc, stats);
+  Pairs acc;
+  size_t i = 0;
+  const size_t n = pres.size();
+  while (i < n) {
+    int64_t c = pres[i];
+    size_t fst = i;
+    while (i < n && pres[i] == c) ++i;
+    walk.AdvanceTo(c);
+    if (walk.stack().empty()) continue;
+    int64_t par = walk.stack().back().pre;
+    if (!test.Matches(doc, par)) continue;
+    for (size_t k = fst; k < i; ++k) acc.emplace_back(par, iters[k]);
+  }
+  SortUniqueInto(&acc, out);
+}
+
+void LLSiblings(const DocumentContainer& doc, std::span<const int64_t> iters,
+                std::span<const int64_t> pres, const NodeTest& test,
+                bool following, ScanStats* stats, LLStepResult* out) {
+  PathWalker walk(doc, stats);
+  Pairs acc;
+  size_t i = 0;
+  const size_t n = pres.size();
+  while (i < n) {
+    int64_t c = pres[i];
+    size_t fst = i;
+    while (i < n && pres[i] == c) ++i;
+    walk.AdvanceTo(c);
+    if (walk.stack().empty()) continue;  // fragment root: no siblings
+    int64_t par = walk.stack().back().pre;
+    int64_t par_end = walk.stack().back().end;
+    int64_t from = following ? c + doc.SizeAt(c) + 1 : par + 1;
+    int64_t to = following ? par_end : c - 1;
+    for (int64_t s = from; s <= to;) {
+      Touch(stats);
+      if (!doc.IsUnused(s) && test.Matches(doc, s))
+        for (size_t k = fst; k < i; ++k) acc.emplace_back(s, iters[k]);
+      s += doc.SizeAt(s) + 1;
+    }
+  }
+  SortUniqueInto(&acc, out);
+}
+
+// ---------------------------------------------------------------------------
+// following / preceding
+// ---------------------------------------------------------------------------
+
+void LLFollowing(const DocumentContainer& doc, std::span<const int64_t> iters,
+                 std::span<const int64_t> pres, const NodeTest& test,
+                 ScanStats* stats, LLStepResult* out) {
+  auto frags = FragmentRanges(doc);
+  size_t i = 0;
+  const size_t n = pres.size();
+  for (auto [root, end] : frags) {
+    // Per-iter pruning: within a fragment an iter's following regions are
+    // nested; only the minimal subtree end matters.
+    std::unordered_map<int64_t, int64_t> min_end;
+    while (i < n && pres[i] <= end) {
+      int64_t e = pres[i] + doc.SizeAt(pres[i]);
+      auto [f, inserted] = min_end.try_emplace(iters[i], e);
+      if (!inserted) {
+        Pruned(stats);
+        f->second = std::min(f->second, e);
+      }
+      ++i;
+    }
+    if (min_end.empty()) continue;
+    // Partition along pre (Fig 2): iters activate as p passes their region
+    // start.
+    std::vector<std::pair<int64_t, int64_t>> ev(min_end.begin(),
+                                                min_end.end());
+    for (auto& [it, e] : ev) std::swap(it, e);  // -> (end, iter)
+    std::sort(ev.begin(), ev.end());
+    std::set<int64_t> act;
+    size_t e_idx = 0;
+    for (int64_t p = ev[0].first + 1; p <= end;) {
+      while (e_idx < ev.size() && ev[e_idx].first < p)
+        act.insert(ev[e_idx++].second);
+      Touch(stats);
+      if (doc.IsUnused(p)) {
+        p += doc.SizeAt(p) + 1;
+        continue;
+      }
+      if (test.Matches(doc, p))
+        for (int64_t it : act) {
+          out->iter.push_back(it);
+          out->node.push_back(p);
+        }
+      ++p;
+    }
+  }
+}
+
+void LLPreceding(const DocumentContainer& doc, std::span<const int64_t> iters,
+                 std::span<const int64_t> pres, const NodeTest& test,
+                 ScanStats* stats, LLStepResult* out) {
+  auto frags = FragmentRanges(doc);
+  size_t i = 0;
+  const size_t n = pres.size();
+  std::vector<int64_t> emit_iters;
+  for (auto [root, end] : frags) {
+    // Per-iter pruning: keep the maximal context of each iter.
+    std::unordered_map<int64_t, int64_t> max_start;
+    while (i < n && pres[i] <= end) {
+      auto [f, inserted] = max_start.try_emplace(iters[i], pres[i]);
+      if (!inserted) {
+        Pruned(stats);
+        f->second = std::max(f->second, pres[i]);
+      }
+      ++i;
+    }
+    if (max_start.empty()) continue;
+    // (start, iter) sorted by start; iters deactivate as p reaches their
+    // context, and are excluded per slot while the slot's subtree still
+    // contains their context (ancestor exclusion).
+    std::vector<std::pair<int64_t, int64_t>> sv(max_start.begin(),
+                                                max_start.end());
+    for (auto& [it, s] : sv) std::swap(it, s);  // -> (start, iter)
+    std::sort(sv.begin(), sv.end());
+    int64_t max_s = sv.back().first;
+    size_t head = 0;
+    for (int64_t p = root; p < max_s; ++p) {
+      while (head < sv.size() && sv[head].first <= p) ++head;
+      Touch(stats);
+      if (doc.IsUnused(p)) {
+        p += doc.SizeAt(p);  // +1 from the loop increment
+        continue;
+      }
+      if (!test.Matches(doc, p)) continue;
+      // Exclude iters whose context lies inside p's subtree.
+      int64_t p_end = p + doc.SizeAt(p);
+      auto cut = std::upper_bound(
+          sv.begin() + head, sv.end(), p_end,
+          [](int64_t key, const auto& e) { return key < e.first; });
+      emit_iters.clear();
+      for (auto it = cut; it != sv.end(); ++it)
+        emit_iters.push_back(it->second);
+      std::sort(emit_iters.begin(), emit_iters.end());
+      for (int64_t it : emit_iters) {
+        out->iter.push_back(it);
+        out->node.push_back(p);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// self / attribute
+// ---------------------------------------------------------------------------
+
+void LLSelf(const DocumentContainer& doc, std::span<const int64_t> iters,
+            std::span<const int64_t> pres, const NodeTest& test,
+            ScanStats* stats, LLStepResult* out) {
+  for (size_t k = 0; k < pres.size(); ++k) {
+    Touch(stats);
+    if (test.Matches(doc, pres[k])) {
+      out->iter.push_back(iters[k]);
+      out->node.push_back(pres[k]);
+    }
+  }
+}
+
+void LLAttribute(const DocumentContainer& doc, std::span<const int64_t> iters,
+                 std::span<const int64_t> pres, const NodeTest& test,
+                 ScanStats* stats, LLStepResult* out) {
+  std::vector<int64_t> rows;
+  size_t i = 0;
+  const size_t n = pres.size();
+  while (i < n) {
+    int64_t c = pres[i];
+    size_t fst = i;
+    while (i < n && pres[i] == c) ++i;
+    Touch(stats);
+    doc.AttrsOf(c, &rows);
+    for (int64_t row : rows) {
+      if (!test.MatchesAttr(doc, row)) continue;
+      for (size_t k = fst; k < i; ++k) {
+        out->iter.push_back(iters[k]);
+        out->node.push_back(row);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LLStepResult LoopLiftedStaircase(const DocumentContainer& doc, Axis axis,
+                                 std::span<const int64_t> ctx_iter,
+                                 std::span<const int64_t> ctx_pre,
+                                 const NodeTest& test, ScanStats* stats) {
+  LLStepResult out;
+  if (ctx_pre.empty()) return out;
+  assert(ctx_iter.size() == ctx_pre.size());
+  switch (axis) {
+    case Axis::kChild:
+      LLChild(doc, ctx_iter, ctx_pre, test, stats, &out);
+      break;
+    case Axis::kDescendant:
+      LLDescendant(doc, ctx_iter, ctx_pre, test, false, stats, &out);
+      break;
+    case Axis::kDescendantOrSelf:
+      LLDescendant(doc, ctx_iter, ctx_pre, test, true, stats, &out);
+      break;
+    case Axis::kAncestor:
+      LLAncestor(doc, ctx_iter, ctx_pre, test, false, stats, &out);
+      break;
+    case Axis::kAncestorOrSelf:
+      LLAncestor(doc, ctx_iter, ctx_pre, test, true, stats, &out);
+      break;
+    case Axis::kParent:
+      LLParent(doc, ctx_iter, ctx_pre, test, stats, &out);
+      break;
+    case Axis::kFollowing:
+      LLFollowing(doc, ctx_iter, ctx_pre, test, stats, &out);
+      break;
+    case Axis::kPreceding:
+      LLPreceding(doc, ctx_iter, ctx_pre, test, stats, &out);
+      break;
+    case Axis::kFollowingSibling:
+      LLSiblings(doc, ctx_iter, ctx_pre, test, true, stats, &out);
+      break;
+    case Axis::kPrecedingSibling:
+      LLSiblings(doc, ctx_iter, ctx_pre, test, false, stats, &out);
+      break;
+    case Axis::kSelf:
+      LLSelf(doc, ctx_iter, ctx_pre, test, stats, &out);
+      break;
+    case Axis::kAttribute:
+      LLAttribute(doc, ctx_iter, ctx_pre, test, stats, &out);
+      break;
+  }
+  if (stats) stats->results += static_cast<int64_t>(out.node.size());
+  return out;
+}
+
+LLStepResult IterativeStaircase(const DocumentContainer& doc, Axis axis,
+                                std::span<const int64_t> ctx_iter,
+                                std::span<const int64_t> ctx_pre,
+                                const NodeTest& test, ScanStats* stats) {
+  // Regroup the (pre, iter)-sorted input by iteration: per iter the pres are
+  // already in document order.
+  std::unordered_map<int64_t, std::vector<int64_t>> per_iter;
+  std::vector<int64_t> iter_order;
+  for (size_t k = 0; k < ctx_pre.size(); ++k) {
+    auto [f, inserted] = per_iter.try_emplace(ctx_iter[k]);
+    if (inserted) iter_order.push_back(ctx_iter[k]);
+    f->second.push_back(ctx_pre[k]);
+  }
+  std::sort(iter_order.begin(), iter_order.end());
+
+  Pairs acc;
+  for (int64_t it : iter_order) {
+    // One full staircase-join invocation per iteration — the repetitive
+    // scans Figure 12 quantifies.
+    std::vector<int64_t> res =
+        StaircaseJoin(doc, axis, per_iter[it], test, stats);
+    for (int64_t v : res) acc.emplace_back(v, it);
+  }
+  LLStepResult out;
+  std::sort(acc.begin(), acc.end());
+  out.iter.reserve(acc.size());
+  out.node.reserve(acc.size());
+  for (auto& [node, it] : acc) {
+    out.iter.push_back(it);
+    out.node.push_back(node);
+  }
+  if (stats) stats->results += static_cast<int64_t>(out.node.size());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown (paper §3.2)
+// ---------------------------------------------------------------------------
+
+LLStepResult LoopLiftedStaircaseCandidates(const DocumentContainer& doc,
+                                           Axis axis,
+                                           std::span<const int64_t> ctx_iter,
+                                           std::span<const int64_t> ctx_pre,
+                                           std::span<const int64_t> candidates,
+                                           ScanStats* stats) {
+  LLStepResult out;
+  if (ctx_pre.empty() || candidates.empty()) return out;
+  const size_t n = ctx_pre.size();
+
+  if (axis == Axis::kChild) {
+    // For each context, binary-search its candidate range and filter by
+    // level: v in (c, c+size(c)] is a child iff level(v) == level(c)+1.
+    Pairs acc;
+    size_t i = 0;
+    while (i < n) {
+      int64_t c = ctx_pre[i];
+      size_t fst = i;
+      while (i < n && ctx_pre[i] == c) ++i;
+      Touch(stats);
+      int64_t eos = c + doc.SizeAt(c);
+      auto lo = std::upper_bound(candidates.begin(), candidates.end(), c);
+      int32_t child_level = doc.LevelAt(c) + 1;
+      for (; lo != candidates.end() && *lo <= eos; ++lo) {
+        Touch(stats);
+        if (doc.LevelAt(*lo) != child_level) continue;
+        for (size_t k = fst; k < i; ++k) acc.emplace_back(*lo, ctx_iter[k]);
+      }
+    }
+    SortUniqueInto(&acc, &out);
+    if (stats) stats->results += static_cast<int64_t>(out.node.size());
+    return out;
+  }
+
+  assert(axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf);
+  const bool or_self = axis == Axis::kDescendantOrSelf;
+
+  struct Entry {
+    int64_t eos;
+    std::vector<int64_t> added;
+  };
+  std::vector<Entry> stack;
+  std::set<int64_t> active;
+  size_t i = 0;  // context cursor
+  size_t j = 0;  // candidate cursor
+
+  // Activates every context group with pre <= v.
+  auto push_groups_upto = [&](int64_t v) {
+    while (i < n && ctx_pre[i] <= v) {
+      int64_t c = ctx_pre[i];
+      while (!stack.empty() && stack.back().eos < c) {
+        for (int64_t it : stack.back().added) active.erase(it);
+        stack.pop_back();
+      }
+      Touch(stats);
+      std::vector<int64_t> added;
+      while (i < n && ctx_pre[i] == c) {
+        if (active.count(ctx_iter[i]))
+          Pruned(stats);
+        else
+          added.push_back(ctx_iter[i]);
+        ++i;
+      }
+      if (!added.empty()) {
+        for (int64_t it : added) active.insert(it);
+        stack.push_back({c + doc.SizeAt(c), std::move(added)});
+      }
+    }
+  };
+
+  while (j < candidates.size()) {
+    int64_t v = candidates[j];
+    // or-self counts a context that is itself a candidate; plain descendant
+    // activates contexts at v only after emitting v.
+    push_groups_upto(or_self ? v : v - 1);
+    while (!stack.empty() && stack.back().eos < v) {
+      for (int64_t it : stack.back().added) active.erase(it);
+      stack.pop_back();
+    }
+    if (stack.empty()) {
+      if (i >= n) break;  // no active region can cover later candidates
+      // Skipping: jump the candidate cursor to the next context region.
+      int64_t next_ctx = ctx_pre[i];
+      j = std::lower_bound(candidates.begin() + j, candidates.end(),
+                           or_self ? next_ctx : next_ctx + 1) -
+          candidates.begin();
+      continue;
+    }
+    Touch(stats);
+    for (int64_t it : active) {
+      out.iter.push_back(it);
+      out.node.push_back(v);
+    }
+    push_groups_upto(v);  // contexts exactly at v (plain descendant case)
+    ++j;
+  }
+  if (stats) stats->results += static_cast<int64_t>(out.node.size());
+  return out;
+}
+
+}  // namespace mxq

@@ -1,0 +1,67 @@
+// Loop-lifted staircase join (paper §3, Figure 6).
+//
+// Evaluates one XPath location step for the context node sequences of *all*
+// iterations of an enclosing for-loop nest in a single sequential pass over
+// the document encoding, instead of one pass per iteration.
+//
+// Input: the relational encoding of n context sequences as (iter, pre)
+// pairs, sorted on (pre, iter) — context nodes in document order, with the
+// iterations of each context clustered (§3: the algorithm ignores pos).
+// Duplicate (iter, pre) pairs must have been removed.
+//
+// The three staircase techniques are lifted as described in §3:
+//   Pruning      applies per iteration: a context is pruned only when it is
+//                covered by another context *of the same iter*;
+//   Partitioning the algorithm keeps a stack of active contexts with at
+//                most one active context per iter;
+//   Skipping     unchanged; at most |result| + |context| slots are touched.
+//
+// Output: (iter, pre) result pairs (or (iter, attribute-row) pairs for the
+// attribute axis) in document order; nodes belonging to multiple iterations
+// appear in iteration order (clustered per node).
+
+#ifndef MXQ_STAIRCASE_LOOP_LIFTED_H_
+#define MXQ_STAIRCASE_LOOP_LIFTED_H_
+
+#include <span>
+#include <vector>
+
+#include "staircase/axis.h"
+
+namespace mxq {
+
+/// \brief Result of a loop-lifted step: parallel iter / node columns.
+struct LLStepResult {
+  std::vector<int64_t> iter;
+  std::vector<int64_t> node;  // pres, or attr rows for Axis::kAttribute
+};
+
+/// \brief Loop-lifted staircase join over all axes.
+LLStepResult LoopLiftedStaircase(const DocumentContainer& doc, Axis axis,
+                                 std::span<const int64_t> ctx_iter,
+                                 std::span<const int64_t> ctx_pre,
+                                 const NodeTest& test,
+                                 ScanStats* stats = nullptr);
+
+/// \brief Predicate-pushdown variant (paper §3.2): results are restricted to
+/// a candidate node list (document order), typically from the element-name
+/// index. Supports the child and descendant(-or-self) axes; skips context
+/// work that cannot reach any candidate.
+LLStepResult LoopLiftedStaircaseCandidates(const DocumentContainer& doc,
+                                           Axis axis,
+                                           std::span<const int64_t> ctx_iter,
+                                           std::span<const int64_t> ctx_pre,
+                                           std::span<const int64_t> candidates,
+                                           ScanStats* stats = nullptr);
+
+/// \brief The "iterative" reference strategy of Figure 12: plain staircase
+/// join invoked once per iteration (one pass over the document per iter).
+LLStepResult IterativeStaircase(const DocumentContainer& doc, Axis axis,
+                                std::span<const int64_t> ctx_iter,
+                                std::span<const int64_t> ctx_pre,
+                                const NodeTest& test,
+                                ScanStats* stats = nullptr);
+
+}  // namespace mxq
+
+#endif  // MXQ_STAIRCASE_LOOP_LIFTED_H_

@@ -1,0 +1,71 @@
+#include "staircase/naive_axes.h"
+
+#include <algorithm>
+
+namespace mxq {
+
+bool OnAxisNaive(const DocumentContainer& doc, Axis axis, int64_t c,
+                 int64_t v) {
+  if (doc.IsUnused(v) || doc.IsUnused(c)) return false;
+  // All axes stay within the context node's fragment.
+  if (doc.FragAt(v) != doc.FragAt(c)) return false;
+  switch (axis) {
+    case Axis::kSelf:
+      return v == c;
+    case Axis::kChild:
+      return doc.ParentOf(v) == c;
+    case Axis::kDescendant:
+      return doc.IsAncestor(c, v);
+    case Axis::kDescendantOrSelf:
+      return v == c || doc.IsAncestor(c, v);
+    case Axis::kParent:
+      return doc.ParentOf(c) == v;
+    case Axis::kAncestor:
+      return doc.IsAncestor(v, c);
+    case Axis::kAncestorOrSelf:
+      return v == c || doc.IsAncestor(v, c);
+    case Axis::kFollowing:
+      return v > c + doc.SizeAt(c);
+    case Axis::kPreceding:
+      return v < c && !doc.IsAncestor(v, c);
+    case Axis::kFollowingSibling:
+      return v > c && doc.ParentOf(v) == doc.ParentOf(c) &&
+             doc.ParentOf(c) >= 0;
+    case Axis::kPrecedingSibling:
+      return v < c && doc.ParentOf(v) == doc.ParentOf(c) &&
+             doc.ParentOf(c) >= 0;
+    case Axis::kAttribute:
+      return false;  // handled separately
+  }
+  return false;
+}
+
+std::vector<int64_t> EvalAxisNaive(const DocumentContainer& doc, Axis axis,
+                                   std::span<const int64_t> ctx,
+                                   const NodeTest& test) {
+  std::vector<int64_t> out;
+  if (axis == Axis::kAttribute) {
+    std::vector<int64_t> rows;
+    for (int64_t c : ctx) {
+      doc.AttrsOf(c, &rows);
+      for (int64_t row : rows)
+        if (test.MatchesAttr(doc, row)) out.push_back(row);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  int64_t n = doc.LogicalSlots();
+  for (int64_t v = 0; v < n; ++v) {
+    if (doc.IsUnused(v) || !test.Matches(doc, v)) continue;
+    for (int64_t c : ctx) {
+      if (OnAxisNaive(doc, axis, c, v)) {
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+  return out;  // scan order == document order; `break` dedupes
+}
+
+}  // namespace mxq

@@ -1,0 +1,32 @@
+// Naive (quadratic) XPath axis evaluation — the differential-testing oracle.
+//
+// Evaluates an axis step by checking the axis predicate between every
+// document node and every context node, exactly following the XPath
+// definitions. Deliberately simple and slow; used to validate both staircase
+// join implementations and as the "no tree-aware join" lower baseline in the
+// staircase micro-benchmarks.
+
+#ifndef MXQ_STAIRCASE_NAIVE_AXES_H_
+#define MXQ_STAIRCASE_NAIVE_AXES_H_
+
+#include <span>
+#include <vector>
+
+#include "common/item.h"
+#include "staircase/axis.h"
+
+namespace mxq {
+
+/// True iff `v` is on `axis` of context node `c` (both pres of `doc`).
+bool OnAxisNaive(const DocumentContainer& doc, Axis axis, int64_t c,
+                 int64_t v);
+
+/// Result pres (document order, duplicate-free) of the step
+/// `ctx/axis::test`, computed naively. Attribute axis results are attr rows.
+std::vector<int64_t> EvalAxisNaive(const DocumentContainer& doc, Axis axis,
+                                   std::span<const int64_t> ctx,
+                                   const NodeTest& test);
+
+}  // namespace mxq
+
+#endif  // MXQ_STAIRCASE_NAIVE_AXES_H_

@@ -1,0 +1,397 @@
+#include "staircase/staircase.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mxq {
+
+namespace {
+
+inline void Touch(ScanStats* stats, int64_t n = 1) {
+  if (stats) stats->slots_touched += n;
+}
+inline void Pruned(ScanStats* stats, int64_t n = 1) {
+  if (stats) stats->contexts_pruned += n;
+}
+
+// ---------------------------------------------------------------------------
+// descendant / descendant-or-self
+// ---------------------------------------------------------------------------
+
+// Pruning: with ctx sorted, a context inside the previous kept context's
+// subtree region is covered (Fig 1). After pruning, descendant regions are
+// pairwise disjoint, so a plain region scan partitions trivially and we skip
+// straight from one region to the next (Fig 3).
+void Descendant(const DocumentContainer& doc, std::span<const int64_t> ctx,
+                const NodeTest& test, bool or_self, ScanStats* stats,
+                std::vector<int64_t>* out) {
+  int64_t kept_end = -1;
+  for (int64_t c : ctx) {
+    if (c <= kept_end) {  // covered: prune
+      Pruned(stats);
+      continue;
+    }
+    kept_end = c + doc.SizeAt(c);
+    Touch(stats);
+    if (or_self && test.Matches(doc, c)) out->push_back(c);
+    for (int64_t p = c + 1; p <= kept_end;) {
+      Touch(stats);
+      if (doc.IsUnused(p)) {
+        p += doc.SizeAt(p) + 1;
+        continue;
+      }
+      if (test.Matches(doc, p)) out->push_back(p);
+      ++p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// child
+// ---------------------------------------------------------------------------
+
+// Stack-based partitioning (the plain-set specialization of the paper's
+// Figure 6): contexts may be nested, so children of an outer context that
+// follow an inner context's subtree must be produced after the inner
+// context's children.
+void Child(const DocumentContainer& doc, std::span<const int64_t> ctx,
+           const NodeTest& test, ScanStats* stats,
+           std::vector<int64_t>* out) {
+  struct Active {
+    int64_t eos;      // last slot of the context's subtree
+    int64_t nxt;      // next candidate child slot
+  };
+  std::vector<Active> stack;
+
+  // Emits children of the top context up to slot `limit`, skipping over
+  // grandchild subtrees via size arithmetic.
+  auto inner_loop = [&](int64_t limit) {
+    Active& top = stack.back();
+    int64_t v = top.nxt;
+    while (v <= limit) {
+      Touch(stats);
+      if (doc.IsUnused(v)) {
+        v += doc.SizeAt(v) + 1;
+        continue;
+      }
+      if (test.Matches(doc, v)) out->push_back(v);
+      v += doc.SizeAt(v) + 1;
+    }
+    top.nxt = v;
+  };
+
+  size_t i = 0;
+  while (i < ctx.size()) {
+    int64_t c = ctx[i];
+    if (stack.empty()) {
+      stack.push_back({c + doc.SizeAt(c), c + 1});
+      ++i;
+    } else if (stack.back().eos >= c) {
+      // Next context is a descendant of the current one: produce the
+      // current context's children up to (including) the next context.
+      inner_loop(c);
+      stack.push_back({c + doc.SizeAt(c), c + 1});
+      ++i;
+    } else {
+      inner_loop(stack.back().eos);
+      stack.pop_back();
+    }
+  }
+  while (!stack.empty()) {
+    inner_loop(stack.back().eos);
+    stack.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ancestor / ancestor-or-self
+// ---------------------------------------------------------------------------
+
+// Forward scan with skipping. Partitioning: for context c_i, only ancestors
+// with pre > c_{i-1} are new — any ancestor at or before the previous
+// context is shared with it and was already emitted (Fig 1's pruning in
+// partition form). The result comes out in document order directly.
+void Ancestor(const DocumentContainer& doc, std::span<const int64_t> ctx,
+              const NodeTest& test, bool or_self, ScanStats* stats,
+              std::vector<int64_t>* out) {
+  int64_t prev = 0;
+  for (int64_t c : ctx) {
+    // The walk restarts at the previous context itself: that context may be
+    // an ancestor of c and was not emitted before (all other slots < prev
+    // that cover c also cover prev and were emitted in an earlier segment).
+    int64_t p = prev;
+    while (p < c) {
+      Touch(stats);
+      if (!doc.IsUnused(p) && p + doc.SizeAt(p) >= c) {
+        if (test.Matches(doc, p)) out->push_back(p);  // ancestor of c
+        ++p;
+      } else {
+        p += doc.SizeAt(p) + 1;  // subtree ends before c: skip it
+      }
+    }
+    if (or_self) {
+      Touch(stats);
+      if (test.Matches(doc, c)) out->push_back(c);
+    }
+    prev = c;
+  }
+  if (or_self) {
+    // Self hits may duplicate ancestors emitted later (a context that is an
+    // ancestor of a later context). Restore strict order + dedup.
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// following / preceding
+// ---------------------------------------------------------------------------
+
+void Following(const DocumentContainer& doc, std::span<const int64_t> ctx,
+               const NodeTest& test, ScanStats* stats,
+               std::vector<int64_t>* out) {
+  auto frags = FragmentRanges(doc);
+  size_t i = 0;
+  for (auto [root, end] : frags) {
+    // Pruning: within one fragment the context with the smallest subtree
+    // end covers all others — keep only it (Fig 2's regions are nested).
+    int64_t min_end = -1;
+    bool any = false;
+    while (i < ctx.size() && ctx[i] <= end) {
+      int64_t e = ctx[i] + doc.SizeAt(ctx[i]);
+      if (!any || e < min_end) min_end = e;
+      if (any) Pruned(stats);
+      any = true;
+      ++i;
+    }
+    if (!any) continue;
+    for (int64_t p = min_end + 1; p <= end;) {
+      Touch(stats);
+      if (doc.IsUnused(p)) {
+        p += doc.SizeAt(p) + 1;
+        continue;
+      }
+      if (test.Matches(doc, p)) out->push_back(p);
+      ++p;
+    }
+  }
+}
+
+void Preceding(const DocumentContainer& doc, std::span<const int64_t> ctx,
+               const NodeTest& test, ScanStats* stats,
+               std::vector<int64_t>* out) {
+  auto frags = FragmentRanges(doc);
+  size_t i = 0;
+  for (auto [root, end] : frags) {
+    // Pruning: the last context in the fragment covers all earlier ones
+    // (their preceding sets are subsets).
+    int64_t c_max = -1;
+    while (i < ctx.size() && ctx[i] <= end) {
+      if (c_max >= 0) Pruned(stats);
+      c_max = ctx[i];
+      ++i;
+    }
+    if (c_max < 0) continue;
+    for (int64_t p = root; p < c_max;) {
+      Touch(stats);
+      if (doc.IsUnused(p)) {
+        p += doc.SizeAt(p) + 1;
+        continue;
+      }
+      if (p + doc.SizeAt(p) >= c_max) {
+        ++p;  // ancestor of c_max: excluded, but descend into its subtree
+        continue;
+      }
+      if (test.Matches(doc, p)) out->push_back(p);
+      ++p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parent / siblings — share a lazily advanced path stack
+// ---------------------------------------------------------------------------
+
+// Maintains the ancestor path of an increasing sequence of target pres,
+// touching only slots between consecutive targets (with subtree skipping).
+class PathWalker {
+ public:
+  PathWalker(const DocumentContainer& doc, ScanStats* stats)
+      : doc_(doc), stats_(stats) {}
+
+  /// Advances to `c`; afterwards stack() holds all proper ancestors of `c`
+  /// in document order.
+  void AdvanceTo(int64_t c) {
+    while (!stack_.empty() && stack_.back().end < c) stack_.pop_back();
+    while (p_ < c) {
+      Touch(stats_);
+      int64_t sz = doc_.SizeAt(p_);
+      if (!doc_.IsUnused(p_) && p_ + sz >= c) {
+        stack_.push_back({p_, p_ + sz});
+        ++p_;
+      } else {
+        p_ += sz + 1;
+      }
+    }
+  }
+
+  struct Entry {
+    int64_t pre;
+    int64_t end;
+  };
+  const std::vector<Entry>& stack() const { return stack_; }
+
+ private:
+  const DocumentContainer& doc_;
+  ScanStats* stats_;
+  std::vector<Entry> stack_;
+  int64_t p_ = 0;
+};
+
+void Parent(const DocumentContainer& doc, std::span<const int64_t> ctx,
+            const NodeTest& test, ScanStats* stats,
+            std::vector<int64_t>* out) {
+  PathWalker walk(doc, stats);
+  for (int64_t c : ctx) {
+    walk.AdvanceTo(c);
+    if (!walk.stack().empty()) {
+      int64_t par = walk.stack().back().pre;
+      if (test.Matches(doc, par)) out->push_back(par);
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void Siblings(const DocumentContainer& doc, std::span<const int64_t> ctx,
+              const NodeTest& test, bool following, ScanStats* stats,
+              std::vector<int64_t>* out) {
+  PathWalker walk(doc, stats);
+  int64_t prev_parent = -2;
+  for (int64_t c : ctx) {
+    walk.AdvanceTo(c);
+    if (walk.stack().empty()) continue;  // fragment roots have no siblings
+    int64_t par = walk.stack().back().pre;
+    int64_t par_end = walk.stack().back().end;
+    if (following) {
+      // Pruning: a later same-parent context's following-siblings are a
+      // subset of the first one's.
+      if (par == prev_parent) {
+        Pruned(stats);
+        continue;
+      }
+      prev_parent = par;
+      for (int64_t s = c + doc.SizeAt(c) + 1; s <= par_end;) {
+        Touch(stats);
+        if (!doc.IsUnused(s) && test.Matches(doc, s)) out->push_back(s);
+        s += doc.SizeAt(s) + 1;
+      }
+    } else {
+      // preceding-sibling: siblings in [par+1, c). (The *last* same-parent
+      // context covers the earlier ones, but contexts arrive in document
+      // order, so we emit per context and dedup below.)
+      for (int64_t s = par + 1; s < c;) {
+        Touch(stats);
+        if (!doc.IsUnused(s) && test.Matches(doc, s)) out->push_back(s);
+        s += doc.SizeAt(s) + 1;
+      }
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace
+
+std::vector<std::pair<int64_t, int64_t>> FragmentRanges(
+    const DocumentContainer& doc) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  int64_t n = doc.LogicalSlots();
+  for (int64_t p = 0; p < n;) {
+    if (doc.IsUnused(p)) {
+      p += doc.SizeAt(p) + 1;
+      continue;
+    }
+    out.emplace_back(p, p + doc.SizeAt(p));
+    p += doc.SizeAt(p) + 1;
+  }
+  return out;
+}
+
+std::vector<int64_t> StaircaseJoin(const DocumentContainer& doc, Axis axis,
+                                   std::span<const int64_t> ctx,
+                                   const NodeTest& test, ScanStats* stats) {
+  std::vector<int64_t> out;
+  if (ctx.empty()) return out;
+  assert(std::is_sorted(ctx.begin(), ctx.end()));
+  switch (axis) {
+    case Axis::kDescendant:
+      Descendant(doc, ctx, test, /*or_self=*/false, stats, &out);
+      break;
+    case Axis::kDescendantOrSelf:
+      Descendant(doc, ctx, test, /*or_self=*/true, stats, &out);
+      break;
+    case Axis::kChild:
+      Child(doc, ctx, test, stats, &out);
+      break;
+    case Axis::kAncestor:
+      Ancestor(doc, ctx, test, /*or_self=*/false, stats, &out);
+      break;
+    case Axis::kAncestorOrSelf:
+      Ancestor(doc, ctx, test, /*or_self=*/true, stats, &out);
+      break;
+    case Axis::kFollowing:
+      Following(doc, ctx, test, stats, &out);
+      break;
+    case Axis::kPreceding:
+      Preceding(doc, ctx, test, stats, &out);
+      break;
+    case Axis::kParent:
+      Parent(doc, ctx, test, stats, &out);
+      break;
+    case Axis::kFollowingSibling:
+      Siblings(doc, ctx, test, /*following=*/true, stats, &out);
+      break;
+    case Axis::kPrecedingSibling:
+      Siblings(doc, ctx, test, /*following=*/false, stats, &out);
+      break;
+    case Axis::kSelf:
+      for (int64_t c : ctx) {
+        Touch(stats);
+        if (test.Matches(doc, c)) out.push_back(c);
+      }
+      break;
+    case Axis::kAttribute: {
+      std::vector<int64_t> rows;
+      for (int64_t c : ctx) {
+        Touch(stats);
+        doc.AttrsOf(c, &rows);
+        for (int64_t row : rows)
+          if (test.MatchesAttr(doc, row)) out.push_back(row);
+      }
+      break;
+    }
+  }
+  if (stats) stats->results += static_cast<int64_t>(out.size());
+  return out;
+}
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return "child";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kDescendantOrSelf: return "descendant-or-self";
+    case Axis::kSelf: return "self";
+    case Axis::kAttribute: return "attribute";
+    case Axis::kParent: return "parent";
+    case Axis::kAncestor: return "ancestor";
+    case Axis::kAncestorOrSelf: return "ancestor-or-self";
+    case Axis::kFollowing: return "following";
+    case Axis::kPreceding: return "preceding";
+    case Axis::kFollowingSibling: return "following-sibling";
+    case Axis::kPrecedingSibling: return "preceding-sibling";
+  }
+  return "?";
+}
+
+}  // namespace mxq

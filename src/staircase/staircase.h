@@ -1,0 +1,46 @@
+// Plain staircase join (Grust et al. [18,19]; paper §2).
+//
+// Evaluates one XPath location step for a *set* of context nodes in a single
+// sequential pass over the pre|size|level table, using the three tree-aware
+// techniques the paper illustrates in Figures 1-3:
+//
+//   Pruning      drop context nodes whose result region is covered by
+//                another context node's region (Fig 1),
+//   Partitioning cut overlapping regions along the pre axis so every result
+//                node is generated exactly once (Fig 2),
+//   Skipping     jump over document regions that cannot contain results,
+//                using the subtree-size arithmetic of the encoding (Fig 3).
+//
+// Results are emitted in document order, duplicate-free, with the node test
+// applied during the scan ("early nametest"). The ScanStats counters
+// substantiate the paper's bound: slots touched <= |result| + |context|
+// (for node() tests on the four major axes).
+
+#ifndef MXQ_STAIRCASE_STAIRCASE_H_
+#define MXQ_STAIRCASE_STAIRCASE_H_
+
+#include <span>
+#include <vector>
+
+#include "staircase/axis.h"
+
+namespace mxq {
+
+/// \brief Evaluates `ctx/axis::test` with plain staircase join.
+///
+/// `ctx` must be sorted ascending and duplicate-free (document order). The
+/// result contains pres (or attribute rows for Axis::kAttribute), in
+/// document order, duplicate-free.
+std::vector<int64_t> StaircaseJoin(const DocumentContainer& doc, Axis axis,
+                                   std::span<const int64_t> ctx,
+                                   const NodeTest& test,
+                                   ScanStats* stats = nullptr);
+
+/// \brief Top-level fragment ranges [root, root+size] of a container, in
+/// document order. Used to bound following/preceding scans per fragment.
+std::vector<std::pair<int64_t, int64_t>> FragmentRanges(
+    const DocumentContainer& doc);
+
+}  // namespace mxq
+
+#endif  // MXQ_STAIRCASE_STAIRCASE_H_

@@ -1,0 +1,97 @@
+// Fixed-width columns, the unit of storage and exchange in the engine.
+//
+// Mirrors MonetDB's BAT discipline: every column is a contiguous fixed-width
+// array, either 64-bit integers (iter, pos, pre, rids, ...) or polymorphic
+// Items (the `item` columns of the XQuery sequence encoding). Columns are
+// immutable once published inside a Table and shared by shared_ptr, so
+// projections and renames are O(1).
+
+#ifndef MXQ_STORAGE_COLUMN_H_
+#define MXQ_STORAGE_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/item.h"
+
+namespace mxq {
+
+enum class ColType : uint8_t { kI64, kItem };
+
+/// \brief A single fixed-width column.
+class Column {
+ public:
+  explicit Column(ColType type) : type_(type) {}
+
+  static std::shared_ptr<Column> MakeI64(std::vector<int64_t> v = {}) {
+    auto c = std::make_shared<Column>(ColType::kI64);
+    c->i64_ = std::move(v);
+    return c;
+  }
+  static std::shared_ptr<Column> MakeItem(std::vector<Item> v = {}) {
+    auto c = std::make_shared<Column>(ColType::kItem);
+    c->items_ = std::move(v);
+    return c;
+  }
+
+  ColType type() const { return type_; }
+  bool is_i64() const { return type_ == ColType::kI64; }
+  bool is_item() const { return type_ == ColType::kItem; }
+
+  size_t size() const { return is_i64() ? i64_.size() : items_.size(); }
+
+  // Typed access. Callers must respect type().
+  std::vector<int64_t>& i64() {
+    assert(is_i64());
+    return i64_;
+  }
+  const std::vector<int64_t>& i64() const {
+    assert(is_i64());
+    return i64_;
+  }
+  std::vector<Item>& items() {
+    assert(is_item());
+    return items_;
+  }
+  const std::vector<Item>& items() const {
+    assert(is_item());
+    return items_;
+  }
+
+  /// Scalar read that works for both types: for kI64 returns an Int item.
+  Item GetItem(size_t row) const {
+    return is_i64() ? Item::Int(i64_[row]) : items_[row];
+  }
+  /// Scalar read as int64; for kItem columns requires an integer-payload item.
+  int64_t GetI64(size_t row) const {
+    return is_i64() ? i64_[row] : items_[row].i;
+  }
+
+  void Reserve(size_t n) {
+    if (is_i64())
+      i64_.reserve(n);
+    else
+      items_.reserve(n);
+  }
+
+  /// Deep copy (for the rare mutating consumers).
+  std::shared_ptr<Column> Clone() const {
+    auto c = std::make_shared<Column>(type_);
+    c->i64_ = i64_;
+    c->items_ = items_;
+    return c;
+  }
+
+ private:
+  ColType type_;
+  std::vector<int64_t> i64_;
+  std::vector<Item> items_;
+};
+
+using ColumnPtr = std::shared_ptr<Column>;
+
+}  // namespace mxq
+
+#endif  // MXQ_STORAGE_COLUMN_H_

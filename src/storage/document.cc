@@ -1,0 +1,360 @@
+#include "storage/document.h"
+
+#include <algorithm>
+
+namespace mxq {
+
+// ---------------------------------------------------------------------------
+// DocumentContainer: mutation
+// ---------------------------------------------------------------------------
+
+int64_t DocumentContainer::AppendSlot(NodeKind kind, int64_t ref,
+                                      int32_t level, int32_t frag,
+                                      int64_t size) {
+  size_.push_back(size);
+  level_.push_back(level);
+  kind_.push_back(kind);
+  ref_.push_back(ref);
+  frag_.push_back(frag);
+  if (kind != NodeKind::kUnused) ++node_count_;
+  return static_cast<int64_t>(size_.size()) - 1;
+}
+
+void DocumentContainer::SetKind(int64_t rid, NodeKind kind) {
+  if (kind_[rid] == NodeKind::kUnused && kind != NodeKind::kUnused)
+    ++node_count_;
+  if (kind_[rid] != NodeKind::kUnused && kind == NodeKind::kUnused)
+    --node_count_;
+  kind_[rid] = kind;
+}
+
+int64_t DocumentContainer::AppendAttr(int64_t owner_rid, StrId qn,
+                                      StrId value) {
+  if (!attr_owner_.empty() && owner_rid < attr_owner_.back()) {
+    attr_appended_in_order_ = false;
+    attr_owner_sorted_ = false;
+  }
+  attr_owner_.push_back(owner_rid);
+  attr_qn_.push_back(qn);
+  attr_val_.push_back(value);
+  return static_cast<int64_t>(attr_owner_.size()) - 1;
+}
+
+void DocumentContainer::MoveSlotRaw(int64_t from_rid, int64_t to_rid) {
+  // The destination's old content is overwritten: account for the real-node
+  // count transition (the source keeps its row until the caller marks it).
+  bool to_real = kind_[to_rid] != NodeKind::kUnused;
+  bool from_real = kind_[from_rid] != NodeKind::kUnused;
+  if (!to_real && from_real) ++node_count_;
+  if (to_real && !from_real) --node_count_;
+  size_[to_rid] = size_[from_rid];
+  level_[to_rid] = level_[from_rid];
+  kind_[to_rid] = kind_[from_rid];
+  ref_[to_rid] = ref_[from_rid];
+  frag_[to_rid] = frag_[from_rid];
+}
+
+void DocumentContainer::MarkUnused(int64_t rid, int64_t run_remaining) {
+  SetKind(rid, NodeKind::kUnused);
+  size_[rid] = run_remaining;
+  level_[rid] = -1;
+  ref_[rid] = -1;
+}
+
+void DocumentContainer::ShiftAttrOwners(int64_t lo, int64_t hi,
+                                        int64_t delta) {
+  for (auto& owner : attr_owner_)
+    if (owner >= lo && owner < hi) owner += delta;
+  attr_owner_sorted_ = false;
+  attr_appended_in_order_ = false;
+  attr_perm_.clear();
+}
+
+void DocumentContainer::RebuildPaged(int page_bits, int fill_pct) {
+  assert(!paged() && "RebuildPaged expects a flat container");
+  const int64_t page = int64_t{1} << page_bits;
+  const int64_t fill = std::max<int64_t>(1, page * fill_pct / 100);
+  const int64_t n = PhysicalSlots();
+
+  // New position of the i-th real node: page-chunked with free tails.
+  auto new_pos = [&](int64_t i) { return (i / fill) * page + (i % fill); };
+
+  std::vector<int64_t> old_to_new(n + 1);
+  int64_t real = 0;
+  for (int64_t p = 0; p < n; ++p) {
+    old_to_new[p] = new_pos(real);
+    if (kind_[p] != NodeKind::kUnused) ++real;
+  }
+  // One-past-the-end maps to the next fresh slot (size recomputation of
+  // nodes whose subtree ends at the last slot).
+  old_to_new[n] = new_pos(real);
+
+  int64_t pages = (real + fill - 1) / fill;
+  if (pages == 0) pages = 1;
+  int64_t total = pages * page;
+
+  std::vector<int64_t> nsize(total), nref(total, -1);
+  std::vector<int32_t> nlevel(total, -1), nfrag(total, -1);
+  std::vector<NodeKind> nkind(total, NodeKind::kUnused);
+  // Free-run bookkeeping: default every slot to "unused, run to page end".
+  for (int64_t s = 0; s < total; ++s)
+    nsize[s] = page - 1 - (s & (page - 1));
+
+  for (int64_t p = 0; p < n; ++p) {
+    if (kind_[p] == NodeKind::kUnused) continue;
+    int64_t q = old_to_new[p];
+    // New size: distance to the new position of the subtree's last slot;
+    // free slots trailing the subtree stay outside the range.
+    nsize[q] = size_[p] > 0 ? old_to_new[p + size_[p]] - q : 0;
+    nlevel[q] = level_[p];
+    nkind[q] = kind_[p];
+    nref[q] = ref_[p];
+    nfrag[q] = frag_[p];
+  }
+  // Attribute owners: old rid -> new rid.
+  for (auto& owner : attr_owner_) owner = old_to_new[owner];
+
+  size_ = std::move(nsize);
+  level_ = std::move(nlevel);
+  kind_ = std::move(nkind);
+  ref_ = std::move(nref);
+  frag_ = std::move(nfrag);
+  node_count_ = real;
+  page_map_ = std::make_unique<PageMap>(page_bits);
+  page_map_->InitIdentity(pages);
+  attr_owner_sorted_ = true;
+  attr_appended_in_order_ = true;
+  attr_perm_.clear();
+  InvalidateIndexes();
+}
+
+// ---------------------------------------------------------------------------
+// DocumentContainer: attributes
+// ---------------------------------------------------------------------------
+
+void DocumentContainer::EnsureAttrPerm() const {
+  if (attr_owner_sorted_ && attr_perm_.empty()) {
+    // Rows already sorted by owner; identity permutation, built lazily.
+    attr_perm_.resize(attr_owner_.size());
+    for (size_t i = 0; i < attr_perm_.size(); ++i)
+      attr_perm_[i] = static_cast<int64_t>(i);
+    return;
+  }
+  if (attr_perm_.size() == attr_owner_.size()) return;
+  attr_perm_.resize(attr_owner_.size());
+  for (size_t i = 0; i < attr_perm_.size(); ++i)
+    attr_perm_[i] = static_cast<int64_t>(i);
+  std::stable_sort(attr_perm_.begin(), attr_perm_.end(),
+                   [this](int64_t a, int64_t b) {
+                     return attr_owner_[a] < attr_owner_[b];
+                   });
+  attr_owner_sorted_ = true;
+}
+
+void DocumentContainer::AttrsOf(int64_t pre,
+                                std::vector<int64_t>* rows) const {
+  rows->clear();
+  if (attr_owner_.empty() || KindAt(pre) != NodeKind::kElem) return;
+  EnsureAttrPerm();
+  int64_t rid = Rid(pre);
+  auto lo = std::lower_bound(attr_perm_.begin(), attr_perm_.end(), rid,
+                             [this](int64_t row, int64_t key) {
+                               return attr_owner_[row] < key;
+                             });
+  for (; lo != attr_perm_.end() && attr_owner_[*lo] == rid; ++lo)
+    rows->push_back(*lo);
+}
+
+int64_t DocumentContainer::AttrOf(int64_t pre, StrId qn) const {
+  if (attr_owner_.empty() || KindAt(pre) != NodeKind::kElem) return -1;
+  EnsureAttrPerm();
+  int64_t rid = Rid(pre);
+  auto lo = std::lower_bound(attr_perm_.begin(), attr_perm_.end(), rid,
+                             [this](int64_t row, int64_t key) {
+                               return attr_owner_[row] < key;
+                             });
+  for (; lo != attr_perm_.end() && attr_owner_[*lo] == rid; ++lo)
+    if (attr_qn_[*lo] == qn) return *lo;
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// DocumentContainer: navigation
+// ---------------------------------------------------------------------------
+
+int64_t DocumentContainer::ParentOf(int64_t pre) const {
+  // The nearest preceding slot whose subtree range covers `pre` is the
+  // parent: every closer preceding node's subtree ends before `pre`.
+  for (int64_t p = pre - 1; p >= 0; --p) {
+    if (p + SizeAt(p) >= pre) {
+      if (IsUnused(p)) continue;  // unused runs never cover real nodes
+      return p;
+    }
+  }
+  return -1;
+}
+
+std::string DocumentContainer::StringValueOf(int64_t pre) const {
+  const StringPool& pool = mgr_->strings();
+  switch (KindAt(pre)) {
+    case NodeKind::kText:
+    case NodeKind::kComment:
+      return pool.Get(static_cast<StrId>(RefAt(pre)));
+    case NodeKind::kPI:
+      return pool.Get(PIValue(RefAt(pre)));
+    case NodeKind::kUnused:
+      return "";
+    case NodeKind::kDoc:
+    case NodeKind::kElem:
+      break;
+  }
+  std::string out;
+  int64_t end = pre + SizeAt(pre);
+  for (int64_t p = pre + 1; p <= end;) {
+    if (IsUnused(p)) {
+      p += SizeAt(p) + 1;
+      continue;
+    }
+    if (KindAt(p) == NodeKind::kText)
+      out += pool.Get(static_cast<StrId>(RefAt(p)));
+    ++p;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DocumentContainer: name indexes
+// ---------------------------------------------------------------------------
+
+const std::vector<int64_t>& DocumentContainer::ElementsNamed(StrId qn) const {
+  if (!elem_index_built_) {
+    int64_t n = LogicalSlots();
+    for (int64_t p = 0; p < n;) {
+      if (IsUnused(p)) {
+        p += SizeAt(p) + 1;
+        continue;
+      }
+      if (KindAt(p) == NodeKind::kElem)
+        elem_index_[static_cast<StrId>(RefAt(p))].push_back(p);
+      ++p;
+    }
+    elem_index_built_ = true;
+  }
+  static const std::vector<int64_t> kEmpty;
+  auto it = elem_index_.find(qn);
+  return it == elem_index_.end() ? kEmpty : it->second;
+}
+
+const std::vector<int64_t>& DocumentContainer::AttrsNamed(StrId qn) const {
+  if (!attr_index_built_) {
+    // Rows keyed by qname, ordered by owner document (pre) order.
+    std::vector<int64_t> rows(attr_owner_.size());
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int64_t>(i);
+    std::stable_sort(rows.begin(), rows.end(), [this](int64_t a, int64_t b) {
+      return Pre(attr_owner_[a]) < Pre(attr_owner_[b]);
+    });
+    for (int64_t r : rows) attr_name_index_[attr_qn_[r]].push_back(r);
+    attr_index_built_ = true;
+  }
+  static const std::vector<int64_t> kEmpty;
+  auto it = attr_name_index_.find(qn);
+  return it == attr_name_index_.end() ? kEmpty : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// DocumentContainer: subtree copy (paper §5.1 "pasting of encodings")
+// ---------------------------------------------------------------------------
+
+int64_t DocumentContainer::CopySubtree(const DocumentContainer& src,
+                                       int64_t src_pre, int32_t base_level,
+                                       int32_t frag) {
+  // Collect emitted (real) source slots in pre order, compacting unused runs.
+  std::vector<int64_t> srcs;
+  int64_t end = src_pre + src.SizeAt(src_pre);
+  for (int64_t s = src_pre; s <= end;) {
+    if (src.IsUnused(s)) {
+      s += src.SizeAt(s) + 1;
+      continue;
+    }
+    srcs.push_back(s);
+    ++s;
+  }
+
+  int64_t dst_root = PhysicalSlots();
+  int32_t root_level = src.LevelAt(src_pre);
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    int64_t s = srcs[i];
+    // New size = number of emitted nodes inside (s, s + size(s)].
+    auto ub = std::upper_bound(srcs.begin(), srcs.end(), s + src.SizeAt(s));
+    int64_t new_size = (ub - srcs.begin()) - static_cast<int64_t>(i) - 1;
+    NodeKind kind = src.KindAt(s);
+    int64_t ref = src.RefAt(s);
+    if (kind == NodeKind::kPI) ref = AddPI(src.PITarget(ref), src.PIValue(ref));
+    int64_t rid = AppendSlot(kind, ref,
+                             src.LevelAt(s) - root_level + base_level, frag,
+                             new_size);
+    if (kind == NodeKind::kElem) {
+      std::vector<int64_t> rows;
+      src.AttrsOf(s, &rows);
+      for (int64_t row : rows)
+        AppendAttr(rid, src.AttrQn(row), src.AttrValue(row));
+    }
+  }
+  InvalidateIndexes();
+  return dst_root;
+}
+
+void DocumentContainer::ConvertToPaged(int page_bits) {
+  if (paged()) return;
+  page_map_ = std::make_unique<PageMap>(page_bits);
+  int64_t slots = PhysicalSlots();
+  int64_t page = int64_t{1} << page_bits;
+  int64_t pages = (slots + page - 1) / page;
+  if (pages == 0) pages = 1;
+  int64_t padded = pages * page;
+  // Tail padding: each unused slot records the number of directly following
+  // consecutive unused slots (paper §5.2), enabling O(1) skips.
+  for (int64_t i = slots; i < padded; ++i)
+    AppendSlot(NodeKind::kUnused, /*ref=*/-1, /*level=*/-1, /*frag=*/-1,
+               /*size=*/padded - i - 1);
+  page_map_->InitIdentity(pages);
+  InvalidateIndexes();
+}
+
+// ---------------------------------------------------------------------------
+// DocumentManager
+// ---------------------------------------------------------------------------
+
+DocumentContainer* DocumentManager::CreateContainer(const std::string& name) {
+  int32_t id = static_cast<int32_t>(containers_.size());
+  containers_.push_back(std::make_unique<DocumentContainer>(id, name, this));
+  if (!name.empty()) by_name_[name] = id;
+  return containers_.back().get();
+}
+
+Result<DocumentContainer*> DocumentManager::GetDocument(
+    const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end())
+    return Status::NotFound("document not loaded: " + name);
+  return containers_[it->second].get();
+}
+
+std::string DocumentManager::StringValueOf(const Item& node_item) const {
+  if (node_item.kind == ItemKind::kAttr) {
+    AttrRef a = node_item.attr();
+    return pool_.Get(containers_[a.container]->AttrValue(a.row));
+  }
+  NodeRef n = node_item.node();
+  return containers_[n.container]->StringValueOf(n.pre);
+}
+
+Item DocumentManager::AtomizeNode(const Item& node_item) {
+  if (node_item.kind == ItemKind::kAttr) {
+    AttrRef a = node_item.attr();
+    return Item::Untyped(containers_[a.container]->AttrValue(a.row));
+  }
+  return Item::Untyped(pool_.Intern(StringValueOf(node_item)));
+}
+
+}  // namespace mxq

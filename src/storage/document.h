@@ -1,0 +1,373 @@
+// pre|size|level XML document storage (paper §2, §5.1, §5.2).
+//
+// A DocumentContainer stores one XML document (or the transient fragments
+// created during a query) as parallel fixed-width columns:
+//
+//   pre    implicit: the view position of the tuple
+//   size   number of *slots* in the subtree below the node
+//   level  depth from the container root (-1 marks unused slots)
+//   kind   document / element / text / comment / PI / unused
+//   ref    kind-dependent property reference: element -> tag StrId,
+//          text/comment -> content StrId, PI -> row in the PI table
+//   frag   fragment ordinal (paper's frag column; separates disjoint trees
+//          inside the transient container)
+//
+// Attributes live in a separate attribute table (owner rid, qname, value),
+// the paper's per-kind property containers. All variable-width data (tag
+// names, text, attribute values) is interned in the DocumentManager's global
+// StringPool, which is what makes the paper's "shallow subtree copy" cheap:
+// copying a subtree copies fixed-width rows only.
+//
+// Read-only containers are flat: rid == pre, no unused slots. After
+// structural updates a container becomes *paged* (paper §5.2): the physical
+// rid|size|level table is append-only and a PageMap presents the logical
+// pre-ordered view; pre <-> rid conversion is the paper's swizzling. Unused
+// slots carry in `size` the number of directly following unused slots so
+// scans can skip them in O(1).
+
+#ifndef MXQ_STORAGE_DOCUMENT_H_
+#define MXQ_STORAGE_DOCUMENT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/item.h"
+#include "common/status.h"
+#include "common/string_pool.h"
+
+namespace mxq {
+
+enum class NodeKind : uint8_t {
+  kDoc = 0,
+  kElem,
+  kText,
+  kComment,
+  kPI,
+  kUnused,  // free slot in a paged container (level == -1)
+};
+
+/// \brief Logical-page indirection for updatable documents (paper §5.2).
+///
+/// Pages have a power-of-two slot count. Logical (pre-view) page j maps to
+/// physical (rid) page logical_to_physical_[j]; swizzling converts between
+/// pre and rid by substituting the page number and keeping the offset bits.
+class PageMap {
+ public:
+  explicit PageMap(int page_bits) : page_bits_(page_bits) {}
+
+  int page_bits() const { return page_bits_; }
+  int64_t page_slots() const { return int64_t{1} << page_bits_; }
+  int64_t num_pages() const {
+    return static_cast<int64_t>(logical_to_physical_.size());
+  }
+
+  /// Sets up an identity mapping over `pages` existing physical pages.
+  void InitIdentity(int64_t pages) {
+    logical_to_physical_.resize(pages);
+    for (int64_t j = 0; j < pages; ++j) logical_to_physical_[j] = j;
+    next_physical_ = pages;
+    RebuildReverse();
+  }
+
+  /// Appends a new physical page at logical position `logical_at`
+  /// (or at the end when logical_at == num_pages()). Returns the physical
+  /// page number.
+  int64_t InsertPage(int64_t logical_at) {
+    int64_t phys = next_physical_++;
+    logical_to_physical_.insert(logical_to_physical_.begin() + logical_at,
+                                phys);
+    RebuildReverse();
+    return phys;
+  }
+
+  int64_t PreToRid(int64_t pre) const {
+    int64_t page = pre >> page_bits_;
+    int64_t off = pre & (page_slots() - 1);
+    return (logical_to_physical_[page] << page_bits_) | off;
+  }
+  int64_t RidToPre(int64_t rid) const {
+    int64_t page = rid >> page_bits_;
+    int64_t off = rid & (page_slots() - 1);
+    return (physical_to_logical_[page] << page_bits_) | off;
+  }
+
+  const std::vector<int64_t>& logical_to_physical() const {
+    return logical_to_physical_;
+  }
+
+ private:
+  void RebuildReverse() {
+    physical_to_logical_.assign(logical_to_physical_.size(), 0);
+    for (size_t j = 0; j < logical_to_physical_.size(); ++j)
+      physical_to_logical_[logical_to_physical_[j]] = static_cast<int64_t>(j);
+  }
+
+  int page_bits_;
+  int64_t next_physical_ = 0;
+  std::vector<int64_t> logical_to_physical_;
+  std::vector<int64_t> physical_to_logical_;
+};
+
+class DocumentManager;
+
+/// \brief One document (or the transient node space) in pre|size|level form.
+class DocumentContainer {
+ public:
+  DocumentContainer(int32_t id, std::string name, DocumentManager* mgr)
+      : id_(id), name_(std::move(name)), mgr_(mgr) {}
+
+  int32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool paged() const { return page_map_ != nullptr; }
+  PageMap* page_map() { return page_map_.get(); }
+  const PageMap* page_map() const { return page_map_.get(); }
+
+  // ---- logical (pre) view ------------------------------------------------
+
+  /// Number of slots in the pre view (includes unused slots when paged).
+  int64_t LogicalSlots() const {
+    return paged() ? page_map_->num_pages() * page_map_->page_slots()
+                   : static_cast<int64_t>(size_.size());
+  }
+
+  int64_t Rid(int64_t pre) const {
+    return paged() ? page_map_->PreToRid(pre) : pre;
+  }
+  int64_t Pre(int64_t rid) const {
+    return paged() ? page_map_->RidToPre(rid) : rid;
+  }
+
+  int64_t SizeAt(int64_t pre) const { return size_[Rid(pre)]; }
+  int32_t LevelAt(int64_t pre) const { return level_[Rid(pre)]; }
+  NodeKind KindAt(int64_t pre) const { return kind_[Rid(pre)]; }
+  int64_t RefAt(int64_t pre) const { return ref_[Rid(pre)]; }
+  int32_t FragAt(int64_t pre) const { return frag_[Rid(pre)]; }
+  bool IsUnused(int64_t pre) const { return KindAt(pre) == NodeKind::kUnused; }
+
+  /// Recovered postorder rank: post = pre + size - level (paper §2).
+  int64_t PostAt(int64_t pre) const {
+    return pre + SizeAt(pre) - LevelAt(pre);
+  }
+
+  /// Number of *real* nodes (excludes unused slots).
+  int64_t NodeCount() const { return node_count_; }
+
+  /// First real slot at or after `pre` (skips unused runs in O(1) each).
+  int64_t SkipUnused(int64_t pre) const {
+    int64_t n = LogicalSlots();
+    while (pre < n && IsUnused(pre)) pre += SizeAt(pre) + 1;
+    return pre;
+  }
+
+  // ---- physical (rid) access & mutation ----------------------------------
+
+  int64_t PhysicalSlots() const { return static_cast<int64_t>(size_.size()); }
+  int64_t SizeAtRid(int64_t rid) const { return size_[rid]; }
+  int32_t LevelAtRid(int64_t rid) const { return level_[rid]; }
+  NodeKind KindAtRid(int64_t rid) const { return kind_[rid]; }
+
+  /// Appends one physical slot; returns its rid. Sizes can be fixed up later
+  /// with SetSize (shredder closes elements after children are appended).
+  int64_t AppendSlot(NodeKind kind, int64_t ref, int32_t level, int32_t frag,
+                     int64_t size = 0);
+
+  void SetSize(int64_t rid, int64_t size) { size_[rid] = size; }
+  void SetLevel(int64_t rid, int32_t level) { level_[rid] = level; }
+  void SetKind(int64_t rid, NodeKind kind);
+  void SetRef(int64_t rid, int64_t ref) { ref_[rid] = ref; }
+  void SetFrag(int64_t rid, int32_t frag) { frag_[rid] = frag; }
+
+  /// Appends an attribute for element `owner_rid`. Returns the attr row.
+  int64_t AppendAttr(int64_t owner_rid, StrId qn, StrId value);
+
+  /// Copies one physical slot's row onto another (source row is left
+  /// untouched; caller overwrites or marks it unused).
+  void MoveSlotRaw(int64_t from_rid, int64_t to_rid);
+
+  /// Marks a physical slot unused; `run_remaining` = number of directly
+  /// following consecutive unused slots (paper §5.2 free-slot encoding).
+  void MarkUnused(int64_t rid, int64_t run_remaining);
+
+  /// Shifts attribute owner rids in [lo, hi) by `delta` (slot shifting).
+  void ShiftAttrOwners(int64_t lo, int64_t hi, int64_t delta);
+
+  /// Re-shreds this flat container into a paged layout, leaving
+  /// (100 - fill_pct)% of every logical page unused for future inserts —
+  /// what the paper's shredder does up front (§5.2).
+  void RebuildPaged(int page_bits, int fill_pct);
+
+  void SetAttrValue(int64_t row, StrId value) { attr_val_[row] = value; }
+
+  // ---- attributes ----------------------------------------------------------
+
+  int64_t AttrCount() const { return static_cast<int64_t>(attr_owner_.size()); }
+  int64_t AttrOwnerRid(int64_t row) const { return attr_owner_[row]; }
+  StrId AttrQn(int64_t row) const { return attr_qn_[row]; }
+  StrId AttrValue(int64_t row) const { return attr_val_[row]; }
+
+  /// All attribute rows of the element at `pre`, in document (shred) order.
+  void AttrsOf(int64_t pre, std::vector<int64_t>* rows) const;
+
+  /// Attribute row of `pre` with qname `qn`, or -1.
+  int64_t AttrOf(int64_t pre, StrId qn) const;
+
+  // ---- PI property table ---------------------------------------------------
+
+  int64_t AddPI(StrId target, StrId value) {
+    pi_target_.push_back(target);
+    pi_value_.push_back(value);
+    return static_cast<int64_t>(pi_target_.size()) - 1;
+  }
+  StrId PITarget(int64_t row) const { return pi_target_[row]; }
+  StrId PIValue(int64_t row) const { return pi_value_[row]; }
+
+  // ---- navigation helpers --------------------------------------------------
+
+  /// Parent pre of `pre`, or -1 for fragment roots.
+  int64_t ParentOf(int64_t pre) const;
+
+  /// True iff `anc` is an ancestor of `desc` (proper).
+  bool IsAncestor(int64_t anc, int64_t desc) const {
+    return anc < desc && desc <= anc + SizeAt(anc);
+  }
+
+  /// XPath string value of the node at `pre` (concatenated descendant text,
+  /// or own content for text/comment/PI).
+  std::string StringValueOf(int64_t pre) const;
+
+  // ---- element/attribute name indexes (paper: "index on element names") ---
+
+  /// Pres of all elements with tag `qn`, in document order.
+  const std::vector<int64_t>& ElementsNamed(StrId qn) const;
+  /// Attribute rows with qname `qn`, sorted by owner document order.
+  const std::vector<int64_t>& AttrsNamed(StrId qn) const;
+
+  void InvalidateIndexes() {
+    elem_index_.clear();
+    attr_name_index_.clear();
+    elem_index_built_ = false;
+    attr_index_built_ = false;
+    attr_owner_sorted_ = attr_appended_in_order_;
+    attr_perm_.clear();
+  }
+
+  // ---- subtree copy (element construction, updates) ------------------------
+
+  /// Copies the subtree rooted at `src_pre` of `src` to the end of this
+  /// container as a new fragment (or below an open builder level).
+  /// Unused slots are compacted away; sizes/levels are rebased. Returns the
+  /// new root's pre (== rid: only valid on flat containers).
+  int64_t CopySubtree(const DocumentContainer& src, int64_t src_pre,
+                      int32_t base_level, int32_t frag);
+
+  DocumentManager* manager() const { return mgr_; }
+
+  /// Converts this flat container into a paged one (paper §5.2). Existing
+  /// slots are padded to whole pages with unused slots. No-op if paged.
+  void ConvertToPaged(int page_bits);
+
+  int32_t next_frag() { return next_frag_++; }
+
+  /// Drops all nodes/attributes/PIs (transient container reuse between
+  /// query executions; outstanding node items become invalid).
+  void Clear() {
+    size_.clear();
+    level_.clear();
+    kind_.clear();
+    ref_.clear();
+    frag_.clear();
+    node_count_ = 0;
+    next_frag_ = 0;
+    attr_owner_.clear();
+    attr_qn_.clear();
+    attr_val_.clear();
+    attr_appended_in_order_ = true;
+    pi_target_.clear();
+    pi_value_.clear();
+    page_map_.reset();
+    InvalidateIndexes();
+  }
+
+ private:
+  void EnsureAttrPerm() const;
+
+  int32_t id_;
+  std::string name_;
+  DocumentManager* mgr_;
+
+  // Physical node table (indexed by rid; flat containers: rid == pre).
+  std::vector<int64_t> size_;
+  std::vector<int32_t> level_;
+  std::vector<NodeKind> kind_;
+  std::vector<int64_t> ref_;
+  std::vector<int32_t> frag_;
+  int64_t node_count_ = 0;
+  int32_t next_frag_ = 0;
+
+  // Attribute table.
+  std::vector<int64_t> attr_owner_;  // rid of owning element
+  std::vector<StrId> attr_qn_;
+  std::vector<StrId> attr_val_;
+  bool attr_appended_in_order_ = true;  // owners nondecreasing?
+  mutable bool attr_owner_sorted_ = true;
+  mutable std::vector<int64_t> attr_perm_;  // rows sorted by owner rid
+
+  // PI property table.
+  std::vector<StrId> pi_target_;
+  std::vector<StrId> pi_value_;
+
+  // Lazy name indexes (document order).
+  mutable std::unordered_map<StrId, std::vector<int64_t>> elem_index_;
+  mutable std::unordered_map<StrId, std::vector<int64_t>> attr_name_index_;
+  mutable bool elem_index_built_ = false;
+  mutable bool attr_index_built_ = false;
+
+  std::unique_ptr<PageMap> page_map_;
+};
+
+/// \brief Session-global registry of document containers plus the shared
+/// string pool ("loaded documents" table, paper Fig 9).
+class DocumentManager {
+ public:
+  DocumentManager() = default;
+  DocumentManager(const DocumentManager&) = delete;
+  DocumentManager& operator=(const DocumentManager&) = delete;
+
+  StringPool& strings() { return pool_; }
+  const StringPool& strings() const { return pool_; }
+
+  /// Creates a fresh container. `name` may be empty for transient containers.
+  DocumentContainer* CreateContainer(const std::string& name);
+
+  /// Looks up a loaded document by name.
+  Result<DocumentContainer*> GetDocument(const std::string& name);
+
+  DocumentContainer* container(int32_t id) { return containers_[id].get(); }
+  const DocumentContainer* container(int32_t id) const {
+    return containers_[id].get();
+  }
+  int32_t num_containers() const {
+    return static_cast<int32_t>(containers_.size());
+  }
+
+  /// Document-order-stable string value of any node item (element, text,
+  /// attr, ...).
+  std::string StringValueOf(const Item& node_item) const;
+
+  /// Atomizes a node item to an untypedAtomic Item (interns string value).
+  Item AtomizeNode(const Item& node_item);
+
+ private:
+  StringPool pool_;
+  std::vector<std::unique_ptr<DocumentContainer>> containers_;
+  std::unordered_map<std::string, int32_t> by_name_;
+};
+
+}  // namespace mxq
+
+#endif  // MXQ_STORAGE_DOCUMENT_H_

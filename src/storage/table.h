@@ -1,0 +1,183 @@
+// Tables: named column bundles plus the peephole-optimizer column properties.
+//
+// The paper (§4.1) drives its peephole optimization off a small set of
+// column properties maintained on intermediate results:
+//   dense(c)        c is the sequence 1,2,3,... (or 0,1,2,... — see kDense0)
+//   key(c)          c is duplicate-free
+//   const(c,v)      c holds constant value v
+//   ord([c_i])      tuples are lexicographically ordered on [c_i]
+//   grpord([c_i],g) within every group of equal g, tuples are ord([c_i])
+//                   (groups need NOT be clustered)
+// `indep` is a compile-time property of subplans and lives in the compiler.
+//
+// We attach the properties to materialized tables and let every operator
+// derive output properties from input properties — operationally equivalent
+// to static inference over the plan DAG, since each plan node materializes
+// exactly one table.
+
+#ifndef MXQ_STORAGE_TABLE_H_
+#define MXQ_STORAGE_TABLE_H_
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace mxq {
+
+/// \brief Column properties of one table (paper §4.1).
+struct TableProps {
+  struct GrpOrd {
+    std::vector<std::string> cols;
+    std::string group;
+  };
+
+  std::set<std::string> dense;   // dense ascending ints starting at 1 (or 0)
+  std::set<std::string> key;     // duplicate-free
+  std::map<std::string, Item> constants;
+  std::vector<std::string> ord;  // lexicographic major->minor order
+  std::vector<GrpOrd> grpord;
+
+  bool is_dense(const std::string& c) const { return dense.count(c) > 0; }
+  bool is_key(const std::string& c) const { return key.count(c) > 0; }
+  bool is_const(const std::string& c) const { return constants.count(c) > 0; }
+
+  /// True if the table is known ordered on the given prefix columns.
+  bool OrderedBy(const std::vector<std::string>& cols) const {
+    if (cols.size() > ord.size()) return false;
+    return std::equal(cols.begin(), cols.end(), ord.begin());
+  }
+
+  /// True if grpord(cols, g) is known to hold.
+  bool GrpOrderedBy(const std::vector<std::string>& cols,
+                    const std::string& g) const {
+    // ord([g, cols...]) implies grpord(cols, g); so does ord(cols) itself.
+    std::vector<std::string> with_g;
+    with_g.push_back(g);
+    with_g.insert(with_g.end(), cols.begin(), cols.end());
+    if (OrderedBy(with_g) || OrderedBy(cols)) return true;
+    for (const auto& go : grpord) {
+      if (go.group != g) continue;
+      if (cols.size() <= go.cols.size() &&
+          std::equal(cols.begin(), cols.end(), go.cols.begin()))
+        return true;
+    }
+    return false;
+  }
+
+  /// Drops every property that mentions a column not in `kept`.
+  void RestrictTo(const std::set<std::string>& kept) {
+    std::erase_if(dense, [&](const std::string& c) { return !kept.count(c); });
+    std::erase_if(key, [&](const std::string& c) { return !kept.count(c); });
+    std::erase_if(constants,
+                  [&](const auto& kv) { return !kept.count(kv.first); });
+    // ord prefix survives up to the first dropped column.
+    size_t n = 0;
+    while (n < ord.size() && kept.count(ord[n])) ++n;
+    ord.resize(n);
+    std::erase_if(grpord, [&](const GrpOrd& go) {
+      if (!kept.count(go.group)) return true;
+      for (const auto& c : go.cols)
+        if (!kept.count(c)) return true;
+      return false;
+    });
+  }
+
+  /// Renames column `from` to `to` in all properties.
+  void RenameCol(const std::string& from, const std::string& to) {
+    auto fix = [&](std::string& c) {
+      if (c == from) c = to;
+    };
+    if (dense.erase(from)) dense.insert(to);
+    if (key.erase(from)) key.insert(to);
+    auto it = constants.find(from);
+    if (it != constants.end()) {
+      Item v = it->second;
+      constants.erase(it);
+      constants[to] = v;
+    }
+    for (auto& c : ord) fix(c);
+    for (auto& go : grpord) {
+      fix(go.group);
+      for (auto& c : go.cols) fix(c);
+    }
+  }
+
+  void Clear() {
+    dense.clear();
+    key.clear();
+    constants.clear();
+    ord.clear();
+    grpord.clear();
+  }
+};
+
+/// \brief An in-memory table: parallel named columns + properties.
+///
+/// Columns are shared (shared_ptr); a Table must not mutate a column it did
+/// not create itself.
+class Table {
+ public:
+  Table() = default;
+
+  static std::shared_ptr<Table> Make() { return std::make_shared<Table>(); }
+
+  size_t rows() const { return rows_; }
+  size_t num_cols() const { return cols_.size(); }
+
+  void set_rows(size_t n) { rows_ = n; }
+
+  /// Appends a column; the first column fixes the row count.
+  void AddColumn(const std::string& name, ColumnPtr col) {
+    if (cols_.empty()) rows_ = col->size();
+    names_.push_back(name);
+    cols_.push_back(std::move(col));
+  }
+
+  int ColumnIndex(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i)
+      if (names_[i] == name) return static_cast<int>(i);
+    return -1;
+  }
+  bool HasColumn(const std::string& name) const {
+    return ColumnIndex(name) >= 0;
+  }
+
+  const ColumnPtr& col(size_t i) const { return cols_[i]; }
+  const ColumnPtr& col(const std::string& name) const {
+    int i = ColumnIndex(name);
+    assert(i >= 0);
+    return cols_[i];
+  }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  TableProps& props() { return props_; }
+  const TableProps& props() const { return props_; }
+
+  /// Shallow copy sharing all columns (cheap).
+  std::shared_ptr<Table> ShallowCopy() const {
+    auto t = Make();
+    t->names_ = names_;
+    t->cols_ = cols_;
+    t->rows_ = rows_;
+    t->props_ = props_;
+    return t;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ColumnPtr> cols_;
+  size_t rows_ = 0;
+  TableProps props_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace mxq
+
+#endif  // MXQ_STORAGE_TABLE_H_

@@ -1,0 +1,358 @@
+#include "updates/update_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "xml/shredder.h"
+
+namespace mxq {
+namespace updates {
+
+UpdateEngine::UpdateEngine(DocumentContainer* doc, int page_bits,
+                           int fill_pct)
+    : doc_(doc), page_bits_(page_bits), fill_pct_(fill_pct) {
+  if (!doc_->paged()) RepackPaged(doc_, page_bits, fill_pct);
+  page_bits_ = doc_->page_map()->page_bits();
+}
+
+void UpdateEngine::RepackPaged(DocumentContainer* doc, int page_bits,
+                               int fill_pct) {
+  doc->RebuildPaged(page_bits, fill_pct);
+}
+
+// ---------------------------------------------------------------------------
+// value updates — plain relational column updates (§5.2)
+// ---------------------------------------------------------------------------
+
+Status UpdateEngine::ReplaceText(int64_t pre, std::string_view text) {
+  NodeKind k = doc_->KindAt(pre);
+  if (k != NodeKind::kText && k != NodeKind::kComment)
+    return Status::InvalidArgument("ReplaceText: not a text/comment node");
+  doc_->SetRef(doc_->Rid(pre), doc_->manager()->strings().Intern(text));
+  return Status::OK();
+}
+
+Status UpdateEngine::ReplaceAttrValue(int64_t attr_row,
+                                      std::string_view value) {
+  if (attr_row < 0 || attr_row >= doc_->AttrCount())
+    return Status::InvalidArgument("ReplaceAttrValue: bad attribute row");
+  doc_->SetAttrValue(attr_row, doc_->manager()->strings().Intern(value));
+  return Status::OK();
+}
+
+Status UpdateEngine::RenameElement(int64_t pre, std::string_view tag) {
+  if (doc_->KindAt(pre) != NodeKind::kElem)
+    return Status::InvalidArgument("RenameElement: not an element");
+  doc_->SetRef(doc_->Rid(pre), doc_->manager()->strings().Intern(tag));
+  doc_->InvalidateIndexes();
+  return Status::OK();
+}
+
+Status UpdateEngine::SetAttribute(int64_t pre, std::string_view name,
+                                  std::string_view value) {
+  if (doc_->KindAt(pre) != NodeKind::kElem)
+    return Status::InvalidArgument("SetAttribute: not an element");
+  StringPool& pool = doc_->manager()->strings();
+  StrId qn = pool.Intern(name);
+  int64_t row = doc_->AttrOf(pre, qn);
+  if (row >= 0) {
+    doc_->SetAttrValue(row, pool.Intern(value));
+  } else {
+    doc_->AppendAttr(doc_->Rid(pre), qn, pool.Intern(value));
+    doc_->InvalidateIndexes();
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// structural updates
+// ---------------------------------------------------------------------------
+
+int64_t UpdateEngine::FirstFreeInPage(int64_t page) const {
+  int64_t end = PageStart(page + 1);
+  int64_t s = end;
+  while (s > PageStart(page) && doc_->IsUnused(s - 1)) --s;
+  return s;
+}
+
+Result<int64_t> UpdateEngine::MakeGap(int64_t at, int64_t parent_pre,
+                                      int64_t n_slots) {
+  if (at >= doc_->LogicalSlots()) {
+    // Insertion past the last page (insert-after the final node): append
+    // fresh pages at the end of the logical order. Every ancestor's range
+    // ends exactly at at-1 and stretches over the new content.
+    const int64_t page_slots = PageSlots();
+    const int64_t new_pages = (n_slots + page_slots - 1) / page_slots;
+    const int64_t added = new_pages * page_slots;
+    stats_.pages_appended += new_pages;
+    stats_.pages_touched += new_pages;
+    for (int64_t s = 0; s < added; ++s)
+      doc_->AppendSlot(NodeKind::kUnused, -1, -1, -1,
+                       added - 1 - s);
+    for (int64_t j = 0; j < new_pages; ++j)
+      doc_->page_map()->InsertPage(doc_->page_map()->num_pages());
+    for (int64_t a = parent_pre; a >= 0; a = doc_->ParentOf(a)) {
+      int64_t delta = (at + n_slots - 1) - (a + doc_->SizeAt(a));
+      if (delta > 0) {
+        pending_.Add(doc_->Rid(a), delta);
+        doc_->SetSize(doc_->Rid(a), doc_->SizeAt(a) + delta);
+        ++stats_.size_deltas;
+      }
+    }
+    doc_->InvalidateIndexes();
+    return at;
+  }
+
+  const int64_t page = PageOf(at);
+  const int64_t page_end = PageStart(page + 1);
+  const int64_t free_start = FirstFreeInPage(page);
+  const int64_t free = page_end - std::max(free_start, at);
+
+  // Ancestor chain of the insertion point (parent and up), by pre.
+  std::vector<int64_t> chain;
+  for (int64_t a = parent_pre; a >= 0; a = doc_->ParentOf(a))
+    chain.push_back(a);
+  // Nodes covering the page-end boundary from inside the shifted block.
+  std::vector<int64_t> boundary;
+  {
+    int64_t q = doc_->SkipUnused(page_end);
+    if (q < doc_->LogicalSlots()) {
+      for (int64_t a = q; a >= 0; a = doc_->ParentOf(a))
+        if (a >= at && a < free_start) boundary.push_back(a);
+    }
+  }
+
+  if (n_slots <= free) {
+    // Case A (paper Fig 11, "first try to handle the insert inside a page"):
+    // shift the page tail right within the page; only this page is written.
+    ++stats_.pages_touched;
+    int64_t block_len = std::max<int64_t>(0, free_start - at);
+    for (int64_t k = free_start - 1; k >= at; --k) {
+      doc_->MoveSlotRaw(doc_->Rid(k), doc_->Rid(k + n_slots));
+      ++stats_.slots_shifted;
+    }
+    // Attribute owners of shifted elements move with them. Within a page,
+    // logical and physical offsets coincide, so rid range == pre range.
+    if (block_len > 0)
+      doc_->ShiftAttrOwners(doc_->Rid(at), doc_->Rid(at) + block_len,
+                            n_slots);
+    // Rewrite the shrunken free run.
+    for (int64_t k = free_start + n_slots; k < page_end; ++k)
+      doc_->MarkUnused(doc_->Rid(k), page_end - 1 - k);
+    // Size maintenance (as deltas, §5.2): ancestors whose subtree ends
+    // inside this page grow by n; ancestors spanning past the page are
+    // unaffected (the page's slot count did not change).
+    for (int64_t a : chain) {
+      int64_t end = a + doc_->SizeAt(a);
+      if (end < page_end) {
+        pending_.Add(doc_->Rid(a), n_slots);
+        doc_->SetSize(doc_->Rid(a), doc_->SizeAt(a) + n_slots);
+        ++stats_.size_deltas;
+      }
+    }
+    // Nodes inside the shifted block that span past the page end moved +n
+    // while their later descendants did not: size shrinks by n.
+    for (int64_t b : boundary) {
+      // b itself shifted to b + n.
+      int64_t rid = doc_->Rid(b + n_slots);
+      pending_.Add(rid, -n_slots);
+      doc_->SetSize(rid, doc_->SizeAtRid(rid) - n_slots);
+      ++stats_.size_deltas;
+    }
+    doc_->InvalidateIndexes();
+    return at;
+  }
+
+  // Case B: the insert does not fit — append physical pages and splice them
+  // into the logical page order right after this page. The vacated tail of
+  // this page becomes free space; following pages renumber implicitly.
+  const int64_t tail_len = std::max<int64_t>(0, free_start - at);
+  const int64_t page_slots = PageSlots();
+  const int64_t need = n_slots + tail_len;
+  const int64_t new_pages = (need + page_slots - 1) / page_slots;
+  const int64_t added = new_pages * page_slots;
+  stats_.pages_appended += new_pages;
+  stats_.pages_touched += 1 + new_pages;
+
+  // Old logical position -> new logical position.
+  auto map_pos = [&](int64_t pos) {
+    if (pos < at) return pos;
+    if (pos < free_start) return pos - at + page_end + n_slots;  // moved tail
+    return pos + added;  // beyond this page
+  };
+
+  // Physically append the new pages (unused-initialized).
+  int64_t phys_base = doc_->PhysicalSlots();
+  for (int64_t s = 0; s < added; ++s)
+    doc_->AppendSlot(NodeKind::kUnused, -1, -1, -1,
+                     page_slots - 1 - (s & (page_slots - 1)));
+  // Copy the tail out (physical rids: within-page offsets are stable).
+  for (int64_t k = 0; k < tail_len; ++k) {
+    int64_t from_rid = doc_->Rid(at + k);
+    int64_t to_rid = phys_base + n_slots + k;
+    doc_->MoveSlotRaw(from_rid, to_rid);
+    ++stats_.slots_shifted;
+  }
+  if (tail_len > 0)
+    doc_->ShiftAttrOwners(doc_->Rid(at), doc_->Rid(at) + tail_len,
+                          phys_base + n_slots - doc_->Rid(at));
+  // Vacate the tail of the old page.
+  for (int64_t k = at; k < page_end; ++k)
+    doc_->MarkUnused(doc_->Rid(k), page_end - 1 - k);
+  // Pad the gap after the moved tail on the new pages.
+  for (int64_t s = n_slots + tail_len; s < added; ++s)
+    doc_->MarkUnused(phys_base + s, added - 1 - s);
+
+  // Splice the new pages into the logical order.
+  for (int64_t j = 0; j < new_pages; ++j)
+    doc_->page_map()->InsertPage(page + 1 + j);
+
+  // Size maintenance. Ancestors keep their pre (< at); their new end is the
+  // mapped old end — except for the insert-last case (end == at-1), whose
+  // range must stretch over the vacated tail up to the last new slot.
+  for (int64_t a : chain) {
+    int64_t e = a + doc_->SizeAt(a);
+    int64_t new_end = (e == at - 1) ? page_end + n_slots - 1 : map_pos(e);
+    int64_t delta = new_end - e;
+    if (delta != 0) {
+      pending_.Add(doc_->Rid(a), delta);
+      doc_->SetSize(doc_->Rid(a), doc_->SizeAt(a) + delta);
+      ++stats_.size_deltas;
+    }
+  }
+  // Boundary-covering nodes inside the moved tail: their pre moved with the
+  // tail but their later descendants only shifted by `added`.
+  for (int64_t b : boundary) {
+    int64_t old_size = doc_->SizeAtRid(doc_->Rid(map_pos(b)));
+    int64_t delta = map_pos(b + old_size) - map_pos(b) - old_size;
+    if (delta != 0) {
+      int64_t rid = doc_->Rid(map_pos(b));
+      pending_.Add(rid, delta);
+      doc_->SetSize(rid, old_size + delta);
+      ++stats_.size_deltas;
+    }
+  }
+  doc_->InvalidateIndexes();
+  return page_end;  // new content starts on the first spliced page
+}
+
+Result<int64_t> UpdateEngine::InsertSubtree(int64_t target, InsertPos pos,
+                                            const DocumentContainer& src,
+                                            int64_t src_pre) {
+  if (doc_->IsUnused(target))
+    return Status::InvalidArgument("insert target is not a node");
+  int64_t parent = -1, at = 0;
+  int32_t level = 0;
+  switch (pos) {
+    case InsertPos::kFirst:
+      parent = target;
+      at = target + 1;
+      level = doc_->LevelAt(target) + 1;
+      break;
+    case InsertPos::kLast:
+      parent = target;
+      at = target + doc_->SizeAt(target) + 1;
+      level = doc_->LevelAt(target) + 1;
+      break;
+    case InsertPos::kBefore:
+      parent = doc_->ParentOf(target);
+      at = target;
+      level = doc_->LevelAt(target);
+      break;
+    case InsertPos::kAfter:
+      parent = doc_->ParentOf(target);
+      at = target + doc_->SizeAt(target) + 1;
+      level = doc_->LevelAt(target);
+      break;
+  }
+  if (parent < 0)
+    return Status::InvalidArgument("cannot insert a sibling of the root");
+  if ((pos == InsertPos::kBefore || pos == InsertPos::kAfter) &&
+      doc_->KindAt(parent) == NodeKind::kDoc)
+    return Status::InvalidArgument(
+        "cannot insert a sibling of the document element");
+  if (doc_->KindAt(parent) != NodeKind::kElem &&
+      doc_->KindAt(parent) != NodeKind::kDoc)
+    return Status::InvalidArgument("target cannot hold children");
+
+  // Compact source rows (skip unused slots inside the source subtree).
+  std::vector<int64_t> srcs;
+  int64_t send = src_pre + src.SizeAt(src_pre);
+  for (int64_t s = src_pre; s <= send;) {
+    if (src.IsUnused(s)) {
+      s += src.SizeAt(s) + 1;
+      continue;
+    }
+    srcs.push_back(s);
+    ++s;
+  }
+  int64_t n = static_cast<int64_t>(srcs.size());
+
+  MXQ_ASSIGN_OR_RETURN(int64_t gap, MakeGap(at, parent, n));
+
+  int32_t src_root_level = src.LevelAt(src_pre);
+  int32_t frag = doc_->FragAt(parent >= 0 ? parent : 0);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t s = srcs[i];
+    int64_t rid = doc_->Rid(gap + i);
+    auto ub = std::upper_bound(srcs.begin(), srcs.end(), s + src.SizeAt(s));
+    int64_t new_size = (ub - srcs.begin()) - i - 1;
+    NodeKind kind = src.KindAt(s);
+    int64_t ref = src.RefAt(s);
+    if (kind == NodeKind::kPI)
+      ref = doc_->AddPI(src.PITarget(ref), src.PIValue(ref));
+    doc_->SetKind(rid, kind);
+    doc_->SetSize(rid, new_size);
+    doc_->SetLevel(rid, src.LevelAt(s) - src_root_level + level);
+    doc_->SetRef(rid, ref);
+    doc_->SetFrag(rid, frag);
+    if (kind == NodeKind::kElem) {
+      std::vector<int64_t> rows;
+      src.AttrsOf(s, &rows);
+      for (int64_t row : rows)
+        doc_->AppendAttr(rid, src.AttrQn(row), src.AttrValue(row));
+    }
+  }
+  doc_->InvalidateIndexes();
+  return gap;
+}
+
+Result<int64_t> UpdateEngine::InsertXml(int64_t target, InsertPos pos,
+                                        std::string_view xml) {
+  DocumentContainer* scratch = doc_->manager()->CreateContainer("");
+  MXQ_ASSIGN_OR_RETURN(int64_t root, ShredFragment(scratch, xml));
+  return InsertSubtree(target, pos, *scratch, root);
+}
+
+Status UpdateEngine::DeleteSubtree(int64_t pre) {
+  if (doc_->IsUnused(pre))
+    return Status::InvalidArgument("delete target is not a node");
+  if (doc_->LevelAt(pre) == 0)
+    return Status::InvalidArgument("cannot delete a root node");
+  int64_t end = pre + doc_->SizeAt(pre);
+  // Deleted slots stay in place as unused tuples: no pre shifts, and the
+  // slots remain inside their ancestors' ranges.
+  for (int64_t k = pre; k <= end; ++k)
+    doc_->MarkUnused(doc_->Rid(k), end - k);
+  stats_.pages_touched += PageOf(end) - PageOf(pre) + 1;
+  // Invariant maintenance: ranges always end at a *real* slot (the insert
+  // arithmetic depends on it). Ancestors whose subtree ended exactly at the
+  // deleted range are trimmed back to their last surviving descendant.
+  int64_t last_real = pre - 1;
+  while (last_real >= 0 && doc_->IsUnused(last_real)) --last_real;
+  for (int64_t a = doc_->ParentOf(pre); a >= 0; a = doc_->ParentOf(a)) {
+    int64_t e = a + doc_->SizeAt(a);
+    if (e > end) break;  // ends at a surviving slot; so do all above
+    int64_t ne = std::max(a, last_real);
+    pending_.Add(doc_->Rid(a), ne - e);
+    doc_->SetSize(doc_->Rid(a), ne - a);
+    ++stats_.size_deltas;
+  }
+  doc_->InvalidateIndexes();
+  return Status::OK();
+}
+
+void UpdateEngine::Commit() { pending_.deltas.clear(); }
+
+}  // namespace updates
+}  // namespace mxq

@@ -1,0 +1,136 @@
+// XML updates over the pre|size|level encoding (paper §5.2).
+//
+// Value updates map directly onto relational column updates. Structural
+// updates (subtree insert / delete) use the paper's page-wise scheme:
+//
+//  * the document is stored on logical pages with a configurable free-space
+//    percentage left by the shredder (RepackPaged);
+//  * deletes leave unused slots in place — no pre shifts at all;
+//  * inserts that fit a page's free slots shift only within that page;
+//  * larger inserts append fresh physical pages and splice them into the
+//    logical page order (the pre|size|level view re-orders pages, so all
+//    following nodes renumber implicitly — no tuple is rewritten);
+//  * ancestor `size` maintenance is recorded as *deltas* per transaction
+//    (SizeDeltaLog), the paper's trick to release size locks early: deltas
+//    from concurrent transactions commute.
+//
+// UpdateStats counts pages touched per operation, substantiating the §5.2
+// claim that an insert costs a constant number of page writes.
+
+#ifndef MXQ_UPDATES_UPDATE_ENGINE_H_
+#define MXQ_UPDATES_UPDATE_ENGINE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/document.h"
+
+namespace mxq {
+namespace updates {
+
+/// Where to place an inserted subtree relative to a target node.
+enum class InsertPos : uint8_t { kFirst, kLast, kBefore, kAfter };
+
+/// Pages written by one structural operation (the paper's I/O argument).
+struct UpdateStats {
+  int64_t pages_touched = 0;
+  int64_t pages_appended = 0;
+  int64_t slots_shifted = 0;
+  int64_t size_deltas = 0;
+
+  void Reset() { *this = UpdateStats{}; }
+};
+
+/// The per-transaction size-delta list (§5.2): ancestors' size changes are
+/// logged as (rid, delta) and can be applied in any order — even interleaved
+/// with other transactions' deltas — because addition commutes.
+struct SizeDeltaLog {
+  std::vector<std::pair<int64_t, int64_t>> deltas;  // (rid, +delta)
+
+  void Add(int64_t rid, int64_t delta) { deltas.emplace_back(rid, delta); }
+  void Apply(DocumentContainer* doc) const {
+    for (auto [rid, d] : deltas) doc->SetSize(rid, doc->SizeAtRid(rid) + d);
+  }
+};
+
+/// \brief Structural/value update engine over one document container.
+///
+/// The container is converted to the paged representation on construction
+/// (if not already paged).
+class UpdateEngine {
+ public:
+  /// `page_bits`: log2 of slots per logical page. `fill_pct`: percentage of
+  /// each page used at repack time (the rest stays free for inserts).
+  UpdateEngine(DocumentContainer* doc, int page_bits = 8, int fill_pct = 80);
+
+  // ---- value updates ---------------------------------------------------------
+
+  /// Replaces the content of a text/comment node.
+  Status ReplaceText(int64_t pre, std::string_view text);
+  /// Replaces an attribute's value (attr row of the container).
+  Status ReplaceAttrValue(int64_t attr_row, std::string_view value);
+  /// Renames an element.
+  Status RenameElement(int64_t pre, std::string_view tag);
+  /// Sets (or adds) an attribute on an element.
+  Status SetAttribute(int64_t pre, std::string_view name,
+                      std::string_view value);
+
+  // ---- structural updates ------------------------------------------------------
+
+  /// Inserts a copy of `src_pre` from `src` at `pos` relative to `target`
+  /// (kFirst/kLast: target is the parent; kBefore/kAfter: the sibling).
+  /// Returns the new subtree root's pre.
+  Result<int64_t> InsertSubtree(int64_t target, InsertPos pos,
+                                const DocumentContainer& src, int64_t src_pre);
+
+  /// Parses `xml` as a fragment and inserts it (convenience).
+  Result<int64_t> InsertXml(int64_t target, InsertPos pos,
+                            std::string_view xml);
+
+  /// Deletes the subtree rooted at `pre` (slots become unused; no shifts).
+  Status DeleteSubtree(int64_t pre);
+
+  // ---- transaction-ish size handling -------------------------------------------
+
+  /// Deltas of the current "transaction"; Commit applies and clears them.
+  SizeDeltaLog& pending_deltas() { return pending_; }
+  void Commit();
+
+  const UpdateStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  DocumentContainer* doc() { return doc_; }
+
+  /// Re-shreds the container into a paged layout with free space on every
+  /// page (what the paper's shredder does up front). Static so tests can
+  /// repack standalone documents.
+  static void RepackPaged(DocumentContainer* doc, int page_bits,
+                          int fill_pct);
+
+ private:
+  int64_t PageOf(int64_t pre) const { return pre >> page_bits_; }
+  int64_t PageStart(int64_t page) const { return page << page_bits_; }
+  int64_t PageSlots() const { return int64_t{1} << page_bits_; }
+
+  /// First unused slot index (within the logical view) of page, or the page
+  /// end if full.
+  int64_t FirstFreeInPage(int64_t page) const;
+
+  /// Core insert: place `n_slots` new slots before logical position `at`,
+  /// where `parent_pre` is the node whose subtree receives them.
+  /// Returns the logical position where the new slots begin.
+  Result<int64_t> MakeGap(int64_t at, int64_t parent_pre, int64_t n_slots);
+
+  DocumentContainer* doc_;
+  int page_bits_;
+  int fill_pct_;
+  SizeDeltaLog pending_;
+  UpdateStats stats_;
+};
+
+}  // namespace updates
+}  // namespace mxq
+
+#endif  // MXQ_UPDATES_UPDATE_ENGINE_H_

@@ -1,0 +1,94 @@
+#include "updates/xquery_updates.h"
+
+#include <algorithm>
+
+namespace mxq {
+namespace updates {
+
+Result<std::vector<Item>> XQueryUpdater::Targets(const std::string& q) {
+  MXQ_ASSIGN_OR_RETURN(xq::CompiledQuery plan, engine_->Compile(q));
+  xq::EvalOptions eo;
+  MXQ_ASSIGN_OR_RETURN(xq::QueryResult res, engine_->Execute(plan, &eo));
+  int32_t want = update_->doc()->id();
+  for (const Item& it : res.items) {
+    if (!it.is_any_node())
+      return Status::InvalidArgument(
+          "update target query selected a non-node item");
+    int32_t cid =
+        it.kind == ItemKind::kNode ? it.node().container : it.attr().container;
+    if (cid != want)
+      return Status::InvalidArgument(
+          "update target is not in the updatable document");
+  }
+  return res.items;
+}
+
+Result<int64_t> XQueryUpdater::Insert(const std::string& target_query,
+                                      InsertPos pos, std::string_view xml) {
+  MXQ_ASSIGN_OR_RETURN(std::vector<Item> targets, Targets(target_query));
+  // Reverse document order: an insert never shifts a target that precedes
+  // it, so earlier-collected pres stay valid.
+  std::reverse(targets.begin(), targets.end());
+  int64_t n = 0;
+  for (const Item& t : targets) {
+    if (t.kind != ItemKind::kNode)
+      return Status::InvalidArgument("insert target must be an element");
+    MXQ_ASSIGN_OR_RETURN(int64_t root,
+                         update_->InsertXml(t.node().pre, pos, xml));
+    (void)root;
+    ++n;
+  }
+  return n;
+}
+
+Result<int64_t> XQueryUpdater::Delete(const std::string& target_query) {
+  MXQ_ASSIGN_OR_RETURN(std::vector<Item> targets, Targets(target_query));
+  std::reverse(targets.begin(), targets.end());
+  int64_t n = 0;
+  for (const Item& t : targets) {
+    if (t.kind != ItemKind::kNode)
+      return Status::InvalidArgument("delete target must be a tree node");
+    // Nested targets: a later (outer) delete may already cover this pre.
+    if (update_->doc()->IsUnused(t.node().pre)) continue;
+    MXQ_RETURN_IF_ERROR(update_->DeleteSubtree(t.node().pre));
+    ++n;
+  }
+  return n;
+}
+
+Result<int64_t> XQueryUpdater::ReplaceValue(const std::string& target_query,
+                                            std::string_view text) {
+  MXQ_ASSIGN_OR_RETURN(std::vector<Item> targets, Targets(target_query));
+  int64_t n = 0;
+  for (const Item& t : targets) {
+    if (t.kind == ItemKind::kAttr) {
+      MXQ_RETURN_IF_ERROR(update_->ReplaceAttrValue(t.attr().row, text));
+    } else {
+      NodeKind k = update_->doc()->KindAt(t.node().pre);
+      if (k == NodeKind::kElem) {
+        // Replacing an element's value: replace its single text child (or
+        // insert one if it has none).
+        int64_t pre = t.node().pre;
+        int64_t end = pre + update_->doc()->SizeAt(pre);
+        int64_t text_child = -1;
+        for (int64_t p = pre + 1; p <= end; ++p)
+          if (!update_->doc()->IsUnused(p) &&
+              update_->doc()->KindAt(p) == NodeKind::kText) {
+            text_child = p;
+            break;
+          }
+        if (text_child < 0)
+          return Status::Unsupported(
+              "replace-value on an element without a text child");
+        MXQ_RETURN_IF_ERROR(update_->ReplaceText(text_child, text));
+      } else {
+        MXQ_RETURN_IF_ERROR(update_->ReplaceText(t.node().pre, text));
+      }
+    }
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace updates
+}  // namespace mxq

@@ -1,0 +1,57 @@
+// Query-level update operators (paper §5.2: "we implemented the same update
+// functionality by means of a series of new XQuery operators with side
+// effects"): targets are addressed by XQuery expressions instead of raw
+// pres, combining XQueryEngine (to find nodes) with UpdateEngine (to change
+// them) — insert-first / insert-last / insert-before / insert-after /
+// delete-nodes / replace-value.
+
+#ifndef MXQ_UPDATES_XQUERY_UPDATES_H_
+#define MXQ_UPDATES_XQUERY_UPDATES_H_
+
+#include <string>
+
+#include "updates/update_engine.h"
+#include "xquery/engine.h"
+
+namespace mxq {
+namespace updates {
+
+/// \brief Applies XQuery-addressed updates to one document.
+///
+/// Target queries run against the engine's DocumentManager and must select
+/// nodes of the engine's document (other nodes are rejected). Structural
+/// targets are processed in reverse document order so earlier updates never
+/// shift later targets.
+class XQueryUpdater {
+ public:
+  XQueryUpdater(xq::XQueryEngine* engine, UpdateEngine* update)
+      : engine_(engine), update_(update) {}
+
+  /// insert-first/last/before/after(target-query, xml-fragment): inserts the
+  /// fragment relative to every node the query selects. Returns the number
+  /// of insertions performed.
+  Result<int64_t> Insert(const std::string& target_query, InsertPos pos,
+                         std::string_view xml);
+
+  /// delete-nodes(target-query): deletes every selected subtree. Returns
+  /// the number of deletions.
+  Result<int64_t> Delete(const std::string& target_query);
+
+  /// replace-value(target-query, text): replaces the string content of the
+  /// selected text/comment nodes, or the value of selected attributes.
+  Result<int64_t> ReplaceValue(const std::string& target_query,
+                               std::string_view text);
+
+ private:
+  /// Runs the target query and returns the selected nodes of the updatable
+  /// document, in document order.
+  Result<std::vector<Item>> Targets(const std::string& q);
+
+  xq::XQueryEngine* engine_;
+  UpdateEngine* update_;
+};
+
+}  // namespace updates
+}  // namespace mxq
+
+#endif  // MXQ_UPDATES_XQUERY_UPDATES_H_

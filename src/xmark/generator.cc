@@ -1,0 +1,376 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+#include <random>
+
+namespace mxq {
+namespace xmark {
+
+namespace {
+
+// A small Shakespeare-flavoured vocabulary (the original XMark fills text
+// from Shakespeare's plays); "gold" must occur for Q14.
+const char* kWords[] = {
+    "gold",     "summer",  "shall",    "compare", "thee",     "lovely",
+    "temperate","rough",   "winds",    "darling", "buds",     "may",
+    "lease",    "date",    "sometime", "eye",     "heaven",   "shines",
+    "dimmed",   "fair",    "declines", "chance",  "nature",   "changing",
+    "course",   "untrimmed","eternal", "fade",    "possession","owest",
+    "death",    "brag",    "wander",   "shade",   "lines",    "time",
+    "growest",  "men",     "breathe",  "eyes",    "see",      "life",
+    "mountain", "river",   "castle",   "merchant","voyage",   "fortune",
+    "purse",    "ducats",  "argosy",   "venture", "silk",     "spice",
+};
+constexpr int kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* kRegions[] = {"africa", "asia",     "australia",
+                          "europe", "namerica", "samerica"};
+const double kRegionShare[] = {0.025, 0.092, 0.101, 0.276, 0.460, 0.046};
+
+const char* kFirstNames[] = {"Kasidit", "Amara",  "Bola",   "Chen",
+                             "Dariusz", "Eni",    "Farida", "Goran",
+                             "Hulda",   "Ivo",    "Jelena", "Kenji",
+                             "Leila",   "Mandla", "Noor",   "Olga"};
+const char* kLastNames[] = {"Treweek", "Okafor",   "Lindqvist", "Morreau",
+                            "Suzuki",  "Petrov",   "Ngata",     "Valdez",
+                            "Iyer",    "Haugen",   "Botha",     "Keller",
+                            "Ahmadi",  "Castillo", "Deng",      "Eriksen"};
+const char* kCities[] = {"Amsterdam", "Munich",   "Enschede", "Chicago",
+                         "Tsukuba",   "Toronto",  "Lagos",    "Santiago"};
+const char* kCountries[] = {"United States", "Germany",     "Netherlands",
+                            "Japan",         "South Africa", "Brazil"};
+const char* kEducation[] = {"High School", "College", "Graduate School",
+                            "Other"};
+
+class Generator {
+ public:
+  explicit Generator(const XMarkOptions& opts)
+      : rng_(opts.seed), counts_(XMarkCounts::ForScale(opts.scale)) {
+    out_.reserve(1 << 20);
+  }
+
+  std::string Run() {
+    out_ += "<site>";
+    Regions();
+    Categories();
+    CatGraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    out_ += "</site>";
+    return std::move(out_);
+  }
+
+ private:
+  int Rand(int n) { return static_cast<int>(rng_() % n); }
+  bool Pct(int p) { return Rand(100) < p; }
+
+  void Words(int n) {
+    for (int i = 0; i < n; ++i) {
+      if (i) out_ += " ";
+      out_ += kWords[Rand(kNumWords)];
+    }
+  }
+
+  void Text(int min_words, int max_words) {
+    Words(min_words + Rand(max_words - min_words + 1));
+  }
+
+  /// description = text | parlist. Parlists nest exactly the Q15/Q16 shape:
+  /// parlist/listitem/(text | parlist/listitem/text), with text optionally
+  /// wrapping emph/keyword/bold runs (keyword inside emph for Q15).
+  void RichText() {
+    out_ += "<text>";
+    Text(4, 12);
+    if (Pct(40)) {
+      out_ += " <bold>";
+      Text(1, 3);
+      out_ += "</bold> ";
+      Text(1, 4);
+    }
+    if (Pct(50)) {
+      out_ += " <emph>";
+      Text(1, 2);
+      if (Pct(60)) {
+        out_ += " <keyword>";
+        Text(1, 2);
+        out_ += "</keyword>";
+      }
+      out_ += "</emph> ";
+      Text(1, 3);
+    }
+    out_ += "</text>";
+  }
+
+  void Parlist(int depth) {
+    out_ += "<parlist>";
+    int items = 1 + Rand(3);
+    for (int i = 0; i < items; ++i) {
+      out_ += "<listitem>";
+      if (depth < 2 && Pct(45))
+        Parlist(depth + 1);
+      else
+        RichText();
+      out_ += "</listitem>";
+    }
+    out_ += "</parlist>";
+  }
+
+  void Description() {
+    out_ += "<description>";
+    if (Pct(55))
+      RichText();
+    else
+      Parlist(1);
+    out_ += "</description>";
+  }
+
+  void Regions() {
+    out_ += "<regions>";
+    int64_t next_item = 0;
+    for (int r = 0; r < 6; ++r) {
+      out_ += "<";
+      out_ += kRegions[r];
+      out_ += ">";
+      int64_t n = std::max<int64_t>(
+          1, static_cast<int64_t>(counts_.items * kRegionShare[r]));
+      for (int64_t i = 0; i < n; ++i) Item(next_item++);
+      out_ += "</";
+      out_ += kRegions[r];
+      out_ += ">";
+    }
+    total_items_ = next_item;
+    out_ += "</regions>";
+  }
+
+  void Item(int64_t id) {
+    out_ += "<item id=\"item" + std::to_string(id) + "\">";
+    out_ += "<location>";
+    out_ += kCountries[Rand(6)];
+    out_ += "</location>";
+    out_ += "<quantity>" + std::to_string(1 + Rand(5)) + "</quantity>";
+    out_ += "<name>";
+    Text(2, 4);
+    out_ += "</name><payment>Creditcard</payment>";
+    Description();
+    out_ += "<shipping>Will ship internationally</shipping>";
+    int cats = 1 + Rand(3);
+    for (int c = 0; c < cats; ++c)
+      out_ += "<incategory category=\"category" +
+              std::to_string(Rand(static_cast<int>(counts_.categories))) +
+              "\"/>";
+    // Empty elements would not survive an exact serialization round trip
+    // (<mailbox></mailbox> canonicalizes to <mailbox/>), so only emit the
+    // mailbox when it has mail.
+    int mails = Pct(70) ? Rand(3) : 0;
+    if (mails > 0) {
+      out_ += "<mailbox>";
+      for (int m = 0; m < mails; ++m) {
+        out_ += "<mail><from>";
+        Name();
+        out_ += "</from><to>";
+        Name();
+        out_ += "</to><date>" + Date() + "</date>";
+        RichText();
+        out_ += "</mail>";
+      }
+      out_ += "</mailbox>";
+    }
+    out_ += "</item>";
+  }
+
+  void Name() {
+    out_ += kFirstNames[Rand(16)];
+    out_ += " ";
+    out_ += kLastNames[Rand(16)];
+  }
+
+  std::string Date() {
+    return std::to_string(1 + Rand(12)) + "/" + std::to_string(1 + Rand(28)) +
+           "/" + std::to_string(1998 + Rand(4));
+  }
+
+  void Categories() {
+    out_ += "<categories>";
+    for (int64_t c = 0; c < counts_.categories; ++c) {
+      out_ += "<category id=\"category" + std::to_string(c) + "\"><name>";
+      Text(1, 3);
+      out_ += "</name>";
+      Description();
+      out_ += "</category>";
+    }
+    out_ += "</categories>";
+  }
+
+  void CatGraph() {
+    out_ += "<catgraph>";
+    int64_t edges = counts_.categories;
+    for (int64_t e = 0; e < edges; ++e) {
+      int from = Rand(static_cast<int>(counts_.categories));
+      int to = Rand(static_cast<int>(counts_.categories));
+      out_ += "<edge from=\"category" + std::to_string(from) +
+              "\" to=\"category" + std::to_string(to) + "\"/>";
+    }
+    out_ += "</catgraph>";
+  }
+
+  void People() {
+    out_ += "<people>";
+    for (int64_t p = 0; p < counts_.persons; ++p) {
+      out_ += "<person id=\"person" + std::to_string(p) + "\">";
+      out_ += "<name>";
+      Name();
+      out_ += "</name><emailaddress>mailto:person" + std::to_string(p) +
+              "@example.org</emailaddress>";
+      if (Pct(50))
+        out_ += "<phone>+31 " + std::to_string(100000 + Rand(900000)) +
+                "</phone>";
+      if (Pct(60)) {
+        out_ += "<address><street>" + std::to_string(1 + Rand(99)) + " ";
+        Words(1);
+        out_ += " St</street><city>";
+        out_ += kCities[Rand(8)];
+        out_ += "</city><country>";
+        out_ += kCountries[Rand(6)];
+        out_ += "</country><zipcode>" + std::to_string(10000 + Rand(89999)) +
+                "</zipcode></address>";
+      }
+      if (Pct(50))
+        out_ += "<homepage>http://example.org/~person" + std::to_string(p) +
+                "</homepage>";
+      if (Pct(60))
+        out_ += "<creditcard>" + std::to_string(1000 + Rand(9000)) + " " +
+                std::to_string(1000 + Rand(9000)) + "</creditcard>";
+      if (Pct(75)) {
+        // profile; ~70% of profiles carry @income (Q20 needs all bands:
+        // >=100k, 30k..100k, <30k, and missing).
+        if (Pct(70)) {
+          double income = 9000 + Rand(200000);
+          out_ += "<profile income=\"" + std::to_string(income) + "\">";
+        } else {
+          out_ += "<profile>";
+        }
+        int interests = Rand(4);
+        for (int i = 0; i < interests; ++i)
+          out_ += "<interest category=\"category" +
+                  std::to_string(Rand(static_cast<int>(counts_.categories))) +
+                  "\"/>";
+        if (Pct(40))
+          out_ += "<education>" + std::string(kEducation[Rand(4)]) +
+                  "</education>";
+        if (Pct(60)) out_ += Pct(50) ? "<gender>male</gender>"
+                                     : "<gender>female</gender>";
+        out_ += "<business>";
+        out_ += Pct(50) ? "Yes" : "No";
+        out_ += "</business>";
+        if (Pct(60))
+          out_ += "<age>" + std::to_string(18 + Rand(50)) + "</age>";
+        out_ += "</profile>";
+      }
+      if (Pct(30)) {
+        out_ += "<watches>";
+        int w = 1 + Rand(3);
+        for (int i = 0; i < w; ++i)
+          out_ += "<watch open_auction=\"open_auction" +
+                  std::to_string(Rand(std::max<int>(
+                      1, static_cast<int>(counts_.open_auctions)))) +
+                  "\"/>";
+        out_ += "</watches>";
+      }
+      out_ += "</person>";
+    }
+    out_ += "</people>";
+  }
+
+  std::string PersonRef() {
+    return "person" + std::to_string(Rand(static_cast<int>(counts_.persons)));
+  }
+  std::string ItemRef() {
+    return "item" + std::to_string(Rand(static_cast<int>(total_items_)));
+  }
+
+  void OpenAuctions() {
+    out_ += "<open_auctions>";
+    for (int64_t a = 0; a < counts_.open_auctions; ++a) {
+      out_ += "<open_auction id=\"open_auction" + std::to_string(a) + "\">";
+      double initial = 1 + Rand(300) + Rand(100) / 100.0;
+      out_ += "<initial>" + Money(initial) + "</initial>";
+      if (Pct(40)) out_ += "<reserve>" + Money(initial * 1.2) + "</reserve>";
+      int bidders = Rand(6);
+      double cur = initial;
+      for (int b = 0; b < bidders; ++b) {
+        double inc = (1 + Rand(12)) * 1.5;
+        cur += inc;
+        out_ += "<bidder><date>" + Date() + "</date><time>" +
+                std::to_string(Rand(24)) + ":" + std::to_string(Rand(60)) +
+                "</time><personref person=\"" + PersonRef() +
+                "\"/><increase>" + Money(inc) + "</increase></bidder>";
+      }
+      out_ += "<current>" + Money(cur) + "</current>";
+      if (Pct(30)) out_ += "<privacy>Yes</privacy>";
+      out_ += "<itemref item=\"" + ItemRef() + "\"/>";
+      out_ += "<seller person=\"" + PersonRef() + "\"/>";
+      Annotation();
+      out_ += "<quantity>1</quantity><type>Regular</type>";
+      out_ += "<interval><start>" + Date() + "</start><end>" + Date() +
+              "</end></interval>";
+      out_ += "</open_auction>";
+    }
+    out_ += "</open_auctions>";
+  }
+
+  void Annotation() {
+    out_ += "<annotation><author person=\"" + PersonRef() + "\"/>";
+    Description();
+    out_ += "<happiness>" + std::to_string(1 + Rand(10)) + "</happiness>";
+    out_ += "</annotation>";
+  }
+
+  std::string Money(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+  }
+
+  void ClosedAuctions() {
+    out_ += "<closed_auctions>";
+    for (int64_t a = 0; a < counts_.closed_auctions; ++a) {
+      out_ += "<closed_auction><seller person=\"" + PersonRef() + "\"/>";
+      out_ += "<buyer person=\"" + PersonRef() + "\"/>";
+      out_ += "<itemref item=\"" + ItemRef() + "\"/>";
+      out_ += "<price>" + Money(1 + Rand(400)) + "</price>";
+      out_ += "<date>" + Date() + "</date>";
+      out_ += "<quantity>1</quantity><type>Regular</type>";
+      Annotation();
+      out_ += "</closed_auction>";
+    }
+    out_ += "</closed_auctions>";
+  }
+
+  std::mt19937 rng_;
+  XMarkCounts counts_;
+  int64_t total_items_ = 0;
+  std::string out_;
+};
+
+}  // namespace
+
+XMarkCounts XMarkCounts::ForScale(double scale) {
+  auto at_least = [](int64_t lo, double v) {
+    return std::max<int64_t>(lo, static_cast<int64_t>(v));
+  };
+  XMarkCounts c;
+  c.persons = at_least(6, 25500 * scale);
+  c.items = at_least(6, 21750 * scale);
+  c.open_auctions = at_least(3, 12000 * scale);
+  c.closed_auctions = at_least(3, 9750 * scale);
+  c.categories = at_least(3, 1000 * scale);
+  return c;
+}
+
+std::string GenerateXMark(const XMarkOptions& opts) {
+  return Generator(opts).Run();
+}
+
+}  // namespace xmark
+}  // namespace mxq

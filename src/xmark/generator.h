@@ -1,0 +1,46 @@
+// XMark auction-site document generator (Schmidt et al. [36]).
+//
+// Generates documents structurally equivalent to the XMark benchmark data:
+// the full auction schema (regions/items, categories + catgraph, people with
+// optional profile/income/homepage, open auctions with bidder chains, closed
+// auctions with nested annotation parlists). Element/attribute names and the
+// shape constraints match what the 20 XMark queries touch, including the
+// deep Q15/Q16 path (annotation/description/parlist/listitem/parlist/
+// listitem/text/emph/keyword) and Q14's "gold" description keyword.
+//
+// scale 1.0 corresponds to the original 100 MB document (25500 persons);
+// the paper's 1.1 MB / 11 MB / 110 MB / 1.1 GB / 11 GB series is
+// scale = 0.01 / 0.1 / 1 / 10 / 100.
+
+#ifndef MXQ_XMARK_GENERATOR_H_
+#define MXQ_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mxq {
+namespace xmark {
+
+struct XMarkOptions {
+  double scale = 0.01;
+  uint32_t seed = 20060627;  // SIGMOD 2006 :-)
+};
+
+/// Entity counts at a given scale (linear in scale, with small-doc floors).
+struct XMarkCounts {
+  int64_t persons;
+  int64_t items;           // across all six regions
+  int64_t open_auctions;
+  int64_t closed_auctions;
+  int64_t categories;
+
+  static XMarkCounts ForScale(double scale);
+};
+
+/// Generates the XML text of one auction document.
+std::string GenerateXMark(const XMarkOptions& opts);
+
+}  // namespace xmark
+}  // namespace mxq
+
+#endif  // MXQ_XMARK_GENERATOR_H_

@@ -1,0 +1,185 @@
+#include "xmark/queries.h"
+
+#include <cassert>
+
+namespace mxq {
+namespace xmark {
+
+namespace {
+
+const char* kQueries[kNumQueries] = {
+    // Q1: exact match
+    R"(for $b in doc("auction.xml")/site/people/person
+       where $b/@id = "person0" return $b/name/text())",
+
+    // Q2: ordered access (first bidder increase)
+    R"(for $b in doc("auction.xml")/site/open_auctions/open_auction
+       return <increase>{$b/bidder[1]/increase/text()}</increase>)",
+
+    // Q3: ordered access (first and last)
+    R"(for $b in doc("auction.xml")/site/open_auctions/open_auction
+       where zero-or-one($b/bidder[1]/increase/text()) * 2
+             <= $b/bidder[last()]/increase/text()
+       return <increase first="{$b/bidder[1]/increase/text()}"
+                        last="{$b/bidder[last()]/increase/text()}"/>)",
+
+    // Q4: document-order comparison inside a quantifier
+    R"(for $b in doc("auction.xml")/site/open_auctions/open_auction
+       where some $pr1 in $b/bidder/personref[@person = "person3"],
+                  $pr2 in $b/bidder/personref[@person = "person5"]
+             satisfies $pr1 << $pr2
+       return <history>{$b/initial/text()}</history>)",
+
+    // Q5: exact match with aggregation
+    R"(count(for $i in doc("auction.xml")/site/closed_auctions/closed_auction
+             where $i/price/text() >= 40 return $i/price))",
+
+    // Q6: regular path expressions
+    R"(for $b in doc("auction.xml")/site/regions return count($b//item))",
+
+    // Q7: regular path expressions, full document
+    R"(for $p in doc("auction.xml")/site
+       return count($p//description) + count($p//annotation)
+            + count($p//emailaddress))",
+
+    // Q8: value join (buyer -> person)
+    R"(for $p in doc("auction.xml")/site/people/person
+       let $a := for $t in doc("auction.xml")/site/closed_auctions/closed_auction
+                 where $t/buyer/@person = $p/@id return $t
+       return <item person="{$p/name/text()}">{count($a)}</item>)",
+
+    // Q9: two value joins (buyer -> person, itemref -> europe item)
+    R"(for $p in doc("auction.xml")/site/people/person
+       let $a := for $t in doc("auction.xml")/site/closed_auctions/closed_auction
+                 let $n := for $t2 in doc("auction.xml")/site/regions/europe/item
+                           where $t/itemref/@item = $t2/@id return $t2
+                 where $p/@id = $t/buyer/@person
+                 return <item>{$n/name/text()}</item>
+       return <person name="{$p/name/text()}">{$a}</person>)",
+
+    // Q10: grouping by interest category (large reconstruction)
+    R"(for $i in distinct-values(
+             doc("auction.xml")/site/people/person/profile/interest/@category)
+       let $p := for $t in doc("auction.xml")/site/people/person
+                 where $t/profile/interest/@category = $i
+                 return <personne>
+                          <statistiques>
+                            <sexe>{$t/profile/gender/text()}</sexe>
+                            <age>{$t/profile/age/text()}</age>
+                            <education>{$t/profile/education/text()}</education>
+                            <revenu>{data($t/profile/@income)}</revenu>
+                          </statistiques>
+                          <coordonnees>
+                            <nom>{$t/name/text()}</nom>
+                            <rue>{$t/address/street/text()}</rue>
+                            <ville>{$t/address/city/text()}</ville>
+                            <pays>{$t/address/country/text()}</pays>
+                            <reseau>
+                              <courrier>{$t/emailaddress/text()}</courrier>
+                              <pagePerso>{$t/homepage/text()}</pagePerso>
+                            </reseau>
+                          </coordonnees>
+                          <cartePaiement>{$t/creditcard/text()}</cartePaiement>
+                        </personne>
+       return <categorie>{<id>{$i}</id>}{$p}</categorie>)",
+
+    // Q11: theta join (> with arithmetic)
+    R"(for $p in doc("auction.xml")/site/people/person
+       let $l := for $i in doc("auction.xml")/site/open_auctions/open_auction/initial
+                 where $p/profile/@income > 5000 * exactly-one($i/text())
+                 return $i
+       return <items name="{$p/name/text()}">{count($l)}</items>)",
+
+    // Q12: theta join restricted to high incomes
+    R"(for $p in doc("auction.xml")/site/people/person
+       let $l := for $i in doc("auction.xml")/site/open_auctions/open_auction/initial
+                 where $p/profile/@income > 5000 * exactly-one($i/text())
+                 return $i
+       where $p/profile/@income > 50000
+       return <items person="{$p/profile/@income}">{count($l)}</items>)",
+
+    // Q13: reconstruction of australia items
+    R"(for $i in doc("auction.xml")/site/regions/australia/item
+       return <item name="{$i/name/text()}">{$i/description}</item>)",
+
+    // Q14: full-text-ish scan
+    R"(for $i in doc("auction.xml")/site//item
+       where contains(string(exactly-one($i/description)), "gold")
+       return $i/name/text())",
+
+    // Q15: very long path
+    R"(for $a in doc("auction.xml")/site/closed_auctions/closed_auction
+                 /annotation/description/parlist/listitem/parlist/listitem
+                 /text/emph/keyword/text()
+       return <text>{$a}</text>)",
+
+    // Q16: long path existence test
+    R"(for $a in doc("auction.xml")/site/closed_auctions/closed_auction
+       where not(empty($a/annotation/description/parlist/listitem/parlist
+                       /listitem/text/emph/keyword/text()))
+       return <person id="{$a/seller/@person}"/>)",
+
+    // Q17: missing elements
+    R"(for $p in doc("auction.xml")/site/people/person
+       where empty($p/homepage/text())
+       return <person name="{$p/name/text()}"/>)",
+
+    // Q18: user-defined function
+    R"(declare function local:convert($v) { 2.20371 * $v };
+       for $i in doc("auction.xml")/site/open_auctions/open_auction
+       return local:convert(zero-or-one($i/reserve)))",
+
+    // Q19: order by
+    R"(for $b in doc("auction.xml")/site/regions//item
+       let $k := $b/name/text()
+       order by zero-or-one($b/location) ascending
+       return <item name="{$k}">{$b/location/text()}</item>)",
+
+    // Q20: aggregation with income bands
+    R"(<result>
+        <preferred>{count(doc("auction.xml")/site/people/person/profile[@income >= 100000])}</preferred>
+        <standard>{count(doc("auction.xml")/site/people/person
+                         /profile[@income < 100000 and @income >= 30000])}</standard>
+        <challenge>{count(doc("auction.xml")/site/people/person/profile[@income < 30000])}</challenge>
+        <na>{count(for $p in doc("auction.xml")/site/people/person
+                   where empty($p/profile/@income) return $p)}</na>
+       </result>)",
+};
+
+const char* kLabels[kNumQueries] = {
+    "exact match",
+    "ordered access (first bidder)",
+    "ordered access (first vs last)",
+    "document order in quantifier",
+    "exact match + aggregation",
+    "regular path (per region)",
+    "regular path (whole document)",
+    "value join (1-way)",
+    "value join (2-way)",
+    "grouping + reconstruction",
+    "theta join (>)",
+    "theta join (>) with filter",
+    "reconstruction",
+    "string containment",
+    "13-step path",
+    "long path existence",
+    "missing elements",
+    "user-defined function",
+    "order by",
+    "income-band aggregation",
+};
+
+}  // namespace
+
+const char* XMarkQuery(int n) {
+  assert(n >= 1 && n <= kNumQueries);
+  return kQueries[n - 1];
+}
+
+const char* XMarkQueryLabel(int n) {
+  assert(n >= 1 && n <= kNumQueries);
+  return kLabels[n - 1];
+}
+
+}  // namespace xmark
+}  // namespace mxq

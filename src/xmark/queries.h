@@ -1,0 +1,24 @@
+// The 20 XMark benchmark queries [36], in the engine's dialect.
+//
+// Texts follow the original benchmark formulations (document name
+// "auction.xml"); Q8-Q12 use the for/let/where join pattern whose naive
+// compilation produces the loop-lifted cross products of Figure 13.
+
+#ifndef MXQ_XMARK_QUERIES_H_
+#define MXQ_XMARK_QUERIES_H_
+
+namespace mxq {
+namespace xmark {
+
+inline constexpr int kNumQueries = 20;
+
+/// Query text of XMark query `n` (1-based, 1..20).
+const char* XMarkQuery(int n);
+
+/// Short description (the benchmark's query-class labels).
+const char* XMarkQueryLabel(int n);
+
+}  // namespace xmark
+}  // namespace mxq
+
+#endif  // MXQ_XMARK_QUERIES_H_

@@ -1,0 +1,195 @@
+#include "xml/serializer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace mxq {
+
+void EscapeText(std::string_view in, std::string* out) {
+  for (char ch : in) {
+    switch (ch) {
+      case '&': *out += "&amp;"; break;
+      case '<': *out += "&lt;"; break;
+      case '>': *out += "&gt;"; break;
+      default: out->push_back(ch);
+    }
+  }
+}
+
+void EscapeAttr(std::string_view in, std::string* out) {
+  for (char ch : in) {
+    switch (ch) {
+      case '&': *out += "&amp;"; break;
+      case '<': *out += "&lt;"; break;
+      case '>': *out += "&gt;"; break;
+      case '"': *out += "&quot;"; break;
+      default: out->push_back(ch);
+    }
+  }
+}
+
+namespace {
+
+void Indent(std::string* out, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+void SerializeNode(const DocumentContainer& c, int64_t pre, std::string* out,
+                   const SerializeOptions& opts) {
+  const StringPool& pool = c.manager()->strings();
+  struct Open {
+    int64_t end;   // last slot of the element's subtree range
+    StrId tag;
+    bool has_children;
+    bool tag_open;  // ">" not yet written: still empty so far
+  };
+  std::vector<Open> stack;
+  std::vector<int64_t> attr_rows;
+
+  // An element whose subtree range contains only unused slots (a fully
+  // deleted interior, paper S5.2) must serialize as <tag/>: the ">" is
+  // written lazily on the first real child.
+  auto close_top = [&](bool indent_it) {
+    Open& top = stack.back();
+    if (top.tag_open) {
+      *out += "/>";
+    } else {
+      if (indent_it && top.has_children)
+        Indent(out, static_cast<int>(stack.size()) - 1);
+      *out += "</";
+      *out += pool.Get(top.tag);
+      *out += ">";
+    }
+    stack.pop_back();
+  };
+  auto flush_open = [&] {
+    if (!stack.empty() && stack.back().tag_open) {
+      *out += ">";
+      stack.back().tag_open = false;
+    }
+  };
+
+  int64_t end = pre + c.SizeAt(pre);
+  for (int64_t p = pre; p <= end;) {
+    if (c.IsUnused(p)) {
+      p += c.SizeAt(p) + 1;
+      continue;
+    }
+    // Close any elements whose subtree ended before p.
+    while (!stack.empty() && stack.back().end < p) close_top(opts.indent);
+    flush_open();
+    if (!stack.empty() && opts.indent)
+      Indent(out, static_cast<int>(stack.size()));
+    if (!stack.empty()) stack.back().has_children = true;
+
+    switch (c.KindAt(p)) {
+      case NodeKind::kDoc:
+        if (!opts.omit_doc_node) *out += "<?xml version=\"1.0\"?>";
+        ++p;
+        continue;  // children follow naturally in the scan
+      case NodeKind::kElem: {
+        StrId tag = static_cast<StrId>(c.RefAt(p));
+        *out += "<";
+        *out += pool.Get(tag);
+        c.AttrsOf(p, &attr_rows);
+        for (int64_t row : attr_rows) {
+          *out += " ";
+          *out += pool.Get(c.AttrQn(row));
+          *out += "=\"";
+          EscapeAttr(pool.View(c.AttrValue(row)), out);
+          *out += "\"";
+        }
+        if (c.SizeAt(p) == 0) {
+          *out += "/>";
+        } else {
+          stack.push_back({p + c.SizeAt(p), tag, false, /*tag_open=*/true});
+        }
+        break;
+      }
+      case NodeKind::kText:
+        EscapeText(pool.View(static_cast<StrId>(c.RefAt(p))), out);
+        break;
+      case NodeKind::kComment:
+        *out += "<!--";
+        *out += pool.Get(static_cast<StrId>(c.RefAt(p)));
+        *out += "-->";
+        break;
+      case NodeKind::kPI: {
+        int64_t row = c.RefAt(p);
+        *out += "<?";
+        *out += pool.Get(c.PITarget(row));
+        *out += " ";
+        *out += pool.Get(c.PIValue(row));
+        *out += "?>";
+        break;
+      }
+      case NodeKind::kUnused:
+        break;  // unreachable: handled above
+    }
+    ++p;
+  }
+  while (!stack.empty()) close_top(opts.indent);
+}
+
+std::string AtomicToString(const DocumentManager& mgr, const Item& item) {
+  switch (item.kind) {
+    case ItemKind::kInt:
+      return std::to_string(item.i);
+    case ItemKind::kDouble: {
+      double v = item.d;
+      if (v == std::floor(v) && std::abs(v) < 1e15) {
+        // Integral doubles print without trailing zeros (XQuery decimals).
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", v);
+        std::string s(buf);
+        if (s.size() > 2 && s.ends_with(".0")) s.resize(s.size() - 2);
+        return s;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", v);
+      return buf;
+    }
+    case ItemKind::kBool:
+      return item.b ? "true" : "false";
+    case ItemKind::kString:
+    case ItemKind::kUntyped:
+      return mgr.strings().Get(item.str_id());
+    default:
+      return "";
+  }
+}
+
+std::string SerializeSequence(const DocumentManager& mgr,
+                              std::span<const Item> items,
+                              const SerializeOptions& opts) {
+  std::string out;
+  bool prev_atomic = false;
+  for (const Item& it : items) {
+    if (it.kind == ItemKind::kNode) {
+      NodeRef n = it.node();
+      SerializeNode(*mgr.container(n.container), n.pre, &out, opts);
+      prev_atomic = false;
+    } else if (it.kind == ItemKind::kAttr) {
+      // Standalone attribute in a result sequence: name="value" notation.
+      AttrRef a = it.attr();
+      const DocumentContainer& c = *mgr.container(a.container);
+      out += mgr.strings().Get(c.AttrQn(a.row));
+      out += "=\"";
+      EscapeAttr(mgr.strings().View(c.AttrValue(a.row)), &out);
+      out += "\"";
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) out += " ";
+      std::string text = AtomicToString(mgr, it);
+      EscapeText(text, &out);
+      prev_atomic = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace mxq

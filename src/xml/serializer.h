@@ -1,0 +1,43 @@
+// XML serializer: turns node surrogates / item sequences back into XML text.
+//
+// Serialization of a subtree is a single forward scan over the pre|size|level
+// slots (the paper's observation that serialization is sequential read),
+// with an explicit stack closing elements when their subtree range ends.
+
+#ifndef MXQ_XML_SERIALIZER_H_
+#define MXQ_XML_SERIALIZER_H_
+
+#include <span>
+#include <string>
+
+#include "common/item.h"
+#include "storage/document.h"
+
+namespace mxq {
+
+struct SerializeOptions {
+  bool indent = false;        // pretty-print with 2-space indentation
+  bool omit_doc_node = true;  // document node itself produces no markup
+};
+
+/// Serializes the subtree rooted at `pre` of `container`.
+void SerializeNode(const DocumentContainer& container, int64_t pre,
+                   std::string* out, const SerializeOptions& opts = {});
+
+/// Serializes an XQuery result sequence: nodes as markup, atomic values as
+/// their lexical form, adjacent atomics separated by a single space.
+std::string SerializeSequence(const DocumentManager& mgr,
+                              std::span<const Item> items,
+                              const SerializeOptions& opts = {});
+
+/// Lexical form of one atomic item (no markup).
+std::string AtomicToString(const DocumentManager& mgr, const Item& item);
+
+/// Escapes text content (& < >).
+void EscapeText(std::string_view in, std::string* out);
+/// Escapes attribute values (& < > ").
+void EscapeAttr(std::string_view in, std::string* out);
+
+}  // namespace mxq
+
+#endif  // MXQ_XML_SERIALIZER_H_

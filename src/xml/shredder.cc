@@ -1,0 +1,298 @@
+#include "xml/shredder.h"
+
+#include <cctype>
+#include <vector>
+
+namespace mxq {
+
+namespace {
+
+/// Single-pass recursive-descent XML reader that appends directly into a
+/// DocumentContainer.
+class Shredder {
+ public:
+  Shredder(DocumentContainer* c, std::string_view in, const ShredOptions& opts)
+      : c_(c), pool_(c->manager()->strings()), opts_(opts), in_(in) {}
+
+  /// Parses a full document (with synthetic document node at pre 0).
+  Result<int64_t> ParseDocument(int32_t frag) {
+    frag_ = frag;
+    int64_t doc_rid =
+        c_->AppendSlot(NodeKind::kDoc, /*ref=*/-1, /*level=*/0, frag_);
+    level_ = 1;
+    open_.push_back(doc_rid);
+    SkipProlog();
+    MXQ_RETURN_IF_ERROR(ParseContent());
+    if (open_.size() != 1) return Err("unexpected end of input: open element");
+    CloseTop();
+    if (!AtEnd()) {
+      SkipWhitespace();
+      if (!AtEnd()) return Err("trailing content after document element");
+    }
+    return doc_rid;
+  }
+
+  /// Parses a fragment: top-level nodes become children of no one
+  /// (level 0 roots of fragment `frag`).
+  Result<int64_t> ParseFragment(int32_t frag) {
+    frag_ = frag;
+    level_ = 0;
+    document_mode_ = false;
+    int64_t first = c_->PhysicalSlots();
+    MXQ_RETURN_IF_ERROR(ParseContent());
+    if (!open_.empty()) return Err("unexpected end of input: open element");
+    if (c_->PhysicalSlots() == first) return Err("empty fragment");
+    return first;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  bool LookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(in_[pos_])))
+      ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("XML: " + msg + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        // XML declaration or prolog PI: skip (declarations are not nodes;
+        // prolog PIs are rare enough to drop before the document element).
+        size_t end = in_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 2;
+      } else if (LookingAt("<!DOCTYPE")) {
+        // Skip to the matching '>' (internal subsets use nested brackets).
+        int depth = 0;
+        while (!AtEnd()) {
+          char ch = in_[pos_++];
+          if (ch == '[' || ch == '<') ++depth;
+          if (ch == ']') --depth;
+          if (ch == '>') {
+            if (depth <= 1) break;
+            --depth;
+          }
+        }
+      } else if (LookingAt("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool IsNameChar(char ch) const {
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+           ch == '-' || ch == '.' || ch == ':';
+  }
+
+  Result<std::string_view> ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(in_[pos_])) ++pos_;
+    if (pos_ == start) return Status(Err("expected name"));
+    return in_.substr(start, pos_ - start);
+  }
+
+  /// Decodes entity and character references into `out`.
+  Status DecodeText(std::string_view raw, std::string* out) {
+    out->clear();
+    out->reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out->push_back(raw[i++]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos)
+        return Err("unterminated entity reference");
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt")
+        out->push_back('<');
+      else if (ent == "gt")
+        out->push_back('>');
+      else if (ent == "amp")
+        out->push_back('&');
+      else if (ent == "quot")
+        out->push_back('"');
+      else if (ent == "apos")
+        out->push_back('\'');
+      else if (!ent.empty() && ent[0] == '#') {
+        int base = 10;
+        size_t k = 1;
+        if (k < ent.size() && (ent[k] == 'x' || ent[k] == 'X')) {
+          base = 16;
+          ++k;
+        }
+        long code = std::strtol(std::string(ent.substr(k)).c_str(), nullptr,
+                                base);
+        // UTF-8 encode.
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Err("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  void CloseTop() {
+    int64_t rid = open_.back();
+    open_.pop_back();
+    c_->SetSize(rid, c_->PhysicalSlots() - rid - 1);
+  }
+
+  Status ParseContent() {
+    std::string decoded;
+    while (!AtEnd()) {
+      if (Peek() == '<') {
+        if (LookingAt("</")) {
+          pos_ += 2;
+          MXQ_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+          SkipWhitespace();
+          if (Peek() != '>') return Err("malformed end tag");
+          ++pos_;
+          if (open_.empty() ||
+              (level_ == 1 && c_->KindAtRid(open_.back()) == NodeKind::kDoc))
+            return Err("unmatched end tag </" + std::string(name) + ">");
+          StrId expect = static_cast<StrId>(c_->RefAt(c_->Pre(open_.back())));
+          if (pool_.View(expect) != name)
+            return Err("mismatched end tag </" + std::string(name) + ">");
+          CloseTop();
+          --level_;
+          if (document_mode_ && open_.size() == 1)
+            return Status::OK();  // document element closed
+          // Fragment mode: keep scanning, more sibling roots may follow.
+        } else if (LookingAt("<!--")) {
+          size_t end = in_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) return Err("unterminated comment");
+          std::string_view body = in_.substr(pos_ + 4, end - pos_ - 4);
+          c_->AppendSlot(NodeKind::kComment, pool_.Intern(body), level_,
+                         frag_);
+          pos_ = end + 3;
+        } else if (LookingAt("<![CDATA[")) {
+          size_t end = in_.find("]]>", pos_ + 9);
+          if (end == std::string_view::npos) return Err("unterminated CDATA");
+          std::string_view body = in_.substr(pos_ + 9, end - pos_ - 9);
+          c_->AppendSlot(NodeKind::kText, pool_.Intern(body), level_, frag_);
+          pos_ = end + 3;
+        } else if (LookingAt("<?")) {
+          pos_ += 2;
+          MXQ_ASSIGN_OR_RETURN(std::string_view target, ParseName());
+          SkipWhitespace();
+          size_t end = in_.find("?>", pos_);
+          if (end == std::string_view::npos) return Err("unterminated PI");
+          std::string_view value = in_.substr(pos_, end - pos_);
+          int64_t row = c_->AddPI(pool_.Intern(target), pool_.Intern(value));
+          c_->AppendSlot(NodeKind::kPI, row, level_, frag_);
+          pos_ = end + 2;
+        } else {
+          MXQ_RETURN_IF_ERROR(ParseStartTag());
+        }
+      } else {
+        size_t end = in_.find('<', pos_);
+        if (end == std::string_view::npos) end = in_.size();
+        std::string_view raw = in_.substr(pos_, end - pos_);
+        pos_ = end;
+        bool all_ws = true;
+        for (char ch : raw)
+          if (!std::isspace(static_cast<unsigned char>(ch))) {
+            all_ws = false;
+            break;
+          }
+        if (all_ws && opts_.strip_whitespace_text) continue;
+        if (document_mode_ && open_.size() <= 1)
+          return Err("text content outside the document element");
+        MXQ_RETURN_IF_ERROR(DecodeText(raw, &decoded));
+        c_->AppendSlot(NodeKind::kText, pool_.Intern(decoded), level_, frag_);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseStartTag() {
+    ++pos_;  // '<'
+    MXQ_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+    int64_t rid =
+        c_->AppendSlot(NodeKind::kElem, pool_.Intern(name), level_, frag_);
+    std::string decoded;
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Err("unterminated start tag");
+      if (Peek() == '>') {
+        ++pos_;
+        open_.push_back(rid);
+        ++level_;
+        return Status::OK();
+      }
+      if (LookingAt("/>")) {
+        pos_ += 2;
+        return Status::OK();  // empty element, size stays 0
+      }
+      MXQ_ASSIGN_OR_RETURN(std::string_view attr_name, ParseName());
+      SkipWhitespace();
+      if (Peek() != '=') return Err("expected '=' in attribute");
+      ++pos_;
+      SkipWhitespace();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') return Err("expected quoted value");
+      ++pos_;
+      size_t end = in_.find(quote, pos_);
+      if (end == std::string_view::npos) return Err("unterminated attribute");
+      std::string_view raw = in_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+      MXQ_RETURN_IF_ERROR(DecodeText(raw, &decoded));
+      c_->AppendAttr(rid, pool_.Intern(attr_name), pool_.Intern(decoded));
+    }
+  }
+
+  DocumentContainer* c_;
+  StringPool& pool_;
+  ShredOptions opts_;
+  std::string_view in_;
+  size_t pos_ = 0;
+  int32_t frag_ = 0;
+  int32_t level_ = 0;
+  bool document_mode_ = true;
+  std::vector<int64_t> open_;  // rids of open elements (plus doc node)
+};
+
+}  // namespace
+
+Result<DocumentContainer*> ShredDocument(DocumentManager* mgr,
+                                         const std::string& name,
+                                         std::string_view xml,
+                                         const ShredOptions& opts) {
+  DocumentContainer* c = mgr->CreateContainer(name);
+  Shredder sh(c, xml, opts);
+  auto root = sh.ParseDocument(c->next_frag());
+  if (!root.ok()) return root.status();
+  return c;
+}
+
+Result<int64_t> ShredFragment(DocumentContainer* container,
+                              std::string_view xml, const ShredOptions& opts) {
+  Shredder sh(container, xml, opts);
+  return sh.ParseFragment(container->next_frag());
+}
+
+}  // namespace mxq

@@ -1,0 +1,47 @@
+// XML shredder: parses XML text into the pre|size|level relational encoding.
+//
+// A single left-to-right pass builds the node table in document order, which
+// is exactly append order (the paper's observation that shredding is a
+// sequential write). Element sizes are fixed up when the element closes,
+// using a stack of open elements.
+//
+// Supported: elements, attributes, text, CDATA, comments, processing
+// instructions, XML declaration, DOCTYPE (skipped), the five predefined
+// entities and decimal/hex character references. Namespace prefixes are kept
+// verbatim as part of the tag name (documented dialect restriction).
+
+#ifndef MXQ_XML_SHREDDER_H_
+#define MXQ_XML_SHREDDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/document.h"
+
+namespace mxq {
+
+struct ShredOptions {
+  /// Discard whitespace-only text nodes (on: typical DB behaviour, and what
+  /// XMark-style data expects).
+  bool strip_whitespace_text = true;
+};
+
+/// \brief Parses `xml` and loads it as document `name` into `mgr`.
+///
+/// Returns the new document container. The container root (pre 0) is the
+/// document node; the document element is its child.
+Result<DocumentContainer*> ShredDocument(DocumentManager* mgr,
+                                         const std::string& name,
+                                         std::string_view xml,
+                                         const ShredOptions& opts = {});
+
+/// \brief Parses `xml` as a fragment into an existing container, appending a
+/// new fragment (no document node). Returns the fragment root pre.
+Result<int64_t> ShredFragment(DocumentContainer* container,
+                              std::string_view xml,
+                              const ShredOptions& opts = {});
+
+}  // namespace mxq
+
+#endif  // MXQ_XML_SHREDDER_H_

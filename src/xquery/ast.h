@@ -1,0 +1,133 @@
+// Abstract syntax of the supported XQuery dialect (see DESIGN.md §5).
+//
+// One Expr node type with a kind tag keeps the tree uniform for the
+// compiler's free-variable analysis (the basis of the `indep` property and
+// join recognition).
+
+#ifndef MXQ_XQUERY_AST_H_
+#define MXQ_XQUERY_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/item_ops.h"
+#include "staircase/axis.h"
+
+namespace mxq {
+namespace xq {
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kDoubleLit,
+  kStringLit,
+  kEmptySeq,     // ()
+  kSequence,     // (e1, e2, ...) — children
+  kVarRef,       // $name            (str = name)
+  kFLWOR,        // clauses / where / order / return
+  kQuantified,   // some/every binders satisfies cond
+  kIf,           // children: cond, then, else
+  kAnd,          // children
+  kOr,
+  kGeneralCmp,   // children: lhs, rhs; cmp
+  kValueCmp,     // eq ne lt le gt ge (same cmp field)
+  kNodeBefore,   // <<
+  kNodeAfter,    // >>
+  kNodeIs,       // is
+  kArith,        // children: lhs, rhs; arith
+  kUnaryMinus,   // child
+  kPath,         // children[0] = input expr; steps applied in order
+  kRoot,         // "/" — root of the context document (str = doc name, set
+                 //       by the compiler options when empty)
+  kDoc,          // doc("name") (str = name)
+  kCall,         // function call (str = name, children = args)
+  kElemCtor,     // direct element constructor
+  kAttrCtor,     // attribute constructor inside an element constructor
+  kTextCtor,     // text constructor / literal text inside element content
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One step of a path expression: axis, node test, optional predicates.
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest::Sel sel = NodeTest::Sel::kAnyElem;
+  std::string name;              // name test (empty: wildcard/kind test)
+  std::vector<ExprPtr> preds;    // predicates, applied in order
+};
+
+/// for/let binder of FLWOR and quantified expressions.
+struct Clause {
+  enum class Type : uint8_t { kFor, kLet } type = Type::kFor;
+  std::string var;
+  std::string pos_var;  // "at $p" (for only; empty if absent)
+  ExprPtr expr;
+};
+
+struct OrderSpec {
+  ExprPtr key;
+  bool descending = false;
+};
+
+/// Pieces of an attribute value template or element content.
+struct CtorContent {
+  // Either a literal text piece (expr == nullptr) or an embedded expression.
+  std::string text;
+  ExprPtr expr;
+};
+
+struct Expr {
+  ExprKind kind;
+
+  // literals
+  int64_t ival = 0;
+  double dval = 0;
+  std::string str;  // string literal / var name / function name / tag name
+
+  std::vector<ExprPtr> children;
+
+  // FLWOR / quantified
+  std::vector<Clause> clauses;
+  ExprPtr where;
+  std::vector<OrderSpec> order;
+  ExprPtr ret;          // FLWOR return / quantifier satisfies
+  bool every = false;   // quantifier flavour
+
+  // comparisons / arithmetic
+  CmpOp cmp = CmpOp::kEq;
+  ArithOp arith = ArithOp::kAdd;
+
+  // paths
+  std::vector<Step> steps;
+
+  // constructors
+  std::vector<std::pair<std::string, std::vector<CtorContent>>> attrs;
+  std::vector<CtorContent> content;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+
+  static ExprPtr Make(ExprKind k) { return std::make_unique<Expr>(k); }
+};
+
+/// A user-defined function from the query prolog.
+struct FunctionDecl {
+  std::string name;  // includes prefix, e.g. "local:convert"
+  std::vector<std::string> params;
+  ExprPtr body;
+};
+
+/// A parsed query module: prolog declarations plus the body expression.
+struct Query {
+  std::vector<FunctionDecl> functions;
+  ExprPtr body;
+};
+
+/// Free variables of an expression (drives `indep` / join recognition).
+void CollectFreeVars(const Expr& e, std::set<std::string>* out);
+
+}  // namespace xq
+}  // namespace mxq
+
+#endif  // MXQ_XQUERY_AST_H_

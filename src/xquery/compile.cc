@@ -1,0 +1,1086 @@
+// The loop-lifting XQuery-to-algebra compiler (paper §2.1, §4).
+//
+// Every expression compiles against the loop relation of its enclosing
+// for-nest into a relation (iter, pos, item). Variables are environment
+// entries remembering the loop they were bound under; uses in deeper loops
+// are lifted through map relations (scope maps). The `indep` property is
+// computed from free-variable sets and drives join recognition (§4.1):
+// a where-clause comparison whose sides depend on disjoint variable sets
+// compiles into an existential theta-join (§4.2) instead of a loop-lifted
+// cross product.
+
+#include <map>
+
+#include "xquery/engine.h"
+#include "xquery/parser.h"
+#include "xquery/plan.h"
+
+namespace mxq {
+namespace xq {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// plan-building helpers
+// ---------------------------------------------------------------------------
+
+PlanPtr Lit(TablePtr t) {
+  auto n = MakePlan(OpCode::kLiteral);
+  n->literal = std::move(t);
+  return n;
+}
+
+PlanPtr Proj(PlanPtr in, alg::KeepCols cols) {
+  auto n = MakePlan(OpCode::kProject);
+  n->inputs = {std::move(in)};
+  n->keep = std::move(cols);
+  return n;
+}
+
+PlanPtr SortBy(PlanPtr in, std::vector<std::string> cols,
+               std::vector<bool> desc = {}) {
+  auto n = MakePlan(OpCode::kSort);
+  n->inputs = {std::move(in)};
+  n->cols_list = std::move(cols);
+  n->desc = std::move(desc);
+  return n;
+}
+
+PlanPtr DistinctBy(PlanPtr in, std::vector<std::string> cols) {
+  auto n = MakePlan(OpCode::kDistinct);
+  n->inputs = {std::move(in)};
+  n->cols_list = std::move(cols);
+  return n;
+}
+
+PlanPtr RowNumOp(PlanPtr in, std::string out, std::vector<std::string> order,
+                 std::string group) {
+  auto n = MakePlan(OpCode::kRowNum);
+  n->inputs = {std::move(in)};
+  n->out = std::move(out);
+  n->cols_list = std::move(order);
+  n->group = std::move(group);
+  return n;
+}
+
+PlanPtr JoinI64(PlanPtr l, std::string lcol, PlanPtr r, std::string rcol,
+                alg::KeepCols keep) {
+  auto n = MakePlan(OpCode::kEquiJoinI64);
+  n->inputs = {std::move(l), std::move(r)};
+  n->col = std::move(lcol);
+  n->col2 = std::move(rcol);
+  n->keep = std::move(keep);
+  return n;
+}
+
+PlanPtr SemiJoin(PlanPtr l, std::string lcol, PlanPtr r, std::string rcol,
+                 bool anti = false) {
+  auto n = MakePlan(OpCode::kSemiJoin);
+  n->inputs = {std::move(l), std::move(r)};
+  n->col = std::move(lcol);
+  n->col2 = std::move(rcol);
+  n->flag = anti;
+  return n;
+}
+
+PlanPtr CrossOp(PlanPtr l, PlanPtr r, alg::KeepCols keep) {
+  auto n = MakePlan(OpCode::kCross);
+  n->inputs = {std::move(l), std::move(r)};
+  n->keep = std::move(keep);
+  return n;
+}
+
+PlanPtr SelTrue(PlanPtr in, std::string col, bool negate = false) {
+  auto n = MakePlan(OpCode::kSelectTrue);
+  n->inputs = {std::move(in)};
+  n->col = std::move(col);
+  n->flag = negate;
+  return n;
+}
+
+PlanPtr Map1(PlanPtr in, ScalarFn fn, std::string out, std::string col) {
+  auto n = MakePlan(OpCode::kMap1);
+  n->inputs = {std::move(in)};
+  n->fn = fn;
+  n->out = std::move(out);
+  n->col = std::move(col);
+  return n;
+}
+
+PlanPtr Map2(PlanPtr in, ScalarFn fn, std::string out, std::string a,
+             std::string b) {
+  auto n = MakePlan(OpCode::kMap2);
+  n->inputs = {std::move(in)};
+  n->fn = fn;
+  n->out = std::move(out);
+  n->col = std::move(a);
+  n->col2 = std::move(b);
+  return n;
+}
+
+PlanPtr ConstCol(PlanPtr in, std::string out, Item v) {
+  auto n = MakePlan(OpCode::kAppendConst);
+  n->inputs = {std::move(in)};
+  n->out = std::move(out);
+  n->item = v;
+  return n;
+}
+
+PlanPtr AssertOrd(PlanPtr in, std::vector<std::string> ord) {
+  auto n = MakePlan(OpCode::kAssertProps);
+  n->inputs = {std::move(in)};
+  n->assert_props.ord = std::move(ord);
+  return n;
+}
+
+PlanPtr UnionOp(PlanPtr a, PlanPtr b) {
+  auto n = MakePlan(OpCode::kUnion);
+  n->inputs = {std::move(a), std::move(b)};
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// the compiler
+// ---------------------------------------------------------------------------
+
+class Compiler {
+ public:
+  Compiler(DocumentManager* mgr, const CompileOptions& opts)
+      : mgr_(mgr), opts_(opts) {
+    root_loop_.loop = Lit(alg::MakeLoop(1));
+    root_loop_.link = LoopCtx::Link::kRoot;
+  }
+
+  Result<PlanPtr> CompileQuery(const Query& q) {
+    for (const FunctionDecl& f : q.functions) funcs_[f.name] = &f;
+    Env env;
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*q.body, &root_loop_, env));
+    return SortBy(rel, {"iter", "pos"});
+  }
+
+ private:
+  struct LoopCtx {
+    PlanPtr loop;  // (iter) table
+    LoopCtx* parent = nullptr;
+    enum class Link { kRoot, kMap, kFilter } link = Link::kRoot;
+    PlanPtr map;  // kMap: (outer, inner) table, inner dense
+  };
+
+  struct VarBind {
+    PlanPtr rel;    // (iter, pos, item) valid in `loop`
+    LoopCtx* loop;
+  };
+  using Env = std::map<std::string, VarBind>;
+
+  Status Err(const std::string& msg) {
+    return Status::TypeError("XQuery compile: " + msg);
+  }
+
+  // ---- loop lifting ---------------------------------------------------------
+
+  /// Lifts `bind.rel` (valid in bind.loop) into `target` through the chain
+  /// of map / filter links.
+  PlanPtr LiftRel(const VarBind& bind, LoopCtx* target) {
+    // Collect the path target -> ... -> bind.loop.
+    std::vector<LoopCtx*> chain;
+    LoopCtx* l = target;
+    while (l != bind.loop) {
+      chain.push_back(l);
+      l = l->parent;
+      assert(l != nullptr && "variable loop must be an ancestor");
+    }
+    PlanPtr rel = bind.rel;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      LoopCtx* step = *it;
+      if (step->link == LoopCtx::Link::kFilter) {
+        rel = SemiJoin(rel, "iter", step->loop, "iter");
+      } else {  // kMap
+        PlanPtr j = JoinI64(step->map, "outer", rel, "iter",
+                            {{"pos", "pos"}, {"item", "item"}});
+        // Probe order follows the map's dense inner numbering.
+        rel = AssertOrd(Proj(j, {{"inner", "iter"},
+                                 {"pos", "pos"},
+                                 {"item", "item"}}),
+                        {"iter"});
+      }
+    }
+    return rel;
+  }
+
+  Result<PlanPtr> LookupVar(const std::string& name, LoopCtx* loop,
+                            Env& env) {
+    auto it = env.find(name);
+    if (it == env.end()) return Status(Err("unbound variable $" + name));
+    return LiftRel(it->second, loop);
+  }
+
+  /// Single-item relation: loop x <pos=1, item=v>.
+  PlanPtr RelForItem(Item v, LoopCtx* loop) {
+    auto t = Table::Make();
+    t->AddColumn("pos", Column::MakeI64({1}));
+    t->AddColumn("item", Column::MakeItem({v}));
+    return CrossOp(loop->loop, Lit(t), {{"pos", "pos"}, {"item", "item"}});
+  }
+
+  PlanPtr EmptyRel() {
+    auto t = Table::Make();
+    t->AddColumn("iter", Column::MakeI64({}));
+    t->AddColumn("pos", Column::MakeI64({}));
+    t->AddColumn("item", Column::MakeItem({}));
+    return Lit(t);
+  }
+
+  /// Effective boolean value per loop iteration -> (iter, item=bool).
+  PlanPtr Ebv(PlanPtr rel, LoopCtx* loop) {
+    auto n = MakePlan(OpCode::kEbv);
+    n->inputs = {std::move(rel), loop->loop};
+    return n;
+  }
+
+  /// Group non-emptiness per loop iteration -> (iter, item=bool).
+  PlanPtr ExistsRel(PlanPtr rel, LoopCtx* loop) {
+    auto n = MakePlan(OpCode::kExists);
+    n->inputs = {std::move(rel), loop->loop};
+    return n;
+  }
+
+  /// Concatenation of sequences, renumbering pos per iter.
+  PlanPtr ConcatRels(std::vector<PlanPtr> rels, LoopCtx* loop) {
+    if (rels.empty()) return EmptyRel();
+    if (rels.size() == 1) return rels[0];
+    PlanPtr u;
+    for (size_t k = 0; k < rels.size(); ++k) {
+      PlanPtr piece = ConstCol(
+          Proj(rels[k], {{"iter", "iter"}, {"pos", "pos"}, {"item", "item"}}),
+          "seg", Item::Int(static_cast<int64_t>(k)));
+      u = u ? UnionOp(u, piece) : piece;
+    }
+    PlanPtr sorted = SortBy(u, {"iter", "seg", "pos"});
+    PlanPtr rn = RowNumOp(sorted, "p2", {}, "iter");
+    return Proj(rn, {{"iter", "iter"}, {"p2", "pos"}, {"item", "item"}});
+  }
+
+  /// One string per loop iteration (empty string for empty groups).
+  PlanPtr StringPerIter(PlanPtr rel, LoopCtx* loop, std::string sep = " ") {
+    auto n = MakePlan(OpCode::kStringJoinAggr);
+    n->inputs = {std::move(rel), loop->loop};
+    n->sep = std::move(sep);
+    return n;
+  }
+
+  /// Renumbers pos per iter after filtering predicates.
+  PlanPtr RenumberPos(PlanPtr rel) {
+    PlanPtr s = SortBy(rel, {"iter", "pos"});
+    PlanPtr rn = RowNumOp(s, "p2", {}, "iter");
+    return Proj(rn, {{"iter", "iter"}, {"p2", "pos"}, {"item", "item"}});
+  }
+
+  // ---- expression dispatch --------------------------------------------------
+
+  Result<PlanPtr> Compile(const Expr& e, LoopCtx* loop, Env& env) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return RelForItem(Item::Int(e.ival), loop);
+      case ExprKind::kDoubleLit:
+        return RelForItem(Item::Double(e.dval), loop);
+      case ExprKind::kStringLit:
+        return RelForItem(Item::String(mgr_->strings().Intern(e.str)), loop);
+      case ExprKind::kEmptySeq:
+        return EmptyRel();
+      case ExprKind::kSequence: {
+        std::vector<PlanPtr> rels;
+        for (const ExprPtr& c : e.children) {
+          MXQ_ASSIGN_OR_RETURN(PlanPtr r, Compile(*c, loop, env));
+          rels.push_back(std::move(r));
+        }
+        return ConcatRels(std::move(rels), loop);
+      }
+      case ExprKind::kVarRef:
+        return LookupVar(e.str, loop, env);
+      case ExprKind::kDoc:
+        return CompileDocRoot(e.str, loop);
+      case ExprKind::kRoot:
+        if (opts_.context_doc.empty())
+          return Status(Err("'/' requires a context document"));
+        return CompileDocRoot(opts_.context_doc, loop);
+      case ExprKind::kPath:
+        return CompilePath(e, loop, env);
+      case ExprKind::kFLWOR:
+        return CompileFLWOR(e, loop, env);
+      case ExprKind::kQuantified:
+        return CompileQuantified(e, loop, env);
+      case ExprKind::kIf:
+        return CompileIf(e, loop, env);
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr l, Compile(*e.children[0], loop, env));
+        MXQ_ASSIGN_OR_RETURN(PlanPtr r, Compile(*e.children[1], loop, env));
+        PlanPtr bl = Ebv(std::move(l), loop);
+        PlanPtr br = Ebv(std::move(r), loop);
+        PlanPtr j = JoinI64(bl, "iter", br, "iter", {{"item", "i2"}});
+        PlanPtr m = Map2(j, e.kind == ExprKind::kAnd ? ScalarFn::kAndBool
+                                                     : ScalarFn::kOrBool,
+                         "b", "item", "i2");
+        return ConstCol(Proj(m, {{"iter", "iter"}, {"b", "item"}}), "pos",
+                        Item::Int(1));
+      }
+      case ExprKind::kGeneralCmp:
+      case ExprKind::kValueCmp:
+        return CompileComparison(e, loop, env);
+      case ExprKind::kNodeBefore:
+      case ExprKind::kNodeAfter:
+      case ExprKind::kNodeIs: {
+        ScalarFn fn = e.kind == ExprKind::kNodeBefore ? ScalarFn::kNodeBefore
+                      : e.kind == ExprKind::kNodeAfter ? ScalarFn::kNodeAfter
+                                                       : ScalarFn::kNodeIs;
+        MXQ_ASSIGN_OR_RETURN(PlanPtr l, Compile(*e.children[0], loop, env));
+        MXQ_ASSIGN_OR_RETURN(PlanPtr r, Compile(*e.children[1], loop, env));
+        PlanPtr j = JoinI64(l, "iter", r, "iter", {{"item", "i2"}});
+        PlanPtr m = Map2(j, fn, "b", "item", "i2");
+        PlanPtr s = SelTrue(m, "b");
+        return ConstCol(ExistsRel(s, loop), "pos", Item::Int(1));
+      }
+      case ExprKind::kArith: {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr l, Compile(*e.children[0], loop, env));
+        MXQ_ASSIGN_OR_RETURN(PlanPtr r, Compile(*e.children[1], loop, env));
+        PlanPtr j = JoinI64(l, "iter", r, "iter", {{"item", "i2"}});
+        auto m = Map2(j, ScalarFn::kArith, "v", "item", "i2");
+        m->arith = e.arith;
+        return ConstCol(Proj(m, {{"iter", "iter"}, {"v", "item"}}), "pos",
+                        Item::Int(1));
+      }
+      case ExprKind::kUnaryMinus: {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr c, Compile(*e.children[0], loop, env));
+        PlanPtr m = Map1(c, ScalarFn::kNeg, "v", "item");
+        return Proj(m, {{"iter", "iter"}, {"pos", "pos"}, {"v", "item"}});
+      }
+      case ExprKind::kCall:
+        return CompileCall(e, loop, env);
+      case ExprKind::kElemCtor:
+        return CompileElemCtor(e, loop, env);
+      case ExprKind::kAttrCtor:
+      case ExprKind::kTextCtor:
+        return Status(Err("constructor not allowed here"));
+    }
+    return Status(Err("unhandled expression kind"));
+  }
+
+  PlanPtr CompileDocRoot(const std::string& name, LoopCtx* loop) {
+    auto d = MakePlan(OpCode::kDocRoot);
+    d->doc_name = name;
+    return CrossOp(loop->loop, d, {{"pos", "pos"}, {"item", "item"}});
+  }
+
+  // ---- paths & predicates ----------------------------------------------------
+
+  Result<PlanPtr> CompilePath(const Expr& e, LoopCtx* loop, Env& env) {
+    PlanPtr rel;
+    if (e.children[0]) {
+      MXQ_ASSIGN_OR_RETURN(rel, Compile(*e.children[0], loop, env));
+    } else {
+      MXQ_ASSIGN_OR_RETURN(rel, LookupVar(".", loop, env));
+    }
+    for (const Step& s : e.steps) {
+      if (!(s.axis == Axis::kSelf && s.sel == NodeTest::Sel::kAnyNode &&
+            s.name.empty())) {
+        PlanPtr sorted = SortBy(rel, {"item", "iter"});
+        PlanPtr dedup = DistinctBy(sorted, {"item", "iter"});
+        auto st = MakePlan(OpCode::kStep);
+        st->inputs = {dedup};
+        st->axis = s.axis;
+        st->sel = s.sel;
+        st->name_test = s.name;
+        // Step output is sorted (item, iter) with grpord([item], iter):
+        // position numbering per iter streams (the §4.1 DENSE_RANK case).
+        PlanPtr posd = RowNumOp(st, "pos", {"item"}, "iter");
+        rel = Proj(posd, {{"iter", "iter"}, {"pos", "pos"}, {"item", "item"}});
+      }
+      for (const ExprPtr& pred : s.preds) {
+        MXQ_ASSIGN_OR_RETURN(rel, CompilePredicate(rel, *pred, loop, env));
+      }
+    }
+    return rel;
+  }
+
+  Result<PlanPtr> CompilePredicate(PlanPtr rel, const Expr& pred,
+                                   LoopCtx* loop, Env& env) {
+    // Fast paths: [<int>] and [last()].
+    if (pred.kind == ExprKind::kIntLit) {
+      PlanPtr c = ConstCol(rel, "k", Item::Int(pred.ival));
+      PlanPtr m = Map2(c, ScalarFn::kCmp, "b", "pos", "k");
+      m->cmp = CmpOp::kEq;
+      PlanPtr s = SelTrue(m, "b");
+      return RenumberPos(
+          Proj(s, {{"iter", "iter"}, {"pos", "pos"}, {"item", "item"}}));
+    }
+    if (pred.kind == ExprKind::kCall && pred.str == "last" &&
+        pred.children.empty()) {
+      auto cnt = MakePlan(OpCode::kGroupAggr);
+      cnt->inputs = {rel};
+      cnt->group = "iter";
+      cnt->agg = alg::AggKind::kCount;
+      PlanPtr j = JoinI64(rel, "iter", cnt, "iter", {{"agg", "k"}});
+      PlanPtr m = Map2(j, ScalarFn::kCmp, "b", "pos", "k");
+      m->cmp = CmpOp::kEq;
+      PlanPtr s = SelTrue(m, "b");
+      return RenumberPos(
+          Proj(s, {{"iter", "iter"}, {"pos", "pos"}, {"item", "item"}}));
+    }
+
+    // General predicate: every input row becomes one inner iteration.
+    PlanPtr sorted = SortBy(rel, {"iter", "pos"});
+    PlanPtr map = RowNumOp(sorted, "inner", {}, "");
+    LoopCtx inner;
+    inner.loop = Proj(map, {{"inner", "iter"}});
+    inner.parent = loop;
+    inner.link = LoopCtx::Link::kMap;
+    inner.map = Proj(map, {{"iter", "outer"}, {"inner", "inner"}});
+
+    Env env2 = env;
+    PlanPtr ctx_rel = ConstCol(
+        Proj(map, {{"inner", "iter"}, {"item", "item"}}), "pos", Item::Int(1));
+    env2["."] = {ctx_rel, &inner};
+    PlanPtr pos_rel = ConstCol(
+        Proj(Map1(map, ScalarFn::kIdentity, "pv", "pos"),
+             {{"inner", "iter"}, {"pv", "item"}}),
+        "pos", Item::Int(1));
+    env2["#pos"] = {pos_rel, &inner};
+    {
+      auto cnt = MakePlan(OpCode::kGroupAggr);
+      cnt->inputs = {rel};
+      cnt->group = "iter";
+      cnt->agg = alg::AggKind::kCount;
+      PlanPtr lastj =
+          JoinI64(Proj(map, {{"iter", "o"}, {"inner", "inner"}}), "o", cnt,
+                  "iter", {{"agg", "item"}});
+      env2["#last"] = {ConstCol(Proj(lastj, {{"inner", "iter"},
+                                             {"item", "item"}}),
+                                "pos", Item::Int(1)),
+                       &inner};
+    }
+
+    MXQ_ASSIGN_OR_RETURN(PlanPtr cond, Compile(pred, &inner, env2));
+    // Verdict per inner iteration: numeric first item -> position test,
+    // otherwise effective boolean value.
+    auto verdict = MakePlan(OpCode::kEbv);
+    verdict->inputs = {cond, inner.loop,
+                       Proj(map, {{"inner", "inner"}, {"pos", "pos"}})};
+    verdict->flag = true;  // positional-aware
+    PlanPtr surviving = SelTrue(verdict, "item");
+    PlanPtr kept = SemiJoin(map, "inner", surviving, "iter");
+    return RenumberPos(
+        Proj(kept, {{"iter", "iter"}, {"pos", "pos"}, {"item", "item"}}));
+  }
+
+  // ---- comparisons ------------------------------------------------------------
+
+  Result<PlanPtr> CompileComparison(const Expr& e, LoopCtx* loop, Env& env) {
+    MXQ_ASSIGN_OR_RETURN(PlanPtr l, Compile(*e.children[0], loop, env));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr r, Compile(*e.children[1], loop, env));
+    PlanPtr la = Map1(l, ScalarFn::kAtomize, "a", "item");
+    PlanPtr ra = Map1(r, ScalarFn::kAtomize, "a", "item");
+    PlanPtr lp = Proj(la, {{"iter", "iter"}, {"a", "item"}});
+    PlanPtr rp = Proj(ra, {{"iter", "iter"}, {"a", "i2"}});
+    PlanPtr j = JoinI64(lp, "iter", rp, "iter", {{"i2", "i2"}});
+    auto m = Map2(j, ScalarFn::kCmp, "b", "item", "i2");
+    m->cmp = e.cmp;
+    PlanPtr s = SelTrue(m, "b");
+    return ConstCol(ExistsRel(s, loop), "pos", Item::Int(1));
+  }
+
+  // ---- conditionals, quantifiers ----------------------------------------------
+
+  Result<PlanPtr> CompileIf(const Expr& e, LoopCtx* loop, Env& env) {
+    MXQ_ASSIGN_OR_RETURN(PlanPtr c, Compile(*e.children[0], loop, env));
+    PlanPtr b = Ebv(std::move(c), loop);
+    LoopCtx then_loop, else_loop;
+    then_loop.loop = Proj(SelTrue(b, "item"), {{"iter", "iter"}});
+    then_loop.parent = loop;
+    then_loop.link = LoopCtx::Link::kFilter;
+    else_loop.loop = Proj(SelTrue(b, "item", /*negate=*/true),
+                          {{"iter", "iter"}});
+    else_loop.parent = loop;
+    else_loop.link = LoopCtx::Link::kFilter;
+    MXQ_ASSIGN_OR_RETURN(PlanPtr t, Compile(*e.children[1], &then_loop, env));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr f, Compile(*e.children[2], &else_loop, env));
+    return UnionOp(std::move(t), std::move(f));
+  }
+
+  Result<PlanPtr> CompileQuantified(const Expr& e, LoopCtx* loop, Env& env) {
+    // Nested for-loop chain; condition per innermost tuple; then exists /
+    // forall per outermost iteration.
+    Env env2 = env;
+    LoopCtx* cur = loop;
+    std::vector<std::unique_ptr<LoopCtx>> owned;
+    std::vector<PlanPtr> maps;  // (outer, inner) per level
+    for (const Clause& c : e.clauses) {
+      MXQ_ASSIGN_OR_RETURN(PlanPtr seq, Compile(*c.expr, cur, env2));
+      PlanPtr sorted = SortBy(seq, {"iter", "pos"});
+      PlanPtr map = RowNumOp(sorted, "inner", {}, "");
+      auto lvl = std::make_unique<LoopCtx>();
+      lvl->loop = Proj(map, {{"inner", "iter"}});
+      lvl->parent = cur;
+      lvl->link = LoopCtx::Link::kMap;
+      lvl->map = AssertOrd(Proj(map, {{"iter", "outer"}, {"inner", "inner"}}),
+                           {"outer", "inner"});
+      env2[c.var] = {ConstCol(Proj(map, {{"inner", "iter"}, {"item", "item"}}),
+                              "pos", Item::Int(1)),
+                     lvl.get()};
+      maps.push_back(lvl->map);
+      cur = lvl.get();
+      owned.push_back(std::move(lvl));
+    }
+    MXQ_ASSIGN_OR_RETURN(PlanPtr cond, Compile(*e.ret, cur, env2));
+    PlanPtr b = Ebv(std::move(cond), cur);
+    // some: survivors exist; every: not (non-survivors exist).
+    PlanPtr sel = SelTrue(b, "item", /*negate=*/e.every);
+    PlanPtr ids = Proj(sel, {{"iter", "inner"}});
+    for (auto it = maps.rbegin(); it != maps.rend(); ++it) {
+      PlanPtr j = JoinI64(ids, "inner", *it, "inner", {{"outer", "o"}});
+      // Join by probing ids into the map: flip so map is on the left for
+      // the dense positional lookup.
+      ids = Proj(DistinctBy(SortBy(Proj(j, {{"o", "inner"}}), {"inner"}),
+                            {"inner"}),
+                 {{"inner", "inner"}});
+    }
+    PlanPtr found = ExistsRel(
+        ConstCol(ConstCol(Proj(ids, {{"inner", "iter"}}), "pos",
+                          Item::Int(1)),
+                 "item", Item::Bool(true)),
+        loop);
+    if (e.every) found = Map1(found, ScalarFn::kNot, "n", "item");
+    PlanPtr out = e.every
+                      ? Proj(found, {{"iter", "iter"}, {"n", "item"}})
+                      : Proj(found, {{"iter", "iter"}, {"item", "item"}});
+    return ConstCol(out, "pos", Item::Int(1));
+  }
+
+  // ---- FLWOR -------------------------------------------------------------------
+
+  struct Unwind {
+    PlanPtr map;    // (outer, inner)
+    PlanPtr rank;   // optional (iter=inner, rank) for order by
+  };
+
+  Result<PlanPtr> CompileFLWOR(const Expr& e, LoopCtx* loop, Env& env) {
+    Env env2 = env;
+    LoopCtx* cur = loop;
+    std::vector<std::unique_ptr<LoopCtx>> owned;
+    std::vector<Unwind> unwinds;
+    const Expr* where = e.where.get();
+
+    // Join recognition (§4.1/§4.2): applies to the last for-clause when the
+    // where clause contains a comparison with independent sides.
+    int join_clause = -1;
+    const Expr* join_cmp = nullptr;
+    if (opts_.join_recognition && where) {
+      int last_for = -1;
+      for (size_t i = 0; i < e.clauses.size(); ++i)
+        if (e.clauses[i].type == Clause::Type::kFor)
+          last_for = static_cast<int>(i);
+      if (last_for >= 0) {
+        const Clause& fc = e.clauses[last_for];
+        std::set<std::string> seq_fv;
+        CollectFreeVars(*fc.expr, &seq_fv);
+        if (seq_fv.empty() && fc.pos_var.empty()) {
+          // Find a splittable comparison in the where clause (peeling ands).
+          join_cmp = FindSplittableCmp(*where, fc.var, env2, e.clauses,
+                                       last_for);
+          if (join_cmp) join_clause = last_for;
+        }
+      }
+    }
+
+    for (size_t i = 0; i < e.clauses.size(); ++i) {
+      const Clause& c = e.clauses[i];
+      if (c.type == Clause::Type::kLet) {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr v, Compile(*c.expr, cur, env2));
+        env2[c.var] = {v, cur};
+        continue;
+      }
+      if (static_cast<int>(i) == join_clause) {
+        MXQ_RETURN_IF_ERROR(CompileJoinClause(c, *join_cmp, &cur, &env2,
+                                              &owned, &unwinds));
+        continue;
+      }
+      MXQ_ASSIGN_OR_RETURN(PlanPtr seq, Compile(*c.expr, cur, env2));
+      PlanPtr sorted = SortBy(seq, {"iter", "pos"});
+      PlanPtr map = RowNumOp(sorted, "inner", {}, "");
+      auto lvl = std::make_unique<LoopCtx>();
+      lvl->loop = Proj(map, {{"inner", "iter"}});
+      lvl->parent = cur;
+      lvl->link = LoopCtx::Link::kMap;
+      lvl->map = AssertOrd(Proj(map, {{"iter", "outer"}, {"inner", "inner"}}),
+                           {"outer", "inner"});
+      env2[c.var] = {ConstCol(Proj(map, {{"inner", "iter"}, {"item", "item"}}),
+                              "pos", Item::Int(1)),
+                     lvl.get()};
+      if (!c.pos_var.empty()) {
+        env2[c.pos_var] = {
+            ConstCol(Proj(Map1(map, ScalarFn::kIdentity, "pv", "pos"),
+                          {{"inner", "iter"}, {"pv", "item"}}),
+                     "pos", Item::Int(1)),
+            lvl.get()};
+      }
+      unwinds.push_back({lvl->map, nullptr});
+      cur = lvl.get();
+      owned.push_back(std::move(lvl));
+    }
+
+    if (where) {
+      PlanPtr cond;
+      if (join_cmp) {
+        // Residual conjuncts (the consumed comparison became the join).
+        MXQ_ASSIGN_OR_RETURN(cond,
+                             CompileWhereResidual(*where, join_cmp, cur,
+                                                  &env2));
+      } else {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr w, Compile(*where, cur, env2));
+        cond = Ebv(std::move(w), cur);
+      }
+      if (cond) {
+        auto lvl = std::make_unique<LoopCtx>();
+        lvl->loop = Proj(SelTrue(cond, "item"), {{"iter", "iter"}});
+        lvl->parent = cur;
+        lvl->link = LoopCtx::Link::kFilter;
+        cur = lvl.get();
+        owned.push_back(std::move(lvl));
+      }
+    }
+
+    // order by: rank per innermost iteration.
+    if (!e.order.empty() && !unwinds.empty()) {
+      PlanPtr keytab = Proj(cur->loop, {{"iter", "iter"}});
+      std::vector<std::string> key_cols;
+      std::vector<bool> desc;
+      for (size_t k = 0; k < e.order.size(); ++k) {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr krel,
+                             Compile(*e.order[k].key, cur, env2));
+        auto ag = MakePlan(OpCode::kGroupAggr);
+        ag->inputs = {krel};
+        ag->group = "iter";
+        ag->col = "item";
+        ag->agg = alg::AggKind::kMin;
+        auto fill = MakePlan(OpCode::kFillGroups);
+        fill->inputs = {ag, cur->loop};
+        fill->group = "iter";
+        fill->col = "agg";
+        fill->col2 = "iter";
+        fill->item = Item();  // empty sorts least
+        std::string kc = "k" + std::to_string(k);
+        keytab = JoinI64(keytab, "iter", fill, "iter", {{"agg", kc}});
+        key_cols.push_back(kc);
+        desc.push_back(e.order[k].descending);
+      }
+      PlanPtr sorted = SortBy(keytab, key_cols, desc);
+      PlanPtr ranked = RowNumOp(sorted, "rank", {}, "");
+      unwinds.back().rank = Proj(ranked, {{"iter", "iter"}, {"rank", "rank"}});
+    }
+
+    MXQ_ASSIGN_OR_RETURN(PlanPtr r, Compile(*e.ret, cur, env2));
+
+    // Back-mapping: unwind the created for-loops innermost-first.
+    for (auto it = unwinds.rbegin(); it != unwinds.rend(); ++it) {
+      PlanPtr j = JoinI64(it->map, "inner", r, "iter",
+                          {{"pos", "pos"}, {"item", "item"}});
+      std::vector<std::string> sort_cols;
+      if (it->rank) {
+        j = JoinI64(j, "inner", it->rank, "iter", {{"rank", "rank"}});
+        sort_cols = {"outer", "rank", "inner", "pos"};
+      } else {
+        sort_cols = {"outer", "inner", "pos"};
+      }
+      PlanPtr s = SortBy(j, sort_cols);
+      PlanPtr rn = RowNumOp(s, "p2", {}, "outer");
+      r = Proj(rn, {{"outer", "iter"}, {"p2", "pos"}, {"item", "item"}});
+    }
+    owned_loops_.insert(owned_loops_.end(),
+                        std::make_move_iterator(owned.begin()),
+                        std::make_move_iterator(owned.end()));
+    return r;
+  }
+
+  /// Finds a comparison in `where` (peeling kAnd) whose sides split into
+  /// {var-only} vs {outer-only}.
+  const Expr* FindSplittableCmp(const Expr& w, const std::string& var,
+                                const Env& env,
+                                const std::vector<Clause>& clauses,
+                                int var_idx) {
+    if (w.kind == ExprKind::kAnd) {
+      if (const Expr* c = FindSplittableCmp(*w.children[0], var, env, clauses,
+                                            var_idx))
+        return c;
+      return FindSplittableCmp(*w.children[1], var, env, clauses, var_idx);
+    }
+    if (w.kind != ExprKind::kGeneralCmp && w.kind != ExprKind::kValueCmp)
+      return nullptr;
+    std::set<std::string> lf, rf;
+    CollectFreeVars(*w.children[0], &lf);
+    CollectFreeVars(*w.children[1], &rf);
+    auto avail = [&](const std::set<std::string>& fv) {
+      // All free vars bound in the environment or by earlier clauses.
+      for (const std::string& v : fv) {
+        if (v == var) return false;
+        bool ok = env.count(v) > 0;
+        for (int k = 0; k < var_idx && !ok; ++k)
+          if (clauses[k].var == v || clauses[k].pos_var == v) ok = true;
+        if (!ok) return false;
+      }
+      return true;
+    };
+    auto vonly = [&](const std::set<std::string>& fv) {
+      for (const std::string& v : fv)
+        if (v != var) return false;
+      return !fv.empty();
+    };
+    if ((vonly(lf) && avail(rf)) || (vonly(rf) && avail(lf))) return &w;
+    return nullptr;
+  }
+
+  /// Compiles the join-recognized for-clause: builds the reduced loop from
+  /// the existential theta-join instead of the full cross product.
+  Status CompileJoinClause(const Clause& c, const Expr& cmp, LoopCtx** cur,
+                           Env* env, std::vector<std::unique_ptr<LoopCtx>>* owned,
+                           std::vector<Unwind>* unwinds) {
+    // e2 evaluated once against the root loop (it is loop-invariant).
+    Env empty_env;
+    MXQ_ASSIGN_OR_RETURN(PlanPtr b, Compile(*c.expr, &root_loop_, empty_env));
+    PlanPtr bs = SortBy(b, {"iter", "pos"});
+    PlanPtr bm = RowNumOp(bs, "sid", {}, "");
+
+    // The $v side of the comparison, compiled against the side loop.
+    auto side = std::make_unique<LoopCtx>();
+    side->loop = Proj(bm, {{"sid", "iter"}});
+    side->parent = &root_loop_;
+    side->link = LoopCtx::Link::kMap;
+    side->map = Proj(bm, {{"iter", "outer"}, {"sid", "inner"}});
+    Env env_v;
+    env_v[c.var] = {ConstCol(Proj(bm, {{"sid", "iter"}, {"item", "item"}}),
+                             "pos", Item::Int(1)),
+                    side.get()};
+
+    std::set<std::string> lf;
+    CollectFreeVars(*cmp.children[0], &lf);
+    bool v_on_left = lf.count(c.var) > 0;
+    const Expr& v_expr = v_on_left ? *cmp.children[0] : *cmp.children[1];
+    const Expr& o_expr = v_on_left ? *cmp.children[1] : *cmp.children[0];
+    CmpOp op = v_on_left ? FlipCmp(cmp.cmp) : cmp.cmp;  // outer op inner
+
+    MXQ_ASSIGN_OR_RETURN(PlanPtr vrel, Compile(v_expr, side.get(), env_v));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr orel, Compile(o_expr, *cur, *env));
+    PlanPtr va = Proj(Map1(vrel, ScalarFn::kAtomize, "a", "item"),
+                      {{"iter", "sid"}, {"a", "item"}});
+    PlanPtr oa = Proj(Map1(orel, ScalarFn::kAtomize, "a", "item"),
+                      {{"iter", "iter"}, {"a", "item"}});
+
+    auto ej = MakePlan(OpCode::kExistJoin);
+    ej->inputs = {oa, va};
+    ej->cmp = op;
+    // -> (iter, sid) distinct, sorted (iter, sid).
+
+    PlanPtr newmap = RowNumOp(ej, "inner", {}, "");
+    auto lvl = std::make_unique<LoopCtx>();
+    lvl->loop = Proj(newmap, {{"inner", "iter"}});
+    lvl->parent = *cur;
+    lvl->link = LoopCtx::Link::kMap;
+    lvl->map = AssertOrd(Proj(newmap, {{"iter", "outer"}, {"inner", "inner"}}),
+                         {"outer", "inner"});
+    // Bind $v: positional lookup of sid in the materialized sequence.
+    PlanPtr vbind = JoinI64(Proj(newmap, {{"inner", "inner"}, {"sid", "sid"}}),
+                            "sid",
+                            Proj(bm, {{"sid", "sid"}, {"item", "item"}}),
+                            "sid", {{"item", "item"}});
+    (*env)[c.var] = {ConstCol(Proj(vbind, {{"inner", "iter"},
+                                           {"item", "item"}}),
+                              "pos", Item::Int(1)),
+                     lvl.get()};
+    unwinds->push_back({lvl->map, nullptr});
+    *cur = lvl.get();
+    owned->push_back(std::move(lvl));
+    owned_loops_.push_back(std::move(side));
+    return Status::OK();
+  }
+
+  /// Compiles the where clause minus the consumed comparison; the result
+  /// holds nullptr when the whole clause was consumed by the join.
+  Result<PlanPtr> CompileWhereResidual(const Expr& w, const Expr* consumed,
+                                       LoopCtx* cur, Env* env) {
+    if (&w == consumed) return PlanPtr(nullptr);
+    if (w.kind == ExprKind::kAnd) {
+      MXQ_ASSIGN_OR_RETURN(
+          PlanPtr l, CompileWhereResidual(*w.children[0], consumed, cur, env));
+      MXQ_ASSIGN_OR_RETURN(
+          PlanPtr r, CompileWhereResidual(*w.children[1], consumed, cur, env));
+      if (!l) return r;
+      if (!r) return l;
+      PlanPtr j = JoinI64(l, "iter", r, "iter", {{"item", "i2"}});
+      PlanPtr m = Map2(j, ScalarFn::kAndBool, "b", "item", "i2");
+      return Proj(m, {{"iter", "iter"}, {"b", "item"}});
+    }
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(w, cur, *env));
+    return Ebv(std::move(rel), cur);
+  }
+
+  // ---- function calls -----------------------------------------------------------
+
+  Result<PlanPtr> CompileCall(const Expr& e, LoopCtx* loop, Env& env);
+
+  Result<PlanPtr> CompileAggregate(const Expr& e, LoopCtx* loop, Env& env,
+                                   alg::AggKind kind, bool fill_zero) {
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    auto ag = MakePlan(OpCode::kGroupAggr);
+    ag->inputs = {rel};
+    ag->group = "iter";
+    ag->col = kind == alg::AggKind::kCount ? "" : "item";
+    ag->agg = kind;
+    PlanPtr out = ag;
+    if (fill_zero) {
+      auto fill = MakePlan(OpCode::kFillGroups);
+      fill->inputs = {ag, loop->loop};
+      fill->group = "iter";
+      fill->col = "agg";
+      fill->col2 = "iter";
+      fill->item = Item::Int(0);
+      out = fill;
+    }
+    return ConstCol(Proj(out, {{"iter", "iter"}, {"agg", "item"}}), "pos",
+                    Item::Int(1));
+  }
+
+  // ---- constructors ----------------------------------------------------------------
+
+  Result<PlanPtr> CompileAVT(const std::vector<CtorContent>& pieces,
+                             LoopCtx* loop, Env& env) {
+    PlanPtr acc;
+    for (const CtorContent& p : pieces) {
+      PlanPtr piece;
+      if (p.expr) {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*p.expr, loop, env));
+        piece = StringPerIter(rel, loop);  // (iter, item=string)
+      } else {
+        piece = Proj(ConstCol(Proj(loop->loop, {{"iter", "iter"}}), "item",
+                              Item::String(mgr_->strings().Intern(p.text))),
+                     {{"iter", "iter"}, {"item", "item"}});
+      }
+      if (!acc) {
+        acc = piece;
+      } else {
+        PlanPtr j = JoinI64(acc, "iter", piece, "iter", {{"item", "i2"}});
+        PlanPtr m = Map2(j, ScalarFn::kConcat, "c", "item", "i2");
+        acc = Proj(m, {{"iter", "iter"}, {"c", "item"}});
+      }
+    }
+    if (!acc)
+      acc = Proj(ConstCol(Proj(loop->loop, {{"iter", "iter"}}), "item",
+                          Item::String(mgr_->strings().Intern(""))),
+                 {{"iter", "iter"}, {"item", "item"}});
+    return acc;
+  }
+
+  Result<PlanPtr> CompileElemCtor(const Expr& e, LoopCtx* loop, Env& env) {
+    std::vector<PlanPtr> rels;
+    for (const auto& [name, pieces] : e.attrs) {
+      MXQ_ASSIGN_OR_RETURN(PlanPtr sv, CompileAVT(pieces, loop, env));
+      auto at = MakePlan(OpCode::kConstructAttr);
+      at->inputs = {sv};
+      at->name_test = name;
+      rels.push_back(ConstCol(at, "pos", Item::Int(1)));
+    }
+    for (const CtorContent& c : e.content) {
+      if (c.expr) {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*c.expr, loop, env));
+        rels.push_back(std::move(rel));
+      } else {
+        rels.push_back(
+            RelForItem(Item::String(mgr_->strings().Intern(c.text)), loop));
+      }
+    }
+    PlanPtr content = ConcatRels(std::move(rels), loop);
+    auto ctor = MakePlan(OpCode::kConstructElem);
+    ctor->inputs = {loop->loop, SortBy(content, {"iter", "pos"})};
+    ctor->name_test = e.str;
+    return ConstCol(ctor, "pos", Item::Int(1));
+  }
+
+  DocumentManager* mgr_;
+  CompileOptions opts_;
+  LoopCtx root_loop_;
+  std::map<std::string, const FunctionDecl*> funcs_;
+  std::vector<std::unique_ptr<LoopCtx>> owned_loops_;
+  int inline_depth_ = 0;
+
+  friend class CompilerCallHelper;
+};
+
+// Builtins table kept in a separate method for readability.
+Result<PlanPtr> Compiler::CompileCall(const Expr& e, LoopCtx* loop,
+                                      Env& env) {
+  const std::string& f = e.str;
+  auto arity = [&](size_t n) -> Status {
+    if (e.children.size() != n)
+      return Err("function " + f + " expects " + std::to_string(n) +
+                 " argument(s)");
+    return Status::OK();
+  };
+  auto map1 = [&](ScalarFn fn) -> Result<PlanPtr> {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    PlanPtr m = Map1(rel, fn, "v", "item");
+    return Proj(m, {{"iter", "iter"}, {"pos", "pos"}, {"v", "item"}});
+  };
+  auto map2 = [&](ScalarFn fn) -> Result<PlanPtr> {
+    MXQ_RETURN_IF_ERROR(arity(2));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr a, Compile(*e.children[0], loop, env));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr b, Compile(*e.children[1], loop, env));
+    PlanPtr j = JoinI64(a, "iter", b, "iter", {{"item", "i2"}});
+    PlanPtr m = Map2(j, fn, "v", "item", "i2");
+    return ConstCol(Proj(m, {{"iter", "iter"}, {"v", "item"}}), "pos",
+                    Item::Int(1));
+  };
+
+  if (f == "count") {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    return CompileAggregate(e, loop, env, alg::AggKind::kCount, true);
+  }
+  if (f == "sum") {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    return CompileAggregate(e, loop, env, alg::AggKind::kSum, true);
+  }
+  if (f == "avg") return CompileAggregate(e, loop, env, alg::AggKind::kAvg,
+                                          false);
+  if (f == "min") return CompileAggregate(e, loop, env, alg::AggKind::kMin,
+                                          false);
+  if (f == "max") return CompileAggregate(e, loop, env, alg::AggKind::kMax,
+                                          false);
+  if (f == "not") {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    PlanPtr b = Ebv(std::move(rel), loop);
+    PlanPtr m = Map1(b, ScalarFn::kNot, "v", "item");
+    return ConstCol(Proj(m, {{"iter", "iter"}, {"v", "item"}}), "pos",
+                    Item::Int(1));
+  }
+  if (f == "boolean") {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    return ConstCol(Ebv(std::move(rel), loop), "pos", Item::Int(1));
+  }
+  if (f == "empty" || f == "exists") {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    PlanPtr ex = ExistsRel(std::move(rel), loop);
+    if (f == "empty") {
+      PlanPtr m = Map1(ex, ScalarFn::kNot, "v", "item");
+      return ConstCol(Proj(m, {{"iter", "iter"}, {"v", "item"}}), "pos",
+                      Item::Int(1));
+    }
+    return ConstCol(ex, "pos", Item::Int(1));
+  }
+  if (f == "true" || f == "false") {
+    MXQ_RETURN_IF_ERROR(arity(0));
+    return RelForItem(Item::Bool(f == "true"), loop);
+  }
+  if (f == "contains") return map2(ScalarFn::kContains);
+  if (f == "starts-with") return map2(ScalarFn::kStartsWith);
+  if (f == "substring") return map2(ScalarFn::kSubstring2);
+  if (f == "concat") {
+    if (e.children.size() < 2) return Status(Err("concat needs >= 2 args"));
+    PlanPtr acc;
+    for (const ExprPtr& c : e.children) {
+      MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*c, loop, env));
+      PlanPtr s = StringPerIter(rel, loop);
+      if (!acc) {
+        acc = s;
+      } else {
+        PlanPtr j = JoinI64(acc, "iter", s, "iter", {{"item", "i2"}});
+        PlanPtr m = Map2(j, ScalarFn::kConcat, "c", "item", "i2");
+        acc = Proj(m, {{"iter", "iter"}, {"c", "item"}});
+      }
+    }
+    return ConstCol(acc, "pos", Item::Int(1));
+  }
+  if (f == "string") {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    return ConstCol(StringPerIter(rel, loop), "pos", Item::Int(1));
+  }
+  if (f == "string-join") {
+    MXQ_RETURN_IF_ERROR(arity(2));
+    if (e.children[1]->kind != ExprKind::kStringLit)
+      return Status(Err("string-join separator must be a literal"));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    return ConstCol(StringPerIter(rel, loop, e.children[1]->str), "pos",
+                    Item::Int(1));
+  }
+  if (f == "data") return map1(ScalarFn::kAtomize);
+  if (f == "number") return map1(ScalarFn::kCastNumber);
+  if (f == "round") return map1(ScalarFn::kRound);
+  if (f == "floor") return map1(ScalarFn::kFloor);
+  if (f == "ceiling") return map1(ScalarFn::kCeiling);
+  if (f == "abs") return map1(ScalarFn::kAbs);
+  if (f == "string-length") return map1(ScalarFn::kStringLength);
+  if (f == "name") return map1(ScalarFn::kNameOf);
+  if (f == "local-name") return map1(ScalarFn::kLocalName);
+  if (f == "zero-or-one" || f == "exactly-one" || f == "one-or-more" ||
+      f == "unordered" || f == "exact") {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    return Compile(*e.children[0], loop, env);
+  }
+  if (f == "distinct-values") {
+    MXQ_RETURN_IF_ERROR(arity(1));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    PlanPtr canon = Map1(Map1(rel, ScalarFn::kAtomize, "a", "item"),
+                         ScalarFn::kCanonValue, "c", "a");
+    PlanPtr p = Proj(canon, {{"iter", "iter"}, {"pos", "pos"}, {"c", "item"}});
+    PlanPtr d = DistinctBy(p, {"iter", "item"});
+    return RenumberPos(d);
+  }
+  if (f == "position") {
+    MXQ_RETURN_IF_ERROR(arity(0));
+    return LookupVar("#pos", loop, env);
+  }
+  if (f == "last") {
+    MXQ_RETURN_IF_ERROR(arity(0));
+    return LookupVar("#last", loop, env);
+  }
+
+  // User-defined function: inline the body with parameters let-bound.
+  auto it = funcs_.find(f);
+  if (it == funcs_.end())
+    return Status(Err("unknown function " + f + "()"));
+  const FunctionDecl* fd = it->second;
+  if (e.children.size() != fd->params.size())
+    return Status(Err("wrong arity for " + f + "()"));
+  if (++inline_depth_ > opts_.max_inline_depth) {
+    --inline_depth_;
+    return Status(Err("function inlining depth exceeded (recursion?)"));
+  }
+  Env fenv;  // UDF bodies see only their parameters
+  for (size_t i = 0; i < fd->params.size(); ++i) {
+    auto arg = Compile(*e.children[i], loop, env);
+    if (!arg.ok()) {
+      --inline_depth_;
+      return arg.status();
+    }
+    fenv[fd->params[i]] = {std::move(arg).value(), loop};
+  }
+  auto body = Compile(*fd->body, loop, fenv);
+  --inline_depth_;
+  return body;
+}
+
+}  // namespace
+
+Result<CompiledQuery> XQueryEngine::Compile(const std::string& query,
+                                            const CompileOptions& opts) {
+  MXQ_ASSIGN_OR_RETURN(Query q, ParseQuery(query));
+  Compiler c(mgr_, opts);
+  MXQ_ASSIGN_OR_RETURN(PlanPtr root, c.CompileQuery(q));
+  CompiledQuery out;
+  out.root = std::move(root);
+  out.stats = ComputePlanStats(out.root);
+  return out;
+}
+
+}  // namespace xq
+}  // namespace mxq

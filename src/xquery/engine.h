@@ -1,0 +1,83 @@
+// Public query API: compile XQuery text to a plan, execute plans, get
+// result sequences (with optional serialization via xml/serializer.h).
+
+#ifndef MXQ_XQUERY_ENGINE_H_
+#define MXQ_XQUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/document.h"
+#include "xquery/plan.h"
+
+namespace mxq {
+namespace xq {
+
+/// Compile-time switches (Figure 13 toggles join recognition here).
+struct CompileOptions {
+  /// Detect value joins via variable independence (the `indep` property) and
+  /// compile them as theta-joins instead of loop-lifted cross products.
+  bool join_recognition = true;
+  /// Document a bare "/" or "//" path refers to (empty: such paths error).
+  std::string context_doc;
+  /// Maximum UDF inlining depth (bounds recursion).
+  int max_inline_depth = 24;
+};
+
+/// How XPath steps execute (Figure 12 varies these per axis family).
+enum class StepMode : uint8_t { kLoopLifted, kIterative };
+
+/// Run-time switches.
+struct EvalOptions {
+  alg::ExecFlags alg;                       // order_opt / positional + stats
+  StepMode child_mode = StepMode::kLoopLifted;
+  StepMode desc_mode = StepMode::kLoopLifted;  // descendant & other axes
+  bool nametest_pushdown = false;  // §3.2 candidate lists from name indexes
+  bool validate_props = false;     // re-verify all claimed props (tests)
+};
+
+/// The result sequence of one execution. Node items may reference the
+/// transient container owned by the DocumentManager.
+struct QueryResult {
+  std::vector<Item> items;
+  DocumentContainer* transient = nullptr;
+
+  /// XML serialization of the sequence.
+  std::string Serialize(const DocumentManager& mgr) const;
+};
+
+/// \brief Compiler + evaluator facade.
+class XQueryEngine {
+ public:
+  explicit XQueryEngine(DocumentManager* mgr) : mgr_(mgr) {}
+
+  /// Parses and compiles a query.
+  Result<CompiledQuery> Compile(const std::string& query,
+                                const CompileOptions& opts = {});
+
+  /// Executes a compiled plan (re-executable; one transient container per
+  /// call).
+  Result<QueryResult> Execute(const CompiledQuery& q, EvalOptions* opts);
+
+  /// Convenience: compile + execute + serialize.
+  Result<std::string> Run(const std::string& query,
+                          const CompileOptions& copts = {},
+                          EvalOptions* eopts = nullptr);
+
+  DocumentManager* manager() { return mgr_; }
+
+  /// Scan statistics of the last Execute (staircase join counters).
+  const ScanStats& last_scan_stats() const { return scan_; }
+
+ private:
+  DocumentManager* mgr_;
+  DocumentContainer* transient_ = nullptr;  // cleared & reused per Execute
+  ScanStats scan_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace xq
+}  // namespace mxq
+
+#endif  // MXQ_XQUERY_ENGINE_H_

@@ -1,0 +1,954 @@
+// Plan evaluator: operator-at-a-time, fully materializing (MonetDB model).
+//
+// Each plan node materializes one table per execution epoch (DAG sharing ==
+// the paper's re-used intermediate results). The XQuery-specific operators
+// live here: the loop-lifted staircase step (with the Figure-12 iterative
+// fallback and §3.2 nametest pushdown), the existential theta-join with the
+// §4.2 min/max rewrite and sampled choose-plan, effective boolean values,
+// and node construction into the transient container.
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "staircase/loop_lifted.h"
+#include "xml/serializer.h"
+#include "xquery/engine.h"
+#include "xquery/plan.h"
+
+namespace mxq {
+namespace xq {
+
+namespace {
+
+struct Ctx {
+  DocumentManager* mgr;
+  EvalOptions* opts;
+  DocumentContainer* transient;
+  ScanStats* scan;
+  uint64_t epoch;
+};
+
+Result<TablePtr> Eval(PlanNode* n, Ctx& ctx);
+Status VerifyProps(const DocumentManager& mgr, const Table& t);
+
+Result<TablePtr> EvalIn(const PlanPtr& p, Ctx& ctx) { return Eval(p.get(), ctx); }
+
+// ---------------------------------------------------------------------------
+// scalar function dispatch
+// ---------------------------------------------------------------------------
+
+Item ApplyFn1(Ctx& ctx, const PlanNode& n, const Item& x) {
+  DocumentManager& mgr = *ctx.mgr;
+  switch (n.fn) {
+    case ScalarFn::kAtomize: return Atomize(mgr, x);
+    case ScalarFn::kCastString: return CastString(mgr, x);
+    case ScalarFn::kCastNumber: return CastNumber(mgr, x);
+    case ScalarFn::kNot: return Item::Bool(!ItemEbv(mgr, x));
+    case ScalarFn::kNeg: {
+      Item a = Atomize(mgr, x);
+      if (a.kind == ItemKind::kInt) return Item::Int(-a.i);
+      double d = ToDouble(mgr, a);
+      return std::isnan(d) ? Item() : Item::Double(-d);
+    }
+    case ScalarFn::kStringLength: {
+      Item s = CastString(mgr, x);
+      return Item::Int(
+          static_cast<int64_t>(mgr.strings().Get(s.str_id()).size()));
+    }
+    case ScalarFn::kRound: {
+      double d = ToDouble(mgr, x);
+      return std::isnan(d) ? Item() : Item::Double(std::round(d));
+    }
+    case ScalarFn::kFloor: {
+      double d = ToDouble(mgr, x);
+      return std::isnan(d) ? Item() : Item::Double(std::floor(d));
+    }
+    case ScalarFn::kCeiling: {
+      double d = ToDouble(mgr, x);
+      return std::isnan(d) ? Item() : Item::Double(std::ceil(d));
+    }
+    case ScalarFn::kAbs: {
+      double d = ToDouble(mgr, x);
+      return std::isnan(d) ? Item() : Item::Double(std::fabs(d));
+    }
+    case ScalarFn::kNameOf:
+    case ScalarFn::kLocalName: {
+      StrId qn = kInvalidStrId;
+      if (x.kind == ItemKind::kNode) {
+        NodeRef nr = x.node();
+        const DocumentContainer& c = *mgr.container(nr.container);
+        if (c.KindAt(nr.pre) == NodeKind::kElem)
+          qn = static_cast<StrId>(c.RefAt(nr.pre));
+      } else if (x.kind == ItemKind::kAttr) {
+        AttrRef ar = x.attr();
+        qn = mgr.container(ar.container)->AttrQn(ar.row);
+      }
+      if (qn == kInvalidStrId) return Item::String(mgr.strings().Intern(""));
+      std::string name = mgr.strings().Get(qn);
+      if (n.fn == ScalarFn::kLocalName) {
+        size_t colon = name.rfind(':');
+        if (colon != std::string::npos) name = name.substr(colon + 1);
+      }
+      return Item::String(mgr.strings().Intern(name));
+    }
+    case ScalarFn::kCanonValue: {
+      // distinct-values canonicalization: numeric image if numeric-looking,
+      // else the string value.
+      Item a = Atomize(mgr, x);
+      if (a.is_numeric()) return Item::Double(a.as_double());
+      if (a.is_stringlike()) {
+        double d = ToDouble(mgr, a);
+        if (!std::isnan(d)) return Item::Double(d);
+        return Item::String(a.str_id());
+      }
+      return a;
+    }
+    case ScalarFn::kIdentity: return x;
+    default: return Item();
+  }
+}
+
+Item ApplyFn2(Ctx& ctx, const PlanNode& n, const Item& x, const Item& y) {
+  DocumentManager& mgr = *ctx.mgr;
+  switch (n.fn) {
+    case ScalarFn::kArith: return Arith(mgr, x, n.arith, y);
+    case ScalarFn::kCmp: return Item::Bool(CompareItems(mgr, x, n.cmp, y));
+    case ScalarFn::kContains: {
+      Item a = CastString(mgr, x), b = CastString(mgr, y);
+      return Item::Bool(mgr.strings().Get(a.str_id()).find(
+                            mgr.strings().Get(b.str_id())) !=
+                        std::string::npos);
+    }
+    case ScalarFn::kStartsWith: {
+      Item a = CastString(mgr, x), b = CastString(mgr, y);
+      return Item::Bool(mgr.strings().Get(a.str_id()).rfind(
+                            mgr.strings().Get(b.str_id()), 0) == 0);
+    }
+    case ScalarFn::kConcat: {
+      Item a = CastString(mgr, x), b = CastString(mgr, y);
+      return Item::String(mgr.strings().Intern(
+          mgr.strings().Get(a.str_id()) + mgr.strings().Get(b.str_id())));
+    }
+    case ScalarFn::kSubstring2: {
+      Item a = CastString(mgr, x);
+      double start = ToDouble(mgr, y);
+      const std::string& s = mgr.strings().Get(a.str_id());
+      if (std::isnan(start)) return Item::String(mgr.strings().Intern(""));
+      size_t from = start <= 1 ? 0 : static_cast<size_t>(start) - 1;
+      return Item::String(
+          mgr.strings().Intern(from >= s.size() ? "" : s.substr(from)));
+    }
+    case ScalarFn::kNodeBefore:
+      return Item::Bool(x.is_any_node() && y.is_any_node() && x.i < y.i);
+    case ScalarFn::kNodeAfter:
+      return Item::Bool(x.is_any_node() && y.is_any_node() && x.i > y.i);
+    case ScalarFn::kNodeIs:
+      return Item::Bool(x.is_any_node() && y.is_any_node() && x.i == y.i &&
+                        x.kind == y.kind);
+    case ScalarFn::kAndBool:
+      return Item::Bool(ItemEbv(mgr, x) && ItemEbv(mgr, y));
+    case ScalarFn::kOrBool:
+      return Item::Bool(ItemEbv(mgr, x) || ItemEbv(mgr, y));
+    default: return Item();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// the loop-lifted step operator
+// ---------------------------------------------------------------------------
+
+Result<TablePtr> EvalStep(PlanNode* n, Ctx& ctx, const TablePtr& in) {
+  DocumentManager& mgr = *ctx.mgr;
+  // Resolve the node test.
+  NodeTest test;
+  test.sel = n->sel;
+  if (!n->name_test.empty()) {
+    test.qn = mgr.strings().Find(n->name_test);
+    if (test.qn == kInvalidStrId) {
+      // Name never interned: no node anywhere matches.
+      auto t = Table::Make();
+      t->AddColumn("iter", Column::MakeI64({}));
+      t->AddColumn("item", Column::MakeItem({}));
+      t->props().ord = {"item", "iter"};
+      return t;
+    }
+  }
+
+  const ColumnPtr& iter_col = in->col("iter");
+  const ColumnPtr& item_col = in->col("item");
+  std::vector<int64_t> out_iter;
+  std::vector<Item> out_item;
+
+  // The input is sorted on (item, iter) == (container, pre, iter): rows of
+  // one container are contiguous.
+  size_t i = 0;
+  const size_t nrows = in->rows();
+  while (i < nrows) {
+    Item first = item_col->GetItem(i);
+    if (!first.is_node()) {  // attribute/atomic context rows have no axes
+      ++i;
+      continue;
+    }
+    int32_t cid = first.node().container;
+    std::vector<int64_t> ctx_iter, ctx_pre;
+    while (i < nrows) {
+      Item it = item_col->GetItem(i);
+      if (!it.is_node() || it.node().container != cid) break;
+      ctx_pre.push_back(it.node().pre);
+      ctx_iter.push_back(iter_col->GetI64(i));
+      ++i;
+    }
+    const DocumentContainer& doc = *mgr.container(cid);
+
+    LLStepResult res;
+    StepMode mode = n->axis == Axis::kChild ? ctx.opts->child_mode
+                                            : ctx.opts->desc_mode;
+    bool pushdown =
+        ctx.opts->nametest_pushdown && test.is_named_elem() &&
+        (n->axis == Axis::kChild || n->axis == Axis::kDescendant ||
+         n->axis == Axis::kDescendantOrSelf);
+    if (pushdown) {
+      res = LoopLiftedStaircaseCandidates(doc, n->axis, ctx_iter, ctx_pre,
+                                          doc.ElementsNamed(test.qn),
+                                          ctx.scan);
+    } else if (mode == StepMode::kIterative) {
+      res = IterativeStaircase(doc, n->axis, ctx_iter, ctx_pre, test,
+                               ctx.scan);
+    } else {
+      res = LoopLiftedStaircase(doc, n->axis, ctx_iter, ctx_pre, test,
+                                ctx.scan);
+    }
+    for (size_t k = 0; k < res.node.size(); ++k) {
+      out_iter.push_back(res.iter[k]);
+      out_item.push_back(n->axis == Axis::kAttribute
+                             ? Item::Attr(cid, res.node[k])
+                             : Item::Node(cid, res.node[k]));
+    }
+  }
+  auto t = Table::Make();
+  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("item", Column::MakeItem(std::move(out_item)));
+  // Document order major, iteration order within nodes (§3).
+  t->props().ord = {"item", "iter"};
+  t->props().grpord.push_back({{"item"}, "iter"});
+  ctx.opts->alg.stats.tuples_materialized += static_cast<int64_t>(t->rows());
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// effective boolean value / existence
+// ---------------------------------------------------------------------------
+
+Result<TablePtr> EvalEbv(PlanNode* n, Ctx& ctx, const TablePtr& rel,
+                         const TablePtr& loop) {
+  DocumentManager& mgr = *ctx.mgr;
+  struct First {
+    int64_t pos;
+    Item item;
+  };
+  std::unordered_map<int64_t, First> first;
+  const ColumnPtr& ic = rel->col("iter");
+  int pos_idx = rel->ColumnIndex("pos");
+  const ColumnPtr& vc = rel->col("item");
+  for (size_t r = 0; r < rel->rows(); ++r) {
+    int64_t it = ic->GetI64(r);
+    int64_t p = pos_idx >= 0 ? rel->col(pos_idx)->GetI64(r)
+                             : static_cast<int64_t>(r);
+    auto [f, inserted] = first.try_emplace(it, First{p, vc->GetItem(r)});
+    if (!inserted && p < f->second.pos) f->second = {p, vc->GetItem(r)};
+  }
+  // Positional predicate mode: numeric first item tests against the
+  // context position delivered by the map input.
+  std::unordered_map<int64_t, int64_t> ctxpos;
+  if (n->flag && n->inputs.size() > 2) {
+    MXQ_ASSIGN_OR_RETURN(TablePtr pm, EvalIn(n->inputs[2], ctx));
+    const ColumnPtr& inner = pm->col("inner");
+    const ColumnPtr& pos = pm->col("pos");
+    for (size_t r = 0; r < pm->rows(); ++r)
+      ctxpos[inner->GetI64(r)] = pos->GetI64(r);
+  }
+
+  const ColumnPtr& lc = loop->col(0);
+  std::vector<int64_t> out_iter(loop->rows());
+  std::vector<Item> out_val(loop->rows());
+  for (size_t r = 0; r < loop->rows(); ++r) {
+    int64_t it = lc->GetI64(r);
+    out_iter[r] = it;
+    auto f = first.find(it);
+    bool b = false;
+    if (f != first.end()) {
+      const Item& v = f->second.item;
+      if (n->flag && v.is_numeric()) {
+        auto cp = ctxpos.find(it);
+        b = cp != ctxpos.end() &&
+            v.as_double() == static_cast<double>(cp->second);
+      } else if (v.is_any_node()) {
+        b = true;
+      } else {
+        b = ItemEbv(mgr, v);
+      }
+    }
+    out_val[r] = Item::Bool(b);
+  }
+  auto t = Table::Make();
+  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("item", Column::MakeItem(std::move(out_val)));
+  t->props().dense = loop->props().dense.count(loop->name(0))
+                         ? std::set<std::string>{"iter"}
+                         : std::set<std::string>{};
+  if (loop->props().is_key(loop->name(0))) t->props().key.insert("iter");
+  if (loop->props().OrderedBy({loop->name(0)})) t->props().ord = {"iter"};
+  return t;
+}
+
+TablePtr EvalExists(const TablePtr& rel, const TablePtr& loop) {
+  std::unordered_set<int64_t> present;
+  const ColumnPtr& ic = rel->col("iter");
+  for (size_t r = 0; r < rel->rows(); ++r) present.insert(ic->GetI64(r));
+  const ColumnPtr& lc = loop->col(0);
+  std::vector<int64_t> out_iter(loop->rows());
+  std::vector<Item> out_val(loop->rows());
+  for (size_t r = 0; r < loop->rows(); ++r) {
+    out_iter[r] = lc->GetI64(r);
+    out_val[r] = Item::Bool(present.count(out_iter[r]) > 0);
+  }
+  auto t = Table::Make();
+  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("item", Column::MakeItem(std::move(out_val)));
+  if (loop->props().is_key(loop->name(0))) t->props().key.insert("iter");
+  if (loop->props().is_dense(loop->name(0))) t->props().dense.insert("iter");
+  if (loop->props().OrderedBy({loop->name(0)})) t->props().ord = {"iter"};
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// existential theta-join (§4.2)
+// ---------------------------------------------------------------------------
+
+Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
+                               const TablePtr& rhs) {
+  DocumentManager& mgr = *ctx.mgr;
+  alg::ExecStats& stats = ctx.opts->alg.stats;
+  const ColumnPtr& li = lhs->col("iter");
+  const ColumnPtr& lv = lhs->col("item");
+  const ColumnPtr& ri = rhs->col("sid");
+  const ColumnPtr& rv = rhs->col("item");
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;  // (iter, sid)
+
+  if (n->cmp == CmpOp::kEq) {
+    // Hash join + ordered duplicate elimination (Fig 8a): the δ runs as a
+    // per-iter merge because probes arrive clustered by iter.
+    ++stats.hash_joins;
+    std::unordered_map<uint64_t, std::vector<size_t>> ht;
+    for (size_t r = 0; r < rhs->rows(); ++r)
+      ht[HashItem(mgr, rv->GetItem(r))].push_back(r);
+    for (size_t l = 0; l < lhs->rows(); ++l) {
+      Item v = lv->GetItem(l);
+      auto it = ht.find(HashItem(mgr, v));
+      if (it == ht.end()) continue;
+      for (size_t r : it->second)
+        if (CompareItems(mgr, v, CmpOp::kEq, rv->GetItem(r)))
+          pairs.emplace_back(li->GetI64(l), ri->GetI64(r));
+    }
+    ++stats.merge_dedups;
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  } else if (n->cmp == CmpOp::kNe) {
+    // exists l != r. Rare; group-level reasoning keeps it near-linear.
+    std::unordered_map<int64_t, std::vector<Item>> L, R;
+    for (size_t l = 0; l < lhs->rows(); ++l)
+      L[li->GetI64(l)].push_back(lv->GetItem(l));
+    for (size_t r = 0; r < rhs->rows(); ++r)
+      R[ri->GetI64(r)].push_back(rv->GetItem(r));
+    for (auto& [it, ls] : L)
+      for (auto& [sid, rs] : R)
+        for (const Item& a : ls) {
+          bool hit = false;
+          for (const Item& b : rs)
+            if (CompareItems(mgr, a, CmpOp::kNe, b)) {
+              hit = true;
+              break;
+            }
+          if (hit) {
+            pairs.emplace_back(it, sid);
+            break;
+          }
+        }
+    std::sort(pairs.begin(), pairs.end());
+  } else {
+    // Ordered comparison: aggregate each group first (Fig 8b) — for
+    // exists(l < r) it suffices to compare min(l) with max(r).
+    bool lhs_min = n->cmp == CmpOp::kLt || n->cmp == CmpOp::kLe;
+    std::unordered_map<int64_t, double> lagg, ragg;
+    for (size_t l = 0; l < lhs->rows(); ++l) {
+      double v = ToDouble(mgr, lv->GetItem(l));
+      if (std::isnan(v)) continue;
+      auto [f, ins] = lagg.try_emplace(li->GetI64(l), v);
+      if (!ins) f->second = lhs_min ? std::min(f->second, v)
+                                    : std::max(f->second, v);
+    }
+    for (size_t r = 0; r < rhs->rows(); ++r) {
+      double v = ToDouble(mgr, rv->GetItem(r));
+      if (std::isnan(v)) continue;
+      auto [f, ins] = ragg.try_emplace(ri->GetI64(r), v);
+      if (!ins) f->second = lhs_min ? std::max(f->second, v)
+                                    : std::min(f->second, v);
+    }
+    std::vector<std::pair<double, int64_t>> lv2(lagg.size()), rv2(ragg.size());
+    size_t k = 0;
+    for (auto& [it, v] : lagg) lv2[k++] = {v, it};
+    k = 0;
+    for (auto& [sid, v] : ragg) rv2[k++] = {v, sid};
+    std::sort(rv2.begin(), rv2.end());
+
+    auto match_range = [&](double v) -> std::pair<size_t, size_t> {
+      // Range of rv2 indices whose aggregate satisfies v cmp r.
+      switch (n->cmp) {
+        case CmpOp::kLt: {
+          auto lo = std::upper_bound(rv2.begin(), rv2.end(),
+                                     std::make_pair(v, INT64_MAX));
+          return {static_cast<size_t>(lo - rv2.begin()), rv2.size()};
+        }
+        case CmpOp::kLe: {
+          auto lo = std::lower_bound(rv2.begin(), rv2.end(),
+                                     std::make_pair(v, INT64_MIN));
+          return {static_cast<size_t>(lo - rv2.begin()), rv2.size()};
+        }
+        case CmpOp::kGt: {
+          auto hi = std::lower_bound(rv2.begin(), rv2.end(),
+                                     std::make_pair(v, INT64_MIN));
+          return {0, static_cast<size_t>(hi - rv2.begin())};
+        }
+        default: {  // kGe
+          auto hi = std::upper_bound(rv2.begin(), rv2.end(),
+                                     std::make_pair(v, INT64_MAX));
+          return {0, static_cast<size_t>(hi - rv2.begin())};
+        }
+      }
+    };
+
+    // choose-plan (paper §4.2): sample the join hit-rate first.
+    double est = 0;
+    size_t sample = std::min<size_t>(lv2.size(), 64);
+    for (size_t s = 0; s < sample; ++s) {
+      auto [lo, hi] = match_range(lv2[s * lv2.size() / (sample ? sample : 1)]
+                                      .first);
+      est += static_cast<double>(hi - lo);
+    }
+    double hit_rate =
+        sample && !rv2.empty() ? est / (sample * rv2.size()) : 0;
+
+    if (hit_rate > 0.5) {
+      // Result construction dominates: nested loop delivers (iter, sid)
+      // order directly.
+      ++stats.exist_nested_loop;
+      std::sort(lv2.begin(), lv2.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      std::vector<std::pair<double, int64_t>> rv_by_sid = rv2;
+      std::sort(rv_by_sid.begin(), rv_by_sid.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      for (auto& [v, it] : lv2)
+        for (auto& [rvv, sid] : rv_by_sid) {
+          bool hit;
+          switch (n->cmp) {
+            case CmpOp::kLt: hit = v < rvv; break;
+            case CmpOp::kLe: hit = v <= rvv; break;
+            case CmpOp::kGt: hit = v > rvv; break;
+            default: hit = v >= rvv; break;
+          }
+          if (hit) pairs.emplace_back(it, sid);
+        }
+    } else {
+      // Index-lookup join on the sorted aggregate, refine-sorting sids
+      // within each iter.
+      ++stats.exist_index_join;
+      std::sort(lv2.begin(), lv2.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      std::vector<int64_t> sids;
+      for (auto& [v, it] : lv2) {
+        auto [lo, hi] = match_range(v);
+        sids.clear();
+        for (size_t r = lo; r < hi; ++r) sids.push_back(rv2[r].second);
+        std::sort(sids.begin(), sids.end());
+        ++stats.refine_sorts;
+        for (int64_t sid : sids) pairs.emplace_back(it, sid);
+      }
+    }
+  }
+
+  std::vector<int64_t> out_iter(pairs.size()), out_sid(pairs.size());
+  for (size_t r = 0; r < pairs.size(); ++r) {
+    out_iter[r] = pairs[r].first;
+    out_sid[r] = pairs[r].second;
+  }
+  auto t = Table::Make();
+  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("sid", Column::MakeI64(std::move(out_sid)));
+  t->props().ord = {"iter", "sid"};
+  stats.tuples_materialized += static_cast<int64_t>(t->rows());
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// construction
+// ---------------------------------------------------------------------------
+
+Result<TablePtr> EvalConstructElem(PlanNode* n, Ctx& ctx,
+                                   const TablePtr& loop,
+                                   const TablePtr& content) {
+  DocumentManager& mgr = *ctx.mgr;
+  DocumentContainer* tr = ctx.transient;
+  StrId tag = mgr.strings().Intern(n->name_test);
+
+  const ColumnPtr& lc = loop->col(0);
+  const ColumnPtr& ci = content->col("iter");
+  const ColumnPtr& cv = content->col("item");
+
+  std::vector<int64_t> out_iter(loop->rows());
+  std::vector<Item> out_item(loop->rows());
+  size_t c = 0;
+  for (size_t r = 0; r < loop->rows(); ++r) {
+    int64_t it = lc->GetI64(r);
+    out_iter[r] = it;
+    int32_t frag = tr->next_frag();
+    int64_t root = tr->AppendSlot(NodeKind::kElem, tag, 0, frag);
+    std::string text_run;
+    bool have_text = false;
+    auto flush_text = [&]() {
+      if (!have_text) return;
+      tr->AppendSlot(NodeKind::kText, mgr.strings().Intern(text_run), 1,
+                     frag);
+      text_run.clear();
+      have_text = false;
+    };
+    // Content rows for earlier iters that are not in the loop: skip.
+    while (c < content->rows() && ci->GetI64(c) < it) ++c;
+    for (; c < content->rows() && ci->GetI64(c) == it; ++c) {
+      Item v = cv->GetItem(c);
+      switch (v.kind) {
+        case ItemKind::kAttr: {
+          AttrRef a = v.attr();
+          const DocumentContainer& src = *mgr.container(a.container);
+          tr->AppendAttr(root, src.AttrQn(a.row), src.AttrValue(a.row));
+          break;
+        }
+        case ItemKind::kNode: {
+          flush_text();
+          NodeRef nr = v.node();
+          const DocumentContainer& src = *mgr.container(nr.container);
+          if (src.KindAt(nr.pre) == NodeKind::kDoc) {
+            // Inserting a document node inserts its children.
+            int64_t end = nr.pre + src.SizeAt(nr.pre);
+            for (int64_t p = nr.pre + 1; p <= end;) {
+              if (src.IsUnused(p)) {
+                p += src.SizeAt(p) + 1;
+                continue;
+              }
+              tr->CopySubtree(src, p, 1, frag);
+              p += src.SizeAt(p) + 1;
+            }
+          } else {
+            tr->CopySubtree(src, nr.pre, 1, frag);
+          }
+          break;
+        }
+        case ItemKind::kEmpty:
+          break;
+        default: {
+          // Adjacent atomics merge into one text node, space-separated.
+          std::string s = AtomicToString(mgr, v);
+          if (have_text) text_run += " ";
+          text_run += s;
+          have_text = true;
+          break;
+        }
+      }
+    }
+    flush_text();
+    tr->SetSize(root, tr->PhysicalSlots() - root - 1);
+    out_item[r] = Item::Node(tr->id(), root);
+  }
+  tr->InvalidateIndexes();
+  auto t = Table::Make();
+  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("item", Column::MakeItem(std::move(out_item)));
+  if (loop->props().is_key(loop->name(0))) t->props().key.insert("iter");
+  if (loop->props().is_dense(loop->name(0))) t->props().dense.insert("iter");
+  if (loop->props().OrderedBy({loop->name(0)})) t->props().ord = {"iter"};
+  return t;
+}
+
+Result<TablePtr> EvalConstructAttr(PlanNode* n, Ctx& ctx,
+                                   const TablePtr& in) {
+  DocumentManager& mgr = *ctx.mgr;
+  DocumentContainer* tr = ctx.transient;
+  StrId qn = mgr.strings().Intern(n->name_test);
+  const ColumnPtr& ic = in->col("iter");
+  const ColumnPtr& vc = in->col("item");
+  std::vector<int64_t> out_iter(in->rows());
+  std::vector<Item> out_item(in->rows());
+  for (size_t r = 0; r < in->rows(); ++r) {
+    out_iter[r] = ic->GetI64(r);
+    Item s = CastString(mgr, vc->GetItem(r));
+    int64_t row = tr->AppendAttr(/*owner_rid=*/-1, qn, s.str_id());
+    out_item[r] = Item::Attr(tr->id(), row);
+  }
+  auto t = Table::Make();
+  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("item", Column::MakeItem(std::move(out_item)));
+  t->props() = in->props();
+  t->props().RestrictTo({"iter"});
+  return t;
+}
+
+Result<TablePtr> EvalStringJoin(PlanNode* n, Ctx& ctx, const TablePtr& rel,
+                                const TablePtr& loop) {
+  DocumentManager& mgr = *ctx.mgr;
+  const ColumnPtr& ic = rel->col("iter");
+  int pos_idx = rel->ColumnIndex("pos");
+  const ColumnPtr& vc = rel->col("item");
+  std::vector<std::tuple<int64_t, int64_t, size_t>> rows(rel->rows());
+  for (size_t r = 0; r < rel->rows(); ++r)
+    rows[r] = {ic->GetI64(r),
+               pos_idx >= 0 ? rel->col(pos_idx)->GetI64(r)
+                            : static_cast<int64_t>(r),
+               r};
+  std::sort(rows.begin(), rows.end());
+  std::unordered_map<int64_t, std::string> joined;
+  for (auto& [it, pos, r] : rows) {
+    Item s = CastString(mgr, vc->GetItem(r));
+    auto [f, inserted] = joined.try_emplace(it, mgr.strings().Get(s.str_id()));
+    if (!inserted) {
+      f->second += n->sep;
+      f->second += mgr.strings().Get(s.str_id());
+    }
+  }
+  const ColumnPtr& lc = loop->col(0);
+  std::vector<int64_t> out_iter(loop->rows());
+  std::vector<Item> out_val(loop->rows());
+  for (size_t r = 0; r < loop->rows(); ++r) {
+    out_iter[r] = lc->GetI64(r);
+    auto f = joined.find(out_iter[r]);
+    out_val[r] = Item::String(
+        mgr.strings().Intern(f == joined.end() ? "" : f->second));
+  }
+  auto t = Table::Make();
+  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("item", Column::MakeItem(std::move(out_val)));
+  if (loop->props().is_key(loop->name(0))) t->props().key.insert("iter");
+  if (loop->props().is_dense(loop->name(0))) t->props().dense.insert("iter");
+  if (loop->props().OrderedBy({loop->name(0)})) t->props().ord = {"iter"};
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// dispatcher
+// ---------------------------------------------------------------------------
+
+Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
+  if (n->epoch == ctx.epoch && n->cached) return n->cached;
+
+  alg::ExecFlags& fl = ctx.opts->alg;
+  DocumentManager& mgr = *ctx.mgr;
+  TablePtr out;
+
+  switch (n->op) {
+    case OpCode::kLiteral:
+      out = n->literal;
+      break;
+    case OpCode::kDocRoot: {
+      auto doc = mgr.GetDocument(n->doc_name);
+      if (!doc.ok()) return doc.status();
+      auto t = Table::Make();
+      t->AddColumn("pos", Column::MakeI64({1}));
+      t->AddColumn("item",
+                   Column::MakeItem({Item::Node((*doc)->id(), 0)}));
+      out = t;
+      break;
+    }
+    case OpCode::kProject: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::Project(in, n->keep);
+      break;
+    }
+    case OpCode::kSelectTrue: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::SelectTrue(mgr, fl, in, n->col, n->flag);
+      break;
+    }
+    case OpCode::kUnion: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr a, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr b, EvalIn(n->inputs[1], ctx));
+      out = alg::DisjointUnion(a, b, n->cols_list);
+      break;
+    }
+    case OpCode::kDistinct: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::Distinct(mgr, fl, in, n->cols_list);
+      break;
+    }
+    case OpCode::kSort: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::Sort(mgr, fl, in, n->cols_list, n->desc);
+      break;
+    }
+    case OpCode::kRowNum: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::RowNum(mgr, fl, in, n->out, n->cols_list, n->group);
+      break;
+    }
+    case OpCode::kEquiJoinI64: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr a, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr b, EvalIn(n->inputs[1], ctx));
+      out = alg::EquiJoinI64(fl, a, n->col, b, n->col2, n->keep);
+      break;
+    }
+    case OpCode::kEquiJoinItem: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr a, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr b, EvalIn(n->inputs[1], ctx));
+      out = alg::EquiJoinItem(mgr, fl, a, n->col, b, n->col2, n->keep);
+      break;
+    }
+    case OpCode::kSemiJoin: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr a, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr b, EvalIn(n->inputs[1], ctx));
+      out = alg::SemiJoinI64(fl, a, n->col, b, n->col2, n->flag);
+      break;
+    }
+    case OpCode::kCross: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr a, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr b, EvalIn(n->inputs[1], ctx));
+      out = alg::Cross(a, b, n->keep);
+      break;
+    }
+    case OpCode::kGroupAggr: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::GroupAggr(mgr, fl, in, n->group.empty() ? "iter" : n->group,
+                           n->col, n->agg);
+      break;
+    }
+    case OpCode::kFillGroups: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr a, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr l, EvalIn(n->inputs[1], ctx));
+      out = alg::FillGroups(fl, a, n->group, n->col, l,
+                            n->col2.empty() ? "iter" : n->col2, n->item);
+      break;
+    }
+    case OpCode::kMap1: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::AppendMap(in, n->out, n->col, [&](const Item& x) {
+        return ApplyFn1(ctx, *n, x);
+      });
+      break;
+    }
+    case OpCode::kMap2: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::AppendMap2(in, n->out, n->col, n->col2,
+                            [&](const Item& x, const Item& y) {
+                              return ApplyFn2(ctx, *n, x, y);
+                            });
+      break;
+    }
+    case OpCode::kAppendConst: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = alg::AppendConst(in, n->out, n->item);
+      break;
+    }
+    case OpCode::kStep: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(out, EvalStep(n, ctx, in));
+      break;
+    }
+    case OpCode::kEbv: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr rel, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr loop, EvalIn(n->inputs[1], ctx));
+      MXQ_ASSIGN_OR_RETURN(out, EvalEbv(n, ctx, rel, loop));
+      break;
+    }
+    case OpCode::kExists: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr rel, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr loop, EvalIn(n->inputs[1], ctx));
+      out = EvalExists(rel, loop);
+      break;
+    }
+    case OpCode::kExistJoin: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr a, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr b, EvalIn(n->inputs[1], ctx));
+      MXQ_ASSIGN_OR_RETURN(out, EvalExistJoin(n, ctx, a, b));
+      break;
+    }
+    case OpCode::kConstructElem: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr loop, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr content, EvalIn(n->inputs[1], ctx));
+      MXQ_ASSIGN_OR_RETURN(out, EvalConstructElem(n, ctx, loop, content));
+      break;
+    }
+    case OpCode::kConstructAttr: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(out, EvalConstructAttr(n, ctx, in));
+      break;
+    }
+    case OpCode::kStringJoinAggr: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr rel, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr loop, EvalIn(n->inputs[1], ctx));
+      MXQ_ASSIGN_OR_RETURN(out, EvalStringJoin(n, ctx, rel, loop));
+      break;
+    }
+    case OpCode::kAssertProps: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      out = in->ShallowCopy();
+      for (const auto& c : n->assert_props.dense) out->props().dense.insert(c);
+      for (const auto& c : n->assert_props.key) out->props().key.insert(c);
+      if (!n->assert_props.ord.empty()) out->props().ord = n->assert_props.ord;
+      for (const auto& g : n->assert_props.grpord)
+        out->props().grpord.push_back(g);
+      break;
+    }
+  }
+  if (ctx.opts->validate_props) {
+    Status vs = VerifyProps(mgr, *out);
+    if (!vs.ok())
+      return Status::Internal(vs.message() + " (op " +
+                              std::to_string(static_cast<int>(n->op)) + ")");
+  }
+  n->cached = out;
+  n->epoch = ctx.epoch;
+  return out;
+}
+
+/// Re-verifies every property claimed on a materialized table (the
+/// validate_props testing mode): `ord`, `grpord`, `dense`, `key`, `const`
+/// must actually hold, or property-driven shortcuts would be unsound.
+Status VerifyProps(const DocumentManager& mgr, const Table& t) {
+  const TableProps& p = t.props();
+  auto cmp_rows = [&](const Column& c, size_t a, size_t b) -> int {
+    if (c.is_i64()) {
+      int64_t x = c.i64()[a], y = c.i64()[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    return OrderCompare(mgr, c.items()[a], c.items()[b]);
+  };
+  if (!p.ord.empty()) {
+    for (size_t i = 1; i < t.rows(); ++i) {
+      for (const std::string& cn : p.ord) {
+        int c = cmp_rows(*t.col(cn), i - 1, i);
+        if (c < 0) break;
+        if (c > 0)
+          return Status::Internal("ord(" + cn + ") violated at row " +
+                                  std::to_string(i));
+      }
+    }
+  }
+  for (const auto& go : p.grpord) {
+    std::unordered_map<int64_t, size_t> last;
+    const ColumnPtr& g = t.col(go.group);
+    for (size_t i = 0; i < t.rows(); ++i) {
+      auto [it, fresh] = last.try_emplace(g->GetI64(i), i);
+      if (!fresh) {
+        for (const std::string& cn : go.cols) {
+          int c = cmp_rows(*t.col(cn), it->second, i);
+          if (c < 0) break;
+          if (c > 0)
+            return Status::Internal("grpord violated in group of " +
+                                    go.group);
+        }
+        it->second = i;
+      }
+    }
+  }
+  for (const std::string& cn : p.dense) {
+    const ColumnPtr& c = t.col(cn);
+    for (size_t i = 0; i < t.rows(); ++i)
+      if (c->GetI64(i) != static_cast<int64_t>(i) + 1)
+        return Status::Internal("dense(" + cn + ") violated");
+  }
+  for (const std::string& cn : p.key) {
+    std::unordered_set<int64_t> seen;
+    const ColumnPtr& c = t.col(cn);
+    for (size_t i = 0; i < t.rows(); ++i)
+      if (!seen.insert(c->GetI64(i)).second)
+        return Status::Internal("key(" + cn + ") violated");
+  }
+  for (const auto& [cn, v] : p.constants) {
+    const ColumnPtr& c = t.col(cn);
+    for (size_t i = 0; i < t.rows(); ++i) {
+      bool ok = c->is_i64() ? (v.kind == ItemKind::kInt && c->GetI64(i) == v.i)
+                            : c->GetItem(i) == v;
+      if (!ok) return Status::Internal("const(" + cn + ") violated");
+    }
+  }
+  return Status::OK();
+}
+
+void CollectNodes(const PlanPtr& n, std::unordered_set<PlanNode*>* seen,
+                  std::vector<PlanNode*>* out) {
+  if (!n || seen->count(n.get())) return;
+  seen->insert(n.get());
+  for (const PlanPtr& c : n->inputs) CollectNodes(c, seen, out);
+  out->push_back(n.get());
+}
+
+}  // namespace
+
+PlanStats ComputePlanStats(const PlanPtr& root) {
+  std::unordered_set<PlanNode*> seen;
+  std::vector<PlanNode*> nodes;
+  CollectNodes(root, &seen, &nodes);
+  PlanStats s;
+  s.num_ops = static_cast<int>(nodes.size());
+  for (PlanNode* n : nodes) {
+    switch (n->op) {
+      case OpCode::kEquiJoinI64:
+      case OpCode::kEquiJoinItem:
+      case OpCode::kSemiJoin:
+      case OpCode::kCross:
+      case OpCode::kExistJoin:
+        ++s.num_joins;
+        break;
+      case OpCode::kStep:
+        ++s.num_steps;
+        break;
+      case OpCode::kSort:
+        ++s.num_sorts;
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+std::string QueryResult::Serialize(const DocumentManager& mgr) const {
+  return SerializeSequence(mgr, items);
+}
+
+Result<QueryResult> XQueryEngine::Execute(const CompiledQuery& q,
+                                          EvalOptions* opts) {
+  static EvalOptions default_opts;
+  if (!opts) opts = &default_opts;
+  if (!transient_) transient_ = mgr_->CreateContainer("");
+  transient_->Clear();
+  scan_.Reset();
+  Ctx ctx{mgr_, opts, transient_, &scan_, ++epoch_};
+  MXQ_ASSIGN_OR_RETURN(TablePtr t, Eval(q.root.get(), ctx));
+  QueryResult res;
+  res.transient = transient_;
+  const ColumnPtr& item = t->col("item");
+  res.items.reserve(t->rows());
+  for (size_t r = 0; r < t->rows(); ++r) res.items.push_back(item->GetItem(r));
+  return res;
+}
+
+Result<std::string> XQueryEngine::Run(const std::string& query,
+                                      const CompileOptions& copts,
+                                      EvalOptions* eopts) {
+  MXQ_ASSIGN_OR_RETURN(CompiledQuery q, Compile(query, copts));
+  MXQ_ASSIGN_OR_RETURN(QueryResult r, Execute(q, eopts));
+  return r.Serialize(*mgr_);
+}
+
+}  // namespace xq
+}  // namespace mxq

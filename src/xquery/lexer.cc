@@ -1,0 +1,177 @@
+#include "xquery/lexer.h"
+
+#include <cctype>
+
+namespace mxq {
+namespace xq {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+void Lexer::SkipWsAndComments() {
+  for (;;) {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+    // Nested (: ... :) comments.
+    if (pos_ + 1 < src_.size() && src_[pos_] == '(' && src_[pos_ + 1] == ':') {
+      int depth = 0;
+      while (pos_ < src_.size()) {
+        if (pos_ + 1 < src_.size() && src_[pos_] == '(' &&
+            src_[pos_ + 1] == ':') {
+          ++depth;
+          pos_ += 2;
+        } else if (pos_ + 1 < src_.size() && src_[pos_] == ':' &&
+                   src_[pos_ + 1] == ')') {
+          --depth;
+          pos_ += 2;
+          if (depth == 0) break;
+        } else {
+          ++pos_;
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::Next() {
+  SkipWsAndComments();
+  Token t;
+  t.begin = pos_;
+  if (pos_ >= src_.size()) {
+    t.type = TokType::kEnd;
+    t.end = pos_;
+    return t;
+  }
+  char c = src_[pos_];
+  auto one = [&](TokType ty) {
+    t.type = ty;
+    t.text = src_.substr(pos_, 1);
+    ++pos_;
+  };
+  auto two = [&](TokType ty) {
+    t.type = ty;
+    t.text = src_.substr(pos_, 2);
+    pos_ += 2;
+  };
+  char c2 = pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+
+  if (IsNameStart(c)) {
+    size_t start = pos_;
+    while (pos_ < src_.size() && IsNameChar(src_[pos_])) ++pos_;
+    // QName: one "prefix:local" (but not "a::b" — that's an axis).
+    if (pos_ + 1 < src_.size() && src_[pos_] == ':' &&
+        src_[pos_ + 1] != ':' && src_[pos_ + 1] != '=' &&
+        IsNameStart(src_[pos_ + 1])) {
+      ++pos_;
+      while (pos_ < src_.size() && IsNameChar(src_[pos_])) ++pos_;
+    }
+    t.type = TokType::kName;
+    t.text = src_.substr(start, pos_ - start);
+  } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+             (c == '.' && std::isdigit(static_cast<unsigned char>(c2)))) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+    if (pos_ < src_.size() && src_[pos_] == '.' && pos_ + 1 < src_.size() &&
+        std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+      is_double = true;
+      ++pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < src_.size() && (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_])))
+        ++pos_;
+    }
+    t.type = is_double ? TokType::kDouble : TokType::kInt;
+    t.text = src_.substr(start, pos_ - start);
+  } else if (c == '"' || c == '\'') {
+    char quote = c;
+    ++pos_;
+    std::string out;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == quote) {
+        // Doubled quote = escaped quote.
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == quote) {
+          out.push_back(quote);
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        break;
+      }
+      out.push_back(src_[pos_++]);
+    }
+    t.type = TokType::kString;
+    t.text = std::move(out);
+  } else {
+    switch (c) {
+      case '$': one(TokType::kDollar); break;
+      case '(': one(TokType::kLParen); break;
+      case ')': one(TokType::kRParen); break;
+      case '[': one(TokType::kLBracket); break;
+      case ']': one(TokType::kRBracket); break;
+      case '{': one(TokType::kLBrace); break;
+      case '}': one(TokType::kRBrace); break;
+      case ',': one(TokType::kComma); break;
+      case ';': one(TokType::kSemicolon); break;
+      case '@': one(TokType::kAt); break;
+      case '+': one(TokType::kPlus); break;
+      case '-': one(TokType::kMinus); break;
+      case '*': one(TokType::kStar); break;
+      case '?': one(TokType::kQuestion); break;
+      case '|': one(TokType::kPipe); break;
+      case '=': one(TokType::kEq); break;
+      case '/': c2 == '/' ? two(TokType::kSlashSlash) : one(TokType::kSlash);
+        break;
+      case '.': c2 == '.' ? two(TokType::kDotDot) : one(TokType::kDot);
+        break;
+      case ':':
+        if (c2 == ':') two(TokType::kColonColon);
+        else if (c2 == '=') two(TokType::kAssign);
+        else one(TokType::kEnd);  // stray ':' — parser reports
+        break;
+      case '!':
+        if (c2 == '=') two(TokType::kNe);
+        else one(TokType::kEnd);
+        break;
+      case '<':
+        if (c2 == '<') two(TokType::kLtLt);
+        else if (c2 == '=') two(TokType::kLe);
+        else one(TokType::kLt);
+        break;
+      case '>':
+        if (c2 == '>') two(TokType::kGtGt);
+        else if (c2 == '=') two(TokType::kGe);
+        else one(TokType::kGt);
+        break;
+      default:
+        one(TokType::kEnd);
+    }
+  }
+  t.end = pos_;
+  return t;
+}
+
+}  // namespace xq
+}  // namespace mxq

@@ -1,0 +1,60 @@
+// Tokenizer for the XQuery dialect.
+//
+// XQuery keywords are contextual, so the lexer only distinguishes token
+// shapes (names, numbers, strings, punctuation); the parser interprets name
+// tokens by position. Direct element constructors are parsed at the
+// character level by the parser, which re-positions the lexer afterwards.
+
+#ifndef MXQ_XQUERY_LEXER_H_
+#define MXQ_XQUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+namespace mxq {
+namespace xq {
+
+enum class TokType : uint8_t {
+  kEnd,
+  kName,     // NCName or prefixed QName (a:b)
+  kInt,
+  kDouble,
+  kString,   // quoted literal, text = decoded contents
+  kDollar,   // $
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kComma, kSemicolon, kSlash, kSlashSlash, kDot, kDotDot, kAt,
+  kColonColon, kAssign,              // :: and :=
+  kEq, kNe, kLt, kLe, kGt, kGe,      // = != < <= > >=
+  kLtLt, kGtGt,                      // << >>
+  kPlus, kMinus, kStar, kQuestion, kPipe,
+};
+
+struct Token {
+  TokType type = TokType::kEnd;
+  std::string text;
+  size_t begin = 0;  // source offset of the first character
+  size_t end = 0;    // offset one past the last character
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  /// Scans the next token from the current position.
+  Token Next();
+
+  size_t pos() const { return pos_; }
+  void SetPos(size_t p) { pos_ = p; }
+  std::string_view source() const { return src_; }
+
+ private:
+  void SkipWsAndComments();
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xq
+}  // namespace mxq
+
+#endif  // MXQ_XQUERY_LEXER_H_

@@ -1,0 +1,894 @@
+#include "xquery/parser.h"
+
+#include <cctype>
+
+#include "xquery/lexer.h"
+
+namespace mxq {
+namespace xq {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) { Advance(); }
+
+  Result<Query> ParseModule() {
+    Query q;
+    // Prolog: version decl, namespace decls, function declarations.
+    for (;;) {
+      if (IsName("xquery")) {
+        // xquery version "1.0";
+        while (cur_.type != TokType::kSemicolon &&
+               cur_.type != TokType::kEnd)
+          Advance();
+        MXQ_RETURN_IF_ERROR(Expect(TokType::kSemicolon));
+        continue;
+      }
+      if (IsName("declare")) {
+        size_t save = lex_.pos();
+        Token saved = cur_;
+        Advance();
+        if (IsName("function")) {
+          Advance();
+          FunctionDecl fd;
+          if (cur_.type != TokType::kName)
+            return Status(Err("expected function name"));
+          fd.name = cur_.text;
+          Advance();
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kLParen));
+          while (cur_.type != TokType::kRParen) {
+            MXQ_RETURN_IF_ERROR(Expect(TokType::kDollar));
+            if (cur_.type != TokType::kName)
+              return Status(Err("expected parameter name"));
+            fd.params.push_back(cur_.text);
+            Advance();
+            // Optional "as type" annotations: skip tokens until , or ).
+            while (cur_.type != TokType::kComma &&
+                   cur_.type != TokType::kRParen &&
+                   cur_.type != TokType::kEnd)
+              Advance();
+            if (cur_.type == TokType::kComma) Advance();
+          }
+          Advance();  // ')'
+          // Optional return type: skip until '{'.
+          while (cur_.type != TokType::kLBrace && cur_.type != TokType::kEnd)
+            Advance();
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kLBrace));
+          MXQ_ASSIGN_OR_RETURN(fd.body, ParseExpr());
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kRBrace));
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kSemicolon));
+          q.functions.push_back(std::move(fd));
+          continue;
+        }
+        if (IsName("namespace") || IsName("default") ||
+            IsName("boundary-space") || IsName("variable")) {
+          // Skip the declaration up to ';' (variables unsupported: error).
+          if (IsName("variable"))
+            return Status(Err("declare variable is not supported"));
+          while (cur_.type != TokType::kSemicolon &&
+                 cur_.type != TokType::kEnd)
+            Advance();
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kSemicolon));
+          continue;
+        }
+        // Not a recognized declaration: rewind, treat as body.
+        lex_.SetPos(save);
+        cur_ = saved;
+      }
+      break;
+    }
+    MXQ_ASSIGN_OR_RETURN(q.body, ParseExpr());
+    if (cur_.type != TokType::kEnd)
+      return Status(Err("trailing content after query body"));
+    return q;
+  }
+
+ private:
+  // ---- token plumbing ------------------------------------------------------
+
+  void Advance() { cur_ = lex_.Next(); }
+
+  bool IsName(std::string_view s) const {
+    return cur_.type == TokType::kName && cur_.text == s;
+  }
+  bool AcceptName(std::string_view s) {
+    if (!IsName(s)) return false;
+    Advance();
+    return true;
+  }
+  bool Accept(TokType t) {
+    if (cur_.type != t) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokType t) {
+    if (cur_.type != t)
+      return Err("unexpected token '" + cur_.text + "'");
+    Advance();
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("XQuery: " + msg + " at offset " +
+                              std::to_string(cur_.begin));
+  }
+
+  /// Peeks the token after the current one without consuming.
+  Token PeekNext() {
+    size_t save = lex_.pos();
+    Token t = lex_.Next();
+    lex_.SetPos(save);
+    return t;
+  }
+
+  // ---- grammar -------------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() {  // comma sequence
+    MXQ_ASSIGN_OR_RETURN(ExprPtr first, ParseExprSingle());
+    if (cur_.type != TokType::kComma) return first;
+    auto seq = Expr::Make(ExprKind::kSequence);
+    seq->children.push_back(std::move(first));
+    while (Accept(TokType::kComma)) {
+      MXQ_ASSIGN_OR_RETURN(ExprPtr next, ParseExprSingle());
+      seq->children.push_back(std::move(next));
+    }
+    return seq;
+  }
+
+  Result<ExprPtr> ParseExprSingle() {
+    if (IsName("for") || IsName("let")) {
+      // Distinguish FLWOR from a path starting with element "for"/"let":
+      // a binder is always followed by '$'.
+      if (PeekNext().type == TokType::kDollar) return ParseFLWOR();
+    }
+    if ((IsName("some") || IsName("every")) &&
+        PeekNext().type == TokType::kDollar)
+      return ParseQuantified();
+    if (IsName("if") && PeekNext().type == TokType::kLParen)
+      return ParseIf();
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseFLWOR() {
+    auto e = Expr::Make(ExprKind::kFLWOR);
+    while (IsName("for") || IsName("let")) {
+      bool is_for = IsName("for");
+      if (PeekNext().type != TokType::kDollar) break;
+      Advance();
+      do {
+        Clause c;
+        c.type = is_for ? Clause::Type::kFor : Clause::Type::kLet;
+        MXQ_RETURN_IF_ERROR(Expect(TokType::kDollar));
+        if (cur_.type != TokType::kName)
+          return Status(Err("expected variable name"));
+        c.var = cur_.text;
+        Advance();
+        if (is_for && AcceptName("at")) {
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kDollar));
+          if (cur_.type != TokType::kName)
+            return Status(Err("expected positional variable"));
+          c.pos_var = cur_.text;
+          Advance();
+        }
+        if (is_for) {
+          if (!AcceptName("in")) return Status(Err("expected 'in'"));
+        } else {
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kAssign));
+        }
+        MXQ_ASSIGN_OR_RETURN(c.expr, ParseExprSingle());
+        e->clauses.push_back(std::move(c));
+      } while (Accept(TokType::kComma));
+    }
+    if (e->clauses.empty()) return Status(Err("expected for/let clause"));
+    if (AcceptName("where")) {
+      MXQ_ASSIGN_OR_RETURN(e->where, ParseExprSingle());
+    }
+    if (IsName("order") || IsName("stable")) {
+      AcceptName("stable");
+      if (!AcceptName("order")) return Status(Err("expected 'order'"));
+      if (!AcceptName("by")) return Status(Err("expected 'by'"));
+      do {
+        OrderSpec spec;
+        MXQ_ASSIGN_OR_RETURN(spec.key, ParseExprSingle());
+        if (AcceptName("descending"))
+          spec.descending = true;
+        else
+          AcceptName("ascending");
+        // "empty least/greatest" collation modifiers: accept & ignore.
+        if (AcceptName("empty")) {
+          AcceptName("least");
+          AcceptName("greatest");
+        }
+        e->order.push_back(std::move(spec));
+      } while (Accept(TokType::kComma));
+    }
+    if (!AcceptName("return")) return Status(Err("expected 'return'"));
+    MXQ_ASSIGN_OR_RETURN(e->ret, ParseExprSingle());
+    return ExprPtr(std::move(e));
+  }
+
+  Result<ExprPtr> ParseQuantified() {
+    auto e = Expr::Make(ExprKind::kQuantified);
+    e->every = IsName("every");
+    Advance();
+    do {
+      Clause c;
+      c.type = Clause::Type::kFor;
+      MXQ_RETURN_IF_ERROR(Expect(TokType::kDollar));
+      if (cur_.type != TokType::kName)
+        return Status(Err("expected variable name"));
+      c.var = cur_.text;
+      Advance();
+      if (!AcceptName("in")) return Status(Err("expected 'in'"));
+      MXQ_ASSIGN_OR_RETURN(c.expr, ParseExprSingle());
+      e->clauses.push_back(std::move(c));
+    } while (Accept(TokType::kComma));
+    if (!AcceptName("satisfies")) return Status(Err("expected 'satisfies'"));
+    MXQ_ASSIGN_OR_RETURN(e->ret, ParseExprSingle());
+    return ExprPtr(std::move(e));
+  }
+
+  Result<ExprPtr> ParseIf() {
+    Advance();  // if
+    MXQ_RETURN_IF_ERROR(Expect(TokType::kLParen));
+    auto e = Expr::Make(ExprKind::kIf);
+    MXQ_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    MXQ_RETURN_IF_ERROR(Expect(TokType::kRParen));
+    if (!AcceptName("then")) return Status(Err("expected 'then'"));
+    MXQ_ASSIGN_OR_RETURN(ExprPtr then_e, ParseExprSingle());
+    if (!AcceptName("else")) return Status(Err("expected 'else'"));
+    MXQ_ASSIGN_OR_RETURN(ExprPtr else_e, ParseExprSingle());
+    e->children.push_back(std::move(cond));
+    e->children.push_back(std::move(then_e));
+    e->children.push_back(std::move(else_e));
+    return ExprPtr(std::move(e));
+  }
+
+  Result<ExprPtr> ParseOr() {
+    MXQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (IsName("or")) {
+      Advance();
+      auto e = Expr::Make(ExprKind::kOr);
+      e->children.push_back(std::move(lhs));
+      MXQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    MXQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (IsName("and")) {
+      Advance();
+      auto e = Expr::Make(ExprKind::kAnd);
+      e->children.push_back(std::move(lhs));
+      MXQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    MXQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    ExprKind kind;
+    CmpOp op = CmpOp::kEq;
+    switch (cur_.type) {
+      case TokType::kEq: kind = ExprKind::kGeneralCmp; op = CmpOp::kEq; break;
+      case TokType::kNe: kind = ExprKind::kGeneralCmp; op = CmpOp::kNe; break;
+      case TokType::kLt: kind = ExprKind::kGeneralCmp; op = CmpOp::kLt; break;
+      case TokType::kLe: kind = ExprKind::kGeneralCmp; op = CmpOp::kLe; break;
+      case TokType::kGt: kind = ExprKind::kGeneralCmp; op = CmpOp::kGt; break;
+      case TokType::kGe: kind = ExprKind::kGeneralCmp; op = CmpOp::kGe; break;
+      case TokType::kLtLt: kind = ExprKind::kNodeBefore; break;
+      case TokType::kGtGt: kind = ExprKind::kNodeAfter; break;
+      case TokType::kName:
+        if (cur_.text == "eq") { kind = ExprKind::kValueCmp; op = CmpOp::kEq; }
+        else if (cur_.text == "ne") { kind = ExprKind::kValueCmp; op = CmpOp::kNe; }
+        else if (cur_.text == "lt") { kind = ExprKind::kValueCmp; op = CmpOp::kLt; }
+        else if (cur_.text == "le") { kind = ExprKind::kValueCmp; op = CmpOp::kLe; }
+        else if (cur_.text == "gt") { kind = ExprKind::kValueCmp; op = CmpOp::kGt; }
+        else if (cur_.text == "ge") { kind = ExprKind::kValueCmp; op = CmpOp::kGe; }
+        else if (cur_.text == "is") { kind = ExprKind::kNodeIs; }
+        else return lhs;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    auto e = Expr::Make(kind);
+    e->cmp = op;
+    e->children.push_back(std::move(lhs));
+    MXQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    e->children.push_back(std::move(rhs));
+    return ExprPtr(std::move(e));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    MXQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      ArithOp op;
+      if (cur_.type == TokType::kPlus) op = ArithOp::kAdd;
+      else if (cur_.type == TokType::kMinus) op = ArithOp::kSub;
+      else break;
+      Advance();
+      auto e = Expr::Make(ExprKind::kArith);
+      e->arith = op;
+      e->children.push_back(std::move(lhs));
+      MXQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    MXQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      ArithOp op;
+      if (cur_.type == TokType::kStar) op = ArithOp::kMul;
+      else if (IsName("div")) op = ArithOp::kDiv;
+      else if (IsName("idiv")) op = ArithOp::kIDiv;
+      else if (IsName("mod")) op = ArithOp::kMod;
+      else break;
+      Advance();
+      auto e = Expr::Make(ExprKind::kArith);
+      e->arith = op;
+      e->children.push_back(std::move(lhs));
+      MXQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokType::kMinus)) {
+      auto e = Expr::Make(ExprKind::kUnaryMinus);
+      MXQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      e->children.push_back(std::move(inner));
+      return ExprPtr(std::move(e));
+    }
+    Accept(TokType::kPlus);
+    return ParsePath();
+  }
+
+  // ---- paths ----------------------------------------------------------------
+
+  static bool IsKindTestName(const std::string& n) {
+    return n == "node" || n == "text" || n == "comment" ||
+           n == "processing-instruction";
+  }
+
+  Result<ExprPtr> ParsePath() {
+    ExprPtr source;
+    std::vector<Step> steps;
+    if (cur_.type == TokType::kSlash || cur_.type == TokType::kSlashSlash) {
+      bool dslash = cur_.type == TokType::kSlashSlash;
+      Advance();
+      source = Expr::Make(ExprKind::kRoot);
+      if (dslash) {
+        Step s;
+        s.axis = Axis::kDescendantOrSelf;
+        s.sel = NodeTest::Sel::kAnyNode;
+        steps.push_back(std::move(s));
+      } else if (!StartsStep()) {
+        // Bare "/": the root itself.
+        auto p = Expr::Make(ExprKind::kPath);
+        p->children.push_back(std::move(source));
+        return ExprPtr(std::move(p));
+      }
+      MXQ_RETURN_IF_ERROR(ParseRelativeSteps(&steps));
+    } else {
+      if (!StartsStep()) return ParsePrimaryWithPreds(&steps, &source);
+      // Leading axis step: a path from the context item (meaningful inside
+      // predicates); source stays null and the compiler binds the context.
+      MXQ_RETURN_IF_ERROR(ParseRelativeSteps(&steps));
+    }
+    auto p = Expr::Make(ExprKind::kPath);
+    p->children.push_back(source ? std::move(source) : nullptr);
+    p->steps = std::move(steps);
+    return ExprPtr(std::move(p));
+  }
+
+  /// Does the current token start an axis step (vs a primary expression)?
+  bool StartsStep() {
+    switch (cur_.type) {
+      case TokType::kAt:
+      case TokType::kDotDot:
+      case TokType::kStar:
+        return true;
+      case TokType::kName: {
+        if (IsKindTestName(cur_.text) && PeekNext().type == TokType::kLParen)
+          return true;
+        Token next = PeekNext();
+        if (next.type == TokType::kLParen) return false;  // function call
+        return true;  // name test (possibly axis::)
+      }
+      default:
+        return false;
+    }
+  }
+
+  Result<ExprPtr> ParsePrimaryWithPreds(std::vector<Step>* steps,
+                                        ExprPtr* source) {
+    MXQ_ASSIGN_OR_RETURN(*source, ParsePrimary());
+    // Predicates on the primary become a self step with predicates.
+    if (cur_.type == TokType::kLBracket) {
+      Step s;
+      s.axis = Axis::kSelf;
+      s.sel = NodeTest::Sel::kAnyNode;
+      MXQ_RETURN_IF_ERROR(ParsePredicates(&s));
+      steps->push_back(std::move(s));
+    }
+    if (cur_.type != TokType::kSlash && cur_.type != TokType::kSlashSlash) {
+      if (steps->empty()) return std::move(*source);
+      auto p = Expr::Make(ExprKind::kPath);
+      p->children.push_back(std::move(*source));
+      p->steps = std::move(*steps);
+      return ExprPtr(std::move(p));
+    }
+    MXQ_RETURN_IF_ERROR(ParseTrailingSteps(steps));
+    auto p = Expr::Make(ExprKind::kPath);
+    p->children.push_back(std::move(*source));
+    p->steps = std::move(*steps);
+    return ExprPtr(std::move(p));
+  }
+
+  Status ParseTrailingSteps(std::vector<Step>* steps) {
+    while (cur_.type == TokType::kSlash ||
+           cur_.type == TokType::kSlashSlash) {
+      bool dslash = cur_.type == TokType::kSlashSlash;
+      Advance();
+      if (dslash) {
+        Step s;
+        s.axis = Axis::kDescendantOrSelf;
+        s.sel = NodeTest::Sel::kAnyNode;
+        steps->push_back(std::move(s));
+      }
+      Step s;
+      MXQ_RETURN_IF_ERROR(ParseAxisStep(&s));
+      steps->push_back(std::move(s));
+    }
+    return Status::OK();
+  }
+
+  Status ParseRelativeSteps(std::vector<Step>* steps) {
+    Step s;
+    MXQ_RETURN_IF_ERROR(ParseAxisStep(&s));
+    steps->push_back(std::move(s));
+    return ParseTrailingSteps(steps);
+  }
+
+  Status ParseAxisStep(Step* s) {
+    if (Accept(TokType::kAt)) {
+      s->axis = Axis::kAttribute;
+      if (Accept(TokType::kStar)) {
+        s->sel = NodeTest::Sel::kAnyAttr;
+      } else if (cur_.type == TokType::kName) {
+        s->sel = NodeTest::Sel::kNamedAttr;
+        s->name = cur_.text;
+        Advance();
+      } else {
+        return Err("expected attribute name after '@'");
+      }
+      return ParsePredicates(s);
+    }
+    if (Accept(TokType::kDotDot)) {
+      s->axis = Axis::kParent;
+      s->sel = NodeTest::Sel::kAnyNode;
+      return ParsePredicates(s);
+    }
+    // Explicit axis?
+    s->axis = Axis::kChild;
+    if (cur_.type == TokType::kName && PeekNext().type == TokType::kColonColon) {
+      const std::string& a = cur_.text;
+      if (a == "child") s->axis = Axis::kChild;
+      else if (a == "descendant") s->axis = Axis::kDescendant;
+      else if (a == "descendant-or-self") s->axis = Axis::kDescendantOrSelf;
+      else if (a == "self") s->axis = Axis::kSelf;
+      else if (a == "attribute") s->axis = Axis::kAttribute;
+      else if (a == "parent") s->axis = Axis::kParent;
+      else if (a == "ancestor") s->axis = Axis::kAncestor;
+      else if (a == "ancestor-or-self") s->axis = Axis::kAncestorOrSelf;
+      else if (a == "following") s->axis = Axis::kFollowing;
+      else if (a == "preceding") s->axis = Axis::kPreceding;
+      else if (a == "following-sibling") s->axis = Axis::kFollowingSibling;
+      else if (a == "preceding-sibling") s->axis = Axis::kPrecedingSibling;
+      else return Err("unknown axis '" + a + "'");
+      Advance();
+      Advance();  // '::'
+    }
+    // Node test.
+    if (Accept(TokType::kStar)) {
+      s->sel = s->axis == Axis::kAttribute ? NodeTest::Sel::kAnyAttr
+                                           : NodeTest::Sel::kAnyElem;
+    } else if (cur_.type == TokType::kName) {
+      std::string name = cur_.text;
+      if (IsKindTestName(name) && PeekNext().type == TokType::kLParen) {
+        Advance();
+        Advance();  // '('
+        // processing-instruction("target") — target ignored if present.
+        if (cur_.type == TokType::kString) Advance();
+        MXQ_RETURN_IF_ERROR(Expect(TokType::kRParen));
+        if (name == "node") s->sel = NodeTest::Sel::kAnyNode;
+        else if (name == "text") s->sel = NodeTest::Sel::kText;
+        else if (name == "comment") s->sel = NodeTest::Sel::kComment;
+        else s->sel = NodeTest::Sel::kPI;
+      } else {
+        s->sel = s->axis == Axis::kAttribute ? NodeTest::Sel::kNamedAttr
+                                             : NodeTest::Sel::kNamedElem;
+        s->name = name;
+        Advance();
+      }
+    } else {
+      return Err("expected node test");
+    }
+    return ParsePredicates(s);
+  }
+
+  Status ParsePredicates(Step* s) {
+    while (Accept(TokType::kLBracket)) {
+      auto r = ParseExpr();
+      if (!r.ok()) return r.status();
+      s->preds.push_back(std::move(r).value());
+      MXQ_RETURN_IF_ERROR(Expect(TokType::kRBracket));
+    }
+    return Status::OK();
+  }
+
+  // ---- primaries -------------------------------------------------------------
+
+  Result<ExprPtr> ParsePrimary() {
+    switch (cur_.type) {
+      case TokType::kInt: {
+        auto e = Expr::Make(ExprKind::kIntLit);
+        e->ival = std::stoll(cur_.text);
+        Advance();
+        return ExprPtr(std::move(e));
+      }
+      case TokType::kDouble: {
+        auto e = Expr::Make(ExprKind::kDoubleLit);
+        e->dval = std::stod(cur_.text);
+        Advance();
+        return ExprPtr(std::move(e));
+      }
+      case TokType::kString: {
+        auto e = Expr::Make(ExprKind::kStringLit);
+        e->str = cur_.text;
+        Advance();
+        return ExprPtr(std::move(e));
+      }
+      case TokType::kDollar: {
+        Advance();
+        if (cur_.type != TokType::kName)
+          return Status(Err("expected variable name"));
+        auto e = Expr::Make(ExprKind::kVarRef);
+        e->str = cur_.text;
+        Advance();
+        return ExprPtr(std::move(e));
+      }
+      case TokType::kDot: {
+        Advance();
+        auto e = Expr::Make(ExprKind::kVarRef);
+        e->str = ".";
+        return ExprPtr(std::move(e));
+      }
+      case TokType::kLParen: {
+        Advance();
+        if (Accept(TokType::kRParen)) return Expr::Make(ExprKind::kEmptySeq);
+        MXQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        MXQ_RETURN_IF_ERROR(Expect(TokType::kRParen));
+        return inner;
+      }
+      case TokType::kLt:
+        return ParseDirectConstructor();
+      case TokType::kName: {
+        if (PeekNext().type == TokType::kLParen) return ParseFunctionCall();
+        return Status(Err("unexpected name '" + cur_.text + "'"));
+      }
+      default:
+        return Status(Err("unexpected token '" + cur_.text + "'"));
+    }
+  }
+
+  Result<ExprPtr> ParseFunctionCall() {
+    std::string name = cur_.text;
+    Advance();
+    MXQ_RETURN_IF_ERROR(Expect(TokType::kLParen));
+    std::vector<ExprPtr> args;
+    if (cur_.type != TokType::kRParen) {
+      do {
+        MXQ_ASSIGN_OR_RETURN(ExprPtr a, ParseExprSingle());
+        args.push_back(std::move(a));
+      } while (Accept(TokType::kComma));
+    }
+    MXQ_RETURN_IF_ERROR(Expect(TokType::kRParen));
+    // Strip the fn: prefix; doc() and document() are special.
+    if (name.rfind("fn:", 0) == 0) name = name.substr(3);
+    if (name == "doc" || name == "document") {
+      if (args.size() != 1 || args[0]->kind != ExprKind::kStringLit)
+        return Status(Err("doc() needs one string literal argument"));
+      auto e = Expr::Make(ExprKind::kDoc);
+      e->str = args[0]->str;
+      return ExprPtr(std::move(e));
+    }
+    auto e = Expr::Make(ExprKind::kCall);
+    e->str = name;
+    e->children = std::move(args);
+    return ExprPtr(std::move(e));
+  }
+
+  // ---- direct constructors (character level) ---------------------------------
+
+  Result<ExprPtr> ParseDirectConstructor() {
+    // Reposition the raw cursor on the '<' of the current token.
+    size_t p = cur_.begin;
+    auto r = ParseCtorAt(&p);
+    if (!r.ok()) return r.status();
+    lex_.SetPos(p);
+    Advance();
+    return r;
+  }
+
+  Status CtorErr(size_t p, const std::string& msg) const {
+    return Status::ParseError("XQuery constructor: " + msg + " at offset " +
+                              std::to_string(p));
+  }
+
+  static void DecodeEntities(std::string_view raw, std::string* out) {
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] == '&') {
+        size_t semi = raw.find(';', i);
+        if (semi != std::string_view::npos) {
+          std::string_view ent = raw.substr(i + 1, semi - i - 1);
+          char c = 0;
+          if (ent == "lt") c = '<';
+          else if (ent == "gt") c = '>';
+          else if (ent == "amp") c = '&';
+          else if (ent == "quot") c = '"';
+          else if (ent == "apos") c = '\'';
+          if (c) {
+            out->push_back(c);
+            i = semi + 1;
+            continue;
+          }
+        }
+      }
+      out->push_back(raw[i++]);
+    }
+  }
+
+  /// Parses "{expr}" content starting after the '{' at token level.
+  Result<ExprPtr> ParseEmbeddedExpr(size_t* p) {
+    lex_.SetPos(*p);
+    Advance();
+    MXQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (cur_.type != TokType::kRBrace)
+      return Status(CtorErr(cur_.begin, "expected '}'"));
+    *p = cur_.end;
+    return e;
+  }
+
+  Result<ExprPtr> ParseCtorAt(size_t* pp) {
+    std::string_view src = lex_.source();
+    size_t p = *pp;
+    auto at_end = [&] { return p >= src.size(); };
+    auto skip_ws = [&] {
+      while (!at_end() && std::isspace(static_cast<unsigned char>(src[p])))
+        ++p;
+    };
+    if (at_end() || src[p] != '<') return Status(CtorErr(p, "expected '<'"));
+    ++p;
+    size_t name_start = p;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(src[p])) ||
+                         src[p] == '_' || src[p] == '-' || src[p] == ':' ||
+                         src[p] == '.'))
+      ++p;
+    if (p == name_start) return Status(CtorErr(p, "expected tag name"));
+    auto e = Expr::Make(ExprKind::kElemCtor);
+    e->str = std::string(src.substr(name_start, p - name_start));
+
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (at_end()) return Status(CtorErr(p, "unterminated start tag"));
+      if (src[p] == '>' || (src[p] == '/' && p + 1 < src.size() &&
+                            src[p + 1] == '>'))
+        break;
+      size_t an = p;
+      while (!at_end() && (std::isalnum(static_cast<unsigned char>(src[p])) ||
+                           src[p] == '_' || src[p] == '-' || src[p] == ':' ||
+                           src[p] == '.'))
+        ++p;
+      if (p == an) return Status(CtorErr(p, "expected attribute name"));
+      std::string aname(src.substr(an, p - an));
+      skip_ws();
+      if (at_end() || src[p] != '=')
+        return Status(CtorErr(p, "expected '='"));
+      ++p;
+      skip_ws();
+      if (at_end() || (src[p] != '"' && src[p] != '\''))
+        return Status(CtorErr(p, "expected quoted attribute value"));
+      char quote = src[p++];
+      // Attribute value template: literal pieces + {expr} pieces.
+      std::vector<CtorContent> pieces;
+      std::string lit;
+      while (!at_end() && src[p] != quote) {
+        if (src[p] == '{') {
+          if (p + 1 < src.size() && src[p + 1] == '{') {
+            lit.push_back('{');
+            p += 2;
+            continue;
+          }
+          if (!lit.empty()) {
+            CtorContent c;
+            DecodeEntities(lit, &c.text);
+            pieces.push_back(std::move(c));
+            lit.clear();
+          }
+          ++p;
+          MXQ_ASSIGN_OR_RETURN(ExprPtr emb, ParseEmbeddedExpr(&p));
+          CtorContent c;
+          c.expr = std::move(emb);
+          pieces.push_back(std::move(c));
+          continue;
+        }
+        if (src[p] == '}' && p + 1 < src.size() && src[p + 1] == '}') {
+          lit.push_back('}');
+          p += 2;
+          continue;
+        }
+        lit.push_back(src[p++]);
+      }
+      if (at_end()) return Status(CtorErr(p, "unterminated attribute value"));
+      ++p;  // closing quote
+      if (!lit.empty() || pieces.empty()) {
+        CtorContent c;
+        DecodeEntities(lit, &c.text);
+        pieces.push_back(std::move(c));
+      }
+      e->attrs.emplace_back(std::move(aname), std::move(pieces));
+    }
+
+    if (src[p] == '/') {
+      p += 2;  // "/>"
+      *pp = p;
+      return ExprPtr(std::move(e));
+    }
+    ++p;  // '>'
+
+    // Content: text, {expr}, nested elements, comments.
+    std::string lit;
+    auto flush_text = [&](bool strip_if_ws) {
+      if (lit.empty()) return;
+      bool all_ws = true;
+      for (char ch : lit)
+        if (!std::isspace(static_cast<unsigned char>(ch))) {
+          all_ws = false;
+          break;
+        }
+      if (!(all_ws && strip_if_ws)) {
+        CtorContent c;
+        DecodeEntities(lit, &c.text);
+        e->content.push_back(std::move(c));
+      }
+      lit.clear();
+    };
+    for (;;) {
+      if (at_end()) return Status(CtorErr(p, "unterminated element content"));
+      char ch = src[p];
+      if (ch == '<') {
+        flush_text(true);
+        if (p + 1 < src.size() && src[p + 1] == '/') {
+          p += 2;
+          size_t cn = p;
+          while (!at_end() && src[p] != '>') ++p;
+          std::string_view close = src.substr(cn, p - cn);
+          // Trim trailing spaces in the close tag.
+          while (!close.empty() && std::isspace(static_cast<unsigned char>(
+                                       close.back())))
+            close.remove_suffix(1);
+          if (close != e->str)
+            return Status(
+                CtorErr(p, "mismatched </" + std::string(close) + ">"));
+          ++p;
+          *pp = p;
+          return ExprPtr(std::move(e));
+        }
+        if (src.substr(p, 4) == "<!--") {
+          size_t end = src.find("-->", p);
+          if (end == std::string_view::npos)
+            return Status(CtorErr(p, "unterminated comment"));
+          p = end + 3;
+          continue;
+        }
+        MXQ_ASSIGN_OR_RETURN(ExprPtr kid, ParseCtorAt(&p));
+        CtorContent c;
+        c.expr = std::move(kid);
+        e->content.push_back(std::move(c));
+        continue;
+      }
+      if (ch == '{') {
+        if (p + 1 < src.size() && src[p + 1] == '{') {
+          lit.push_back('{');
+          p += 2;
+          continue;
+        }
+        flush_text(true);
+        ++p;
+        MXQ_ASSIGN_OR_RETURN(ExprPtr emb, ParseEmbeddedExpr(&p));
+        CtorContent c;
+        c.expr = std::move(emb);
+        e->content.push_back(std::move(c));
+        continue;
+      }
+      if (ch == '}' && p + 1 < src.size() && src[p + 1] == '}') {
+        lit.push_back('}');
+        p += 2;
+        continue;
+      }
+      lit.push_back(src[p++]);
+    }
+  }
+
+  Lexer lex_;
+  Token cur_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view src) {
+  Parser p(src);
+  return p.ParseModule();
+}
+
+void CollectFreeVarsImpl(const Expr& e, std::set<std::string>& bound,
+                         std::set<std::string>* out) {
+  switch (e.kind) {
+    case ExprKind::kVarRef:
+      if (!bound.count(e.str)) out->insert(e.str);
+      return;
+    case ExprKind::kFLWOR:
+    case ExprKind::kQuantified: {
+      std::set<std::string> inner = bound;
+      for (const Clause& c : e.clauses) {
+        CollectFreeVarsImpl(*c.expr, inner, out);
+        inner.insert(c.var);
+        if (!c.pos_var.empty()) inner.insert(c.pos_var);
+      }
+      if (e.where) CollectFreeVarsImpl(*e.where, inner, out);
+      for (const OrderSpec& o : e.order)
+        CollectFreeVarsImpl(*o.key, inner, out);
+      if (e.ret) CollectFreeVarsImpl(*e.ret, inner, out);
+      return;
+    }
+    default:
+      break;
+  }
+  for (const ExprPtr& c : e.children)
+    if (c) CollectFreeVarsImpl(*c, bound, out);
+  for (const Step& s : e.steps)
+    for (const ExprPtr& pr : s.preds) {
+      // Predicates bind the context item.
+      std::set<std::string> inner = bound;
+      inner.insert(".");
+      CollectFreeVarsImpl(*pr, inner, out);
+    }
+  for (const auto& [name, pieces] : e.attrs)
+    for (const CtorContent& c : pieces)
+      if (c.expr) CollectFreeVarsImpl(*c.expr, bound, out);
+  for (const CtorContent& c : e.content)
+    if (c.expr) CollectFreeVarsImpl(*c.expr, bound, out);
+  if (e.where) CollectFreeVarsImpl(*e.where, bound, out);
+  if (e.ret) CollectFreeVarsImpl(*e.ret, bound, out);
+}
+
+void CollectFreeVars(const Expr& e, std::set<std::string>* out) {
+  std::set<std::string> bound;
+  CollectFreeVarsImpl(e, bound, out);
+}
+
+}  // namespace xq
+}  // namespace mxq

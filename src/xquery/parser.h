@@ -1,0 +1,20 @@
+// Recursive-descent parser for the XQuery dialect of DESIGN.md §5.
+
+#ifndef MXQ_XQUERY_PARSER_H_
+#define MXQ_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace mxq {
+namespace xq {
+
+/// Parses a query module (prolog function declarations + body).
+Result<Query> ParseQuery(std::string_view src);
+
+}  // namespace xq
+}  // namespace mxq
+
+#endif  // MXQ_XQUERY_PARSER_H_

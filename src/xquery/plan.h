@@ -1,0 +1,134 @@
+// Physical plan DAG emitted by the loop-lifting compiler.
+//
+// Plan nodes wrap the algebra operators of algebra/ops.h plus the
+// XQuery-specific runtime operators (loop-lifted staircase step, existential
+// theta-join, node construction, effective boolean value). Nodes are shared
+// (DAG, not tree): the compiler memoizes variable lifts and loop relations,
+// which is where the paper's "intermediate results are materialized always,
+// as they tend to be re-used multiple times in the query plan" comes from —
+// the evaluator caches each node's table per execution epoch.
+
+#ifndef MXQ_XQUERY_PLAN_H_
+#define MXQ_XQUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "staircase/axis.h"
+
+namespace mxq {
+namespace xq {
+
+enum class OpCode : uint8_t {
+  kLiteral,        // fixed table (loop seeds, literals)
+  kDocRoot,        // document node of a named document -> pos|item
+  kProject,
+  kSelectTrue,     // flag = negate
+  kUnion,          // cols_list = disjoint key hint
+  kDistinct,       // cols_list
+  kSort,           // cols_list (+desc)
+  kRowNum,         // out = new col, cols_list = order, group
+  kEquiJoinI64,    // col (left), col2 (right), keep
+  kEquiJoinItem,
+  kSemiJoin,       // flag = anti
+  kCross,          // keep
+  kGroupAggr,      // group, col = value col, agg
+  kFillGroups,     // inputs: aggr, loop; group, col = agg col, col2 = loop col
+  kMap1,           // fn over col -> out
+  kMap2,           // fn over col, col2 -> out
+  kAppendConst,    // out, item
+  kStep,           // loop-lifted staircase step over (iter, item) input
+  kEbv,            // inputs: rel, loop -> (iter, item=bool) one row per loop
+  kExists,         // inputs: rel, loop -> (iter, item=bool): group non-empty
+  kExistJoin,      // inputs: lhs (iter,item), rhs (sid,item); cmp -> pairs
+  kConstructElem,  // inputs: loop, content; str = tag
+  kConstructAttr,  // input: (iter, item=string) one per loop iter; str = name
+  kStringJoinAggr, // group concat: inputs rel, loop; sep
+  kAssertProps,    // adds compiler-known properties to the input
+};
+
+enum class ScalarFn : uint8_t {
+  kArith,        // arith field
+  kCmp,          // cmp field (XQuery coercion)
+  kAtomize,
+  kCastString,
+  kCastNumber,
+  kNot,
+  kNeg,
+  kContains,
+  kStartsWith,
+  kStringLength,
+  kConcat,
+  kSubstring2,   // substring(s, start)
+  kNameOf,
+  kLocalName,
+  kRound,
+  kFloor,
+  kCeiling,
+  kAbs,
+  kNodeBefore,   // <<
+  kNodeAfter,    // >>
+  kNodeIs,       // is
+  kAndBool,
+  kOrBool,
+  kCanonValue,   // distinct-values canonicalization
+  kIdentity,     // pass-through (I64 -> item promotion)
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+struct PlanNode {
+  explicit PlanNode(OpCode code) : op(code) {}
+
+  OpCode op;
+  std::vector<PlanPtr> inputs;
+
+  // Parameters (only the fields relevant to `op` are meaningful).
+  TablePtr literal;
+  std::string doc_name;
+  alg::KeepCols keep;                     // project / join keeps
+  std::string col, col2, out, group, sep;
+  std::vector<std::string> cols_list;
+  std::vector<bool> desc;
+  Item item;
+  alg::AggKind agg = alg::AggKind::kCount;
+  ScalarFn fn = ScalarFn::kAtomize;
+  ArithOp arith = ArithOp::kAdd;
+  CmpOp cmp = CmpOp::kEq;
+  Axis axis = Axis::kChild;
+  NodeTest::Sel sel = NodeTest::Sel::kAnyNode;
+  std::string name_test;
+  TableProps assert_props;
+  bool flag = false;
+
+  // Evaluation cache (one materialization per execution epoch).
+  TablePtr cached;
+  uint64_t epoch = 0;
+};
+
+inline PlanPtr MakePlan(OpCode op) { return std::make_shared<PlanNode>(op); }
+
+/// Plan statistics (the paper reports 86 ops / 9 joins on average for
+/// XMark).
+struct PlanStats {
+  int num_ops = 0;
+  int num_joins = 0;
+  int num_steps = 0;
+  int num_sorts = 0;
+};
+
+/// A compiled query: result plan + prolog metadata.
+struct CompiledQuery {
+  PlanPtr root;  // relation (iter, pos, item) with a single outer iteration
+  PlanStats stats;
+};
+
+PlanStats ComputePlanStats(const PlanPtr& root);
+
+}  // namespace xq
+}  // namespace mxq
+
+#endif  // MXQ_XQUERY_PLAN_H_

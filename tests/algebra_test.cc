@@ -1,0 +1,379 @@
+// Unit + property tests for the physical algebra and its column properties.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include <unordered_set>
+
+#include "algebra/ops.h"
+
+namespace mxq {
+namespace alg {
+namespace {
+
+ColumnPtr I64Col(std::vector<int64_t> v) { return Column::MakeI64(std::move(v)); }
+ColumnPtr ItemCol(std::vector<Item> v) { return Column::MakeItem(std::move(v)); }
+
+Item S(DocumentManager& mgr, const std::string& s) {
+  return Item::String(mgr.strings().Intern(s));
+}
+
+// ---------------------------------------------------------------------------
+// item semantics
+// ---------------------------------------------------------------------------
+
+TEST(ItemOpsTest, NumericCoercion) {
+  DocumentManager mgr;
+  // untyped "20" compares numerically against int 20 (XQuery general
+  // comparison casts untypedAtomic to the numeric operand's type).
+  Item u20 = Item::Untyped(mgr.strings().Intern("20"));
+  EXPECT_TRUE(CompareItems(mgr, u20, CmpOp::kEq, Item::Int(20)));
+  EXPECT_TRUE(CompareItems(mgr, Item::Int(19), CmpOp::kLt, u20));
+  EXPECT_TRUE(CompareItems(mgr, Item::Double(20.0), CmpOp::kEq, u20));
+  // Non-numeric untyped against numeric: false, never an error.
+  Item abc = Item::Untyped(mgr.strings().Intern("abc"));
+  EXPECT_FALSE(CompareItems(mgr, abc, CmpOp::kEq, Item::Int(20)));
+  EXPECT_FALSE(CompareItems(mgr, abc, CmpOp::kLt, Item::Int(20)));
+}
+
+TEST(ItemOpsTest, StringComparison) {
+  DocumentManager mgr;
+  EXPECT_TRUE(CompareItems(mgr, S(mgr, "alpha"), CmpOp::kLt, S(mgr, "beta")));
+  EXPECT_TRUE(CompareItems(mgr, S(mgr, "x"), CmpOp::kEq,
+                           Item::Untyped(mgr.strings().Intern("x"))));
+  EXPECT_FALSE(CompareItems(mgr, S(mgr, "x"), CmpOp::kEq, S(mgr, "y")));
+}
+
+TEST(ItemOpsTest, HashConsistentWithEquality) {
+  DocumentManager mgr;
+  // Items that compare equal must hash equal (join correctness).
+  Item variants[] = {Item::Int(42), Item::Double(42.0),
+                     Item::Untyped(mgr.strings().Intern("42"))};
+  for (const Item& a : variants)
+    for (const Item& b : variants) {
+      ASSERT_TRUE(CompareItems(mgr, a, CmpOp::kEq, b));
+      EXPECT_EQ(HashItem(mgr, a), HashItem(mgr, b));
+    }
+  // untyped vs untyped compares as string (XQuery): " 42 " != "42" even
+  // though both hash through their numeric image — a benign collision.
+  Item padded = Item::Untyped(mgr.strings().Intern(" 42 "));
+  EXPECT_FALSE(CompareItems(mgr, padded, CmpOp::kEq, variants[2]));
+  EXPECT_TRUE(CompareItems(mgr, padded, CmpOp::kEq, Item::Int(42)));
+}
+
+TEST(ItemOpsTest, Arithmetic) {
+  DocumentManager mgr;
+  EXPECT_EQ(Arith(mgr, Item::Int(7), ArithOp::kAdd, Item::Int(5)).i, 12);
+  EXPECT_EQ(Arith(mgr, Item::Int(7), ArithOp::kMod, Item::Int(2)).i, 1);
+  EXPECT_DOUBLE_EQ(
+      Arith(mgr, Item::Int(7), ArithOp::kDiv, Item::Int(2)).as_double(), 3.5);
+  // Untyped operands coerce to numbers (Q18's conversion function).
+  Item u = Item::Untyped(mgr.strings().Intern("100.5"));
+  EXPECT_DOUBLE_EQ(
+      Arith(mgr, u, ArithOp::kMul, Item::Double(2.0)).as_double(), 201.0);
+  // Empty propagates.
+  EXPECT_EQ(Arith(mgr, Item(), ArithOp::kAdd, Item::Int(1)).kind,
+            ItemKind::kEmpty);
+}
+
+TEST(ItemOpsTest, Ebv) {
+  DocumentManager mgr;
+  EXPECT_FALSE(ItemEbv(mgr, Item()));
+  EXPECT_TRUE(ItemEbv(mgr, Item::Int(3)));
+  EXPECT_FALSE(ItemEbv(mgr, Item::Int(0)));
+  EXPECT_FALSE(ItemEbv(mgr, S(mgr, "")));
+  EXPECT_TRUE(ItemEbv(mgr, S(mgr, "x")));
+  EXPECT_TRUE(ItemEbv(mgr, Item::Node(0, 3)));
+}
+
+// ---------------------------------------------------------------------------
+// operators
+// ---------------------------------------------------------------------------
+
+TEST(OpsTest, MakeLoopProps) {
+  auto loop = MakeLoop(4);
+  EXPECT_EQ(loop->rows(), 4u);
+  EXPECT_TRUE(loop->props().is_dense("iter"));
+  EXPECT_TRUE(loop->props().is_key("iter"));
+  EXPECT_TRUE(loop->props().OrderedBy({"iter"}));
+}
+
+TEST(OpsTest, SelectEqPositionalVsScan) {
+  ExecFlags fl;
+  auto loop = MakeLoop(100);
+  auto hit = SelectEqI64(fl, loop, "iter", 42);
+  ASSERT_EQ(hit->rows(), 1u);
+  EXPECT_EQ(hit->col("iter")->GetI64(0), 42);
+  EXPECT_EQ(fl.stats.positional_selects, 1);
+  // Out of range: empty, still positional.
+  EXPECT_EQ(SelectEqI64(fl, loop, "iter", 1000)->rows(), 0u);
+
+  // Without the dense property the operator scans.
+  auto t = MakeTable({{"x", I64Col({5, 42, 42, 7})}});
+  auto hits = SelectEqI64(fl, t, "x", 42);
+  EXPECT_EQ(hits->rows(), 2u);
+  EXPECT_EQ(fl.stats.positional_selects, 2);  // unchanged by the scan path
+}
+
+TEST(OpsTest, EquiJoinPositionalWhenDense) {
+  ExecFlags fl;
+  DocumentManager mgr;
+  auto loop = MakeLoop(5);
+  auto probe = MakeTable({{"iter", I64Col({3, 1, 3, 9})}});
+  auto joined = EquiJoinI64(fl, probe, "iter", loop, "iter", {{"iter", "m"}});
+  // 9 misses (out of dense range).
+  ASSERT_EQ(joined->rows(), 3u);
+  EXPECT_EQ(joined->col("m")->GetI64(0), 3);
+  EXPECT_EQ(joined->col("m")->GetI64(1), 1);
+  EXPECT_EQ(fl.stats.positional_joins, 1);
+  EXPECT_EQ(fl.stats.hash_joins, 0);
+
+  // Same join without positional flag: hash, same result.
+  ExecFlags no_pos;
+  no_pos.positional = false;
+  auto joined2 =
+      EquiJoinI64(no_pos, probe, "iter", loop, "iter", {{"iter", "m"}});
+  EXPECT_EQ(no_pos.stats.hash_joins, 1);
+  ASSERT_EQ(joined2->rows(), 3u);
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(joined->col("m")->GetI64(i), joined2->col("m")->GetI64(i));
+}
+
+TEST(OpsTest, HashJoinPreservesProbeOrder) {
+  ExecFlags fl;
+  auto left = MakeTable({{"k", I64Col({1, 1, 2, 3})}});
+  left->props().ord = {"k"};
+  auto right = MakeTable({{"k", I64Col({2, 1})}, {"v", I64Col({20, 10})}});
+  auto j = EquiJoinI64(fl, left, "k", right, "k", {{"v", "v"}});
+  ASSERT_EQ(j->rows(), 3u);
+  EXPECT_EQ(j->col("v")->GetI64(0), 10);
+  EXPECT_EQ(j->col("v")->GetI64(2), 20);
+  EXPECT_TRUE(j->props().OrderedBy({"k"}));  // probe order preserved
+}
+
+TEST(OpsTest, SortElisionAndRefinement) {
+  DocumentManager mgr;
+  ExecFlags fl;
+  auto t = MakeTable({{"iter", I64Col({1, 1, 2, 2})},
+                      {"pos", I64Col({1, 2, 1, 2})}});
+  t->props().ord = {"iter", "pos"};
+  // Fully ordered: elided.
+  auto s1 = Sort(mgr, fl, t, {"iter", "pos"});
+  EXPECT_EQ(fl.stats.sorts_elided, 1);
+  EXPECT_EQ(s1.get(), t.get());
+  // Prefix ordered: refine sort.
+  auto t2 = MakeTable({{"iter", I64Col({1, 1, 2, 2})},
+                       {"x", I64Col({9, 3, 8, 2})}});
+  t2->props().ord = {"iter"};
+  auto s2 = Sort(mgr, fl, t2, {"iter", "x"});
+  EXPECT_EQ(fl.stats.refine_sorts, 1);
+  EXPECT_EQ(s2->col("x")->GetI64(0), 3);
+  EXPECT_EQ(s2->col("x")->GetI64(1), 9);
+  EXPECT_EQ(s2->col("x")->GetI64(2), 2);
+  // order_opt off: full sorts, same output.
+  ExecFlags off;
+  off.order_opt = false;
+  auto s3 = Sort(mgr, off, t2, {"iter", "x"});
+  EXPECT_EQ(off.stats.sorts_performed, 1);
+  for (size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(s2->col("x")->GetI64(i), s3->col("x")->GetI64(i));
+}
+
+TEST(OpsTest, RowNumStreamingWhenGrpOrdered) {
+  DocumentManager mgr;
+  ExecFlags fl;
+  // Groups interleaved, but within each group the pos order is the physical
+  // order — exactly the grpord situation §4.1 exploits.
+  auto t = MakeTable({{"g", I64Col({1, 2, 1, 2, 1})},
+                      {"pos", I64Col({10, 5, 20, 6, 30})}});
+  t->props().grpord.push_back({{"pos"}, "g"});
+  auto r = RowNum(mgr, fl, t, "n", {"pos"}, "g");
+  EXPECT_EQ(fl.stats.rownum_streaming, 1);
+  std::vector<int64_t> want = {1, 1, 2, 2, 3};
+  for (size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(r->col("n")->GetI64(i), want[i]);
+
+  // Same input without the property: sorting variant, same numbers after
+  // aligning rows by (g, pos).
+  ExecFlags fl2;
+  auto t2 = MakeTable({{"g", I64Col({1, 2, 1, 2, 1})},
+                       {"pos", I64Col({10, 5, 20, 6, 30})}});
+  auto r2 = RowNum(mgr, fl2, t2, "n", {"pos"}, "g");
+  EXPECT_EQ(fl2.stats.rownum_sorting, 1);
+  // Sorted output: g=1 rows first (pos 10,20,30 -> n 1,2,3).
+  EXPECT_EQ(r2->col("n")->GetI64(0), 1);
+  EXPECT_EQ(r2->col("n")->GetI64(2), 3);
+  EXPECT_EQ(r2->col("n")->GetI64(4), 2);
+}
+
+TEST(OpsTest, DistinctMergeVsHash) {
+  DocumentManager mgr;
+  ExecFlags fl;
+  auto t = MakeTable({{"x", I64Col({1, 1, 2, 3, 3})}});
+  t->props().ord = {"x"};
+  auto d = Distinct(mgr, fl, t, {"x"});
+  EXPECT_EQ(d->rows(), 3u);
+  EXPECT_EQ(fl.stats.merge_dedups, 1);
+  EXPECT_TRUE(d->props().is_key("x"));
+
+  auto t2 = MakeTable({{"x", I64Col({3, 1, 3, 2, 1})}});
+  auto d2 = Distinct(mgr, fl, t2, {"x"});
+  EXPECT_EQ(d2->rows(), 3u);
+  EXPECT_EQ(fl.stats.hash_dedups, 1);
+  EXPECT_EQ(d2->col("x")->GetI64(0), 3);  // first-occurrence order
+}
+
+TEST(OpsTest, DisjointUnionKeyHint) {
+  auto a = MakeTable({{"iter", I64Col({1, 3})}});
+  a->props().key.insert("iter");
+  auto b = MakeTable({{"iter", I64Col({2, 4})}});
+  b->props().key.insert("iter");
+  auto u = DisjointUnion(a, b, {"iter"});
+  EXPECT_EQ(u->rows(), 4u);
+  EXPECT_TRUE(u->props().is_key("iter"));
+}
+
+TEST(OpsTest, GroupAggrKinds) {
+  DocumentManager mgr;
+  ExecFlags fl;
+  auto t = MakeTable(
+      {{"g", I64Col({1, 1, 2, 2, 2})},
+       {"v", ItemCol({Item::Int(5), Item::Int(3), Item::Int(10),
+                      Item::Int(20), Item::Int(30)})}});
+  t->props().ord = {"g"};
+  auto cnt = GroupAggr(mgr, fl, t, "g", "", AggKind::kCount);
+  EXPECT_EQ(cnt->col("agg")->GetItem(0).i, 2);
+  EXPECT_EQ(cnt->col("agg")->GetItem(1).i, 3);
+  auto sum = GroupAggr(mgr, fl, t, "g", "v", AggKind::kSum);
+  EXPECT_EQ(sum->col("agg")->GetItem(1).i, 60);
+  auto mn = GroupAggr(mgr, fl, t, "g", "v", AggKind::kMin);
+  EXPECT_EQ(mn->col("agg")->GetItem(0).i, 3);
+  auto mx = GroupAggr(mgr, fl, t, "g", "v", AggKind::kMax);
+  EXPECT_EQ(mx->col("agg")->GetItem(1).i, 30);
+  auto avg = GroupAggr(mgr, fl, t, "g", "v", AggKind::kAvg);
+  EXPECT_DOUBLE_EQ(avg->col("agg")->GetItem(1).as_double(), 20.0);
+}
+
+TEST(OpsTest, FillGroupsCompletesLoop) {
+  DocumentManager mgr;
+  ExecFlags fl;
+  auto t = MakeTable({{"g", I64Col({2, 2})},
+                      {"v", ItemCol({Item::Int(1), Item::Int(1)})}});
+  auto cnt = GroupAggr(mgr, fl, t, "g", "", AggKind::kCount);
+  auto loop = MakeLoop(3);
+  auto full = FillGroups(fl, cnt, "g", "agg", loop, "iter", Item::Int(0));
+  ASSERT_EQ(full->rows(), 3u);
+  EXPECT_EQ(full->col("agg")->GetItem(0).i, 0);
+  EXPECT_EQ(full->col("agg")->GetItem(1).i, 2);
+  EXPECT_EQ(full->col("agg")->GetItem(2).i, 0);
+  EXPECT_TRUE(full->props().is_dense("g"));
+}
+
+// ---------------------------------------------------------------------------
+// property soundness: randomized — claimed ord/key/dense must actually hold
+// ---------------------------------------------------------------------------
+
+class PropSoundness : public ::testing::TestWithParam<int> {};
+
+void CheckPropsSound(const DocumentManager& mgr, const TablePtr& t) {
+  const TableProps& p = t->props();
+  // ord
+  if (!p.ord.empty()) {
+    for (size_t i = 1; i < t->rows(); ++i) {
+      for (const std::string& c : p.ord) {
+        const ColumnPtr& col = t->col(c);
+        int64_t cmp;
+        if (col->is_i64())
+          cmp = col->GetI64(i - 1) - col->GetI64(i);
+        else
+          cmp = OrderCompare(mgr, col->GetItem(i - 1), col->GetItem(i));
+        if (cmp < 0) break;
+        ASSERT_LE(cmp, 0) << "ord violated on " << c;
+      }
+    }
+  }
+  // dense
+  for (const std::string& c : p.dense) {
+    const ColumnPtr& col = t->col(c);
+    for (size_t i = 0; i < t->rows(); ++i)
+      ASSERT_EQ(col->GetI64(i), static_cast<int64_t>(i) + 1)
+          << "dense violated on " << c;
+  }
+  // key
+  for (const std::string& c : p.key) {
+    std::unordered_set<int64_t> seen;
+    const ColumnPtr& col = t->col(c);
+    for (size_t i = 0; i < t->rows(); ++i) {
+      int64_t v = col->is_i64() ? col->GetI64(i) : col->GetItem(i).i;
+      ASSERT_TRUE(seen.insert(v).second) << "key violated on " << c;
+    }
+  }
+  // const
+  for (const auto& [c, v] : p.constants) {
+    const ColumnPtr& col = t->col(c);
+    for (size_t i = 0; i < t->rows(); ++i)
+      ASSERT_TRUE(col->GetItem(i) == v ||
+                  (col->is_i64() && v.kind == ItemKind::kInt &&
+                   col->GetI64(i) == v.i))
+          << "const violated on " << c;
+  }
+}
+
+TEST_P(PropSoundness, OperatorChainsKeepPropertiesSound) {
+  std::mt19937 rng(GetParam());
+  DocumentManager mgr;
+  ExecFlags fl;
+  fl.positional = rng() % 2;
+  fl.order_opt = rng() % 2;
+
+  // Random base tables.
+  int n = 5 + rng() % 40;
+  std::vector<int64_t> iters, pos;
+  std::vector<Item> items;
+  for (int i = 0; i < n; ++i) {
+    iters.push_back(1 + rng() % 6);
+    pos.push_back(1 + rng() % 4);
+    items.push_back(Item::Int(rng() % 10));
+  }
+  std::sort(iters.begin(), iters.end());
+  auto t = MakeTable({{"iter", I64Col(iters)},
+                      {"pos", I64Col(pos)},
+                      {"item", ItemCol(items)}});
+  t->props().ord = {"iter"};
+  CheckPropsSound(mgr, t);
+
+  auto loop = MakeLoop(6);
+  for (int step = 0; step < 8; ++step) {
+    switch (rng() % 8) {
+      case 0: t = Sort(mgr, fl, t, {"iter", "pos"}); break;
+      case 1: t = RowNum(mgr, fl, t, "rn" + std::to_string(step), {"pos"},
+                         "iter");
+        break;
+      case 2: t = SelectEqI64(fl, t, "iter", 1 + rng() % 6); break;
+      case 3: t = Distinct(mgr, fl, t, {"iter", "pos"}); break;
+      case 4:
+        t = EquiJoinI64(fl, t, "iter", loop, "iter", {{"iter", "l" +
+                        std::to_string(step)}});
+        break;
+      case 5: t = AppendConst(t, "c" + std::to_string(step), Item::Int(7));
+        break;
+      case 6: t = Project(t, {{"iter", "iter"}, {"pos", "pos"},
+                              {"item", "item"}});
+        break;
+      case 7: {
+        auto agg = GroupAggr(mgr, fl, t, "iter", "item", AggKind::kMax);
+        CheckPropsSound(mgr, agg);
+        break;
+      }
+    }
+    CheckPropsSound(mgr, t);
+    if (t->rows() == 0) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PropSoundness, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace alg
+}  // namespace mxq

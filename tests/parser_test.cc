@@ -1,0 +1,199 @@
+// Parser and lexer unit tests: token shapes, grammar corners, constructor
+// parsing at the character level, free-variable analysis.
+
+#include <gtest/gtest.h>
+
+#include "xquery/lexer.h"
+#include "xquery/parser.h"
+
+namespace mxq {
+namespace xq {
+namespace {
+
+Result<Query> P(const std::string& s) { return ParseQuery(s); }
+
+const Expr& Body(const Result<Query>& q) { return *q->body; }
+
+TEST(LexerTest, TokenShapes) {
+  Lexer lex("for $x in (1, 2.5) où := :: << >= 'str' \"dq\" (: c :) name");
+  std::vector<TokType> types;
+  for (;;) {
+    Token t = lex.Next();
+    if (t.type == TokType::kEnd && t.text.empty() && lex.pos() >= 58) break;
+    types.push_back(t.type);
+    if (types.size() > 30) break;
+  }
+  EXPECT_GE(types.size(), 10u);
+  EXPECT_EQ(types[0], TokType::kName);    // for
+  EXPECT_EQ(types[1], TokType::kDollar);
+  EXPECT_EQ(types[2], TokType::kName);    // x
+  EXPECT_EQ(types[3], TokType::kName);    // in
+  EXPECT_EQ(types[4], TokType::kLParen);
+  EXPECT_EQ(types[5], TokType::kInt);
+  EXPECT_EQ(types[6], TokType::kComma);
+  EXPECT_EQ(types[7], TokType::kDouble);
+}
+
+TEST(LexerTest, QNamesAndAxes) {
+  Lexer lex("local:convert child::a");
+  Token t = lex.Next();
+  EXPECT_EQ(t.type, TokType::kName);
+  EXPECT_EQ(t.text, "local:convert");  // prefix:local is one token
+  t = lex.Next();
+  EXPECT_EQ(t.text, "child");          // but "child::" splits at '::'
+  t = lex.Next();
+  EXPECT_EQ(t.type, TokType::kColonColon);
+}
+
+TEST(LexerTest, StringsEscapesAndComments) {
+  Lexer lex(R"("a""b" (: outer (: nested :) still :) 'x')");
+  Token t = lex.Next();
+  EXPECT_EQ(t.type, TokType::kString);
+  EXPECT_EQ(t.text, "a\"b");  // doubled quote
+  t = lex.Next();
+  EXPECT_EQ(t.text, "x");     // nested comment skipped
+}
+
+TEST(ParserTest, PrecedenceArithVsComparison) {
+  auto q = P("1 + 2 * 3 < 10 - 1");
+  ASSERT_TRUE(q.ok());
+  const Expr& e = Body(q);
+  EXPECT_EQ(e.kind, ExprKind::kGeneralCmp);
+  EXPECT_EQ(e.cmp, CmpOp::kLt);
+  EXPECT_EQ(e.children[0]->kind, ExprKind::kArith);   // 1 + (2*3)
+  EXPECT_EQ(e.children[0]->arith, ArithOp::kAdd);
+  EXPECT_EQ(e.children[0]->children[1]->arith, ArithOp::kMul);
+}
+
+TEST(ParserTest, AndOrNesting) {
+  auto q = P("1 eq 1 or 2 eq 2 and 3 eq 3");
+  ASSERT_TRUE(q.ok());
+  // and binds tighter than or.
+  EXPECT_EQ(Body(q).kind, ExprKind::kOr);
+  EXPECT_EQ(Body(q).children[1]->kind, ExprKind::kAnd);
+}
+
+TEST(ParserTest, PathSteps) {
+  auto q = P(R"(doc("x.xml")/a//b/@id[1]/ancestor-or-self::c/text())");
+  ASSERT_TRUE(q.ok());
+  const Expr& e = Body(q);
+  ASSERT_EQ(e.kind, ExprKind::kPath);
+  EXPECT_EQ(e.children[0]->kind, ExprKind::kDoc);
+  ASSERT_EQ(e.steps.size(), 6u);  // a, desc-or-self, b, @id, anc-or-self::c, text()
+  EXPECT_EQ(e.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(e.steps[0].name, "a");
+  EXPECT_EQ(e.steps[1].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(e.steps[3].axis, Axis::kAttribute);
+  EXPECT_EQ(e.steps[3].name, "id");
+  EXPECT_EQ(e.steps[3].preds.size(), 1u);
+  EXPECT_EQ(e.steps[4].axis, Axis::kAncestorOrSelf);
+  EXPECT_EQ(e.steps[5].sel, NodeTest::Sel::kText);
+}
+
+TEST(ParserTest, FLWORClauses) {
+  auto q = P("for $a at $i in (1,2), $b in (3) let $c := $a + $b "
+             "where $c > 2 order by $c descending return ($a, $b)");
+  ASSERT_TRUE(q.ok());
+  const Expr& e = Body(q);
+  ASSERT_EQ(e.kind, ExprKind::kFLWOR);
+  ASSERT_EQ(e.clauses.size(), 3u);
+  EXPECT_EQ(e.clauses[0].pos_var, "i");
+  EXPECT_EQ(e.clauses[2].type, Clause::Type::kLet);
+  ASSERT_TRUE(e.where != nullptr);
+  ASSERT_EQ(e.order.size(), 1u);
+  EXPECT_TRUE(e.order[0].descending);
+}
+
+TEST(ParserTest, QuantifiersAndConditionals) {
+  auto q = P("if (some $x in (1) satisfies $x eq 1) then 1 else 2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(Body(q).kind, ExprKind::kIf);
+  EXPECT_EQ(Body(q).children[0]->kind, ExprKind::kQuantified);
+}
+
+TEST(ParserTest, ElementConstructorContent) {
+  auto q = P(R"(<a x="l{1}r" y="plain"><b/>text{2}<c>{3}</c></a>)");
+  ASSERT_TRUE(q.ok());
+  const Expr& e = Body(q);
+  ASSERT_EQ(e.kind, ExprKind::kElemCtor);
+  EXPECT_EQ(e.str, "a");
+  ASSERT_EQ(e.attrs.size(), 2u);
+  EXPECT_EQ(e.attrs[0].second.size(), 3u);  // "l", {1}, "r"
+  EXPECT_EQ(e.attrs[0].second[0].text, "l");
+  EXPECT_TRUE(e.attrs[0].second[1].expr != nullptr);
+  ASSERT_EQ(e.content.size(), 4u);  // <b/>, "text", {2}, <c>...
+  EXPECT_EQ(e.content[1].text, "text");
+}
+
+TEST(ParserTest, CurlyBraceEscapes) {
+  auto q = P(R"(<a v="{{x}}">a{{b}}c</a>)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(Body(q).attrs[0].second[0].text, "{x}");
+  EXPECT_EQ(Body(q).content[0].text, "a{b}c");
+}
+
+TEST(ParserTest, FunctionDeclarations) {
+  auto q = P("declare function local:f($a, $b) { $a + $b }; local:f(1, 2)");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->functions.size(), 1u);
+  EXPECT_EQ(q->functions[0].name, "local:f");
+  EXPECT_EQ(q->functions[0].params.size(), 2u);
+  EXPECT_EQ(Body(q).kind, ExprKind::kCall);
+}
+
+TEST(ParserTest, PrologDeclsSkipped) {
+  auto q = P("xquery version \"1.0\"; declare namespace x = \"urn:y\"; 42");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(Body(q).kind, ExprKind::kIntLit);
+}
+
+TEST(ParserTest, KeywordsAreContextual) {
+  // "for", "if", "order" are valid element names in paths.
+  auto q = P(R"(doc("d.xml")/for/if/order)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(Body(q).steps.size(), 3u);
+  EXPECT_EQ(Body(q).steps[0].name, "for");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(P("for $x in").ok());
+  EXPECT_FALSE(P("for x in (1) return x").ok());
+  EXPECT_FALSE(P("if (1) then 2").ok());           // missing else
+  EXPECT_FALSE(P("(1, 2").ok());
+  EXPECT_FALSE(P("<a><b></a>").ok());               // mismatched ctor
+  EXPECT_FALSE(P("1 +").ok());
+  EXPECT_FALSE(P("declare variable $x := 1; $x").ok());  // unsupported
+  EXPECT_FALSE(P("42 43").ok());                    // trailing content
+}
+
+TEST(FreeVarsTest, BindersHideVariables) {
+  auto q = P("for $x in $outer return $x + $y");
+  ASSERT_TRUE(q.ok());
+  std::set<std::string> fv;
+  CollectFreeVars(Body(q), &fv);
+  EXPECT_TRUE(fv.count("outer"));
+  EXPECT_TRUE(fv.count("y"));
+  EXPECT_FALSE(fv.count("x"));
+}
+
+TEST(FreeVarsTest, PredicatesBindContext) {
+  auto q = P("$a/b[. eq $c]");
+  ASSERT_TRUE(q.ok());
+  std::set<std::string> fv;
+  CollectFreeVars(Body(q), &fv);
+  EXPECT_TRUE(fv.count("a"));
+  EXPECT_TRUE(fv.count("c"));
+  EXPECT_FALSE(fv.count("."));
+}
+
+TEST(FreeVarsTest, QuantifierBinders) {
+  auto q = P("some $p in $seq satisfies $p eq $x");
+  ASSERT_TRUE(q.ok());
+  std::set<std::string> fv;
+  CollectFreeVars(Body(q), &fv);
+  EXPECT_EQ(fv, (std::set<std::string>{"seq", "x"}));
+}
+
+}  // namespace
+}  // namespace xq
+}  // namespace mxq

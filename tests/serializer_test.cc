@@ -1,0 +1,95 @@
+// Serializer unit tests: escaping, sequence serialization rules, indent
+// mode, empty-element normalization after deletes.
+
+#include <gtest/gtest.h>
+
+#include "updates/update_engine.h"
+#include "xml/serializer.h"
+#include "xml/shredder.h"
+
+namespace mxq {
+namespace {
+
+TEST(EscapeTest, TextAndAttrEscaping) {
+  std::string out;
+  EscapeText("a < b & c > d", &out);
+  EXPECT_EQ(out, "a &lt; b &amp; c &gt; d");
+  out.clear();
+  EscapeAttr("say \"hi\" & go", &out);
+  EXPECT_EQ(out, "say &quot;hi&quot; &amp; go");
+}
+
+TEST(SerializeSequenceTest, AtomicSpacingRules) {
+  DocumentManager mgr;
+  std::vector<Item> items = {Item::Int(1), Item::Int(2),
+                             Item::String(mgr.strings().Intern("x"))};
+  // Adjacent atomics: single space separators.
+  EXPECT_EQ(SerializeSequence(mgr, items), "1 2 x");
+  // A node breaks the atomic run: no space around markup.
+  auto doc = ShredDocument(&mgr, "d.xml", "<n/>");
+  ASSERT_TRUE(doc.ok());
+  std::vector<Item> mixed = {Item::Int(1), Item::Node((*doc)->id(), 1),
+                             Item::Int(2)};
+  EXPECT_EQ(SerializeSequence(mgr, mixed), "1<n/>2");
+}
+
+TEST(SerializeSequenceTest, NumberLexicalForms) {
+  DocumentManager mgr;
+  EXPECT_EQ(SerializeSequence(mgr, std::vector<Item>{Item::Double(2.0)}),
+            "2");
+  EXPECT_EQ(SerializeSequence(mgr, std::vector<Item>{Item::Double(2.5)}),
+            "2.5");
+  EXPECT_EQ(SerializeSequence(mgr, std::vector<Item>{Item::Double(-0.5)}),
+            "-0.5");
+  EXPECT_EQ(SerializeSequence(mgr, std::vector<Item>{Item::Bool(true),
+                                                     Item::Bool(false)}),
+            "true false");
+}
+
+TEST(SerializeSequenceTest, StandaloneAttribute) {
+  DocumentManager mgr;
+  auto doc = ShredDocument(&mgr, "d.xml", "<n id=\"a&quot;b\"/>");
+  ASSERT_TRUE(doc.ok());
+  std::vector<Item> items = {Item::Attr((*doc)->id(), 0)};
+  EXPECT_EQ(SerializeSequence(mgr, items), "id=\"a&quot;b\"");
+}
+
+TEST(SerializeNodeTest, IndentMode) {
+  DocumentManager mgr;
+  auto doc = ShredDocument(&mgr, "d.xml", "<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string out;
+  SerializeOptions opts;
+  opts.indent = true;
+  SerializeNode(**doc, 0, &out, opts);
+  EXPECT_EQ(out, "<a>\n  <b>\n    <c/>\n  </b>\n  <d/>\n</a>");
+}
+
+TEST(SerializeNodeTest, EmptiedElementCollapses) {
+  // After deleting all children of <b>, it must serialize as <b/> even
+  // though its slot range still spans the unused slots.
+  DocumentManager mgr;
+  auto doc = ShredDocument(&mgr, "d.xml", "<a><b><x/><y/></b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  updates::UpdateEngine eng(*doc, 4, 75);
+  StrId x = mgr.strings().Find("x");
+  StrId y = mgr.strings().Find("y");
+  ASSERT_TRUE(eng.DeleteSubtree((*doc)->ElementsNamed(x)[0]).ok());
+  ASSERT_TRUE(eng.DeleteSubtree((*doc)->ElementsNamed(y)[0]).ok());
+  std::string out;
+  SerializeNode(**doc, 0, &out);
+  EXPECT_EQ(out, "<a><b/><c/></a>");
+}
+
+TEST(SerializeNodeTest, SubtreeSerialization) {
+  DocumentManager mgr;
+  auto doc = ShredDocument(&mgr, "d.xml",
+                           "<a><b k=\"1\">t1</b><c>t2</c></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string out;
+  SerializeNode(**doc, 2, &out);  // just <b>
+  EXPECT_EQ(out, "<b k=\"1\">t1</b>");
+}
+
+}  // namespace
+}  // namespace mxq

@@ -1,0 +1,308 @@
+// Differential and property tests for plain + loop-lifted staircase join.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "staircase/loop_lifted.h"
+#include "staircase/naive_axes.h"
+#include "staircase/staircase.h"
+#include "test_util.h"
+
+namespace mxq {
+namespace {
+
+constexpr const char* kFig4 =
+    "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>";
+
+constexpr Axis kAllAxes[] = {
+    Axis::kChild,          Axis::kDescendant,
+    Axis::kDescendantOrSelf, Axis::kSelf,
+    Axis::kParent,         Axis::kAncestor,
+    Axis::kAncestorOrSelf, Axis::kFollowing,
+    Axis::kPreceding,      Axis::kFollowingSibling,
+    Axis::kPrecedingSibling, Axis::kAttribute,
+};
+
+class Fig4Staircase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = ShredDocument(&mgr_, "fig4.xml", kFig4);
+    ASSERT_TRUE(r.ok());
+    doc_ = *r;
+  }
+  // Element pres: a=1 b=2 c=3 d=4 e=5 f=6 g=7 h=8 i=9 j=10.
+  DocumentManager mgr_;
+  DocumentContainer* doc_ = nullptr;
+};
+
+TEST_F(Fig4Staircase, DescendantWithPruning) {
+  // Context {c, h} from the paper's Figure 3 (our pres: c=3, h=8).
+  ScanStats stats;
+  auto res = StaircaseJoin(*doc_, Axis::kDescendant,
+                           std::vector<int64_t>{3, 8}, NodeTest::AnyNode(),
+                           &stats);
+  EXPECT_EQ(res, (std::vector<int64_t>{4, 5, 9, 10}));
+  // Skipping: the region between e(5) and h(8) is never scanned.
+  EXPECT_LE(stats.slots_touched, stats.results + 2);
+}
+
+TEST_F(Fig4Staircase, DescendantPrunesCoveredContexts) {
+  // b covers c: c must be pruned, result identical to {b}/descendant.
+  ScanStats stats;
+  auto res = StaircaseJoin(*doc_, Axis::kDescendant,
+                           std::vector<int64_t>{2, 3}, NodeTest::AnyNode(),
+                           &stats);
+  EXPECT_EQ(res, (std::vector<int64_t>{3, 4, 5}));
+  EXPECT_EQ(stats.contexts_pruned, 1);
+}
+
+TEST_F(Fig4Staircase, AncestorPartitioning) {
+  // Figure 1: (c,e,f,i)/ancestor — our pres c=3, e=5, f=6, i=9.
+  auto res = StaircaseJoin(*doc_, Axis::kAncestor,
+                           std::vector<int64_t>{3, 5, 6, 9},
+                           NodeTest::AnyElem());
+  // Ancestors: {a,b} for c; {a,b,c} for e; {a} for f; {a,f,h} for i.
+  EXPECT_EQ(res, (std::vector<int64_t>{1, 2, 3, 6, 8}));
+}
+
+TEST_F(Fig4Staircase, FollowingPartitioning) {
+  // Figure 2: (c,g,i)/following — our pres c=3, g=7, i=9.
+  auto res = StaircaseJoin(*doc_, Axis::kFollowing,
+                           std::vector<int64_t>{3, 7, 9},
+                           NodeTest::AnyElem());
+  // following(c) covers everything after e: f,g,h,i,j.
+  EXPECT_EQ(res, (std::vector<int64_t>{6, 7, 8, 9, 10}));
+}
+
+TEST_F(Fig4Staircase, ChildStep) {
+  auto res = StaircaseJoin(*doc_, Axis::kChild, std::vector<int64_t>{1, 8},
+                           NodeTest::AnyElem());
+  EXPECT_EQ(res, (std::vector<int64_t>{2, 6, 9, 10}));
+}
+
+TEST_F(Fig4Staircase, ChildWithNestedContexts) {
+  // a and f nested: children must come out in document order.
+  auto res = StaircaseJoin(*doc_, Axis::kChild, std::vector<int64_t>{1, 6},
+                           NodeTest::AnyElem());
+  EXPECT_EQ(res, (std::vector<int64_t>{2, 6, 7, 8}));
+}
+
+TEST_F(Fig4Staircase, NameTestDuringScan) {
+  StrId h = mgr_.strings().Find("h");
+  auto res = StaircaseJoin(*doc_, Axis::kDescendant, std::vector<int64_t>{1},
+                           NodeTest::Named(h));
+  EXPECT_EQ(res, (std::vector<int64_t>{8}));
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing against the naive oracle
+// ---------------------------------------------------------------------------
+
+struct DiffCase {
+  int nodes;
+  int ctx_size;
+  uint32_t seed;
+};
+
+class StaircaseDiffTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(StaircaseDiffTest, AllAxesMatchNaiveOracle) {
+  const DiffCase& pc = GetParam();
+  DocumentManager mgr;
+  DocumentContainer* doc = testutil::RandomDoc(&mgr, pc.nodes, pc.seed);
+  auto ctx = testutil::RandomContext(*doc, pc.ctx_size, pc.seed * 31 + 7);
+  const NodeTest tests[] = {NodeTest::AnyNode(), NodeTest::AnyElem(),
+                            NodeTest::Named(mgr.strings().Find("b")),
+                            NodeTest::Text()};
+  for (Axis axis : kAllAxes) {
+    for (const NodeTest& test : tests) {
+      if (axis == Axis::kAttribute &&
+          test.sel != NodeTest::Sel::kAnyNode)
+        continue;
+      auto expect = EvalAxisNaive(*doc, axis, ctx, test);
+      auto actual = StaircaseJoin(*doc, axis, ctx, test);
+      EXPECT_EQ(actual, expect)
+          << AxisName(axis) << " seed=" << pc.seed << " sel="
+          << static_cast<int>(test.sel);
+    }
+  }
+}
+
+TEST_P(StaircaseDiffTest, LoopLiftedMatchesPerIterationNaive) {
+  const DiffCase& pc = GetParam();
+  DocumentManager mgr;
+  DocumentContainer* doc = testutil::RandomDoc(&mgr, pc.nodes, pc.seed);
+  std::mt19937 rng(pc.seed * 17 + 3);
+
+  // Build a random loop-lifted context: a handful of iterations, each with
+  // its own context set; flatten to (pre, iter)-sorted columns.
+  int n_iters = 1 + static_cast<int>(rng() % 5);
+  std::vector<std::pair<int64_t, int64_t>> pairs;  // (pre, iter)
+  std::vector<std::vector<int64_t>> per_iter(n_iters);
+  for (int it = 0; it < n_iters; ++it) {
+    per_iter[it] =
+        testutil::RandomContext(*doc, 1 + rng() % pc.ctx_size, rng());
+    for (int64_t p : per_iter[it]) pairs.emplace_back(p, it);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<int64_t> ctx_iter, ctx_pre;
+  for (auto& [p, it] : pairs) {
+    ctx_pre.push_back(p);
+    ctx_iter.push_back(it);
+  }
+
+  const NodeTest tests[] = {NodeTest::AnyNode(), NodeTest::AnyElem()};
+  for (Axis axis : kAllAxes) {
+    for (const NodeTest& test : tests) {
+      auto ll = LoopLiftedStaircase(*doc, axis, ctx_iter, ctx_pre, test);
+      // Oracle: per-iteration naive evaluation.
+      std::vector<std::pair<int64_t, int64_t>> expect;  // (node, iter)
+      for (int it = 0; it < n_iters; ++it)
+        for (int64_t v : EvalAxisNaive(*doc, axis, per_iter[it], test))
+          expect.emplace_back(v, it);
+      std::sort(expect.begin(), expect.end());
+      std::vector<std::pair<int64_t, int64_t>> actual;
+      for (size_t k = 0; k < ll.node.size(); ++k)
+        actual.emplace_back(ll.node[k], ll.iter[k]);
+      // The loop-lifted contract: document order, iteration order within
+      // equal nodes — i.e. exactly the sorted pair order.
+      EXPECT_EQ(actual, expect)
+          << "loop-lifted " << AxisName(axis) << " seed=" << pc.seed;
+
+      // The iterative strategy must agree as well.
+      auto iter_res =
+          IterativeStaircase(*doc, axis, ctx_iter, ctx_pre, test);
+      std::vector<std::pair<int64_t, int64_t>> it_actual;
+      for (size_t k = 0; k < iter_res.node.size(); ++k)
+        it_actual.emplace_back(iter_res.node[k], iter_res.iter[k]);
+      EXPECT_EQ(it_actual, expect)
+          << "iterative " << AxisName(axis) << " seed=" << pc.seed;
+    }
+  }
+}
+
+TEST_P(StaircaseDiffTest, CandidatePushdownMatchesPostFilter) {
+  const DiffCase& pc = GetParam();
+  DocumentManager mgr;
+  DocumentContainer* doc = testutil::RandomDoc(&mgr, pc.nodes, pc.seed);
+  std::mt19937 rng(pc.seed * 23 + 1);
+  int n_iters = 1 + static_cast<int>(rng() % 4);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int it = 0; it < n_iters; ++it)
+    for (int64_t p :
+         testutil::RandomContext(*doc, 1 + rng() % pc.ctx_size, rng()))
+      pairs.emplace_back(p, it);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  std::vector<int64_t> ctx_iter, ctx_pre;
+  for (auto& [p, it] : pairs) {
+    ctx_pre.push_back(p);
+    ctx_iter.push_back(it);
+  }
+
+  // Candidate list: all elements named "b" (the name index delivers these).
+  StrId b = mgr.strings().Find("b");
+  const std::vector<int64_t>& cand = doc->ElementsNamed(b);
+  if (cand.empty()) GTEST_SKIP();
+
+  for (Axis axis : {Axis::kChild, Axis::kDescendant,
+                    Axis::kDescendantOrSelf}) {
+    auto pushed = LoopLiftedStaircaseCandidates(*doc, axis, ctx_iter,
+                                                ctx_pre, cand);
+    auto plain = LoopLiftedStaircase(*doc, axis, ctx_iter, ctx_pre,
+                                     NodeTest::Named(b));
+    EXPECT_EQ(pushed.node, plain.node) << AxisName(axis);
+    EXPECT_EQ(pushed.iter, plain.iter) << AxisName(axis);
+  }
+}
+
+TEST_P(StaircaseDiffTest, TouchBoundHoldsOnMajorForwardAxes) {
+  // Paper §2/§3: staircase join touches at most |result| + |context| slots
+  // (node() test; descendant/child/following directly, self trivially).
+  const DiffCase& pc = GetParam();
+  DocumentManager mgr;
+  DocumentContainer* doc = testutil::RandomDoc(&mgr, pc.nodes, pc.seed);
+  auto ctx = testutil::RandomContext(*doc, pc.ctx_size, pc.seed + 99);
+  for (Axis axis : {Axis::kDescendant, Axis::kChild, Axis::kFollowing,
+                    Axis::kSelf}) {
+    ScanStats stats;
+    auto res = StaircaseJoin(*doc, axis, ctx, NodeTest::AnyNode(), &stats);
+    EXPECT_LE(stats.slots_touched,
+              static_cast<int64_t>(res.size() + ctx.size()))
+        << AxisName(axis);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, StaircaseDiffTest,
+    ::testing::Values(DiffCase{20, 3, 1}, DiffCase{20, 8, 2},
+                      DiffCase{60, 5, 3}, DiffCase{60, 20, 4},
+                      DiffCase{200, 10, 5}, DiffCase{200, 50, 6},
+                      DiffCase{500, 25, 7}, DiffCase{500, 100, 8},
+                      DiffCase{1000, 40, 9}, DiffCase{50, 50, 10},
+                      DiffCase{300, 1, 11}, DiffCase{1000, 200, 12}));
+
+// ---------------------------------------------------------------------------
+// Loop-lifted child: the paper's own worked example (§3.1, Figure 7)
+// ---------------------------------------------------------------------------
+
+TEST(LoopLiftedChild, Figure7Example) {
+  // Two iterations; iter 1 context (c1), iter 2 context (c1, c2) with c2 a
+  // descendant of c1. Children of c1 are produced for both iterations, in
+  // iteration order per node.
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "f7.xml",
+                         "<c1><x/><c2><y/><z/></c2><w/></c1>");
+  ASSERT_TRUE(r.ok());
+  DocumentContainer* doc = *r;
+  // pres: c1=1, x=2, c2=3, y=4, z=5, w=6.
+  std::vector<int64_t> ctx_pre = {1, 1, 3};
+  std::vector<int64_t> ctx_iter = {1, 2, 2};
+  auto res = LoopLiftedStaircase(*doc, Axis::kChild, ctx_iter, ctx_pre,
+                                 NodeTest::AnyElem());
+  // Children of c1 (x, c2, w) appear for iters 1 and 2; children of c2
+  // (y, z) for iter 2 only — document order, iteration order within nodes.
+  std::vector<int64_t> want_node = {2, 2, 3, 3, 4, 5, 6, 6};
+  std::vector<int64_t> want_iter = {1, 2, 1, 2, 2, 2, 1, 2};
+  EXPECT_EQ(res.node, want_node);
+  EXPECT_EQ(res.iter, want_iter);
+}
+
+TEST(LoopLiftedChild, SingleScanTouchBound) {
+  DocumentManager mgr;
+  DocumentContainer* doc = testutil::RandomDoc(&mgr, 400, 42);
+  // Many iterations sharing the same context node: loop-lifting must not
+  // rescan per iteration.
+  std::vector<int64_t> ctx_pre, ctx_iter;
+  for (int it = 0; it < 50; ++it) {
+    ctx_pre.push_back(1);
+    ctx_iter.push_back(it);
+  }
+  ScanStats ll_stats, it_stats;
+  auto ll = LoopLiftedStaircase(*doc, Axis::kChild, ctx_iter, ctx_pre,
+                                NodeTest::AnyNode(), &ll_stats);
+  auto itv = IterativeStaircase(*doc, Axis::kChild, ctx_iter, ctx_pre,
+                                NodeTest::AnyNode(), &it_stats);
+  EXPECT_EQ(ll.node, itv.node);
+  // Iterative touches ~50x the slots the loop-lifted variant does.
+  EXPECT_GE(it_stats.slots_touched, 40 * ll_stats.slots_touched);
+}
+
+TEST(FragmentRangesTest, TransientContainerFragments) {
+  DocumentManager mgr;
+  DocumentContainer* c = mgr.CreateContainer("");
+  ASSERT_TRUE(ShredFragment(c, "<x><y/></x>").ok());
+  ASSERT_TRUE(ShredFragment(c, "<z/>").ok());
+  auto frags = FragmentRanges(*c);
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[0], (std::pair<int64_t, int64_t>{0, 1}));
+  EXPECT_EQ(frags[1], (std::pair<int64_t, int64_t>{2, 2}));
+  // following never crosses fragments.
+  auto res = StaircaseJoin(*c, Axis::kFollowing, std::vector<int64_t>{0},
+                           NodeTest::AnyNode());
+  EXPECT_TRUE(res.empty());
+}
+
+}  // namespace
+}  // namespace mxq

@@ -1,0 +1,304 @@
+// Unit tests for the pre|size|level storage layer, shredder and serializer.
+
+#include <gtest/gtest.h>
+
+#include "storage/document.h"
+#include "storage/table.h"
+#include "xml/serializer.h"
+#include "xml/shredder.h"
+
+namespace mxq {
+namespace {
+
+// The paper's running example (Figure 4).
+constexpr const char* kFig4 =
+    "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>";
+
+class Fig4Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = ShredDocument(&mgr_, "fig4.xml", kFig4);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    doc_ = *r;
+  }
+  DocumentManager mgr_;
+  DocumentContainer* doc_ = nullptr;
+};
+
+TEST_F(Fig4Test, PreSizeLevelMatchesPaperFigure4) {
+  // Paper Figure 4 (shifted by one: our pre 0 is the document node).
+  // a: pre 0 size 9 level 0 ... j: pre 9 size 0 level 3.
+  struct Row {
+    const char* tag;
+    int64_t size;
+    int32_t level;
+  };
+  const Row expected[] = {{"a", 9, 0}, {"b", 3, 1}, {"c", 2, 2}, {"d", 0, 3},
+                          {"e", 0, 3}, {"f", 4, 1}, {"g", 0, 2}, {"h", 2, 2},
+                          {"i", 0, 3}, {"j", 0, 3}};
+  ASSERT_EQ(doc_->NodeCount(), 11);  // 10 elements + document node
+  EXPECT_EQ(doc_->KindAt(0), NodeKind::kDoc);
+  EXPECT_EQ(doc_->SizeAt(0), 10);
+  for (int i = 0; i < 10; ++i) {
+    int64_t pre = i + 1;
+    EXPECT_EQ(mgr_.strings().Get(static_cast<StrId>(doc_->RefAt(pre))),
+              expected[i].tag);
+    EXPECT_EQ(doc_->SizeAt(pre), expected[i].size) << "pre=" << pre;
+    EXPECT_EQ(doc_->LevelAt(pre), expected[i].level + 1) << "pre=" << pre;
+  }
+}
+
+TEST_F(Fig4Test, PostorderRecovery) {
+  // post(v) = pre(v) + size(v) - level(v) must rank nodes in postorder.
+  // Check: postorder of the element nodes a..j equals 9,3,2,0,1,8,4,7,5,6
+  // shifted by the document-node offset.
+  std::vector<int64_t> post;
+  for (int64_t pre = 1; pre <= 10; ++pre) post.push_back(doc_->PostAt(pre));
+  std::vector<int64_t> sorted = post;
+  std::sort(sorted.begin(), sorted.end());
+  // Postorder ranks are distinct.
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  // d < e < c < b (children before parents).
+  EXPECT_LT(post[3], post[4]);
+  EXPECT_LT(post[4], post[2]);
+  EXPECT_LT(post[2], post[1]);
+  EXPECT_LT(post[1], post[0]);
+}
+
+TEST_F(Fig4Test, ParentNavigation) {
+  EXPECT_EQ(doc_->ParentOf(1), 0);   // a -> doc node
+  EXPECT_EQ(doc_->ParentOf(2), 1);   // b -> a
+  EXPECT_EQ(doc_->ParentOf(4), 3);   // d -> c
+  EXPECT_EQ(doc_->ParentOf(5), 3);   // e -> c
+  EXPECT_EQ(doc_->ParentOf(6), 1);   // f -> a
+  EXPECT_EQ(doc_->ParentOf(10), 8);  // j -> h
+  EXPECT_EQ(doc_->ParentOf(0), -1);  // doc node has no parent
+}
+
+TEST_F(Fig4Test, AncestorContainment) {
+  EXPECT_TRUE(doc_->IsAncestor(1, 4));
+  EXPECT_TRUE(doc_->IsAncestor(3, 4));
+  EXPECT_FALSE(doc_->IsAncestor(4, 3));
+  EXPECT_FALSE(doc_->IsAncestor(2, 6));
+  EXPECT_FALSE(doc_->IsAncestor(4, 4));  // proper
+}
+
+TEST_F(Fig4Test, SerializeRoundTrip) {
+  std::string out;
+  SerializeNode(*doc_, 0, &out);
+  EXPECT_EQ(out, kFig4);
+}
+
+TEST(ShredderTest, TextAndAttributes) {
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "t.xml",
+                         "<person id=\"person0\"><name>Kasidit "
+                         "Treweek</name><age>25</age></person>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  DocumentContainer* d = *r;
+  // doc, person, name, text, age, text
+  EXPECT_EQ(d->NodeCount(), 6);
+  EXPECT_EQ(d->KindAt(1), NodeKind::kElem);
+  StrId id_qn = mgr.strings().Find("id");
+  ASSERT_NE(id_qn, kInvalidStrId);
+  int64_t row = d->AttrOf(1, id_qn);
+  ASSERT_GE(row, 0);
+  EXPECT_EQ(mgr.strings().Get(d->AttrValue(row)), "person0");
+  EXPECT_EQ(d->StringValueOf(1), "Kasidit Treweek25");
+  EXPECT_EQ(d->StringValueOf(2), "Kasidit Treweek");
+}
+
+TEST(ShredderTest, EntitiesAndCdata) {
+  DocumentManager mgr;
+  auto r = ShredDocument(
+      &mgr, "e.xml",
+      "<t a=\"x &amp; y\">1 &lt; 2 &#65;<![CDATA[<raw>]]></t>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  DocumentContainer* d = *r;
+  EXPECT_EQ(d->StringValueOf(1), "1 < 2 A<raw>");
+  StrId a = mgr.strings().Find("a");
+  EXPECT_EQ(mgr.strings().Get(d->AttrValue(d->AttrOf(1, a))), "x & y");
+}
+
+TEST(ShredderTest, CommentsAndPIs) {
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "c.xml",
+                         "<t><!--note--><?php echo?><x/></t>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  DocumentContainer* d = *r;
+  EXPECT_EQ(d->KindAt(2), NodeKind::kComment);
+  EXPECT_EQ(d->StringValueOf(2), "note");
+  EXPECT_EQ(d->KindAt(3), NodeKind::kPI);
+  EXPECT_EQ(mgr.strings().Get(d->PITarget(d->RefAt(3))), "php");
+  std::string out;
+  SerializeNode(*d, 0, &out);
+  EXPECT_EQ(out, "<t><!--note--><?php echo?><x/></t>");
+}
+
+TEST(ShredderTest, PrologAndDoctypeSkipped) {
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "p.xml",
+                         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+                         "<!DOCTYPE site SYSTEM \"auction.dtd\">\n"
+                         "<site><regions/></site>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->NodeCount(), 3);
+}
+
+TEST(ShredderTest, ErrorsAreReported) {
+  DocumentManager mgr;
+  EXPECT_FALSE(ShredDocument(&mgr, "b1", "<a><b></a>").ok());
+  EXPECT_FALSE(ShredDocument(&mgr, "b2", "<a>").ok());
+  EXPECT_FALSE(ShredDocument(&mgr, "b3", "<a attr></a>").ok());
+  EXPECT_FALSE(ShredDocument(&mgr, "b4", "no markup").ok());
+}
+
+TEST(ShredderTest, FragmentsGetDistinctFragIds) {
+  DocumentManager mgr;
+  DocumentContainer* c = mgr.CreateContainer("");
+  auto f1 = ShredFragment(c, "<x><y/></x>");
+  auto f2 = ShredFragment(c, "<z/>");
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_NE(c->FragAt(*f1), c->FragAt(*f2));
+  EXPECT_EQ(c->FragAt(*f1), c->FragAt(*f1 + 1));  // y in same fragment as x
+  EXPECT_EQ(c->LevelAt(*f2), 0);
+}
+
+TEST(ShredderTest, MultiRootFragment) {
+  DocumentManager mgr;
+  DocumentContainer* c = mgr.CreateContainer("");
+  auto f = ShredFragment(c, "<x/><y/>");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(c->NodeCount(), 2);
+}
+
+TEST(DocumentManagerTest, Registry) {
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "a.xml", "<a/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(mgr.GetDocument("a.xml").ok());
+  EXPECT_FALSE(mgr.GetDocument("nope.xml").ok());
+}
+
+TEST(DocumentManagerTest, AtomizeNode) {
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "a.xml", "<a><b>12</b><c>34</c></a>");
+  ASSERT_TRUE(r.ok());
+  Item root = Item::Node((*r)->id(), 1);
+  Item atom = mgr.AtomizeNode(root);
+  EXPECT_EQ(atom.kind, ItemKind::kUntyped);
+  EXPECT_EQ(mgr.strings().Get(atom.str_id()), "1234");
+}
+
+TEST(CopySubtreeTest, PasteEncoding) {
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "s.xml", kFig4);
+  ASSERT_TRUE(r.ok());
+  DocumentContainer* src = *r;
+  DocumentContainer* dst = mgr.CreateContainer("");
+  // Copy subtree rooted at f (pre 6): f,g,h,i,j.
+  int64_t root = dst->CopySubtree(*src, 6, 0, dst->next_frag());
+  EXPECT_EQ(dst->NodeCount(), 5);
+  EXPECT_EQ(dst->SizeAt(root), 4);
+  EXPECT_EQ(dst->LevelAt(root), 0);
+  std::string out;
+  SerializeNode(*dst, root, &out);
+  EXPECT_EQ(out, "<f><g/><h><i/><j/></h></f>");
+}
+
+TEST(CopySubtreeTest, CopiesAttributes) {
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "s.xml", "<a><b id=\"b1\" x=\"2\"><c/></b></a>");
+  ASSERT_TRUE(r.ok());
+  DocumentContainer* dst = mgr.CreateContainer("");
+  int64_t root = dst->CopySubtree(**r, 2, 0, 0);
+  std::string out;
+  SerializeNode(*dst, root, &out);
+  EXPECT_EQ(out, "<b id=\"b1\" x=\"2\"><c/></b>");
+}
+
+TEST(PageMapTest, SwizzleIdentityAndInsert) {
+  PageMap pm(3);  // 8-slot pages
+  pm.InitIdentity(2);
+  EXPECT_EQ(pm.PreToRid(0), 0);
+  EXPECT_EQ(pm.PreToRid(13), 13);
+  // Insert a physical page logically between the two pages.
+  int64_t phys = pm.InsertPage(1);
+  EXPECT_EQ(phys, 2);
+  // Logical page order is now [0, 2, 1].
+  EXPECT_EQ(pm.PreToRid(8), 16 + 0);   // logical page 1 -> physical page 2
+  EXPECT_EQ(pm.PreToRid(16), 8);       // logical page 2 -> physical page 1
+  EXPECT_EQ(pm.RidToPre(pm.PreToRid(21)), 21);
+  EXPECT_EQ(pm.RidToPre(pm.PreToRid(5)), 5);
+}
+
+TEST(PagedContainerTest, ConvertToPagedPreservesView) {
+  DocumentManager mgr;
+  auto r = ShredDocument(&mgr, "s.xml", kFig4);
+  ASSERT_TRUE(r.ok());
+  DocumentContainer* d = *r;
+  std::string before;
+  SerializeNode(*d, 0, &before);
+  d->ConvertToPaged(3);
+  EXPECT_TRUE(d->paged());
+  EXPECT_EQ(d->NodeCount(), 11);
+  EXPECT_EQ(d->LogicalSlots() % 8, 0);
+  std::string after;
+  SerializeNode(*d, 0, &after);
+  EXPECT_EQ(before, after);
+  // SkipUnused jumps the padded tail in one step.
+  EXPECT_EQ(d->SkipUnused(11), d->LogicalSlots());
+}
+
+TEST(TablePropsTest, OrderingQueries) {
+  TableProps p;
+  p.ord = {"iter", "pos"};
+  EXPECT_TRUE(p.OrderedBy({"iter"}));
+  EXPECT_TRUE(p.OrderedBy({"iter", "pos"}));
+  EXPECT_FALSE(p.OrderedBy({"pos"}));
+  EXPECT_TRUE(p.GrpOrderedBy({"pos"}, "iter"));
+  EXPECT_FALSE(p.GrpOrderedBy({"item"}, "iter"));
+  p.grpord.push_back({{"item"}, "iter"});
+  EXPECT_TRUE(p.GrpOrderedBy({"item"}, "iter"));
+}
+
+TEST(TablePropsTest, RestrictAndRename) {
+  TableProps p;
+  p.dense = {"iter"};
+  p.key = {"iter", "item"};
+  p.ord = {"iter", "pos", "item"};
+  p.constants["pos"] = Item::Int(1);
+  p.RestrictTo({"iter", "pos"});
+  EXPECT_TRUE(p.is_key("iter"));
+  EXPECT_FALSE(p.is_key("item"));
+  EXPECT_EQ(p.ord.size(), 2u);
+  p.RenameCol("iter", "inner");
+  EXPECT_TRUE(p.is_dense("inner"));
+  EXPECT_EQ(p.ord[0], "inner");
+}
+
+TEST(StringPoolTest, InternDedupes) {
+  StringPool pool;
+  StrId a = pool.Intern("hello");
+  StrId b = pool.Intern("world");
+  StrId c = pool.Intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Get(a), "hello");
+  EXPECT_EQ(pool.Find("world"), b);
+  EXPECT_EQ(pool.Find("missing"), kInvalidStrId);
+}
+
+TEST(ItemTest, PackingPreservesDocumentOrder) {
+  Item n1 = Item::Node(0, 5);
+  Item n2 = Item::Node(0, 9);
+  Item n3 = Item::Node(1, 0);
+  EXPECT_LT(n1.node_order_key(), n2.node_order_key());
+  EXPECT_LT(n2.node_order_key(), n3.node_order_key());
+  EXPECT_EQ(n1.node().pre, 5);
+  EXPECT_EQ(n3.node().container, 1);
+  EXPECT_EQ(Item::Node(3, 123456789).node().pre, 123456789);
+}
+
+}  // namespace
+}  // namespace mxq

@@ -1,0 +1,86 @@
+// Shared test helpers: deterministic random XML documents and context sets.
+
+#ifndef MXQ_TESTS_TEST_UTIL_H_
+#define MXQ_TESTS_TEST_UTIL_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "storage/document.h"
+#include "xml/shredder.h"
+
+namespace mxq {
+namespace testutil {
+
+/// Generates a random XML document with ~`target_nodes` nodes drawn from a
+/// small tag alphabet, with text nodes and attributes sprinkled in.
+inline std::string RandomXml(int target_nodes, uint32_t seed) {
+  std::mt19937 rng(seed);
+  const char* tags[] = {"a", "b", "c", "d", "e"};
+  std::uniform_int_distribution<int> tag_dist(0, 4);
+  std::uniform_int_distribution<int> children_dist(0, 4);
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::string out;
+  int budget = target_nodes;
+
+  // Depth-first construction with a child-count budget.
+  std::function<void(int)> gen = [&](int depth) {
+    const char* tag = tags[tag_dist(rng)];
+    out += "<";
+    out += tag;
+    if (pct(rng) < 30) out += " id=\"n" + std::to_string(budget) + "\"";
+    --budget;
+    int kids = depth > 8 ? 0 : children_dist(rng);
+    if (kids == 0 || budget <= 0) {
+      if (pct(rng) < 30) {
+        out += ">t";
+        out += std::to_string(pct(rng));
+        out += "</";
+        out += tag;
+        out += ">";
+      } else {
+        out += "/>";
+      }
+      return;
+    }
+    out += ">";
+    for (int k = 0; k < kids && budget > 0; ++k) gen(depth + 1);
+    out += "</";
+    out += tag;
+    out += ">";
+  };
+  out += "<root>";
+  --budget;
+  while (budget > 0) gen(1);
+  out += "</root>";
+  return out;
+}
+
+/// Shreds a random document, aborting the test on parse failure.
+inline DocumentContainer* RandomDoc(DocumentManager* mgr, int target_nodes,
+                                    uint32_t seed) {
+  auto r = ShredDocument(mgr, "rand" + std::to_string(seed),
+                         RandomXml(target_nodes, seed));
+  assert(r.ok());
+  return *r;
+}
+
+/// Random sorted duplicate-free context set over the real nodes of `doc`.
+inline std::vector<int64_t> RandomContext(const DocumentContainer& doc,
+                                          int count, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<int64_t> all;
+  int64_t n = doc.LogicalSlots();
+  for (int64_t p = 0; p < n; ++p)
+    if (!doc.IsUnused(p)) all.push_back(p);
+  std::shuffle(all.begin(), all.end(), rng);
+  all.resize(std::min<size_t>(count, all.size()));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace testutil
+}  // namespace mxq
+
+#endif  // MXQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,337 @@
+// Tests for the §5.2 update scheme: paged repacking, structural inserts and
+// deletes with page-wise cost, size-delta logging, and a randomized
+// differential test against a rebuilt-from-scratch reference document.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "staircase/naive_axes.h"
+#include "staircase/staircase.h"
+#include "updates/update_engine.h"
+#include "updates/xquery_updates.h"
+#include "xml/serializer.h"
+#include "xml/shredder.h"
+
+namespace mxq {
+namespace updates {
+namespace {
+
+std::string Serialize(DocumentContainer* d) {
+  std::string out;
+  SerializeNode(*d, 0, &out);
+  return out;
+}
+
+/// Structural invariants of a (possibly paged) container.
+void CheckInvariants(const DocumentContainer& d) {
+  int64_t n = d.LogicalSlots();
+  // Containment: for every real node, the range (pre, pre+size] holds all
+  // and only its descendants; levels are consistent.
+  for (int64_t p = 0; p < n; ++p) {
+    if (d.IsUnused(p)) continue;
+    int64_t end = p + d.SizeAt(p);
+    ASSERT_LE(end, n) << "range overflow at " << p;
+    for (int64_t q = p + 1; q <= end; ++q) {
+      if (d.IsUnused(q)) continue;
+      ASSERT_GT(d.LevelAt(q), d.LevelAt(p))
+          << "descendant level must exceed ancestor's: " << q << " in " << p;
+      ASSERT_LE(q + d.SizeAt(q), end) << "child range escapes parent at " << q;
+    }
+  }
+  // Unused runs: the run length field never points past the view.
+  // And the maintained real-node count matches a full scan.
+  int64_t real = 0;
+  for (int64_t p = 0; p < n; ++p) {
+    if (d.IsUnused(p)) {
+      ASSERT_LE(p + d.SizeAt(p), n);
+    } else {
+      ++real;
+    }
+  }
+  ASSERT_EQ(real, d.NodeCount()) << "node_count bookkeeping drifted";
+}
+
+class UpdatesTest : public ::testing::Test {
+ protected:
+  DocumentContainer* Shred(const std::string& xml) {
+    auto r = ShredDocument(&mgr_, "doc" + std::to_string(++id_), xml);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+  DocumentManager mgr_;
+  int id_ = 0;
+};
+
+TEST_F(UpdatesTest, RepackPreservesDocument) {
+  const char* xml = "<a><b><c>x</c><d/></b><e f=\"1\">y</e></a>";
+  DocumentContainer* d = Shred(xml);
+  std::string before = Serialize(d);
+  UpdateEngine::RepackPaged(d, /*page_bits=*/3, /*fill_pct=*/75);
+  EXPECT_TRUE(d->paged());
+  EXPECT_EQ(Serialize(d), before);
+  CheckInvariants(*d);
+  // Every page has free space at its tail.
+  EXPECT_GT(d->LogicalSlots(), d->NodeCount());
+}
+
+TEST_F(UpdatesTest, ValueUpdates) {
+  DocumentContainer* d = Shred("<a><b id=\"b1\">old</b></a>");
+  UpdateEngine eng(d);
+  // Text node follows b; find it.
+  int64_t text = -1;
+  for (int64_t p = 0; p < d->LogicalSlots(); ++p)
+    if (!d->IsUnused(p) && d->KindAt(p) == NodeKind::kText) text = p;
+  ASSERT_GE(text, 0);
+  ASSERT_TRUE(eng.ReplaceText(text, "new").ok());
+  EXPECT_EQ(Serialize(d), "<a><b id=\"b1\">new</b></a>");
+
+  int64_t b = d->ElementsNamed(mgr_.strings().Find("b"))[0];
+  ASSERT_TRUE(eng.SetAttribute(b, "id", "b2").ok());
+  ASSERT_TRUE(eng.SetAttribute(b, "extra", "v").ok());
+  EXPECT_EQ(Serialize(d), "<a><b id=\"b2\" extra=\"v\">new</b></a>");
+  ASSERT_TRUE(eng.RenameElement(b, "bb").ok());
+  EXPECT_EQ(Serialize(d), "<a><bb id=\"b2\" extra=\"v\">new</bb></a>");
+  // Errors.
+  EXPECT_FALSE(eng.ReplaceText(b, "x").ok());
+  EXPECT_FALSE(eng.RenameElement(text, "t").ok());
+}
+
+TEST_F(UpdatesTest, InsertFitsInPageFreeSpace) {
+  DocumentContainer* d = Shred("<a><b/><c/></a>");
+  UpdateEngine eng(d, /*page_bits=*/4, /*fill_pct=*/50);
+  eng.ResetStats();
+  int64_t a = d->SkipUnused(1);  // element a... (pre 1)
+  auto r = eng.InsertXml(a, InsertPos::kLast, "<z><q/></z>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Serialize(d), "<a><b/><c/><z><q/></z></a>");
+  CheckInvariants(*d);
+  // Fit in free space: exactly one page written, nothing appended.
+  EXPECT_EQ(eng.stats().pages_appended, 0);
+  EXPECT_EQ(eng.stats().pages_touched, 1);
+}
+
+TEST_F(UpdatesTest, InsertFirstAndSiblings) {
+  DocumentContainer* d = Shred("<a><b/><c/></a>");
+  UpdateEngine eng(d, 4, 50);
+  int64_t a = 1;
+  ASSERT_TRUE(eng.InsertXml(a, InsertPos::kFirst, "<x/>").ok());
+  EXPECT_EQ(Serialize(d), "<a><x/><b/><c/></a>");
+  // Find c and insert before / after it.
+  StrId c_qn = mgr_.strings().Find("c");
+  int64_t c = d->ElementsNamed(c_qn)[0];
+  ASSERT_TRUE(eng.InsertXml(c, InsertPos::kBefore, "<y/>").ok());
+  StrId b_qn = mgr_.strings().Find("b");
+  int64_t b = d->ElementsNamed(b_qn)[0];
+  ASSERT_TRUE(eng.InsertXml(b, InsertPos::kAfter, "<w/>").ok());
+  EXPECT_EQ(Serialize(d), "<a><x/><b/><w/><y/><c/></a>");
+  CheckInvariants(*d);
+}
+
+TEST_F(UpdatesTest, LargeInsertSplicesNewPages) {
+  DocumentContainer* d = Shred("<a><b/><tail1/><tail2/></a>");
+  UpdateEngine eng(d, /*page_bits=*/3, /*fill_pct=*/100);
+  eng.ResetStats();
+  // 8-slot pages, full: a 6-node insert cannot fit.
+  StrId b_qn = mgr_.strings().Find("b");
+  int64_t b = d->ElementsNamed(b_qn)[0];
+  auto r = eng.InsertXml(b, InsertPos::kAfter,
+                         "<big><n1/><n2/><n3/><n4/><n5/></big>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Serialize(d),
+            "<a><b/><big><n1/><n2/><n3/><n4/><n5/></big>"
+            "<tail1/><tail2/></a>");
+  CheckInvariants(*d);
+  EXPECT_GT(eng.stats().pages_appended, 0);
+  // The paper's point: cost is page-granular, not O(document).
+  EXPECT_LE(eng.stats().pages_touched, eng.stats().pages_appended + 1);
+}
+
+TEST_F(UpdatesTest, DeleteLeavesUnusedSlots) {
+  DocumentContainer* d = Shred("<a><b><x/><y/></b><c/></a>");
+  UpdateEngine eng(d, 4, 75);
+  StrId b_qn = mgr_.strings().Find("b");
+  int64_t b = d->ElementsNamed(b_qn)[0];
+  int64_t slots_before = d->LogicalSlots();
+  ASSERT_TRUE(eng.DeleteSubtree(b).ok());
+  EXPECT_EQ(Serialize(d), "<a><c/></a>");
+  CheckInvariants(*d);
+  // No shifting at all: the view size is unchanged.
+  EXPECT_EQ(d->LogicalSlots(), slots_before);
+  // Deleting the root is refused.
+  EXPECT_FALSE(eng.DeleteSubtree(0).ok());
+}
+
+TEST_F(UpdatesTest, StaircaseJoinWorksOnUpdatedDocument) {
+  DocumentContainer* d = Shred("<a><b/><c><d/></c></a>");
+  UpdateEngine eng(d, 3, 60);
+  StrId c_qn = mgr_.strings().Find("c");
+  ASSERT_TRUE(
+      eng.InsertXml(d->ElementsNamed(c_qn)[0], InsertPos::kLast, "<e/>").ok());
+  // descendants of the root element via staircase == naive.
+  std::vector<int64_t> ctx = {d->SkipUnused(0)};
+  // Context = the document node; descendants = every element.
+  auto scj = StaircaseJoin(*d, Axis::kDescendant, ctx, NodeTest::AnyElem());
+  auto naive = EvalAxisNaive(*d, Axis::kDescendant, ctx, NodeTest::AnyElem());
+  EXPECT_EQ(scj, naive);
+  EXPECT_EQ(scj.size(), 5u);  // a b c d e
+}
+
+TEST_F(UpdatesTest, SizeDeltasCommute) {
+  // The §5.2 locking argument: size deltas from different transactions can
+  // be applied in any order.
+  DocumentContainer* d1 = Shred("<a><b/><c/></a>");
+  DocumentContainer* d2 = Shred("<a><b/><c/></a>");
+  SizeDeltaLog t1, t2;
+  t1.Add(0, 3);
+  t1.Add(1, 1);
+  t2.Add(0, 5);
+  t2.Add(2, 2);
+  t1.Apply(d1);
+  t2.Apply(d1);
+  t2.Apply(d2);
+  t1.Apply(d2);
+  for (int64_t rid = 0; rid < d1->PhysicalSlots(); ++rid)
+    EXPECT_EQ(d1->SizeAtRid(rid), d2->SizeAtRid(rid));
+}
+
+TEST_F(UpdatesTest, PendingDeltaLogRecordsInsertFixups) {
+  DocumentContainer* d = Shred("<a><b><c/></b></a>");
+  UpdateEngine eng(d, 4, 50);
+  StrId c_qn = mgr_.strings().Find("c");
+  ASSERT_TRUE(
+      eng.InsertXml(d->ElementsNamed(c_qn)[0], InsertPos::kLast, "<z/>").ok());
+  // Ancestors a, b, c all grew: three logged deltas.
+  EXPECT_EQ(eng.pending_deltas().deltas.size(), 4u);  // doc, a, b, c
+  eng.Commit();
+  EXPECT_TRUE(eng.pending_deltas().deltas.empty());
+}
+
+TEST_F(UpdatesTest, XQueryAddressedUpdates) {
+  DocumentContainer* d =
+      Shred("<inventory><item sku=\"a1\"><qty>5</qty></item>"
+            "<item sku=\"b2\"><qty>0</qty></item>"
+            "<item sku=\"c3\"><qty>9</qty></item></inventory>");
+  UpdateEngine eng(d, 5, 70);
+  xq::XQueryEngine engine(&mgr_);
+  XQueryUpdater upd(&engine, &eng);
+
+  // Insert a tag into every zero-stock item.
+  auto n = upd.Insert("doc(\"" + d->name() +
+                          "\")//item[qty = 0]",
+                      InsertPos::kLast, "<restock/>");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+  EXPECT_EQ(Serialize(d),
+            "<inventory><item sku=\"a1\"><qty>5</qty></item>"
+            "<item sku=\"b2\"><qty>0</qty><restock/></item>"
+            "<item sku=\"c3\"><qty>9</qty></item></inventory>");
+
+  // Replace values addressed by attribute predicate.
+  auto r = upd.ReplaceValue(
+      "doc(\"" + d->name() + "\")//item[@sku = \"a1\"]/qty", "7");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 1);
+  auto rr = upd.ReplaceValue(
+      "doc(\"" + d->name() + "\")//item[@sku = \"c3\"]/@sku", "c4");
+  ASSERT_TRUE(rr.ok());
+
+  // Delete all items with high stock (multiple targets, reverse order).
+  auto del = upd.Delete("doc(\"" + d->name() + "\")//item[qty >= 7]");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(*del, 2);
+  EXPECT_EQ(Serialize(d),
+            "<inventory><item sku=\"b2\"><qty>0</qty><restock/>"
+            "</item></inventory>");
+
+  // Targets outside the updatable document are rejected.
+  DocumentContainer* other = Shred("<x/>");
+  EXPECT_FALSE(
+      upd.Delete("doc(\"" + other->name() + "\")/x").ok());
+  // Non-node targets are rejected.
+  EXPECT_FALSE(upd.Delete("1 + 1").ok());
+}
+
+TEST_F(UpdatesTest, XQueryInsertMultipleTargetsReverseOrder) {
+  DocumentContainer* d = Shred("<r><a/><a/><a/></r>");
+  UpdateEngine eng(d, 4, 60);
+  xq::XQueryEngine engine(&mgr_);
+  XQueryUpdater upd(&engine, &eng);
+  auto n = upd.Insert("doc(\"" + d->name() + "\")//a", InsertPos::kLast,
+                      "<k/>");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 3);
+  EXPECT_EQ(Serialize(d), "<r><a><k/></a><a><k/></a><a><k/></a></r>");
+  CheckInvariants(*d);
+}
+
+// ---------------------------------------------------------------------------
+// randomized differential test: updated-in-place == rebuilt-from-scratch
+// ---------------------------------------------------------------------------
+
+class RandomUpdatesTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RandomUpdatesTest, MatchesRebuiltDocument) {
+  std::mt19937 rng(GetParam());
+  DocumentManager mgr;
+  auto shred = ShredDocument(
+      &mgr, "u.xml", "<root><s1><k/></s1><s2/><s3><m/><n/></s3></root>");
+  ASSERT_TRUE(shred.ok());
+  DocumentContainer* d = *shred;
+  UpdateEngine eng(d, /*page_bits=*/3, /*fill_pct=*/60);
+
+  const char* frags[] = {"<u/>", "<v><w/></v>", "<p a=\"1\">t</p>",
+                         "<q><r/><s>txt</s></q>",
+                         "<deep><l1><l2><l3/></l2></l1></deep>"};
+  for (int step = 0; step < 40; ++step) {
+    // Pick a random real element (not the doc node).
+    std::vector<int64_t> elems;
+    for (int64_t p = 0; p < d->LogicalSlots(); ++p)
+      if (!d->IsUnused(p) && d->KindAt(p) == NodeKind::kElem)
+        elems.push_back(p);
+    if (elems.empty()) break;
+    int64_t target = elems[rng() % elems.size()];
+
+    int op = rng() % 6;
+    if (op == 5 && d->LevelAt(target) >= 1 && elems.size() > 2) {
+      ASSERT_TRUE(eng.DeleteSubtree(target).ok());
+    } else {
+      InsertPos pos = static_cast<InsertPos>(rng() % 4);
+      if ((pos == InsertPos::kBefore || pos == InsertPos::kAfter) &&
+          d->LevelAt(target) <= 1)
+        pos = InsertPos::kLast;  // keep the document single-rooted
+      auto r = eng.InsertXml(target, pos, frags[rng() % 5]);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+    CheckInvariants(*d);
+
+    // Differential check: serialize, re-shred, serialize again.
+    std::string now = Serialize(d);
+    DocumentManager mgr2;
+    auto reb = ShredDocument(&mgr2, "r.xml", now);
+    ASSERT_TRUE(reb.ok()) << "updated doc must stay well-formed";
+    std::string again = Serialize(*reb);
+    ASSERT_EQ(now, again) << "seed=" << GetParam() << " step=" << step;
+
+    // Staircase axes agree with the naive oracle on the updated document.
+    if (step % 10 == 0) {
+      std::vector<int64_t> ctx;
+      for (size_t i = 0; i < elems.size(); i += 3)
+        if (!d->IsUnused(elems[i])) ctx.push_back(elems[i]);
+      std::sort(ctx.begin(), ctx.end());
+      for (Axis axis : {Axis::kChild, Axis::kDescendant, Axis::kAncestor,
+                        Axis::kFollowing}) {
+        auto a = StaircaseJoin(*d, axis, ctx, NodeTest::AnyNode());
+        auto b = EvalAxisNaive(*d, axis, ctx, NodeTest::AnyNode());
+        ASSERT_EQ(a, b) << AxisName(axis) << " seed=" << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomUpdatesTest,
+                         ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace updates
+}  // namespace mxq

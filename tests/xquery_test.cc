@@ -1,0 +1,493 @@
+// End-to-end XQuery engine tests: parse -> compile -> evaluate -> serialize.
+
+#include <gtest/gtest.h>
+
+#include "xml/shredder.h"
+#include "xquery/engine.h"
+
+namespace mxq {
+namespace xq {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ShredDocument(&mgr_, "fig4.xml",
+                              "<a><b><c><d/><e/></c></b>"
+                              "<f><g/><h><i/><j/></h></f></a>")
+                    .ok());
+    ASSERT_TRUE(
+        ShredDocument(
+            &mgr_, "auction.xml",
+            "<site><people>"
+            "<person id=\"person0\"><name>Kasidit</name><age>25</age>"
+            "<income>120000</income></person>"
+            "<person id=\"person1\"><name>Amara</name><age>30</age>"
+            "<income>40000</income></person>"
+            "<person id=\"person2\"><name>Bola</name></person>"
+            "</people><auctions>"
+            "<auction><buyer person=\"person0\"/><price>10</price>"
+            "<bidder><increase>3</increase></bidder>"
+            "<bidder><increase>7</increase></bidder></auction>"
+            "<auction><buyer person=\"person0\"/><price>25</price>"
+            "<bidder><increase>11</increase></bidder></auction>"
+            "<auction><buyer person=\"person2\"/><price>90</price></auction>"
+            "</auctions></site>")
+            .ok());
+  }
+
+  std::string Run(const std::string& q) {
+    XQueryEngine eng(&mgr_);
+    auto r = eng.Run(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? *r : "<error: " + r.status().ToString() + ">";
+  }
+
+  /// Runs under a set of option combinations and checks they all agree.
+  std::string RunAllModes(const std::string& q) {
+    XQueryEngine eng(&mgr_);
+    std::string base;
+    for (bool jr : {true, false}) {
+      CompileOptions co;
+      co.join_recognition = jr;
+      auto comp = eng.Compile(q, co);
+      EXPECT_TRUE(comp.ok()) << q << " -> " << comp.status().ToString();
+      if (!comp.ok()) return "<compile error>";
+      for (bool order : {true, false}) {
+        for (bool pos : {true, false}) {
+          for (StepMode m : {StepMode::kLoopLifted, StepMode::kIterative}) {
+            for (bool push : {false, true}) {
+              EvalOptions eo;
+              eo.alg.order_opt = order;
+              eo.alg.positional = pos;
+              eo.child_mode = eo.desc_mode = m;
+              eo.nametest_pushdown = push;
+              auto res = eng.Execute(*comp, &eo);
+              EXPECT_TRUE(res.ok()) << q << " -> " << res.status().ToString();
+              if (!res.ok()) return "<exec error>";
+              std::string s = res->Serialize(mgr_);
+              if (base.empty() && jr && order && pos &&
+                  m == StepMode::kLoopLifted && !push) {
+                base = s;
+              } else {
+                EXPECT_EQ(s, base)
+                    << q << " [jr=" << jr << " ord=" << order
+                    << " pos=" << pos << " iter=" << (m == StepMode::kIterative)
+                    << " push=" << push << "]";
+              }
+            }
+          }
+        }
+      }
+    }
+    return base;
+  }
+
+  DocumentManager mgr_;
+};
+
+// ---- literals, sequences, arithmetic ---------------------------------------
+
+TEST_F(EngineTest, Literals) {
+  EXPECT_EQ(Run("42"), "42");
+  EXPECT_EQ(Run("3.5"), "3.5");
+  EXPECT_EQ(Run("\"hello\""), "hello");
+  EXPECT_EQ(Run("(1, 2, 3)"), "1 2 3");
+  EXPECT_EQ(Run("()"), "");
+  EXPECT_EQ(Run("(1, (2, 3), ())"), "1 2 3");
+}
+
+TEST_F(EngineTest, Arithmetic) {
+  EXPECT_EQ(Run("1 + 2 * 3"), "7");
+  EXPECT_EQ(Run("7 mod 2"), "1");
+  EXPECT_EQ(Run("7 div 2"), "3.5");
+  EXPECT_EQ(Run("8 div 2"), "4");
+  EXPECT_EQ(Run("7 idiv 2"), "3");
+  EXPECT_EQ(Run("-(3 + 4)"), "-7");
+  EXPECT_EQ(Run("1 + ()"), "");
+}
+
+TEST_F(EngineTest, Comparisons) {
+  EXPECT_EQ(Run("1 < 2"), "true");
+  EXPECT_EQ(Run("2 eq 2"), "true");
+  EXPECT_EQ(Run("\"abc\" = \"abc\""), "true");
+  EXPECT_EQ(Run("(1, 5) = (5, 9)"), "true");   // existential
+  EXPECT_EQ(Run("(1, 5) = (2, 9)"), "false");
+  EXPECT_EQ(Run("() = 1"), "false");
+  EXPECT_EQ(Run("(1, 2) < (0, 3)"), "true");
+}
+
+// ---- the paper's running example (§2.1, Figure 5) ---------------------------
+
+TEST_F(EngineTest, Figure5Conditional) {
+  EXPECT_EQ(RunAllModes("for $v in (3,4,5,6) return "
+                        "if ($v mod 2 eq 0) then \"even\" else \"odd\""),
+            "odd even odd even");
+}
+
+// ---- FLWOR ------------------------------------------------------------------
+
+TEST_F(EngineTest, ForReturnsInBindingOrder) {
+  EXPECT_EQ(Run("for $x in (10, 20, 30) return $x + 1"), "11 21 31");
+}
+
+TEST_F(EngineTest, NestedForIsCartesian) {
+  EXPECT_EQ(RunAllModes("for $x in (1, 2) return for $y in (10, 20) "
+                        "return $x * $y"),
+            "10 20 20 40");
+}
+
+TEST_F(EngineTest, MultipleBindersInOneFor) {
+  EXPECT_EQ(Run("for $x in (1, 2), $y in (3, 4) return $x * $y"),
+            "3 4 6 8");
+}
+
+TEST_F(EngineTest, LetBindsSequences) {
+  EXPECT_EQ(Run("for $x in (1, 2) let $s := ($x, $x * 10) return count($s)"),
+            "2 2");
+  EXPECT_EQ(Run("let $s := (4, 5, 6) return sum($s)"), "15");
+}
+
+TEST_F(EngineTest, WhereFilters) {
+  EXPECT_EQ(RunAllModes("for $x in (1, 2, 3, 4, 5) where $x mod 2 eq 1 "
+                        "return $x"),
+            "1 3 5");
+}
+
+TEST_F(EngineTest, PositionalAtVar) {
+  EXPECT_EQ(Run("for $x at $i in (\"a\", \"b\", \"c\") return $i"), "1 2 3");
+}
+
+TEST_F(EngineTest, OrderBy) {
+  EXPECT_EQ(Run("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
+  EXPECT_EQ(Run("for $x in (3, 1, 2) order by $x descending return $x"),
+            "3 2 1");
+  EXPECT_EQ(Run("for $p in doc(\"auction.xml\")//person "
+                "order by zero-or-one($p/name/text()) "
+                "return $p/name/text()"),
+            "AmaraBolaKasidit");
+}
+
+TEST_F(EngineTest, IfWithoutElseBranchTaken) {
+  EXPECT_EQ(Run("for $x in (1, 2) return if ($x eq 1) then \"one\" else ()"),
+            "one");
+}
+
+// ---- paths -------------------------------------------------------------------
+
+TEST_F(EngineTest, SimpleChildPath) {
+  EXPECT_EQ(RunAllModes("doc(\"fig4.xml\")/a/b/c"), "<c><d/><e/></c>");
+}
+
+TEST_F(EngineTest, DescendantPath) {
+  EXPECT_EQ(RunAllModes("doc(\"fig4.xml\")//h"), "<h><i/><j/></h>");
+  EXPECT_EQ(Run("count(doc(\"fig4.xml\")//*)"), "10");
+}
+
+TEST_F(EngineTest, WildcardAndNodeTests) {
+  EXPECT_EQ(Run("count(doc(\"fig4.xml\")/a/*)"), "2");
+  EXPECT_EQ(Run("count(doc(\"auction.xml\")//name/text())"), "3");
+}
+
+TEST_F(EngineTest, AttributeAxis) {
+  EXPECT_EQ(Run("for $p in doc(\"auction.xml\")//person return $p/@id"),
+            "id=\"person0\"id=\"person1\"id=\"person2\"");
+  EXPECT_EQ(Run("count(doc(\"auction.xml\")//person/@*)"), "3");
+}
+
+TEST_F(EngineTest, ReverseAxes) {
+  EXPECT_EQ(Run("count(doc(\"fig4.xml\")//j/ancestor::*)"), "3");
+  EXPECT_EQ(Run("for $d in doc(\"fig4.xml\")//d return count($d/..)"), "1");
+}
+
+TEST_F(EngineTest, SiblingAxes) {
+  EXPECT_EQ(Run("doc(\"fig4.xml\")//b/following-sibling::*"),
+            "<f><g/><h><i/><j/></h></f>");
+  EXPECT_EQ(Run("doc(\"fig4.xml\")//h/preceding-sibling::*"), "<g/>");
+  EXPECT_EQ(Run("count(doc(\"fig4.xml\")//j/preceding-sibling::i)"), "1");
+}
+
+TEST_F(EngineTest, KindTests) {
+  DocumentManager local;
+  ASSERT_TRUE(ShredDocument(&local, "k.xml",
+                            "<r><!--note-->text<?pi data?><e/></r>")
+                  .ok());
+  xq::XQueryEngine eng(&local);
+  auto r = eng.Run("count(doc(\"k.xml\")/r/node())");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "4");
+  EXPECT_EQ(*eng.Run("count(doc(\"k.xml\")/r/comment())"), "1");
+  EXPECT_EQ(*eng.Run("count(doc(\"k.xml\")/r/processing-instruction())"),
+            "1");
+  EXPECT_EQ(*eng.Run("doc(\"k.xml\")/r/text()"), "text");
+}
+
+TEST_F(EngineTest, ParentStepDotDot) {
+  EXPECT_EQ(Run("doc(\"fig4.xml\")//d/../.."), 
+            "<b><c><d/><e/></c></b>");
+  EXPECT_EQ(Run("local-name(doc(\"fig4.xml\")//j/..)"), "h");
+}
+
+TEST_F(EngineTest, PathInsideForBody) {
+  EXPECT_EQ(RunAllModes("for $p in doc(\"auction.xml\")//person "
+                        "return count($p/name)"),
+            "1 1 1");
+}
+
+TEST_F(EngineTest, DocOrderAndDedupAcrossSteps) {
+  // Two overlapping context paths must produce each result node once, in
+  // document order.
+  EXPECT_EQ(Run("count(doc(\"fig4.xml\")//h/ancestor-or-self::*//i)"), "1");
+}
+
+// ---- predicates ----------------------------------------------------------------
+
+TEST_F(EngineTest, PositionalPredicates) {
+  EXPECT_EQ(RunAllModes("doc(\"auction.xml\")//auction[1]/price/text()"),
+            "10");
+  EXPECT_EQ(Run("doc(\"auction.xml\")//auction[last()]/price/text()"), "90");
+  // text() yields text *nodes*: adjacent nodes serialize without the
+  // atomic-value space separator.
+  EXPECT_EQ(Run("for $a in doc(\"auction.xml\")//auction "
+                "return $a/bidder[1]/increase/text()"),
+            "311");
+  EXPECT_EQ(Run("for $a in doc(\"auction.xml\")//auction "
+                "return $a/bidder[last()]/increase/text()"),
+            "711");
+}
+
+TEST_F(EngineTest, BooleanPredicates) {
+  EXPECT_EQ(RunAllModes("doc(\"auction.xml\")//person[@id = \"person1\"]"
+                        "/name/text()"),
+            "Amara");
+  EXPECT_EQ(Run("count(doc(\"auction.xml\")//person[income])"), "2");
+  EXPECT_EQ(Run("count(doc(\"auction.xml\")//person[income > 50000])"), "1");
+}
+
+TEST_F(EngineTest, PositionFunctionInPredicate) {
+  EXPECT_EQ(Run("doc(\"fig4.xml\")/a/b/c/*[position() eq 2]"), "<e/>");
+}
+
+TEST_F(EngineTest, StackedPredicatesRenumber) {
+  EXPECT_EQ(Run("(10, 20, 30, 40)[. > 15][2]"), "30");
+}
+
+// ---- functions -----------------------------------------------------------------
+
+TEST_F(EngineTest, Aggregates) {
+  EXPECT_EQ(Run("count(doc(\"auction.xml\")//person)"), "3");
+  EXPECT_EQ(Run("sum((1, 2, 3))"), "6");
+  EXPECT_EQ(Run("min((4, 2, 9))"), "2");
+  EXPECT_EQ(Run("max((4, 2, 9))"), "9");
+  EXPECT_EQ(Run("avg((2, 4))"), "3");
+  EXPECT_EQ(Run("sum(())"), "0");
+  EXPECT_EQ(Run("count(())"), "0");
+  EXPECT_EQ(Run("for $a in doc(\"auction.xml\")//auction "
+                "return count($a/bidder)"),
+            "2 1 0");
+}
+
+TEST_F(EngineTest, BooleanFunctions) {
+  EXPECT_EQ(Run("not(1 eq 2)"), "true");
+  EXPECT_EQ(Run("empty(())"), "true");
+  EXPECT_EQ(Run("empty((1))"), "false");
+  EXPECT_EQ(Run("exists(doc(\"fig4.xml\")//h)"), "true");
+  EXPECT_EQ(Run("for $p in doc(\"auction.xml\")//person "
+                "return empty($p/income/text())"),
+            "false false true");
+}
+
+TEST_F(EngineTest, StringFunctions) {
+  EXPECT_EQ(Run("contains(\"staircase\", \"stair\")"), "true");
+  EXPECT_EQ(Run("contains(\"staircase\", \"xyz\")"), "false");
+  EXPECT_EQ(Run("starts-with(\"person0\", \"person\")"), "true");
+  EXPECT_EQ(Run("string-length(\"abc\")"), "3");
+  EXPECT_EQ(Run("concat(\"a\", \"b\", \"c\")"), "abc");
+  EXPECT_EQ(Run("string(doc(\"auction.xml\")//person[1]/name)"), "Kasidit");
+  EXPECT_EQ(Run("string-join((\"a\", \"b\"), \"-\")"), "a-b");
+}
+
+TEST_F(EngineTest, NumericFunctions) {
+  EXPECT_EQ(Run("floor(3.7)"), "3");
+  EXPECT_EQ(Run("ceiling(3.2)"), "4");
+  EXPECT_EQ(Run("round(3.5)"), "4");
+  EXPECT_EQ(Run("abs(-3)"), "3");
+  EXPECT_EQ(Run("number(\"12.5\") * 2"), "25");
+}
+
+TEST_F(EngineTest, DistinctValues) {
+  EXPECT_EQ(Run("count(distinct-values((1, 2, 1, 3, 2)))"), "3");
+  EXPECT_EQ(Run("count(distinct-values("
+                "doc(\"auction.xml\")//buyer/@person))"),
+            "2");
+}
+
+TEST_F(EngineTest, DataAndAtomization) {
+  EXPECT_EQ(Run("data(doc(\"auction.xml\")//person[1]/age)"), "25");
+  EXPECT_EQ(Run("doc(\"auction.xml\")//person[1]/age + 5"), "30");
+}
+
+TEST_F(EngineTest, NameFunctions) {
+  EXPECT_EQ(Run("local-name(doc(\"fig4.xml\")/a/b)"), "b");
+  EXPECT_EQ(Run("name(doc(\"fig4.xml\")//h)"), "h");
+}
+
+// ---- quantifiers ----------------------------------------------------------------
+
+TEST_F(EngineTest, Quantifiers) {
+  EXPECT_EQ(Run("some $x in (1, 2, 3) satisfies $x eq 2"), "true");
+  EXPECT_EQ(Run("some $x in (1, 2, 3) satisfies $x eq 9"), "false");
+  EXPECT_EQ(Run("every $x in (2, 4, 6) satisfies $x mod 2 eq 0"), "true");
+  EXPECT_EQ(Run("every $x in (2, 3) satisfies $x mod 2 eq 0"), "false");
+  EXPECT_EQ(Run("some $x in () satisfies $x eq 1"), "false");
+  EXPECT_EQ(Run("every $x in () satisfies $x eq 1"), "true");
+  EXPECT_EQ(RunAllModes(
+                "for $a in doc(\"auction.xml\")//auction "
+                "where some $b in $a/bidder satisfies $b/increase > 5 "
+                "return $a/price/text()"),
+            "1025");
+}
+
+TEST_F(EngineTest, NodeOrderComparison) {
+  EXPECT_EQ(Run("let $d := doc(\"fig4.xml\") return "
+                "(exactly-one($d//b) << exactly-one($d//h))"),
+            "true");
+  EXPECT_EQ(Run("let $d := doc(\"fig4.xml\") return "
+                "(exactly-one($d//h) << exactly-one($d//b))"),
+            "false");
+  EXPECT_EQ(Run("let $d := doc(\"fig4.xml\") return "
+                "(exactly-one($d//h) is exactly-one($d//h))"),
+            "true");
+}
+
+// ---- constructors -----------------------------------------------------------------
+
+TEST_F(EngineTest, DirectConstructors) {
+  EXPECT_EQ(Run("<x/>"), "<x/>");
+  EXPECT_EQ(Run("<x a=\"1\">text</x>"), "<x a=\"1\">text</x>");
+  EXPECT_EQ(Run("<out>{1 + 1}</out>"), "<out>2</out>");
+  EXPECT_EQ(Run("<r>{(1, 2, 3)}</r>"), "<r>1 2 3</r>");
+  EXPECT_EQ(Run("<w><inner>{\"v\"}</inner></w>"), "<w><inner>v</inner></w>");
+}
+
+TEST_F(EngineTest, ConstructorCopiesNodes) {
+  EXPECT_EQ(Run("<wrap>{doc(\"fig4.xml\")/a/b/c}</wrap>"),
+            "<wrap><c><d/><e/></c></wrap>");
+}
+
+TEST_F(EngineTest, AttributeValueTemplates) {
+  EXPECT_EQ(Run("for $p in doc(\"auction.xml\")//person "
+                "return <item name=\"{$p/name/text()}\"/>"),
+            "<item name=\"Kasidit\"/><item name=\"Amara\"/>"
+            "<item name=\"Bola\"/>");
+  EXPECT_EQ(Run("<t v=\"a{1+1}b\"/>"), "<t v=\"a2b\"/>");
+}
+
+TEST_F(EngineTest, ConstructorPerIteration) {
+  EXPECT_EQ(RunAllModes("for $x in (1, 2) return <n v=\"{$x}\"/>"),
+            "<n v=\"1\"/><n v=\"2\"/>");
+}
+
+// ---- join queries (the Q8-Q12 pattern) ----------------------------------------
+
+TEST_F(EngineTest, ValueJoinRecognized) {
+  const char* q =
+      "for $p in doc(\"auction.xml\")//person "
+      "let $a := for $t in doc(\"auction.xml\")//auction "
+      "          where $t/buyer/@person = $p/@id return $t "
+      "return <item person=\"{$p/name/text()}\">{count($a)}</item>";
+  EXPECT_EQ(RunAllModes(q),
+            "<item person=\"Kasidit\">2</item>"
+            "<item person=\"Amara\">0</item>"
+            "<item person=\"Bola\">1</item>");
+
+  // The recognized plan must contain an existential join; the naive plan a
+  // cross-style loop-lift.
+  XQueryEngine eng(&mgr_);
+  CompileOptions on, off;
+  off.join_recognition = false;
+  auto pj = eng.Compile(q, on);
+  auto pc = eng.Compile(q, off);
+  ASSERT_TRUE(pj.ok() && pc.ok());
+  bool has_exist = false;
+  std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& n) {
+    if (!n) return;
+    if (n->op == OpCode::kExistJoin) has_exist = true;
+    for (const PlanPtr& c : n->inputs) walk(c);
+  };
+  walk(pj->root);
+  EXPECT_TRUE(has_exist);
+  has_exist = false;
+  walk(pc->root);
+  EXPECT_FALSE(has_exist);
+}
+
+TEST_F(EngineTest, ThetaJoinRecognized) {
+  // The Q11/Q12 pattern: > comparison between independent sides.
+  const char* q =
+      "for $p in doc(\"auction.xml\")//person "
+      "let $l := for $i in doc(\"auction.xml\")//price "
+      "          where $p/income > 1000 * exactly-one($i/text()) return $i "
+      "return <r>{count($l)}</r>";
+  EXPECT_EQ(RunAllModes(q), "<r>3</r><r>2</r><r>0</r>");
+}
+
+// ---- user-defined functions ------------------------------------------------------
+
+TEST_F(EngineTest, UserDefinedFunction) {
+  EXPECT_EQ(Run("declare function local:convert($v) { 2.5 * $v }; "
+                "for $i in (2, 4) return local:convert($i)"),
+            "5 10");
+}
+
+TEST_F(EngineTest, FunctionWithTwoParams) {
+  EXPECT_EQ(Run("declare function local:add($a, $b) { $a + $b }; "
+                "local:add(3, 4)"),
+            "7");
+}
+
+TEST_F(EngineTest, RecursionDepthBounded) {
+  XQueryEngine eng(&mgr_);
+  auto r = eng.Compile(
+      "declare function local:f($x) { local:f($x) }; local:f(1)");
+  EXPECT_FALSE(r.ok());
+}
+
+// ---- plan statistics ---------------------------------------------------------------
+
+TEST_F(EngineTest, PlanStatsCountOpsAndJoins) {
+  XQueryEngine eng(&mgr_);
+  auto q = eng.Compile(
+      "for $p in doc(\"auction.xml\")//person where $p/age > 20 "
+      "return $p/name");
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(q->stats.num_ops, 10);
+  EXPECT_GT(q->stats.num_joins, 0);
+  EXPECT_GT(q->stats.num_steps, 2);
+}
+
+// ---- errors --------------------------------------------------------------------------
+
+TEST_F(EngineTest, ErrorsSurface) {
+  XQueryEngine eng(&mgr_);
+  EXPECT_FALSE(eng.Run("for $x in").ok());             // parse error
+  EXPECT_FALSE(eng.Run("$undefined").ok());            // unbound var
+  EXPECT_FALSE(eng.Run("unknown-fn(1)").ok());         // unknown function
+  EXPECT_FALSE(eng.Run("doc(\"missing.xml\")/a").ok()); // unknown doc
+}
+
+TEST_F(EngineTest, ContextDocOption) {
+  XQueryEngine eng(&mgr_);
+  CompileOptions co;
+  co.context_doc = "fig4.xml";
+  auto r = eng.Run("count(/a/b/c/*)", co);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "2");
+  auto rr = eng.Run("count(//h/descendant::*)", co);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(*rr, "2");
+}
+
+}  // namespace
+}  // namespace xq
+}  // namespace mxq
