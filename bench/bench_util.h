@@ -8,7 +8,11 @@
 #ifndef MXQ_BENCH_BENCH_UTIL_H_
 #define MXQ_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,6 +29,105 @@ namespace bench {
 inline double ScaleEnv() {
   const char* s = std::getenv("MXQ_SCALE");
   return s ? std::atof(s) : 1.0;
+}
+
+/// Flips every cache-conscious kernel toggle at once (docs/execution.md);
+/// `on = false` is the pre-PR "legacy kernels" ablation baseline of the
+/// BENCH_pr<N>.json artifacts. Shared here so the per-bench baselines
+/// cannot drift when a new toggle is added.
+inline void SetKernelFlags(alg::ExecFlags* fl, bool on) {
+  fl->radix_join = on;
+  fl->sel_vectors = on;
+  fl->dense_sort = on;
+}
+
+// ---------------------------------------------------------------------------
+// JSON emitter (bench artifacts; no external deps)
+// ---------------------------------------------------------------------------
+
+/// Builds a JSON document as a string: nested objects/arrays, numeric and
+/// string fields. Used by the bench mains to write kernel-comparison
+/// summaries that bench/run_all.sh merges into BENCH_<pr>.json.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject(const char* key = nullptr) { return Open('{', key); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray(const char* key = nullptr) { return Open('[', key); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Field(const char* key, double v) {
+    Key(key);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Field(const char* key, int64_t v) {
+    Key(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Field(const char* key, const std::string& v) {
+    Key(key);
+    out_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  JsonWriter& Open(char c, const char* key) {
+    Key(key);
+    out_ += c;
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ += c;
+    first_ = false;
+    return *this;
+  }
+  void Key(const char* key) {
+    if (!first_) out_ += ',';
+    first_ = false;
+    if (key) {
+      out_ += '"';
+      out_ += key;
+      out_ += "\":";
+    }
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+/// Best-of-`reps` wall time of `fn` in milliseconds (kernel comparisons:
+/// min over repetitions is the standard noise filter).
+inline double BestOfMs(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    best = std::min(best, ms);
+  }
+  return best;
 }
 
 /// One shredded XMark instance (document + engine + compiled query cache).

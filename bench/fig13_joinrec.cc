@@ -6,36 +6,134 @@
 // orders of magnitude difference, with the cross-product plans becoming
 // infeasible beyond 110 MB. The cross-product configuration here uses a
 // smaller default document for exactly that reason.
+//
+// This binary additionally carries the *join kernel* ablation: the
+// radix-partitioned flat-table join (algebra/radix.h) vs. the legacy
+// pointer-chasing `unordered_map<key, vector<row>>` join, both as
+// macro-level query runs (all cache-conscious kernels on/off) and as an
+// isolated kernel microbenchmark. With MXQ_BENCH_JSON set, a kernel
+// comparison summary is written there (consumed by bench/run_all.sh).
 
 #include <benchmark/benchmark.h>
 
+#include <random>
+
+#include "algebra/ops.h"
 #include "bench_util.h"
 
 namespace {
 
 constexpr double kScale = 0.02;
 
-void WithJoinRecognition(benchmark::State& state) {
+using mxq::bench::SetKernelFlags;
+
+void RunJoinQueries(benchmark::State& state, bool join_recognition,
+                    bool kernels) {
   auto& inst = mxq::bench::XMarkInstance::Get(kScale * mxq::bench::ScaleEnv());
   int qn = static_cast<int>(state.range(0));
   mxq::xq::EvalOptions eo;
+  SetKernelFlags(&eo.alg, kernels);
   size_t n = 0;
-  for (auto _ : state) n = inst.Run(qn, &eo, /*join_recognition=*/true);
+  for (auto _ : state) n = inst.Run(qn, &eo, join_recognition);
   state.counters["result_items"] = static_cast<double>(n);
   state.counters["exist_joins"] =
       static_cast<double>(eo.alg.stats.exist_index_join +
                           eo.alg.stats.exist_nested_loop);
+  state.counters["radix_joins"] =
+      static_cast<double>(eo.alg.stats.radix_joins);
+  state.counters["radix_partitions"] =
+      static_cast<double>(eo.alg.stats.radix_partitions);
+  state.counters["tuples_materialized"] =
+      static_cast<double>(eo.alg.stats.tuples_materialized);
+}
+
+void WithJoinRecognition(benchmark::State& state) {
+  RunJoinQueries(state, /*join_recognition=*/true, /*kernels=*/true);
+}
+
+// Pre-PR execution kernels (ablation baseline for BENCH_pr1.json).
+void WithJoinRecognitionLegacyKernels(benchmark::State& state) {
+  RunJoinQueries(state, /*join_recognition=*/true, /*kernels=*/false);
 }
 
 void CrossProduct(benchmark::State& state) {
-  auto& inst = mxq::bench::XMarkInstance::Get(kScale * mxq::bench::ScaleEnv());
-  int qn = static_cast<int>(state.range(0));
-  mxq::xq::EvalOptions eo;
-  size_t n = 0;
-  for (auto _ : state) n = inst.Run(qn, &eo, /*join_recognition=*/false);
-  state.counters["result_items"] = static_cast<double>(n);
-  state.counters["tuples_materialized"] =
-      static_cast<double>(eo.alg.stats.tuples_materialized);
+  RunJoinQueries(state, /*join_recognition=*/false, /*kernels=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// join kernel microbenchmark: radix vs legacy build+probe
+// ---------------------------------------------------------------------------
+
+struct JoinInputs {
+  mxq::TablePtr left, right;
+};
+
+JoinInputs MakeJoinInputs(int64_t n) {
+  std::mt19937 rng(42);
+  std::vector<int64_t> lk(n), rk(n), rv(n);
+  for (int64_t i = 0; i < n; ++i) {
+    lk[i] = 1 + static_cast<int64_t>(rng() % n);
+    rk[i] = 1 + static_cast<int64_t>(rng() % n);
+    rv[i] = i;
+  }
+  using mxq::Column;
+  auto left =
+      mxq::alg::MakeTable({{"k", Column::MakeI64(std::move(lk))}});
+  auto right =
+      mxq::alg::MakeTable({{"k", Column::MakeI64(std::move(rk))},
+                           {"v", Column::MakeI64(std::move(rv))}});
+  return {left, right};
+}
+
+void JoinKernel(benchmark::State& state, bool radix) {
+  auto in = MakeJoinInputs(state.range(0));
+  mxq::alg::ExecFlags fl;
+  fl.positional = false;  // isolate the generic join kernel
+  SetKernelFlags(&fl, radix);
+  for (auto _ : state) {
+    auto j = mxq::alg::EquiJoinI64(fl, in.left, "k", in.right, "k",
+                                   {{"v", "v"}});
+    benchmark::DoNotOptimize(j->rows());
+  }
+  state.counters["radix_joins"] = static_cast<double>(fl.stats.radix_joins);
+  state.counters["radix_partitions"] =
+      static_cast<double>(fl.stats.radix_partitions);
+}
+
+void JoinKernelRadix(benchmark::State& s) { JoinKernel(s, true); }
+void JoinKernelLegacy(benchmark::State& s) { JoinKernel(s, false); }
+
+/// Direct best-of timing of the two kernel paths, written as JSON for
+/// bench/run_all.sh (MXQ_BENCH_JSON names the output file).
+void WriteKernelSummary(const char* path) {
+  mxq::bench::JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", std::string("fig13_joinrec"));
+  w.BeginArray("kernels");
+  for (int64_t n : {int64_t{1} << 16, int64_t{1} << 20}) {
+    auto in = MakeJoinInputs(n);
+    auto run = [&](bool radix) {
+      mxq::alg::ExecFlags fl;
+      fl.positional = false;
+      SetKernelFlags(&fl, radix);
+      auto j = mxq::alg::EquiJoinI64(fl, in.left, "k", in.right, "k",
+                                     {{"v", "v"}});
+      benchmark::DoNotOptimize(j->rows());
+    };
+    const int reps = n > (1 << 18) ? 5 : 20;
+    double radix_ms = mxq::bench::BestOfMs(reps, [&] { run(true); });
+    double legacy_ms = mxq::bench::BestOfMs(reps, [&] { run(false); });
+    w.BeginObject();
+    w.Field("kernel", std::string("equijoin_i64"));
+    w.Field("n", n);
+    w.Field("radix_ms", radix_ms);
+    w.Field("legacy_ms", legacy_ms);
+    w.Field("speedup", legacy_ms / radix_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.WriteFile(path);
 }
 
 }  // namespace
@@ -43,6 +141,19 @@ void CrossProduct(benchmark::State& state) {
 BENCHMARK(WithJoinRecognition)
     ->DenseRange(8, 12)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(WithJoinRecognitionLegacyKernels)
+    ->DenseRange(8, 12)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(CrossProduct)->DenseRange(8, 12)->Unit(benchmark::kMillisecond);
+BENCHMARK(JoinKernelRadix)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(JoinKernelLegacy)->Arg(1 << 16)->Arg(1 << 20);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (const char* path = std::getenv("MXQ_BENCH_JSON"))
+    WriteKernelSummary(path);
+  benchmark::Shutdown();
+  return 0;
+}

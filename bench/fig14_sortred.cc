@@ -4,20 +4,32 @@
 // sorts elided, refine-sorts, streaming DENSE_RANK) vs disabled ("non-order
 // preserving": every order requirement enforced by a full sort, grouped
 // numbering by sorting). The paper reports a ~2x overall speedup on 110 MB.
+//
+// This binary additionally carries the *sort kernel* ablation: the
+// dense-key counting scatter (common/counting_sort.h) vs. the legacy
+// comparator std::stable_sort, as macro query runs (kernels on/off) and as
+// an isolated kernel microbenchmark. With MXQ_BENCH_JSON set, a kernel
+// comparison summary is written there (consumed by bench/run_all.sh).
 
 #include <benchmark/benchmark.h>
 
+#include <random>
+
+#include "algebra/ops.h"
 #include "bench_util.h"
 
 namespace {
 
 constexpr double kScale = 0.1;
 
-void Run(benchmark::State& state, bool order_opt) {
+using mxq::bench::SetKernelFlags;
+
+void Run(benchmark::State& state, bool order_opt, bool kernels) {
   auto& inst = mxq::bench::XMarkInstance::Get(kScale * mxq::bench::ScaleEnv());
   int qn = static_cast<int>(state.range(0));
   mxq::xq::EvalOptions eo;
   eo.alg.order_opt = order_opt;
+  SetKernelFlags(&eo.alg, kernels);
   size_t n = 0;
   for (auto _ : state) n = inst.Run(qn, &eo);
   state.counters["result_items"] = static_cast<double>(n);
@@ -27,14 +39,87 @@ void Run(benchmark::State& state, bool order_opt) {
       static_cast<double>(eo.alg.stats.sorts_elided);
   state.counters["refine_sorts"] =
       static_cast<double>(eo.alg.stats.refine_sorts);
+  state.counters["counting_sorts"] =
+      static_cast<double>(eo.alg.stats.counting_sorts);
+  state.counters["sel_selects"] =
+      static_cast<double>(eo.alg.stats.sel_selects);
   state.counters["rownum_streaming"] =
       static_cast<double>(eo.alg.stats.rownum_streaming);
   state.counters["rownum_sorting"] =
       static_cast<double>(eo.alg.stats.rownum_sorting);
 }
 
-void OrderPreserving(benchmark::State& s) { Run(s, true); }
-void NonOrderPreserving(benchmark::State& s) { Run(s, false); }
+void OrderPreserving(benchmark::State& s) { Run(s, true, true); }
+void NonOrderPreserving(benchmark::State& s) { Run(s, false, true); }
+// Pre-PR execution kernels (ablation baseline for BENCH_pr1.json).
+void OrderPreservingLegacyKernels(benchmark::State& s) { Run(s, true, false); }
+
+// ---------------------------------------------------------------------------
+// sort kernel microbenchmark: counting scatter vs stable_sort
+// ---------------------------------------------------------------------------
+
+mxq::TablePtr MakeSortInput(int64_t n) {
+  std::mt19937 rng(7);
+  // Loop-lifted shape: dense-ish iter keys with duplicates + a pos column.
+  std::vector<int64_t> iter(n), pos(n);
+  for (int64_t i = 0; i < n; ++i) {
+    iter[i] = 1 + static_cast<int64_t>(rng() % (n / 4 + 1));
+    pos[i] = static_cast<int64_t>(rng() % 1000);
+  }
+  using mxq::Column;
+  return mxq::alg::MakeTable({{"iter", Column::MakeI64(std::move(iter))},
+                              {"pos", Column::MakeI64(std::move(pos))}});
+}
+
+void SortKernel(benchmark::State& state, bool counting) {
+  mxq::DocumentManager mgr;
+  auto t = MakeSortInput(state.range(0));
+  mxq::alg::ExecFlags fl;
+  fl.order_opt = false;  // isolate the physical sort
+  SetKernelFlags(&fl, counting);
+  for (auto _ : state) {
+    auto s = mxq::alg::Sort(mgr, fl, t, {"iter", "pos"});
+    benchmark::DoNotOptimize(s->rows());
+  }
+  state.counters["counting_sorts"] =
+      static_cast<double>(fl.stats.counting_sorts);
+}
+
+void SortKernelCounting(benchmark::State& s) { SortKernel(s, true); }
+void SortKernelLegacy(benchmark::State& s) { SortKernel(s, false); }
+
+/// Direct best-of timing of the two kernel paths, written as JSON for
+/// bench/run_all.sh (MXQ_BENCH_JSON names the output file).
+void WriteKernelSummary(const char* path) {
+  mxq::DocumentManager mgr;
+  mxq::bench::JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", std::string("fig14_sortred"));
+  w.BeginArray("kernels");
+  for (int64_t n : {int64_t{1} << 16, int64_t{1} << 20}) {
+    auto t = MakeSortInput(n);
+    auto run = [&](bool counting) {
+      mxq::alg::ExecFlags fl;
+      fl.order_opt = false;
+      SetKernelFlags(&fl, counting);
+      auto s = mxq::alg::Sort(mgr, fl, t, {"iter", "pos"});
+      benchmark::DoNotOptimize(s->rows());
+    };
+    const int reps = n > (1 << 18) ? 5 : 20;
+    double counting_ms = mxq::bench::BestOfMs(reps, [&] { run(true); });
+    double legacy_ms = mxq::bench::BestOfMs(reps, [&] { run(false); });
+    w.BeginObject();
+    w.Field("kernel", std::string("sort_dense_iter"));
+    w.Field("n", n);
+    w.Field("counting_ms", counting_ms);
+    w.Field("legacy_ms", legacy_ms);
+    w.Field("speedup", legacy_ms / counting_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.WriteFile(path);
+}
 
 }  // namespace
 
@@ -42,5 +127,18 @@ BENCHMARK(OrderPreserving)->DenseRange(1, 20)->Unit(benchmark::kMillisecond);
 BENCHMARK(NonOrderPreserving)
     ->DenseRange(1, 20)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(OrderPreservingLegacyKernels)
+    ->DenseRange(1, 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(SortKernelCounting)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(SortKernelLegacy)->Arg(1 << 16)->Arg(1 << 20);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (const char* path = std::getenv("MXQ_BENCH_JSON"))
+    WriteKernelSummary(path);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -36,6 +36,50 @@ void PrintStats() {
   std::printf("%5s %8.1f %8.1f\n\n", "avg", tops / 20.0, tjoins / 20.0);
 }
 
+/// Execution-time kernel statistics: which physical algorithms the
+/// cache-conscious execution core actually picks per XMark query (radix
+/// joins, dense-key counting sorts, selection-vector filters).
+void PrintExecStats() {
+  auto& inst =
+      mxq::bench::XMarkInstance::Get(0.01 * mxq::bench::ScaleEnv());
+  std::printf("XMark execution kernel statistics (%.2f MB document)\n\n",
+              static_cast<double>(inst.xml_size()) / (1024.0 * 1024.0));
+  std::printf("%5s %6s %6s %6s %6s %6s %6s %6s %6s\n", "query", "radix",
+              "rparts", "csort", "selvec", "hash", "pos", "sortp", "elide");
+  mxq::alg::ExecStats total;
+  for (int qn = 1; qn <= 20; ++qn) {
+    mxq::xq::EvalOptions eo;
+    inst.Run(qn, &eo);
+    const mxq::alg::ExecStats& s = eo.alg.stats;
+    std::printf("Q%-4d %6lld %6lld %6lld %6lld %6lld %6lld %6lld %6lld\n", qn,
+                static_cast<long long>(s.radix_joins),
+                static_cast<long long>(s.radix_partitions),
+                static_cast<long long>(s.counting_sorts),
+                static_cast<long long>(s.sel_selects),
+                static_cast<long long>(s.hash_joins),
+                static_cast<long long>(s.positional_joins),
+                static_cast<long long>(s.sorts_performed),
+                static_cast<long long>(s.sorts_elided));
+    total.radix_joins += s.radix_joins;
+    total.radix_partitions += s.radix_partitions;
+    total.counting_sorts += s.counting_sorts;
+    total.sel_selects += s.sel_selects;
+    total.hash_joins += s.hash_joins;
+    total.positional_joins += s.positional_joins;
+    total.sorts_performed += s.sorts_performed;
+    total.sorts_elided += s.sorts_elided;
+  }
+  std::printf("%5s %6lld %6lld %6lld %6lld %6lld %6lld %6lld %6lld\n\n",
+              "total", static_cast<long long>(total.radix_joins),
+              static_cast<long long>(total.radix_partitions),
+              static_cast<long long>(total.counting_sorts),
+              static_cast<long long>(total.sel_selects),
+              static_cast<long long>(total.hash_joins),
+              static_cast<long long>(total.positional_joins),
+              static_cast<long long>(total.sorts_performed),
+              static_cast<long long>(total.sorts_elided));
+}
+
 void CompileTime(benchmark::State& state) {
   mxq::DocumentManager mgr;
   mxq::xq::XQueryEngine eng(&mgr);
@@ -52,6 +96,7 @@ BENCHMARK(CompileTime)->DenseRange(1, 20)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   PrintStats();
+  PrintExecStats();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

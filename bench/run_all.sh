@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benchmark set (fig13_joinrec, fig14_sortred,
+# table1_xmark) and merges everything — google-benchmark results plus the
+# kernel-comparison summaries the bench mains emit via MXQ_BENCH_JSON —
+# into one JSON artifact (default BENCH_pr1.json) that is checked in as
+# the perf evidence for the PR.
+#
+# Usage: bench/run_all.sh [out.json]
+#   MXQ_SCALE     document scale multiplier (default 0.1)
+#   BUILD_DIR     cmake build directory (default build)
+#   BENCH_FILTER  optional --benchmark_filter regex passed to every binary
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT=${1:-BENCH_pr1.json}
+BUILD=${BUILD_DIR:-build}
+export MXQ_SCALE=${MXQ_SCALE:-0.1}
+FILTER=${BENCH_FILTER:+--benchmark_filter=${BENCH_FILTER}}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Repetitions with random interleaving: the kernels-on and kernels-off
+# variants must not be compared cold-vs-warm.
+REPS=${BENCH_REPS:-3}
+for b in fig13_joinrec fig14_sortred table1_xmark; do
+  [ -x "$BUILD/$b" ] || { echo "missing $BUILD/$b — build first" >&2; exit 1; }
+  echo "== $b (MXQ_SCALE=$MXQ_SCALE, reps=$REPS)" >&2
+  MXQ_BENCH_JSON="$TMP/$b.kernels.json" \
+    "$BUILD/$b" $FILTER \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out="$TMP/$b.json" --benchmark_out_format=json >&2
+done
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json, os, sys
+tmp, out = sys.argv[1], sys.argv[2]
+merged = {"scale": float(os.environ.get("MXQ_SCALE", "1.0")), "benches": {}}
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+for b in ("fig13_joinrec", "fig14_sortred", "table1_xmark"):
+    gb = load(os.path.join(tmp, f"{b}.json"))
+    entry = {}
+    if gb:
+        entry["context"] = {k: gb.get("context", {}).get(k)
+                            for k in ("date", "host_name", "num_cpus",
+                                      "mhz_per_cpu", "library_build_type")}
+        # Collapse repetitions to best-of per benchmark name (min is the
+        # standard noise filter for same-work repetitions).
+        best = {}
+        for r in gb.get("benchmarks", []):
+            if r.get("run_type") == "aggregate":
+                continue
+            name = r.get("name", "").split("/repeats:")[0]
+            keep = {k: r.get(k) for k in ("real_time", "cpu_time",
+                                          "time_unit", "iterations",
+                                          "counters") if k in r}
+            keep["name"] = name
+            if name not in best or keep["real_time"] < best[name]["real_time"]:
+                best[name] = keep
+        entry["benchmarks"] = sorted(best.values(), key=lambda r: r["name"])
+    kr = load(os.path.join(tmp, f"{b}.kernels.json"))
+    if kr:
+        entry["kernel_summary"] = kr
+    merged["benches"][b] = entry
+
+# Macro speedups: new kernels vs the *LegacyKernels variants, same query.
+def times(bench, prefix):
+    t = {}
+    for r in merged["benches"].get(bench, {}).get("benchmarks", []):
+        name = r.get("name", "")
+        if name.startswith(prefix + "/"):
+            t[name[len(prefix) + 1:]] = r.get("real_time")
+    return t
+
+speedups = {}
+for bench, new, old in (
+        ("fig13_joinrec", "WithJoinRecognition",
+         "WithJoinRecognitionLegacyKernels"),
+        ("fig14_sortred", "OrderPreserving", "OrderPreservingLegacyKernels")):
+    nt, ot = times(bench, new), times(bench, old)
+    per = {q: ot[q] / nt[q] for q in nt if q in ot and nt[q] and ot[q]}
+    if per:
+        speedups[bench] = {
+            "per_query": {q: round(v, 3) for q, v in sorted(per.items())},
+            "geomean": round(
+                pow(2, sum(__import__("math").log2(v)
+                           for v in per.values()) / len(per)), 3)}
+merged["kernel_speedup_vs_legacy"] = speedups
+
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}", file=sys.stderr)
+EOF

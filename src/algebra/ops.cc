@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "algebra/radix.h"
+#include "common/counting_sort.h"
 
 namespace mxq {
 namespace alg {
@@ -12,29 +16,54 @@ namespace {
 
 // ---- generic helpers -------------------------------------------------------
 
-ColumnPtr GatherColumn(const ColumnPtr& col, const std::vector<size_t>& perm) {
-  if (col->is_i64()) {
-    std::vector<int64_t> out(perm.size());
-    const auto& in = col->i64();
-    for (size_t k = 0; k < perm.size(); ++k) out[k] = in[perm[k]];
+/// Gathers column `ci` of `t` at the given *logical* rows into a flat
+/// column, fusing the table's selection vector (if any) into the gather —
+/// a lazily filtered column is materialized exactly once, here, at the
+/// pipeline breaker.
+ColumnPtr GatherLogical(const Table& t, size_t ci,
+                        const std::vector<size_t>& rows) {
+  const Column& col = *t.raw_col(ci);
+  const SelVectorPtr& sel = t.col_sel(ci);
+  if (col.is_i64()) {
+    std::vector<int64_t> out(rows.size());
+    const auto& in = col.i64();
+    if (sel) {
+      const auto& s = sel->idx;
+      for (size_t k = 0; k < rows.size(); ++k) out[k] = in[s[rows[k]]];
+    } else {
+      for (size_t k = 0; k < rows.size(); ++k) out[k] = in[rows[k]];
+    }
     return Column::MakeI64(std::move(out));
   }
-  std::vector<Item> out(perm.size());
-  const auto& in = col->items();
-  for (size_t k = 0; k < perm.size(); ++k) out[k] = in[perm[k]];
+  std::vector<Item> out(rows.size());
+  const auto& in = col.items();
+  if (sel) {
+    const auto& s = sel->idx;
+    for (size_t k = 0; k < rows.size(); ++k) out[k] = in[s[rows[k]]];
+  } else {
+    for (size_t k = 0; k < rows.size(); ++k) out[k] = in[rows[k]];
+  }
   return Column::MakeItem(std::move(out));
 }
 
 TablePtr ApplyPerm(const TablePtr& t, const std::vector<size_t>& perm) {
   auto out = Table::Make();
   for (size_t c = 0; c < t->num_cols(); ++c)
-    out->AddColumn(t->name(c), GatherColumn(t->col(c), perm));
+    out->AddColumn(t->name(c), GatherLogical(*t, c, perm));
   out->set_rows(perm.size());
   return out;
 }
 
-TablePtr FilterRows(const TablePtr& t, const std::vector<size_t>& rows) {
-  return ApplyPerm(t, rows);
+/// Row subset: a lazy selection-vector narrow when the kernel is enabled,
+/// an eager gather of every column otherwise (the pre-kernel path).
+TablePtr SubsetRows(const ExecFlags& fl, const TablePtr& t,
+                    std::vector<uint32_t> rows) {
+  if (fl.sel_vectors) {
+    ++fl.stats.sel_selects;
+    return t->Select(std::make_shared<SelVector>(std::move(rows)));
+  }
+  std::vector<size_t> wide(rows.begin(), rows.end());
+  return ApplyPerm(t, wide);
 }
 
 /// Row comparison over a column list (I64 numeric, items by OrderCompare).
@@ -110,7 +139,9 @@ TablePtr Project(const TablePtr& t,
   for (const auto& [src, dst] : cols) kept.insert(src);
   props.RestrictTo(kept);
   for (const auto& [src, dst] : cols) {
-    out->AddColumn(dst, t->col(src));
+    int ci = t->ColumnIndex(src);
+    assert(ci >= 0);
+    out->AddColumn(dst, t->raw_col(ci), t->col_sel(ci));
     if (src != dst) props.RenameCol(src, dst);
   }
   out->set_rows(t->rows());
@@ -193,11 +224,14 @@ TableProps SubsetProps(const TableProps& in) {
 
 TablePtr SelectTrue(const DocumentManager& mgr, const ExecFlags& fl,
                     const TablePtr& t, const std::string& col, bool negate) {
-  const ColumnPtr& c = t->col(col);
-  std::vector<size_t> rows;
+  const int ci = t->ColumnIndex(col);
+  assert(ci >= 0);
+  std::vector<uint32_t> rows;
+  rows.reserve(t->rows());
   for (size_t i = 0; i < t->rows(); ++i)
-    if (ItemEbv(mgr, c->GetItem(i)) != negate) rows.push_back(i);
-  auto out = FilterRows(t, rows);
+    if (ItemEbv(mgr, t->ItemAt(ci, i)) != negate)
+      rows.push_back(static_cast<uint32_t>(i));
+  auto out = SubsetRows(fl, t, std::move(rows));
   out->props() = SubsetProps(t->props());
   CountMaterialized(fl, out);
   return out;
@@ -205,29 +239,39 @@ TablePtr SelectTrue(const DocumentManager& mgr, const ExecFlags& fl,
 
 TablePtr SelectEqI64(const ExecFlags& fl, const TablePtr& t,
                      const std::string& col, int64_t v) {
-  const ColumnPtr& c = t->col(col);
-  std::vector<size_t> rows;
+  const int ci = t->ColumnIndex(col);
+  assert(ci >= 0);
+  std::vector<uint32_t> rows;
   if (fl.positional && t->props().is_dense(col)) {
     // Positional selection (paper §4.1): dense 1..n, the row is v-1.
     ++fl.stats.positional_selects;
     if (v >= 1 && v <= static_cast<int64_t>(t->rows()))
-      rows.push_back(static_cast<size_t>(v - 1));
+      rows.push_back(static_cast<uint32_t>(v - 1));
   } else {
+    rows.reserve(64);
     for (size_t i = 0; i < t->rows(); ++i)
-      if (c->GetI64(i) == v) rows.push_back(i);
+      if (t->I64At(ci, i) == v) rows.push_back(static_cast<uint32_t>(i));
   }
-  auto out = FilterRows(t, rows);
+  auto out = SubsetRows(fl, t, std::move(rows));
   out->props() = SubsetProps(t->props());
   out->props().constants[col] = Item::Int(v);
   CountMaterialized(fl, out);
   return out;
 }
 
-TablePtr SelectRows(const TablePtr& t, const std::vector<uint8_t>& keep) {
-  std::vector<size_t> rows;
+TablePtr SelectRows(const TablePtr& t, const std::vector<uint8_t>& keep,
+                    const ExecFlags* fl) {
+  std::vector<uint32_t> rows;
+  rows.reserve(keep.size());
   for (size_t i = 0; i < keep.size(); ++i)
-    if (keep[i]) rows.push_back(i);
-  auto out = FilterRows(t, rows);
+    if (keep[i]) rows.push_back(static_cast<uint32_t>(i));
+  TablePtr out;
+  if (fl) {
+    out = SubsetRows(*fl, t, std::move(rows));
+  } else {
+    std::vector<size_t> wide(rows.begin(), rows.end());
+    out = ApplyPerm(t, wide);
+  }
   out->props() = SubsetProps(t->props());
   return out;
 }
@@ -236,24 +280,45 @@ TablePtr SelectRows(const TablePtr& t, const std::vector<uint8_t>& keep) {
 // union / distinct / sort / rownum
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Appends column `ci` of `t` (all logical rows, through any selection
+/// vector) to `out`, converting i64 payloads to Int items when needed.
+void AppendItemsOf(const Table& t, size_t ci, std::vector<Item>* out) {
+  const Column& c = *t.raw_col(ci);
+  const SelVectorPtr& sel = t.col_sel(ci);
+  for (size_t i = 0; i < t.rows(); ++i)
+    out->push_back(c.GetItem(sel ? sel->idx[i] : i));
+}
+
+void AppendI64Of(const Table& t, size_t ci, std::vector<int64_t>* out) {
+  const Column& c = *t.raw_col(ci);
+  const SelVectorPtr& sel = t.col_sel(ci);
+  for (size_t i = 0; i < t.rows(); ++i)
+    out->push_back(c.GetI64(sel ? sel->idx[i] : i));
+}
+
+}  // namespace
+
 TablePtr DisjointUnion(const TablePtr& a, const TablePtr& b,
                        const std::vector<std::string>& disjoint_keys) {
   auto out = Table::Make();
+  const size_t total = a->rows() + b->rows();
   for (size_t c = 0; c < a->num_cols(); ++c) {
     const std::string& name = a->name(c);
-    const ColumnPtr& ca = a->col(c);
-    const ColumnPtr& cb = b->col(name);
-    if (ca->is_i64()) {
-      std::vector<int64_t> v = ca->i64();
-      v.insert(v.end(), cb->i64().begin(), cb->i64().end());
+    const int bc = b->ColumnIndex(name);
+    assert(bc >= 0);
+    if (a->raw_col(c)->is_i64() && b->raw_col(bc)->is_i64()) {
+      std::vector<int64_t> v;
+      v.reserve(total);
+      AppendI64Of(*a, c, &v);
+      AppendI64Of(*b, static_cast<size_t>(bc), &v);
       out->AddColumn(name, Column::MakeI64(std::move(v)));
     } else {
-      std::vector<Item> v = ca->items();
-      if (cb->is_item()) {
-        v.insert(v.end(), cb->items().begin(), cb->items().end());
-      } else {
-        for (int64_t x : cb->i64()) v.push_back(Item::Int(x));
-      }
+      std::vector<Item> v;
+      v.reserve(total);
+      AppendItemsOf(*a, c, &v);
+      AppendItemsOf(*b, static_cast<size_t>(bc), &v);
       out->AddColumn(name, Column::MakeItem(std::move(v)));
     }
   }
@@ -277,20 +342,19 @@ TablePtr DisjointUnion(const TablePtr& a, const TablePtr& b,
 
 TablePtr Distinct(const DocumentManager& mgr, const ExecFlags& fl,
                   const TablePtr& t, const std::vector<std::string>& cols) {
-  std::vector<size_t> rows;
+  std::vector<uint32_t> rows;
+  rows.reserve(t->rows());
   if (fl.order_opt && t->props().OrderedBy(cols)) {
     // Order-aware linear dedup (the merge-based δ of §4.2).
     ++fl.stats.merge_dedups;
     RowLess less(mgr, *t, cols, {});
     for (size_t i = 0; i < t->rows(); ++i)
-      if (i == 0 || less.Compare(i - 1, i) != 0) rows.push_back(i);
+      if (i == 0 || less.Compare(i - 1, i) != 0)
+        rows.push_back(static_cast<uint32_t>(i));
   } else {
     ++fl.stats.hash_dedups;
-    struct Key {
-      uint64_t h;
-      size_t row;
-    };
     std::unordered_map<uint64_t, std::vector<size_t>> seen;
+    seen.reserve(t->rows());
     RowLess less(mgr, *t, cols, {});
     std::vector<const Column*> cs;
     for (const auto& c : cols) cs.push_back(t->col(c).get());
@@ -310,11 +374,11 @@ TablePtr Distinct(const DocumentManager& mgr, const ExecFlags& fl,
         }
       if (!dup) {
         bucket.push_back(i);
-        rows.push_back(i);
+        rows.push_back(static_cast<uint32_t>(i));
       }
     }
   }
-  auto out = FilterRows(t, rows);
+  auto out = SubsetRows(fl, t, std::move(rows));
   out->props() = SubsetProps(t->props());
   if (cols.size() == 1) out->props().key.insert(cols[0]);
   CountMaterialized(fl, out);
@@ -352,13 +416,48 @@ TablePtr Sort(const DocumentManager& mgr, const ExecFlags& fl,
         run = i;
       }
     }
-  } else if (known >= cols.size() && !cols.empty()) {
-    // Fully ordered but flags force the sort (order_opt off): still sort.
-    ++fl.stats.sorts_performed;
-    std::stable_sort(perm.begin(), perm.end(), full);
   } else {
     ++fl.stats.sorts_performed;
-    std::stable_sort(perm.begin(), perm.end(), full);
+    // Dense-key counting sort: loop-lifting orders by iter/pos/rid columns
+    // constantly, and those are dense integers — when every sort column is
+    // integer and dense enough, stable counting scatters run as an LSD
+    // radix (minor-to-major passes) and replace the comparison sort
+    // (paper §4.2's refine-sort becomes a bucket scatter). Mixed
+    // integer/item column lists stay on the comparison sort: the cheap
+    // leading-integer compare already resolves most of those comparisons,
+    // and per-run item refinement measured slower than sorting outright.
+    bool counted = false;
+    if (fl.dense_sort && all_asc && !cols.empty() &&
+        t->col(cols[0])->is_i64() && t->rows() >= 2) {
+      bool all_i64 = true;
+      for (const auto& c : cols) all_i64 &= t->col(c)->is_i64();
+      if (all_i64) {
+        // Pre-check every pass's profitability before scattering anything,
+        // so a wide-range major column can't waste the minor passes.
+        struct Pass {
+          const std::vector<int64_t>* keys;
+          int64_t mn, range;
+        };
+        std::vector<Pass> passes;
+        passes.reserve(cols.size());
+        counted = true;
+        for (const auto& c : cols) {
+          const std::vector<int64_t>& keys = t->col(c)->i64();
+          Pass p{&keys, 0, 0};
+          if (!ScanRangeProfitable(keys, &p.mn, &p.range)) {
+            counted = false;
+            break;
+          }
+          passes.push_back(p);
+        }
+        if (counted)
+          for (size_t k = passes.size(); k-- > 0;)
+            CountingPassPerm(*passes[k].keys, passes[k].mn, passes[k].range,
+                             &perm);
+      }
+      if (counted) ++fl.stats.counting_sorts;
+    }
+    if (!counted) std::stable_sort(perm.begin(), perm.end(), full);
   }
   auto out = ApplyPerm(t, perm);
   TableProps props;
@@ -447,11 +546,27 @@ TablePtr BuildJoinOutput(const TablePtr& left,
                          const KeepCols& right_keep) {
   auto out = Table::Make();
   for (size_t c = 0; c < left->num_cols(); ++c)
-    out->AddColumn(left->name(c), GatherColumn(left->col(c), lrows));
-  for (const auto& [src, dst] : right_keep)
-    out->AddColumn(dst, GatherColumn(right->col(src), rrows));
+    out->AddColumn(left->name(c), GatherLogical(*left, c, lrows));
+  for (const auto& [src, dst] : right_keep) {
+    int rc = right->ColumnIndex(src);
+    assert(rc >= 0);
+    out->AddColumn(dst, GatherLogical(*right, static_cast<size_t>(rc), rrows));
+  }
   out->set_rows(lrows.size());
   return out;
+}
+
+/// Join-column keys as a contiguous i64 span; copies only when the column
+/// is a (rare) item column holding integer payloads. The table's selection
+/// vector is flattened into the copy when present.
+std::span<const int64_t> JoinKeys(const Table& t, size_t ci,
+                                  std::vector<int64_t>* storage) {
+  const Column& c = *t.raw_col(ci);
+  if (!t.col_sel(ci) && c.is_i64())
+    return {c.i64().data(), c.i64().size()};
+  storage->reserve(t.rows());
+  for (size_t i = 0; i < t.rows(); ++i) storage->push_back(t.I64At(ci, i));
+  return {storage->data(), storage->size()};
 }
 
 /// Order/const props a probe-order-preserving join grants the output.
@@ -480,30 +595,53 @@ TablePtr EquiJoinI64(const ExecFlags& fl, const TablePtr& left,
                      const std::string& lcol, const TablePtr& right,
                      const std::string& rcol, const KeepCols& right_keep) {
   std::vector<size_t> lrows, rrows;
-  const ColumnPtr& lc = left->col(lcol);
-  const ColumnPtr& rc = right->col(rcol);
+  const int lci = left->ColumnIndex(lcol), rci = right->ColumnIndex(rcol);
+  assert(lci >= 0 && rci >= 0);
   bool right_unique =
       right->props().is_key(rcol) || right->props().is_dense(rcol);
+
+  std::vector<int64_t> lstore, rstore;
+  std::span<const int64_t> lkeys =
+      JoinKeys(*left, static_cast<size_t>(lci), &lstore);
 
   if (fl.positional && right->props().is_dense(rcol)) {
     // Positional join (§4.1 / §8): key lookup by address computation.
     ++fl.stats.positional_joins;
     const int64_t nr = static_cast<int64_t>(right->rows());
-    for (size_t i = 0; i < left->rows(); ++i) {
-      int64_t v = lc->GetI64(i);
+    lrows.reserve(lkeys.size());
+    rrows.reserve(lkeys.size());
+    for (size_t i = 0; i < lkeys.size(); ++i) {
+      int64_t v = lkeys[i];
       if (v >= 1 && v <= nr) {
         lrows.push_back(i);
         rrows.push_back(static_cast<size_t>(v - 1));
       }
     }
+  } else if (fl.radix_join) {
+    // Radix-partitioned flat-table join (docs/execution.md): the build side
+    // is clustered into cache-sized partitions, probes walk contiguous
+    // slot runs, duplicates chain through an array.
+    ++fl.stats.radix_joins;
+    RadixHashTable ht(JoinKeys(*right, static_cast<size_t>(rci), &rstore));
+    fl.stats.radix_partitions += static_cast<int64_t>(ht.partitions());
+    lrows.reserve(lkeys.size());
+    rrows.reserve(lkeys.size());
+    for (size_t i = 0; i < lkeys.size(); ++i)
+      ht.ForEach(lkeys[i], [&](uint32_t j) {
+        lrows.push_back(i);
+        rrows.push_back(j);
+      });
   } else {
     ++fl.stats.hash_joins;
+    std::span<const int64_t> rkeys =
+        JoinKeys(*right, static_cast<size_t>(rci), &rstore);
     std::unordered_map<int64_t, std::vector<size_t>> ht;
-    ht.reserve(right->rows() * 2);
-    for (size_t j = 0; j < right->rows(); ++j)
-      ht[rc->GetI64(j)].push_back(j);
-    for (size_t i = 0; i < left->rows(); ++i) {
-      auto it = ht.find(lc->GetI64(i));
+    ht.reserve(rkeys.size());
+    for (size_t j = 0; j < rkeys.size(); ++j) ht[rkeys[j]].push_back(j);
+    lrows.reserve(lkeys.size());
+    rrows.reserve(lkeys.size());
+    for (size_t i = 0; i < lkeys.size(); ++i) {
+      auto it = ht.find(lkeys[i]);
       if (it == ht.end()) continue;
       for (size_t j : it->second) {
         lrows.push_back(i);
@@ -521,22 +659,45 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
                       const TablePtr& left, const std::string& lcol,
                       const TablePtr& right, const std::string& rcol,
                       const KeepCols& right_keep) {
-  ++fl.stats.hash_joins;
   const ColumnPtr& lc = left->col(lcol);
   const ColumnPtr& rc = right->col(rcol);
-  std::unordered_map<uint64_t, std::vector<size_t>> ht;
-  for (size_t j = 0; j < right->rows(); ++j)
-    ht[HashItem(mgr, rc->GetItem(j))].push_back(j);
   std::vector<size_t> lrows, rrows;
-  for (size_t i = 0; i < left->rows(); ++i) {
-    Item li = lc->GetItem(i);
-    auto it = ht.find(HashItem(mgr, li));
-    if (it == ht.end()) continue;
-    for (size_t j : it->second)
-      if (CompareItems(mgr, li, CmpOp::kEq, rc->GetItem(j))) {
-        lrows.push_back(i);
-        rrows.push_back(j);
-      }
+  lrows.reserve(left->rows());
+  rrows.reserve(left->rows());
+  if (fl.radix_join) {
+    // Value join over the canonical item hashes: the radix table dedups
+    // nothing, so probe hits verify with the real comparison.
+    ++fl.stats.radix_joins;
+    std::vector<uint64_t> rhash(right->rows());
+    for (size_t j = 0; j < right->rows(); ++j)
+      rhash[j] = HashItem(mgr, rc->GetItem(j));
+    RadixHashTable ht{std::span<const uint64_t>(rhash)};
+    fl.stats.radix_partitions += static_cast<int64_t>(ht.partitions());
+    for (size_t i = 0; i < left->rows(); ++i) {
+      Item li = lc->GetItem(i);
+      ht.ForEach(HashItem(mgr, li), [&](uint32_t j) {
+        if (CompareItems(mgr, li, CmpOp::kEq, rc->GetItem(j))) {
+          lrows.push_back(i);
+          rrows.push_back(j);
+        }
+      });
+    }
+  } else {
+    ++fl.stats.hash_joins;
+    std::unordered_map<uint64_t, std::vector<size_t>> ht;
+    ht.reserve(right->rows());
+    for (size_t j = 0; j < right->rows(); ++j)
+      ht[HashItem(mgr, rc->GetItem(j))].push_back(j);
+    for (size_t i = 0; i < left->rows(); ++i) {
+      Item li = lc->GetItem(i);
+      auto it = ht.find(HashItem(mgr, li));
+      if (it == ht.end()) continue;
+      for (size_t j : it->second)
+        if (CompareItems(mgr, li, CmpOp::kEq, rc->GetItem(j))) {
+          lrows.push_back(i);
+          rrows.push_back(j);
+        }
+    }
   }
   auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep);
   ProbeJoinProps(left, right, rcol, right_keep, false, out.get());
@@ -547,27 +708,38 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
 TablePtr SemiJoinI64(const ExecFlags& fl, const TablePtr& left,
                      const std::string& lcol, const TablePtr& right,
                      const std::string& rcol, bool anti) {
-  const ColumnPtr& lc = left->col(lcol);
-  const ColumnPtr& rc = right->col(rcol);
-  std::vector<size_t> rows;
+  const int lci = left->ColumnIndex(lcol), rci = right->ColumnIndex(rcol);
+  assert(lci >= 0 && rci >= 0);
+  std::vector<int64_t> lstore, rstore;
+  std::span<const int64_t> lkeys =
+      JoinKeys(*left, static_cast<size_t>(lci), &lstore);
+  std::vector<uint32_t> rows;
+  rows.reserve(lkeys.size());
   if (fl.positional && right->props().is_dense(rcol)) {
     ++fl.stats.positional_joins;
     const int64_t nr = static_cast<int64_t>(right->rows());
-    for (size_t i = 0; i < left->rows(); ++i) {
-      int64_t v = lc->GetI64(i);
+    for (size_t i = 0; i < lkeys.size(); ++i) {
+      int64_t v = lkeys[i];
       bool hit = v >= 1 && v <= nr;
-      if (hit != anti) rows.push_back(i);
+      if (hit != anti) rows.push_back(static_cast<uint32_t>(i));
     }
+  } else if (fl.radix_join) {
+    ++fl.stats.radix_joins;
+    RadixHashTable ht(JoinKeys(*right, static_cast<size_t>(rci), &rstore));
+    fl.stats.radix_partitions += static_cast<int64_t>(ht.partitions());
+    for (size_t i = 0; i < lkeys.size(); ++i)
+      if (ht.Contains(lkeys[i]) != anti) rows.push_back(static_cast<uint32_t>(i));
   } else {
     ++fl.stats.hash_joins;
-    std::unordered_set<int64_t> keys;
-    for (size_t j = 0; j < right->rows(); ++j) keys.insert(rc->GetI64(j));
-    for (size_t i = 0; i < left->rows(); ++i) {
-      bool hit = keys.count(lc->GetI64(i)) > 0;
-      if (hit != anti) rows.push_back(i);
+    std::span<const int64_t> rkeys =
+        JoinKeys(*right, static_cast<size_t>(rci), &rstore);
+    std::unordered_set<int64_t> keys(rkeys.begin(), rkeys.end());
+    for (size_t i = 0; i < lkeys.size(); ++i) {
+      bool hit = keys.count(lkeys[i]) > 0;
+      if (hit != anti) rows.push_back(static_cast<uint32_t>(i));
     }
   }
-  auto out = FilterRows(left, rows);
+  auto out = SubsetRows(fl, left, std::move(rows));
   out->props() = SubsetProps(left->props());
   CountMaterialized(fl, out);
   return out;
@@ -697,6 +869,7 @@ TablePtr FillGroups(const ExecFlags& fl, const TablePtr& aggr,
   const ColumnPtr& gc = aggr->col(group_col);
   const ColumnPtr& vc = aggr->col(agg_col);
   std::unordered_map<int64_t, size_t> idx;
+  idx.reserve(aggr->rows());
   for (size_t j = 0; j < aggr->rows(); ++j) idx[gc->GetI64(j)] = j;
   std::vector<int64_t> groups(loop->rows());
   std::vector<Item> vals(loop->rows());

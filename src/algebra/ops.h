@@ -12,9 +12,20 @@
 //     operator) numbers rows per group: streaming with a per-group hash
 //     counter when grpord holds, else sorting.
 //   * EquiJoin uses positional lookup when the inner join column is dense
-//     (SQL autoincrement keys, §4.1), else a hash join that preserves the
-//     probe side's order.
+//     (SQL autoincrement keys, §4.1), else a radix-partitioned hash join
+//     (algebra/radix.h) that preserves the probe side's order.
 //   * Distinct uses an order-aware linear dedup when possible.
+//
+// Three cache-conscious execution kernels sit under the operators (see
+// docs/execution.md; each algebra-layer kernel has an ExecFlags toggle for
+// ablation — the staircase layer's pair sort in loop_lifted.cc is
+// unconditional, so "legacy" ablation baselines are conservative):
+//   * selection vectors — filters narrow tables lazily (storage/table.h);
+//     columns are gathered once, at the next pipeline breaker;
+//   * radix joins — build sides are radix-clustered into cache-sized
+//     partitions with flat open-addressing tables, no per-key allocations;
+//   * counting sorts — dense integer sort keys (iter, pre, rids) are
+//     ordered by a counting scatter instead of a comparison sort.
 //
 // All operators are pure: inputs are never mutated; outputs share unchanged
 // columns by pointer.
@@ -50,6 +61,11 @@ struct ExecStats {
   // choose-plan decisions of the existential theta-join (§4.2)
   int64_t exist_nested_loop = 0;
   int64_t exist_index_join = 0;
+  // cache-conscious kernels (docs/execution.md)
+  int64_t radix_joins = 0;       // joins run on the radix-partitioned table
+  int64_t radix_partitions = 0;  // total partitions across those builds
+  int64_t counting_sorts = 0;    // sorts answered by a counting scatter
+  int64_t sel_selects = 0;       // selections answered by a selection vector
 
   void Reset() { *this = ExecStats{}; }
 };
@@ -58,6 +74,12 @@ struct ExecStats {
 struct ExecFlags {
   bool order_opt = true;   // Fig 14: consult ord/grpord to elide sorts
   bool positional = true;  // use dense columns for positional algorithms
+  // Cache-conscious kernel toggles; `false` falls back to the pre-kernel
+  // execution paths (pointer-chasing hash joins, eager filter
+  // materialization, comparison sorts) for ablation benchmarks.
+  bool radix_join = true;   // radix-partitioned flat-table equi/semi joins
+  bool sel_vectors = true;  // lazy selection-vector filters
+  bool dense_sort = true;   // counting sort on dense leading sort keys
   mutable ExecStats stats;
 };
 
@@ -117,8 +139,11 @@ TablePtr SelectTrue(const DocumentManager& mgr, const ExecFlags& fl,
 TablePtr SelectEqI64(const ExecFlags& fl, const TablePtr& t,
                      const std::string& col, int64_t v);
 
-/// Keeps rows by predicate on row index (internal utility).
-TablePtr SelectRows(const TablePtr& t, const std::vector<uint8_t>& keep);
+/// Keeps rows by predicate on row index (internal utility). With flags, the
+/// selection-vector kernel applies (lazy narrow + sel_selects counter);
+/// without, the subset is gathered eagerly (pre-kernel semantics).
+TablePtr SelectRows(const TablePtr& t, const std::vector<uint8_t>& keep,
+                    const ExecFlags* fl = nullptr);
 
 // ---- set / sequence operators ---------------------------------------------
 

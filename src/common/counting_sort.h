@@ -1,0 +1,140 @@
+// Counting (bucket) sorts for dense integer domains.
+//
+// Loop-lifting sorts by `iter` (dense 1..n) and by `pre` (preorder ranks
+// bounded by the document size) constantly; a comparator-driven
+// std::stable_sort pays O(n log n) branchy comparisons where a counting
+// pass does O(n + range) sequential memory traffic. These helpers run the
+// counting pass when the key range is close enough to n to be profitable
+// and report whether they did, so callers can fall back to a comparison
+// sort.
+
+#ifndef MXQ_COMMON_COUNTING_SORT_H_
+#define MXQ_COMMON_COUNTING_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mxq {
+
+/// Profitability bound: counting is used only when the input is big enough
+/// for the comparison sort to hurt (kMinRows) and the histogram is no
+/// larger than the payload itself (range <= n + 64) — a histogram that
+/// outgrows the data thrashes the cache with random increments, which is
+/// exactly what this kernel exists to avoid. Dense iter/pos/rid domains
+/// satisfy range <= n by construction.
+inline constexpr size_t kCountingMinRows = 128;
+
+/// Scans keys for min/range, bailing out the moment the running range
+/// exceeds the profitability bound — wide-domain columns (doc pre ranks,
+/// string ids) reject within a handful of elements instead of paying a
+/// full O(n) scan before the comparison-sort fallback.
+inline bool ScanRangeProfitable(const std::vector<int64_t>& keys, int64_t* mn,
+                                int64_t* range) {
+  const size_t n = keys.size();
+  if (n < kCountingMinRows) return false;
+  const uint64_t bound = static_cast<uint64_t>(n) + 64;
+  int64_t lo = keys[0], hi = keys[0];
+  for (size_t i = 1; i < n; ++i) {
+    int64_t v = keys[i];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    // Unsigned subtraction: keys spanning more than INT64_MAX must reject,
+    // not overflow (signed hi - lo would be UB there).
+    if (static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) >= bound)
+      return false;
+  }
+  *mn = lo;
+  *range = hi - lo + 1;
+  return true;
+}
+
+/// One stable counting pass: reorders `perm` so keys[perm[i]] is
+/// non-decreasing, preserving the current perm order among equal keys.
+/// `mn`/`range` must bound the keys. Keys already non-decreasing in perm
+/// order make the pass a detected no-op (a stable pass over sorted keys is
+/// the identity) — engine intermediates are very often nearly ordered, and
+/// an adaptive early-out beats re-scattering them.
+inline void CountingPassPerm(const std::vector<int64_t>& keys, int64_t mn,
+                             int64_t range, std::vector<size_t>* perm) {
+  const size_t n = perm->size();
+  bool sorted = true;
+  for (size_t i = 1; i < n; ++i)
+    if (keys[(*perm)[i - 1]] > keys[(*perm)[i]]) {
+      sorted = false;
+      break;
+    }
+  if (sorted) return;
+  std::vector<uint32_t> count(static_cast<size_t>(range) + 1, 0);
+  for (size_t i = 0; i < n; ++i) ++count[keys[(*perm)[i]] - mn];
+  uint32_t sum = 0;
+  for (auto& c : count) {
+    uint32_t x = c;
+    c = sum;
+    sum += x;
+  }
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i)
+    out[count[keys[(*perm)[i]] - mn]++] = (*perm)[i];
+  *perm = std::move(out);
+}
+
+/// Lexicographic stable sort of (first, second) pairs: two counting passes
+/// (LSD radix over the two components) when both ranges are dense enough,
+/// falling back to std::sort. Always leaves *v sorted; returns true when the
+/// counting path ran.
+inline bool SortPairsDense(std::vector<std::pair<int64_t, int64_t>>* v) {
+  const size_t n = v->size();
+  if (n < 64) {  // tiny inputs: the comparison sort is already cache-resident
+    std::sort(v->begin(), v->end());
+    return false;
+  }
+  const uint64_t bound = static_cast<uint64_t>(n) + 64;
+  int64_t mn1 = (*v)[0].first, mx1 = mn1;
+  int64_t mn2 = (*v)[0].second, mx2 = mn2;
+  bool profitable = n >= kCountingMinRows;
+  for (size_t i = 1; profitable && i < n; ++i) {
+    const auto& [a, b] = (*v)[i];
+    mn1 = std::min(mn1, a);
+    mx1 = std::max(mx1, a);
+    mn2 = std::min(mn2, b);
+    mx2 = std::max(mx2, b);
+    // Early-out: either component's range outgrowing the input rejects the
+    // counting path without finishing the scan. Unsigned subtraction: spans
+    // beyond INT64_MAX must reject, not overflow.
+    profitable =
+        static_cast<uint64_t>(mx1) - static_cast<uint64_t>(mn1) < bound &&
+        static_cast<uint64_t>(mx2) - static_cast<uint64_t>(mn2) < bound;
+  }
+  if (!profitable) {
+    std::sort(v->begin(), v->end());
+    return false;
+  }
+  const int64_t r1 = mx1 - mn1 + 1, r2 = mx2 - mn2 + 1;
+  std::vector<std::pair<int64_t, int64_t>> tmp(n);
+  std::vector<uint32_t> count;
+
+  auto pass = [&](const std::vector<std::pair<int64_t, int64_t>>& in,
+                  std::vector<std::pair<int64_t, int64_t>>& out, int64_t mn,
+                  int64_t range, bool by_second) {
+    count.assign(static_cast<size_t>(range) + 1, 0);
+    for (const auto& e : in) ++count[(by_second ? e.second : e.first) - mn];
+    uint32_t sum = 0;
+    for (auto& c : count) {
+      uint32_t x = c;
+      c = sum;
+      sum += x;
+    }
+    for (const auto& e : in)
+      out[count[(by_second ? e.second : e.first) - mn]++] = e;
+  };
+
+  pass(*v, tmp, mn2, r2, /*by_second=*/true);   // minor key first (stable LSD)
+  pass(tmp, *v, mn1, r1, /*by_second=*/false);  // then major key
+  return true;
+}
+
+}  // namespace mxq
+
+#endif  // MXQ_COMMON_COUNTING_SORT_H_

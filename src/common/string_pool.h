@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,6 +19,17 @@ namespace mxq {
 
 using StrId = int32_t;
 inline constexpr StrId kInvalidStrId = -1;
+
+/// Transparent (heterogeneous-lookup) hasher: `const char*`, `std::string`
+/// and `std::string_view` probes all hash without constructing a temporary
+/// key object — the shredder interns every tag/attribute/text run, so the
+/// lookup path must never allocate.
+struct StringPoolHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// \brief Append-only interning pool mapping strings <-> dense int ids.
 ///
@@ -55,7 +67,8 @@ class StringPool {
 
  private:
   std::deque<std::string> strings_;  // deque: stable addresses for the index
-  std::unordered_map<std::string_view, StrId> index_;
+  std::unordered_map<std::string_view, StrId, StringPoolHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace mxq

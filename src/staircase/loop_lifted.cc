@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/counting_sort.h"
 #include "staircase/staircase.h"
 
 namespace mxq {
@@ -24,7 +25,11 @@ inline void Pruned(ScanStats* stats, int64_t n = 1) {
 using Pairs = std::vector<std::pair<int64_t, int64_t>>;  // (node, iter)
 
 void SortUniqueInto(Pairs* acc, LLStepResult* out) {
-  std::sort(acc->begin(), acc->end());
+  // Both components are dense integer domains (pre ranks bounded by the
+  // document, iters bounded by the loop): the counting scatter of
+  // common/counting_sort.h replaces the comparison sort on all but
+  // degenerate inputs.
+  SortPairsDense(acc);
   acc->erase(std::unique(acc->begin(), acc->end()), acc->end());
   out->iter.reserve(acc->size());
   out->node.reserve(acc->size());
@@ -225,6 +230,7 @@ void LLAncestor(const DocumentContainer& doc, std::span<const int64_t> iters,
   PathWalker walk(doc, stats);
   std::unordered_map<int64_t, int64_t> last;  // iter -> previous context pre
   Pairs acc;
+  acc.reserve(pres.size());
   size_t i = 0;
   const size_t n = pres.size();
   while (i < n) {
@@ -254,6 +260,7 @@ void LLParent(const DocumentContainer& doc, std::span<const int64_t> iters,
               ScanStats* stats, LLStepResult* out) {
   PathWalker walk(doc, stats);
   Pairs acc;
+  acc.reserve(pres.size());
   size_t i = 0;
   const size_t n = pres.size();
   while (i < n) {
@@ -274,6 +281,7 @@ void LLSiblings(const DocumentContainer& doc, std::span<const int64_t> iters,
                 bool following, ScanStats* stats, LLStepResult* out) {
   PathWalker walk(doc, stats);
   Pairs acc;
+  acc.reserve(pres.size());
   size_t i = 0;
   const size_t n = pres.size();
   while (i < n) {
@@ -495,7 +503,9 @@ LLStepResult IterativeStaircase(const DocumentContainer& doc, Axis axis,
   // Regroup the (pre, iter)-sorted input by iteration: per iter the pres are
   // already in document order.
   std::unordered_map<int64_t, std::vector<int64_t>> per_iter;
+  per_iter.reserve(ctx_pre.size());
   std::vector<int64_t> iter_order;
+  iter_order.reserve(ctx_pre.size());
   for (size_t k = 0; k < ctx_pre.size(); ++k) {
     auto [f, inserted] = per_iter.try_emplace(ctx_iter[k]);
     if (inserted) iter_order.push_back(ctx_iter[k]);
@@ -512,7 +522,7 @@ LLStepResult IterativeStaircase(const DocumentContainer& doc, Axis axis,
     for (int64_t v : res) acc.emplace_back(v, it);
   }
   LLStepResult out;
-  std::sort(acc.begin(), acc.end());
+  SortPairsDense(&acc);
   out.iter.reserve(acc.size());
   out.node.reserve(acc.size());
   for (auto& [node, it] : acc) {

@@ -92,6 +92,42 @@ class Column {
 
 using ColumnPtr = std::shared_ptr<Column>;
 
+/// \brief Selection vector: a logical-to-physical row mapping produced by
+/// filters (σ, semijoins, dedup).
+///
+/// Selections are the one operator class that does not need to touch column
+/// payloads at all: the result of a filter is fully described by the list of
+/// surviving physical row indexes. A SelVector captures that list once and is
+/// shared immutably; Tables carry it per column and defer the actual gather
+/// until a consumer needs contiguous data (a pipeline breaker: join build,
+/// sort, union, or an external reader). Chained filters compose their
+/// SelVectors instead of re-copying every column — the cache-conscious
+/// "late materialization" discipline of the MonetDB lineage.
+struct SelVector {
+  std::vector<uint32_t> idx;  // physical row per logical row, in logical order
+
+  SelVector() = default;
+  explicit SelVector(std::vector<uint32_t> v) : idx(std::move(v)) {}
+  size_t size() const { return idx.size(); }
+};
+
+using SelVectorPtr = std::shared_ptr<const SelVector>;
+
+/// Gathers `col` at the given physical rows into a new flat column.
+inline ColumnPtr GatherColumnAt(const Column& col,
+                                const std::vector<uint32_t>& rows) {
+  if (col.is_i64()) {
+    std::vector<int64_t> out(rows.size());
+    const auto& in = col.i64();
+    for (size_t k = 0; k < rows.size(); ++k) out[k] = in[rows[k]];
+    return Column::MakeI64(std::move(out));
+  }
+  std::vector<Item> out(rows.size());
+  const auto& in = col.items();
+  for (size_t k = 0; k < rows.size(); ++k) out[k] = in[rows[k]];
+  return Column::MakeItem(std::move(out));
+}
+
 }  // namespace mxq
 
 #endif  // MXQ_STORAGE_COLUMN_H_

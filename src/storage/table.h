@@ -120,6 +120,14 @@ struct TableProps {
 ///
 /// Columns are shared (shared_ptr); a Table must not mutate a column it did
 /// not create itself.
+///
+/// A table may be *lazily selected*: per column, an optional SelVector maps
+/// logical rows to physical rows of the stored column. Filters produce such
+/// tables in O(selectivity) without touching column payloads; `col()`
+/// materializes a flat column on first access (memoized), so external
+/// consumers never observe the indirection. Operators that want to avoid the
+/// materialization read through `I64At`/`ItemAt` or gather via
+/// `raw_col`/`col_sel` directly (see algebra/ops.cc's pipeline breakers).
 class Table {
  public:
   Table() = default;
@@ -136,6 +144,16 @@ class Table {
     if (cols_.empty()) rows_ = col->size();
     names_.push_back(name);
     cols_.push_back(std::move(col));
+    sels_.push_back(nullptr);
+  }
+
+  /// Appends a column viewed through a selection vector (its logical row
+  /// count is sel->size()). Used by π to propagate laziness.
+  void AddColumn(const std::string& name, ColumnPtr col, SelVectorPtr sel) {
+    if (cols_.empty()) rows_ = sel ? sel->size() : col->size();
+    names_.push_back(name);
+    cols_.push_back(std::move(col));
+    sels_.push_back(std::move(sel));
   }
 
   int ColumnIndex(const std::string& name) const {
@@ -147,23 +165,83 @@ class Table {
     return ColumnIndex(name) >= 0;
   }
 
-  const ColumnPtr& col(size_t i) const { return cols_[i]; }
+  /// Flat column access; materializes (once) through the selection vector.
+  const ColumnPtr& col(size_t i) const {
+    if (sels_[i]) {
+      cols_[i] = GatherColumnAt(*cols_[i], sels_[i]->idx);
+      sels_[i] = nullptr;
+    }
+    return cols_[i];
+  }
   const ColumnPtr& col(const std::string& name) const {
     int i = ColumnIndex(name);
     assert(i >= 0);
-    return cols_[i];
+    return col(static_cast<size_t>(i));
   }
   const std::string& name(size_t i) const { return names_[i]; }
   const std::vector<std::string>& names() const { return names_; }
 
+  // Lazy-selection aware access (no materialization).
+  const ColumnPtr& raw_col(size_t i) const { return cols_[i]; }
+  const SelVectorPtr& col_sel(size_t i) const { return sels_[i]; }
+  bool lazy() const {
+    for (const auto& s : sels_)
+      if (s) return true;
+    return false;
+  }
+  int64_t I64At(size_t i, size_t row) const {
+    return cols_[i]->GetI64(sels_[i] ? sels_[i]->idx[row] : row);
+  }
+  Item ItemAt(size_t i, size_t row) const {
+    return cols_[i]->GetItem(sels_[i] ? sels_[i]->idx[row] : row);
+  }
+
+  /// Narrows to a subset of *logical* rows without copying any column data:
+  /// shares columns and composes selection vectors. `keep` holds logical row
+  /// indexes of this table, in output order. Properties are NOT derived —
+  /// the caller assigns them (operators know the semantics of the subset).
+  std::shared_ptr<Table> Select(SelVectorPtr keep) const {
+    auto t = Make();
+    t->names_ = names_;
+    t->cols_ = cols_;
+    t->rows_ = keep->size();
+    t->sels_.reserve(cols_.size());
+    // Compose per column, memoizing per distinct input SelVector (columns of
+    // one table typically share at most a couple).
+    std::vector<std::pair<const SelVector*, SelVectorPtr>> composed;
+    for (const auto& s : sels_) {
+      if (!s) {
+        t->sels_.push_back(keep);
+        continue;
+      }
+      SelVectorPtr c;
+      for (const auto& [raw, v] : composed)
+        if (raw == s.get()) {
+          c = v;
+          break;
+        }
+      if (!c) {
+        auto v = std::make_shared<SelVector>();
+        v->idx.resize(keep->size());
+        for (size_t k = 0; k < keep->size(); ++k)
+          v->idx[k] = s->idx[keep->idx[k]];
+        c = std::move(v);
+        composed.emplace_back(s.get(), c);
+      }
+      t->sels_.push_back(std::move(c));
+    }
+    return t;
+  }
+
   TableProps& props() { return props_; }
   const TableProps& props() const { return props_; }
 
-  /// Shallow copy sharing all columns (cheap).
+  /// Shallow copy sharing all columns (cheap; lazy state carried over).
   std::shared_ptr<Table> ShallowCopy() const {
     auto t = Make();
     t->names_ = names_;
     t->cols_ = cols_;
+    t->sels_ = sels_;
     t->rows_ = rows_;
     t->props_ = props_;
     return t;
@@ -171,7 +249,11 @@ class Table {
 
  private:
   std::vector<std::string> names_;
-  std::vector<ColumnPtr> cols_;
+  // `mutable`: col() memoizes the gather of a lazily selected column; the
+  // logical content is unchanged, so sharing tables across plan-DAG
+  // consumers stays sound (the engine is single-threaded per query).
+  mutable std::vector<ColumnPtr> cols_;
+  mutable std::vector<SelVectorPtr> sels_;  // parallel to cols_; null = flat
   size_t rows_ = 0;
   TableProps props_;
 };

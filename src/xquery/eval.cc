@@ -12,6 +12,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "algebra/radix.h"
+#include "common/counting_sort.h"
 #include "staircase/loop_lifted.h"
 #include "xml/serializer.h"
 #include "xquery/engine.h"
@@ -180,6 +182,8 @@ Result<TablePtr> EvalStep(PlanNode* n, Ctx& ctx, const TablePtr& in) {
   const ColumnPtr& item_col = in->col("item");
   std::vector<int64_t> out_iter;
   std::vector<Item> out_item;
+  out_iter.reserve(in->rows());
+  out_item.reserve(in->rows());
 
   // The input is sorted on (item, iter) == (container, pre, iter): rows of
   // one container are contiguous.
@@ -249,6 +253,7 @@ Result<TablePtr> EvalEbv(PlanNode* n, Ctx& ctx, const TablePtr& rel,
     Item item;
   };
   std::unordered_map<int64_t, First> first;
+  first.reserve(loop->rows());
   const ColumnPtr& ic = rel->col("iter");
   int pos_idx = rel->ColumnIndex("pos");
   const ColumnPtr& vc = rel->col("item");
@@ -305,6 +310,7 @@ Result<TablePtr> EvalEbv(PlanNode* n, Ctx& ctx, const TablePtr& rel,
 
 TablePtr EvalExists(const TablePtr& rel, const TablePtr& loop) {
   std::unordered_set<int64_t> present;
+  present.reserve(rel->rows());
   const ColumnPtr& ic = rel->col("iter");
   for (size_t r = 0; r < rel->rows(); ++r) present.insert(ic->GetI64(r));
   const ColumnPtr& lc = loop->col(0);
@@ -340,21 +346,45 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
 
   if (n->cmp == CmpOp::kEq) {
     // Hash join + ordered duplicate elimination (Fig 8a): the δ runs as a
-    // per-iter merge because probes arrive clustered by iter.
-    ++stats.hash_joins;
-    std::unordered_map<uint64_t, std::vector<size_t>> ht;
-    for (size_t r = 0; r < rhs->rows(); ++r)
-      ht[HashItem(mgr, rv->GetItem(r))].push_back(r);
-    for (size_t l = 0; l < lhs->rows(); ++l) {
-      Item v = lv->GetItem(l);
-      auto it = ht.find(HashItem(mgr, v));
-      if (it == ht.end()) continue;
-      for (size_t r : it->second)
-        if (CompareItems(mgr, v, CmpOp::kEq, rv->GetItem(r)))
-          pairs.emplace_back(li->GetI64(l), ri->GetI64(r));
+    // per-iter merge because probes arrive clustered by iter. The build
+    // side uses the radix-partitioned flat table of algebra/radix.h when
+    // the kernel is enabled.
+    pairs.reserve(lhs->rows());
+    if (ctx.opts->alg.radix_join) {
+      ++stats.radix_joins;
+      std::vector<uint64_t> rhash(rhs->rows());
+      for (size_t r = 0; r < rhs->rows(); ++r)
+        rhash[r] = HashItem(mgr, rv->GetItem(r));
+      alg::RadixHashTable ht{std::span<const uint64_t>(rhash)};
+      stats.radix_partitions += static_cast<int64_t>(ht.partitions());
+      for (size_t l = 0; l < lhs->rows(); ++l) {
+        Item v = lv->GetItem(l);
+        ht.ForEach(HashItem(mgr, v), [&](uint32_t r) {
+          if (CompareItems(mgr, v, CmpOp::kEq, rv->GetItem(r)))
+            pairs.emplace_back(li->GetI64(l), ri->GetI64(r));
+        });
+      }
+    } else {
+      ++stats.hash_joins;
+      std::unordered_map<uint64_t, std::vector<size_t>> ht;
+      ht.reserve(rhs->rows());
+      for (size_t r = 0; r < rhs->rows(); ++r)
+        ht[HashItem(mgr, rv->GetItem(r))].push_back(r);
+      for (size_t l = 0; l < lhs->rows(); ++l) {
+        Item v = lv->GetItem(l);
+        auto it = ht.find(HashItem(mgr, v));
+        if (it == ht.end()) continue;
+        for (size_t r : it->second)
+          if (CompareItems(mgr, v, CmpOp::kEq, rv->GetItem(r)))
+            pairs.emplace_back(li->GetI64(l), ri->GetI64(r));
+      }
     }
     ++stats.merge_dedups;
-    std::sort(pairs.begin(), pairs.end());
+    if (ctx.opts->alg.dense_sort) {
+      if (SortPairsDense(&pairs)) ++stats.counting_sorts;
+    } else {
+      std::sort(pairs.begin(), pairs.end());
+    }
     pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   } else if (n->cmp == CmpOp::kNe) {
     // exists l != r. Rare; group-level reasoning keeps it near-linear.

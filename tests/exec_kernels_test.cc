@@ -1,0 +1,396 @@
+// Equivalence + stats tests for the cache-conscious execution kernels:
+// radix-partitioned joins vs. the legacy hash join, counting sorts vs.
+// std::stable_sort, and selection-vector filters vs. eager materialization.
+// Every kernel must produce bit-identical tables (same rows, same order,
+// same columns) as its pre-kernel fallback on randomized inputs, and the
+// ExecStats counters must show the fast paths actually being taken.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "algebra/ops.h"
+#include "algebra/radix.h"
+#include "common/counting_sort.h"
+
+namespace mxq {
+namespace alg {
+namespace {
+
+ColumnPtr I64Col(std::vector<int64_t> v) {
+  return Column::MakeI64(std::move(v));
+}
+
+Item S(DocumentManager& mgr, const std::string& s) {
+  return Item::String(mgr.strings().Intern(s));
+}
+
+/// Full logical-content comparison (names, row order, values).
+void ExpectSameTable(const TablePtr& a, const TablePtr& b) {
+  ASSERT_EQ(a->rows(), b->rows());
+  ASSERT_EQ(a->num_cols(), b->num_cols());
+  for (size_t c = 0; c < a->num_cols(); ++c) {
+    EXPECT_EQ(a->name(c), b->name(c));
+    for (size_t r = 0; r < a->rows(); ++r) {
+      Item x = a->col(c)->GetItem(r), y = b->col(c)->GetItem(r);
+      ASSERT_EQ(x.kind, y.kind) << "col " << a->name(c) << " row " << r;
+      ASSERT_EQ(x.i, y.i) << "col " << a->name(c) << " row " << r;
+    }
+  }
+}
+
+std::vector<int64_t> RandomKeys(size_t n, int64_t lo, int64_t hi,
+                                uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+ExecFlags LegacyFlags() {
+  ExecFlags fl;
+  fl.radix_join = false;
+  fl.sel_vectors = false;
+  fl.dense_sort = false;
+  return fl;
+}
+
+// ---------------------------------------------------------------------------
+// radix hash table unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(RadixHashTableTest, FindsAllDuplicatesInBuildOrder) {
+  std::vector<int64_t> keys = {7, -3, 7, 0, 7, -3};
+  RadixHashTable ht{std::span<const int64_t>(keys)};
+  std::vector<uint32_t> rows;
+  ht.ForEach(int64_t{7}, [&](uint32_t r) { rows.push_back(r); });
+  EXPECT_EQ(rows, (std::vector<uint32_t>{0, 2, 4}));
+  rows.clear();
+  ht.ForEach(int64_t{-3}, [&](uint32_t r) { rows.push_back(r); });
+  EXPECT_EQ(rows, (std::vector<uint32_t>{1, 5}));
+  EXPECT_TRUE(ht.Contains(int64_t{0}));
+  EXPECT_FALSE(ht.Contains(int64_t{42}));
+}
+
+TEST(RadixHashTableTest, MultiplePartitionsOnLargeBuild) {
+  const size_t n = 3 * RadixHashTable::kPartitionTarget;
+  auto keys = RandomKeys(n, -1000000, 1000000, 99);
+  RadixHashTable ht{std::span<const int64_t>(keys)};
+  EXPECT_GT(ht.partitions(), 1u);
+  // Every build row is reachable under its own key.
+  for (size_t i = 0; i < n; i += 97) {
+    bool found = false;
+    ht.ForEach(keys[i], [&](uint32_t r) { found |= (r == i); });
+    EXPECT_TRUE(found) << i;
+  }
+}
+
+TEST(RadixHashTableTest, EmptyBuild) {
+  RadixHashTable ht{std::span<const int64_t>()};
+  EXPECT_EQ(ht.partitions(), 0u);
+  EXPECT_FALSE(ht.Contains(int64_t{1}));
+}
+
+// ---------------------------------------------------------------------------
+// join equivalence: radix vs legacy hash join
+// ---------------------------------------------------------------------------
+
+struct JoinCase {
+  size_t nl, nr;
+  int64_t lo, hi;  // key range (controls duplicate rate / density)
+};
+
+class JoinEquivalence : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(JoinEquivalence, EquiJoinI64MatchesLegacy) {
+  auto [nl, nr, lo, hi] = GetParam();
+  auto left = MakeTable({{"k", I64Col(RandomKeys(nl, lo, hi, 1))},
+                         {"payload", I64Col(RandomKeys(nl, 0, 1 << 20, 2))}});
+  auto right = MakeTable({{"k", I64Col(RandomKeys(nr, lo, hi, 3))},
+                          {"v", I64Col(RandomKeys(nr, 0, 1 << 20, 4))}});
+  ExecFlags radix;  // defaults: all kernels on
+  ExecFlags legacy = LegacyFlags();
+  auto jr = EquiJoinI64(radix, left, "k", right, "k", {{"v", "v"}});
+  auto jl = EquiJoinI64(legacy, left, "k", right, "k", {{"v", "v"}});
+  ExpectSameTable(jr, jl);
+  if (nr > 0) {
+    EXPECT_EQ(radix.stats.radix_joins, 1);
+    EXPECT_GE(radix.stats.radix_partitions, 1);
+    EXPECT_EQ(radix.stats.hash_joins, 0);
+    EXPECT_EQ(legacy.stats.hash_joins, 1);
+    EXPECT_EQ(legacy.stats.radix_joins, 0);
+  }
+}
+
+TEST_P(JoinEquivalence, SemiAndAntiJoinMatchLegacy) {
+  auto [nl, nr, lo, hi] = GetParam();
+  auto left = MakeTable({{"k", I64Col(RandomKeys(nl, lo, hi, 5))},
+                         {"p", I64Col(RandomKeys(nl, 0, 99, 6))}});
+  auto right = MakeTable({{"k", I64Col(RandomKeys(nr, lo, hi, 7))}});
+  for (bool anti : {false, true}) {
+    ExecFlags radix;
+    ExecFlags legacy = LegacyFlags();
+    auto sr = SemiJoinI64(radix, left, "k", right, "k", anti);
+    auto sl = SemiJoinI64(legacy, left, "k", right, "k", anti);
+    ExpectSameTable(sr, sl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, JoinEquivalence,
+    ::testing::Values(JoinCase{0, 0, 1, 1},            // both empty
+                      JoinCase{100, 0, 1, 50},         // empty build
+                      JoinCase{0, 100, 1, 50},         // empty probe
+                      JoinCase{500, 300, 1, 40},       // heavy duplicates
+                      JoinCase{400, 400, 1, 400},      // dense-ish keys
+                      JoinCase{300, 300, -1000000000, 1000000000},  // sparse
+                      JoinCase{9000, 7000, 1, 5000}));  // multi-partition
+
+TEST(JoinEquivalenceTest, EquiJoinItemMatchesLegacy) {
+  DocumentManager mgr;
+  std::mt19937 rng(11);
+  std::vector<Item> lv, rv;
+  for (int i = 0; i < 400; ++i) {
+    int r = static_cast<int>(rng() % 3);
+    int64_t k = static_cast<int64_t>(rng() % 60);
+    if (r == 0)
+      lv.push_back(Item::Int(k));
+    else if (r == 1)
+      lv.push_back(Item::Double(static_cast<double>(k)));
+    else
+      lv.push_back(S(mgr, "s" + std::to_string(k)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    int r = static_cast<int>(rng() % 3);
+    int64_t k = static_cast<int64_t>(rng() % 60);
+    if (r == 0)
+      rv.push_back(Item::Int(k));
+    else if (r == 1)
+      rv.push_back(Item::Double(static_cast<double>(k)));
+    else
+      rv.push_back(S(mgr, "s" + std::to_string(k)));
+  }
+  auto left = MakeTable({{"v", Column::MakeItem(lv)}});
+  auto right = MakeTable({{"v", Column::MakeItem(rv)},
+                          {"sid", I64Col(RandomKeys(rv.size(), 1, 1000, 12))}});
+  ExecFlags radix;
+  ExecFlags legacy = LegacyFlags();
+  auto jr = EquiJoinItem(mgr, radix, left, "v", right, "v", {{"sid", "sid"}});
+  auto jl = EquiJoinItem(mgr, legacy, left, "v", right, "v", {{"sid", "sid"}});
+  ExpectSameTable(jr, jl);
+  EXPECT_EQ(radix.stats.radix_joins, 1);
+  EXPECT_EQ(legacy.stats.hash_joins, 1);
+}
+
+// ---------------------------------------------------------------------------
+// sort equivalence: counting sort vs stable_sort
+// ---------------------------------------------------------------------------
+
+TEST(SortEquivalenceTest, CountingSortMatchesStableSortWithDuplicates) {
+  DocumentManager mgr;
+  // Dense leading key with duplicates + item tiebreaker column: the counting
+  // scatter must be stable and the run refinement must match stable_sort.
+  const size_t n = 4000;
+  auto keys = RandomKeys(n, 1, 200, 21);
+  auto tie = RandomKeys(n, 1, 10, 22);
+  auto payload = RandomKeys(n, 0, 1 << 30, 23);
+  auto make = [&] {
+    return MakeTable({{"iter", I64Col(keys)},
+                      {"pos", I64Col(tie)},
+                      {"payload", I64Col(payload)}});
+  };
+  ExecFlags counting;
+  ExecFlags legacy = LegacyFlags();
+  auto sc = Sort(mgr, counting, make(), {"iter", "pos"});
+  auto sl = Sort(mgr, legacy, make(), {"iter", "pos"});
+  ExpectSameTable(sc, sl);
+  EXPECT_EQ(counting.stats.counting_sorts, 1);
+  EXPECT_EQ(legacy.stats.counting_sorts, 0);
+}
+
+TEST(SortEquivalenceTest, SparseKeysFallBackToComparisonSort) {
+  DocumentManager mgr;
+  const size_t n = 1000;
+  auto keys = RandomKeys(n, -1000000000, 1000000000, 31);
+  auto t = MakeTable({{"k", I64Col(keys)}});
+  ExecFlags fl;
+  auto s = Sort(mgr, fl, t, {"k"});
+  EXPECT_EQ(fl.stats.counting_sorts, 0);  // range too wide: fell back
+  for (size_t i = 1; i < s->rows(); ++i)
+    EXPECT_LE(s->col("k")->GetI64(i - 1), s->col("k")->GetI64(i));
+}
+
+TEST(SortEquivalenceTest, FullInt64SpanRejectsCountingWithoutOverflow) {
+  // Keys spanning more than INT64_MAX: the profitability scan must reject
+  // via unsigned arithmetic, not overflow (UB) in hi - lo.
+  DocumentManager mgr;
+  std::vector<int64_t> keys(300, 0);
+  keys[0] = std::numeric_limits<int64_t>::min();
+  keys[1] = std::numeric_limits<int64_t>::max();
+  auto t = MakeTable({{"k", I64Col(keys)}});
+  ExecFlags fl;
+  auto s = Sort(mgr, fl, t, {"k"});
+  EXPECT_EQ(fl.stats.counting_sorts, 0);
+  EXPECT_EQ(s->col("k")->GetI64(0), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(s->col("k")->GetI64(s->rows() - 1),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(SortEquivalenceTest, RowNumSortingVariantMatchesLegacy) {
+  DocumentManager mgr;
+  const size_t n = 2000;
+  auto g = RandomKeys(n, 1, 50, 41);
+  auto ordc = RandomKeys(n, 1, 500, 42);
+  auto make = [&] {
+    return MakeTable({{"g", I64Col(g)}, {"o", I64Col(ordc)}});
+  };
+  ExecFlags counting;
+  counting.order_opt = false;  // force the sorting variant
+  ExecFlags legacy = LegacyFlags();
+  legacy.order_opt = false;
+  auto rc = RowNum(mgr, counting, make(), "n", {"o"}, "g");
+  auto rl = RowNum(mgr, legacy, make(), "n", {"o"}, "g");
+  ExpectSameTable(rc, rl);
+  EXPECT_GT(counting.stats.counting_sorts, 0);
+}
+
+TEST(SortPairsDenseTest, MatchesStdSort) {
+  std::mt19937 rng(51);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<std::pair<int64_t, int64_t>> a;
+    const size_t n = 1 + rng() % 3000;
+    // Alternate dense and sparse domains; sparse must fall back.
+    const int64_t range = (round % 2 == 0) ? 300 : int64_t{1} << 40;
+    for (size_t i = 0; i < n; ++i)
+      a.emplace_back(static_cast<int64_t>(rng() % range) - range / 2,
+                     static_cast<int64_t>(rng() % range));
+    auto b = a;
+    bool counted = SortPairsDense(&a);
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    if (round % 2 == 0 && n >= kCountingMinRows) EXPECT_TRUE(counted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// selection vectors
+// ---------------------------------------------------------------------------
+
+TablePtr BoolTable(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<Item> flags(n);
+  for (auto& f : flags) f = Item::Bool(rng() % 2 == 0);
+  return MakeTable({{"iter", I64Col(RandomKeys(n, 1, 1000, seed + 1))},
+                    {"b", Column::MakeItem(std::move(flags))},
+                    {"payload", I64Col(RandomKeys(n, 0, 1 << 20, seed + 2))}});
+}
+
+TEST(SelVectorTest, ChainedSelectsMatchEagerAndStayLazy) {
+  DocumentManager mgr;
+  auto t = BoolTable(3000, 61);
+  ExecFlags lazy;
+  ExecFlags eager = LegacyFlags();
+  auto a1 = SelectTrue(mgr, lazy, t, "b");
+  EXPECT_TRUE(a1->lazy());  // no column was copied
+  auto a2 = SelectEqI64(lazy, a1, "iter", 7);
+  auto b1 = SelectTrue(mgr, eager, t, "b");
+  EXPECT_FALSE(b1->lazy());
+  auto b2 = SelectEqI64(eager, b1, "iter", 7);
+  ExpectSameTable(a2, b2);  // col() materializes through the composed sel
+  EXPECT_EQ(lazy.stats.sel_selects, 2);
+  EXPECT_EQ(eager.stats.sel_selects, 0);
+}
+
+TEST(SelVectorTest, OperatorsOverLazyInputsMatchEager) {
+  DocumentManager mgr;
+  auto t = BoolTable(2000, 71);
+  auto loop = MakeLoop(1000);
+  ExecFlags lazy;
+  ExecFlags eager = LegacyFlags();
+  auto fl_lazy = SelectTrue(mgr, lazy, t, "b");
+  auto fl_eager = SelectTrue(mgr, eager, t, "b");
+  ASSERT_TRUE(fl_lazy->lazy());
+
+  // Join over a lazy probe side: gathers fuse the selection vector.
+  auto jl = EquiJoinI64(lazy, fl_lazy, "iter", loop, "iter", {{"iter", "m"}});
+  auto je = EquiJoinI64(eager, fl_eager, "iter", loop, "iter", {{"iter", "m"}});
+  ExpectSameTable(jl, je);
+
+  // Sort over a lazy input.
+  auto sl = Sort(mgr, lazy, fl_lazy, {"iter", "payload"});
+  auto se = Sort(mgr, eager, fl_eager, {"iter", "payload"});
+  ExpectSameTable(sl, se);
+
+  // Union of two lazy inputs.
+  auto ul = DisjointUnion(fl_lazy, fl_lazy);
+  auto ue = DisjointUnion(fl_eager, fl_eager);
+  ExpectSameTable(ul, ue);
+
+  // Projection (with rename) keeps the selection lazy — checked on a fresh
+  // filter, since Sort above already memoized fl_lazy's columns flat.
+  auto fresh = SelectTrue(mgr, lazy, t, "b");
+  ASSERT_TRUE(fresh->lazy());
+  auto pl = Project(fresh, {{"payload", "p2"}, {"iter", "iter"}});
+  EXPECT_TRUE(pl->lazy());
+  auto pe = Project(fl_eager, {{"payload", "p2"}, {"iter", "iter"}});
+  ExpectSameTable(pl, pe);
+
+  // Distinct + aggregation over lazy inputs.
+  auto dl = Distinct(mgr, lazy, fl_lazy, {"iter"});
+  auto de = Distinct(mgr, eager, fl_eager, {"iter"});
+  ExpectSameTable(dl, de);
+  auto gl = GroupAggr(mgr, lazy, fl_lazy, "iter", "payload", AggKind::kSum);
+  auto ge = GroupAggr(mgr, eager, fl_eager, "iter", "payload", AggKind::kSum);
+  ExpectSameTable(gl, ge);
+}
+
+TEST(SelVectorTest, WithColumnOnLazyTableMixesFlatAndSelected) {
+  DocumentManager mgr;
+  auto t = BoolTable(500, 81);
+  ExecFlags lazy;
+  auto f = SelectTrue(mgr, lazy, t, "b");
+  ASSERT_TRUE(f->lazy());
+  // Appended columns are flat (logical-sized) while the carried columns are
+  // still lazily selected; both must read consistently.
+  auto w = AppendMap(f, "doubled", "payload",
+                     [](const Item& x) { return Item::Int(x.i * 2); });
+  for (size_t r = 0; r < w->rows(); ++r)
+    EXPECT_EQ(w->col("doubled")->GetI64(r), 2 * w->col("payload")->GetI64(r));
+  // A further subset composes the mixed selections correctly.
+  auto w2 = SelectEqI64(lazy, w, "iter", w->col("iter")->GetI64(0));
+  ASSERT_GE(w2->rows(), 1u);
+  for (size_t r = 0; r < w2->rows(); ++r)
+    EXPECT_EQ(w2->col("doubled")->GetI64(r),
+              2 * w2->col("payload")->GetI64(r));
+}
+
+TEST(SelVectorTest, SelectRowsBothModes) {
+  DocumentManager mgr;
+  auto t = MakeTable({{"k", I64Col({10, 20, 30, 40})},
+                      {"v", I64Col({1, 2, 3, 4})}});
+  ExecFlags fl;
+  auto lazy = SelectRows(t, {1, 0, 1, 0}, &fl);
+  EXPECT_TRUE(lazy->lazy());
+  EXPECT_EQ(fl.stats.sel_selects, 1);
+  auto eager = SelectRows(t, {1, 0, 1, 0});  // no flags: pre-kernel gather
+  EXPECT_FALSE(eager->lazy());
+  ExpectSameTable(lazy, eager);
+  ASSERT_EQ(eager->rows(), 2u);
+  EXPECT_EQ(eager->col("k")->GetI64(1), 30);
+}
+
+TEST(SelVectorTest, EmptySelection) {
+  DocumentManager mgr;
+  ExecFlags fl;
+  auto t = BoolTable(100, 91);
+  auto none = SelectEqI64(fl, t, "iter", -1);  // matches nothing
+  EXPECT_EQ(none->rows(), 0u);
+  auto j = EquiJoinI64(fl, none, "iter", MakeLoop(10), "iter", {{"iter", "m"}});
+  EXPECT_EQ(j->rows(), 0u);
+}
+
+}  // namespace
+}  // namespace alg
+}  // namespace mxq
