@@ -85,26 +85,40 @@ JoinInputs MakeJoinInputs(int64_t n) {
   return {left, right};
 }
 
-void JoinKernel(benchmark::State& state, bool radix) {
+void JoinKernel(benchmark::State& state, bool radix, int threads = 1) {
   auto in = MakeJoinInputs(state.range(0));
   mxq::alg::ExecFlags fl;
   fl.positional = false;  // isolate the generic join kernel
+  fl.threads = threads;
   SetKernelFlags(&fl, radix);
   for (auto _ : state) {
     auto j = mxq::alg::EquiJoinI64(fl, in.left, "k", in.right, "k",
                                    {{"v", "v"}});
     benchmark::DoNotOptimize(j->rows());
   }
-  state.counters["radix_joins"] = static_cast<double>(fl.stats.radix_joins);
+  // Stats accumulate across the adaptive iteration count; report
+  // per-iteration values so runs stay comparable.
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["radix_joins"] =
+      static_cast<double>(fl.stats.radix_joins) / iters;
   state.counters["radix_partitions"] =
-      static_cast<double>(fl.stats.radix_partitions);
+      static_cast<double>(fl.stats.radix_partitions) / iters;
+  state.counters["par_tasks"] =
+      static_cast<double>(fl.stats.par_tasks) / iters;
 }
 
 void JoinKernelRadix(benchmark::State& s) { JoinKernel(s, true); }
 void JoinKernelLegacy(benchmark::State& s) { JoinKernel(s, false); }
+// Partition-parallel radix join at the thread count in range(1).
+void JoinKernelRadixThreads(benchmark::State& s) {
+  JoinKernel(s, true, static_cast<int>(s.range(1)));
+}
 
 /// Direct best-of timing of the two kernel paths, written as JSON for
-/// bench/run_all.sh (MXQ_BENCH_JSON names the output file).
+/// bench/run_all.sh (MXQ_BENCH_JSON names the output file). Each size also
+/// carries the partition-parallel thread sweep (1/2/4 threads) of the
+/// radix kernel — speedup_vs_t1 is the Figure-15-style scalability series
+/// (bounded by the machine: `num_cpus` in the merged artifact's context).
 void WriteKernelSummary(const char* path) {
   mxq::bench::JsonWriter w;
   w.BeginObject();
@@ -112,23 +126,36 @@ void WriteKernelSummary(const char* path) {
   w.BeginArray("kernels");
   for (int64_t n : {int64_t{1} << 16, int64_t{1} << 20}) {
     auto in = MakeJoinInputs(n);
-    auto run = [&](bool radix) {
+    auto run = [&](bool radix, int threads) {
       mxq::alg::ExecFlags fl;
       fl.positional = false;
+      fl.threads = threads;
       SetKernelFlags(&fl, radix);
       auto j = mxq::alg::EquiJoinI64(fl, in.left, "k", in.right, "k",
                                      {{"v", "v"}});
       benchmark::DoNotOptimize(j->rows());
     };
     const int reps = n > (1 << 18) ? 5 : 20;
-    double radix_ms = mxq::bench::BestOfMs(reps, [&] { run(true); });
-    double legacy_ms = mxq::bench::BestOfMs(reps, [&] { run(false); });
+    double radix_ms = mxq::bench::BestOfMs(reps, [&] { run(true, 1); });
+    double legacy_ms = mxq::bench::BestOfMs(reps, [&] { run(false, 1); });
     w.BeginObject();
     w.Field("kernel", std::string("equijoin_i64"));
     w.Field("n", n);
     w.Field("radix_ms", radix_ms);
     w.Field("legacy_ms", legacy_ms);
     w.Field("speedup", legacy_ms / radix_ms);
+    w.BeginArray("parallel");
+    double t1_ms = 0;  // the sweep's own threads=1 point is the baseline
+    for (int threads : {1, 2, 4}) {
+      double ms = mxq::bench::BestOfMs(reps, [&] { run(true, threads); });
+      if (threads == 1) t1_ms = ms;
+      w.BeginObject();
+      w.Field("threads", static_cast<int64_t>(threads));
+      w.Field("radix_ms", ms);
+      w.Field("speedup_vs_t1", t1_ms > 0 ? t1_ms / ms : 1.0);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
   }
   w.EndArray();
@@ -147,6 +174,8 @@ BENCHMARK(WithJoinRecognitionLegacyKernels)
 BENCHMARK(CrossProduct)->DenseRange(8, 12)->Unit(benchmark::kMillisecond);
 BENCHMARK(JoinKernelRadix)->Arg(1 << 16)->Arg(1 << 20);
 BENCHMARK(JoinKernelLegacy)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(JoinKernelRadixThreads)
+    ->ArgsProduct({{1 << 20}, {1, 2, 4}});
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);

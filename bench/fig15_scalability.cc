@@ -1,56 +1,224 @@
-// Figure 15: scalability with respect to document size.
+// Figure 15 (reinterpreted for the partition-parallel core): scalability
+// with respect to *thread count*.
 //
-// Q1-Q20 over a geometric document-size series (x10 per step, like the
-// paper's 110 MB / 1.1 GB / 11 GB). The paper's findings to reproduce:
-// near-linear scaling overall; Q11/Q12 quadratic (theta-join result size);
-// Q6/Q7/Q15/Q16 sub-linear thanks to pushed-down nametests on indexes.
-// Normalization to the smallest size is reported as the `normalized`
-// counter (the y-axis of Figure 15).
+// The paper's Figure 15 scaled the document; with the execution core now
+// partition-parallel (common/thread_pool.h, docs/execution.md "Parallel
+// execution"), the axis that matters for the memory-wall story is cores:
+// bound the working set per core, then scale across cores. This binary
+// sweeps the three parallel kernels (radix join build+probe, counting
+// sort, morsel filter) and a pair of join-heavy XMark queries over
+// ExecFlags::threads = 1/2/4/N (N = the machine's hardware concurrency),
+// and — with MXQ_BENCH_JSON set — writes a per-kernel speedup series via
+// the bench_util.h JSON emitter for bench/run_all.sh to merge into
+// BENCH_pr<N>.json. All parallel paths are bit-identical to threads=1, so
+// every sweep point does the same logical work.
+//
+// Caveat recorded in the artifact: speedups are bounded by `num_cpus` in
+// the merged context; on a single-core container the sweep documents the
+// (near-1x) overhead of the parallel machinery rather than a speedup.
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-#include <map>
+#include <algorithm>
+#include <random>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 
 namespace {
 
-const double kScales[] = {0.002, 0.02, 0.2};
+constexpr double kScale = 0.02;
 
-std::map<std::pair<int, int>, double>& BaseTimes() {
-  static std::map<std::pair<int, int>, double> t;
+using mxq::Column;
+using mxq::bench::SetKernelFlags;
+
+std::vector<int> SweepThreads() {
+  std::vector<int> t = {1, 2, 4};
+  int n = mxq::HardwareThreads();
+  if (std::find(t.begin(), t.end(), n) == t.end()) t.push_back(n);
   return t;
 }
 
-void Scalability(benchmark::State& state) {
+// ---------------------------------------------------------------------------
+// kernel fixtures (shared by the benchmarks and the JSON sweep)
+// ---------------------------------------------------------------------------
+
+struct KernelInputs {
+  mxq::TablePtr join_left, join_right;  // random ~50% match keys
+  mxq::TablePtr sort_table;             // dense (iter, pos) + payload
+  mxq::TablePtr filter_table;           // bool column, ~50% selectivity
+};
+
+KernelInputs MakeKernelInputs(int64_t n) {
+  std::mt19937 rng(7);
+  std::vector<int64_t> lk(n), rk(n), rv(n), sk(n), sp(n), pay(n);
+  std::vector<mxq::Item> flags(n);
+  for (int64_t i = 0; i < n; ++i) {
+    lk[i] = 1 + static_cast<int64_t>(rng() % n);
+    rk[i] = 1 + static_cast<int64_t>(rng() % n);
+    rv[i] = i;
+    sk[i] = 1 + static_cast<int64_t>(rng() % (n / 4 + 1));
+    sp[i] = 1 + static_cast<int64_t>(rng() % 512);
+    pay[i] = static_cast<int64_t>(rng());
+    flags[i] = mxq::Item::Bool(rng() % 2 == 0);
+  }
+  KernelInputs in;
+  in.join_left = mxq::alg::MakeTable({{"k", Column::MakeI64(std::move(lk))}});
+  in.join_right =
+      mxq::alg::MakeTable({{"k", Column::MakeI64(std::move(rk))},
+                           {"v", Column::MakeI64(std::move(rv))}});
+  in.sort_table =
+      mxq::alg::MakeTable({{"iter", Column::MakeI64(std::move(sk))},
+                           {"pos", Column::MakeI64(std::move(sp))},
+                           {"payload", Column::MakeI64(pay)}});
+  in.filter_table =
+      mxq::alg::MakeTable({{"b", Column::MakeItem(std::move(flags))},
+                           {"payload", Column::MakeI64(std::move(pay))}});
+  return in;
+}
+
+mxq::alg::ExecFlags FlagsAt(int threads) {
+  mxq::alg::ExecFlags fl;
+  fl.positional = false;
+  fl.threads = threads;
+  return fl;
+}
+
+void RunJoin(const KernelInputs& in, int threads) {
+  auto fl = FlagsAt(threads);
+  auto j = mxq::alg::EquiJoinI64(fl, in.join_left, "k", in.join_right, "k",
+                                 {{"v", "v"}});
+  benchmark::DoNotOptimize(j->rows());
+}
+
+void RunSort(const mxq::DocumentManager& mgr, const KernelInputs& in,
+             int threads) {
+  auto fl = FlagsAt(threads);
+  auto s = mxq::alg::Sort(mgr, fl, in.sort_table, {"iter", "pos"});
+  benchmark::DoNotOptimize(s->rows());
+}
+
+void RunFilter(const mxq::DocumentManager& mgr, const KernelInputs& in,
+               int threads) {
+  auto fl = FlagsAt(threads);
+  // Fresh shallow copy per run: SelectTrue's output is lazy and the input
+  // is untouched, but the copy keeps each run's work identical.
+  auto fresh = in.filter_table->ShallowCopy();
+  auto f = mxq::alg::SelectTrue(mgr, fl, fresh, "b");
+  benchmark::DoNotOptimize(f->rows());
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark sweeps: range(0) = thread count
+// ---------------------------------------------------------------------------
+
+const KernelInputs& Inputs() {
+  static KernelInputs in = MakeKernelInputs(int64_t{1} << 20);
+  return in;
+}
+
+void JoinThreads(benchmark::State& state) {
+  const auto& in = Inputs();
+  for (auto _ : state) RunJoin(in, static_cast<int>(state.range(0)));
+}
+
+void SortThreads(benchmark::State& state) {
+  mxq::DocumentManager mgr;
+  const auto& in = Inputs();
+  for (auto _ : state) RunSort(mgr, in, static_cast<int>(state.range(0)));
+}
+
+void FilterThreads(benchmark::State& state) {
+  mxq::DocumentManager mgr;
+  const auto& in = Inputs();
+  for (auto _ : state) RunFilter(mgr, in, static_cast<int>(state.range(0)));
+}
+
+/// Join-recognition XMark queries (Q8/Q9, the join-heavy ones) at a given
+/// evaluator thread count.
+void QueryThreads(benchmark::State& state) {
+  auto& inst = mxq::bench::XMarkInstance::Get(kScale * mxq::bench::ScaleEnv());
   int qn = static_cast<int>(state.range(0));
-  int si = static_cast<int>(state.range(1));
-  double scale = kScales[si] * mxq::bench::ScaleEnv();
-  auto& inst = mxq::bench::XMarkInstance::Get(scale);
   mxq::xq::EvalOptions eo;
-  eo.nametest_pushdown = true;  // the paper's sub-linear queries need this
+  SetKernelFlags(&eo.alg, true);
+  eo.alg.threads = static_cast<int>(state.range(1));
   size_t n = 0;
   for (auto _ : state) n = inst.Run(qn, &eo);
-  double ms = 0;
-  // benchmark reports mean internally; recompute a representative time for
-  // the normalized series from one extra run.
-  auto t0 = std::chrono::steady_clock::now();
-  inst.Run(qn, &eo);
-  ms = std::chrono::duration<double, std::milli>(
-           std::chrono::steady_clock::now() - t0)
-           .count();
-  if (si == 0) BaseTimes()[{qn, 0}] = ms;
-  double base = BaseTimes().count({qn, 0}) ? BaseTimes()[{qn, 0}] : ms;
+  // Stats accumulate across the adaptive iteration count; report
+  // per-iteration values so thread counts stay comparable.
+  const double iters = static_cast<double>(state.iterations());
   state.counters["result_items"] = static_cast<double>(n);
-  state.counters["doc_bytes"] = static_cast<double>(inst.xml_size());
-  state.counters["normalized"] = base > 0 ? ms / base : 0;
+  state.counters["par_tasks"] =
+      static_cast<double>(eo.alg.stats.par_tasks) / iters;
+  state.counters["join_ms"] = eo.alg.stats.join_ms / iters;
+  state.counters["sort_ms"] = eo.alg.stats.sort_ms / iters;
+}
+
+// ---------------------------------------------------------------------------
+// JSON thread-sweep summary for bench/run_all.sh
+// ---------------------------------------------------------------------------
+
+void WriteThreadSweep(const char* path) {
+  mxq::DocumentManager mgr;
+  const int64_t n = int64_t{1} << 20;
+  auto in = MakeKernelInputs(n);
+  mxq::bench::JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", std::string("fig15_scalability"));
+  w.Field("hardware_threads", static_cast<int64_t>(mxq::HardwareThreads()));
+  w.Field("n", n);
+  w.BeginArray("kernels");
+  struct Kernel {
+    const char* name;
+    std::function<void(int)> run;
+  };
+  const Kernel kernels[] = {
+      {"equijoin_i64", [&](int t) { RunJoin(in, t); }},
+      {"counting_sort", [&](int t) { RunSort(mgr, in, t); }},
+      {"filter_scan", [&](int t) { RunFilter(mgr, in, t); }},
+  };
+  for (const auto& k : kernels) {
+    w.BeginObject();
+    w.Field("kernel", std::string(k.name));
+    w.BeginArray("threads");
+    double t1_ms = 0;
+    for (int t : SweepThreads()) {
+      double ms = mxq::bench::BestOfMs(5, [&] { k.run(t); });
+      if (t == 1) t1_ms = ms;
+      w.BeginObject();
+      w.Field("threads", static_cast<int64_t>(t));
+      w.Field("ms", ms);
+      w.Field("speedup_vs_t1", t1_ms > 0 ? t1_ms / ms : 1.0);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.WriteFile(path);
 }
 
 }  // namespace
 
-BENCHMARK(Scalability)
-    ->ArgsProduct({benchmark::CreateDenseRange(1, 20, 1), {0, 1, 2}})
+BENCHMARK(JoinThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(SortThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(FilterThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(QueryThreads)
+    ->ArgsProduct({{8, 9}, {1, 2, 4}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (const char* path = std::getenv("MXQ_BENCH_JSON"))
+    WriteThreadSweep(path);
+  benchmark::Shutdown();
+  return 0;
+}

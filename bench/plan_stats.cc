@@ -42,24 +42,39 @@ void PrintStats() {
 void PrintExecStats() {
   auto& inst =
       mxq::bench::XMarkInstance::Get(0.01 * mxq::bench::ScaleEnv());
-  std::printf("XMark execution kernel statistics (%.2f MB document)\n\n",
-              static_cast<double>(inst.xml_size()) / (1024.0 * 1024.0));
-  std::printf("%5s %6s %6s %6s %6s %6s %6s %6s %6s\n", "query", "radix",
-              "rparts", "csort", "selvec", "hash", "pos", "sortp", "elide");
+  std::printf("XMark execution kernel statistics (%.2f MB document, "
+              "MXQ_THREADS=%d)\n\n",
+              static_cast<double>(inst.xml_size()) / (1024.0 * 1024.0),
+              mxq::DefaultExecThreads());
+  std::printf("%5s %6s %6s %6s %6s %6s %6s %6s %6s %6s %8s %8s %8s\n",
+              "query", "radix", "rparts", "csort", "selvec", "hash", "pos",
+              "sortp", "elide", "par", "join_ms", "sort_ms", "filt_ms");
   mxq::alg::ExecStats total;
-  for (int qn = 1; qn <= 20; ++qn) {
-    mxq::xq::EvalOptions eo;
-    inst.Run(qn, &eo);
-    const mxq::alg::ExecStats& s = eo.alg.stats;
-    std::printf("Q%-4d %6lld %6lld %6lld %6lld %6lld %6lld %6lld %6lld\n", qn,
-                static_cast<long long>(s.radix_joins),
+  auto print_row = [](const char* label, int qn,
+                      const mxq::alg::ExecStats& s) {
+    char name[8];
+    if (qn > 0)
+      std::snprintf(name, sizeof name, "Q%d", qn);
+    else
+      std::snprintf(name, sizeof name, "%s", label);
+    std::printf("%-5s %6lld %6lld %6lld %6lld %6lld %6lld %6lld %6lld %6lld "
+                "%8.2f %8.2f %8.2f\n",
+                name, static_cast<long long>(s.radix_joins),
                 static_cast<long long>(s.radix_partitions),
                 static_cast<long long>(s.counting_sorts),
                 static_cast<long long>(s.sel_selects),
                 static_cast<long long>(s.hash_joins),
                 static_cast<long long>(s.positional_joins),
                 static_cast<long long>(s.sorts_performed),
-                static_cast<long long>(s.sorts_elided));
+                static_cast<long long>(s.sorts_elided),
+                static_cast<long long>(s.par_tasks), s.join_ms, s.sort_ms,
+                s.filter_ms);
+  };
+  for (int qn = 1; qn <= 20; ++qn) {
+    mxq::xq::EvalOptions eo;
+    inst.Run(qn, &eo);
+    const mxq::alg::ExecStats& s = eo.alg.stats;
+    print_row("", qn, s);
     total.radix_joins += s.radix_joins;
     total.radix_partitions += s.radix_partitions;
     total.counting_sorts += s.counting_sorts;
@@ -68,16 +83,13 @@ void PrintExecStats() {
     total.positional_joins += s.positional_joins;
     total.sorts_performed += s.sorts_performed;
     total.sorts_elided += s.sorts_elided;
+    total.par_tasks += s.par_tasks;
+    total.join_ms += s.join_ms;
+    total.sort_ms += s.sort_ms;
+    total.filter_ms += s.filter_ms;
   }
-  std::printf("%5s %6lld %6lld %6lld %6lld %6lld %6lld %6lld %6lld\n\n",
-              "total", static_cast<long long>(total.radix_joins),
-              static_cast<long long>(total.radix_partitions),
-              static_cast<long long>(total.counting_sorts),
-              static_cast<long long>(total.sel_selects),
-              static_cast<long long>(total.hash_joins),
-              static_cast<long long>(total.positional_joins),
-              static_cast<long long>(total.sorts_performed),
-              static_cast<long long>(total.sorts_elided));
+  print_row("total", 0, total);
+  std::printf("\n");
 }
 
 void CompileTime(benchmark::State& state) {

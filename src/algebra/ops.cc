@@ -2,15 +2,68 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "algebra/radix.h"
 #include "common/counting_sort.h"
+#include "common/thread_pool.h"
 
 namespace mxq {
 namespace alg {
+
+namespace {
+
+bool BoolEnv(const char* name, bool dflt) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return dflt;
+  if (s[0] == '0' || s[0] == 'f' || s[0] == 'F' || s[0] == 'n' ||
+      s[0] == 'N')
+    return false;
+  // "off"/"OFF" must disable too ("on" stays enabled via the default).
+  if ((s[0] == 'o' || s[0] == 'O') && (s[1] == 'f' || s[1] == 'F'))
+    return false;
+  return true;
+}
+
+/// RAII accumulator for the per-kernel wall-time stats.
+class WallTimer {
+ public:
+  explicit WallTimer(double* acc)
+      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    *acc_ += std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0_)
+                 .count();
+  }
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
+int ExecFlags::exec_threads() const {
+  return threads > 0 ? threads : DefaultExecThreads();
+}
+
+ExecFlags ExecFlags::FromEnv() {
+  ExecFlags fl;
+  fl.order_opt = BoolEnv("MXQ_ORDER_OPT", fl.order_opt);
+  fl.positional = BoolEnv("MXQ_POSITIONAL", fl.positional);
+  fl.radix_join = BoolEnv("MXQ_RADIX_JOIN", fl.radix_join);
+  fl.sel_vectors = BoolEnv("MXQ_SEL_VECTORS", fl.sel_vectors);
+  fl.dense_sort = BoolEnv("MXQ_DENSE_SORT", fl.dense_sort);
+  if (const char* s = std::getenv("MXQ_THREADS")) {
+    int v = std::atoi(s);
+    if (v >= 1) fl.threads = std::min(v, 64);
+  }
+  return fl;
+}
 
 namespace {
 
@@ -19,37 +72,43 @@ namespace {
 /// Gathers column `ci` of `t` at the given *logical* rows into a flat
 /// column, fusing the table's selection vector (if any) into the gather —
 /// a lazily filtered column is materialized exactly once, here, at the
-/// pipeline breaker.
+/// pipeline breaker. `chunks` > 1 slices the gather into morsels writing
+/// disjoint output ranges (position-wise identical to the serial gather).
 ColumnPtr GatherLogical(const Table& t, size_t ci,
-                        const std::vector<size_t>& rows) {
+                        const std::vector<size_t>& rows, int chunks = 1) {
   const Column& col = *t.raw_col(ci);
   const SelVectorPtr& sel = t.col_sel(ci);
   if (col.is_i64()) {
     std::vector<int64_t> out(rows.size());
     const auto& in = col.i64();
-    if (sel) {
-      const auto& s = sel->idx;
-      for (size_t k = 0; k < rows.size(); ++k) out[k] = in[s[rows[k]]];
-    } else {
-      for (size_t k = 0; k < rows.size(); ++k) out[k] = in[rows[k]];
-    }
+    ParallelChunks(chunks, rows.size(), [&](int, size_t b, size_t e) {
+      if (sel) {
+        const auto& s = sel->idx;
+        for (size_t k = b; k < e; ++k) out[k] = in[s[rows[k]]];
+      } else {
+        for (size_t k = b; k < e; ++k) out[k] = in[rows[k]];
+      }
+    });
     return Column::MakeI64(std::move(out));
   }
   std::vector<Item> out(rows.size());
   const auto& in = col.items();
-  if (sel) {
-    const auto& s = sel->idx;
-    for (size_t k = 0; k < rows.size(); ++k) out[k] = in[s[rows[k]]];
-  } else {
-    for (size_t k = 0; k < rows.size(); ++k) out[k] = in[rows[k]];
-  }
+  ParallelChunks(chunks, rows.size(), [&](int, size_t b, size_t e) {
+    if (sel) {
+      const auto& s = sel->idx;
+      for (size_t k = b; k < e; ++k) out[k] = in[s[rows[k]]];
+    } else {
+      for (size_t k = b; k < e; ++k) out[k] = in[rows[k]];
+    }
+  });
   return Column::MakeItem(std::move(out));
 }
 
-TablePtr ApplyPerm(const TablePtr& t, const std::vector<size_t>& perm) {
+TablePtr ApplyPerm(const TablePtr& t, const std::vector<size_t>& perm,
+                   int chunks = 1) {
   auto out = Table::Make();
   for (size_t c = 0; c < t->num_cols(); ++c)
-    out->AddColumn(t->name(c), GatherLogical(*t, c, perm));
+    out->AddColumn(t->name(c), GatherLogical(*t, c, perm, chunks));
   out->set_rows(perm.size());
   return out;
 }
@@ -222,15 +281,55 @@ TableProps SubsetProps(const TableProps& in) {
 
 }  // namespace
 
+namespace {
+
+/// Morsel-parallel predicate scan: each chunk of logical rows collects its
+/// surviving row indexes into a private fragment; fragments concatenate in
+/// chunk order, reproducing the serial scan's output exactly. `pred` must
+/// be pure and thread-safe (the selection predicates only read columns and
+/// the string pool). `expect` caps the up-front reserve — point lookups
+/// (SelectEqI64) pass a small hint so a selective scan over a huge input
+/// does not allocate input-sized buffers it will never fill.
+template <class Pred>
+std::vector<uint32_t> ScanRows(const ExecFlags& fl, size_t n,
+                               const Pred& pred, size_t expect) {
+  // Selection vectors carry 32-bit physical rows; a wider table must fail
+  // loudly here, not wrap.
+  assert(n <= UINT32_MAX);
+  const int chunks = PlanChunks(fl.exec_threads(), n);
+  if (chunks <= 1) {
+    std::vector<uint32_t> rows;
+    rows.reserve(std::min(n, expect));
+    for (size_t i = 0; i < n; ++i)
+      if (pred(i)) rows.push_back(static_cast<uint32_t>(i));
+    return rows;
+  }
+  std::vector<std::vector<uint32_t>> frag(chunks);
+  ParallelChunks(chunks, n, [&](int c, size_t b, size_t e) {
+    frag[c].reserve(std::min(e - b, expect));
+    for (size_t i = b; i < e; ++i)
+      if (pred(i)) frag[c].push_back(static_cast<uint32_t>(i));
+  });
+  fl.stats.par_tasks += chunks;
+  size_t total = 0;
+  for (const auto& f : frag) total += f.size();
+  std::vector<uint32_t> rows;
+  rows.reserve(total);
+  for (const auto& f : frag) rows.insert(rows.end(), f.begin(), f.end());
+  return rows;
+}
+
+}  // namespace
+
 TablePtr SelectTrue(const DocumentManager& mgr, const ExecFlags& fl,
                     const TablePtr& t, const std::string& col, bool negate) {
+  WallTimer timer(&fl.stats.filter_ms);
   const int ci = t->ColumnIndex(col);
   assert(ci >= 0);
-  std::vector<uint32_t> rows;
-  rows.reserve(t->rows());
-  for (size_t i = 0; i < t->rows(); ++i)
-    if (ItemEbv(mgr, t->ItemAt(ci, i)) != negate)
-      rows.push_back(static_cast<uint32_t>(i));
+  std::vector<uint32_t> rows = ScanRows(
+      fl, t->rows(),
+      [&](size_t i) { return ItemEbv(mgr, t->ItemAt(ci, i)) != negate; },
+      /*expect=*/t->rows());
   auto out = SubsetRows(fl, t, std::move(rows));
   out->props() = SubsetProps(t->props());
   CountMaterialized(fl, out);
@@ -239,6 +338,7 @@ TablePtr SelectTrue(const DocumentManager& mgr, const ExecFlags& fl,
 
 TablePtr SelectEqI64(const ExecFlags& fl, const TablePtr& t,
                      const std::string& col, int64_t v) {
+  WallTimer timer(&fl.stats.filter_ms);
   const int ci = t->ColumnIndex(col);
   assert(ci >= 0);
   std::vector<uint32_t> rows;
@@ -248,9 +348,9 @@ TablePtr SelectEqI64(const ExecFlags& fl, const TablePtr& t,
     if (v >= 1 && v <= static_cast<int64_t>(t->rows()))
       rows.push_back(static_cast<uint32_t>(v - 1));
   } else {
-    rows.reserve(64);
-    for (size_t i = 0; i < t->rows(); ++i)
-      if (t->I64At(ci, i) == v) rows.push_back(static_cast<uint32_t>(i));
+    rows = ScanRows(
+        fl, t->rows(), [&](size_t i) { return t->I64At(ci, i) == v; },
+        /*expect=*/64);
   }
   auto out = SubsetRows(fl, t, std::move(rows));
   out->props() = SubsetProps(t->props());
@@ -394,6 +494,7 @@ TablePtr Sort(const DocumentManager& mgr, const ExecFlags& fl,
     ++fl.stats.sorts_elided;
     return t;
   }
+  WallTimer timer(&fl.stats.sort_ms);
   // Refine sort: with a known ordered prefix, sort only within runs of
   // equal prefix values (the incremental, pipelinable refine-sort of §4.2).
   size_t known = 0;
@@ -450,16 +551,21 @@ TablePtr Sort(const DocumentManager& mgr, const ExecFlags& fl,
           }
           passes.push_back(p);
         }
-        if (counted)
+        if (counted) {
+          const int threads = fl.exec_threads();
+          const int chunks = PlanChunks(threads, perm.size());
           for (size_t k = passes.size(); k-- > 0;)
             CountingPassPerm(*passes[k].keys, passes[k].mn, passes[k].range,
-                             &perm);
+                             &perm, threads);
+          if (chunks > 1) fl.stats.par_tasks += chunks;
+        }
       }
       if (counted) ++fl.stats.counting_sorts;
     }
     if (!counted) std::stable_sort(perm.begin(), perm.end(), full);
   }
-  auto out = ApplyPerm(t, perm);
+  const int gather_chunks = PlanChunks(fl.exec_threads(), perm.size());
+  auto out = ApplyPerm(t, perm, gather_chunks);
   TableProps props;
   props.key = t->props().key;
   props.constants = t->props().constants;
@@ -543,18 +649,73 @@ TablePtr BuildJoinOutput(const TablePtr& left,
                          const std::vector<size_t>& lrows,
                          const TablePtr& right,
                          const std::vector<size_t>& rrows,
-                         const KeepCols& right_keep) {
+                         const KeepCols& right_keep, int chunks = 1) {
   auto out = Table::Make();
   for (size_t c = 0; c < left->num_cols(); ++c)
-    out->AddColumn(left->name(c), GatherLogical(*left, c, lrows));
+    out->AddColumn(left->name(c), GatherLogical(*left, c, lrows, chunks));
   for (const auto& [src, dst] : right_keep) {
     int rc = right->ColumnIndex(src);
     assert(rc >= 0);
-    out->AddColumn(dst, GatherLogical(*right, static_cast<size_t>(rc), rrows));
+    out->AddColumn(
+        dst, GatherLogical(*right, static_cast<size_t>(rc), rrows, chunks));
   }
   out->set_rows(lrows.size());
   return out;
 }
+
+/// Parallel hash-table probe emitting (probe_row, build_row) matches: each
+/// probe chunk fills private fragments, stitched in chunk order — the
+/// match sequence is identical to the serial probe's (probe order outer,
+/// ascending build rows inner). Returns the chunk count used.
+int ParallelProbe(const ExecFlags& fl, const RadixHashTable& ht,
+                  std::span<const int64_t> lkeys, std::vector<size_t>* lrows,
+                  std::vector<size_t>* rrows) {
+  const int chunks = PlanChunks(fl.exec_threads(), lkeys.size());
+  if (chunks <= 1) {
+    lrows->reserve(lkeys.size());
+    rrows->reserve(lkeys.size());
+    for (size_t i = 0; i < lkeys.size(); ++i)
+      ht.ForEach(lkeys[i], [&](uint32_t j) {
+        lrows->push_back(i);
+        rrows->push_back(j);
+      });
+    return chunks;
+  }
+  std::vector<std::vector<size_t>> lfrag(chunks), rfrag(chunks);
+  ParallelChunks(chunks, lkeys.size(), [&](int c, size_t b, size_t e) {
+    auto& lf = lfrag[c];
+    auto& rf = rfrag[c];
+    lf.reserve(e - b);
+    rf.reserve(e - b);
+    for (size_t i = b; i < e; ++i)
+      ht.ForEach(lkeys[i], [&](uint32_t j) {
+        lf.push_back(i);
+        rf.push_back(j);
+      });
+  });
+  fl.stats.par_tasks += chunks;
+  size_t total = 0;
+  for (const auto& f : lfrag) total += f.size();
+  lrows->reserve(total);
+  rrows->reserve(total);
+  for (int c = 0; c < chunks; ++c) {
+    lrows->insert(lrows->end(), lfrag[c].begin(), lfrag[c].end());
+    rrows->insert(rrows->end(), rfrag[c].begin(), rfrag[c].end());
+  }
+  return chunks;
+}
+
+}  // namespace
+
+void CountRadixBuild(const ExecFlags& fl, const RadixHashTable& ht) {
+  fl.stats.radix_partitions += static_cast<int64_t>(ht.partitions());
+  if (ht.build_chunks() > 1) {
+    fl.stats.par_tasks += ht.build_chunks();
+    fl.stats.par_partitions += static_cast<int64_t>(ht.partitions());
+  }
+}
+
+namespace {
 
 /// Join-column keys as a contiguous i64 span; copies only when the column
 /// is a (rare) item column holding integer payloads. The table's selection
@@ -594,6 +755,7 @@ void ProbeJoinProps(const TablePtr& left, const TablePtr& right,
 TablePtr EquiJoinI64(const ExecFlags& fl, const TablePtr& left,
                      const std::string& lcol, const TablePtr& right,
                      const std::string& rcol, const KeepCols& right_keep) {
+  WallTimer timer(&fl.stats.join_ms);
   std::vector<size_t> lrows, rrows;
   const int lci = left->ColumnIndex(lcol), rci = right->ColumnIndex(rcol);
   assert(lci >= 0 && rci >= 0);
@@ -619,18 +781,14 @@ TablePtr EquiJoinI64(const ExecFlags& fl, const TablePtr& left,
     }
   } else if (fl.radix_join) {
     // Radix-partitioned flat-table join (docs/execution.md): the build side
-    // is clustered into cache-sized partitions, probes walk contiguous
-    // slot runs, duplicates chain through an array.
+    // is clustered into cache-sized partitions in parallel (per-chunk
+    // histograms + prefix-summed scatter), probes fan out over chunks of
+    // the probe stream, and the match fragments stitch in probe order.
     ++fl.stats.radix_joins;
-    RadixHashTable ht(JoinKeys(*right, static_cast<size_t>(rci), &rstore));
-    fl.stats.radix_partitions += static_cast<int64_t>(ht.partitions());
-    lrows.reserve(lkeys.size());
-    rrows.reserve(lkeys.size());
-    for (size_t i = 0; i < lkeys.size(); ++i)
-      ht.ForEach(lkeys[i], [&](uint32_t j) {
-        lrows.push_back(i);
-        rrows.push_back(j);
-      });
+    RadixHashTable ht(JoinKeys(*right, static_cast<size_t>(rci), &rstore),
+                      fl.exec_threads());
+    CountRadixBuild(fl, ht);
+    ParallelProbe(fl, ht, lkeys, &lrows, &rrows);
   } else {
     ++fl.stats.hash_joins;
     std::span<const int64_t> rkeys =
@@ -649,7 +807,8 @@ TablePtr EquiJoinI64(const ExecFlags& fl, const TablePtr& left,
       }
     }
   }
-  auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep);
+  auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep,
+                             PlanChunks(fl.exec_threads(), lrows.size()));
   ProbeJoinProps(left, right, rcol, right_keep, right_unique, out.get());
   CountMaterialized(fl, out);
   return out;
@@ -659,6 +818,7 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
                       const TablePtr& left, const std::string& lcol,
                       const TablePtr& right, const std::string& rcol,
                       const KeepCols& right_keep) {
+  WallTimer timer(&fl.stats.join_ms);
   const ColumnPtr& lc = left->col(lcol);
   const ColumnPtr& rc = right->col(rcol);
   std::vector<size_t> lrows, rrows;
@@ -666,13 +826,20 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
   rrows.reserve(left->rows());
   if (fl.radix_join) {
     // Value join over the canonical item hashes: the radix table dedups
-    // nothing, so probe hits verify with the real comparison.
+    // nothing, so probe hits verify with the real comparison. Hashing the
+    // build side is read-only (HashItem takes a const manager) and fans
+    // out over morsels; the probe stays serial because CompareItems may
+    // intern strings in the (mutable) pool.
     ++fl.stats.radix_joins;
     std::vector<uint64_t> rhash(right->rows());
-    for (size_t j = 0; j < right->rows(); ++j)
-      rhash[j] = HashItem(mgr, rc->GetItem(j));
-    RadixHashTable ht{std::span<const uint64_t>(rhash)};
-    fl.stats.radix_partitions += static_cast<int64_t>(ht.partitions());
+    const int hchunks = PlanChunks(fl.exec_threads(), right->rows());
+    ParallelChunks(hchunks, right->rows(), [&](int, size_t b, size_t e) {
+      const DocumentManager& cmgr = mgr;
+      for (size_t j = b; j < e; ++j) rhash[j] = HashItem(cmgr, rc->GetItem(j));
+    });
+    if (hchunks > 1) fl.stats.par_tasks += hchunks;
+    RadixHashTable ht{std::span<const uint64_t>(rhash), fl.exec_threads()};
+    CountRadixBuild(fl, ht);
     for (size_t i = 0; i < left->rows(); ++i) {
       Item li = lc->GetItem(i);
       ht.ForEach(HashItem(mgr, li), [&](uint32_t j) {
@@ -699,7 +866,8 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
         }
     }
   }
-  auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep);
+  auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep,
+                             PlanChunks(fl.exec_threads(), lrows.size()));
   ProbeJoinProps(left, right, rcol, right_keep, false, out.get());
   CountMaterialized(fl, out);
   return out;
@@ -708,15 +876,16 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
 TablePtr SemiJoinI64(const ExecFlags& fl, const TablePtr& left,
                      const std::string& lcol, const TablePtr& right,
                      const std::string& rcol, bool anti) {
+  WallTimer timer(&fl.stats.join_ms);
   const int lci = left->ColumnIndex(lcol), rci = right->ColumnIndex(rcol);
   assert(lci >= 0 && rci >= 0);
   std::vector<int64_t> lstore, rstore;
   std::span<const int64_t> lkeys =
       JoinKeys(*left, static_cast<size_t>(lci), &lstore);
   std::vector<uint32_t> rows;
-  rows.reserve(lkeys.size());
   if (fl.positional && right->props().is_dense(rcol)) {
     ++fl.stats.positional_joins;
+    rows.reserve(lkeys.size());
     const int64_t nr = static_cast<int64_t>(right->rows());
     for (size_t i = 0; i < lkeys.size(); ++i) {
       int64_t v = lkeys[i];
@@ -725,15 +894,21 @@ TablePtr SemiJoinI64(const ExecFlags& fl, const TablePtr& left,
     }
   } else if (fl.radix_join) {
     ++fl.stats.radix_joins;
-    RadixHashTable ht(JoinKeys(*right, static_cast<size_t>(rci), &rstore));
-    fl.stats.radix_partitions += static_cast<int64_t>(ht.partitions());
-    for (size_t i = 0; i < lkeys.size(); ++i)
-      if (ht.Contains(lkeys[i]) != anti) rows.push_back(static_cast<uint32_t>(i));
+    RadixHashTable ht(JoinKeys(*right, static_cast<size_t>(rci), &rstore),
+                      fl.exec_threads());
+    CountRadixBuild(fl, ht);
+    // The semi/anti probe is a pure membership predicate — the morsel
+    // scan machinery of the filters applies as-is.
+    rows = ScanRows(
+        fl, lkeys.size(),
+        [&](size_t i) { return ht.Contains(lkeys[i]) != anti; },
+        /*expect=*/lkeys.size());
   } else {
     ++fl.stats.hash_joins;
     std::span<const int64_t> rkeys =
         JoinKeys(*right, static_cast<size_t>(rci), &rstore);
     std::unordered_set<int64_t> keys(rkeys.begin(), rkeys.end());
+    rows.reserve(lkeys.size());
     for (size_t i = 0; i < lkeys.size(); ++i) {
       bool hit = keys.count(lkeys[i]) > 0;
       if (hit != anti) rows.push_back(static_cast<uint32_t>(i));

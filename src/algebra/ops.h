@@ -44,6 +44,8 @@
 namespace mxq {
 namespace alg {
 
+class RadixHashTable;
+
 /// \brief Counters reported by the benchmark harnesses and asserted by
 /// tests; incremented by the operators as they pick physical algorithms.
 struct ExecStats {
@@ -66,6 +68,13 @@ struct ExecStats {
   int64_t radix_partitions = 0;  // total partitions across those builds
   int64_t counting_sorts = 0;    // sorts answered by a counting scatter
   int64_t sel_selects = 0;       // selections answered by a selection vector
+  // partition-parallel execution (docs/execution.md "Parallel execution")
+  int64_t par_tasks = 0;       // chunk tasks dispatched by parallel regions
+  int64_t par_partitions = 0;  // radix partitions built/probed in parallel
+  // per-kernel wall clock, for plan_stats and the ablation benches
+  double join_ms = 0;    // equi/semi join operators (build + probe + gather)
+  double sort_ms = 0;    // Sort / sorting RowNum
+  double filter_ms = 0;  // SelectTrue / SelectEqI64 predicate scans
 
   void Reset() { *this = ExecStats{}; }
 };
@@ -80,8 +89,32 @@ struct ExecFlags {
   bool radix_join = true;   // radix-partitioned flat-table equi/semi joins
   bool sel_vectors = true;  // lazy selection-vector filters
   bool dense_sort = true;   // counting sort on dense leading sort keys
+  // Partition-parallel execution width of the operator kernels. 0 =
+  // process default (env MXQ_THREADS, else hardware concurrency); 1 =
+  // serial operator execution. Layers that no flags reach — the staircase
+  // pair sorts and Table::col() materialization — always follow the
+  // process default, so a *fully* serial process needs MXQ_THREADS=1.
+  // Every parallel path is bit-identical to its serial run by construction
+  // (deterministic chunking + in-order stitching), so this is a pure
+  // performance knob.
+  int threads = 0;
   mutable ExecStats stats;
+
+  /// Effective execution width (resolves threads == 0).
+  int exec_threads() const;
+
+  /// Centralized environment parsing: MXQ_THREADS plus the kernel toggles
+  /// (MXQ_ORDER_OPT, MXQ_POSITIONAL, MXQ_RADIX_JOIN, MXQ_SEL_VECTORS,
+  /// MXQ_DENSE_SORT; "0"/"false"/"no" disable). Benches, tests, and the
+  /// evaluator all construct flags through this one helper so no component
+  /// reads a toggle the others ignore.
+  static ExecFlags FromEnv();
 };
+
+/// Stats accounting for one radix-table build: partitions always; the
+/// parallel counters when the build actually fanned out. Shared by the
+/// algebra operators and xquery/eval.cc's bespoke radix users.
+void CountRadixBuild(const ExecFlags& fl, const RadixHashTable& ht);
 
 // ---- constructors ---------------------------------------------------------
 

@@ -19,9 +19,12 @@
 #ifndef MXQ_ALGEBRA_RADIX_H_
 #define MXQ_ALGEBRA_RADIX_H_
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace mxq {
 namespace alg {
@@ -43,14 +46,19 @@ class RadixHashTable {
   static constexpr int kMaxBits = 12;
 
   RadixHashTable() = default;
-  explicit RadixHashTable(std::span<const uint64_t> keys) { Build(keys); }
-  explicit RadixHashTable(std::span<const int64_t> keys) {
+  explicit RadixHashTable(std::span<const uint64_t> keys, int threads = 1) {
+    Build(keys, threads);
+  }
+  explicit RadixHashTable(std::span<const int64_t> keys, int threads = 1) {
     // Signed/unsigned variants of the same width may alias.
-    Build({reinterpret_cast<const uint64_t*>(keys.data()), keys.size()});
+    Build({reinterpret_cast<const uint64_t*>(keys.data()), keys.size()},
+          threads);
   }
 
   size_t partitions() const { return keys_.empty() ? 0 : part_cap_.size(); }
   size_t entries() const { return keys_.size(); }
+  /// Chunks the build actually fanned out to (1 == serial build).
+  int build_chunks() const { return build_chunks_; }
 
   /// Calls f(build_row) for every entry with this key, in ascending
   /// build-row order (matching the probe-order-preserving hash join).
@@ -84,35 +92,61 @@ class RadixHashTable {
     }
   }
 
-  void Build(std::span<const uint64_t> keys) {
+  void Build(std::span<const uint64_t> keys, int threads) {
     const size_t n = keys.size();
     if (n == 0) return;
+    // Entries, rows, and the kNone sentinel are 32-bit; larger builds must
+    // fail loudly, not truncate.
+    assert(n < kNone);
     int bits = 0;
     while ((n >> bits) > kPartitionTarget && bits < kMaxBits) ++bits;
     const size_t np = size_t{1} << bits;
     part_mask_ = np - 1;
+    const int chunks = PlanChunks(threads, n);
+    build_chunks_ = chunks;
 
-    // Radix-cluster pass 1: histogram by low key bits.
-    std::vector<uint32_t> count(np, 0);
-    for (uint64_t k : keys) ++count[k & part_mask_];
-    std::vector<uint32_t> end(np);  // running scatter cursor, from the top
-    uint32_t sum = 0;
+    // Radix-cluster pass 1: histogram by low key bits, one histogram per
+    // input chunk so chunks never share counters.
+    std::vector<uint32_t> count(static_cast<size_t>(chunks) * np, 0);
+    ParallelChunks(chunks, n, [&](int c, size_t b, size_t e) {
+      uint32_t* h = count.data() + static_cast<size_t>(c) * np;
+      for (size_t i = b; i < e; ++i) ++h[keys[i] & part_mask_];
+    });
+    // Partition totals + per-(chunk, partition) scatter end cursors. The
+    // serial scatter fills each partition from its top downward as the
+    // input row ascends; giving chunk c the cursor range below the chunks
+    // before it reproduces that exact layout (chunk rows are ascending
+    // across chunks), so the parallel build is bit-identical to the serial
+    // one — same entry order, same duplicate chains, same probe results.
+    std::vector<uint32_t> part_count(np, 0), part_off(np + 1, 0);
     for (size_t p = 0; p < np; ++p) {
-      sum += count[p];
-      end[p] = sum;
+      for (int c = 0; c < chunks; ++c)
+        part_count[p] += count[static_cast<size_t>(c) * np + p];
+      part_off[p + 1] = part_off[p] + part_count[p];
+    }
+    std::vector<uint32_t> chunk_end(static_cast<size_t>(chunks) * np);
+    for (size_t p = 0; p < np; ++p) {
+      uint32_t cur = part_off[p + 1];  // partition end (exclusive)
+      for (int c = 0; c < chunks; ++c) {
+        chunk_end[static_cast<size_t>(c) * np + p] = cur;
+        cur -= count[static_cast<size_t>(c) * np + p];
+      }
     }
 
     // Pass 2: scatter (key, row) clustered by partition. Iterating the
-    // input forward while the cursor decrements from the partition end
+    // input forward while the cursor decrements from the chunk's end
     // leaves each partition in *descending* row order; head-insertion below
     // then yields ascending duplicate chains.
     keys_.resize(n);
     rows_.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      uint32_t pos = --end[keys[i] & part_mask_];
-      keys_[pos] = keys[i];
-      rows_[pos] = static_cast<uint32_t>(i);
-    }
+    ParallelChunks(chunks, n, [&](int c, size_t b, size_t e) {
+      uint32_t* end = chunk_end.data() + static_cast<size_t>(c) * np;
+      for (size_t i = b; i < e; ++i) {
+        uint32_t pos = --end[keys[i] & part_mask_];
+        keys_[pos] = keys[i];
+        rows_[pos] = static_cast<uint32_t>(i);
+      }
+    });
 
     // Per-partition flat tables over one arena, 2x-oversized power of two.
     part_cap_.resize(np);
@@ -120,9 +154,9 @@ class RadixHashTable {
     uint64_t total = 0;
     for (size_t p = 0; p < np; ++p) {
       uint32_t cap = 0;
-      if (count[p] > 0) {
+      if (part_count[p] > 0) {
         cap = 4;
-        while (cap < 2 * count[p]) cap <<= 1;
+        while (cap < 2 * part_count[p]) cap <<= 1;
       }
       part_cap_[p] = cap;
       tab_off_[p] = static_cast<uint32_t>(total);
@@ -132,31 +166,36 @@ class RadixHashTable {
     next_.assign(n, kNone);
 
     // Insert each partition's entries (descending row order per above).
-    uint32_t part_begin = 0;
-    for (size_t p = 0; p < np; ++p) {
-      const uint32_t cap = part_cap_[p];
-      uint32_t* table = table_.data() + tab_off_[p];
-      for (uint32_t e = part_begin; e < part_begin + count[p]; ++e) {
-        uint32_t slot = static_cast<uint32_t>(MixHash64(keys_[e])) & (cap - 1);
-        while (true) {
-          uint32_t head = table[slot];
-          if (head == kNone) {
-            table[slot] = e;
-            break;
+    // Partitions are fully independent (disjoint slot arenas, disjoint
+    // entry ranges), so the insert sweep fans out across partitions.
+    ParallelChunks(chunks, np, [&](int, size_t pb, size_t pe) {
+      for (size_t p = pb; p < pe; ++p) {
+        const uint32_t cap = part_cap_[p];
+        uint32_t* table = table_.data() + tab_off_[p];
+        const uint32_t part_begin = part_off[p];
+        for (uint32_t e = part_begin; e < part_begin + part_count[p]; ++e) {
+          uint32_t slot =
+              static_cast<uint32_t>(MixHash64(keys_[e])) & (cap - 1);
+          while (true) {
+            uint32_t head = table[slot];
+            if (head == kNone) {
+              table[slot] = e;
+              break;
+            }
+            if (keys_[head] == keys_[e]) {
+              next_[e] = head;  // chain duplicates at the head
+              table[slot] = e;
+              break;
+            }
+            slot = (slot + 1) & (cap - 1);
           }
-          if (keys_[head] == keys_[e]) {
-            next_[e] = head;  // chain duplicates at the head
-            table[slot] = e;
-            break;
-          }
-          slot = (slot + 1) & (cap - 1);
         }
       }
-      part_begin += count[p];
-    }
+    });
   }
 
   size_t part_mask_ = 0;
+  int build_chunks_ = 1;
   std::vector<uint64_t> keys_;      // clustered by partition
   std::vector<uint32_t> rows_;      // original build rows, parallel to keys_
   std::vector<uint32_t> next_;      // duplicate chains (entry -> entry)

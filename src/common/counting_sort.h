@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
+
 namespace mxq {
 
 /// Profitability bound: counting is used only when the input is big enough
@@ -50,14 +52,35 @@ inline bool ScanRangeProfitable(const std::vector<int64_t>& keys, int64_t* mn,
   return true;
 }
 
+/// Chunk count for a parallel counting pass: PlanChunks bounded so the
+/// per-chunk histograms total at most ~2x the payload (chunks * buckets <=
+/// 2n). The profitability rule admits ranges up to n + 64; without this
+/// bound a wide-range pass at high thread counts would multiply both the
+/// histogram memory and the serial prefix-sum cost by the chunk count —
+/// the parallel pass must never cost more than the serial one it splits.
+inline int CountingChunks(int threads, size_t n, size_t buckets) {
+  int chunks = PlanChunks(threads, n);
+  while (chunks > 1 && static_cast<size_t>(chunks) * buckets > 2 * n)
+    --chunks;
+  return chunks;
+}
+
 /// One stable counting pass: reorders `perm` so keys[perm[i]] is
 /// non-decreasing, preserving the current perm order among equal keys.
 /// `mn`/`range` must bound the keys. Keys already non-decreasing in perm
 /// order make the pass a detected no-op (a stable pass over sorted keys is
 /// the identity) — engine intermediates are very often nearly ordered, and
 /// an adaptive early-out beats re-scattering them.
+///
+/// With threads > 1 the pass runs partition-parallel: each chunk of the
+/// permutation histograms independently, a column-major prefix sum turns
+/// the per-chunk histograms into stable scatter offsets (all of chunk 0's
+/// occurrences of a key precede chunk 1's, exactly like the serial pass),
+/// and the scatter writes disjoint positions. The result is bit-identical
+/// to the serial pass at any thread count.
 inline void CountingPassPerm(const std::vector<int64_t>& keys, int64_t mn,
-                             int64_t range, std::vector<size_t>* perm) {
+                             int64_t range, std::vector<size_t>* perm,
+                             int threads = 1) {
   const size_t n = perm->size();
   bool sorted = true;
   for (size_t i = 1; i < n; ++i)
@@ -66,25 +89,38 @@ inline void CountingPassPerm(const std::vector<int64_t>& keys, int64_t mn,
       break;
     }
   if (sorted) return;
-  std::vector<uint32_t> count(static_cast<size_t>(range) + 1, 0);
-  for (size_t i = 0; i < n; ++i) ++count[keys[(*perm)[i]] - mn];
+  const size_t buckets = static_cast<size_t>(range) + 1;
+  const int chunks = CountingChunks(threads, n, buckets);
+  std::vector<uint32_t> count(static_cast<size_t>(chunks) * buckets, 0);
+  ParallelChunks(chunks, n, [&](int c, size_t b, size_t e) {
+    uint32_t* h = count.data() + static_cast<size_t>(c) * buckets;
+    for (size_t i = b; i < e; ++i) ++h[keys[(*perm)[i]] - mn];
+  });
   uint32_t sum = 0;
-  for (auto& c : count) {
-    uint32_t x = c;
-    c = sum;
-    sum += x;
-  }
+  for (size_t v = 0; v < buckets; ++v)
+    for (int c = 0; c < chunks; ++c) {
+      uint32_t& slot = count[static_cast<size_t>(c) * buckets + v];
+      uint32_t x = slot;
+      slot = sum;
+      sum += x;
+    }
   std::vector<size_t> out(n);
-  for (size_t i = 0; i < n; ++i)
-    out[count[keys[(*perm)[i]] - mn]++] = (*perm)[i];
+  ParallelChunks(chunks, n, [&](int c, size_t b, size_t e) {
+    uint32_t* h = count.data() + static_cast<size_t>(c) * buckets;
+    for (size_t i = b; i < e; ++i)
+      out[h[keys[(*perm)[i]] - mn]++] = (*perm)[i];
+  });
   *perm = std::move(out);
 }
 
 /// Lexicographic stable sort of (first, second) pairs: two counting passes
 /// (LSD radix over the two components) when both ranges are dense enough,
 /// falling back to std::sort. Always leaves *v sorted; returns true when the
-/// counting path ran.
-inline bool SortPairsDense(std::vector<std::pair<int64_t, int64_t>>* v) {
+/// counting path ran. `threads` parallelizes each pass (per-chunk histogram
+/// + stable partitioned scatter, same construction as CountingPassPerm);
+/// output is bit-identical at any thread count.
+inline bool SortPairsDense(std::vector<std::pair<int64_t, int64_t>>* v,
+                           int threads = 1) {
   const size_t n = v->size();
   if (n < 64) {  // tiny inputs: the comparison sort is already cache-resident
     std::sort(v->begin(), v->end());
@@ -118,16 +154,27 @@ inline bool SortPairsDense(std::vector<std::pair<int64_t, int64_t>>* v) {
   auto pass = [&](const std::vector<std::pair<int64_t, int64_t>>& in,
                   std::vector<std::pair<int64_t, int64_t>>& out, int64_t mn,
                   int64_t range, bool by_second) {
-    count.assign(static_cast<size_t>(range) + 1, 0);
-    for (const auto& e : in) ++count[(by_second ? e.second : e.first) - mn];
+    const size_t buckets = static_cast<size_t>(range) + 1;
+    const int chunks = CountingChunks(threads, n, buckets);
+    count.assign(static_cast<size_t>(chunks) * buckets, 0);
+    ParallelChunks(chunks, n, [&](int c, size_t b, size_t e) {
+      uint32_t* h = count.data() + static_cast<size_t>(c) * buckets;
+      for (size_t i = b; i < e; ++i)
+        ++h[(by_second ? in[i].second : in[i].first) - mn];
+    });
     uint32_t sum = 0;
-    for (auto& c : count) {
-      uint32_t x = c;
-      c = sum;
-      sum += x;
-    }
-    for (const auto& e : in)
-      out[count[(by_second ? e.second : e.first) - mn]++] = e;
+    for (size_t v2 = 0; v2 < buckets; ++v2)
+      for (int c = 0; c < chunks; ++c) {
+        uint32_t& slot = count[static_cast<size_t>(c) * buckets + v2];
+        uint32_t x = slot;
+        slot = sum;
+        sum += x;
+      }
+    ParallelChunks(chunks, n, [&](int c, size_t b, size_t e) {
+      uint32_t* h = count.data() + static_cast<size_t>(c) * buckets;
+      for (size_t i = b; i < e; ++i)
+        out[h[(by_second ? in[i].second : in[i].first) - mn]++] = in[i];
+    });
   };
 
   pass(*v, tmp, mn2, r2, /*by_second=*/true);   // minor key first (stable LSD)

@@ -1,0 +1,201 @@
+// Partition-parallel execution: a work-stealing-free, static-partition
+// thread pool shared by the execution kernels.
+//
+// The kernels this pool serves (radix-cluster scatters, hash-table probes,
+// selection-vector morsels, counting-sort passes) are all embarrassingly
+// parallel over *statically known* index ranges, and all of them promise
+// bit-identical output to their serial execution. Static partitioning is
+// what makes that promise cheap to keep: every parallel region splits its
+// input into a deterministic number of contiguous chunks (a function of the
+// requested thread count and the input size only — never of scheduling),
+// each chunk produces its fragment independently, and fragments are
+// stitched back together in chunk order. No work stealing means no
+// scheduling-dependent interleaving anywhere.
+//
+// The pool keeps persistent workers (spawned lazily, woken by condition
+// variable) so a query plan with thousands of operator invocations does not
+// pay thread creation per operator. The calling thread always participates
+// as executor 0; nested parallel regions run inline on their caller.
+
+#ifndef MXQ_COMMON_THREAD_POOL_H_
+#define MXQ_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mxq {
+
+inline int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/// Process-wide default execution width: MXQ_THREADS (clamped to [1, 64])
+/// when set, hardware concurrency otherwise. Read once; ExecFlags::FromEnv
+/// re-reads the variable so tests can vary it per ExecFlags instance.
+inline int DefaultExecThreads() {
+  static const int n = [] {
+    if (const char* s = std::getenv("MXQ_THREADS")) {
+      int v = std::atoi(s);
+      if (v >= 1) return std::min(v, 64);
+    }
+    return HardwareThreads();
+  }();
+  return n;
+}
+
+/// Minimum rows a chunk must carry for a parallel region to be worth its
+/// synchronization: two cache-sized morsels (the wake/join handshake costs
+/// on the order of microseconds; a few thousand rows of sequential work
+/// amortize it).
+inline constexpr size_t kParGrainRows = 8192;
+
+/// Number of chunks a parallel region over `n` items should use at the
+/// given thread budget. Deterministic in (threads, n) — chunk counts must
+/// never depend on pool state, since per-chunk fragments are stitched in
+/// chunk order and tests assert bit-identical output across thread counts.
+inline int PlanChunks(int threads, size_t n) {
+  if (threads <= 1 || n < 2 * kParGrainRows) return 1;
+  return static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), n / kParGrainRows));
+}
+
+/// \brief Persistent-worker pool with static task assignment.
+///
+/// `Run(tasks, fn)` executes fn(0) .. fn(tasks-1) across up to `tasks`
+/// executors: the calling thread (executor 0) plus sleeping workers. Tasks
+/// are assigned as contiguous blocks per executor — no queue, no stealing.
+/// Tasks must not throw. Run() may be invoked from any one thread at a
+/// time; invocations from inside a running task execute inline.
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    // Leaked deliberately: workers park in cv-wait at exit; skipping the
+    // destructor avoids joining through static teardown order.
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  /// Max workers ever spawned (callers clamp thread counts well below).
+  static constexpr int kMaxWorkers = 63;
+
+  void Run(int tasks, const std::function<void(int)>& fn) {
+    if (tasks <= 1) {
+      for (int t = 0; t < tasks; ++t) fn(t);
+      return;
+    }
+    if (in_task_) {  // nested region: the executor just runs it inline
+      for (int t = 0; t < tasks; ++t) fn(t);
+      return;
+    }
+    std::lock_guard<std::mutex> run_lock(run_mu_);  // one job at a time
+    EnsureWorkers(tasks - 1);
+    int executors;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      executors = std::min(tasks, 1 + static_cast<int>(workers_.size()));
+      job_fn_ = &fn;
+      job_tasks_ = tasks;
+      job_executors_ = executors;
+      pending_ = executors - 1;
+      ++generation_;
+    }
+    cv_.notify_all();
+    RunBlock(0, executors, tasks, fn);  // caller is executor 0
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return pending_ == 0; });
+      job_fn_ = nullptr;
+    }
+  }
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  ThreadPool() = default;
+
+  static void RunBlock(int e, int executors, int tasks,
+                       const std::function<void(int)>& fn) {
+    const int64_t b = static_cast<int64_t>(tasks) * e / executors;
+    const int64_t end = static_cast<int64_t>(tasks) * (e + 1) / executors;
+    in_task_ = true;
+    for (int64_t t = b; t < end; ++t) fn(static_cast<int>(t));
+    in_task_ = false;
+  }
+
+  void EnsureWorkers(int want) {
+    // Bound the persistent worker set by the hardware (floor of 8 so the
+    // determinism tests and TSan runs get real concurrency even on tiny
+    // CI machines) — a job wider than the worker set just assigns larger
+    // blocks per executor, which static partitioning handles natively.
+    want = std::min({want, kMaxWorkers, std::max(8, HardwareThreads() - 1)});
+    std::lock_guard<std::mutex> lk(mu_);
+    while (static_cast<int>(workers_.size()) < want) {
+      int widx = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, widx] { WorkerLoop(widx); });
+    }
+  }
+
+  void WorkerLoop(int widx) {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      cv_.wait(lk, [&] { return generation_ != seen; });
+      seen = generation_;
+      const std::function<void(int)>* fn = job_fn_;
+      const int e = widx + 1;
+      const int executors = job_executors_;
+      const int tasks = job_tasks_;
+      // Not participating (job already complete, or narrower than the
+      // worker set): just re-arm on the next generation.
+      if (fn == nullptr || e >= executors) continue;
+      lk.unlock();
+      RunBlock(e, executors, tasks, *fn);
+      lk.lock();
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  std::mutex run_mu_;  // serializes whole jobs
+  std::mutex mu_;      // guards all job/worker state below
+  std::condition_variable cv_;       // workers wait here for a generation
+  std::condition_variable done_cv_;  // the caller waits here for pending_==0
+  std::vector<std::jthread> workers_;
+  const std::function<void(int)>* job_fn_ = nullptr;
+  int job_tasks_ = 0;
+  int job_executors_ = 0;
+  int pending_ = 0;
+  uint64_t generation_ = 0;
+
+  static thread_local bool in_task_;
+};
+
+inline thread_local bool ThreadPool::in_task_ = false;
+
+/// Splits [0, n) into `chunks` near-equal contiguous ranges and runs
+/// fn(chunk, begin, end) for each, concurrently when chunks > 1. Chunk
+/// boundaries depend only on (chunks, n): stitching per-chunk fragments in
+/// chunk order reproduces the serial (single-chunk) result exactly.
+template <class F>
+void ParallelChunks(int chunks, size_t n, F&& fn) {
+  if (chunks <= 1) {
+    fn(0, size_t{0}, n);
+    return;
+  }
+  ThreadPool::Global().Run(chunks, [&](int c) {
+    const size_t b = n * static_cast<size_t>(c) / chunks;
+    const size_t e = n * (static_cast<size_t>(c) + 1) / chunks;
+    fn(c, b, e);
+  });
+}
+
+}  // namespace mxq
+
+#endif  // MXQ_COMMON_THREAD_POOL_H_

@@ -28,8 +28,11 @@ void SortUniqueInto(Pairs* acc, LLStepResult* out) {
   // Both components are dense integer domains (pre ranks bounded by the
   // document, iters bounded by the loop): the counting scatter of
   // common/counting_sort.h replaces the comparison sort on all but
-  // degenerate inputs.
-  SortPairsDense(acc);
+  // degenerate inputs. The staircase layer has no ExecFlags, so the pass
+  // fans out at the process default width (env MXQ_THREADS) — the parallel
+  // counting pass is bit-identical to the serial one, so this stays a pure
+  // performance decision.
+  SortPairsDense(acc, DefaultExecThreads());
   acc->erase(std::unique(acc->begin(), acc->end()), acc->end());
   out->iter.reserve(acc->size());
   out->node.reserve(acc->size());
@@ -522,7 +525,7 @@ LLStepResult IterativeStaircase(const DocumentContainer& doc, Axis axis,
     for (int64_t v : res) acc.emplace_back(v, it);
   }
   LLStepResult out;
-  SortPairsDense(&acc);
+  SortPairsDense(&acc, DefaultExecThreads());
   out.iter.reserve(acc.size());
   out.node.reserve(acc.size());
   for (auto& [node, it] : acc) {

@@ -166,9 +166,12 @@ class Table {
   }
 
   /// Flat column access; materializes (once) through the selection vector.
+  /// The gather runs morsel-parallel at the process default width (env
+  /// MXQ_THREADS) — parallel gathers are position-wise identical to serial
+  /// ones, so memoized content never depends on the thread count.
   const ColumnPtr& col(size_t i) const {
     if (sels_[i]) {
-      cols_[i] = GatherColumnAt(*cols_[i], sels_[i]->idx);
+      cols_[i] = GatherColumnAt(*cols_[i], sels_[i]->idx, DefaultExecThreads());
       sels_[i] = nullptr;
     }
     return cols_[i];

@@ -30,7 +30,10 @@ enum class StepMode : uint8_t { kLoopLifted, kIterative };
 
 /// Run-time switches.
 struct EvalOptions {
-  alg::ExecFlags alg;                       // order_opt / positional + stats
+  // Kernel toggles + thread count + stats, seeded from the environment
+  // (MXQ_THREADS and the MXQ_* kernel toggles) via the one centralized
+  // parser, so the evaluator, benches, and tests agree on defaults.
+  alg::ExecFlags alg = alg::ExecFlags::FromEnv();
   StepMode child_mode = StepMode::kLoopLifted;
   StepMode desc_mode = StepMode::kLoopLifted;  // descendant & other axes
   bool nametest_pushdown = false;  // §3.2 candidate lists from name indexes

@@ -245,6 +245,13 @@ Result<TablePtr> EvalStep(PlanNode* n, Ctx& ctx, const TablePtr& in) {
 // effective boolean value / existence
 // ---------------------------------------------------------------------------
 
+// Both EBV operators read their inputs through the selection-vector-aware
+// accessors (I64At/ItemAt) instead of col(): a lazily filtered rel/loop is
+// never materialized here, and the output's iter column *shares* the loop's
+// column (selection vector included) instead of copying it — only the bool
+// item column is freshly allocated. The loop-sized work that remains is the
+// unavoidable one bool per iteration.
+
 Result<TablePtr> EvalEbv(PlanNode* n, Ctx& ctx, const TablePtr& rel,
                          const TablePtr& loop) {
   DocumentManager& mgr = *ctx.mgr;
@@ -254,33 +261,31 @@ Result<TablePtr> EvalEbv(PlanNode* n, Ctx& ctx, const TablePtr& rel,
   };
   std::unordered_map<int64_t, First> first;
   first.reserve(loop->rows());
-  const ColumnPtr& ic = rel->col("iter");
-  int pos_idx = rel->ColumnIndex("pos");
-  const ColumnPtr& vc = rel->col("item");
+  const int rel_iter = rel->ColumnIndex("iter");
+  const int pos_idx = rel->ColumnIndex("pos");
+  const int rel_item = rel->ColumnIndex("item");
   for (size_t r = 0; r < rel->rows(); ++r) {
-    int64_t it = ic->GetI64(r);
-    int64_t p = pos_idx >= 0 ? rel->col(pos_idx)->GetI64(r)
+    int64_t it = rel->I64At(rel_iter, r);
+    int64_t p = pos_idx >= 0 ? rel->I64At(pos_idx, r)
                              : static_cast<int64_t>(r);
-    auto [f, inserted] = first.try_emplace(it, First{p, vc->GetItem(r)});
-    if (!inserted && p < f->second.pos) f->second = {p, vc->GetItem(r)};
+    auto [f, inserted] =
+        first.try_emplace(it, First{p, rel->ItemAt(rel_item, r)});
+    if (!inserted && p < f->second.pos) f->second = {p, rel->ItemAt(rel_item, r)};
   }
   // Positional predicate mode: numeric first item tests against the
   // context position delivered by the map input.
   std::unordered_map<int64_t, int64_t> ctxpos;
   if (n->flag && n->inputs.size() > 2) {
     MXQ_ASSIGN_OR_RETURN(TablePtr pm, EvalIn(n->inputs[2], ctx));
-    const ColumnPtr& inner = pm->col("inner");
-    const ColumnPtr& pos = pm->col("pos");
+    const int inner = pm->ColumnIndex("inner");
+    const int pos = pm->ColumnIndex("pos");
     for (size_t r = 0; r < pm->rows(); ++r)
-      ctxpos[inner->GetI64(r)] = pos->GetI64(r);
+      ctxpos[pm->I64At(inner, r)] = pm->I64At(pos, r);
   }
 
-  const ColumnPtr& lc = loop->col(0);
-  std::vector<int64_t> out_iter(loop->rows());
   std::vector<Item> out_val(loop->rows());
   for (size_t r = 0; r < loop->rows(); ++r) {
-    int64_t it = lc->GetI64(r);
-    out_iter[r] = it;
+    int64_t it = loop->I64At(0, r);
     auto f = first.find(it);
     bool b = false;
     if (f != first.end()) {
@@ -298,7 +303,7 @@ Result<TablePtr> EvalEbv(PlanNode* n, Ctx& ctx, const TablePtr& rel,
     out_val[r] = Item::Bool(b);
   }
   auto t = Table::Make();
-  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("iter", loop->raw_col(0), loop->col_sel(0));
   t->AddColumn("item", Column::MakeItem(std::move(out_val)));
   t->props().dense = loop->props().dense.count(loop->name(0))
                          ? std::set<std::string>{"iter"}
@@ -308,20 +313,44 @@ Result<TablePtr> EvalEbv(PlanNode* n, Ctx& ctx, const TablePtr& rel,
   return t;
 }
 
-TablePtr EvalExists(const TablePtr& rel, const TablePtr& loop) {
-  std::unordered_set<int64_t> present;
-  present.reserve(rel->rows());
-  const ColumnPtr& ic = rel->col("iter");
-  for (size_t r = 0; r < rel->rows(); ++r) present.insert(ic->GetI64(r));
-  const ColumnPtr& lc = loop->col(0);
-  std::vector<int64_t> out_iter(loop->rows());
+TablePtr EvalExists(Ctx& ctx, const TablePtr& rel, const TablePtr& loop) {
+  const alg::ExecFlags& fl = ctx.opts->alg;
+  const int rel_iter = rel->ColumnIndex("iter");
   std::vector<Item> out_val(loop->rows());
-  for (size_t r = 0; r < loop->rows(); ++r) {
-    out_iter[r] = lc->GetI64(r);
-    out_val[r] = Item::Bool(present.count(out_iter[r]) > 0);
+  if (fl.radix_join) {
+    // Membership via the radix-partitioned table; the per-iteration probe
+    // scan is pure (Contains + I64At) and fans out over morsels. A flat
+    // i64 iter column builds straight from its storage; only lazily
+    // selected (or item) columns are copied out first.
+    std::vector<int64_t> storage;
+    std::span<const int64_t> keys;
+    const Column& ic = *rel->raw_col(rel_iter);
+    if (!rel->col_sel(rel_iter) && ic.is_i64()) {
+      keys = {ic.i64().data(), ic.i64().size()};
+    } else {
+      storage.reserve(rel->rows());
+      for (size_t r = 0; r < rel->rows(); ++r)
+        storage.push_back(rel->I64At(rel_iter, r));
+      keys = {storage.data(), storage.size()};
+    }
+    alg::RadixHashTable ht(keys, fl.exec_threads());
+    alg::CountRadixBuild(fl, ht);
+    const int chunks = PlanChunks(fl.exec_threads(), loop->rows());
+    ParallelChunks(chunks, loop->rows(), [&](int, size_t b, size_t e) {
+      for (size_t r = b; r < e; ++r)
+        out_val[r] = Item::Bool(ht.Contains(loop->I64At(0, r)));
+    });
+    if (chunks > 1) fl.stats.par_tasks += chunks;
+  } else {
+    std::unordered_set<int64_t> present;
+    present.reserve(rel->rows());
+    for (size_t r = 0; r < rel->rows(); ++r)
+      present.insert(rel->I64At(rel_iter, r));
+    for (size_t r = 0; r < loop->rows(); ++r)
+      out_val[r] = Item::Bool(present.count(loop->I64At(0, r)) > 0);
   }
   auto t = Table::Make();
-  t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
+  t->AddColumn("iter", loop->raw_col(0), loop->col_sel(0));
   t->AddColumn("item", Column::MakeItem(std::move(out_val)));
   if (loop->props().is_key(loop->name(0))) t->props().key.insert("iter");
   if (loop->props().is_dense(loop->name(0))) t->props().dense.insert("iter");
@@ -352,11 +381,17 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
     pairs.reserve(lhs->rows());
     if (ctx.opts->alg.radix_join) {
       ++stats.radix_joins;
+      const int threads = ctx.opts->alg.exec_threads();
       std::vector<uint64_t> rhash(rhs->rows());
-      for (size_t r = 0; r < rhs->rows(); ++r)
-        rhash[r] = HashItem(mgr, rv->GetItem(r));
-      alg::RadixHashTable ht{std::span<const uint64_t>(rhash)};
-      stats.radix_partitions += static_cast<int64_t>(ht.partitions());
+      const int hchunks = PlanChunks(threads, rhs->rows());
+      ParallelChunks(hchunks, rhs->rows(), [&](int, size_t b, size_t e) {
+        const DocumentManager& cmgr = mgr;  // HashItem is read-only
+        for (size_t r = b; r < e; ++r)
+          rhash[r] = HashItem(cmgr, rv->GetItem(r));
+      });
+      if (hchunks > 1) stats.par_tasks += hchunks;
+      alg::RadixHashTable ht{std::span<const uint64_t>(rhash), threads};
+      alg::CountRadixBuild(ctx.opts->alg, ht);
       for (size_t l = 0; l < lhs->rows(); ++l) {
         Item v = lv->GetItem(l);
         ht.ForEach(HashItem(mgr, v), [&](uint32_t r) {
@@ -381,7 +416,8 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
     }
     ++stats.merge_dedups;
     if (ctx.opts->alg.dense_sort) {
-      if (SortPairsDense(&pairs)) ++stats.counting_sorts;
+      if (SortPairsDense(&pairs, ctx.opts->alg.exec_threads()))
+        ++stats.counting_sorts;
     } else {
       std::sort(pairs.begin(), pairs.end());
     }
@@ -801,7 +837,7 @@ Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
     case OpCode::kExists: {
       MXQ_ASSIGN_OR_RETURN(TablePtr rel, EvalIn(n->inputs[0], ctx));
       MXQ_ASSIGN_OR_RETURN(TablePtr loop, EvalIn(n->inputs[1], ctx));
-      out = EvalExists(rel, loop);
+      out = EvalExists(ctx, rel, loop);
       break;
     }
     case OpCode::kExistJoin: {

@@ -4,15 +4,23 @@
 // Every kernel must produce bit-identical tables (same rows, same order,
 // same columns) as its pre-kernel fallback on randomized inputs, and the
 // ExecStats counters must show the fast paths actually being taken.
+//
+// The parallel-determinism suite at the bottom holds the partition-parallel
+// execution core (common/thread_pool.h + the threaded kernels) to the same
+// bar: at threads=4 every kernel must be bit-identical to its threads=1
+// run, and par_tasks must show the parallel paths actually fanning out.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <limits>
 #include <random>
 
 #include "algebra/ops.h"
 #include "algebra/radix.h"
 #include "common/counting_sort.h"
+#include "common/thread_pool.h"
 
 namespace mxq {
 namespace alg {
@@ -389,6 +397,238 @@ TEST(SelVectorTest, EmptySelection) {
   EXPECT_EQ(none->rows(), 0u);
   auto j = EquiJoinI64(fl, none, "iter", MakeLoop(10), "iter", {{"iter", "m"}});
   EXPECT_EQ(j->rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// thread pool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  const int tasks = 37;
+  std::vector<std::atomic<int>> hits(tasks);
+  ThreadPool::Global().Run(tasks, [&](int t) { ++hits[t]; });
+  for (int t = 0; t < tasks; ++t) EXPECT_EQ(hits[t].load(), 1) << t;
+  // Back-to-back jobs on the same (now-warm) pool.
+  std::atomic<int64_t> sum{0};
+  ThreadPool::Global().Run(8, [&](int t) { sum += t; });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPoolTest, ParallelChunksCoverTheRangeInOrder) {
+  const size_t n = 100001;
+  std::vector<uint8_t> seen(n, 0);
+  ParallelChunks(7, n, [&](int, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) seen[i] = 1;
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(seen[i], 1) << i;
+  // Chunk counts are a pure function of (threads, n): grain-bound on
+  // small inputs, thread-bound once every chunk carries kParGrainRows.
+  EXPECT_EQ(PlanChunks(4, 2 * kParGrainRows), 2);
+  EXPECT_EQ(PlanChunks(4, 4 * kParGrainRows), 4);
+  EXPECT_EQ(PlanChunks(4, kParGrainRows), 1);
+  EXPECT_EQ(PlanChunks(1, 1 << 20), 1);
+}
+
+// ---------------------------------------------------------------------------
+// parallel determinism: threads=4 must be bit-identical to threads=1
+// ---------------------------------------------------------------------------
+
+ExecFlags SerialFlags() {
+  ExecFlags fl;
+  fl.threads = 1;
+  return fl;
+}
+
+ExecFlags ParallelFlags() {
+  ExecFlags fl;
+  fl.threads = 4;
+  return fl;
+}
+
+TEST(ParallelDeterminismTest, EquiJoinI64MatchesSerial) {
+  const size_t n = 60000;
+  auto left = MakeTable({{"k", I64Col(RandomKeys(n, 1, 20000, 101))},
+                         {"payload", I64Col(RandomKeys(n, 0, 1 << 20, 102))}});
+  auto right = MakeTable({{"k", I64Col(RandomKeys(n, 1, 20000, 103))},
+                          {"v", I64Col(RandomKeys(n, 0, 1 << 20, 104))}});
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  par.positional = ser.positional = false;  // force the radix kernel
+  auto jp = EquiJoinI64(par, left, "k", right, "k", {{"v", "v"}});
+  auto js = EquiJoinI64(ser, left, "k", right, "k", {{"v", "v"}});
+  ExpectSameTable(jp, js);
+  EXPECT_GT(par.stats.par_tasks, 0);       // build and/or probe fanned out
+  EXPECT_GT(par.stats.par_partitions, 0);  // the build did
+  EXPECT_EQ(ser.stats.par_tasks, 0);
+  EXPECT_GT(par.stats.join_ms, 0.0);
+}
+
+TEST(ParallelDeterminismTest, SemiAndAntiJoinMatchSerial) {
+  const size_t n = 50000;
+  auto left = MakeTable({{"k", I64Col(RandomKeys(n, 1, 9000, 111))},
+                         {"p", I64Col(RandomKeys(n, 0, 99, 112))}});
+  auto right = MakeTable({{"k", I64Col(RandomKeys(n / 2, 1, 9000, 113))}});
+  for (bool anti : {false, true}) {
+    ExecFlags par = ParallelFlags();
+    ExecFlags ser = SerialFlags();
+    auto sp = SemiJoinI64(par, left, "k", right, "k", anti);
+    auto ss = SemiJoinI64(ser, left, "k", right, "k", anti);
+    ExpectSameTable(sp, ss);
+    EXPECT_GT(par.stats.par_tasks, 0);
+  }
+}
+
+TEST(ParallelDeterminismTest, EquiJoinItemMatchesSerial) {
+  DocumentManager mgr;
+  const size_t n = 40000;
+  std::mt19937 rng(121);
+  std::vector<Item> lv(n), rv(n);
+  for (size_t i = 0; i < n; ++i) {
+    lv[i] = Item::Int(static_cast<int64_t>(rng() % 5000));
+    rv[i] = Item::Int(static_cast<int64_t>(rng() % 5000));
+  }
+  auto left = MakeTable({{"v", Column::MakeItem(lv)}});
+  auto right = MakeTable({{"v", Column::MakeItem(rv)},
+                          {"sid", I64Col(RandomKeys(n, 1, 1000, 122))}});
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  auto jp = EquiJoinItem(mgr, par, left, "v", right, "v", {{"sid", "sid"}});
+  auto js = EquiJoinItem(mgr, ser, left, "v", right, "v", {{"sid", "sid"}});
+  ExpectSameTable(jp, js);
+  EXPECT_GT(par.stats.par_tasks, 0);  // build-side hashing + radix build
+}
+
+TEST(ParallelDeterminismTest, FilterMatchesSerial) {
+  DocumentManager mgr;
+  auto t = BoolTable(70000, 131);
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  auto fp = SelectTrue(mgr, par, t, "b");
+  auto fs = SelectTrue(mgr, ser, t, "b");
+  EXPECT_TRUE(fp->lazy());  // before ExpectSameTable materializes it
+  ExpectSameTable(fp, fs);
+  EXPECT_GT(par.stats.par_tasks, 0);
+  EXPECT_EQ(par.stats.sel_selects, 1);  // still a lazy selection vector
+  EXPECT_GT(par.stats.filter_ms, 0.0);
+
+  ExecFlags par2 = ParallelFlags();
+  ExecFlags ser2 = SerialFlags();
+  auto ep = SelectEqI64(par2, t, "iter", 500);
+  auto es = SelectEqI64(ser2, t, "iter", 500);
+  ExpectSameTable(ep, es);
+  EXPECT_GT(par2.stats.par_tasks, 0);
+}
+
+TEST(ParallelDeterminismTest, CountingSortMatchesSerial) {
+  DocumentManager mgr;
+  const size_t n = 80000;
+  auto keys = RandomKeys(n, 1, 4000, 141);
+  auto tie = RandomKeys(n, 1, 300, 142);
+  auto payload = RandomKeys(n, 0, 1 << 30, 143);
+  auto make = [&] {
+    return MakeTable({{"iter", I64Col(keys)},
+                      {"pos", I64Col(tie)},
+                      {"payload", I64Col(payload)}});
+  };
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  auto sp = Sort(mgr, par, make(), {"iter", "pos"});
+  auto ss = Sort(mgr, ser, make(), {"iter", "pos"});
+  ExpectSameTable(sp, ss);
+  EXPECT_EQ(par.stats.counting_sorts, 1);
+  EXPECT_GT(par.stats.par_tasks, 0);
+  EXPECT_GT(par.stats.sort_ms, 0.0);
+}
+
+TEST(ParallelDeterminismTest, ComparisonSortGatherMatchesSerial) {
+  // Sparse keys: the comparison sort runs, but the output gather still
+  // fans out — the permuted table must be identical either way.
+  DocumentManager mgr;
+  const size_t n = 40000;
+  auto keys = RandomKeys(n, -1000000000, 1000000000, 151);
+  auto payload = RandomKeys(n, 0, 1 << 20, 152);
+  auto make = [&] {
+    return MakeTable({{"k", I64Col(keys)}, {"p", I64Col(payload)}});
+  };
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  auto sp = Sort(mgr, par, make(), {"k"});
+  auto ss = Sort(mgr, ser, make(), {"k"});
+  ExpectSameTable(sp, ss);
+  EXPECT_EQ(par.stats.counting_sorts, 0);
+}
+
+TEST(ParallelDeterminismTest, SortPairsDenseMatchesSerial) {
+  std::mt19937 rng(161);
+  std::vector<std::pair<int64_t, int64_t>> a;
+  const size_t n = 90000;
+  a.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    a.emplace_back(static_cast<int64_t>(rng() % 10000),
+                   static_cast<int64_t>(rng() % 10000));
+  auto b = a;
+  EXPECT_TRUE(SortPairsDense(&a, /*threads=*/4));
+  EXPECT_TRUE(SortPairsDense(&b, /*threads=*/1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelDeterminismTest, RadixBuildLayoutMatchesSerial) {
+  // The parallel build must reproduce the serial build's probe results
+  // exactly: same matches, same (ascending build-row) order per key.
+  const size_t n = 100000;
+  auto keys = RandomKeys(n, -50000, 50000, 171);
+  RadixHashTable par{std::span<const int64_t>(keys), 4};
+  RadixHashTable ser{std::span<const int64_t>(keys), 1};
+  EXPECT_GT(par.build_chunks(), 1);
+  EXPECT_EQ(ser.build_chunks(), 1);
+  EXPECT_EQ(par.partitions(), ser.partitions());
+  for (size_t i = 0; i < n; i += 61) {
+    std::vector<uint32_t> rp, rs;
+    par.ForEach(keys[i], [&](uint32_t r) { rp.push_back(r); });
+    ser.ForEach(keys[i], [&](uint32_t r) { rs.push_back(r); });
+    ASSERT_EQ(rp, rs) << "key " << keys[i];
+  }
+}
+
+TEST(ParallelDeterminismTest, RowNumSortingVariantMatchesSerial) {
+  DocumentManager mgr;
+  const size_t n = 50000;
+  auto g = RandomKeys(n, 1, 200, 181);
+  auto o = RandomKeys(n, 1, 5000, 182);
+  auto make = [&] {
+    return MakeTable({{"g", I64Col(g)}, {"o", I64Col(o)}});
+  };
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  par.order_opt = ser.order_opt = false;  // force the sorting variant
+  auto rp = RowNum(mgr, par, make(), "n", {"o"}, "g");
+  auto rs = RowNum(mgr, ser, make(), "n", {"o"}, "g");
+  ExpectSameTable(rp, rs);
+  EXPECT_GT(par.stats.par_tasks, 0);
+}
+
+// ---------------------------------------------------------------------------
+// centralized ExecFlags environment parsing
+// ---------------------------------------------------------------------------
+
+TEST(ExecFlagsTest, FromEnvReadsThreadsAndToggles) {
+  ::setenv("MXQ_THREADS", "5", 1);
+  ::setenv("MXQ_RADIX_JOIN", "0", 1);
+  ::setenv("MXQ_DENSE_SORT", "false", 1);
+  ExecFlags fl = ExecFlags::FromEnv();
+  EXPECT_EQ(fl.threads, 5);
+  EXPECT_EQ(fl.exec_threads(), 5);
+  EXPECT_FALSE(fl.radix_join);
+  EXPECT_FALSE(fl.dense_sort);
+  EXPECT_TRUE(fl.sel_vectors);  // untouched toggle keeps its default
+  EXPECT_TRUE(fl.order_opt);
+  ::unsetenv("MXQ_THREADS");
+  ::unsetenv("MXQ_RADIX_JOIN");
+  ::unsetenv("MXQ_DENSE_SORT");
+  ExecFlags dflt = ExecFlags::FromEnv();
+  EXPECT_EQ(dflt.threads, 0);  // resolves via DefaultExecThreads()
+  EXPECT_GE(dflt.exec_threads(), 1);
+  EXPECT_TRUE(dflt.radix_join);
 }
 
 }  // namespace
