@@ -158,10 +158,14 @@ class XMarkInstance {
     return it->second;
   }
 
-  /// Executes query qn; aborts on error; returns result size.
-  size_t Run(int qn, xq::EvalOptions* opts, bool join_recognition = true) {
+  /// Executes query qn; aborts on error; returns result size. `scan`
+  /// receives this execution's staircase scan statistics when non-null
+  /// (stats are per-QueryResult, not engine state).
+  size_t Run(int qn, xq::EvalOptions* opts, bool join_recognition = true,
+             ScanStats* scan = nullptr) {
     auto r = engine_.Execute(Compiled(qn, join_recognition), opts);
     if (!r.ok()) std::abort();
+    if (scan) *scan = r->scan_stats();
     return r->items.size();
   }
 

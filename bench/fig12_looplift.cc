@@ -29,10 +29,10 @@ void RunConfig(benchmark::State& state, mxq::xq::StepMode child,
   eo.desc_mode = desc;
   eo.nametest_pushdown = pushdown;
   size_t n = 0;
-  for (auto _ : state) n = inst.Run(qn, &eo);
+  mxq::ScanStats scan;
+  for (auto _ : state) n = inst.Run(qn, &eo, /*join_recognition=*/true, &scan);
   state.counters["result_items"] = static_cast<double>(n);
-  state.counters["slots_touched"] =
-      static_cast<double>(inst.engine().last_scan_stats().slots_touched);
+  state.counters["slots_touched"] = static_cast<double>(scan.slots_touched);
   state.SetLabel(mxq::xmark::XMarkQueryLabel(qn));
 }
 

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benchmark set (fig13_joinrec, fig14_sortred,
-# fig15_scalability, table1_xmark) and merges everything — google-benchmark
-# results plus the kernel-comparison / thread-sweep summaries the bench
-# mains emit via MXQ_BENCH_JSON — into one JSON artifact (default
-# BENCH_pr3.json) that is checked in as the perf evidence for the PR.
+# fig15_scalability, table1_xmark, serving_throughput) and merges everything
+# — google-benchmark results plus the kernel-comparison / thread-sweep /
+# session-sweep summaries the bench mains emit via MXQ_BENCH_JSON — into one
+# JSON artifact (default BENCH_pr4.json) that is checked in as the perf
+# evidence for the PR.
 #
 # fig15_scalability is the partition-parallel thread sweep: each kernel
 # (radix join, counting sort, morsel filter) and the join-heavy XMark
-# queries at ExecFlags::threads = 1/2/4/N. Speedups are bounded by the
-# `num_cpus` recorded in the artifact's context.
+# queries at ExecFlags::threads = 1/2/4/N. serving_throughput is the
+# Session-API sweep: queries/sec for 1/2/4 concurrent sessions sharing one
+# engine, plan cache warm vs cold. Speedups and session scaling are bounded
+# by the `num_cpus` recorded in the artifact's context.
 #
 # Usage: bench/run_all.sh [out.json]
 #   MXQ_SCALE     document scale multiplier (default 0.1)
@@ -23,7 +26,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT=${1:-BENCH_pr3.json}
+OUT=${1:-BENCH_pr4.json}
 BUILD=${BUILD_DIR:-build}
 export MXQ_SCALE=${MXQ_SCALE:-0.1}
 FILTER=${BENCH_FILTER:+--benchmark_filter=${BENCH_FILTER}}
@@ -34,7 +37,8 @@ trap 'rm -rf "$TMP"' EXIT
 # Repetitions with random interleaving: the kernels-on and kernels-off
 # variants must not be compared cold-vs-warm.
 REPS=${BENCH_REPS:-3}
-for b in fig13_joinrec fig14_sortred fig15_scalability table1_xmark; do
+for b in fig13_joinrec fig14_sortred fig15_scalability table1_xmark \
+         serving_throughput; do
   [ -x "$BUILD/$b" ] || { echo "missing $BUILD/$b — build first" >&2; exit 1; }
   echo "== $b (MXQ_SCALE=$MXQ_SCALE, reps=$REPS)" >&2
   MXQ_BENCH_JSON="$TMP/$b.kernels.json" \
@@ -58,7 +62,7 @@ def load(path):
         return None
 
 for b in ("fig13_joinrec", "fig14_sortred", "fig15_scalability",
-          "table1_xmark"):
+          "table1_xmark", "serving_throughput"):
     gb = load(os.path.join(tmp, f"{b}.json"))
     entry = {}
     if gb:

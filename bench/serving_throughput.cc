@@ -1,0 +1,174 @@
+// Serving throughput through the Session API: queries/sec for one vs many
+// concurrent sessions sharing an engine, and the cost of a cold plan cache
+// (compile every request) vs a warm one (compile once, serve many).
+//
+// The request loop models a serving frontend: every request is
+// Prepare (cache lookup) -> Bind -> Execute on a prepared query with an
+// external variable, and every QueryResult owns its node space, so the
+// benchmark exercises exactly the concurrency contract of docs/api.md.
+// Session scaling is bounded by `num_cpus` in the artifact context.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+constexpr double kScale = 0.1;
+
+// Parameterized XMark Q5 (exact match + aggregation): the kind of point
+// query a serving workload repeats with different parameter values.
+const char* kServeQuery =
+    R"(declare variable $minprice as xs:integer external;
+       count(for $i in doc("auction.xml")/site/closed_auctions/closed_auction
+             where $i/price/text() >= $minprice return $i/price))";
+
+mxq::bench::XMarkInstance& Instance() {
+  return mxq::bench::XMarkInstance::Get(kScale * mxq::bench::ScaleEnv());
+}
+
+/// One serving request: prepare through the shared plan cache, bind this
+/// session's parameter, execute. Returns the result size.
+size_t ServeOne(mxq::xq::Session& session, int64_t minprice) {
+  auto plan = session.Prepare(kServeQuery);
+  if (!plan.ok()) std::abort();
+  session.Bind("minprice", minprice);
+  auto r = session.Execute(*plan);
+  if (!r.ok()) std::abort();
+  return r->items.size();
+}
+
+/// Warm path, 1..N benchmark threads, one session per thread. Queries/sec
+/// is the items_per_second counter.
+void ServingWarm(benchmark::State& state) {
+  auto& inst = Instance();
+  mxq::xq::Session session = inst.engine().CreateSession();
+  const int64_t minprice = 40 + state.thread_index();
+  size_t n = 0;
+  for (auto _ : state) n = ServeOne(session, minprice);
+  state.counters["result_items"] = static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Cold path: plan cache disabled, so every request re-parses and
+/// re-compiles. The warm/cold ratio is what the plan cache buys.
+void ServingCold(benchmark::State& state) {
+  auto& inst = Instance();
+  // Separate engine over the same documents; capacity 0 disables caching.
+  static mxq::xq::XQueryEngine cold_engine(&inst.mgr(),
+                                           /*plan_cache_capacity=*/0);
+  mxq::xq::Session session(&cold_engine);
+  const int64_t minprice = 40 + state.thread_index();
+  size_t n = 0;
+  for (auto _ : state) n = ServeOne(session, minprice);
+  state.counters["result_items"] = static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Execute-only (plan prepared once outside the loop): the per-request
+/// floor of the execution engine itself.
+void ServingExecuteOnly(benchmark::State& state) {
+  auto& inst = Instance();
+  mxq::xq::Session session = inst.engine().CreateSession();
+  auto plan = session.Prepare(kServeQuery);
+  if (!plan.ok()) std::abort();
+  session.Bind("minprice", int64_t{40 + state.thread_index()});
+  size_t n = 0;
+  for (auto _ : state) {
+    auto r = session.Execute(*plan);
+    if (!r.ok()) std::abort();
+    n = r->items.size();
+  }
+  state.counters["result_items"] = static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations());
+}
+
+// ---------------------------------------------------------------------------
+// JSON session-sweep summary for bench/run_all.sh
+// ---------------------------------------------------------------------------
+
+/// Wall-clock queries/sec of `sessions` threads issuing `reqs` requests
+/// each against one shared engine.
+double MeasureQps(int sessions, int reqs, bool warm) {
+  auto& inst = Instance();
+  mxq::xq::XQueryEngine cold(&inst.mgr(), 0);
+  mxq::xq::XQueryEngine& eng = warm ? inst.engine() : cold;
+  double ms = mxq::bench::BestOfMs(3, [&] {
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (int t = 0; t < sessions; ++t) {
+      threads.emplace_back([&eng, t, reqs] {
+        mxq::xq::Session s = eng.CreateSession();
+        for (int i = 0; i < reqs; ++i) ServeOne(s, 40 + t);
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+  return ms > 0 ? 1000.0 * sessions * reqs / ms : 0.0;
+}
+
+void WriteSessionSweep(const char* path) {
+  const int reqs = 32;
+  mxq::bench::JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", std::string("serving_throughput"));
+  w.Field("hardware_threads", static_cast<int64_t>(mxq::HardwareThreads()));
+  w.Field("requests_per_session", static_cast<int64_t>(reqs));
+  w.BeginArray("sessions");
+  double qps1 = 0;
+  for (int s : {1, 2, 4}) {
+    double warm = MeasureQps(s, reqs, /*warm=*/true);
+    double cold = MeasureQps(s, reqs, /*warm=*/false);
+    if (s == 1) qps1 = warm;
+    w.BeginObject();
+    w.Field("sessions", static_cast<int64_t>(s));
+    w.Field("qps_warm", warm);
+    w.Field("qps_cold", cold);
+    w.Field("warm_over_cold", cold > 0 ? warm / cold : 0.0);
+    w.Field("scaling_vs_1", qps1 > 0 ? warm / qps1 : 1.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  auto cs = Instance().engine().plan_cache_stats();
+  w.BeginObject("plan_cache");
+  w.Field("hits", cs.hits);
+  w.Field("misses", cs.misses);
+  w.Field("evictions", cs.evictions);
+  w.EndObject();
+  w.EndObject();
+  w.WriteFile(path);
+}
+
+}  // namespace
+
+BENCHMARK(ServingWarm)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(ServingCold)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(ServingExecuteOnly)
+    ->Threads(1)
+    ->Threads(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (const char* path = std::getenv("MXQ_BENCH_JSON"))
+    WriteSessionSweep(path);
+  benchmark::Shutdown();
+  return 0;
+}

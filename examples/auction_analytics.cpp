@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
               static_cast<long long>((*doc)->NodeCount()), MsSince(t0));
 
   xq::XQueryEngine engine(&mgr);
+  xq::Session session = engine.CreateSession();
 
   struct Report {
     const char* what;
@@ -70,28 +71,33 @@ int main(int argc, char** argv) {
   };
 
   for (const Report& r : reports) {
-    // Compile once with join recognition on and off to show the §4 effect.
+    // Prepare once (plan cache) with join recognition on and off to show
+    // the §4 effect; execution statistics come back on each QueryResult.
     for (bool jr : {true, false}) {
       xq::CompileOptions co;
       co.join_recognition = jr;
-      auto q = engine.Compile(r.query, co);
+      auto q = session.Prepare(r.query, co);
       if (!q.ok()) {
         std::fprintf(stderr, "compile: %s\n", q.status().ToString().c_str());
         return 1;
       }
-      xq::EvalOptions eo;
       t0 = Clock::now();
-      auto res = engine.Execute(*q, &eo);
+      auto res = session.Execute(*q);
       double ms = MsSince(t0);
       if (!res.ok()) {
         std::fprintf(stderr, "exec: %s\n", res.status().ToString().c_str());
         return 1;
       }
       if (jr) {
-        std::string s = res->Serialize(mgr);
+        std::string s = res->Serialize();
         if (s.size() > 160) s = s.substr(0, 160) + "...";
         std::printf("\n%s\n  -> %s\n", r.what, s.c_str());
-        std::printf("  with join recognition   : %8.2f ms\n", ms);
+        std::printf("  with join recognition   : %8.2f ms "
+                    "(%lld radix joins, %lld tuples)\n",
+                    ms,
+                    static_cast<long long>(res->exec_stats().radix_joins),
+                    static_cast<long long>(
+                        res->exec_stats().tuples_materialized));
       } else {
         std::printf("  without (cross product) : %8.2f ms\n", ms);
       }

@@ -1,13 +1,16 @@
-// Quickstart: load an XML document, run XQuery, read the results.
+// Quickstart: load an XML document, run XQuery through the serving API,
+// read the results.
 //
 //   $ ./quickstart
 //
 // Walks through the whole public API surface: DocumentManager (storage),
-// ShredDocument (XML -> pre|size|level), XQueryEngine (compile + execute),
-// and serialization.
+// ShredDocument (XML -> pre|size|level), XQueryEngine + Session (prepared
+// queries, parameter binding, per-execution results), the plan cache, and
+// the streaming cursor.
 
 #include <cstdio>
 
+#include "xml/serializer.h"
 #include "xml/shredder.h"
 #include "xquery/engine.h"
 
@@ -32,8 +35,9 @@ int main() {
   std::printf("loaded library.xml: %lld nodes\n",
               static_cast<long long>((*doc)->NodeCount()));
 
-  // 3. Compile and run XQuery.
+  // 3. One thread-safe engine per process; one cheap session per caller.
   xq::XQueryEngine engine(&mgr);
+  xq::Session session = engine.CreateSession();
   const char* queries[] = {
       // Path navigation with a predicate.
       R"(doc("library.xml")/library/book[@year >= 2004]/title/text())",
@@ -47,7 +51,7 @@ int main() {
       R"(doc("library.xml")//book[pages = 12]/title/text())",
   };
   for (const char* q : queries) {
-    auto result = engine.Run(q);
+    auto result = session.Run(q);
     if (!result.ok()) {
       std::fprintf(stderr, "query error: %s\n",
                    result.status().ToString().c_str());
@@ -56,15 +60,60 @@ int main() {
     std::printf("\nquery : %s\nresult: %s\n", q, result->c_str());
   }
 
-  // 4. Compile once, execute many times (plan caching), inspect statistics.
-  auto compiled = engine.Compile(R"(count(doc("library.xml")//book))");
-  std::printf("\nplan: %d operators, %d joins, %d staircase steps\n",
-              compiled->stats.num_ops, compiled->stats.num_joins,
-              compiled->stats.num_steps);
-  xq::EvalOptions opts;
-  for (int i = 0; i < 3; ++i) {
-    auto r = engine.Execute(*compiled, &opts);
-    std::printf("execution %d -> %s\n", i + 1, r->Serialize(mgr).c_str());
+  // 4. Prepared query with an external variable: compile once (cached),
+  //    bind and execute many times. Each QueryResult owns its node space,
+  //    so earlier results stay valid across later executions.
+  auto compiled = session.Prepare(
+      R"(declare variable $minyear as xs:integer external;
+         for $b in doc("library.xml")//book
+         where $b/@year >= $minyear
+         return $b/title/text())");
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nplan: %d operators, %d joins, %d staircase steps, "
+              "%zu external variable(s)\n",
+              (*compiled)->stats.num_ops, (*compiled)->stats.num_joins,
+              (*compiled)->stats.num_steps, (*compiled)->params.size());
+  for (int64_t year : {2003, 2004, 2006}) {
+    session.Bind("minyear", year);
+    auto r = session.Execute(*compiled);
+    if (!r.ok()) {
+      std::fprintf(stderr, "execute error: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("titles since %lld -> %s  (%lld tuples materialized)\n",
+                static_cast<long long>(year), r->Serialize().c_str(),
+                static_cast<long long>(r->exec_stats().tuples_materialized));
+  }
+  auto cache = engine.plan_cache_stats();
+  std::printf("plan cache: %lld hits, %lld misses, %lld cached\n",
+              static_cast<long long>(cache.hits),
+              static_cast<long long>(cache.misses),
+              static_cast<long long>(cache.size));
+
+  // 5. Streaming cursor: consume a large result in batches instead of one
+  //    materialized vector + string.
+  auto titles = session.Prepare(R"(doc("library.xml")//book/title/text())");
+  if (!titles.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 titles.status().ToString().c_str());
+    return 1;
+  }
+  auto cursor = session.OpenCursor(*titles);
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "cursor error: %s\n",
+                 cursor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncursor over %zu titles, batches of 2:\n",
+              cursor->total_rows());
+  std::vector<Item> batch;
+  while (cursor->Next(&batch, 2)) {
+    std::printf("  batch: %s\n", SerializeSequence(mgr, batch).c_str());
   }
   return 0;
 }

@@ -8,6 +8,8 @@
 //   $ ./versioned_store
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "updates/update_engine.h"
 #include "xml/serializer.h"
@@ -30,17 +32,29 @@ int main() {
   // logical pages with free space, pre<->rid swizzling via the page map.
   updates::UpdateEngine upd(*doc, /*page_bits=*/6, /*fill_pct=*/70);
   xq::XQueryEngine engine(&mgr);
+  xq::Session session = engine.CreateSession();
+
+  // Session::Run prepares through the plan cache, so the repeated queries
+  // below compile once and re-execute against the updated document.
+  auto query = [&](const char* q) {
+    auto r = session.Run(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query error: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(r).value();
+  };
 
   auto show = [&](const char* label) {
     std::string xml;
     SerializeNode(**doc, 0, &xml);
     std::printf("%s\n  %s\n", label, xml.c_str());
-    auto n = engine.Run("count(doc(\"config.xml\")//service)");
-    auto ports = engine.Run(
+    std::string n = query("count(doc(\"config.xml\")//service)");
+    std::string ports = query(
         "for $s in doc(\"config.xml\")//service "
         "order by zero-or-one($s/@name) "
         "return <p n=\"{$s/@name}\">{$s/port/text()}</p>");
-    std::printf("  services=%s  ports=%s\n", n->c_str(), ports->c_str());
+    std::printf("  services=%s  ports=%s\n", n.c_str(), ports.c_str());
   };
 
   show("initial configuration:");
@@ -58,7 +72,7 @@ int main() {
   show("");
 
   // Value update: bump the gateway port.
-  auto port_text = engine.Run(
+  std::string port_text = query(
       "doc(\"config.xml\")//service[@name = \"gateway\"]/port/text()");
   StrId port_qn = mgr.strings().Find("port");
   for (int64_t p : (*doc)->ElementsNamed(port_qn)) {
@@ -68,12 +82,12 @@ int main() {
       break;
     }
   }
-  std::printf("\nafter the port change (was %s):\n", port_text->c_str());
+  std::printf("\nafter the port change (was %s):\n", port_text.c_str());
   show("");
 
   // Structural delete: drop the search service; slots become unused tuples,
   // no pre renumbering happens.
-  auto search = engine.Run(
+  std::string search = query(
       "count(doc(\"config.xml\")//service[@name = \"search\"])");
   StrId service_qn = mgr.strings().Find("service");
   for (int64_t s : (*doc)->ElementsNamed(service_qn)) {
@@ -85,7 +99,7 @@ int main() {
     }
   }
   std::printf("\nafter deleting the search service (existed: %s):\n",
-              search->c_str());
+              search.c_str());
   show("");
 
   // The size-delta log of this "transaction" (the §5.2 lock-early trick).

@@ -77,6 +77,38 @@ struct ExecStats {
   double filter_ms = 0;  // SelectTrue / SelectEqI64 predicate scans
 
   void Reset() { *this = ExecStats{}; }
+
+  /// Accumulates another stats block (per-execution stats are collected
+  /// locally and merged back into the caller's EvalOptions, so benches that
+  /// accumulate across executions keep their historical semantics).
+  /// Every field must be summed here — the static_assert below trips when a
+  /// counter is added to the struct without extending this list.
+  void Add(const ExecStats& o) {
+    static_assert(sizeof(ExecStats) == 22 * sizeof(int64_t),
+                  "new ExecStats field: add it to Add()");
+    sorts_performed += o.sorts_performed;
+    sorts_elided += o.sorts_elided;
+    refine_sorts += o.refine_sorts;
+    hash_joins += o.hash_joins;
+    positional_joins += o.positional_joins;
+    merge_dedups += o.merge_dedups;
+    hash_dedups += o.hash_dedups;
+    rownum_streaming += o.rownum_streaming;
+    rownum_sorting += o.rownum_sorting;
+    positional_selects += o.positional_selects;
+    tuples_materialized += o.tuples_materialized;
+    exist_nested_loop += o.exist_nested_loop;
+    exist_index_join += o.exist_index_join;
+    radix_joins += o.radix_joins;
+    radix_partitions += o.radix_partitions;
+    counting_sorts += o.counting_sorts;
+    sel_selects += o.sel_selects;
+    par_tasks += o.par_tasks;
+    par_partitions += o.par_partitions;
+    join_ms += o.join_ms;
+    sort_ms += o.sort_ms;
+    filter_ms += o.filter_ms;
+  }
 };
 
 /// \brief Optimizer toggles (the experiments flip these) + live counters.

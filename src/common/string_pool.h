@@ -4,6 +4,11 @@
 // text content, XQuery string items) are interned into a StringPool and
 // referred to by dense int32 ids. This keeps every column fixed-width — the
 // core MonetDB storage discipline — and makes equality comparisons O(1).
+//
+// The pool is shared by every session of an engine and by the parallel
+// execution kernels, so it is internally synchronized: lookups take a shared
+// lock, interning takes an exclusive one. Returned references stay valid
+// forever — storage is a deque and ids are append-only.
 
 #ifndef MXQ_COMMON_STRING_POOL_H_
 #define MXQ_COMMON_STRING_POOL_H_
@@ -11,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -43,7 +49,14 @@ class StringPool {
 
   /// Interns `s`, returning its id (existing id if already present).
   StrId Intern(std::string_view s) {
-    auto it = index_.find(s);
+    {
+      // Fast path: already interned (the common case on query hot paths).
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      auto it = index_.find(s);
+      if (it != index_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    auto it = index_.find(s);  // re-check: raced with another interner
     if (it != index_.end()) return it->second;
     StrId id = static_cast<StrId>(strings_.size());
     strings_.emplace_back(s);
@@ -54,18 +67,30 @@ class StringPool {
 
   /// Returns the id of `s` or kInvalidStrId if not interned.
   StrId Find(std::string_view s) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
     auto it = index_.find(s);
     return it == index_.end() ? kInvalidStrId : it->second;
   }
 
-  /// Returns the string for a valid id.
-  const std::string& Get(StrId id) const { return strings_[id]; }
+  /// Returns the string for a valid id. The reference is stable: ids are
+  /// append-only and the deque never relocates stored strings.
+  const std::string& Get(StrId id) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return strings_[id];
+  }
 
-  std::string_view View(StrId id) const { return strings_[id]; }
+  std::string_view View(StrId id) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return strings_[id];
+  }
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return strings_.size();
+  }
 
  private:
+  mutable std::shared_mutex mu_;
   std::deque<std::string> strings_;  // deque: stable addresses for the index
   std::unordered_map<std::string_view, StrId, StringPoolHash, std::equal_to<>>
       index_;

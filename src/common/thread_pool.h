@@ -72,8 +72,10 @@ inline int PlanChunks(int threads, size_t n) {
 /// `Run(tasks, fn)` executes fn(0) .. fn(tasks-1) across up to `tasks`
 /// executors: the calling thread (executor 0) plus sleeping workers. Tasks
 /// are assigned as contiguous blocks per executor — no queue, no stealing.
-/// Tasks must not throw. Run() may be invoked from any one thread at a
-/// time; invocations from inside a running task execute inline.
+/// Tasks must not throw. Run() may be invoked from any thread: one job owns
+/// the workers at a time, concurrent callers degrade to serial inline
+/// execution (bit-identical output), and invocations from inside a running
+/// task execute inline.
 class ThreadPool {
  public:
   static ThreadPool& Global() {
@@ -95,7 +97,17 @@ class ThreadPool {
       for (int t = 0; t < tasks; ++t) fn(t);
       return;
     }
-    std::lock_guard<std::mutex> run_lock(run_mu_);  // one job at a time
+    // Bounded scheduling for concurrent sessions: one parallel job owns the
+    // worker set at a time. A session whose region arrives while another
+    // session's job is in flight runs its chunks serially inline instead of
+    // queueing (or spawning more threads) — total thread count stays bounded
+    // by the pool, and since chunk plans are deterministic in (threads, n),
+    // the serial fallback is bit-identical to the parallel run.
+    if (!run_mu_.try_lock()) {
+      for (int t = 0; t < tasks; ++t) fn(t);
+      return;
+    }
+    std::lock_guard<std::mutex> run_lock(run_mu_, std::adopt_lock);
     EnsureWorkers(tasks - 1);
     int executors;
     {

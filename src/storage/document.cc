@@ -133,6 +133,10 @@ void DocumentContainer::RebuildPaged(int page_bits, int fill_pct) {
 // ---------------------------------------------------------------------------
 
 void DocumentContainer::EnsureAttrPerm() const {
+  // Serializes the lazy build; once built, attr_perm_ is immutable until
+  // InvalidateIndexes, so callers may read it lock-free after returning
+  // (the acquire here orders the build before their reads).
+  std::lock_guard<std::mutex> lk(index_mu_);
   if (attr_owner_sorted_ && attr_perm_.empty()) {
     // Rows already sorted by owner; identity permutation, built lazily.
     attr_perm_.resize(attr_owner_.size());
@@ -227,6 +231,7 @@ std::string DocumentContainer::StringValueOf(int64_t pre) const {
 // ---------------------------------------------------------------------------
 
 const std::vector<int64_t>& DocumentContainer::ElementsNamed(StrId qn) const {
+  std::lock_guard<std::mutex> lk(index_mu_);
   if (!elem_index_built_) {
     int64_t n = LogicalSlots();
     for (int64_t p = 0; p < n;) {
@@ -246,6 +251,7 @@ const std::vector<int64_t>& DocumentContainer::ElementsNamed(StrId qn) const {
 }
 
 const std::vector<int64_t>& DocumentContainer::AttrsNamed(StrId qn) const {
+  std::lock_guard<std::mutex> lk(index_mu_);
   if (!attr_index_built_) {
     // Rows keyed by qname, ordered by owner document (pre) order.
     std::vector<int64_t> rows(attr_owner_.size());
@@ -326,6 +332,7 @@ void DocumentContainer::ConvertToPaged(int page_bits) {
 // ---------------------------------------------------------------------------
 
 DocumentContainer* DocumentManager::CreateContainer(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   int32_t id = static_cast<int32_t>(containers_.size());
   containers_.push_back(std::make_unique<DocumentContainer>(id, name, this));
   if (!name.empty()) by_name_[name] = id;
@@ -334,25 +341,49 @@ DocumentContainer* DocumentManager::CreateContainer(const std::string& name) {
 
 Result<DocumentContainer*> DocumentManager::GetDocument(
     const std::string& name) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end())
     return Status::NotFound("document not loaded: " + name);
   return containers_[it->second].get();
 }
 
+DocumentContainer* DocumentManager::AcquireTransient() {
+  {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    if (!free_transients_.empty()) {
+      DocumentContainer* c = free_transients_.back();
+      free_transients_.pop_back();
+      return c;  // already cleared on release
+    }
+  }
+  return CreateContainer("");
+}
+
+void DocumentManager::ReleaseTransient(DocumentContainer* c) {
+  if (c == nullptr) return;
+  c->Clear();
+  // Clear() keeps vector capacities (cheap reuse for the steady state), but
+  // a pooled container must not pin the working set of one huge result
+  // forever — drop outsized buffers before recycling.
+  c->ShrinkIfOversized(/*max_retained_slots=*/1 << 16);
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  free_transients_.push_back(c);
+}
+
 std::string DocumentManager::StringValueOf(const Item& node_item) const {
   if (node_item.kind == ItemKind::kAttr) {
     AttrRef a = node_item.attr();
-    return pool_.Get(containers_[a.container]->AttrValue(a.row));
+    return pool_.Get(container(a.container)->AttrValue(a.row));
   }
   NodeRef n = node_item.node();
-  return containers_[n.container]->StringValueOf(n.pre);
+  return container(n.container)->StringValueOf(n.pre);
 }
 
 Item DocumentManager::AtomizeNode(const Item& node_item) {
   if (node_item.kind == ItemKind::kAttr) {
     AttrRef a = node_item.attr();
-    return Item::Untyped(containers_[a.container]->AttrValue(a.row));
+    return Item::Untyped(container(a.container)->AttrValue(a.row));
   }
   return Item::Untyped(pool_.Intern(StringValueOf(node_item)));
 }

@@ -31,6 +31,8 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -248,6 +250,7 @@ class DocumentContainer {
   const std::vector<int64_t>& AttrsNamed(StrId qn) const;
 
   void InvalidateIndexes() {
+    std::lock_guard<std::mutex> lk(index_mu_);
     elem_index_.clear();
     attr_name_index_.clear();
     elem_index_built_ = false;
@@ -293,6 +296,29 @@ class DocumentContainer {
     InvalidateIndexes();
   }
 
+  /// Frees heap buffers whose retained capacity exceeds
+  /// `max_retained_slots` entries (Clear() keeps capacity; a recycled
+  /// transient container must not pin one huge execution's working set).
+  void ShrinkIfOversized(size_t max_retained_slots) {
+    auto shrink = [max_retained_slots](auto& v) {
+      if (v.capacity() > max_retained_slots) {
+        v.clear();
+        v.shrink_to_fit();
+      }
+    };
+    shrink(size_);
+    shrink(level_);
+    shrink(kind_);
+    shrink(ref_);
+    shrink(frag_);
+    shrink(attr_owner_);
+    shrink(attr_qn_);
+    shrink(attr_val_);
+    shrink(attr_perm_);
+    shrink(pi_target_);
+    shrink(pi_value_);
+  }
+
  private:
   void EnsureAttrPerm() const;
 
@@ -321,7 +347,11 @@ class DocumentContainer {
   std::vector<StrId> pi_target_;
   std::vector<StrId> pi_value_;
 
-  // Lazy name indexes (document order).
+  // Lazy name indexes (document order). Built on first use under index_mu_
+  // so concurrent read-only queries can share one container; the returned
+  // vectors are stable until InvalidateIndexes (updates require external
+  // exclusion, see docs/api.md "Thread safety").
+  mutable std::mutex index_mu_;
   mutable std::unordered_map<StrId, std::vector<int64_t>> elem_index_;
   mutable std::unordered_map<StrId, std::vector<int64_t>> attr_name_index_;
   mutable bool elem_index_built_ = false;
@@ -330,8 +360,15 @@ class DocumentContainer {
   std::unique_ptr<PageMap> page_map_;
 };
 
-/// \brief Session-global registry of document containers plus the shared
+/// \brief Process-global registry of document containers plus the shared
 /// string pool ("loaded documents" table, paper Fig 9).
+///
+/// The registry is internally synchronized: containers can be created,
+/// looked up, and recycled from any thread, which is what lets N sessions
+/// execute queries concurrently against one manager. Container *contents*
+/// follow a single-writer discipline — loaded documents are read-only during
+/// query execution, transient containers are written only by the execution
+/// that acquired them.
 class DocumentManager {
  public:
   DocumentManager() = default;
@@ -347,12 +384,40 @@ class DocumentManager {
   /// Looks up a loaded document by name.
   Result<DocumentContainer*> GetDocument(const std::string& name);
 
-  DocumentContainer* container(int32_t id) { return containers_[id].get(); }
+  DocumentContainer* container(int32_t id) {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return containers_[id].get();
+  }
   const DocumentContainer* container(int32_t id) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
     return containers_[id].get();
   }
   int32_t num_containers() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
     return static_cast<int32_t>(containers_.size());
+  }
+
+  // ---- transient container lifecycle ---------------------------------------
+  //
+  // Every query execution owns one transient container for constructed
+  // nodes. Containers are registered for the manager's lifetime (node items
+  // reference them by id), so instead of deleting they are recycled: a
+  // released container is Clear()ed and handed to the next acquirer. The
+  // steady-state transient count equals the peak number of concurrent
+  // executions, not the number of executions ever run.
+
+  /// Returns an empty transient container exclusively owned by the caller
+  /// until released (typically via ~QueryResult / ~ResultCursor).
+  DocumentContainer* AcquireTransient();
+
+  /// Returns a container obtained from AcquireTransient to the free pool.
+  /// Outstanding node items referencing it become invalid.
+  void ReleaseTransient(DocumentContainer* c);
+
+  /// Containers currently in the transient free pool (introspection/tests).
+  int32_t free_transients() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return static_cast<int32_t>(free_transients_.size());
   }
 
   /// Document-order-stable string value of any node item (element, text,
@@ -364,8 +429,10 @@ class DocumentManager {
 
  private:
   StringPool pool_;
+  mutable std::shared_mutex mu_;  // guards the registry tables below
   std::vector<std::unique_ptr<DocumentContainer>> containers_;
   std::unordered_map<std::string, int32_t> by_name_;
+  std::vector<DocumentContainer*> free_transients_;
 };
 
 }  // namespace mxq

@@ -6,9 +6,10 @@ namespace mxq {
 namespace updates {
 
 Result<std::vector<Item>> XQueryUpdater::Targets(const std::string& q) {
-  MXQ_ASSIGN_OR_RETURN(xq::CompiledQuery plan, engine_->Compile(q));
-  xq::EvalOptions eo;
-  MXQ_ASSIGN_OR_RETURN(xq::QueryResult res, engine_->Execute(plan, &eo));
+  // Prepare through the engine's plan cache: repeated updates with the same
+  // target query (the common looping pattern) compile once.
+  MXQ_ASSIGN_OR_RETURN(xq::PreparedQuery plan, session_.Prepare(q));
+  MXQ_ASSIGN_OR_RETURN(xq::QueryResult res, session_.Execute(plan));
   int32_t want = update_->doc()->id();
   for (const Item& it : res.items) {
     if (!it.is_any_node())
@@ -20,7 +21,9 @@ Result<std::vector<Item>> XQueryUpdater::Targets(const std::string& q) {
       return Status::InvalidArgument(
           "update target is not in the updatable document");
   }
-  return res.items;
+  // All targets live in the updatable document, so they stay valid after
+  // res releases its transient container.
+  return std::move(res.items);
 }
 
 Result<int64_t> XQueryUpdater::Insert(const std::string& target_query,

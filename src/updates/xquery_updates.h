@@ -18,14 +18,19 @@ namespace updates {
 
 /// \brief Applies XQuery-addressed updates to one document.
 ///
-/// Target queries run against the engine's DocumentManager and must select
-/// nodes of the engine's document (other nodes are rejected). Structural
-/// targets are processed in reverse document order so earlier updates never
-/// shift later targets.
+/// Target queries run through the serving facade — an internal Session of
+/// the shared engine, so repeated update calls hit the engine's plan cache —
+/// and must select nodes of the updatable document (other nodes are
+/// rejected). Structural targets are processed in reverse document order so
+/// earlier updates never shift later targets.
+///
+/// Updates mutate document containers in place: callers must exclude
+/// concurrent query execution against the same document (docs/api.md
+/// "Thread safety").
 class XQueryUpdater {
  public:
   XQueryUpdater(xq::XQueryEngine* engine, UpdateEngine* update)
-      : engine_(engine), update_(update) {}
+      : session_(engine), update_(update) {}
 
   /// insert-first/last/before/after(target-query, xml-fragment): inserts the
   /// fragment relative to every node the query selects. Returns the number
@@ -47,7 +52,7 @@ class XQueryUpdater {
   /// document, in document order.
   Result<std::vector<Item>> Targets(const std::string& q);
 
-  xq::XQueryEngine* engine_;
+  xq::Session session_;
   UpdateEngine* update_;
 };
 

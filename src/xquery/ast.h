@@ -118,9 +118,27 @@ struct FunctionDecl {
   ExprPtr body;
 };
 
+/// A prolog variable declaration.
+///
+///   declare variable $x external;              (external == true)
+///   declare variable $x as xs:integer external;
+///   declare variable $x := <expr>;             (init != nullptr)
+///
+/// External variables become plan parameter slots (prepared-query binding);
+/// initialized variables compile as top-level let-bindings. The `as` type
+/// annotation is recorded verbatim (e.g. "xs:integer", optionally with an
+/// occurrence indicator) and enforced against bound values at execute time.
+struct VarDecl {
+  std::string name;
+  std::string type_name;  // empty = item()* (anything)
+  ExprPtr init;           // null for external variables
+  bool external = false;
+};
+
 /// A parsed query module: prolog declarations plus the body expression.
 struct Query {
   std::vector<FunctionDecl> functions;
+  std::vector<VarDecl> variables;  // in declaration order
   ExprPtr body;
 };
 

@@ -154,9 +154,13 @@ class Compiler {
   Result<PlanPtr> CompileQuery(const Query& q) {
     for (const FunctionDecl& f : q.functions) funcs_[f.name] = &f;
     Env env;
+    MXQ_RETURN_IF_ERROR(CompileProlog(q, &env));
     MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*q.body, &root_loop_, env));
     return SortBy(rel, {"iter", "pos"});
   }
+
+  /// External-variable slots declared by the compiled query, in slot order.
+  std::vector<ParamInfo> TakeParams() { return std::move(params_); }
 
  private:
   struct LoopCtx {
@@ -171,6 +175,53 @@ class Compiler {
     LoopCtx* loop;
   };
   using Env = std::map<std::string, VarBind>;
+
+  /// Prolog variables: externals become kParam plan slots bound at execute
+  /// time; initialized variables compile as top-level let-bindings. Both are
+  /// bound under the root loop, so uses in deeper loops lift through the
+  /// regular scope-map machinery.
+  Status CompileProlog(const Query& q, Env* env) {
+    for (const VarDecl& vd : q.variables) {
+      if (env->count(vd.name))
+        return Err("duplicate declaration of variable $" + vd.name);
+      if (vd.external) {
+        MXQ_ASSIGN_OR_RETURN(ParamType pt, ParamTypeFromName(vd.type_name));
+        auto p = MakePlan(OpCode::kParam);
+        p->param = static_cast<int32_t>(params_.size());
+        params_.push_back(ParamInfo{vd.name, pt});
+        PlanPtr rel =
+            CrossOp(root_loop_.loop, p, {{"pos", "pos"}, {"item", "item"}});
+        (*env)[vd.name] = {rel, &root_loop_};
+      } else {
+        MXQ_ASSIGN_OR_RETURN(PlanPtr rel,
+                             Compile(*vd.init, &root_loop_, *env));
+        (*env)[vd.name] = {rel, &root_loop_};
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<ParamType> ParamTypeFromName(const std::string& declared) {
+    std::string t = declared;
+    if (t.rfind("xs:", 0) == 0) t = t.substr(3);
+    if (t.empty() || t == "item()" || t == "anyAtomicType")
+      return ParamType::kAny;
+    if (t == "integer" || t == "int" || t == "long" || t == "short" ||
+        t == "byte" || t == "nonNegativeInteger" || t == "positiveInteger" ||
+        t == "unsignedInt" || t == "unsignedLong")
+      return ParamType::kInteger;
+    if (t == "double" || t == "decimal" || t == "float" || t == "numeric")
+      return ParamType::kDouble;
+    if (t == "string" || t == "untypedAtomic" || t == "anyURI" ||
+        t == "NCName" || t == "token" || t == "normalizedString")
+      return ParamType::kString;
+    if (t == "boolean") return ParamType::kBoolean;
+    if (t == "node()" || t == "element()" || t == "attribute()" ||
+        t == "text()" || t == "document-node()" || t == "comment()")
+      return ParamType::kNode;
+    return Status(
+        Err("unsupported type in variable declaration: " + declared));
+  }
 
   Status Err(const std::string& msg) {
     return Status::TypeError("XQuery compile: " + msg);
@@ -907,6 +958,7 @@ class Compiler {
   LoopCtx root_loop_;
   std::map<std::string, const FunctionDecl*> funcs_;
   std::vector<std::unique_ptr<LoopCtx>> owned_loops_;
+  std::vector<ParamInfo> params_;
   int inline_depth_ = 0;
 
   friend class CompilerCallHelper;
@@ -1071,6 +1123,18 @@ Result<PlanPtr> Compiler::CompileCall(const Expr& e, LoopCtx* loop,
 
 }  // namespace
 
+const char* ParamTypeName(ParamType t) {
+  switch (t) {
+    case ParamType::kAny: return "item()";
+    case ParamType::kInteger: return "xs:integer";
+    case ParamType::kDouble: return "xs:double";
+    case ParamType::kString: return "xs:string";
+    case ParamType::kBoolean: return "xs:boolean";
+    case ParamType::kNode: return "node()";
+  }
+  return "item()";
+}
+
 Result<CompiledQuery> XQueryEngine::Compile(const std::string& query,
                                             const CompileOptions& opts) {
   MXQ_ASSIGN_OR_RETURN(Query q, ParseQuery(query));
@@ -1079,6 +1143,7 @@ Result<CompiledQuery> XQueryEngine::Compile(const std::string& query,
   CompiledQuery out;
   out.root = std::move(root);
   out.stats = ComputePlanStats(out.root);
+  out.params = c.TakeParams();
   return out;
 }
 

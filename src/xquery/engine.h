@@ -1,10 +1,39 @@
-// Public query API: compile XQuery text to a plan, execute plans, get
-// result sequences (with optional serialization via xml/serializer.h).
+// Public serving API: a thread-safe XQueryEngine facade plus per-caller
+// Session objects.
+//
+//   DocumentManager mgr;                         // documents + string pool
+//   xq::XQueryEngine engine(&mgr);               // shared, thread-safe
+//   xq::Session session = engine.CreateSession();// one per caller/thread
+//   auto plan = session.Prepare(                 // LRU plan cache
+//       "declare variable $y as xs:integer external;"
+//       "doc('lib.xml')//book[@year >= $y]/title");
+//   session.Bind("y", int64_t{2004});            // typed parameter binding
+//   auto result = session.Execute(*plan);        // owns its node space
+//
+// Concurrency contract (see docs/api.md):
+//   * XQueryEngine and DocumentManager are thread-safe; one engine serves
+//     any number of threads.
+//   * A CompiledQuery / PreparedQuery is immutable — N sessions may execute
+//     the same plan concurrently with bit-identical results.
+//   * A Session (and an EvalOptions passed to the engine directly) belongs
+//     to one caller at a time; create one session per thread.
+//   * Each execution owns its results: QueryResult / ResultCursor hold the
+//     transient container their constructed nodes live in, so results stay
+//     valid until *they* are destroyed, regardless of later executions.
+//   * Structural document updates (updates/) still require external
+//     exclusion against concurrent queries on the same document.
 
 #ifndef MXQ_XQUERY_ENGINE_H_
 #define MXQ_XQUERY_ENGINE_H_
 
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -28,7 +57,8 @@ struct CompileOptions {
 /// How XPath steps execute (Figure 12 varies these per axis family).
 enum class StepMode : uint8_t { kLoopLifted, kIterative };
 
-/// Run-time switches.
+/// Run-time switches. An EvalOptions instance belongs to one execution at a
+/// time (stats accumulate into it); sessions carry their own.
 struct EvalOptions {
   // Kernel toggles + thread count + stats, seeded from the environment
   // (MXQ_THREADS and the MXQ_* kernel toggles) via the one centralized
@@ -40,45 +70,290 @@ struct EvalOptions {
   bool validate_props = false;     // re-verify all claimed props (tests)
 };
 
-/// The result sequence of one execution. Node items may reference the
-/// transient container owned by the DocumentManager.
-struct QueryResult {
+/// External-variable bindings by name (each value is an item sequence).
+using ParamMap = std::map<std::string, std::vector<Item>>;
+
+/// \brief Exclusive ownership of one execution's transient container:
+/// releases it back to the DocumentManager's free pool on destruction.
+/// Movable, not copyable — the RAII core shared by QueryResult and
+/// ResultCursor.
+class TransientLease {
+ public:
+  TransientLease() = default;
+  TransientLease(DocumentManager* mgr, DocumentContainer* transient)
+      : mgr_(mgr), transient_(transient) {}
+  TransientLease(TransientLease&& o) noexcept
+      : mgr_(std::exchange(o.mgr_, nullptr)),
+        transient_(std::exchange(o.transient_, nullptr)) {}
+  TransientLease& operator=(TransientLease&& o) noexcept {
+    if (this != &o) {
+      Release();
+      mgr_ = std::exchange(o.mgr_, nullptr);
+      transient_ = std::exchange(o.transient_, nullptr);
+    }
+    return *this;
+  }
+  TransientLease(const TransientLease&) = delete;
+  TransientLease& operator=(const TransientLease&) = delete;
+  ~TransientLease() { Release(); }
+
+  DocumentManager* manager() const { return mgr_; }
+  const DocumentContainer* get() const { return transient_; }
+  DocumentContainer* get() { return transient_; }
+
+ private:
+  void Release() {
+    if (mgr_ && transient_) mgr_->ReleaseTransient(transient_);
+    mgr_ = nullptr;
+    transient_ = nullptr;
+  }
+
+  DocumentManager* mgr_ = nullptr;
+  DocumentContainer* transient_ = nullptr;
+};
+
+/// \brief The result sequence of one execution, with per-execution
+/// statistics and ownership of the constructed-node space.
+///
+/// Move-only RAII: the transient container that constructed node items
+/// reference is held until this result is destroyed, then recycled into the
+/// DocumentManager's free pool. Node items of a destroyed result are
+/// invalid; everything else (ints, strings, nodes of loaded documents)
+/// remains usable.
+class QueryResult {
+ public:
   std::vector<Item> items;
-  DocumentContainer* transient = nullptr;
+
+  /// Staircase-join scan statistics of this execution.
+  const ScanStats& scan_stats() const { return scan_; }
+  /// Operator kernel statistics of this execution.
+  const alg::ExecStats& exec_stats() const { return exec_; }
+
+  /// Container holding nodes constructed by this execution (null when the
+  /// result was default-constructed or moved from).
+  const DocumentContainer* transient() const { return lease_.get(); }
 
   /// XML serialization of the sequence.
   std::string Serialize(const DocumentManager& mgr) const;
+  std::string Serialize() const;  // uses the owning manager
+
+ private:
+  friend class XQueryEngine;
+
+  TransientLease lease_;
+  ScanStats scan_;
+  alg::ExecStats exec_;
 };
 
-/// \brief Compiler + evaluator facade.
+/// \brief Streaming view over one execution's result sequence.
+///
+/// The plan still materializes operator-at-a-time (the engine's execution
+/// model), but the cursor hands the final relation out in batches instead of
+/// forcing one std::vector<Item> + serialized string for the whole result.
+/// Move-only RAII like QueryResult; items yielded by Next() may reference
+/// the cursor-owned transient container, so consume a batch before
+/// destroying the cursor.
+class ResultCursor {
+ public:
+  static constexpr size_t kDefaultBatch = 1024;
+
+  /// Replaces `*out` with the next batch of up to `max` items; returns the
+  /// batch size (0 = exhausted).
+  size_t Next(std::vector<Item>* out, size_t max = kDefaultBatch);
+
+  bool done() const { return row_ >= total_rows(); }
+  size_t total_rows() const;
+  size_t position() const { return row_; }
+
+  const ScanStats& scan_stats() const { return scan_; }
+  const alg::ExecStats& exec_stats() const { return exec_; }
+
+ private:
+  friend class XQueryEngine;
+
+  TransientLease lease_;
+  TablePtr table_;
+  int item_col_ = -1;
+  size_t row_ = 0;
+  ScanStats scan_;
+  alg::ExecStats exec_;
+};
+
+/// A cached compiled plan, shared between the plan cache and any number of
+/// executing sessions.
+using PreparedQuery = std::shared_ptr<const CompiledQuery>;
+
+/// Plan-cache counters (monotonic over the engine's lifetime).
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t size = 0;      // entries currently cached
+  int64_t capacity = 0;  // configured bound
+};
+
+class Session;
+
+/// \brief Thread-safe compiler + evaluator facade.
 class XQueryEngine {
  public:
-  explicit XQueryEngine(DocumentManager* mgr) : mgr_(mgr) {}
+  static constexpr size_t kDefaultPlanCacheCapacity = 64;
 
-  /// Parses and compiles a query.
+  explicit XQueryEngine(DocumentManager* mgr,
+                        size_t plan_cache_capacity = kDefaultPlanCacheCapacity)
+      : mgr_(mgr), cache_capacity_(plan_cache_capacity) {}
+
+  /// Parses and compiles a query (uncached; thread-safe).
   Result<CompiledQuery> Compile(const std::string& query,
                                 const CompileOptions& opts = {});
 
-  /// Executes a compiled plan (re-executable; one transient container per
-  /// call).
-  Result<QueryResult> Execute(const CompiledQuery& q, EvalOptions* opts);
+  /// Compiles through the bounded LRU plan cache, keyed by (query text,
+  /// CompileOptions). Thread-safe; the returned plan is immutable and may be
+  /// executed concurrently by any number of sessions.
+  Result<PreparedQuery> Prepare(const std::string& query,
+                                const CompileOptions& opts = {});
 
-  /// Convenience: compile + execute + serialize.
+  /// Creates a per-caller session (cheap; create one per thread).
+  Session CreateSession();
+
+  /// Executes a compiled plan. Thread-safe: each call owns a fresh transient
+  /// container and its own statistics, returned inside the QueryResult.
+  /// `opts` may be null (defaults); a non-null `opts` must not be shared
+  /// with a concurrent Execute. `params` binds external variables by name;
+  /// every external variable must be bound with type-conforming items.
+  Result<QueryResult> Execute(const CompiledQuery& q, EvalOptions* opts,
+                              const ParamMap* params = nullptr);
+
+  /// Like Execute, but returns a streaming cursor over the result relation
+  /// instead of materializing the item vector.
+  Result<ResultCursor> ExecuteCursor(const CompiledQuery& q, EvalOptions* opts,
+                                     const ParamMap* params = nullptr);
+
+  /// Convenience: prepare (cached) + execute + serialize.
   Result<std::string> Run(const std::string& query,
                           const CompileOptions& copts = {},
                           EvalOptions* eopts = nullptr);
 
   DocumentManager* manager() { return mgr_; }
 
-  /// Scan statistics of the last Execute (staircase join counters).
-  const ScanStats& last_scan_stats() const { return scan_; }
+  PlanCacheStats plan_cache_stats() const;
+  /// Rebounds the plan cache (0 disables caching); evicts LRU-first.
+  void set_plan_cache_capacity(size_t capacity);
+
+  /// \deprecated Scan statistics of the most recent Execute on this engine.
+  /// Racy under concurrency — read QueryResult::scan_stats() instead.
+  ScanStats last_scan_stats() const {
+    std::lock_guard<std::mutex> lk(last_scan_mu_);
+    return last_scan_;
+  }
 
  private:
+  /// Shared execution core: binds params, evaluates the plan into the given
+  /// transient container, and reports the final relation + statistics.
+  Status ExecuteCommon(const CompiledQuery& q, EvalOptions* opts,
+                       const ParamMap* params, DocumentContainer* transient,
+                       TablePtr* table, ScanStats* scan,
+                       alg::ExecStats* exec);
+
   DocumentManager* mgr_;
-  DocumentContainer* transient_ = nullptr;  // cleared & reused per Execute
-  ScanStats scan_;
-  uint64_t epoch_ = 0;
+
+  // Bounded LRU plan cache: list front = most recent; map values point into
+  // the list. Guarded by cache_mu_.
+  struct CacheEntry {
+    std::string key;
+    PreparedQuery plan;
+  };
+  /// Pops LRU entries until the cache fits its bound (cache_mu_ held).
+  void EvictOverCapacityLocked();
+
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> cache_lru_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_;
+  size_t cache_capacity_;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  int64_t cache_evictions_ = 0;
+
+  mutable std::mutex last_scan_mu_;
+  ScanStats last_scan_;  // deprecated shim only
 };
+
+/// \brief Per-caller execution context: parameter bindings + eval options.
+///
+/// Sessions are cheap handles over a shared engine. Each session belongs to
+/// one caller at a time; any number of sessions use one engine concurrently.
+class Session {
+ public:
+  explicit Session(XQueryEngine* engine) : engine_(engine) {}
+
+  XQueryEngine* engine() const { return engine_; }
+  DocumentManager* manager() const { return engine_->manager(); }
+
+  /// Compiles through the engine's shared plan cache.
+  Result<PreparedQuery> Prepare(const std::string& query,
+                                const CompileOptions& opts = {}) {
+    return engine_->Prepare(query, opts);
+  }
+
+  // ---- external-variable bindings (persist across Execute calls) ----------
+
+  void Bind(const std::string& name, Item value) {
+    params_[name] = {value};
+  }
+  void Bind(const std::string& name, int64_t v) { Bind(name, Item::Int(v)); }
+  void Bind(const std::string& name, int v) {
+    Bind(name, static_cast<int64_t>(v));
+  }
+  void Bind(const std::string& name, double v) { Bind(name, Item::Double(v)); }
+  void Bind(const std::string& name, bool v) { Bind(name, Item::Bool(v)); }
+  void Bind(const std::string& name, const std::string& s) {
+    Bind(name, Item::String(manager()->strings().Intern(s)));
+  }
+  void Bind(const std::string& name, const char* s) {
+    Bind(name, std::string(s));
+  }
+  /// Binds a whole sequence (e.g. nodes selected by an earlier query).
+  void BindSequence(const std::string& name, std::vector<Item> items) {
+    params_[name] = std::move(items);
+  }
+  void Unbind(const std::string& name) { params_.erase(name); }
+  void ClearBindings() { params_.clear(); }
+  const ParamMap& bindings() const { return params_; }
+
+  // ---- execution -----------------------------------------------------------
+
+  Result<QueryResult> Execute(const CompiledQuery& q) {
+    return engine_->Execute(q, &opts_, &params_);
+  }
+  Result<QueryResult> Execute(const PreparedQuery& q) {
+    return engine_->Execute(*q, &opts_, &params_);
+  }
+  Result<ResultCursor> OpenCursor(const CompiledQuery& q) {
+    return engine_->ExecuteCursor(q, &opts_, &params_);
+  }
+  Result<ResultCursor> OpenCursor(const PreparedQuery& q) {
+    return engine_->ExecuteCursor(*q, &opts_, &params_);
+  }
+
+  /// Convenience: prepare (cached) + execute + serialize.
+  Result<std::string> Run(const std::string& query,
+                          const CompileOptions& copts = {}) {
+    MXQ_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(query, copts));
+    MXQ_ASSIGN_OR_RETURN(QueryResult r, Execute(q));
+    return r.Serialize(*manager());
+  }
+
+  /// Per-session evaluation options (kernel toggles, thread width, modes).
+  EvalOptions& options() { return opts_; }
+  const EvalOptions& options() const { return opts_; }
+
+ private:
+  XQueryEngine* engine_;
+  EvalOptions opts_;
+  ParamMap params_;
+};
+
+inline Session XQueryEngine::CreateSession() { return Session(this); }
 
 }  // namespace xq
 }  // namespace mxq

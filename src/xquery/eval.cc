@@ -1,11 +1,13 @@
 // Plan evaluator: operator-at-a-time, fully materializing (MonetDB model).
 //
-// Each plan node materializes one table per execution epoch (DAG sharing ==
-// the paper's re-used intermediate results). The XQuery-specific operators
-// live here: the loop-lifted staircase step (with the Figure-12 iterative
-// fallback and §3.2 nametest pushdown), the existential theta-join with the
-// §4.2 min/max rewrite and sampled choose-plan, effective boolean values,
-// and node construction into the transient container.
+// Each plan node materializes one table per execution (DAG sharing == the
+// paper's re-used intermediate results), memoized in an execution-local map
+// so the shared plan stays immutable and N sessions can evaluate the same
+// CompiledQuery concurrently. The XQuery-specific operators live here: the
+// loop-lifted staircase step (with the Figure-12 iterative fallback and §3.2
+// nametest pushdown), the existential theta-join with the §4.2 min/max
+// rewrite and sampled choose-plan, effective boolean values, and node
+// construction into the execution-owned transient container.
 
 #include <algorithm>
 #include <cmath>
@@ -26,10 +28,14 @@ namespace {
 
 struct Ctx {
   DocumentManager* mgr;
-  EvalOptions* opts;
+  EvalOptions* opts;      // step modes / validation toggles (caller-owned)
+  alg::ExecFlags* flags;  // per-execution kernel flags + local stats
   DocumentContainer* transient;
   ScanStats* scan;
-  uint64_t epoch;
+  // External-variable bindings, one sequence per CompiledQuery::params slot.
+  const std::vector<const std::vector<Item>*>* params;
+  // Execution-local DAG memoization (one materialization per plan node).
+  std::unordered_map<const PlanNode*, TablePtr> memo;
 };
 
 Result<TablePtr> Eval(PlanNode* n, Ctx& ctx);
@@ -237,7 +243,7 @@ Result<TablePtr> EvalStep(PlanNode* n, Ctx& ctx, const TablePtr& in) {
   // Document order major, iteration order within nodes (§3).
   t->props().ord = {"item", "iter"};
   t->props().grpord.push_back({{"item"}, "iter"});
-  ctx.opts->alg.stats.tuples_materialized += static_cast<int64_t>(t->rows());
+  ctx.flags->stats.tuples_materialized += static_cast<int64_t>(t->rows());
   return t;
 }
 
@@ -314,7 +320,7 @@ Result<TablePtr> EvalEbv(PlanNode* n, Ctx& ctx, const TablePtr& rel,
 }
 
 TablePtr EvalExists(Ctx& ctx, const TablePtr& rel, const TablePtr& loop) {
-  const alg::ExecFlags& fl = ctx.opts->alg;
+  const alg::ExecFlags& fl = *ctx.flags;
   const int rel_iter = rel->ColumnIndex("iter");
   std::vector<Item> out_val(loop->rows());
   if (fl.radix_join) {
@@ -365,7 +371,7 @@ TablePtr EvalExists(Ctx& ctx, const TablePtr& rel, const TablePtr& loop) {
 Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
                                const TablePtr& rhs) {
   DocumentManager& mgr = *ctx.mgr;
-  alg::ExecStats& stats = ctx.opts->alg.stats;
+  alg::ExecStats& stats = ctx.flags->stats;
   const ColumnPtr& li = lhs->col("iter");
   const ColumnPtr& lv = lhs->col("item");
   const ColumnPtr& ri = rhs->col("sid");
@@ -379,9 +385,9 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
     // side uses the radix-partitioned flat table of algebra/radix.h when
     // the kernel is enabled.
     pairs.reserve(lhs->rows());
-    if (ctx.opts->alg.radix_join) {
+    if (ctx.flags->radix_join) {
       ++stats.radix_joins;
-      const int threads = ctx.opts->alg.exec_threads();
+      const int threads = ctx.flags->exec_threads();
       std::vector<uint64_t> rhash(rhs->rows());
       const int hchunks = PlanChunks(threads, rhs->rows());
       ParallelChunks(hchunks, rhs->rows(), [&](int, size_t b, size_t e) {
@@ -391,7 +397,7 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
       });
       if (hchunks > 1) stats.par_tasks += hchunks;
       alg::RadixHashTable ht{std::span<const uint64_t>(rhash), threads};
-      alg::CountRadixBuild(ctx.opts->alg, ht);
+      alg::CountRadixBuild(*ctx.flags, ht);
       for (size_t l = 0; l < lhs->rows(); ++l) {
         Item v = lv->GetItem(l);
         ht.ForEach(HashItem(mgr, v), [&](uint32_t r) {
@@ -415,8 +421,8 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
       }
     }
     ++stats.merge_dedups;
-    if (ctx.opts->alg.dense_sort) {
-      if (SortPairsDense(&pairs, ctx.opts->alg.exec_threads()))
+    if (ctx.flags->dense_sort) {
+      if (SortPairsDense(&pairs, ctx.flags->exec_threads()))
         ++stats.counting_sorts;
     } else {
       std::sort(pairs.begin(), pairs.end());
@@ -715,9 +721,10 @@ Result<TablePtr> EvalStringJoin(PlanNode* n, Ctx& ctx, const TablePtr& rel,
 // ---------------------------------------------------------------------------
 
 Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
-  if (n->epoch == ctx.epoch && n->cached) return n->cached;
+  // Execution-local DAG memoization: the shared plan is never written.
+  if (auto it = ctx.memo.find(n); it != ctx.memo.end()) return it->second;
 
-  alg::ExecFlags& fl = ctx.opts->alg;
+  alg::ExecFlags& fl = *ctx.flags;
   DocumentManager& mgr = *ctx.mgr;
   TablePtr out;
 
@@ -873,6 +880,22 @@ Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
         out->props().grpord.push_back(g);
       break;
     }
+    case OpCode::kParam: {
+      // External-variable slot: (pos, item) of the sequence bound for this
+      // execution. Execute() has already validated presence and item types.
+      const std::vector<Item>& vals = *(*ctx.params)[n->param];
+      std::vector<int64_t> pos(vals.size());
+      for (size_t r = 0; r < vals.size(); ++r)
+        pos[r] = static_cast<int64_t>(r) + 1;
+      auto t = Table::Make();
+      t->AddColumn("pos", Column::MakeI64(std::move(pos)));
+      t->AddColumn("item", Column::MakeItem(std::vector<Item>(vals)));
+      t->props().dense.insert("pos");
+      t->props().key.insert("pos");
+      t->props().ord = {"pos"};
+      out = t;
+      break;
+    }
   }
   if (ctx.opts->validate_props) {
     Status vs = VerifyProps(mgr, *out);
@@ -880,8 +903,7 @@ Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
       return Status::Internal(vs.message() + " (op " +
                               std::to_string(static_cast<int>(n->op)) + ")");
   }
-  n->cached = out;
-  n->epoch = ctx.epoch;
+  ctx.memo.emplace(n, out);
   return out;
 }
 
@@ -991,28 +1013,114 @@ std::string QueryResult::Serialize(const DocumentManager& mgr) const {
   return SerializeSequence(mgr, items);
 }
 
-Result<QueryResult> XQueryEngine::Execute(const CompiledQuery& q,
-                                          EvalOptions* opts) {
-  static EvalOptions default_opts;
-  if (!opts) opts = &default_opts;
-  if (!transient_) transient_ = mgr_->CreateContainer("");
-  transient_->Clear();
-  scan_.Reset();
-  Ctx ctx{mgr_, opts, transient_, &scan_, ++epoch_};
+std::string QueryResult::Serialize() const {
+  const DocumentManager* mgr = lease_.manager();
+  return mgr ? SerializeSequence(*mgr, items) : std::string();
+}
+
+namespace {
+
+/// Dynamic type check of one external-variable binding against its declared
+/// item type (cardinality is unconstrained by design).
+Status CheckParamType(const ParamInfo& p, const std::vector<Item>& vals) {
+  for (const Item& v : vals) {
+    bool ok = true;
+    switch (p.type) {
+      case ParamType::kAny: ok = v.kind != ItemKind::kEmpty; break;
+      case ParamType::kInteger: ok = v.kind == ItemKind::kInt; break;
+      case ParamType::kDouble: ok = v.is_numeric(); break;
+      case ParamType::kString: ok = v.is_stringlike(); break;
+      case ParamType::kBoolean: ok = v.kind == ItemKind::kBool; break;
+      case ParamType::kNode: ok = v.is_any_node(); break;
+    }
+    if (!ok)
+      return Status::TypeError("value bound for external variable $" +
+                               p.name + " does not conform to declared type " +
+                               ParamTypeName(p.type));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status XQueryEngine::ExecuteCommon(const CompiledQuery& q, EvalOptions* opts,
+                                   const ParamMap* params,
+                                   DocumentContainer* transient,
+                                   TablePtr* table, ScanStats* scan,
+                                   alg::ExecStats* exec) {
+  EvalOptions local_opts;  // defaults when the caller passes none
+  if (!opts) opts = &local_opts;
+
+  // Resolve external-variable bindings into plan slots, with type checks.
+  std::vector<const std::vector<Item>*> slots(q.params.size());
+  for (size_t i = 0; i < q.params.size(); ++i) {
+    const ParamInfo& p = q.params[i];
+    const std::vector<Item>* vals = nullptr;
+    if (params) {
+      auto it = params->find(p.name);
+      if (it != params->end()) vals = &it->second;
+    }
+    if (!vals)
+      return Status::NotFound("no value bound for external variable $" +
+                              p.name);
+    MXQ_RETURN_IF_ERROR(CheckParamType(p, *vals));
+    slots[i] = vals;
+  }
+
+  // Per-execution kernel flags: toggles copied from the caller, statistics
+  // collected locally and merged back (so long-lived EvalOptions keep
+  // accumulating as before) as well as reported per execution.
+  alg::ExecFlags flags = opts->alg;
+  flags.stats.Reset();
+  scan->Reset();
+
+  Ctx ctx{mgr_, opts, &flags, transient, scan, &slots, {}};
   MXQ_ASSIGN_OR_RETURN(TablePtr t, Eval(q.root.get(), ctx));
+  *table = std::move(t);
+  *exec = flags.stats;
+  opts->alg.stats.Add(flags.stats);
+  {
+    std::lock_guard<std::mutex> lk(last_scan_mu_);
+    last_scan_ = *scan;  // deprecated last_scan_stats() shim
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> XQueryEngine::Execute(const CompiledQuery& q,
+                                          EvalOptions* opts,
+                                          const ParamMap* params) {
   QueryResult res;
-  res.transient = transient_;
-  const ColumnPtr& item = t->col("item");
+  res.lease_ = TransientLease(mgr_, mgr_->AcquireTransient());
+  TablePtr t;
+  Status st = ExecuteCommon(q, opts, params, res.lease_.get(), &t, &res.scan_,
+                            &res.exec_);
+  if (!st.ok()) return st;  // res releases the transient container
+  const int item = t->ColumnIndex("item");
   res.items.reserve(t->rows());
-  for (size_t r = 0; r < t->rows(); ++r) res.items.push_back(item->GetItem(r));
+  for (size_t r = 0; r < t->rows(); ++r)
+    res.items.push_back(t->ItemAt(item, r));
   return res;
+}
+
+Result<ResultCursor> XQueryEngine::ExecuteCursor(const CompiledQuery& q,
+                                                 EvalOptions* opts,
+                                                 const ParamMap* params) {
+  ResultCursor cur;
+  cur.lease_ = TransientLease(mgr_, mgr_->AcquireTransient());
+  TablePtr t;
+  Status st = ExecuteCommon(q, opts, params, cur.lease_.get(), &t, &cur.scan_,
+                            &cur.exec_);
+  if (!st.ok()) return st;
+  cur.item_col_ = t->ColumnIndex("item");
+  cur.table_ = std::move(t);
+  return cur;
 }
 
 Result<std::string> XQueryEngine::Run(const std::string& query,
                                       const CompileOptions& copts,
                                       EvalOptions* eopts) {
-  MXQ_ASSIGN_OR_RETURN(CompiledQuery q, Compile(query, copts));
-  MXQ_ASSIGN_OR_RETURN(QueryResult r, Execute(q, eopts));
+  MXQ_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(query, copts));
+  MXQ_ASSIGN_OR_RETURN(QueryResult r, Execute(*q, eopts));
   return r.Serialize(*mgr_);
 }
 

@@ -120,6 +120,25 @@ Token Lexer::Next() {
         ++pos_;
         break;
       }
+      // Predefined entity references (XQuery 1.0 §3.1.1): &lt; &gt; &amp;
+      // &quot; &apos;. Unknown references pass through verbatim.
+      if (src_[pos_] == '&') {
+        size_t semi = src_.find(';', pos_);
+        if (semi != std::string_view::npos && semi - pos_ <= 5) {
+          std::string_view ent = src_.substr(pos_ + 1, semi - pos_ - 1);
+          char decoded = 0;
+          if (ent == "lt") decoded = '<';
+          else if (ent == "gt") decoded = '>';
+          else if (ent == "amp") decoded = '&';
+          else if (ent == "quot") decoded = '"';
+          else if (ent == "apos") decoded = '\'';
+          if (decoded) {
+            out.push_back(decoded);
+            pos_ = semi + 1;
+            continue;
+          }
+        }
+      }
       out.push_back(src_[pos_++]);
     }
     t.type = TokType::kString;

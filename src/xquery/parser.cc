@@ -61,11 +61,43 @@ class Parser {
           q.functions.push_back(std::move(fd));
           continue;
         }
+        if (IsName("variable")) {
+          Advance();
+          VarDecl vd;
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kDollar));
+          if (cur_.type != TokType::kName)
+            return Status(Err("expected variable name"));
+          vd.name = cur_.text;
+          Advance();
+          if (AcceptName("as")) {
+            // Sequence type: QName or kind test, optional occurrence
+            // indicator. Cardinality indicators are accepted but only the
+            // item type is enforced at bind time.
+            if (cur_.type != TokType::kName)
+              return Status(Err("expected type name after 'as'"));
+            vd.type_name = cur_.text;
+            Advance();
+            if (Accept(TokType::kLParen)) {  // node() / element() / item()
+              MXQ_RETURN_IF_ERROR(Expect(TokType::kRParen));
+              vd.type_name += "()";
+            }
+            if (cur_.type == TokType::kQuestion ||
+                cur_.type == TokType::kStar || cur_.type == TokType::kPlus)
+              Advance();
+          }
+          if (AcceptName("external")) {
+            vd.external = true;
+          } else {
+            MXQ_RETURN_IF_ERROR(Expect(TokType::kAssign));
+            MXQ_ASSIGN_OR_RETURN(vd.init, ParseExprSingle());
+          }
+          MXQ_RETURN_IF_ERROR(Expect(TokType::kSemicolon));
+          q.variables.push_back(std::move(vd));
+          continue;
+        }
         if (IsName("namespace") || IsName("default") ||
-            IsName("boundary-space") || IsName("variable")) {
-          // Skip the declaration up to ';' (variables unsupported: error).
-          if (IsName("variable"))
-            return Status(Err("declare variable is not supported"));
+            IsName("boundary-space")) {
+          // Skip the declaration up to ';'.
           while (cur_.type != TokType::kSemicolon &&
                  cur_.type != TokType::kEnd)
             Advance();

@@ -6,7 +6,11 @@
 // (DAG, not tree): the compiler memoizes variable lifts and loop relations,
 // which is where the paper's "intermediate results are materialized always,
 // as they tend to be re-used multiple times in the query plan" comes from —
-// the evaluator caches each node's table per execution epoch.
+// the evaluator memoizes each node's table in an execution-local map.
+//
+// Plans are immutable after compilation: no evaluator state lives on the
+// nodes, so one CompiledQuery can be executed by any number of sessions
+// concurrently (the serving API's prepared-query contract).
 
 #ifndef MXQ_XQUERY_PLAN_H_
 #define MXQ_XQUERY_PLAN_H_
@@ -47,6 +51,7 @@ enum class OpCode : uint8_t {
   kConstructAttr,  // input: (iter, item=string) one per loop iter; str = name
   kStringJoinAggr, // group concat: inputs rel, loop; sep
   kAssertProps,    // adds compiler-known properties to the input
+  kParam,          // external-variable slot: (pos, item) of the bound value
 };
 
 enum class ScalarFn : uint8_t {
@@ -103,10 +108,7 @@ struct PlanNode {
   std::string name_test;
   TableProps assert_props;
   bool flag = false;
-
-  // Evaluation cache (one materialization per execution epoch).
-  TablePtr cached;
-  uint64_t epoch = 0;
+  int32_t param = -1;  // kParam: index into CompiledQuery::params
 };
 
 inline PlanPtr MakePlan(OpCode op) { return std::make_shared<PlanNode>(op); }
@@ -120,10 +122,31 @@ struct PlanStats {
   int num_sorts = 0;
 };
 
-/// A compiled query: result plan + prolog metadata.
+/// Item-type contract of one external variable (from the prolog's `as`
+/// annotation). Cardinality is not constrained — any binding is a sequence.
+enum class ParamType : uint8_t {
+  kAny,      // item()* / no annotation
+  kInteger,  // xs:integer family
+  kDouble,   // xs:double / xs:decimal / xs:float (accepts integers too)
+  kString,   // xs:string / xs:untypedAtomic / xs:anyURI
+  kBoolean,  // xs:boolean
+  kNode,     // node() / element() / attribute() / text() / document-node()
+};
+
+const char* ParamTypeName(ParamType t);
+
+/// One external-variable slot of a compiled plan.
+struct ParamInfo {
+  std::string name;      // variable name without the '$'
+  ParamType type = ParamType::kAny;
+};
+
+/// A compiled query: result plan + prolog metadata. Immutable after
+/// compilation — safe to share across threads and sessions.
 struct CompiledQuery {
   PlanPtr root;  // relation (iter, pos, item) with a single outer iteration
   PlanStats stats;
+  std::vector<ParamInfo> params;  // external variables, in slot order
 };
 
 PlanStats ComputePlanStats(const PlanPtr& root);

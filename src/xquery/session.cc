@@ -1,0 +1,115 @@
+// Serving-API plumbing that is not plan evaluation: the engine's bounded
+// LRU plan cache (compile once, serve many) and the streaming result
+// cursor. Session itself is header-only (xquery/engine.h) — it is a thin
+// per-caller handle over these thread-safe engine facilities.
+
+#include <algorithm>
+
+#include "xquery/engine.h"
+
+namespace mxq {
+namespace xq {
+
+namespace {
+
+/// Cache key: CompileOptions fields + the query text, separated by a byte
+/// that cannot appear in any of them. Two option sets that compile
+/// differently never share a plan.
+std::string PlanCacheKey(const std::string& query, const CompileOptions& o) {
+  std::string k;
+  k.reserve(query.size() + o.context_doc.size() + 16);
+  k += o.join_recognition ? '1' : '0';
+  k += '\x1f';
+  k += std::to_string(o.max_inline_depth);
+  k += '\x1f';
+  k += o.context_doc;
+  k += '\x1f';
+  k += query;
+  return k;
+}
+
+}  // namespace
+
+Result<PreparedQuery> XQueryEngine::Prepare(const std::string& query,
+                                            const CompileOptions& opts) {
+  const std::string key = PlanCacheKey(query, opts);
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    auto it = cache_map_.find(key);
+    if (it != cache_map_.end()) {
+      ++cache_hits_;
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      return it->second->plan;
+    }
+    ++cache_misses_;
+  }
+
+  // Compile outside the cache lock: compilation can be slow, and concurrent
+  // Prepare calls for different queries should not serialize on it.
+  MXQ_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query, opts));
+  auto plan = std::make_shared<const CompiledQuery>(std::move(compiled));
+
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  auto it = cache_map_.find(key);
+  if (it != cache_map_.end()) {
+    // Another session compiled the same query concurrently; keep one plan.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return it->second->plan;
+  }
+  if (cache_capacity_ == 0) return PreparedQuery(plan);  // caching disabled
+  cache_lru_.push_front(CacheEntry{key, plan});
+  cache_map_[key] = cache_lru_.begin();
+  EvictOverCapacityLocked();
+  return PreparedQuery(plan);
+}
+
+void XQueryEngine::EvictOverCapacityLocked() {
+  while (cache_lru_.size() > cache_capacity_) {
+    cache_map_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+    ++cache_evictions_;
+  }
+}
+
+PlanCacheStats XQueryEngine::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  PlanCacheStats s;
+  s.hits = cache_hits_;
+  s.misses = cache_misses_;
+  s.evictions = cache_evictions_;
+  s.size = static_cast<int64_t>(cache_lru_.size());
+  s.capacity = static_cast<int64_t>(cache_capacity_);
+  return s;
+}
+
+void XQueryEngine::set_plan_cache_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  cache_capacity_ = capacity;
+  EvictOverCapacityLocked();
+}
+
+// ---------------------------------------------------------------------------
+// ResultCursor
+// ---------------------------------------------------------------------------
+
+size_t ResultCursor::total_rows() const {
+  return table_ ? table_->rows() : 0;
+}
+
+size_t ResultCursor::Next(std::vector<Item>* out, size_t max) {
+  out->clear();
+  if (!table_ || item_col_ < 0 || max == 0) return 0;
+  const size_t n = table_->rows();
+  if (row_ >= n) return 0;
+  const size_t take = std::min(max, n - row_);
+  out->reserve(take);
+  // ItemAt reads through any selection vector without materializing the
+  // full column — a cursor consumer never forces the whole gather.
+  for (size_t k = 0; k < take; ++k)
+    out->push_back(table_->ItemAt(static_cast<size_t>(item_col_), row_ + k));
+  row_ += take;
+  return take;
+}
+
+}  // namespace xq
+}  // namespace mxq

@@ -155,6 +155,46 @@ TEST(ParserTest, KeywordsAreContextual) {
   EXPECT_EQ(Body(q).steps[0].name, "for");
 }
 
+TEST(ParserTest, PrologVariables) {
+  auto q = P("declare variable $x := 1 + 2; $x");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->variables.size(), 1u);
+  EXPECT_EQ(q->variables[0].name, "x");
+  EXPECT_FALSE(q->variables[0].external);
+  ASSERT_NE(q->variables[0].init, nullptr);
+  EXPECT_EQ(q->variables[0].init->kind, ExprKind::kArith);
+
+  q = P("declare variable $y as xs:integer external; $y + 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->variables.size(), 1u);
+  EXPECT_EQ(q->variables[0].name, "y");
+  EXPECT_TRUE(q->variables[0].external);
+  EXPECT_EQ(q->variables[0].type_name, "xs:integer");
+  EXPECT_EQ(q->variables[0].init, nullptr);
+
+  // Kind tests and occurrence indicators in the annotation.
+  q = P("declare variable $n as node()* external; count($n)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->variables[0].type_name, "node()");
+
+  // Malformed declarations still error.
+  EXPECT_FALSE(P("declare variable x := 1; 2").ok());      // missing '$'
+  EXPECT_FALSE(P("declare variable $x external 1").ok());  // missing ';'
+  EXPECT_FALSE(P("declare variable $x; 1").ok());  // neither init nor ext
+}
+
+TEST(LexerTest, StringLiteralEntities) {
+  // Predefined entity references decode inside string literals.
+  Lexer lex(R"("a &lt; b &amp;&amp; c &gt; d" '&quot;&apos;' "&unknown;")");
+  Token t = lex.Next();
+  EXPECT_EQ(t.type, TokType::kString);
+  EXPECT_EQ(t.text, "a < b && c > d");
+  t = lex.Next();
+  EXPECT_EQ(t.text, "\"'");
+  t = lex.Next();
+  EXPECT_EQ(t.text, "&unknown;");  // unknown references pass through
+}
+
 TEST(ParserTest, Errors) {
   EXPECT_FALSE(P("for $x in").ok());
   EXPECT_FALSE(P("for x in (1) return x").ok());
@@ -162,7 +202,6 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(P("(1, 2").ok());
   EXPECT_FALSE(P("<a><b></a>").ok());               // mismatched ctor
   EXPECT_FALSE(P("1 +").ok());
-  EXPECT_FALSE(P("declare variable $x := 1; $x").ok());  // unsupported
   EXPECT_FALSE(P("42 43").ok());                    // trailing content
 }
 

@@ -1,0 +1,451 @@
+// Serving-API tests: prepared queries with external variables, typed
+// parameter binding, the bounded LRU plan cache, per-execution result
+// ownership and statistics, the streaming cursor, and concurrent execution
+// of one shared plan from many sessions (run under MXQ_SANITIZE=thread to
+// validate the synchronization end to end).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "xml/serializer.h"
+#include "xml/shredder.h"
+#include "xquery/engine.h"
+
+namespace mxq {
+namespace xq {
+namespace {
+
+// Parameterized value-join over the auction document: exercises staircase
+// steps, a predicate on the bound variable, and node construction (so each
+// execution writes its own transient container).
+constexpr const char* kSalesQuery =
+    R"(declare variable $min as xs:integer external;
+       for $a in doc("auction.xml")//auction
+       where $a/price >= $min
+       return <sale buyer="{$a/buyer/@person}">{$a/price/text()}</sale>)";
+
+class ServingApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        ShredDocument(
+            &mgr_, "auction.xml",
+            "<site><people>"
+            "<person id=\"person0\"><name>Kasidit</name><age>25</age></person>"
+            "<person id=\"person1\"><name>Amara</name><age>30</age></person>"
+            "<person id=\"person2\"><name>Bola</name><age>19</age></person>"
+            "</people><auctions>"
+            "<auction><buyer person=\"person0\"/><price>10</price></auction>"
+            "<auction><buyer person=\"person0\"/><price>25</price></auction>"
+            "<auction><buyer person=\"person2\"/><price>90</price></auction>"
+            "</auctions></site>")
+            .ok());
+  }
+
+  DocumentManager mgr_;
+};
+
+// ---------------------------------------------------------------------------
+// External-variable binding
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingApiTest, BindInteger) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare("declare variable $x as xs:integer external; $x * 2 + 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->params.size(), 1u);
+  s.Bind("x", int64_t{20});
+  auto r = s.Execute(*q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Serialize(mgr_), "41");
+  // Re-bind and re-execute the same compiled plan.
+  s.Bind("x", int64_t{-1});
+  r = s.Execute(*q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Serialize(mgr_), "-1");
+  // Plain int literals bind without a cast.
+  s.Bind("x", 3);
+  r = s.Execute(*q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Serialize(mgr_), "7");
+}
+
+TEST_F(ServingApiTest, BindIntegerInPredicate) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(
+      R"(declare variable $min as xs:integer external;
+         for $p in doc("auction.xml")//person
+         where $p/age >= $min
+         return $p/name/text())");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  s.Bind("min", int64_t{20});
+  auto r = s.Execute(*q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Serialize(mgr_), "KasiditAmara");
+  s.Bind("min", int64_t{30});
+  r = s.Execute(*q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Serialize(mgr_), "Amara");
+}
+
+TEST_F(ServingApiTest, BindString) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(
+      R"(declare variable $who as xs:string external;
+         doc("auction.xml")//person[name = $who]/age/text())");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  s.Bind("who", "Bola");
+  auto r = s.Execute(*q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Serialize(mgr_), "19");
+}
+
+TEST_F(ServingApiTest, BindDoubleAndBoolean) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(
+      "declare variable $f as xs:double external;"
+      "declare variable $b as xs:boolean external;"
+      "if ($b) then $f * 2 else $f");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  s.Bind("f", 1.5);
+  s.Bind("b", true);
+  auto r = s.Execute(*q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Serialize(mgr_), "3");
+}
+
+TEST_F(ServingApiTest, BindNodeSequence) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  // Select nodes with one query, feed them to another as a bound sequence.
+  auto sel = s.Prepare(R"(doc("auction.xml")//person[age >= 20])");
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  auto people = s.Execute(*sel);
+  ASSERT_TRUE(people.ok());
+  ASSERT_EQ(people->items.size(), 2u);
+
+  auto q = s.Prepare(
+      R"(declare variable $ppl as node()* external;
+         for $p in $ppl return $p/name/text())");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  s.BindSequence("ppl", people->items);
+  auto r = s.Execute(*q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Serialize(mgr_), "KasiditAmara");
+}
+
+TEST_F(ServingApiTest, BindTypeMismatchErrors) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare("declare variable $x as xs:integer external; $x");
+  ASSERT_TRUE(q.ok());
+  s.Bind("x", "not a number");
+  auto r = s.Execute(*q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("does not conform"), std::string::npos)
+      << r.status().ToString();
+
+  auto qn = s.Prepare("declare variable $n as node() external; count($n)");
+  ASSERT_TRUE(qn.ok());
+  s.Bind("n", int64_t{7});
+  r = s.Execute(*qn);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("does not conform"), std::string::npos);
+}
+
+TEST_F(ServingApiTest, UnboundVariableErrors) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare("declare variable $x as xs:integer external; $x");
+  ASSERT_TRUE(q.ok());
+  auto r = s.Execute(*q);  // nothing bound
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("no value bound"), std::string::npos);
+  s.Bind("x", int64_t{1});
+  s.Unbind("x");
+  EXPECT_FALSE(s.Execute(*q).ok());
+}
+
+TEST_F(ServingApiTest, PrologDeclarations) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  // Initialized prolog variables evaluate without binding.
+  auto r = s.Run("declare variable $two := 2; $two * 21");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "42");
+  // Unsupported annotation types and duplicate names are compile errors.
+  EXPECT_FALSE(s.Prepare("declare variable $d as xs:date external; $d").ok());
+  EXPECT_FALSE(
+      s.Prepare("declare variable $x := 1; declare variable $x := 2; $x")
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingApiTest, PlanCacheHitAndMiss) {
+  XQueryEngine eng(&mgr_);
+  auto a = eng.Prepare("1 + 1");
+  auto b = eng.Prepare("1 + 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->get(), b->get());  // one shared plan
+  auto st = eng.plan_cache_stats();
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.size, 1);
+
+  // Different CompileOptions never share a plan.
+  CompileOptions co;
+  co.join_recognition = false;
+  auto c = eng.Prepare("1 + 1", co);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->get(), c->get());
+  EXPECT_EQ(eng.plan_cache_stats().misses, 2);
+}
+
+TEST_F(ServingApiTest, PlanCacheLruEviction) {
+  XQueryEngine eng(&mgr_, /*plan_cache_capacity=*/2);
+  ASSERT_TRUE(eng.Prepare("1").ok());  // miss: {1}
+  ASSERT_TRUE(eng.Prepare("2").ok());  // miss: {2,1}
+  ASSERT_TRUE(eng.Prepare("1").ok());  // hit : {1,2}
+  ASSERT_TRUE(eng.Prepare("3").ok());  // miss: {3,1}, evicts "2"
+  auto st = eng.plan_cache_stats();
+  EXPECT_EQ(st.evictions, 1);
+  EXPECT_EQ(st.size, 2);
+  ASSERT_TRUE(eng.Prepare("1").ok());  // still cached (was touched)
+  EXPECT_EQ(eng.plan_cache_stats().hits, 2);
+  ASSERT_TRUE(eng.Prepare("2").ok());  // evicted above: a fresh miss
+  EXPECT_EQ(eng.plan_cache_stats().misses, 4);
+}
+
+TEST_F(ServingApiTest, PlanCacheCapacityZeroDisables) {
+  XQueryEngine eng(&mgr_, /*plan_cache_capacity=*/0);
+  ASSERT_TRUE(eng.Prepare("1 + 1").ok());
+  ASSERT_TRUE(eng.Prepare("1 + 1").ok());
+  auto st = eng.plan_cache_stats();
+  EXPECT_EQ(st.hits, 0);
+  EXPECT_EQ(st.misses, 2);
+  EXPECT_EQ(st.size, 0);
+}
+
+TEST_F(ServingApiTest, PlanCacheRebound) {
+  XQueryEngine eng(&mgr_);
+  for (const char* q : {"1", "2", "3", "4"}) ASSERT_TRUE(eng.Prepare(q).ok());
+  EXPECT_EQ(eng.plan_cache_stats().size, 4);
+  eng.set_plan_cache_capacity(1);
+  auto st = eng.plan_cache_stats();
+  EXPECT_EQ(st.size, 1);
+  EXPECT_EQ(st.evictions, 3);
+  // Plans held by callers survive eviction (shared ownership).
+  auto p = eng.Prepare("5");
+  ASSERT_TRUE(p.ok());
+  eng.set_plan_cache_capacity(0);
+  Session s = eng.CreateSession();
+  auto r = s.Execute(*p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Serialize(mgr_), "5");
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution result ownership and statistics
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingApiTest, ResultsOutliveLaterExecutions) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(kSalesQuery);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  s.Bind("min", int64_t{0});
+  auto r1 = s.Execute(*q);
+  ASSERT_TRUE(r1.ok());
+  const std::string first = r1->Serialize(mgr_);
+  // Subsequent executions construct nodes in *their own* containers; the
+  // earlier result's constructed nodes must stay valid.
+  s.Bind("min", int64_t{50});
+  auto r2 = s.Execute(*q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1->transient(), r2->transient());
+  EXPECT_EQ(r1->Serialize(mgr_), first);
+  EXPECT_EQ(r2->Serialize(mgr_),
+            "<sale buyer=\"person2\">90</sale>");
+}
+
+TEST_F(ServingApiTest, TransientContainersAreRecycled) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  const int32_t before = mgr_.num_containers();
+  for (int i = 0; i < 8; ++i) {
+    auto r = s.Run("<x>{1 + 1}</x>");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, "<x>2</x>");
+  }
+  // Serial executions reuse one recycled container instead of registering a
+  // new one per execution.
+  EXPECT_LE(mgr_.num_containers(), before + 1);
+  EXPECT_GE(mgr_.free_transients(), 1);
+}
+
+TEST_F(ServingApiTest, MoveSemanticsTransferOwnership) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto r = s.Run("1");  // warm the cache path
+  ASSERT_TRUE(r.ok());
+  auto q = s.Prepare("<y/>");
+  ASSERT_TRUE(q.ok());
+  auto res = s.Execute(*q);
+  ASSERT_TRUE(res.ok());
+  QueryResult moved = std::move(*res);
+  EXPECT_EQ(res->transient(), nullptr);  // moved-from released nothing
+  EXPECT_EQ(moved.Serialize(mgr_), "<y/>");
+}
+
+TEST_F(ServingApiTest, StatsArePerExecution) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto big = s.Prepare(R"(doc("auction.xml")//person/name/text())");
+  auto small = s.Prepare("1 + 1");
+  ASSERT_TRUE(big.ok() && small.ok());
+  auto r1 = s.Execute(*big);
+  auto r2 = s.Execute(*small);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_GT(r1->scan_stats().slots_touched, 0);
+  EXPECT_EQ(r2->scan_stats().slots_touched, 0);  // no steps at all
+  EXPECT_GT(r1->exec_stats().tuples_materialized, 0);
+  // The session's long-lived EvalOptions still accumulates across runs.
+  EXPECT_GE(s.options().alg.stats.tuples_materialized,
+            r1->exec_stats().tuples_materialized);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming cursor
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingApiTest, CursorMatchesMaterializedResult) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(kSalesQuery);
+  ASSERT_TRUE(q.ok());
+  s.Bind("min", int64_t{0});
+  auto all = s.Execute(*q);
+  ASSERT_TRUE(all.ok());
+
+  auto cur = s.OpenCursor(*q);
+  ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+  EXPECT_EQ(cur->total_rows(), all->items.size());
+  std::vector<Item> streamed, batch;
+  while (cur->Next(&batch, 2)) {
+    EXPECT_LE(batch.size(), 2u);
+    streamed.insert(streamed.end(), batch.begin(), batch.end());
+  }
+  EXPECT_TRUE(cur->done());
+  EXPECT_EQ(cur->Next(&batch), 0u);  // exhausted stays exhausted
+  ASSERT_EQ(streamed.size(), all->items.size());
+  EXPECT_EQ(SerializeSequence(mgr_, streamed), all->Serialize(mgr_));
+  EXPECT_GT(cur->exec_stats().tuples_materialized, 0);
+}
+
+TEST_F(ServingApiTest, CursorOnEmptyResult) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(R"(doc("auction.xml")//person[age > 1000])");
+  ASSERT_TRUE(q.ok());
+  auto cur = s.OpenCursor(*q);
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(cur->total_rows(), 0u);
+  EXPECT_TRUE(cur->done());
+  std::vector<Item> batch;
+  EXPECT_EQ(cur->Next(&batch), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: one shared prepared plan, many sessions
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingApiTest, ConcurrentSharedPlanBitIdenticalToSerial) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8;
+
+  XQueryEngine eng(&mgr_);
+  auto plan = eng.Prepare(kSalesQuery);  // the single compile
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  // Serial baseline per binding value.
+  std::vector<std::string> expected(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Session s = eng.CreateSession();
+    s.Bind("min", int64_t{t * 20});
+    auto r = s.Execute(*plan);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected[t] = r->Serialize(mgr_);
+  }
+  ASSERT_NE(expected.front(), expected.back());  // bindings actually differ
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session s = eng.CreateSession();
+      s.Bind("min", int64_t{t * 20});
+      QueryResult held;  // results must survive other threads' executions
+      for (int i = 0; i < kIters; ++i) {
+        auto p = s.Prepare(kSalesQuery);  // cache hit, same shared plan
+        if (!p.ok() || p->get() != plan->get()) {
+          ++failures;
+          continue;
+        }
+        auto r = s.Execute(*p);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        if (r->Serialize(mgr_) != expected[t]) ++mismatches;
+        if (held.transient() && held.Serialize(mgr_) != expected[t])
+          ++mismatches;
+        held = std::move(*r);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // Zero re-compiles after the first: one miss, everything else hits.
+  auto st = eng.plan_cache_stats();
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.hits, kThreads * kIters);
+}
+
+TEST_F(ServingApiTest, ConcurrentColdPrepareSharesOnePlan) {
+  // Many threads race to prepare the same (uncached) query: all must get a
+  // working plan, and the cache must end with exactly one entry.
+  constexpr int kThreads = 4;
+  XQueryEngine eng(&mgr_);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Session s = eng.CreateSession();
+      for (int i = 0; i < 8; ++i) {
+        auto r = s.Run(R"(count(doc("auction.xml")//person))");
+        if (!r.ok() || *r != "3") ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(eng.plan_cache_stats().size, 1);
+}
+
+}  // namespace
+}  // namespace xq
+}  // namespace mxq
