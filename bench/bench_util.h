@@ -39,6 +39,7 @@ inline void SetKernelFlags(alg::ExecFlags* fl, bool on) {
   fl->radix_join = on;
   fl->sel_vectors = on;
   fl->dense_sort = on;
+  fl->dict_items = on;
 }
 
 // ---------------------------------------------------------------------------

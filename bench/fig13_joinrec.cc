@@ -114,6 +114,83 @@ void JoinKernelRadixThreads(benchmark::State& s) {
   JoinKernel(s, true, static_cast<int>(s.range(1)));
 }
 
+// ---------------------------------------------------------------------------
+// item-key join kernel: dictionary-coded vs 16-byte item probe
+// ---------------------------------------------------------------------------
+
+struct ItemJoinInputs {
+  std::unique_ptr<mxq::DocumentManager> mgr;
+  // Each variant joins its natural physical representation: the legacy
+  // probe gets 16-byte item columns, the dict probe gets the 8-byte code
+  // columns that atomization produces natively in real plans.
+  mxq::TablePtr left, right;            // kItem key columns
+  mxq::TablePtr left_dict, right_dict;  // kDict key columns
+};
+
+/// Item keys mixing the value classes XMark joins see: interned strings
+/// (person ids), ints and doubles sharing a value domain.
+ItemJoinInputs MakeItemJoinInputs(int64_t n) {
+  ItemJoinInputs in;
+  in.mgr = std::make_unique<mxq::DocumentManager>();
+  std::mt19937 rng(7);
+  const int64_t domain = std::max<int64_t>(n / 4, 1);
+  auto make = [&](int64_t rows) {
+    std::vector<mxq::Item> v(rows);
+    for (auto& it : v) {
+      int64_t k = static_cast<int64_t>(rng() % domain);
+      switch (rng() % 3) {
+        case 0:
+          it = mxq::Item::String(
+              in.mgr->strings().Intern("person" + std::to_string(k)));
+          break;
+        case 1: it = mxq::Item::Int(k); break;
+        default: it = mxq::Item::Double(static_cast<double>(k)); break;
+      }
+    }
+    return mxq::Column::MakeItem(std::move(v));
+  };
+  std::vector<int64_t> sid(n);
+  for (int64_t i = 0; i < n; ++i) sid[i] = i;
+  in.left = mxq::alg::MakeTable({{"v", make(n)}});
+  in.right = mxq::alg::MakeTable(
+      {{"v", make(n)}, {"sid", mxq::Column::MakeI64(std::move(sid))}});
+  mxq::alg::ExecFlags dict_fl;
+  in.left_dict = mxq::alg::Project(
+      mxq::alg::AppendAtomize(*in.mgr, dict_fl, in.left, "vd", "v"),
+      {{"vd", "v"}});
+  in.right_dict = mxq::alg::Project(
+      mxq::alg::AppendAtomize(*in.mgr, dict_fl, in.right, "vd", "v"),
+      {{"vd", "v"}, {"sid", "sid"}});
+  return in;
+}
+
+void ItemJoinKernel(benchmark::State& state, bool dict, int threads = 1) {
+  auto in = MakeItemJoinInputs(state.range(0));
+  mxq::alg::ExecFlags fl;
+  fl.threads = threads;
+  fl.dict_items = dict;
+  const mxq::TablePtr& left = dict ? in.left_dict : in.left;
+  const mxq::TablePtr& right = dict ? in.right_dict : in.right;
+  for (auto _ : state) {
+    auto j = mxq::alg::EquiJoinItem(*in.mgr, fl, left, "v", right, "v",
+                                    {{"sid", "sid"}});
+    benchmark::DoNotOptimize(j->rows());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["dict_joins"] =
+      static_cast<double>(fl.stats.dict_joins) / iters;
+  state.counters["join_key_bytes"] =
+      static_cast<double>(fl.stats.join_key_bytes) / iters;
+  state.counters["par_tasks"] = static_cast<double>(fl.stats.par_tasks) / iters;
+}
+
+void ItemJoinKernelDict(benchmark::State& s) { ItemJoinKernel(s, true); }
+void ItemJoinKernelLegacy(benchmark::State& s) { ItemJoinKernel(s, false); }
+// The formerly-serial item probe across the thread pool (dict-coded).
+void ItemJoinKernelDictThreads(benchmark::State& s) {
+  ItemJoinKernel(s, true, static_cast<int>(s.range(1)));
+}
+
 /// Direct best-of timing of the two kernel paths, written as JSON for
 /// bench/run_all.sh (MXQ_BENCH_JSON names the output file). Each size also
 /// carries the partition-parallel thread sweep (1/2/4 threads) of the
@@ -158,6 +235,56 @@ void WriteKernelSummary(const char* path) {
     w.EndArray();
     w.EndObject();
   }
+  // Item-key join: dict-on/off ablation + thread sweep of the now-parallel
+  // probe. `key_bytes_ratio` is the ExecStats-reported key-column traffic
+  // of the dict-coded join relative to the 16-byte item path (the PR's
+  // acceptance bar is <= 0.5).
+  for (int64_t n : {int64_t{1} << 16, int64_t{1} << 19}) {
+    auto in = MakeItemJoinInputs(n);
+    auto run = [&](bool dict, int threads, mxq::alg::ExecStats* stats) {
+      mxq::alg::ExecFlags fl;
+      fl.threads = threads;
+      fl.dict_items = dict;
+      auto j = mxq::alg::EquiJoinItem(*in.mgr, fl,
+                                      dict ? in.left_dict : in.left, "v",
+                                      dict ? in.right_dict : in.right, "v",
+                                      {{"sid", "sid"}});
+      benchmark::DoNotOptimize(j->rows());
+      if (stats) *stats = fl.stats;
+    };
+    const int reps = n > (1 << 17) ? 5 : 20;
+    mxq::alg::ExecStats dict_stats, legacy_stats;
+    double dict_ms =
+        mxq::bench::BestOfMs(reps, [&] { run(true, 1, &dict_stats); });
+    double legacy_ms =
+        mxq::bench::BestOfMs(reps, [&] { run(false, 1, &legacy_stats); });
+    w.BeginObject();
+    w.Field("kernel", std::string("equijoin_item"));
+    w.Field("n", n);
+    w.Field("dict_ms", dict_ms);
+    w.Field("legacy_ms", legacy_ms);
+    w.Field("speedup", legacy_ms / dict_ms);
+    w.Field("dict_key_bytes", dict_stats.join_key_bytes);
+    w.Field("legacy_key_bytes", legacy_stats.join_key_bytes);
+    w.Field("key_bytes_ratio",
+            static_cast<double>(dict_stats.join_key_bytes) /
+                static_cast<double>(legacy_stats.join_key_bytes));
+    w.BeginArray("parallel");
+    const double t1_ms = dict_ms;  // threads=1 was just measured above
+    for (int threads : {1, 2, 4}) {
+      double ms = threads == 1
+                      ? t1_ms
+                      : mxq::bench::BestOfMs(
+                            reps, [&] { run(true, threads, nullptr); });
+      w.BeginObject();
+      w.Field("threads", static_cast<int64_t>(threads));
+      w.Field("dict_ms", ms);
+      w.Field("speedup_vs_t1", t1_ms > 0 ? t1_ms / ms : 1.0);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   w.EndArray();
   w.EndObject();
   w.WriteFile(path);
@@ -176,6 +303,10 @@ BENCHMARK(JoinKernelRadix)->Arg(1 << 16)->Arg(1 << 20);
 BENCHMARK(JoinKernelLegacy)->Arg(1 << 16)->Arg(1 << 20);
 BENCHMARK(JoinKernelRadixThreads)
     ->ArgsProduct({{1 << 20}, {1, 2, 4}});
+BENCHMARK(ItemJoinKernelDict)->Arg(1 << 16)->Arg(1 << 19);
+BENCHMARK(ItemJoinKernelLegacy)->Arg(1 << 16)->Arg(1 << 19);
+BENCHMARK(ItemJoinKernelDictThreads)
+    ->ArgsProduct({{1 << 19}, {1, 2, 4}});
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);

@@ -46,9 +46,10 @@ void PrintExecStats() {
               "MXQ_THREADS=%d)\n\n",
               static_cast<double>(inst.xml_size()) / (1024.0 * 1024.0),
               mxq::DefaultExecThreads());
-  std::printf("%5s %6s %6s %6s %6s %6s %6s %6s %6s %6s %8s %8s %8s\n",
-              "query", "radix", "rparts", "csort", "selvec", "hash", "pos",
-              "sortp", "elide", "par", "join_ms", "sort_ms", "filt_ms");
+  std::printf("%5s %6s %6s %6s %6s %6s %6s %6s %6s %6s %6s %7s %8s %8s %8s\n",
+              "query", "radix", "rparts", "csort", "selvec", "dict", "hash",
+              "pos", "sortp", "elide", "par", "key_KB", "join_ms", "sort_ms",
+              "filt_ms");
   mxq::alg::ExecStats total;
   auto print_row = [](const char* label, int qn,
                       const mxq::alg::ExecStats& s) {
@@ -58,35 +59,26 @@ void PrintExecStats() {
     else
       std::snprintf(name, sizeof name, "%s", label);
     std::printf("%-5s %6lld %6lld %6lld %6lld %6lld %6lld %6lld %6lld %6lld "
-                "%8.2f %8.2f %8.2f\n",
+                "%6lld %7.1f %8.2f %8.2f %8.2f\n",
                 name, static_cast<long long>(s.radix_joins),
                 static_cast<long long>(s.radix_partitions),
                 static_cast<long long>(s.counting_sorts),
                 static_cast<long long>(s.sel_selects),
+                static_cast<long long>(s.dict_joins),
                 static_cast<long long>(s.hash_joins),
                 static_cast<long long>(s.positional_joins),
                 static_cast<long long>(s.sorts_performed),
                 static_cast<long long>(s.sorts_elided),
-                static_cast<long long>(s.par_tasks), s.join_ms, s.sort_ms,
-                s.filter_ms);
+                static_cast<long long>(s.par_tasks),
+                static_cast<double>(s.join_key_bytes) / 1024.0, s.join_ms,
+                s.sort_ms, s.filter_ms);
   };
   for (int qn = 1; qn <= 20; ++qn) {
     mxq::xq::EvalOptions eo;
     inst.Run(qn, &eo);
     const mxq::alg::ExecStats& s = eo.alg.stats;
     print_row("", qn, s);
-    total.radix_joins += s.radix_joins;
-    total.radix_partitions += s.radix_partitions;
-    total.counting_sorts += s.counting_sorts;
-    total.sel_selects += s.sel_selects;
-    total.hash_joins += s.hash_joins;
-    total.positional_joins += s.positional_joins;
-    total.sorts_performed += s.sorts_performed;
-    total.sorts_elided += s.sorts_elided;
-    total.par_tasks += s.par_tasks;
-    total.join_ms += s.join_ms;
-    total.sort_ms += s.sort_ms;
-    total.filter_ms += s.filter_ms;
+    total.Add(s);
   }
   print_row("total", 0, total);
   std::printf("\n");

@@ -16,17 +16,21 @@
 # Usage: bench/run_all.sh [out.json]
 #   MXQ_SCALE     document scale multiplier (default 0.1)
 #   MXQ_THREADS   default evaluator thread count (sweeps override per run)
+#   MXQ_DICT      dictionary-coded item columns (default on; fig13's
+#                 equijoin_item summary carries the on/off ablation)
 #   BUILD_DIR     cmake build directory (default build)
 #   BENCH_FILTER  optional --benchmark_filter regex passed to every binary
 #
 # The parallel kernels are validated under ThreadSanitizer via the
-# MXQ_SANITIZE cmake option (not part of this script's hot loop):
+# MXQ_SANITIZE cmake option and the run_matrix ctest target, which also
+# sweeps MXQ_DICT=0/1 (not part of this script's hot loop):
 #   cmake -B build-tsan -S . -DMXQ_SANITIZE=thread
-#   cmake --build build-tsan -j && ctest --test-dir build-tsan
+#   cmake --build build-tsan -j
+#   ctest --test-dir build-tsan -R '^run_matrix$' --output-on-failure
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT=${1:-BENCH_pr4.json}
+OUT=${1:-BENCH_pr5.json}
 BUILD=${BUILD_DIR:-build}
 export MXQ_SCALE=${MXQ_SCALE:-0.1}
 FILTER=${BENCH_FILTER:+--benchmark_filter=${BENCH_FILTER}}

@@ -5,22 +5,17 @@
 #include <cstring>
 #include <string>
 
+#include "common/item_dict.h"
 #include "xml/serializer.h"
 
 namespace mxq {
 
 namespace {
 
-/// Parses a whole (whitespace-trimmed) string as double; NaN on any junk.
-double ParseDouble(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\n\r");
-  if (b == std::string::npos) return std::nan("");
-  size_t e = s.find_last_not_of(" \t\n\r");
-  char* end = nullptr;
-  double v = std::strtod(s.c_str() + b, &end);
-  if (end != s.c_str() + e + 1) return std::nan("");
-  return v;
-}
+// Numeric casts route through the shared strict parser so the dictionary's
+// cached numeric images (common/item_dict.h) and the live comparison path
+// can never disagree.
+double ParseDouble(const std::string& s) { return ParseDoubleStrict(s); }
 
 int ClassRank(ItemKind k) {
   switch (k) {
@@ -229,42 +224,27 @@ bool ItemEbv(const DocumentManager& mgr, const Item& item) {
 }
 
 uint64_t HashItem(const DocumentManager& mgr, const Item& item) {
-  auto mix = [](uint64_t x) {
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ULL;
-    x ^= x >> 33;
-    return x;
-  };
+  // Built from the same helpers as ItemDict's per-code hashes: the
+  // dictionary-coded join buckets by HashCode and the legacy join by
+  // HashItem, and both must see identical buckets for identical values or
+  // the two paths would find different match sets.
   switch (item.kind) {
     case ItemKind::kNode:
     case ItemKind::kAttr:
-      return mix(static_cast<uint64_t>(item.i) ^ 0x9e3779b97f4a7c15ULL);
+      return MixValueHash(static_cast<uint64_t>(item.i) ^
+                          0x9e3779b97f4a7c15ULL);
     case ItemKind::kBool:
-      return mix(item.b ? 3 : 5);
+      return MixValueHash(item.b ? 3 : 5);
     default:
       break;
   }
   // Values that may compare equal across kinds (int 20, double 20.0,
   // untyped "20") hash through their numeric image when they have one.
   double d = ToDouble(mgr, item);
-  if (!std::isnan(d)) {
-    uint64_t bits;
-    if (d == 0.0) d = 0.0;  // normalize -0
-    std::memcpy(&bits, &d, sizeof(bits));
-    return mix(bits);
-  }
-  if (item.is_stringlike()) {
-    const std::string& s = mgr.strings().Get(item.str_id());
-    uint64_t h = 1469598103934665603ULL;
-    for (char ch : s) {
-      h ^= static_cast<unsigned char>(ch);
-      h *= 1099511628211ULL;
-    }
-    return mix(h);
-  }
-  return mix(static_cast<uint64_t>(item.i));
+  if (!std::isnan(d)) return HashNumericImage(d);
+  if (item.is_stringlike())
+    return HashStringChars(mgr.strings().Get(item.str_id()));
+  return MixValueHash(static_cast<uint64_t>(item.i));
 }
 
 Item CastString(DocumentManager& mgr, const Item& item) {

@@ -58,6 +58,7 @@ ExecFlags ExecFlags::FromEnv() {
   fl.radix_join = BoolEnv("MXQ_RADIX_JOIN", fl.radix_join);
   fl.sel_vectors = BoolEnv("MXQ_SEL_VECTORS", fl.sel_vectors);
   fl.dense_sort = BoolEnv("MXQ_DENSE_SORT", fl.dense_sort);
+  fl.dict_items = BoolEnv("MXQ_DICT", fl.dict_items);
   if (const char* s = std::getenv("MXQ_THREADS")) {
     int v = std::atoi(s);
     if (v >= 1) fl.threads = std::min(v, 64);
@@ -78,9 +79,11 @@ ColumnPtr GatherLogical(const Table& t, size_t ci,
                         const std::vector<size_t>& rows, int chunks = 1) {
   const Column& col = *t.raw_col(ci);
   const SelVectorPtr& sel = t.col_sel(ci);
-  if (col.is_i64()) {
+  if (!col.is_item()) {
+    // i64 payloads and dict codes gather identically: 8 bytes per row (a
+    // dict column is never decoded here — half the bytes of an item move).
     std::vector<int64_t> out(rows.size());
-    const auto& in = col.i64();
+    const auto& in = col.is_dict() ? col.codes() : col.i64();
     ParallelChunks(chunks, rows.size(), [&](int, size_t b, size_t e) {
       if (sel) {
         const auto& s = sel->idx;
@@ -89,7 +92,8 @@ ColumnPtr GatherLogical(const Table& t, size_t ci,
         for (size_t k = b; k < e; ++k) out[k] = in[rows[k]];
       }
     });
-    return Column::MakeI64(std::move(out));
+    return col.is_dict() ? Column::MakeDict(std::move(out), col.dict())
+                         : Column::MakeI64(std::move(out));
   }
   std::vector<Item> out(rows.size());
   const auto& in = col.items();
@@ -240,10 +244,31 @@ TablePtr AppendCompare(DocumentManager& mgr, const TablePtr& t,
   });
 }
 
-TablePtr AppendAtomize(DocumentManager& mgr, const TablePtr& t,
-                       const std::string& out, const std::string& in) {
-  return AppendMap(t, out, in,
-                   [&mgr](const Item& x) { return Atomize(mgr, x); });
+TablePtr AppendAtomize(DocumentManager& mgr, const ExecFlags& fl,
+                       const TablePtr& t, const std::string& out,
+                       const std::string& in) {
+  if (!fl.dict_items)
+    return AppendMap(t, out, in,
+                     [&mgr](const Item& x) { return Atomize(mgr, x); });
+  // Dictionary-coded atomization: the column is born as 8-byte codes.
+  // Atomization is idempotent on atoms, so an already-coded input column is
+  // shared outright (O(1)) instead of re-encoded. The encode loop fans out
+  // over morsels (Atomize/Encode are internally synchronized; writes are
+  // disjoint) — entry codes are assigned in arrival order, so the *code
+  // values* may differ across thread counts, but every downstream consumer
+  // (EqualCodes/HashCode/Decode) is value-based, keeping results
+  // bit-identical regardless (the differential harness pins this).
+  const ColumnPtr& src = t->col(in);
+  if (src->is_dict()) return WithColumn(t, out, src);
+  ItemDict& dict = mgr.item_dict();
+  std::vector<int64_t> codes(t->rows());
+  const int chunks = PlanChunks(fl.exec_threads(), t->rows());
+  ParallelChunks(chunks, t->rows(), [&](int, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i)
+      codes[i] = dict.Encode(mgr.strings(), Atomize(mgr, src->GetItem(i)));
+  });
+  if (chunks > 1) fl.stats.par_tasks += chunks;
+  return WithColumn(t, out, Column::MakeDict(std::move(codes), &dict));
 }
 
 TablePtr AppendMap(const TablePtr& t, const std::string& out,
@@ -408,12 +433,23 @@ TablePtr DisjointUnion(const TablePtr& a, const TablePtr& b,
     const std::string& name = a->name(c);
     const int bc = b->ColumnIndex(name);
     assert(bc >= 0);
-    if (a->raw_col(c)->is_i64() && b->raw_col(bc)->is_i64()) {
+    const Column& ca = *a->raw_col(c);
+    const Column& cb = *b->raw_col(static_cast<size_t>(bc));
+    if (ca.is_i64() && cb.is_i64()) {
       std::vector<int64_t> v;
       v.reserve(total);
       AppendI64Of(*a, c, &v);
       AppendI64Of(*b, static_cast<size_t>(bc), &v);
       out->AddColumn(name, Column::MakeI64(std::move(v)));
+    } else if (ca.is_dict() && cb.is_dict() && ca.dict() == cb.dict()) {
+      // Dict ∪ dict over the same dictionary: concatenate the 8-byte codes
+      // (GetI64 on a dict column yields the code, through any selection
+      // vector) — no decode, half the bytes of the item path.
+      std::vector<int64_t> v;
+      v.reserve(total);
+      AppendI64Of(*a, c, &v);
+      AppendI64Of(*b, static_cast<size_t>(bc), &v);
+      out->AddColumn(name, Column::MakeDict(std::move(v), ca.dict()));
     } else {
       std::vector<Item> v;
       v.reserve(total);
@@ -814,14 +850,150 @@ TablePtr EquiJoinI64(const ExecFlags& fl, const TablePtr& left,
   return out;
 }
 
+std::span<const int64_t> DictJoinCodes(DocumentManager& mgr, const Table& t,
+                                       size_t ci,
+                                       std::vector<int64_t>* storage) {
+  const Column& c = *t.raw_col(ci);
+  if (c.is_dict() && !t.col_sel(ci))
+    return {c.codes().data(), c.codes().size()};
+  if (c.is_dict()) {
+    // Lazily selected dict column: flatten the 8-byte codes.
+    const auto& sel = t.col_sel(ci)->idx;
+    const auto& codes = c.codes();
+    storage->reserve(t.rows());
+    for (size_t i = 0; i < t.rows(); ++i) storage->push_back(codes[sel[i]]);
+    return {storage->data(), storage->size()};
+  }
+  // Un-coded input (literals, params, node columns): atomize + encode once
+  // up front — this is the only part of a dict-coded join that may intern
+  // (node atomization); the probe loop never does.
+  ItemDict& dict = mgr.item_dict();
+  storage->reserve(t.rows());
+  for (size_t i = 0; i < t.rows(); ++i)
+    storage->push_back(
+        dict.Encode(mgr.strings(), Atomize(mgr, t.ItemAt(ci, i))));
+  return {storage->data(), storage->size()};
+}
+
+namespace {
+
+/// Shared front half of every dictionary-coded value join: both key
+/// columns as 8-byte code spans (reused in place when atomization already
+/// produced a dict column), the build side bucketed by the per-code
+/// canonical hash (chunk-parallel), radix-partitioned into the flat
+/// table. HashCode/EqualCodes mirror HashItem/CompareItems bit-for-bit,
+/// so the dict paths find exactly the legacy match sets. Counts the
+/// dict-join stats.
+struct DictJoinBuild {
+  std::vector<int64_t> lstore, rstore;       // backing for encoded spans
+  std::span<const int64_t> lcodes, rcodes;   // key codes (may alias columns)
+  RadixHashTable table;                      // over the rcodes hashes
+};
+
+DictJoinBuild MakeDictJoinBuild(DocumentManager& mgr, const ExecFlags& fl,
+                                const Table& left, size_t lci,
+                                const Table& right, size_t rci) {
+  ++fl.stats.radix_joins;
+  ++fl.stats.dict_joins;
+  fl.stats.join_key_bytes +=
+      static_cast<int64_t>(8 * (left.rows() + right.rows()));
+  const ItemDict& dict = mgr.item_dict();
+  DictJoinBuild b;
+  b.lcodes = DictJoinCodes(mgr, left, lci, &b.lstore);
+  b.rcodes = DictJoinCodes(mgr, right, rci, &b.rstore);
+  const int threads = fl.exec_threads();
+  std::vector<uint64_t> rhash(b.rcodes.size());
+  const int hchunks = PlanChunks(threads, rhash.size());
+  ParallelChunks(hchunks, rhash.size(), [&](int, size_t lo, size_t hi) {
+    for (size_t j = lo; j < hi; ++j) rhash[j] = dict.HashCode(b.rcodes[j]);
+  });
+  if (hchunks > 1) fl.stats.par_tasks += hchunks;
+  b.table = RadixHashTable{std::span<const uint64_t>(rhash), threads};
+  CountRadixBuild(fl, b.table);
+  return b;
+}
+
+/// Chunk-parallel verified probe over a dict-coded build: calls
+/// `emit(frag, l, r)` for every match, filling one `Frag` per chunk;
+/// fragments come back in chunk order, so concatenating them reproduces
+/// the serial probe exactly (probe order outer, ascending build rows
+/// inner). The per-match work — HashCode bucket + EqualCodes verify — is
+/// pure array reads: no interning, no shared locks, which is what lets
+/// the item-valued probe fan out across the thread pool at all.
+template <class Frag, class Emit>
+std::vector<Frag> DictProbeChunks(const ExecFlags& fl, const ItemDict& dict,
+                                  const DictJoinBuild& b, const Emit& emit) {
+  const size_t nl = b.lcodes.size();
+  const int chunks = PlanChunks(fl.exec_threads(), nl);
+  std::vector<Frag> frags(chunks < 1 ? 1 : chunks);
+  ParallelChunks(chunks, nl, [&](int c, size_t lo, size_t hi) {
+    Frag& f = frags[c];
+    for (size_t i = lo; i < hi; ++i)
+      b.table.ForEach(dict.HashCode(b.lcodes[i]), [&](uint32_t j) {
+        if (dict.EqualCodes(b.lcodes[i], b.rcodes[j])) emit(f, i, j);
+      });
+  });
+  if (chunks > 1) fl.stats.par_tasks += chunks;
+  return frags;
+}
+
+}  // namespace
+
+void DictJoinEmitPairs(DocumentManager& mgr, const ExecFlags& fl,
+                       const Table& lhs, size_t lci, const Column& lkey,
+                       const Table& rhs, size_t rci, const Column& rkey,
+                       std::vector<std::pair<int64_t, int64_t>>* pairs) {
+  const ItemDict& dict = mgr.item_dict();
+  DictJoinBuild b = MakeDictJoinBuild(mgr, fl, lhs, lci, rhs, rci);
+  using Frag = std::vector<std::pair<int64_t, int64_t>>;
+  auto frags = DictProbeChunks<Frag>(
+      fl, dict, b, [&](Frag& f, size_t l, uint32_t r) {
+        f.emplace_back(lkey.GetI64(l), rkey.GetI64(r));
+      });
+  for (const Frag& f : frags) pairs->insert(pairs->end(), f.begin(), f.end());
+}
+
 TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
                       const TablePtr& left, const std::string& lcol,
                       const TablePtr& right, const std::string& rcol,
                       const KeepCols& right_keep) {
   WallTimer timer(&fl.stats.join_ms);
+  const size_t nl = left->rows(), nr = right->rows();
+  std::vector<size_t> lrows, rrows;
+  if (fl.dict_items) {
+    // Dictionary-coded value join: codes in, parallel verified probe out.
+    const int lci = left->ColumnIndex(lcol), rci = right->ColumnIndex(rcol);
+    assert(lci >= 0 && rci >= 0);
+    const ItemDict& dict = mgr.item_dict();
+    DictJoinBuild b =
+        MakeDictJoinBuild(mgr, fl, *left, static_cast<size_t>(lci), *right,
+                          static_cast<size_t>(rci));
+    struct Frag {
+      std::vector<size_t> l, r;
+    };
+    auto frags = DictProbeChunks<Frag>(
+        fl, dict, b, [](Frag& f, size_t l, uint32_t r) {
+          f.l.push_back(l);
+          f.r.push_back(r);
+        });
+    size_t total = 0;
+    for (const Frag& f : frags) total += f.l.size();
+    lrows.reserve(total);
+    rrows.reserve(total);
+    for (const Frag& f : frags) {
+      lrows.insert(lrows.end(), f.l.begin(), f.l.end());
+      rrows.insert(rrows.end(), f.r.begin(), f.r.end());
+    }
+    auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep,
+                               PlanChunks(fl.exec_threads(), lrows.size()));
+    ProbeJoinProps(left, right, rcol, right_keep, false, out.get());
+    CountMaterialized(fl, out);
+    return out;
+  }
   const ColumnPtr& lc = left->col(lcol);
   const ColumnPtr& rc = right->col(rcol);
-  std::vector<size_t> lrows, rrows;
+  fl.stats.join_key_bytes +=
+      static_cast<int64_t>(sizeof(Item) * (nl + nr));
   lrows.reserve(left->rows());
   rrows.reserve(left->rows());
   if (fl.radix_join) {
@@ -912,6 +1084,85 @@ TablePtr SemiJoinI64(const ExecFlags& fl, const TablePtr& left,
     for (size_t i = 0; i < lkeys.size(); ++i) {
       bool hit = keys.count(lkeys[i]) > 0;
       if (hit != anti) rows.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  auto out = SubsetRows(fl, left, std::move(rows));
+  out->props() = SubsetProps(left->props());
+  CountMaterialized(fl, out);
+  return out;
+}
+
+TablePtr SemiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
+                      const TablePtr& left, const std::string& lcol,
+                      const TablePtr& right, const std::string& rcol,
+                      bool anti) {
+  WallTimer timer(&fl.stats.join_ms);
+  const size_t nl = left->rows(), nr = right->rows();
+  std::vector<uint32_t> rows;
+  if (fl.dict_items) {
+    // Dict-coded membership probe: a pure per-row predicate over code
+    // hashes + EqualCodes, so the morsel scan machinery of the filters
+    // applies as-is (the legacy probe below must stay serial because
+    // CompareItems may intern node string values).
+    const int lci = left->ColumnIndex(lcol), rci = right->ColumnIndex(rcol);
+    assert(lci >= 0 && rci >= 0);
+    const ItemDict& dict = mgr.item_dict();
+    DictJoinBuild b =
+        MakeDictJoinBuild(mgr, fl, *left, static_cast<size_t>(lci), *right,
+                          static_cast<size_t>(rci));
+    rows = ScanRows(
+        fl, nl,
+        [&](size_t i) {
+          bool hit = false;
+          b.table.ForEach(dict.HashCode(b.lcodes[i]), [&](uint32_t j) {
+            hit = hit || dict.EqualCodes(b.lcodes[i], b.rcodes[j]);
+          });
+          return hit != anti;
+        },
+        /*expect=*/nl);
+  } else {
+    fl.stats.join_key_bytes +=
+        static_cast<int64_t>(sizeof(Item) * (nl + nr));
+    const ColumnPtr& lc = left->col(lcol);
+    const ColumnPtr& rc = right->col(rcol);
+    rows.reserve(nl);
+    if (fl.radix_join) {
+      ++fl.stats.radix_joins;
+      std::vector<uint64_t> rhash(nr);
+      const int hchunks = PlanChunks(fl.exec_threads(), nr);
+      ParallelChunks(hchunks, nr, [&](int, size_t b, size_t e) {
+        const DocumentManager& cmgr = mgr;  // HashItem is read-only
+        for (size_t j = b; j < e; ++j)
+          rhash[j] = HashItem(cmgr, rc->GetItem(j));
+      });
+      if (hchunks > 1) fl.stats.par_tasks += hchunks;
+      RadixHashTable ht{std::span<const uint64_t>(rhash), fl.exec_threads()};
+      CountRadixBuild(fl, ht);
+      for (size_t i = 0; i < nl; ++i) {
+        Item li = lc->GetItem(i);
+        bool hit = false;
+        ht.ForEach(HashItem(mgr, li), [&](uint32_t j) {
+          hit = hit || CompareItems(mgr, li, CmpOp::kEq, rc->GetItem(j));
+        });
+        if (hit != anti) rows.push_back(static_cast<uint32_t>(i));
+      }
+    } else {
+      ++fl.stats.hash_joins;
+      std::unordered_map<uint64_t, std::vector<size_t>> ht;
+      ht.reserve(nr);
+      for (size_t j = 0; j < nr; ++j)
+        ht[HashItem(mgr, rc->GetItem(j))].push_back(j);
+      for (size_t i = 0; i < nl; ++i) {
+        Item li = lc->GetItem(i);
+        bool hit = false;
+        if (auto it = ht.find(HashItem(mgr, li)); it != ht.end())
+          for (size_t j : it->second)
+            if (CompareItems(mgr, li, CmpOp::kEq, rc->GetItem(j))) {
+              hit = true;
+              break;
+            }
+        if (hit != anti) rows.push_back(static_cast<uint32_t>(i));
+      }
     }
   }
   auto out = SubsetRows(fl, left, std::move(rows));

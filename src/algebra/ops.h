@@ -35,6 +35,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,16 @@ struct ExecStats {
   int64_t radix_partitions = 0;  // total partitions across those builds
   int64_t counting_sorts = 0;    // sorts answered by a counting scatter
   int64_t sel_selects = 0;       // selections answered by a selection vector
+  // Item joins probed over 8-byte dict codes. A dict-coded join always
+  // runs on the radix-partitioned flat table, so dict_joins is a *subset*
+  // of radix_joins (both counters increment); radix_join=false ablates the
+  // i64 joins only — ablating item joins to the legacy probe needs
+  // dict_items=false too (bench SetKernelFlags flips all toggles at once).
+  int64_t dict_joins = 0;
+  // Key-column bytes the item-valued join kernels touched (build + probe
+  // side widths x rows): 8 B/row dict-coded vs 16 B/row legacy items — the
+  // fig13 ablation reports the halving directly off this counter.
+  int64_t join_key_bytes = 0;
   // partition-parallel execution (docs/execution.md "Parallel execution")
   int64_t par_tasks = 0;       // chunk tasks dispatched by parallel regions
   int64_t par_partitions = 0;  // radix partitions built/probed in parallel
@@ -84,7 +95,7 @@ struct ExecStats {
   /// Every field must be summed here — the static_assert below trips when a
   /// counter is added to the struct without extending this list.
   void Add(const ExecStats& o) {
-    static_assert(sizeof(ExecStats) == 22 * sizeof(int64_t),
+    static_assert(sizeof(ExecStats) == 24 * sizeof(int64_t),
                   "new ExecStats field: add it to Add()");
     sorts_performed += o.sorts_performed;
     sorts_elided += o.sorts_elided;
@@ -103,6 +114,8 @@ struct ExecStats {
     radix_partitions += o.radix_partitions;
     counting_sorts += o.counting_sorts;
     sel_selects += o.sel_selects;
+    dict_joins += o.dict_joins;
+    join_key_bytes += o.join_key_bytes;
     par_tasks += o.par_tasks;
     par_partitions += o.par_partitions;
     join_ms += o.join_ms;
@@ -121,6 +134,12 @@ struct ExecFlags {
   bool radix_join = true;   // radix-partitioned flat-table equi/semi joins
   bool sel_vectors = true;  // lazy selection-vector filters
   bool dense_sort = true;   // counting sort on dense leading sort keys
+  // Dictionary-compacted item columns (docs/execution.md §5): atomization
+  // produces 8-byte ItemDict codes instead of 16-byte items, value
+  // equi/semi joins hash + compare codes directly (no interning in the
+  // probe loop, so item-valued probes fan out across the thread pool), and
+  // gathers/unions move codes, decoding only at pipeline breakers.
+  bool dict_items = true;
   // Partition-parallel execution width of the operator kernels. 0 =
   // process default (env MXQ_THREADS, else hardware concurrency); 1 =
   // serial operator execution. Layers that no flags reach — the staircase
@@ -137,9 +156,9 @@ struct ExecFlags {
 
   /// Centralized environment parsing: MXQ_THREADS plus the kernel toggles
   /// (MXQ_ORDER_OPT, MXQ_POSITIONAL, MXQ_RADIX_JOIN, MXQ_SEL_VECTORS,
-  /// MXQ_DENSE_SORT; "0"/"false"/"no" disable). Benches, tests, and the
-  /// evaluator all construct flags through this one helper so no component
-  /// reads a toggle the others ignore.
+  /// MXQ_DENSE_SORT, MXQ_DICT; "0"/"false"/"no" disable). Benches, tests,
+  /// and the evaluator all construct flags through this one helper so no
+  /// component reads a toggle the others ignore.
   static ExecFlags FromEnv();
 };
 
@@ -179,9 +198,14 @@ TablePtr AppendCompare(DocumentManager& mgr, const TablePtr& t,
                        const std::string& out, const std::string& a, CmpOp op,
                        const std::string& b);
 
-/// out[i] = atomized in[i].
-TablePtr AppendAtomize(DocumentManager& mgr, const TablePtr& t,
-                       const std::string& out, const std::string& in);
+/// out[i] = atomized in[i]. With `fl.dict_items`, the output column is
+/// dictionary-coded (8-byte ItemDict codes, kind-faithful on decode) — the
+/// one place the algebra *produces* codes; everything downstream either
+/// moves them (gathers, unions, the value joins) or decodes at a pipeline
+/// breaker.
+TablePtr AppendAtomize(DocumentManager& mgr, const ExecFlags& fl,
+                       const TablePtr& t, const std::string& out,
+                       const std::string& in);
 
 /// Generic row map over one item column.
 TablePtr AppendMap(const TablePtr& t, const std::string& out,
@@ -257,6 +281,36 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
 TablePtr SemiJoinI64(const ExecFlags& fl, const TablePtr& left,
                      const std::string& lcol, const TablePtr& right,
                      const std::string& rcol, bool anti = false);
+
+/// Semi/anti join on item columns (value membership; same coercing
+/// equality as EquiJoinItem). Dict-coded + morsel-parallel with
+/// `fl.dict_items`, serial legacy probe otherwise. Not yet emitted by the
+/// compiler (its semijoin-shaped plans are iter-based kSemiJoin and the
+/// existential theta-join) — public algebra surface for callers embedding
+/// the operator layer, equivalence-tested against the legacy paths.
+TablePtr SemiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
+                      const TablePtr& left, const std::string& lcol,
+                      const TablePtr& right, const std::string& rcol,
+                      bool anti = false);
+
+/// Dictionary codes of an item join column: reused in place when
+/// atomization already produced a dict column (flattening any selection
+/// vector), else atomize+encode row-wise into `*storage`. Shared by the
+/// ops.cc join kernels and xquery/eval.cc's existential theta-join.
+std::span<const int64_t> DictJoinCodes(DocumentManager& mgr, const Table& t,
+                                       size_t ci,
+                                       std::vector<int64_t>* storage);
+
+/// Dictionary-coded equi-join probe emitting (lkey[l], rkey[r]) pairs for
+/// every match — the existential theta-join's (iter, sid) projection.
+/// Columns `lci`/`rci` are the item key columns of `lhs`/`rhs`; `lkey`/
+/// `rkey` must be flat columns of those tables. The probe is
+/// chunk-parallel; emitted pair order is chunk-stitched (the existential
+/// join sorts + dedups afterwards, so order before that sort is free).
+void DictJoinEmitPairs(DocumentManager& mgr, const ExecFlags& fl,
+                       const Table& lhs, size_t lci, const Column& lkey,
+                       const Table& rhs, size_t rci, const Column& rkey,
+                       std::vector<std::pair<int64_t, int64_t>>* pairs);
 
 /// Cartesian product, left-major. Right columns may be renamed.
 TablePtr Cross(const TablePtr& a, const TablePtr& b,

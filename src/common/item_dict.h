@@ -1,0 +1,347 @@
+// Dictionary compaction of atomized item values to 8-byte codes.
+//
+// The polymorphic `Item` is 16 bytes (kind tag + 64-bit payload), so item
+// columns move twice the bytes of i64 columns through every join, union and
+// gather — and worse, the value-join probe loop has to call CompareItems per
+// candidate, which atomizes defensively (interning into the StringPool) and
+// re-parses numeric-looking strings, forcing item-valued probes to run
+// serially. An ItemDict fixes both: every *atomized* value is encoded once
+// into a tagged 64-bit code, and the per-code metadata needed by hash joins
+// (numeric image, CompareItems-compatible hash, effective boolean value) is
+// precomputed at encode time. Code-level hash and equality are pure array
+// reads — no locks, no interning, no string parsing — so dict-coded probes
+// fan out across the thread pool exactly like the i64 join path.
+//
+// Code space layout (top byte = tag):
+//
+//   tag 0 (kEmptyCode)  the empty item; code 0 exactly
+//   tag 1 bool          payload 0/1
+//   tag 2 inline int    payload = value + 2^55 (covers |v| < 2^55); the
+//                       biased payload makes code order == value order
+//                       within the integer sub-range (order-preserving)
+//   tag 3 dict entry    payload = dense index into the entry table
+//                       (doubles, strings/untyped, out-of-range ints);
+//                       entry codes are *arrival*-ordered, NOT
+//                       collation-ordered — sorts must decode
+//
+// Distinct codes may still compare equal under XQuery's coercing equality
+// (int 20, double 20.0 and untyped "20" keep distinct codes so Decode stays
+// faithful), which is why joins pair HashCode (bucket) with EqualCodes
+// (verify) exactly like the legacy HashItem/CompareItems pair:
+//
+//   EqualCodes(a, b) == CompareItems(Decode(a), =, Decode(b))
+//   HashCode(c)      == HashItem(Decode(c))
+//
+// Both identities are pinned by tests; the second matters because a join's
+// match set is "same bucket AND verified equal" — a different hash would
+// change which pairs ever get verified, breaking bit-identity with the
+// dict-off paths.
+//
+// Thread safety: like the StringPool, the dictionary is append-only and
+// internally synchronized — Encode takes a shared lock on the hit path and
+// an exclusive lock to insert. Decode/HashCode/EqualCodes never lock: entry
+// storage is chunked (stable addresses) and a code handed out by Encode
+// happens-after its entry was fully written, so readers that obtained the
+// code through any synchronized channel (a column built by this execution,
+// a thread-pool hand-off) read settled memory.
+
+#ifndef MXQ_COMMON_ITEM_DICT_H_
+#define MXQ_COMMON_ITEM_DICT_H_
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/item.h"
+#include "common/string_pool.h"
+
+namespace mxq {
+
+// ---------------------------------------------------------------------------
+// Canonical value hashing, shared with algebra/item_ops.cc's HashItem. The
+// dictionary's per-code hashes must match HashItem bit-for-bit (see above),
+// so both implementations are built from these helpers.
+// ---------------------------------------------------------------------------
+
+/// Murmur3-style 64-bit finalizer used by HashItem.
+inline uint64_t MixValueHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hash of a (non-NaN) numeric image; -0.0 normalizes to +0.0 so values
+/// that compare equal hash equal.
+inline uint64_t HashNumericImage(double d) {
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return MixValueHash(bits);
+}
+
+/// FNV-1a over the characters, finalized — the non-numeric string hash.
+inline uint64_t HashStringChars(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return MixValueHash(h);
+}
+
+/// Parses a whole (whitespace-trimmed) string as double; NaN on any junk.
+/// The one numeric-cast rule of the engine (ToDouble, LooksNumeric, and the
+/// dictionary's cached numeric images all route through here).
+inline double ParseDoubleStrict(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return std::nan("");
+  size_t e = s.find_last_not_of(" \t\n\r");
+  char* end = nullptr;
+  double v = std::strtod(s.c_str() + b, &end);
+  if (end != s.c_str() + e + 1) return std::nan("");
+  return v;
+}
+
+/// \brief Append-only dictionary of atomized item values <-> 8-byte codes.
+class ItemDict {
+ public:
+  using Code = int64_t;
+
+  static constexpr Code kEmptyCode = 0;
+
+  ItemDict() : chunks_(kMaxChunks) {}
+  ItemDict(const ItemDict&) = delete;
+  ItemDict& operator=(const ItemDict&) = delete;
+  ~ItemDict() {
+    const uint32_t n = count_.load(std::memory_order_relaxed);
+    for (uint32_t c = 0; c <= (n ? (n - 1) >> kChunkBits : 0); ++c)
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
+
+  /// True when `atom` has a code (everything but node/attr surrogates —
+  /// callers atomize first, which is also what makes Encode's equality
+  /// semantics line up with CompareItems' defensive atomization).
+  static bool Encodable(const Item& atom) { return !atom.is_any_node(); }
+
+  /// Encodes an atomized item. Thread-safe; O(1) lock-free for the inline
+  /// classes (empty/bool/small int), shared-lock lookup + rare exclusive
+  /// insert for dictionary entries.
+  Code Encode(const StringPool& pool, const Item& atom) {
+    assert(Encodable(atom));
+    switch (atom.kind) {
+      case ItemKind::kEmpty:
+        return kEmptyCode;
+      case ItemKind::kBool:
+        return MakeCode(kTagBool, atom.b ? 1 : 0);
+      case ItemKind::kInt:
+        if (atom.i >= -kIntBias && atom.i < kIntBias)
+          return MakeCode(kTagInt, static_cast<uint64_t>(atom.i + kIntBias));
+        return Intern(pool, atom);
+      default:
+        return Intern(pool, atom);
+    }
+  }
+
+  /// Decodes a code back to the exact item that produced it (original kind
+  /// and payload preserved — serialization of a decoded column is
+  /// bit-identical to the uncoded column's).
+  Item Decode(Code c) const {
+    switch (Tag(c)) {
+      case kTagEmpty: return Item();
+      case kTagBool: return Item::Bool(Payload(c) != 0);
+      case kTagInt:
+        return Item::Int(static_cast<int64_t>(Payload(c)) - kIntBias);
+      default: return EntryOf(c).value;
+    }
+  }
+
+  /// == HashItem(Decode(c)); lock-free.
+  uint64_t HashCode(Code c) const {
+    switch (Tag(c)) {
+      case kTagEmpty: return MixValueHash(0);
+      case kTagBool: return MixValueHash(Payload(c) ? 3 : 5);
+      case kTagInt:
+        return HashNumericImage(
+            static_cast<double>(static_cast<int64_t>(Payload(c)) - kIntBias));
+      default: return EntryOf(c).hash;
+    }
+  }
+
+  /// == CompareItems(Decode(a), =, Decode(b)) for atomized values;
+  /// lock-free, never touches the StringPool.
+  bool EqualCodes(Code a, Code b) const {
+    // The empty sequence compares false against everything, itself included.
+    if (a == kEmptyCode || b == kEmptyCode) return false;
+    // Numeric coercion: any numeric-*kind* operand forces numeric
+    // comparison over the cached numeric images (bools become 0/1,
+    // strings their parsed value or NaN — NaN never compares equal).
+    if (IsNumericKind(a) || IsNumericKind(b)) {
+      const double x = NumImage(a), y = NumImage(b);
+      return !std::isnan(x) && !std::isnan(y) && x == y;
+    }
+    // Bool coercion over effective boolean values.
+    if (Tag(a) == kTagBool || Tag(b) == kTagBool) return Ebv(a) == Ebv(b);
+    // Both string-class entries: interning makes id equality string
+    // equality (kString and kUntyped with the same id are equal, which is
+    // why the comparison is on str ids, not on the codes themselves).
+    return EntryOf(a).value.str_id() == EntryOf(b).value.str_id();
+  }
+
+  /// Dictionary entries allocated so far (inline codes never allocate).
+  size_t entries() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  // Tags in the top byte of the code.
+  static constexpr uint64_t kTagShift = 56;
+  static constexpr uint64_t kTagEmpty = 0;
+  static constexpr uint64_t kTagBool = 1;
+  static constexpr uint64_t kTagInt = 2;
+  static constexpr uint64_t kTagEntry = 3;
+  static constexpr uint64_t kPayloadMask = (uint64_t{1} << kTagShift) - 1;
+  static constexpr int64_t kIntBias = int64_t{1} << 55;
+
+  // Chunked entry storage: stable addresses, lock-free reads.
+  static constexpr int kChunkBits = 12;  // 4096 entries per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = size_t{1} << 14;  // 67M entries
+
+  struct Entry {
+    Item value;     // canonical atomic item (kind preserved)
+    double num;     // numeric image (NaN when the value has none)
+    uint64_t hash;  // == HashItem(value)
+    bool ebv;       // effective boolean value
+  };
+
+  /// Interned-entry identity: the exact (kind, payload) pair — kString and
+  /// kUntyped with the same id stay distinct codes (Decode faithfulness),
+  /// EqualCodes reconciles them.
+  struct EntryKey {
+    uint8_t kind;
+    int64_t payload;
+    bool operator==(const EntryKey&) const = default;
+  };
+  struct EntryKeyHash {
+    size_t operator()(const EntryKey& k) const noexcept {
+      return static_cast<size_t>(MixValueHash(
+          static_cast<uint64_t>(k.payload) ^ (uint64_t{k.kind} << 56)));
+    }
+  };
+
+  static Code MakeCode(uint64_t tag, uint64_t payload) {
+    return static_cast<Code>((tag << kTagShift) | payload);
+  }
+  static uint64_t Tag(Code c) { return static_cast<uint64_t>(c) >> kTagShift; }
+  static uint64_t Payload(Code c) {
+    return static_cast<uint64_t>(c) & kPayloadMask;
+  }
+
+  const Entry& EntryOf(Code c) const {
+    const uint32_t idx = static_cast<uint32_t>(Payload(c));
+    return chunks_[idx >> kChunkBits].load(std::memory_order_acquire)
+        [idx & (kChunkSize - 1)];
+  }
+
+  bool IsNumericKind(Code c) const {
+    switch (Tag(c)) {
+      case kTagInt: return true;
+      case kTagEntry: return EntryOf(c).value.is_numeric();
+      default: return false;
+    }
+  }
+
+  double NumImage(Code c) const {
+    switch (Tag(c)) {
+      case kTagBool: return Payload(c) ? 1.0 : 0.0;
+      case kTagInt:
+        return static_cast<double>(static_cast<int64_t>(Payload(c)) -
+                                   kIntBias);
+      case kTagEntry: return EntryOf(c).num;
+      default: return std::nan("");
+    }
+  }
+
+  bool Ebv(Code c) const {
+    switch (Tag(c)) {
+      case kTagBool: return Payload(c) != 0;
+      case kTagInt: return Payload(c) != static_cast<uint64_t>(kIntBias);
+      case kTagEntry: return EntryOf(c).ebv;
+      default: return false;
+    }
+  }
+
+  Code Intern(const StringPool& pool, const Item& atom) {
+    const EntryKey key{static_cast<uint8_t>(atom.kind), atom.i};
+    {
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      auto it = index_.find(key);
+      if (it != index_.end()) return MakeCode(kTagEntry, it->second);
+    }
+    // Compute the metadata outside the exclusive section (string reads may
+    // parse doubles); insert under the lock with a re-check.
+    Entry e;
+    e.value = atom;
+    switch (atom.kind) {
+      case ItemKind::kInt:
+        e.num = static_cast<double>(atom.i);
+        e.hash = HashNumericImage(e.num);
+        e.ebv = atom.i != 0;
+        break;
+      case ItemKind::kDouble:
+        e.num = atom.d;
+        e.hash = std::isnan(atom.d)
+                     ? MixValueHash(static_cast<uint64_t>(atom.i))
+                     : HashNumericImage(atom.d);
+        e.ebv = atom.d != 0.0 && !std::isnan(atom.d);
+        break;
+      default: {  // kString / kUntyped
+        const std::string& s = pool.Get(atom.str_id());
+        e.num = ParseDoubleStrict(s);
+        e.hash = std::isnan(e.num) ? HashStringChars(s)
+                                   : HashNumericImage(e.num);
+        e.ebv = !s.empty();
+        break;
+      }
+    }
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    auto it = index_.find(key);  // raced with another encoder?
+    if (it != index_.end()) return MakeCode(kTagEntry, it->second);
+    const uint32_t idx = count_.load(std::memory_order_relaxed);
+    if ((idx >> kChunkBits) >= kMaxChunks) {
+      // Fail loudly: the dictionary is append-only for the manager's
+      // lifetime, and indexing past the fixed chunk table would corrupt
+      // memory silently. 67M distinct atomized values in one manager
+      // means the deployment needs a pruning/regeneration story first.
+      std::fprintf(stderr, "mxq: ItemDict entry capacity exhausted\n");
+      std::abort();
+    }
+    Entry* chunk = chunks_[idx >> kChunkBits].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Entry[kChunkSize];
+      chunks_[idx >> kChunkBits].store(chunk, std::memory_order_release);
+    }
+    chunk[idx & (kChunkSize - 1)] = e;
+    count_.store(idx + 1, std::memory_order_release);
+    index_.emplace(key, idx);
+    return MakeCode(kTagEntry, idx);
+  }
+
+  mutable std::shared_mutex mu_;  // guards index_ and appends
+  std::unordered_map<EntryKey, uint32_t, EntryKeyHash> index_;
+  std::vector<std::atomic<Entry*>> chunks_;
+  std::atomic<uint32_t> count_{0};
+};
+
+}  // namespace mxq
+
+#endif  // MXQ_COMMON_ITEM_DICT_H_

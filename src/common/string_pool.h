@@ -13,6 +13,7 @@
 #ifndef MXQ_COMMON_STRING_POOL_H_
 #define MXQ_COMMON_STRING_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -49,6 +50,7 @@ class StringPool {
 
   /// Interns `s`, returning its id (existing id if already present).
   StrId Intern(std::string_view s) {
+    intern_calls_.fetch_add(1, std::memory_order_relaxed);
     {
       // Fast path: already interned (the common case on query hot paths).
       std::shared_lock<std::shared_mutex> lk(mu_);
@@ -89,7 +91,16 @@ class StringPool {
     return strings_.size();
   }
 
+  /// Monotonic count of Intern() calls (hits included). Regression hook for
+  /// the dictionary-coded join tests: a dict-coded probe loop must perform
+  /// zero interning, so tests snapshot this counter around the probe and
+  /// assert it did not move (see tests/exec_kernels_test.cc).
+  int64_t intern_calls() const {
+    return intern_calls_.load(std::memory_order_relaxed);
+  }
+
  private:
+  std::atomic<int64_t> intern_calls_{0};
   mutable std::shared_mutex mu_;
   std::deque<std::string> strings_;  // deque: stable addresses for the index
   std::unordered_map<std::string_view, StrId, StringPoolHash, std::equal_to<>>

@@ -1,8 +1,13 @@
 // Fixed-width columns, the unit of storage and exchange in the engine.
 //
 // Mirrors MonetDB's BAT discipline: every column is a contiguous fixed-width
-// array, either 64-bit integers (iter, pos, pre, rids, ...) or polymorphic
-// Items (the `item` columns of the XQuery sequence encoding). Columns are
+// array: 64-bit integers (iter, pos, pre, rids, ...), polymorphic 16-byte
+// Items (the `item` columns of the XQuery sequence encoding), or — the
+// dictionary-compacted representation of atomized item columns — 8-byte
+// ItemDict codes. A dict column behaves exactly like an item column to
+// every consumer (GetItem / items() decode through the dictionary), but
+// gathers and unions move half the bytes and the value-join kernels hash
+// and compare the codes directly (see docs/execution.md §5). Columns are
 // immutable once published inside a Table and shared by shared_ptr, so
 // projections and renames are O(1).
 
@@ -15,11 +20,12 @@
 #include <vector>
 
 #include "common/item.h"
+#include "common/item_dict.h"
 #include "common/thread_pool.h"
 
 namespace mxq {
 
-enum class ColType : uint8_t { kI64, kItem };
+enum class ColType : uint8_t { kI64, kItem, kDict };
 
 /// \brief A single fixed-width column.
 class Column {
@@ -36,12 +42,23 @@ class Column {
     c->items_ = std::move(v);
     return c;
   }
+  /// Dictionary-coded item column: 8-byte ItemDict codes. `dict` must
+  /// outlive the column (it is the DocumentManager's dictionary, which
+  /// lives as long as any item referencing its strings does).
+  static std::shared_ptr<Column> MakeDict(std::vector<int64_t> codes,
+                                          const ItemDict* dict) {
+    auto c = std::make_shared<Column>(ColType::kDict);
+    c->i64_ = std::move(codes);
+    c->dict_ = dict;
+    return c;
+  }
 
   ColType type() const { return type_; }
   bool is_i64() const { return type_ == ColType::kI64; }
   bool is_item() const { return type_ == ColType::kItem; }
+  bool is_dict() const { return type_ == ColType::kDict; }
 
-  size_t size() const { return is_i64() ? i64_.size() : items_.size(); }
+  size_t size() const { return is_item() ? items_.size() : i64_.size(); }
 
   // Typed access. Callers must respect type().
   std::vector<int64_t>& i64() {
@@ -56,25 +73,45 @@ class Column {
     assert(is_item());
     return items_;
   }
+  /// For dict columns this decodes the whole column on first access
+  /// (memoized): the pipeline-breaker path for consumers that need flat
+  /// items (sort comparators, property verification, mixed unions). Same
+  /// single-execution sharing discipline as Table::col()'s gather memo.
   const std::vector<Item>& items() const {
-    assert(is_item());
+    assert(!is_i64());
+    if (is_dict() && items_.size() != i64_.size()) {
+      items_.resize(i64_.size());
+      for (size_t i = 0; i < i64_.size(); ++i)
+        items_[i] = dict_->Decode(i64_[i]);
+    }
     return items_;
   }
-
-  /// Scalar read that works for both types: for kI64 returns an Int item.
-  Item GetItem(size_t row) const {
-    return is_i64() ? Item::Int(i64_[row]) : items_[row];
+  /// Dict-code payload of a dict column (8 bytes/row; what gathers, unions
+  /// and the value-join kernels move instead of 16-byte items).
+  const std::vector<int64_t>& codes() const {
+    assert(is_dict());
+    return i64_;
   }
-  /// Scalar read as int64; for kItem columns requires an integer-payload item.
+  const ItemDict* dict() const { return dict_; }
+
+  /// Scalar read that works for all types: kI64 yields an Int item, kDict
+  /// decodes through the dictionary (a lock-free array read).
+  Item GetItem(size_t row) const {
+    if (is_i64()) return Item::Int(i64_[row]);
+    if (is_dict()) return dict_->Decode(i64_[row]);
+    return items_[row];
+  }
+  /// Scalar read as int64; for kItem columns requires an integer-payload
+  /// item; for kDict columns yields the raw code (code moves, not values).
   int64_t GetI64(size_t row) const {
-    return is_i64() ? i64_[row] : items_[row].i;
+    return is_item() ? items_[row].i : i64_[row];
   }
 
   void Reserve(size_t n) {
-    if (is_i64())
-      i64_.reserve(n);
-    else
+    if (is_item())
       items_.reserve(n);
+    else
+      i64_.reserve(n);
   }
 
   /// Deep copy (for the rare mutating consumers).
@@ -82,13 +119,16 @@ class Column {
     auto c = std::make_shared<Column>(type_);
     c->i64_ = i64_;
     c->items_ = items_;
+    c->dict_ = dict_;
     return c;
   }
 
  private:
   ColType type_;
-  std::vector<int64_t> i64_;
-  std::vector<Item> items_;
+  std::vector<int64_t> i64_;  // kI64 payloads, or kDict codes
+  // kItem payloads; for kDict, the memoized decode (see const items()).
+  mutable std::vector<Item> items_;
+  const ItemDict* dict_ = nullptr;  // kDict only
 };
 
 using ColumnPtr = std::shared_ptr<Column>;
@@ -116,18 +156,21 @@ using SelVectorPtr = std::shared_ptr<const SelVector>;
 
 /// Gathers `col` at the given physical rows into a new flat column.
 /// `threads` slices the gather into cache-sized morsels writing disjoint
-/// output ranges — position-wise identical to the serial gather.
+/// output ranges — position-wise identical to the serial gather. Dict
+/// columns gather their 8-byte codes (no decode: the result is again a
+/// dict column over the same dictionary).
 inline ColumnPtr GatherColumnAt(const Column& col,
                                 const std::vector<uint32_t>& rows,
                                 int threads = 1) {
   const int chunks = PlanChunks(threads, rows.size());
-  if (col.is_i64()) {
+  if (!col.is_item()) {
     std::vector<int64_t> out(rows.size());
-    const auto& in = col.i64();
+    const auto& in = col.is_dict() ? col.codes() : col.i64();
     ParallelChunks(chunks, rows.size(), [&](int, size_t b, size_t e) {
       for (size_t k = b; k < e; ++k) out[k] = in[rows[k]];
     });
-    return Column::MakeI64(std::move(out));
+    return col.is_dict() ? Column::MakeDict(std::move(out), col.dict())
+                         : Column::MakeI64(std::move(out));
   }
   std::vector<Item> out(rows.size());
   const auto& in = col.items();

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/item.h"
+#include "common/item_dict.h"
 #include "common/status.h"
 #include "common/string_pool.h"
 
@@ -378,6 +379,15 @@ class DocumentManager {
   StringPool& strings() { return pool_; }
   const StringPool& strings() const { return pool_; }
 
+  /// Item dictionary shared by every container and session of this manager
+  /// (codes must be comparable across containers — value joins mix items
+  /// from loaded documents and transient fragments, so the dictionary is
+  /// registry-wide, not per DocumentContainer). Append-only + internally
+  /// synchronized like the string pool; Decode/HashCode/EqualCodes on
+  /// published codes are lock-free (docs/api.md "Thread safety").
+  ItemDict& item_dict() { return dict_; }
+  const ItemDict& item_dict() const { return dict_; }
+
   /// Creates a fresh container. `name` may be empty for transient containers.
   DocumentContainer* CreateContainer(const std::string& name);
 
@@ -429,6 +439,7 @@ class DocumentManager {
 
  private:
   StringPool pool_;
+  ItemDict dict_;
   mutable std::shared_mutex mu_;  // guards the registry tables below
   std::vector<std::unique_ptr<DocumentContainer>> containers_;
   std::unordered_map<std::string, int32_t> by_name_;

@@ -385,8 +385,23 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
     // side uses the radix-partitioned flat table of algebra/radix.h when
     // the kernel is enabled.
     pairs.reserve(lhs->rows());
-    if (ctx.flags->radix_join) {
+    if (ctx.flags->dict_items) {
+      // Dictionary-coded value probe: the compile layer atomizes both join
+      // inputs, so with dict_items on their "item" columns are already
+      // 8-byte code columns the join reuses in place. Hash and verify are
+      // lock-free array reads, so the probe — the serial bottleneck of
+      // the XMark join queries until now — fans out across the thread
+      // pool. Pre-sort pair order is irrelevant: the (iter, sid) pairs
+      // are sorted + deduped below either way, so chunked emission stays
+      // bit-identical to the serial probe.
+      const int lvi = lhs->ColumnIndex("item"), rvi = rhs->ColumnIndex("item");
+      alg::DictJoinEmitPairs(mgr, *ctx.flags, *lhs,
+                             static_cast<size_t>(lvi), *li, *rhs,
+                             static_cast<size_t>(rvi), *ri, &pairs);
+    } else if (ctx.flags->radix_join) {
       ++stats.radix_joins;
+      stats.join_key_bytes += static_cast<int64_t>(
+          sizeof(Item) * (lhs->rows() + rhs->rows()));
       const int threads = ctx.flags->exec_threads();
       std::vector<uint64_t> rhash(rhs->rows());
       const int hchunks = PlanChunks(threads, rhs->rows());
@@ -407,6 +422,8 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
       }
     } else {
       ++stats.hash_joins;
+      stats.join_key_bytes += static_cast<int64_t>(
+          sizeof(Item) * (lhs->rows() + rhs->rows()));
       std::unordered_map<uint64_t, std::vector<size_t>> ht;
       ht.reserve(rhs->rows());
       for (size_t r = 0; r < rhs->rows(); ++r)
@@ -812,6 +829,12 @@ Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
     }
     case OpCode::kMap1: {
       MXQ_ASSIGN_OR_RETURN(TablePtr in, EvalIn(n->inputs[0], ctx));
+      if (n->fn == ScalarFn::kAtomize) {
+        // Atomization is where dictionary-coded columns are born (8-byte
+        // codes instead of 16-byte items when ExecFlags::dict_items is on).
+        out = alg::AppendAtomize(mgr, fl, in, n->out, n->col);
+        break;
+      }
       out = alg::AppendMap(in, n->out, n->col, [&](const Item& x) {
         return ApplyFn1(ctx, *n, x);
       });

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <random>
@@ -20,7 +21,9 @@
 #include "algebra/ops.h"
 #include "algebra/radix.h"
 #include "common/counting_sort.h"
+#include "common/item_dict.h"
 #include "common/thread_pool.h"
+#include "test_util.h"
 
 namespace mxq {
 namespace alg {
@@ -32,6 +35,10 @@ ColumnPtr I64Col(std::vector<int64_t> v) {
 
 Item S(DocumentManager& mgr, const std::string& s) {
   return Item::String(mgr.strings().Intern(s));
+}
+
+Item U(DocumentManager& mgr, const std::string& s) {
+  return Item::Untyped(mgr.strings().Intern(s));
 }
 
 /// Full logical-content comparison (names, row order, values).
@@ -62,6 +69,7 @@ ExecFlags LegacyFlags() {
   fl.radix_join = false;
   fl.sel_vectors = false;
   fl.dense_sort = false;
+  fl.dict_items = false;
   return fl;
 }
 
@@ -190,6 +198,222 @@ TEST(JoinEquivalenceTest, EquiJoinItemMatchesLegacy) {
   ExpectSameTable(jr, jl);
   EXPECT_EQ(radix.stats.radix_joins, 1);
   EXPECT_EQ(legacy.stats.hash_joins, 1);
+}
+
+// ---------------------------------------------------------------------------
+// dictionary-compacted item columns (common/item_dict.h, ColType::kDict)
+// ---------------------------------------------------------------------------
+
+ExecFlags DictOffFlags() {
+  ExecFlags fl;
+  fl.dict_items = false;
+  return fl;
+}
+
+/// Random atomized values across every coercion edge the dictionary must
+/// reproduce: ints, doubles (incl. NaN), numeric-looking strings, untyped
+/// atomics, bools, empty strings and empty sequences.
+std::vector<Item> RandomAtoms(DocumentManager& mgr, size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<Item> v(n);
+  for (auto& it : v) {
+    int64_t k = static_cast<int64_t>(rng() % 40);
+    switch (rng() % 8) {
+      case 0: it = Item::Int(k); break;
+      case 1: it = Item::Double(static_cast<double>(k)); break;
+      case 2: it = Item::Double(static_cast<double>(k) + 0.5); break;
+      case 3: it = S(mgr, std::to_string(k)); break;  // numeric-looking
+      case 4: it = S(mgr, "s" + std::to_string(k)); break;
+      case 5: it = U(mgr, std::to_string(k)); break;
+      case 6:
+        it = rng() % 8 == 0 ? Item::Double(std::nan(""))
+                            : Item::Bool(k % 2 == 0);
+        break;
+      default: it = rng() % 6 == 0 ? S(mgr, "") : Item(); break;
+    }
+  }
+  return v;
+}
+
+TEST(ItemDictTest, CodesMirrorHashItemAndCompareItems) {
+  // The two identities the dict-coded join relies on for bit-identical
+  // match sets: HashCode == HashItem (same buckets ever get verified) and
+  // EqualCodes == CompareItems (same verification outcome). Checked over
+  // every kind-coercion edge, pairwise.
+  DocumentManager mgr;
+  ItemDict& dict = mgr.item_dict();
+  std::vector<Item> atoms = {
+      Item(),
+      Item::Bool(true),
+      Item::Bool(false),
+      Item::Int(0),
+      Item::Int(1),
+      Item::Int(20),
+      Item::Int(-20),
+      Item::Int(int64_t{1} << 60),  // outside the inline-int range
+      Item::Int((int64_t{1} << 53) + 1),
+      Item::Double(20.0),
+      Item::Double(0.0),
+      Item::Double(-0.0),
+      Item::Double(2.5),
+      Item::Double(std::nan("")),
+      Item::Double(static_cast<double>(int64_t{1} << 53)),
+      S(mgr, "20"),
+      S(mgr, " 20 "),
+      S(mgr, "20.0"),
+      S(mgr, "abc"),
+      S(mgr, ""),
+      U(mgr, "20"),
+      U(mgr, "abc"),
+      U(mgr, ""),
+      S(mgr, "0"),
+      S(mgr, "1"),
+  };
+  auto extra = RandomAtoms(mgr, 60, 911);
+  atoms.insert(atoms.end(), extra.begin(), extra.end());
+
+  std::vector<ItemDict::Code> codes(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    codes[i] = dict.Encode(mgr.strings(), atoms[i]);
+    Item back = dict.Decode(codes[i]);
+    EXPECT_EQ(back.kind, atoms[i].kind) << i;
+    EXPECT_EQ(back.i, atoms[i].i) << i;  // bit-faithful decode
+    EXPECT_EQ(dict.HashCode(codes[i]), HashItem(mgr, atoms[i])) << i;
+  }
+  for (size_t i = 0; i < atoms.size(); ++i)
+    for (size_t j = 0; j < atoms.size(); ++j)
+      EXPECT_EQ(dict.EqualCodes(codes[i], codes[j]),
+                CompareItems(mgr, atoms[i], CmpOp::kEq, atoms[j]))
+          << i << " vs " << j;
+}
+
+TEST(ItemDictTest, InlineIntCodesAreOrderPreserving) {
+  DocumentManager mgr;
+  ItemDict& dict = mgr.item_dict();
+  int64_t prev_code = 0;
+  bool first = true;
+  for (int64_t v : {int64_t{-100000}, int64_t{-7}, int64_t{0}, int64_t{3},
+                    int64_t{1} << 40}) {
+    int64_t code = dict.Encode(mgr.strings(), Item::Int(v));
+    if (!first) EXPECT_GT(code, prev_code) << v;
+    prev_code = code;
+    first = false;
+  }
+  EXPECT_EQ(dict.entries(), 0u);  // inline classes never allocate entries
+}
+
+TEST(DictJoinTest, EquiJoinItemDictMatchesLegacyOnCoercionEdges) {
+  DocumentManager mgr;
+  auto lv = RandomAtoms(mgr, 1500, 21);
+  auto rv = RandomAtoms(mgr, 1100, 22);
+  auto left = MakeTable({{"v", Column::MakeItem(lv)}});
+  auto right =
+      MakeTable({{"v", Column::MakeItem(rv)},
+                 {"sid", I64Col(RandomKeys(rv.size(), 1, 1000, 23))}});
+  ExecFlags dict;  // defaults: dict_items on
+  ExecFlags nodict = DictOffFlags();
+  ExecFlags legacy = LegacyFlags();
+  auto jd = EquiJoinItem(mgr, dict, left, "v", right, "v", {{"sid", "sid"}});
+  auto jn = EquiJoinItem(mgr, nodict, left, "v", right, "v", {{"sid", "sid"}});
+  auto jl = EquiJoinItem(mgr, legacy, left, "v", right, "v", {{"sid", "sid"}});
+  ExpectSameTable(jd, jn);
+  ExpectSameTable(jd, jl);
+  EXPECT_EQ(dict.stats.dict_joins, 1);
+  EXPECT_EQ(nodict.stats.dict_joins, 0);
+  // The dict-coded join moves exactly half the key-column bytes.
+  EXPECT_EQ(2 * dict.stats.join_key_bytes, nodict.stats.join_key_bytes);
+}
+
+TEST(DictJoinTest, SemiJoinItemDictMatchesLegacy) {
+  DocumentManager mgr;
+  auto lv = RandomAtoms(mgr, 1200, 31);
+  auto rv = RandomAtoms(mgr, 700, 32);
+  auto left = MakeTable({{"v", Column::MakeItem(lv)},
+                         {"p", I64Col(RandomKeys(lv.size(), 0, 99, 33))}});
+  auto right = MakeTable({{"v", Column::MakeItem(rv)}});
+  for (bool anti : {false, true}) {
+    ExecFlags dict;
+    ExecFlags nodict = DictOffFlags();
+    ExecFlags legacy = LegacyFlags();
+    auto sd = SemiJoinItem(mgr, dict, left, "v", right, "v", anti);
+    auto sn = SemiJoinItem(mgr, nodict, left, "v", right, "v", anti);
+    auto sl = SemiJoinItem(mgr, legacy, left, "v", right, "v", anti);
+    ExpectSameTable(sd, sn);
+    ExpectSameTable(sd, sl);
+    EXPECT_EQ(dict.stats.dict_joins, 1);
+  }
+}
+
+TEST(DictColumnTest, AtomizeGatherAndUnionMoveCodesAndDecodeFaithfully) {
+  DocumentManager mgr;
+  auto* doc = testutil::RandomDoc(&mgr, 400, 41);
+  std::vector<Item> nodes;
+  for (int64_t p = 0; p < doc->LogicalSlots(); ++p)
+    if (!doc->IsUnused(p)) nodes.push_back(Item::Node(doc->id(), p));
+  auto t = MakeTable({{"v", Column::MakeItem(nodes)},
+                      {"iter", I64Col(RandomKeys(nodes.size(), 1, 50, 42))}});
+  ExecFlags dict;
+  ExecFlags nodict = DictOffFlags();
+  // Atomization produces a dictionary-coded column...
+  auto ad = AppendAtomize(mgr, dict, t, "a", "v");
+  auto an = AppendAtomize(mgr, nodict, t, "a", "v");
+  ASSERT_TRUE(ad->col("a")->is_dict());
+  ASSERT_TRUE(an->col("a")->is_item());
+  ExpectSameTable(ad, an);  // decode is kind- and payload-faithful
+  // ...which selection vectors + gathers carry as 8-byte codes...
+  auto fd = SelectEqI64(dict, ad, "iter", ad->col("iter")->GetI64(0));
+  auto fn = SelectEqI64(nodict, an, "iter", an->col("iter")->GetI64(0));
+  ASSERT_TRUE(fd->lazy());
+  ExpectSameTable(fd, fn);
+  EXPECT_TRUE(fd->col("a")->is_dict());  // materialized gather kept codes
+  // ...and unions concatenate codes without decoding.
+  auto ud = DisjointUnion(ad, ad);
+  auto un = DisjointUnion(an, an);
+  ExpectSameTable(ud, un);
+  EXPECT_TRUE(ud->raw_col(ud->ColumnIndex("a"))->is_dict());
+  // Re-atomizing an already-coded column is an O(1) share, not a re-encode.
+  auto again = AppendAtomize(mgr, dict, ad, "a2", "a");
+  EXPECT_EQ(again->col("a2").get(), ad->col("a").get());
+}
+
+TEST(DictJoinTest, DictProbePerformsZeroInterning) {
+  // The fix for the per-row StringPool / container-registry costs in item
+  // comparators: once columns are dictionary-coded, the whole join —
+  // build, probe, verify — performs zero interning (and no per-row
+  // atomization), so the dictionary path cannot silently regress into the
+  // locked path without this test failing.
+  DocumentManager mgr;
+  auto* doc = testutil::RandomDoc(&mgr, 600, 51);
+  std::vector<Item> nodes;
+  for (int64_t p = 0; p < doc->LogicalSlots(); ++p)
+    if (!doc->IsUnused(p) && doc->KindAt(p) == NodeKind::kElem)
+      nodes.push_back(Item::Node(doc->id(), p));
+  auto lt = MakeTable({{"v", Column::MakeItem(nodes)}});
+  auto rt = MakeTable({{"v", Column::MakeItem(nodes)}});
+  ExecFlags dict;
+  // Atomize+encode up front (this is where interning legitimately happens).
+  auto la = AppendAtomize(mgr, dict, lt, "a", "v");
+  auto ra = AppendAtomize(mgr, dict, rt, "a", "v");
+  ASSERT_TRUE(la->col("a")->is_dict());
+  const int64_t before = mgr.strings().intern_calls();
+  auto jd = EquiJoinItem(mgr, dict, la, "a", ra, "a", {});
+  EXPECT_EQ(mgr.strings().intern_calls(), before)
+      << "dict-coded join must not intern";
+  EXPECT_EQ(dict.stats.dict_joins, 1);
+  auto sd = SemiJoinItem(mgr, dict, la, "a", ra, "a");
+  EXPECT_EQ(mgr.strings().intern_calls(), before)
+      << "dict-coded semijoin must not intern";
+  // The legacy probe over raw node columns atomizes defensively per
+  // comparison — the per-row interning the dictionary removes.
+  ExecFlags legacy = LegacyFlags();
+  auto jl = EquiJoinItem(mgr, legacy, lt, "v", rt, "v", {});
+  EXPECT_GT(mgr.strings().intern_calls(), before);
+  // Same matches either way: the legacy path compares atomized values too.
+  ExecFlags nodict = DictOffFlags();
+  auto lan = AppendAtomize(mgr, nodict, lt, "a", "v");
+  auto ran = AppendAtomize(mgr, nodict, rt, "a", "v");
+  auto jn = EquiJoinItem(mgr, nodict, lan, "a", ran, "a", {});
+  ExpectSameTable(jd, jn);
 }
 
 // ---------------------------------------------------------------------------
@@ -498,6 +722,94 @@ TEST(ParallelDeterminismTest, EquiJoinItemMatchesSerial) {
   EXPECT_GT(par.stats.par_tasks, 0);  // build-side hashing + radix build
 }
 
+// The dictionary unlocked the item-valued *probe* (docs/execution.md §5):
+// with dict_items on, the whole join fans out. These cases hold the
+// parallel probe to the serial bar across key types and coercion edges.
+
+TEST(ParallelDeterminismTest, ItemJoinStringKeysMatchSerial) {
+  DocumentManager mgr;
+  const size_t n = 40000;
+  std::mt19937 rng(211);
+  std::vector<Item> lv(n), rv(n);
+  for (size_t i = 0; i < n; ++i) {
+    lv[i] = S(mgr, "k" + std::to_string(rng() % 3000));
+    rv[i] = S(mgr, "k" + std::to_string(rng() % 3000));
+  }
+  auto left = MakeTable({{"v", Column::MakeItem(lv)}});
+  auto right = MakeTable({{"v", Column::MakeItem(rv)},
+                          {"sid", I64Col(RandomKeys(n, 1, 1000, 212))}});
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  auto jp = EquiJoinItem(mgr, par, left, "v", right, "v", {{"sid", "sid"}});
+  auto js = EquiJoinItem(mgr, ser, left, "v", right, "v", {{"sid", "sid"}});
+  ExpectSameTable(jp, js);
+  EXPECT_EQ(par.stats.dict_joins, 1);
+  EXPECT_GT(par.stats.par_tasks, 0);  // the probe itself fanned out
+  EXPECT_EQ(ser.stats.par_tasks, 0);
+}
+
+TEST(ParallelDeterminismTest, ItemJoinDoubleKeysMatchSerial) {
+  DocumentManager mgr;
+  const size_t n = 40000;
+  std::mt19937 rng(221);
+  std::vector<Item> lv(n), rv(n);
+  for (size_t i = 0; i < n; ++i) {
+    lv[i] = Item::Double(static_cast<double>(rng() % 4000) / 4.0);
+    rv[i] = Item::Double(static_cast<double>(rng() % 4000) / 4.0);
+  }
+  auto left = MakeTable({{"v", Column::MakeItem(lv)}});
+  auto right = MakeTable({{"v", Column::MakeItem(rv)},
+                          {"sid", I64Col(RandomKeys(n, 1, 1000, 222))}});
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  auto jp = EquiJoinItem(mgr, par, left, "v", right, "v", {{"sid", "sid"}});
+  auto js = EquiJoinItem(mgr, ser, left, "v", right, "v", {{"sid", "sid"}});
+  ExpectSameTable(jp, js);
+  EXPECT_GT(par.stats.par_tasks, 0);
+}
+
+TEST(ParallelDeterminismTest, ItemJoinMixedKeysWithEdgesMatchSerial) {
+  // Mixed-type keys with the nasty edges: NaN doubles (never equal), empty
+  // strings, numeric-looking strings coercing across kinds. The parallel
+  // dict probe must equal both its serial run and the serial legacy path.
+  DocumentManager mgr;
+  const size_t n = 40000;
+  auto lv = RandomAtoms(mgr, n, 231);
+  auto rv = RandomAtoms(mgr, n, 232);
+  auto left = MakeTable({{"v", Column::MakeItem(lv)}});
+  auto right = MakeTable({{"v", Column::MakeItem(rv)},
+                          {"sid", I64Col(RandomKeys(n, 1, 1000, 233))}});
+  ExecFlags par = ParallelFlags();
+  ExecFlags ser = SerialFlags();
+  ExecFlags legacy = LegacyFlags();
+  legacy.threads = 1;
+  auto jp = EquiJoinItem(mgr, par, left, "v", right, "v", {{"sid", "sid"}});
+  auto js = EquiJoinItem(mgr, ser, left, "v", right, "v", {{"sid", "sid"}});
+  auto jl = EquiJoinItem(mgr, legacy, left, "v", right, "v", {{"sid", "sid"}});
+  ExpectSameTable(jp, js);
+  ExpectSameTable(jp, jl);
+  EXPECT_GT(par.stats.par_tasks, 0);
+}
+
+TEST(ParallelDeterminismTest, SemiJoinItemMatchesSerial) {
+  DocumentManager mgr;
+  const size_t n = 40000;
+  auto lv = RandomAtoms(mgr, n, 241);
+  auto rv = RandomAtoms(mgr, n / 2, 242);
+  auto left = MakeTable({{"v", Column::MakeItem(lv)},
+                         {"p", I64Col(RandomKeys(n, 0, 99, 243))}});
+  auto right = MakeTable({{"v", Column::MakeItem(rv)}});
+  for (bool anti : {false, true}) {
+    ExecFlags par = ParallelFlags();
+    ExecFlags ser = SerialFlags();
+    auto sp = SemiJoinItem(mgr, par, left, "v", right, "v", anti);
+    auto ss = SemiJoinItem(mgr, ser, left, "v", right, "v", anti);
+    ExpectSameTable(sp, ss);
+    EXPECT_EQ(par.stats.dict_joins, 1);
+    EXPECT_GT(par.stats.par_tasks, 0);  // morsel-parallel membership scan
+  }
+}
+
 TEST(ParallelDeterminismTest, FilterMatchesSerial) {
   DocumentManager mgr;
   auto t = BoolTable(70000, 131);
@@ -615,20 +927,24 @@ TEST(ExecFlagsTest, FromEnvReadsThreadsAndToggles) {
   ::setenv("MXQ_THREADS", "5", 1);
   ::setenv("MXQ_RADIX_JOIN", "0", 1);
   ::setenv("MXQ_DENSE_SORT", "false", 1);
+  ::setenv("MXQ_DICT", "0", 1);
   ExecFlags fl = ExecFlags::FromEnv();
   EXPECT_EQ(fl.threads, 5);
   EXPECT_EQ(fl.exec_threads(), 5);
   EXPECT_FALSE(fl.radix_join);
   EXPECT_FALSE(fl.dense_sort);
+  EXPECT_FALSE(fl.dict_items);
   EXPECT_TRUE(fl.sel_vectors);  // untouched toggle keeps its default
   EXPECT_TRUE(fl.order_opt);
   ::unsetenv("MXQ_THREADS");
   ::unsetenv("MXQ_RADIX_JOIN");
   ::unsetenv("MXQ_DENSE_SORT");
+  ::unsetenv("MXQ_DICT");
   ExecFlags dflt = ExecFlags::FromEnv();
   EXPECT_EQ(dflt.threads, 0);  // resolves via DefaultExecThreads()
   EXPECT_GE(dflt.exec_threads(), 1);
   EXPECT_TRUE(dflt.radix_join);
+  EXPECT_TRUE(dflt.dict_items);
 }
 
 }  // namespace

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 suite across the dictionary-encoding matrix: runs ctest once with
+# MXQ_DICT=0 and once with MXQ_DICT=1 so both physical item-column
+# encodings stay green in every PR. Registered as the `run_matrix` ctest
+# target (CMakeLists.txt), which runs it against the current build —
+# including a ThreadSanitizer build when that is what was configured:
+#
+#   # plain matrix (both encodings, current build):
+#   ctest --test-dir build -R '^run_matrix$' --output-on-failure
+#
+#   # TSan matrix (what CI should run once per PR): configure a TSan build
+#   # and its run_matrix target validates both encodings under the
+#   # sanitizer, parallel probes included:
+#   cmake -B build-tsan -S . -DMXQ_SANITIZE=thread
+#   cmake --build build-tsan -j
+#   ctest --test-dir build-tsan -R '^run_matrix$' --output-on-failure
+#
+# Standalone usage: tests/run_matrix.sh [build-dir]   (default: ./build)
+#   MXQ_MATRIX_THREADS   thread width exported to the inner runs (default 4,
+#                        so the parallel kernels engage even where the
+#                        process default would be 1)
+set -euo pipefail
+
+BUILD=${1:-build}
+[ -f "$BUILD/CTestTestfile.cmake" ] || {
+  echo "run_matrix.sh: '$BUILD' is not a ctest build directory" >&2
+  exit 1
+}
+
+THREADS=${MXQ_MATRIX_THREADS:-4}
+for dict in 0 1; do
+  echo "== tier-1 suite with MXQ_DICT=$dict MXQ_THREADS=$THREADS" >&2
+  MXQ_DICT=$dict MXQ_THREADS=$THREADS \
+    ctest --test-dir "$BUILD" -E '^run_matrix$' --output-on-failure
+done
+echo "== run_matrix: both encodings green" >&2
