@@ -3,7 +3,7 @@
 # fig15_scalability, table1_xmark, serving_throughput) and merges everything
 # — google-benchmark results plus the kernel-comparison / thread-sweep /
 # session-sweep summaries the bench mains emit via MXQ_BENCH_JSON — into one
-# JSON artifact (default BENCH_pr4.json) that is checked in as the perf
+# JSON artifact (default BENCH_pr6.json) that is checked in as the perf
 # evidence for the PR.
 #
 # fig15_scalability is the partition-parallel thread sweep: each kernel
@@ -30,7 +30,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT=${1:-BENCH_pr5.json}
+OUT=${1:-BENCH_pr6.json}
 BUILD=${BUILD_DIR:-build}
 export MXQ_SCALE=${MXQ_SCALE:-0.1}
 FILTER=${BENCH_FILTER:+--benchmark_filter=${BENCH_FILTER}}

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -69,6 +71,34 @@ void ServingCold(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Execute-only with the full governance machinery engaged (admission
+/// bookkeeping, deadline + budget ExecContext, checkpoint polling): the
+/// delta vs ServingExecuteOnly is the governed overhead, budgeted at <=3%
+/// (docs/robustness.md).
+void ServingGovernedExecuteOnly(benchmark::State& state) {
+  auto& inst = Instance();
+  static mxq::xq::XQueryEngine governed_engine(&inst.mgr());
+  if (state.thread_index() == 0) {
+    mxq::xq::GovernanceOptions gov;
+    gov.max_in_flight = static_cast<int>(mxq::HardwareThreads());
+    gov.default_deadline_ms = 60'000;
+    gov.default_memory_budget_bytes = int64_t{1} << 31;
+    governed_engine.set_governance(gov);
+  }
+  mxq::xq::Session session = governed_engine.CreateSession();
+  auto plan = session.Prepare(kServeQuery);
+  if (!plan.ok()) std::abort();
+  session.Bind("minprice", int64_t{40 + state.thread_index()});
+  size_t n = 0;
+  for (auto _ : state) {
+    auto r = session.Execute(*plan);
+    if (!r.ok()) std::abort();
+    n = r->items.size();
+  }
+  state.counters["result_items"] = static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations());
+}
+
 /// Execute-only (plan prepared once outside the loop): the per-request
 /// floor of the execution engine itself.
 void ServingExecuteOnly(benchmark::State& state) {
@@ -111,6 +141,98 @@ double MeasureQps(int sessions, int reqs, bool warm) {
   return ms > 0 ? 1000.0 * sessions * reqs / ms : 0.0;
 }
 
+/// Governed vs ungoverned execute-only time over one engine pair: the
+/// serving-path overhead of governance when no limit ever trips.
+double MeasureGovernanceOverheadPct(int reqs) {
+  auto& inst = Instance();
+  mxq::xq::XQueryEngine plain(&inst.mgr());
+  mxq::xq::XQueryEngine governed(&inst.mgr());
+  mxq::xq::GovernanceOptions gov;
+  gov.max_in_flight = static_cast<int>(mxq::HardwareThreads());
+  gov.default_deadline_ms = 60'000;
+  gov.default_memory_budget_bytes = int64_t{1} << 31;
+  governed.set_governance(gov);
+  mxq::xq::Session ps = plain.CreateSession();
+  mxq::xq::Session gs = governed.CreateSession();
+  auto prep = [&](mxq::xq::Session& s) {
+    auto plan = s.Prepare(kServeQuery);
+    if (!plan.ok()) std::abort();
+    s.Bind("minprice", int64_t{40});
+    return *plan;
+  };
+  auto pplan = prep(ps), gplan = prep(gs);
+  auto time_once = [&](mxq::xq::Session& s, const mxq::xq::PreparedQuery& p) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reqs; ++i)
+      if (!s.Execute(*p).ok()) std::abort();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  // Alternate governed/plain rounds and keep each side's best: back-to-back
+  // A-then-B timing lets clock drift and cache warmth masquerade as
+  // overhead several times larger than the true delta.
+  double base_ms = 1e300, gov_ms = 1e300;
+  time_once(ps, pplan);  // warm both plans + documents once, untimed
+  time_once(gs, gplan);
+  for (int round = 0; round < 25; ++round) {
+    base_ms = std::min(base_ms, time_once(ps, pplan));
+    gov_ms = std::min(gov_ms, time_once(gs, gplan));
+  }
+  return base_ms > 0 ? 100.0 * (gov_ms - base_ms) / base_ms : 0.0;
+}
+
+/// Overload sweep: offered load at ~2x the admission capacity. Reports how
+/// the engine degrades — completed throughput held by the in-flight bound,
+/// the rest shed quickly with kResourceExhausted (docs/robustness.md).
+void WriteOverloadSweep(mxq::bench::JsonWriter& w, int reqs) {
+  auto& inst = Instance();
+  constexpr int kThreads = 4;       // offered concurrency
+  constexpr int kInFlight = 1;      // admission capacity
+  constexpr int kQueue = 1;         // 2x: capacity + queue = offered / 2
+  mxq::xq::XQueryEngine eng(&inst.mgr());
+  mxq::xq::GovernanceOptions gov;
+  gov.max_in_flight = kInFlight;
+  gov.max_queue = kQueue;
+  eng.set_governance(gov);
+  // One timed run (not best-of): the shed counters must correspond to
+  // exactly the requests in the measured window.
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&eng, t, reqs] {
+        mxq::xq::Session s = eng.CreateSession();
+        auto plan = s.Prepare(kServeQuery);
+        if (!plan.ok()) std::abort();
+        s.Bind("minprice", int64_t{40 + t});
+        for (int i = 0; i < reqs; ++i) (void)s.Execute(*plan);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  const auto st = eng.governance_stats();
+  w.BeginObject("overload");
+  w.Field("offered_threads", static_cast<int64_t>(kThreads));
+  w.Field("max_in_flight", static_cast<int64_t>(kInFlight));
+  w.Field("max_queue", static_cast<int64_t>(kQueue));
+  w.Field("requests", st.requests);
+  w.Field("completed_ok", st.completed_ok);
+  w.Field("shed_queue_full", st.shed_queue_full);
+  w.Field("shed_rate",
+          st.requests > 0
+              ? static_cast<double>(st.shed_queue_full) / st.requests
+              : 0.0);
+  w.Field("qps_completed", ms > 0 ? 1000.0 * st.completed_ok / ms : 0.0);
+  w.Field("peak_in_flight", st.peak_in_flight);
+  w.Field("peak_queued", st.peak_queued);
+  w.EndObject();
+}
+
 void WriteSessionSweep(const char* path) {
   const int reqs = 32;
   mxq::bench::JsonWriter w;
@@ -139,6 +261,10 @@ void WriteSessionSweep(const char* path) {
   w.Field("misses", cs.misses);
   w.Field("evictions", cs.evictions);
   w.EndObject();
+  w.BeginObject("governance");
+  w.Field("overhead_pct", MeasureGovernanceOverheadPct(reqs));
+  WriteOverloadSweep(w, reqs);
+  w.EndObject();
   w.EndObject();
   w.WriteFile(path);
 }
@@ -158,6 +284,11 @@ BENCHMARK(ServingCold)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 BENCHMARK(ServingExecuteOnly)
+    ->Threads(1)
+    ->Threads(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(ServingGovernedExecuteOnly)
     ->Threads(1)
     ->Threads(4)
     ->Unit(benchmark::kMicrosecond)

@@ -1,6 +1,7 @@
 #include "algebra/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 
 #include "algebra/radix.h"
 #include "common/counting_sort.h"
+#include "common/fault.h"
 #include "common/thread_pool.h"
 
 namespace mxq {
@@ -44,6 +46,20 @@ class WallTimer {
   double* acc_;
   std::chrono::steady_clock::time_point t0_;
 };
+
+// Cancellation checkpoint cadence inside row loops (docs/robustness.md):
+// fine enough to bound cancellation latency at morsel granularity, coarse
+// enough that the relaxed atomic loads amortize to noise. A kernel that
+// observes a stop bails out with truncated results — safe because the
+// evaluator surfaces the typed Status right after the operator returns, so
+// truncated intermediates are never observable. Parallel regions still run
+// every chunk to completion (each chunk checks and bails on its own), so
+// the thread pool is never poisoned.
+constexpr size_t kStopMask = 4095;
+
+inline bool StopAt(const ExecFlags& fl, size_t i) {
+  return (i & kStopMask) == 0 && fl.stop_requested();
+}
 
 }  // namespace
 
@@ -260,13 +276,29 @@ TablePtr AppendAtomize(DocumentManager& mgr, const ExecFlags& fl,
   // bit-identical regardless (the differential harness pins this).
   const ColumnPtr& src = t->col(in);
   if (src->is_dict()) return WithColumn(t, out, src);
+  MXQ_FAULT_POINT("atomize");
   ItemDict& dict = mgr.item_dict();
   std::vector<int64_t> codes(t->rows());
   const int chunks = PlanChunks(fl.exec_threads(), t->rows());
+  std::atomic<bool> overflow{false};
   ParallelChunks(chunks, t->rows(), [&](int, size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i)
-      codes[i] = dict.Encode(mgr.strings(), Atomize(mgr, src->GetItem(i)));
+    for (size_t i = b; i < e; ++i) {
+      if (StopAt(fl, i)) return;
+      const int64_t c =
+          dict.Encode(mgr.strings(), Atomize(mgr, src->GetItem(i)));
+      if (c == ItemDict::kInvalidCode) {
+        // Entry space exhausted mid-encode: a partially coded column must
+        // never be published (kInvalidCode cannot be decoded), so the
+        // whole append falls back to the uncoded item path below.
+        overflow.store(true, std::memory_order_relaxed);
+        return;
+      }
+      codes[i] = c;
+    }
   });
+  if (overflow.load(std::memory_order_relaxed))
+    return AppendMap(t, out, in,
+                     [&mgr](const Item& x) { return Atomize(mgr, x); });
   if (chunks > 1) fl.stats.par_tasks += chunks;
   return WithColumn(t, out, Column::MakeDict(std::move(codes), &dict));
 }
@@ -325,15 +357,19 @@ std::vector<uint32_t> ScanRows(const ExecFlags& fl, size_t n,
   if (chunks <= 1) {
     std::vector<uint32_t> rows;
     rows.reserve(std::min(n, expect));
-    for (size_t i = 0; i < n; ++i)
+    for (size_t i = 0; i < n; ++i) {
+      if (StopAt(fl, i)) break;
       if (pred(i)) rows.push_back(static_cast<uint32_t>(i));
+    }
     return rows;
   }
   std::vector<std::vector<uint32_t>> frag(chunks);
   ParallelChunks(chunks, n, [&](int c, size_t b, size_t e) {
     frag[c].reserve(std::min(e - b, expect));
-    for (size_t i = b; i < e; ++i)
+    for (size_t i = b; i < e; ++i) {
+      if (StopAt(fl, i)) return;
       if (pred(i)) frag[c].push_back(static_cast<uint32_t>(i));
+    }
   });
   fl.stats.par_tasks += chunks;
   size_t total = 0;
@@ -348,6 +384,7 @@ std::vector<uint32_t> ScanRows(const ExecFlags& fl, size_t n,
 
 TablePtr SelectTrue(const DocumentManager& mgr, const ExecFlags& fl,
                     const TablePtr& t, const std::string& col, bool negate) {
+  MXQ_FAULT_POINT("filter");
   WallTimer timer(&fl.stats.filter_ms);
   const int ci = t->ColumnIndex(col);
   assert(ci >= 0);
@@ -530,6 +567,7 @@ TablePtr Sort(const DocumentManager& mgr, const ExecFlags& fl,
     ++fl.stats.sorts_elided;
     return t;
   }
+  MXQ_FAULT_POINT("sort");
   WallTimer timer(&fl.stats.sort_ms);
   // Refine sort: with a known ordered prefix, sort only within runs of
   // equal prefix values (the incremental, pipelinable refine-sort of §4.2).
@@ -590,9 +628,14 @@ TablePtr Sort(const DocumentManager& mgr, const ExecFlags& fl,
         if (counted) {
           const int threads = fl.exec_threads();
           const int chunks = PlanChunks(threads, perm.size());
-          for (size_t k = passes.size(); k-- > 0;)
+          for (size_t k = passes.size(); k-- > 0;) {
+            // Pass-granularity cancellation: a truncated pass sequence is
+            // a valid (merely mis-sorted) permutation, and the evaluator
+            // discards it right after via the typed Status.
+            if (fl.stop_requested()) break;
             CountingPassPerm(*passes[k].keys, passes[k].mn, passes[k].range,
                              &perm, threads);
+          }
           if (chunks > 1) fl.stats.par_tasks += chunks;
         }
       }
@@ -706,15 +749,18 @@ TablePtr BuildJoinOutput(const TablePtr& left,
 int ParallelProbe(const ExecFlags& fl, const RadixHashTable& ht,
                   std::span<const int64_t> lkeys, std::vector<size_t>* lrows,
                   std::vector<size_t>* rrows) {
+  MXQ_FAULT_POINT("join.probe");
   const int chunks = PlanChunks(fl.exec_threads(), lkeys.size());
   if (chunks <= 1) {
     lrows->reserve(lkeys.size());
     rrows->reserve(lkeys.size());
-    for (size_t i = 0; i < lkeys.size(); ++i)
+    for (size_t i = 0; i < lkeys.size(); ++i) {
+      if (StopAt(fl, i)) break;
       ht.ForEach(lkeys[i], [&](uint32_t j) {
         lrows->push_back(i);
         rrows->push_back(j);
       });
+    }
     return chunks;
   }
   std::vector<std::vector<size_t>> lfrag(chunks), rfrag(chunks);
@@ -723,11 +769,13 @@ int ParallelProbe(const ExecFlags& fl, const RadixHashTable& ht,
     auto& rf = rfrag[c];
     lf.reserve(e - b);
     rf.reserve(e - b);
-    for (size_t i = b; i < e; ++i)
+    for (size_t i = b; i < e; ++i) {
+      if (StopAt(fl, i)) return;
       ht.ForEach(lkeys[i], [&](uint32_t j) {
         lf.push_back(i);
         rf.push_back(j);
       });
+    }
   });
   fl.stats.par_tasks += chunks;
   size_t total = 0;
@@ -822,7 +870,7 @@ TablePtr EquiJoinI64(const ExecFlags& fl, const TablePtr& left,
     // the probe stream, and the match fragments stitch in probe order.
     ++fl.stats.radix_joins;
     RadixHashTable ht(JoinKeys(*right, static_cast<size_t>(rci), &rstore),
-                      fl.exec_threads());
+                      fl.exec_threads(), fl.gov);
     CountRadixBuild(fl, ht);
     ParallelProbe(fl, ht, lkeys, &lrows, &rrows);
   } else {
@@ -852,7 +900,9 @@ TablePtr EquiJoinI64(const ExecFlags& fl, const TablePtr& left,
 
 std::span<const int64_t> DictJoinCodes(DocumentManager& mgr, const Table& t,
                                        size_t ci,
-                                       std::vector<int64_t>* storage) {
+                                       std::vector<int64_t>* storage,
+                                       bool* ok) {
+  *ok = true;
   const Column& c = *t.raw_col(ci);
   if (c.is_dict() && !t.col_sel(ci))
     return {c.codes().data(), c.codes().size()};
@@ -869,9 +919,17 @@ std::span<const int64_t> DictJoinCodes(DocumentManager& mgr, const Table& t,
   // (node atomization); the probe loop never does.
   ItemDict& dict = mgr.item_dict();
   storage->reserve(t.rows());
-  for (size_t i = 0; i < t.rows(); ++i)
-    storage->push_back(
-        dict.Encode(mgr.strings(), Atomize(mgr, t.ItemAt(ci, i))));
+  for (size_t i = 0; i < t.rows(); ++i) {
+    const int64_t code =
+        dict.Encode(mgr.strings(), Atomize(mgr, t.ItemAt(ci, i)));
+    if (code == ItemDict::kInvalidCode) {
+      // Dictionary exhausted: the caller must run its legacy item path.
+      *ok = false;
+      storage->clear();
+      return {};
+    }
+    storage->push_back(code);
+  }
   return {storage->data(), storage->size()};
 }
 
@@ -888,19 +946,26 @@ struct DictJoinBuild {
   std::vector<int64_t> lstore, rstore;       // backing for encoded spans
   std::span<const int64_t> lcodes, rcodes;   // key codes (may alias columns)
   RadixHashTable table;                      // over the rcodes hashes
+  bool ok = true;  // false: dictionary exhausted — use the legacy probe
 };
 
 DictJoinBuild MakeDictJoinBuild(DocumentManager& mgr, const ExecFlags& fl,
                                 const Table& left, size_t lci,
                                 const Table& right, size_t rci) {
+  MXQ_FAULT_POINT("join.build");
+  const ItemDict& dict = mgr.item_dict();
+  DictJoinBuild b;
+  bool lok = true, rok = true;
+  b.lcodes = DictJoinCodes(mgr, left, lci, &b.lstore, &lok);
+  b.rcodes = DictJoinCodes(mgr, right, rci, &b.rstore, &rok);
+  if (!lok || !rok) {
+    b.ok = false;
+    return b;  // no stats counted: the legacy path runs and counts itself
+  }
   ++fl.stats.radix_joins;
   ++fl.stats.dict_joins;
   fl.stats.join_key_bytes +=
       static_cast<int64_t>(8 * (left.rows() + right.rows()));
-  const ItemDict& dict = mgr.item_dict();
-  DictJoinBuild b;
-  b.lcodes = DictJoinCodes(mgr, left, lci, &b.lstore);
-  b.rcodes = DictJoinCodes(mgr, right, rci, &b.rstore);
   const int threads = fl.exec_threads();
   std::vector<uint64_t> rhash(b.rcodes.size());
   const int hchunks = PlanChunks(threads, rhash.size());
@@ -908,7 +973,7 @@ DictJoinBuild MakeDictJoinBuild(DocumentManager& mgr, const ExecFlags& fl,
     for (size_t j = lo; j < hi; ++j) rhash[j] = dict.HashCode(b.rcodes[j]);
   });
   if (hchunks > 1) fl.stats.par_tasks += hchunks;
-  b.table = RadixHashTable{std::span<const uint64_t>(rhash), threads};
+  b.table = RadixHashTable{std::span<const uint64_t>(rhash), threads, fl.gov};
   CountRadixBuild(fl, b.table);
   return b;
 }
@@ -923,15 +988,18 @@ DictJoinBuild MakeDictJoinBuild(DocumentManager& mgr, const ExecFlags& fl,
 template <class Frag, class Emit>
 std::vector<Frag> DictProbeChunks(const ExecFlags& fl, const ItemDict& dict,
                                   const DictJoinBuild& b, const Emit& emit) {
+  MXQ_FAULT_POINT("join.probe");
   const size_t nl = b.lcodes.size();
   const int chunks = PlanChunks(fl.exec_threads(), nl);
   std::vector<Frag> frags(chunks < 1 ? 1 : chunks);
   ParallelChunks(chunks, nl, [&](int c, size_t lo, size_t hi) {
     Frag& f = frags[c];
-    for (size_t i = lo; i < hi; ++i)
+    for (size_t i = lo; i < hi; ++i) {
+      if (StopAt(fl, i)) return;
       b.table.ForEach(dict.HashCode(b.lcodes[i]), [&](uint32_t j) {
         if (dict.EqualCodes(b.lcodes[i], b.rcodes[j])) emit(f, i, j);
       });
+    }
   });
   if (chunks > 1) fl.stats.par_tasks += chunks;
   return frags;
@@ -939,18 +1007,20 @@ std::vector<Frag> DictProbeChunks(const ExecFlags& fl, const ItemDict& dict,
 
 }  // namespace
 
-void DictJoinEmitPairs(DocumentManager& mgr, const ExecFlags& fl,
+bool DictJoinEmitPairs(DocumentManager& mgr, const ExecFlags& fl,
                        const Table& lhs, size_t lci, const Column& lkey,
                        const Table& rhs, size_t rci, const Column& rkey,
                        std::vector<std::pair<int64_t, int64_t>>* pairs) {
   const ItemDict& dict = mgr.item_dict();
   DictJoinBuild b = MakeDictJoinBuild(mgr, fl, lhs, lci, rhs, rci);
+  if (!b.ok) return false;
   using Frag = std::vector<std::pair<int64_t, int64_t>>;
   auto frags = DictProbeChunks<Frag>(
       fl, dict, b, [&](Frag& f, size_t l, uint32_t r) {
         f.emplace_back(lkey.GetI64(l), rkey.GetI64(r));
       });
   for (const Frag& f : frags) pairs->insert(pairs->end(), f.begin(), f.end());
+  return true;
 }
 
 TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
@@ -968,27 +1038,30 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
     DictJoinBuild b =
         MakeDictJoinBuild(mgr, fl, *left, static_cast<size_t>(lci), *right,
                           static_cast<size_t>(rci));
-    struct Frag {
-      std::vector<size_t> l, r;
-    };
-    auto frags = DictProbeChunks<Frag>(
-        fl, dict, b, [](Frag& f, size_t l, uint32_t r) {
-          f.l.push_back(l);
-          f.r.push_back(r);
-        });
-    size_t total = 0;
-    for (const Frag& f : frags) total += f.l.size();
-    lrows.reserve(total);
-    rrows.reserve(total);
-    for (const Frag& f : frags) {
-      lrows.insert(lrows.end(), f.l.begin(), f.l.end());
-      rrows.insert(rrows.end(), f.r.begin(), f.r.end());
+    if (b.ok) {
+      struct Frag {
+        std::vector<size_t> l, r;
+      };
+      auto frags = DictProbeChunks<Frag>(
+          fl, dict, b, [](Frag& f, size_t l, uint32_t r) {
+            f.l.push_back(l);
+            f.r.push_back(r);
+          });
+      size_t total = 0;
+      for (const Frag& f : frags) total += f.l.size();
+      lrows.reserve(total);
+      rrows.reserve(total);
+      for (const Frag& f : frags) {
+        lrows.insert(lrows.end(), f.l.begin(), f.l.end());
+        rrows.insert(rrows.end(), f.r.begin(), f.r.end());
+      }
+      auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep,
+                                 PlanChunks(fl.exec_threads(), lrows.size()));
+      ProbeJoinProps(left, right, rcol, right_keep, false, out.get());
+      CountMaterialized(fl, out);
+      return out;
     }
-    auto out = BuildJoinOutput(left, lrows, right, rrows, right_keep,
-                               PlanChunks(fl.exec_threads(), lrows.size()));
-    ProbeJoinProps(left, right, rcol, right_keep, false, out.get());
-    CountMaterialized(fl, out);
-    return out;
+    // Dictionary exhausted: fall through to the legacy item join.
   }
   const ColumnPtr& lc = left->col(lcol);
   const ColumnPtr& rc = right->col(rcol);
@@ -1010,9 +1083,11 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
       for (size_t j = b; j < e; ++j) rhash[j] = HashItem(cmgr, rc->GetItem(j));
     });
     if (hchunks > 1) fl.stats.par_tasks += hchunks;
-    RadixHashTable ht{std::span<const uint64_t>(rhash), fl.exec_threads()};
+    RadixHashTable ht{std::span<const uint64_t>(rhash), fl.exec_threads(),
+                      fl.gov};
     CountRadixBuild(fl, ht);
     for (size_t i = 0; i < left->rows(); ++i) {
+      if (StopAt(fl, i)) break;
       Item li = lc->GetItem(i);
       ht.ForEach(HashItem(mgr, li), [&](uint32_t j) {
         if (CompareItems(mgr, li, CmpOp::kEq, rc->GetItem(j))) {
@@ -1028,6 +1103,7 @@ TablePtr EquiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
     for (size_t j = 0; j < right->rows(); ++j)
       ht[HashItem(mgr, rc->GetItem(j))].push_back(j);
     for (size_t i = 0; i < left->rows(); ++i) {
+      if (StopAt(fl, i)) break;
       Item li = lc->GetItem(i);
       auto it = ht.find(HashItem(mgr, li));
       if (it == ht.end()) continue;
@@ -1067,7 +1143,7 @@ TablePtr SemiJoinI64(const ExecFlags& fl, const TablePtr& left,
   } else if (fl.radix_join) {
     ++fl.stats.radix_joins;
     RadixHashTable ht(JoinKeys(*right, static_cast<size_t>(rci), &rstore),
-                      fl.exec_threads());
+                      fl.exec_threads(), fl.gov);
     CountRadixBuild(fl, ht);
     // The semi/anti probe is a pure membership predicate — the morsel
     // scan machinery of the filters applies as-is.
@@ -1099,6 +1175,7 @@ TablePtr SemiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
   WallTimer timer(&fl.stats.join_ms);
   const size_t nl = left->rows(), nr = right->rows();
   std::vector<uint32_t> rows;
+  bool done = false;
   if (fl.dict_items) {
     // Dict-coded membership probe: a pure per-row predicate over code
     // hashes + EqualCodes, so the morsel scan machinery of the filters
@@ -1110,17 +1187,22 @@ TablePtr SemiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
     DictJoinBuild b =
         MakeDictJoinBuild(mgr, fl, *left, static_cast<size_t>(lci), *right,
                           static_cast<size_t>(rci));
-    rows = ScanRows(
-        fl, nl,
-        [&](size_t i) {
-          bool hit = false;
-          b.table.ForEach(dict.HashCode(b.lcodes[i]), [&](uint32_t j) {
-            hit = hit || dict.EqualCodes(b.lcodes[i], b.rcodes[j]);
-          });
-          return hit != anti;
-        },
-        /*expect=*/nl);
-  } else {
+    if (b.ok) {
+      rows = ScanRows(
+          fl, nl,
+          [&](size_t i) {
+            bool hit = false;
+            b.table.ForEach(dict.HashCode(b.lcodes[i]), [&](uint32_t j) {
+              hit = hit || dict.EqualCodes(b.lcodes[i], b.rcodes[j]);
+            });
+            return hit != anti;
+          },
+          /*expect=*/nl);
+      done = true;
+    }
+    // !b.ok: dictionary exhausted — run the legacy item probe below.
+  }
+  if (!done) {
     fl.stats.join_key_bytes +=
         static_cast<int64_t>(sizeof(Item) * (nl + nr));
     const ColumnPtr& lc = left->col(lcol);
@@ -1136,9 +1218,11 @@ TablePtr SemiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
           rhash[j] = HashItem(cmgr, rc->GetItem(j));
       });
       if (hchunks > 1) fl.stats.par_tasks += hchunks;
-      RadixHashTable ht{std::span<const uint64_t>(rhash), fl.exec_threads()};
+      RadixHashTable ht{std::span<const uint64_t>(rhash),
+                        fl.exec_threads(), fl.gov};
       CountRadixBuild(fl, ht);
       for (size_t i = 0; i < nl; ++i) {
+        if (StopAt(fl, i)) break;
         Item li = lc->GetItem(i);
         bool hit = false;
         ht.ForEach(HashItem(mgr, li), [&](uint32_t j) {
@@ -1153,6 +1237,7 @@ TablePtr SemiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
       for (size_t j = 0; j < nr; ++j)
         ht[HashItem(mgr, rc->GetItem(j))].push_back(j);
       for (size_t i = 0; i < nl; ++i) {
+        if (StopAt(fl, i)) break;
         Item li = lc->GetItem(i);
         bool hit = false;
         if (auto it = ht.find(HashItem(mgr, li)); it != ht.end())
@@ -1220,10 +1305,12 @@ TablePtr GroupAggr(DocumentManager& mgr, const ExecFlags& fl,
 
   // Grouping is free when the input is ordered by the group column (§4.2);
   // otherwise fall back to a hash accumulator.
+  MXQ_FAULT_POINT("aggr");
   bool ordered = fl.order_opt && t->props().OrderedBy({group_col});
   std::vector<std::pair<int64_t, Acc>> accs;
   std::unordered_map<int64_t, size_t> idx;
   for (size_t i = 0; i < t->rows(); ++i) {
+    if (StopAt(fl, i)) break;
     int64_t key = g->GetI64(i);
     Acc* acc;
     if (ordered) {

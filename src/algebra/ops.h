@@ -82,6 +82,10 @@ struct ExecStats {
   // partition-parallel execution (docs/execution.md "Parallel execution")
   int64_t par_tasks = 0;       // chunk tasks dispatched by parallel regions
   int64_t par_partitions = 0;  // radix partitions built/probed in parallel
+  // Peak column bytes live at once during the execution, as accounted by
+  // the governance MemAccount (docs/robustness.md). Max-merged in Add():
+  // accumulating across executions reports the worst single execution.
+  int64_t peak_mem_bytes = 0;
   // per-kernel wall clock, for plan_stats and the ablation benches
   double join_ms = 0;    // equi/semi join operators (build + probe + gather)
   double sort_ms = 0;    // Sort / sorting RowNum
@@ -95,7 +99,7 @@ struct ExecStats {
   /// Every field must be summed here — the static_assert below trips when a
   /// counter is added to the struct without extending this list.
   void Add(const ExecStats& o) {
-    static_assert(sizeof(ExecStats) == 24 * sizeof(int64_t),
+    static_assert(sizeof(ExecStats) == 25 * sizeof(int64_t),
                   "new ExecStats field: add it to Add()");
     sorts_performed += o.sorts_performed;
     sorts_elided += o.sorts_elided;
@@ -118,6 +122,7 @@ struct ExecStats {
     join_key_bytes += o.join_key_bytes;
     par_tasks += o.par_tasks;
     par_partitions += o.par_partitions;
+    if (o.peak_mem_bytes > peak_mem_bytes) peak_mem_bytes = o.peak_mem_bytes;
     join_ms += o.join_ms;
     sort_ms += o.sort_ms;
     filter_ms += o.filter_ms;
@@ -149,7 +154,18 @@ struct ExecFlags {
   // (deterministic chunking + in-order stitching), so this is a pure
   // performance knob.
   int threads = 0;
+  // Governance context of the owning execution (docs/robustness.md); null
+  // outside governed executions (tests/benches constructing flags
+  // directly). Non-owning: set by ExecuteCommon for the span of one
+  // Execute call. Kernels poll stop_requested() at morsel granularity and
+  // bail out with truncated results; the evaluator surfaces the typed
+  // Status, so truncated intermediates are never observable.
+  ExecContext* gov = nullptr;
   mutable ExecStats stats;
+
+  /// Morsel-granularity cancellation checkpoint (cheap: relaxed atomic
+  /// loads; the deadline clock is only read when a deadline is armed).
+  bool stop_requested() const { return gov != nullptr && gov->StopRequested(); }
 
   /// Effective execution width (resolves threads == 0).
   int exec_threads() const;
@@ -297,9 +313,13 @@ TablePtr SemiJoinItem(DocumentManager& mgr, const ExecFlags& fl,
 /// atomization already produced a dict column (flattening any selection
 /// vector), else atomize+encode row-wise into `*storage`. Shared by the
 /// ops.cc join kernels and xquery/eval.cc's existential theta-join.
+/// When the dictionary's entry space is exhausted mid-encode, `*ok` is set
+/// false and the returned span is empty — callers fall back to the legacy
+/// uncoded join paths (the query still answers, without compaction).
 std::span<const int64_t> DictJoinCodes(DocumentManager& mgr, const Table& t,
                                        size_t ci,
-                                       std::vector<int64_t>* storage);
+                                       std::vector<int64_t>* storage,
+                                       bool* ok);
 
 /// Dictionary-coded equi-join probe emitting (lkey[l], rkey[r]) pairs for
 /// every match — the existential theta-join's (iter, sid) projection.
@@ -307,7 +327,10 @@ std::span<const int64_t> DictJoinCodes(DocumentManager& mgr, const Table& t,
 /// `rkey` must be flat columns of those tables. The probe is
 /// chunk-parallel; emitted pair order is chunk-stitched (the existential
 /// join sorts + dedups afterwards, so order before that sort is free).
-void DictJoinEmitPairs(DocumentManager& mgr, const ExecFlags& fl,
+/// Returns false without emitting anything when either side's codes are
+/// unavailable (dictionary exhausted) — the caller must run its legacy
+/// item-probe path instead.
+bool DictJoinEmitPairs(DocumentManager& mgr, const ExecFlags& fl,
                        const Table& lhs, size_t lci, const Column& lkey,
                        const Table& rhs, size_t rci, const Column& rkey,
                        std::vector<std::pair<int64_t, int64_t>>* pairs);

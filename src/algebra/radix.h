@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/thread_pool.h"
 
 namespace mxq {
@@ -46,13 +47,19 @@ class RadixHashTable {
   static constexpr int kMaxBits = 12;
 
   RadixHashTable() = default;
-  explicit RadixHashTable(std::span<const uint64_t> keys, int threads = 1) {
-    Build(keys, threads);
+  /// `cancel` (optional) is polled between build phases: a cancelled build
+  /// finishes as a valid *empty* table, so subsequent probes are cheap
+  /// no-ops — the caller's evaluator discards the truncated join result
+  /// via the governance Status check (docs/robustness.md).
+  explicit RadixHashTable(std::span<const uint64_t> keys, int threads = 1,
+                          const ExecContext* cancel = nullptr) {
+    Build(keys, threads, cancel);
   }
-  explicit RadixHashTable(std::span<const int64_t> keys, int threads = 1) {
+  explicit RadixHashTable(std::span<const int64_t> keys, int threads = 1,
+                          const ExecContext* cancel = nullptr) {
     // Signed/unsigned variants of the same width may alias.
     Build({reinterpret_cast<const uint64_t*>(keys.data()), keys.size()},
-          threads);
+          threads, cancel);
   }
 
   size_t partitions() const { return keys_.empty() ? 0 : part_cap_.size(); }
@@ -92,9 +99,11 @@ class RadixHashTable {
     }
   }
 
-  void Build(std::span<const uint64_t> keys, int threads) {
+  void Build(std::span<const uint64_t> keys, int threads,
+             const ExecContext* cancel = nullptr) {
     const size_t n = keys.size();
     if (n == 0) return;
+    if (cancel != nullptr && cancel->StopRequested()) return;
     // Entries, rows, and the kNone sentinel are 32-bit; larger builds must
     // fail loudly, not truncate.
     assert(n < kNone);
@@ -133,6 +142,11 @@ class RadixHashTable {
       }
     }
 
+    // Cancellation checkpoint between build phases: bail as a valid empty
+    // table (the phases themselves are bounded parallel sweeps, so the
+    // added latency is one phase, not the whole build).
+    if (cancel != nullptr && cancel->StopRequested()) return;
+
     // Pass 2: scatter (key, row) clustered by partition. Iterating the
     // input forward while the cursor decrements from the chunk's end
     // leaves each partition in *descending* row order; head-insertion below
@@ -147,6 +161,13 @@ class RadixHashTable {
         rows_[pos] = static_cast<uint32_t>(i);
       }
     });
+
+    if (cancel != nullptr && cancel->StopRequested()) {
+      // Scattered but untabled state would be inconsistent; reset to empty.
+      keys_.clear();
+      rows_.clear();
+      return;
+    }
 
     // Per-partition flat tables over one arena, 2x-oversized power of two.
     part_cap_.resize(np);

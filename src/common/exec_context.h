@@ -1,0 +1,197 @@
+// Per-execution resource governance: cooperative cancellation, deadlines,
+// and memory accounting (docs/robustness.md).
+//
+// An ExecContext is owned by one Execute/ExecuteCursor call and threaded
+// through the evaluator and kernels as a non-owning pointer on
+// alg::ExecFlags. Kernels poll StopRequested() at morsel granularity
+// (every few thousand rows) and bail out with truncated results; the
+// evaluator then surfaces the typed Status from Check(). All state is
+// atomic, so worker threads inside a parallel kernel may poll the same
+// context without synchronization.
+//
+// Cancellation fans in from three sources:
+//   - ExecContext::Cancel()            one execution (QueryResult/cursor)
+//   - CancelGroup::CancelAll()         every execution watching the group
+//     (one group per Session, one per engine). Group cancellation is
+//     epoch-based: the context snapshots each group's epoch at start and
+//     treats any later bump as a cancel, so a group cancel never leaks
+//     into executions started afterwards.
+//   - deadline expiry (steady_clock)
+
+#ifndef MXQ_COMMON_EXEC_CONTEXT_H_
+#define MXQ_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace mxq {
+
+/// \brief Bytes-live / bytes-peak accounting for one execution.
+///
+/// Charging is soft: Charge() never fails inline (kernels keep their
+/// unconditional allocation pattern); exceeding the budget sets a sticky
+/// flag that the next cancellation checkpoint converts into
+/// kResourceExhausted. Overshoot is bounded by one allocation plus one
+/// checkpoint interval.
+class MemAccount {
+ public:
+  void set_budget(int64_t bytes) { budget_ = bytes; }
+  int64_t budget() const { return budget_; }
+
+  void Charge(int64_t bytes) {
+    const int64_t live = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peak_.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+    }
+    if (budget_ > 0 && live > budget_) over_.store(true, std::memory_order_relaxed);
+  }
+  void Release(int64_t bytes) { live_.fetch_sub(bytes, std::memory_order_relaxed); }
+
+  /// Fault hook: behave as if an allocation failed / the budget tripped.
+  void ForceOver() { over_.store(true, std::memory_order_relaxed); }
+
+  bool over_budget() const { return over_.load(std::memory_order_relaxed); }
+  int64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> live_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<bool> over_{false};
+  int64_t budget_ = 0;  // 0 = unlimited; set before execution starts
+};
+
+/// \brief Broadcast cancellation: Session::CancelAll / XQueryEngine::CancelAll.
+class CancelGroup {
+ public:
+  void CancelAll() { epoch_.fetch_add(1, std::memory_order_release); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+};
+
+class ExecContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecContext() : mem_(std::make_shared<MemAccount>()) {}
+
+  // -- configuration (single-threaded, before execution starts) --
+  void set_deadline(Clock::time_point tp) { deadline_ = tp; has_deadline_ = true; }
+  void set_memory_budget(int64_t bytes) { mem_->set_budget(bytes); }
+  /// Watch a group: a CancelAll() on it after this call cancels us.
+  void Watch(const CancelGroup* g) {
+    if (g == nullptr || n_groups_ >= kMaxGroups) return;
+    groups_[n_groups_] = g;
+    epochs_[n_groups_] = g->epoch();
+    ++n_groups_;
+  }
+
+  // -- control plane (any thread) --
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // -- data plane (polled by kernels at morsel granularity) --
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+  const std::shared_ptr<MemAccount>& mem() const { return mem_; }
+
+  bool StopRequested() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (mem_->over_budget()) return true;
+    for (int i = 0; i < n_groups_; ++i)
+      if (groups_[i]->epoch() != epochs_[i]) return true;
+    // Kernel-loop polls are the hottest call site: check the clock rarely
+    // here (cancel/budget above stay every-poll responsive); the per-
+    // operator Check() reads it 8x more often.
+    return DeadlinePassed(63);
+  }
+
+  /// Typed status for the stop reason; OK while nothing has fired.
+  /// Precedence: explicit cancel > budget > deadline, so a query cancelled
+  /// moments before its deadline reports kCancelled deterministically.
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("execution cancelled");
+    }
+    for (int i = 0; i < n_groups_; ++i) {
+      if (groups_[i]->epoch() != epochs_[i]) {
+        return Status::Cancelled("execution cancelled (group)");
+      }
+    }
+    if (mem_->over_budget()) {
+      return Status::ResourceExhausted(
+          "memory budget exceeded (budget " + std::to_string(mem_->budget()) +
+          " bytes, peak " + std::to_string(mem_->peak_bytes()) + " bytes)");
+    }
+    if (DeadlinePassed(7)) {
+      return Status::DeadlineExceeded("deadline exceeded during execution");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxGroups = 2;  // session group + engine group
+
+  /// Deadline test with throttled clock reads: a steady_clock read is a
+  /// ~25ns vDSO call, and checkpoints fire per operator *and* per morsel —
+  /// reading the clock on every poll is what pushes governed overhead past
+  /// its budget on short queries. Expiry is sticky, and one in every
+  /// `mask`+1 polls reads the clock, so detection lags by at most `mask`
+  /// checkpoints at that call site.
+  bool DeadlinePassed(uint32_t mask) const {
+    if (!has_deadline_) return false;
+    if (deadline_hit_.load(std::memory_order_relaxed)) return true;
+    if ((polls_.fetch_add(1, std::memory_order_relaxed) & mask) != 0)
+      return false;
+    if (Clock::now() >= deadline_) {
+      deadline_hit_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::shared_ptr<MemAccount> mem_;
+  const CancelGroup* groups_[kMaxGroups] = {nullptr, nullptr};
+  uint64_t epochs_[kMaxGroups] = {0, 0};
+  int n_groups_ = 0;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  mutable std::atomic<bool> deadline_hit_{false};
+  mutable std::atomic<uint32_t> polls_{0};
+};
+
+/// Thread-local current context, installed by the evaluator for the span of
+/// one execution. Allocation seams (storage/column.h) and the fault harness
+/// (common/fault.h) reach it without plumbing a parameter through every
+/// constructor. Worker-pool threads see null: parallel kernels charge and
+/// poll through the explicit ExecFlags pointer instead.
+inline ExecContext*& CurrentExecContextSlot() {
+  thread_local ExecContext* ctx = nullptr;
+  return ctx;
+}
+inline ExecContext* CurrentExecContext() { return CurrentExecContextSlot(); }
+
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(ExecContext* ctx)
+      : prev_(CurrentExecContextSlot()) {
+    CurrentExecContextSlot() = ctx;
+  }
+  ~ScopedExecContext() { CurrentExecContextSlot() = prev_; }
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  ExecContext* prev_;
+};
+
+}  // namespace mxq
+
+#endif  // MXQ_COMMON_EXEC_CONTEXT_H_

@@ -1,0 +1,87 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/exec_context.h"
+
+namespace mxq {
+namespace fault {
+
+namespace {
+
+struct State {
+  std::mutex mu;
+  std::string point;
+  Kind kind = Kind::kNone;
+  Options opts;
+  int64_t hits = 0;        // times the armed point was reached
+  int64_t injections = 0;  // times it actually fired
+};
+
+State& GetState() {
+  static State* s = new State();  // leaked: fault state outlives all tests
+  return *s;
+}
+
+}  // namespace
+
+void Arm(const std::string& point, Kind kind, Options opts) {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.point = point;
+  s.kind = kind;
+  s.opts = opts;
+  s.hits = 0;
+  s.injections = 0;
+  ArmedFlag().store(kind != Kind::kNone, std::memory_order_release);
+}
+
+void Disarm() {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.kind = Kind::kNone;
+  s.point.clear();
+  ArmedFlag().store(false, std::memory_order_release);
+}
+
+int64_t InjectionCount() {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.injections;
+}
+
+void HitSlow(const char* point) {
+  State& s = GetState();
+  Kind kind = Kind::kNone;
+  int delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.kind == Kind::kNone || s.point != point) return;
+    ++s.hits;
+    const bool fire = s.opts.every ? s.hits >= s.opts.nth : s.hits == s.opts.nth;
+    if (!fire) return;
+    ++s.injections;
+    kind = s.kind;
+    delay_us = s.opts.delay_us;
+  }
+  switch (kind) {
+    case Kind::kCancel:
+      if (ExecContext* ctx = CurrentExecContext()) ctx->Cancel();
+      break;
+    case Kind::kMemExhaust:
+      if (ExecContext* ctx = CurrentExecContext()) ctx->mem()->ForceOver();
+      break;
+    case Kind::kDelay:
+      // Sleep outside the lock so concurrent executions hitting other
+      // points are not serialized behind the injected latency.
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      break;
+    case Kind::kNone:
+      break;
+  }
+}
+
+}  // namespace fault
+}  // namespace mxq

@@ -1,0 +1,79 @@
+// Fault-injection harness (docs/robustness.md): named fault points at
+// kernel boundaries let tests inject allocation failures, forced
+// cancellations, and delays without touching production control flow.
+//
+// A fault point is one line at a kernel boundary:
+//
+//   MXQ_FAULT_POINT("join.build");
+//
+// When nothing is armed this is a single relaxed atomic load — cheap
+// enough to keep compiled into release builds (the governance overhead
+// budget is ≤3%, and points sit at operator/chunk granularity, not per
+// row). Tests arm one fault at a time:
+//
+//   fault::Arm("join.build", fault::Kind::kCancel);          // 1st hit
+//   fault::Arm("eval.op", fault::Kind::kDelay, {.every = true,
+//                                               .delay_us = 2000});
+//   ... run query, expect typed Status ...
+//   fault::Disarm();
+//
+// Injection acts on the thread-local CurrentExecContext(): kCancel flips
+// its cancel flag, kMemExhaust trips its memory account (as if an
+// allocation had blown the budget). Points reached outside an execution
+// (or on pool worker threads, which do not install the TLS context) still
+// count hits but inject nothing except delays.
+
+#ifndef MXQ_COMMON_FAULT_H_
+#define MXQ_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mxq {
+namespace fault {
+
+enum class Kind : uint8_t {
+  kNone = 0,
+  kCancel,      // ExecContext::Cancel() on the current execution
+  kMemExhaust,  // MemAccount::ForceOver() — simulated allocation failure
+  kDelay,       // sleep delay_us (latency / race-window widening)
+};
+
+struct Options {
+  int nth = 1;          // trigger on the nth hit of the point (1-based)
+  bool every = false;   // trigger on every hit from nth onwards
+  int delay_us = 1000;  // kDelay only
+};
+
+inline std::atomic<bool>& ArmedFlag() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+/// True iff some fault is armed; the fast path read by every point.
+inline bool Enabled() { return ArmedFlag().load(std::memory_order_relaxed); }
+
+/// Arm a fault at `point`. Replaces any previously armed fault (the
+/// harness intentionally supports one fault at a time: each injected
+/// failure should be attributable). Resets the hit counter.
+void Arm(const std::string& point, Kind kind, Options opts = {});
+void Disarm();
+
+/// Total number of times the armed point fired an injection (not just was
+/// reached). Tests use this to tell "fault hit" from "point not on this
+/// query's path".
+int64_t InjectionCount();
+
+/// Slow path: called only when armed.
+void HitSlow(const char* point);
+
+}  // namespace fault
+}  // namespace mxq
+
+#define MXQ_FAULT_POINT(name)                          \
+  do {                                                 \
+    if (::mxq::fault::Enabled()) ::mxq::fault::HitSlow(name); \
+  } while (0)
+
+#endif  // MXQ_COMMON_FAULT_H_

@@ -55,6 +55,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -119,6 +120,11 @@ class ItemDict {
   using Code = int64_t;
 
   static constexpr Code kEmptyCode = 0;
+  /// Returned by Encode when the entry table is exhausted (tag 0xFF is
+  /// never produced by a successful encode). Callers must not store it in
+  /// a column: they fall back to the uncoded item representation instead
+  /// (see AppendAtomize / DictJoinCodes in algebra/ops.cc).
+  static constexpr Code kInvalidCode = -1;
 
   ItemDict() : chunks_(kMaxChunks) {}
   ItemDict(const ItemDict&) = delete;
@@ -157,6 +163,7 @@ class ItemDict {
   /// and payload preserved — serialization of a decoded column is
   /// bit-identical to the uncoded column's).
   Item Decode(Code c) const {
+    assert(c != kInvalidCode);
     switch (Tag(c)) {
       case kTagEmpty: return Item();
       case kTagBool: return Item::Bool(Payload(c) != 0);
@@ -201,6 +208,17 @@ class ItemDict {
   /// Dictionary entries allocated so far (inline codes never allocate).
   size_t entries() const { return count_.load(std::memory_order_acquire); }
 
+  /// True once any Encode has failed for lack of entry space. Sticky: the
+  /// dictionary is append-only, so once full it stays full. Kernels use
+  /// this as a cheap pre-check to skip doomed encode passes.
+  bool exhausted() const { return exhausted_.load(std::memory_order_relaxed); }
+
+  /// Shrinks the entry capacity so tests can overflow the dictionary
+  /// without interning 67M values. Call before any entry-class encodes.
+  void set_max_entries_for_test(size_t n) {
+    max_entries_ = n < kMaxEntries ? static_cast<uint32_t>(n) : kMaxEntries;
+  }
+
  private:
   // Tags in the top byte of the code.
   static constexpr uint64_t kTagShift = 56;
@@ -215,6 +233,8 @@ class ItemDict {
   static constexpr int kChunkBits = 12;  // 4096 entries per chunk
   static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
   static constexpr size_t kMaxChunks = size_t{1} << 14;  // 67M entries
+  static constexpr uint32_t kMaxEntries =
+      static_cast<uint32_t>(kMaxChunks * kChunkSize);
 
   struct Entry {
     Item value;     // canonical atomic item (kind preserved)
@@ -317,13 +337,14 @@ class ItemDict {
     auto it = index_.find(key);  // raced with another encoder?
     if (it != index_.end()) return MakeCode(kTagEntry, it->second);
     const uint32_t idx = count_.load(std::memory_order_relaxed);
-    if ((idx >> kChunkBits) >= kMaxChunks) {
-      // Fail loudly: the dictionary is append-only for the manager's
-      // lifetime, and indexing past the fixed chunk table would corrupt
-      // memory silently. 67M distinct atomized values in one manager
-      // means the deployment needs a pruning/regeneration story first.
-      std::fprintf(stderr, "mxq: ItemDict entry capacity exhausted\n");
-      std::abort();
+    if (idx >= max_entries_) {
+      // Entry space exhausted (67M distinct atomized values, or a tiny
+      // test cap). Indexing past the fixed chunk table would corrupt
+      // memory, so refuse the encode: callers see kInvalidCode and fall
+      // back to the uncoded item paths — the query still answers
+      // correctly, just without dictionary compaction.
+      exhausted_.store(true, std::memory_order_relaxed);
+      return kInvalidCode;
     }
     Entry* chunk = chunks_[idx >> kChunkBits].load(std::memory_order_relaxed);
     if (chunk == nullptr) {
@@ -340,6 +361,8 @@ class ItemDict {
   std::unordered_map<EntryKey, uint32_t, EntryKeyHash> index_;
   std::vector<std::atomic<Entry*>> chunks_;
   std::atomic<uint32_t> count_{0};
+  std::atomic<bool> exhausted_{false};
+  uint32_t max_entries_ = kMaxEntries;  // lowered only by tests
 };
 
 }  // namespace mxq

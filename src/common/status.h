@@ -23,6 +23,11 @@ enum class StatusCode : uint8_t {
   kUnsupported,      // feature outside the implemented dialect
   kOutOfRange,       // cardinality violations (zero-or-one etc.)
   kInternal,
+  // Resource governance (docs/robustness.md): admission shedding, budget
+  // violations, cooperative cancellation.
+  kCancelled,          // execution cancelled by the caller
+  kDeadlineExceeded,   // request deadline expired (queued or executing)
+  kResourceExhausted,  // admission queue full / memory budget exceeded
 };
 
 /// \brief Outcome of a fallible operation.
@@ -55,6 +60,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -78,6 +92,9 @@ class Status {
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>

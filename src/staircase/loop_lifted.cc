@@ -22,6 +22,27 @@ inline void Pruned(ScanStats* stats, int64_t n = 1) {
   if (stats) stats->contexts_pruned += n;
 }
 
+/// Amortized cancellation checkpoint for the scan loops
+/// (docs/robustness.md): one relaxed-atomic poll every 4 Ki ticks. A true
+/// result means "stop scanning now" — the helper's truncated output is
+/// converted into a typed Status by the evaluator's governance checkpoint.
+class CancelTick {
+ public:
+  explicit CancelTick(const ExecContext* ctx) : ctx_(ctx) {}
+  bool Stop() {
+    if (stopped_) return true;  // sticky: nested loops all unwind
+    if (ctx_ == nullptr) return false;
+    if ((++n_ & 4095) != 0) return false;
+    stopped_ = ctx_->StopRequested();
+    return stopped_;
+  }
+
+ private:
+  const ExecContext* ctx_;
+  uint64_t n_ = 0;
+  bool stopped_ = false;
+};
+
 using Pairs = std::vector<std::pair<int64_t, int64_t>>;  // (node, iter)
 
 void SortUniqueInto(Pairs* acc, LLStepResult* out) {
@@ -48,7 +69,8 @@ void SortUniqueInto(Pairs* acc, LLStepResult* out) {
 
 void LLChild(const DocumentContainer& doc, std::span<const int64_t> iters,
              std::span<const int64_t> pres, const NodeTest& test,
-             ScanStats* stats, LLStepResult* out) {
+             ScanStats* stats, const ExecContext* cancel, LLStepResult* out) {
+  CancelTick tick(cancel);
   struct Active {
     int64_t eos;      // end of the context's subtree range
     int64_t nxt_chld; // next candidate child slot
@@ -74,6 +96,7 @@ void LLChild(const DocumentContainer& doc, std::span<const int64_t> iters,
     Active& top = active.back();
     int64_t v = top.nxt_chld;
     while (v <= eos_arg) {
+      if (tick.Stop()) break;
       Touch(stats);
       if (doc.IsUnused(v)) {
         v += doc.SizeAt(v) + 1;
@@ -91,6 +114,7 @@ void LLChild(const DocumentContainer& doc, std::span<const int64_t> iters,
   };
 
   while (nxt_ctx < n) {
+    if (tick.Stop()) return;
     if (active.empty()) {
       push_ctx();                                    // 1©
     } else if (active.back().eos >= pres[nxt_ctx]) {
@@ -102,6 +126,7 @@ void LLChild(const DocumentContainer& doc, std::span<const int64_t> iters,
     }
   }
   while (!active.empty()) {
+    if (tick.Stop()) return;
     inner_loop_child(active.back().eos);             // 6©
     active.pop_back();                               // 7©
   }
@@ -117,7 +142,9 @@ void LLChild(const DocumentContainer& doc, std::span<const int64_t> iters,
 // is simply "all active iters".
 void LLDescendant(const DocumentContainer& doc, std::span<const int64_t> iters,
                   std::span<const int64_t> pres, const NodeTest& test,
-                  bool or_self, ScanStats* stats, LLStepResult* out) {
+                  bool or_self, ScanStats* stats, const ExecContext* cancel,
+                  LLStepResult* out) {
+  CancelTick tick(cancel);
   struct Entry {
     int64_t eos;
     std::vector<int64_t> added;  // iters this entry activated
@@ -136,6 +163,7 @@ void LLDescendant(const DocumentContainer& doc, std::span<const int64_t> iters,
   };
 
   while (true) {
+    if (tick.Stop()) break;
     if (stack.empty()) {
       if (i >= n) break;
       p = pres[i];  // skipping: jump straight to the next context node
@@ -313,7 +341,9 @@ void LLSiblings(const DocumentContainer& doc, std::span<const int64_t> iters,
 
 void LLFollowing(const DocumentContainer& doc, std::span<const int64_t> iters,
                  std::span<const int64_t> pres, const NodeTest& test,
-                 ScanStats* stats, LLStepResult* out) {
+                 ScanStats* stats, const ExecContext* cancel,
+                 LLStepResult* out) {
+  CancelTick tick(cancel);
   auto frags = FragmentRanges(doc);
   size_t i = 0;
   const size_t n = pres.size();
@@ -340,6 +370,7 @@ void LLFollowing(const DocumentContainer& doc, std::span<const int64_t> iters,
     std::set<int64_t> act;
     size_t e_idx = 0;
     for (int64_t p = ev[0].first + 1; p <= end;) {
+      if (tick.Stop()) return;
       while (e_idx < ev.size() && ev[e_idx].first < p)
         act.insert(ev[e_idx++].second);
       Touch(stats);
@@ -359,7 +390,9 @@ void LLFollowing(const DocumentContainer& doc, std::span<const int64_t> iters,
 
 void LLPreceding(const DocumentContainer& doc, std::span<const int64_t> iters,
                  std::span<const int64_t> pres, const NodeTest& test,
-                 ScanStats* stats, LLStepResult* out) {
+                 ScanStats* stats, const ExecContext* cancel,
+                 LLStepResult* out) {
+  CancelTick tick(cancel);
   auto frags = FragmentRanges(doc);
   size_t i = 0;
   const size_t n = pres.size();
@@ -386,6 +419,7 @@ void LLPreceding(const DocumentContainer& doc, std::span<const int64_t> iters,
     int64_t max_s = sv.back().first;
     size_t head = 0;
     for (int64_t p = root; p < max_s; ++p) {
+      if (tick.Stop()) return;
       while (head < sv.size() && sv[head].first <= p) ++head;
       Touch(stats);
       if (doc.IsUnused(p)) {
@@ -453,19 +487,20 @@ void LLAttribute(const DocumentContainer& doc, std::span<const int64_t> iters,
 LLStepResult LoopLiftedStaircase(const DocumentContainer& doc, Axis axis,
                                  std::span<const int64_t> ctx_iter,
                                  std::span<const int64_t> ctx_pre,
-                                 const NodeTest& test, ScanStats* stats) {
+                                 const NodeTest& test, ScanStats* stats,
+                                 const ExecContext* cancel) {
   LLStepResult out;
   if (ctx_pre.empty()) return out;
   assert(ctx_iter.size() == ctx_pre.size());
   switch (axis) {
     case Axis::kChild:
-      LLChild(doc, ctx_iter, ctx_pre, test, stats, &out);
+      LLChild(doc, ctx_iter, ctx_pre, test, stats, cancel, &out);
       break;
     case Axis::kDescendant:
-      LLDescendant(doc, ctx_iter, ctx_pre, test, false, stats, &out);
+      LLDescendant(doc, ctx_iter, ctx_pre, test, false, stats, cancel, &out);
       break;
     case Axis::kDescendantOrSelf:
-      LLDescendant(doc, ctx_iter, ctx_pre, test, true, stats, &out);
+      LLDescendant(doc, ctx_iter, ctx_pre, test, true, stats, cancel, &out);
       break;
     case Axis::kAncestor:
       LLAncestor(doc, ctx_iter, ctx_pre, test, false, stats, &out);
@@ -477,10 +512,10 @@ LLStepResult LoopLiftedStaircase(const DocumentContainer& doc, Axis axis,
       LLParent(doc, ctx_iter, ctx_pre, test, stats, &out);
       break;
     case Axis::kFollowing:
-      LLFollowing(doc, ctx_iter, ctx_pre, test, stats, &out);
+      LLFollowing(doc, ctx_iter, ctx_pre, test, stats, cancel, &out);
       break;
     case Axis::kPreceding:
-      LLPreceding(doc, ctx_iter, ctx_pre, test, stats, &out);
+      LLPreceding(doc, ctx_iter, ctx_pre, test, stats, cancel, &out);
       break;
     case Axis::kFollowingSibling:
       LLSiblings(doc, ctx_iter, ctx_pre, test, true, stats, &out);
@@ -502,7 +537,8 @@ LLStepResult LoopLiftedStaircase(const DocumentContainer& doc, Axis axis,
 LLStepResult IterativeStaircase(const DocumentContainer& doc, Axis axis,
                                 std::span<const int64_t> ctx_iter,
                                 std::span<const int64_t> ctx_pre,
-                                const NodeTest& test, ScanStats* stats) {
+                                const NodeTest& test, ScanStats* stats,
+                                const ExecContext* cancel) {
   // Regroup the (pre, iter)-sorted input by iteration: per iter the pres are
   // already in document order.
   std::unordered_map<int64_t, std::vector<int64_t>> per_iter;
@@ -518,6 +554,9 @@ LLStepResult IterativeStaircase(const DocumentContainer& doc, Axis axis,
 
   Pairs acc;
   for (int64_t it : iter_order) {
+    // Each invocation is a full document pass, so the per-iteration poll
+    // here is the natural checkpoint granularity for this mode.
+    if (cancel != nullptr && cancel->StopRequested()) break;
     // One full staircase-join invocation per iteration — the repetitive
     // scans Figure 12 quantifies.
     std::vector<int64_t> res =
@@ -545,9 +584,11 @@ LLStepResult LoopLiftedStaircaseCandidates(const DocumentContainer& doc,
                                            std::span<const int64_t> ctx_iter,
                                            std::span<const int64_t> ctx_pre,
                                            std::span<const int64_t> candidates,
-                                           ScanStats* stats) {
+                                           ScanStats* stats,
+                                           const ExecContext* cancel) {
   LLStepResult out;
   if (ctx_pre.empty() || candidates.empty()) return out;
+  CancelTick tick(cancel);
   const size_t n = ctx_pre.size();
 
   if (axis == Axis::kChild) {
@@ -556,6 +597,7 @@ LLStepResult LoopLiftedStaircaseCandidates(const DocumentContainer& doc,
     Pairs acc;
     size_t i = 0;
     while (i < n) {
+      if (tick.Stop()) break;
       int64_t c = ctx_pre[i];
       size_t fst = i;
       while (i < n && ctx_pre[i] == c) ++i;
@@ -611,6 +653,7 @@ LLStepResult LoopLiftedStaircaseCandidates(const DocumentContainer& doc,
   };
 
   while (j < candidates.size()) {
+    if (tick.Stop()) break;
     int64_t v = candidates[j];
     // or-self counts a context that is itself a candidate; plain descendant
     // activates contexts at v only after emitting v.

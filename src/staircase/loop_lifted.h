@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "staircase/axis.h"
 
 namespace mxq {
@@ -37,11 +38,17 @@ struct LLStepResult {
 };
 
 /// \brief Loop-lifted staircase join over all axes.
+///
+/// `cancel` (optional) is polled every few thousand touched slots
+/// (docs/robustness.md): a stop request ends the scan early with a
+/// truncated result, which the caller's governance checkpoint then
+/// converts into a typed Status.
 LLStepResult LoopLiftedStaircase(const DocumentContainer& doc, Axis axis,
                                  std::span<const int64_t> ctx_iter,
                                  std::span<const int64_t> ctx_pre,
                                  const NodeTest& test,
-                                 ScanStats* stats = nullptr);
+                                 ScanStats* stats = nullptr,
+                                 const ExecContext* cancel = nullptr);
 
 /// \brief Predicate-pushdown variant (paper §3.2): results are restricted to
 /// a candidate node list (document order), typically from the element-name
@@ -52,7 +59,8 @@ LLStepResult LoopLiftedStaircaseCandidates(const DocumentContainer& doc,
                                            std::span<const int64_t> ctx_iter,
                                            std::span<const int64_t> ctx_pre,
                                            std::span<const int64_t> candidates,
-                                           ScanStats* stats = nullptr);
+                                           ScanStats* stats = nullptr,
+                                           const ExecContext* cancel = nullptr);
 
 /// \brief The "iterative" reference strategy of Figure 12: plain staircase
 /// join invoked once per iteration (one pass over the document per iter).
@@ -60,7 +68,8 @@ LLStepResult IterativeStaircase(const DocumentContainer& doc, Axis axis,
                                 std::span<const int64_t> ctx_iter,
                                 std::span<const int64_t> ctx_pre,
                                 const NodeTest& test,
-                                ScanStats* stats = nullptr);
+                                ScanStats* stats = nullptr,
+                                const ExecContext* cancel = nullptr);
 
 }  // namespace mxq
 

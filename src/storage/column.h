@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/item.h"
 #include "common/item_dict.h"
 #include "common/thread_pool.h"
@@ -32,14 +33,25 @@ class Column {
  public:
   explicit Column(ColType type) : type_(type) {}
 
+  // Copies never carry the memory-account lease of the source (each column
+  // accounts for its own payload); the destructor returns the charge.
+  Column(const Column& o)
+      : type_(o.type_), i64_(o.i64_), items_(o.items_), dict_(o.dict_) {}
+  Column& operator=(const Column&) = delete;
+  ~Column() {
+    if (acct_) acct_->Release(charged_);
+  }
+
   static std::shared_ptr<Column> MakeI64(std::vector<int64_t> v = {}) {
     auto c = std::make_shared<Column>(ColType::kI64);
     c->i64_ = std::move(v);
+    c->ChargeAlloc();
     return c;
   }
   static std::shared_ptr<Column> MakeItem(std::vector<Item> v = {}) {
     auto c = std::make_shared<Column>(ColType::kItem);
     c->items_ = std::move(v);
+    c->ChargeAlloc();
     return c;
   }
   /// Dictionary-coded item column: 8-byte ItemDict codes. `dict` must
@@ -50,6 +62,7 @@ class Column {
     auto c = std::make_shared<Column>(ColType::kDict);
     c->i64_ = std::move(codes);
     c->dict_ = dict;
+    c->ChargeAlloc();
     return c;
   }
 
@@ -120,15 +133,38 @@ class Column {
     c->i64_ = i64_;
     c->items_ = items_;
     c->dict_ = dict_;
+    c->ChargeAlloc();
     return c;
   }
 
  private:
+  /// Memory-governance seam (docs/robustness.md): columns published during
+  /// an execution charge their payload bytes to that execution's
+  /// MemAccount and release them on destruction. Charging is soft — it
+  /// never fails here; an over-budget account trips the next cancellation
+  /// checkpoint. Columns built outside an execution (document shredding,
+  /// tests) see no thread-local context and stay unaccounted. The dict
+  /// columns' lazily memoized decode (const items()) is deliberately not
+  /// charged: it is bounded by the column size already accounted.
+  void ChargeAlloc() {
+    ExecContext* ctx = CurrentExecContext();
+    if (ctx == nullptr) return;
+    const int64_t bytes =
+        static_cast<int64_t>(i64_.size() * sizeof(int64_t) +
+                             items_.size() * sizeof(Item));
+    if (bytes == 0) return;
+    acct_ = ctx->mem();
+    charged_ = bytes;
+    acct_->Charge(bytes);
+  }
+
   ColType type_;
   std::vector<int64_t> i64_;  // kI64 payloads, or kDict codes
   // kItem payloads; for kDict, the memoized decode (see const items()).
   mutable std::vector<Item> items_;
   const ItemDict* dict_ = nullptr;  // kDict only
+  std::shared_ptr<MemAccount> acct_;  // null when unaccounted
+  int64_t charged_ = 0;
 };
 
 using ColumnPtr = std::shared_ptr<Column>;

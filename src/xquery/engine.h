@@ -26,6 +26,7 @@
 #ifndef MXQ_XQUERY_ENGINE_H_
 #define MXQ_XQUERY_ENGINE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -36,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "storage/document.h"
 #include "xquery/plan.h"
@@ -68,6 +70,20 @@ struct EvalOptions {
   StepMode desc_mode = StepMode::kLoopLifted;  // descendant & other axes
   bool nametest_pushdown = false;  // §3.2 candidate lists from name indexes
   bool validate_props = false;     // re-verify all claimed props (tests)
+
+  // ---- resource governance (docs/robustness.md) ---------------------------
+  /// Per-execution deadline in milliseconds (0 = use the engine's
+  /// GovernanceOptions default; both 0 = no deadline). Expiry surfaces as
+  /// kDeadlineExceeded at the next cancellation checkpoint.
+  int64_t deadline_ms = 0;
+  /// Per-execution memory budget in bytes over the columns the execution
+  /// materializes (0 = engine default; both 0 = unlimited). Exceeding it
+  /// surfaces as kResourceExhausted at the next checkpoint — never an abort.
+  int64_t memory_budget_bytes = 0;
+  /// Cancellation scope this execution joins in addition to the engine-wide
+  /// one. Session wires its own group here so Session::CancelAll() reaches
+  /// every execution launched with the session's options.
+  std::shared_ptr<CancelGroup> cancel_group;
 };
 
 /// External-variable bindings by name (each value is an item sequence).
@@ -137,6 +153,15 @@ class QueryResult {
   std::string Serialize(const DocumentManager& mgr) const;
   std::string Serialize() const;  // uses the owning manager
 
+  /// Drops the result sequence and returns the constructed-node space to
+  /// the manager's free pool *now* instead of at destruction. Idempotent.
+  /// Items previously copied out that reference constructed nodes become
+  /// invalid.
+  void Cancel() {
+    items.clear();
+    lease_ = TransientLease();
+  }
+
  private:
   friend class XQueryEngine;
 
@@ -168,6 +193,15 @@ class ResultCursor {
   const ScanStats& scan_stats() const { return scan_; }
   const alg::ExecStats& exec_stats() const { return exec_; }
 
+  /// Abandons the remaining batches: drops the result relation and returns
+  /// the constructed-node space immediately. done() becomes true. Idempotent.
+  void Cancel() {
+    table_.reset();
+    item_col_ = -1;
+    row_ = 0;
+    lease_ = TransientLease();
+  }
+
  private:
   friend class XQueryEngine;
 
@@ -190,6 +224,42 @@ struct PlanCacheStats {
   int64_t evictions = 0;
   int64_t size = 0;      // entries currently cached
   int64_t capacity = 0;  // configured bound
+};
+
+/// \brief Admission-control and default resource budgets for the serving
+/// path (docs/robustness.md). Installed via XQueryEngine::set_governance;
+/// all limits are off by default so the zero-config engine behaves exactly
+/// as before.
+struct GovernanceOptions {
+  /// Maximum concurrently executing queries (0 = unlimited, no queueing).
+  int max_in_flight = 0;
+  /// Maximum requests waiting for an execution slot; arrivals beyond this
+  /// are shed immediately with kResourceExhausted.
+  int max_queue = 16;
+  /// Default per-execution deadline in ms (0 = none). EvalOptions::
+  /// deadline_ms overrides it per call.
+  int64_t default_deadline_ms = 0;
+  /// Default per-execution memory budget in bytes (0 = unlimited).
+  /// EvalOptions::memory_budget_bytes overrides it per call.
+  int64_t default_memory_budget_bytes = 0;
+};
+
+/// Admission/outcome counters (monotonic over the engine's lifetime).
+/// Every Execute/ExecuteCursor call lands in exactly one of: shed_*,
+/// or admitted and then one of the completion counters.
+struct GovernanceStats {
+  int64_t requests = 0;            // Execute/ExecuteCursor calls seen
+  int64_t admitted = 0;            // granted an execution slot
+  int64_t shed_queue_full = 0;     // rejected: queue at max_queue
+  int64_t shed_deadline = 0;       // deadline expired while queued
+  int64_t shed_cancelled = 0;      // cancelled while queued
+  int64_t completed_ok = 0;
+  int64_t cancelled = 0;           // kCancelled after admission
+  int64_t deadline_exceeded = 0;   // kDeadlineExceeded after admission
+  int64_t resource_exhausted = 0;  // kResourceExhausted after admission
+  int64_t failed_other = 0;        // any other non-OK Status
+  int64_t peak_in_flight = 0;
+  int64_t peak_queued = 0;
 };
 
 class Session;
@@ -240,6 +310,20 @@ class XQueryEngine {
   /// Rebounds the plan cache (0 disables caching); evicts LRU-first.
   void set_plan_cache_capacity(size_t capacity);
 
+  // ---- resource governance (docs/robustness.md) ---------------------------
+
+  /// Installs admission-control limits and default budgets. Thread-safe;
+  /// applies to subsequent Execute/ExecuteCursor calls (and wakes queued
+  /// requests so a raised limit admits them immediately).
+  void set_governance(const GovernanceOptions& g);
+  GovernanceOptions governance() const;
+  GovernanceStats governance_stats() const;
+
+  /// Cancels every in-flight and queued execution on this engine. Each
+  /// observes the request at its next checkpoint (bounded by one morsel)
+  /// and returns kCancelled; the engine keeps serving new queries.
+  void CancelAll();
+
   /// \deprecated Scan statistics of the most recent Execute on this engine.
   /// Racy under concurrency — read QueryResult::scan_stats() instead.
   ScanStats last_scan_stats() const {
@@ -248,12 +332,29 @@ class XQueryEngine {
   }
 
  private:
-  /// Shared execution core: binds params, evaluates the plan into the given
-  /// transient container, and reports the final relation + statistics.
+  friend class Session;  // WakeAdmissionWaiters after a group cancel
+
+  /// Shared execution core: admission, governance context, parameter
+  /// binding, plan evaluation into the given transient container, and the
+  /// final relation + statistics.
   Status ExecuteCommon(const CompiledQuery& q, EvalOptions* opts,
                        const ParamMap* params, DocumentContainer* transient,
                        TablePtr* table, ScanStats* scan,
                        alg::ExecStats* exec);
+  /// Admitted-phase body of ExecuteCommon (slot held by the caller).
+  Status ExecuteAdmitted(const CompiledQuery& q, EvalOptions* opts,
+                         const ParamMap* params, DocumentContainer* transient,
+                         TablePtr* table, ScanStats* scan,
+                         alg::ExecStats* exec, ExecContext* ectx);
+
+  /// Blocks until an execution slot is free (or sheds per GovernanceOptions;
+  /// `ectx` supplies the queue-wait deadline and cancellation).
+  Status Admit(const ExecContext& ectx);
+  void ReleaseAdmission();
+  /// Books the completion Status of an admitted execution.
+  void RecordOutcome(const Status& st);
+  /// Wakes queued admissions so a CancelGroup bump takes effect immediately.
+  void WakeAdmissionWaiters();
 
   DocumentManager* mgr_;
 
@@ -276,6 +377,16 @@ class XQueryEngine {
 
   mutable std::mutex last_scan_mu_;
   ScanStats last_scan_;  // deprecated shim only
+
+  // Resource governance (guarded by gov_mu_; the cancel group is its own
+  // synchronization). in_flight_/queued_ are the live admission state.
+  mutable std::mutex gov_mu_;
+  std::condition_variable gov_cv_;
+  GovernanceOptions gov_opts_;
+  GovernanceStats gov_stats_;
+  int in_flight_ = 0;
+  int queued_ = 0;
+  CancelGroup engine_cancel_group_;
 };
 
 /// \brief Per-caller execution context: parameter bindings + eval options.
@@ -284,7 +395,11 @@ class XQueryEngine {
 /// one caller at a time; any number of sessions use one engine concurrently.
 class Session {
  public:
-  explicit Session(XQueryEngine* engine) : engine_(engine) {}
+  explicit Session(XQueryEngine* engine) : engine_(engine) {
+    // Every execution launched with this session's options joins the
+    // session's cancellation scope (docs/robustness.md).
+    opts_.cancel_group = std::make_shared<CancelGroup>();
+  }
 
   XQueryEngine* engine() const { return engine_; }
   DocumentManager* manager() const { return engine_->manager(); }
@@ -341,6 +456,15 @@ class Session {
     MXQ_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(query, copts));
     MXQ_ASSIGN_OR_RETURN(QueryResult r, Execute(q));
     return r.Serialize(*manager());
+  }
+
+  /// Cancels every execution launched from this session, in-flight or
+  /// queued (callable from any thread — the one Session member that is).
+  /// Each returns kCancelled at its next checkpoint; the session itself
+  /// stays usable for subsequent queries.
+  void CancelAll() {
+    opts_.cancel_group->CancelAll();
+    engine_->WakeAdmissionWaiters();
   }
 
   /// Per-session evaluation options (kernel toggles, thread width, modes).

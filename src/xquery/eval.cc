@@ -10,12 +10,15 @@
 // construction into the execution-owned transient container.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "algebra/radix.h"
 #include "common/counting_sort.h"
+#include "common/exec_context.h"
+#include "common/fault.h"
 #include "staircase/loop_lifted.h"
 #include "xml/serializer.h"
 #include "xquery/engine.h"
@@ -40,6 +43,14 @@ struct Ctx {
 
 Result<TablePtr> Eval(PlanNode* n, Ctx& ctx);
 Status VerifyProps(const DocumentManager& mgr, const Table& t);
+
+// Cancellation checkpoint for the evaluator's serial loops
+// (docs/robustness.md): one relaxed-atomic poll every 4 Ki rows, same
+// cadence as the kernel morsels in algebra/ops.cc.
+constexpr size_t kStopMask = 4095;
+inline bool StopAt(const alg::ExecFlags& fl, size_t i) {
+  return (i & kStopMask) == 0 && fl.stop_requested();
+}
 
 Result<TablePtr> EvalIn(const PlanPtr& p, Ctx& ctx) { return Eval(p.get(), ctx); }
 
@@ -196,6 +207,7 @@ Result<TablePtr> EvalStep(PlanNode* n, Ctx& ctx, const TablePtr& in) {
   size_t i = 0;
   const size_t nrows = in->rows();
   while (i < nrows) {
+    if (ctx.flags->stop_requested()) break;  // per-container checkpoint
     Item first = item_col->GetItem(i);
     if (!first.is_node()) {  // attribute/atomic context rows have no axes
       ++i;
@@ -222,13 +234,13 @@ Result<TablePtr> EvalStep(PlanNode* n, Ctx& ctx, const TablePtr& in) {
     if (pushdown) {
       res = LoopLiftedStaircaseCandidates(doc, n->axis, ctx_iter, ctx_pre,
                                           doc.ElementsNamed(test.qn),
-                                          ctx.scan);
+                                          ctx.scan, ctx.flags->gov);
     } else if (mode == StepMode::kIterative) {
       res = IterativeStaircase(doc, n->axis, ctx_iter, ctx_pre, test,
-                               ctx.scan);
+                               ctx.scan, ctx.flags->gov);
     } else {
       res = LoopLiftedStaircase(doc, n->axis, ctx_iter, ctx_pre, test,
-                                ctx.scan);
+                                ctx.scan, ctx.flags->gov);
     }
     for (size_t k = 0; k < res.node.size(); ++k) {
       out_iter.push_back(res.iter[k]);
@@ -339,7 +351,7 @@ TablePtr EvalExists(Ctx& ctx, const TablePtr& rel, const TablePtr& loop) {
         storage.push_back(rel->I64At(rel_iter, r));
       keys = {storage.data(), storage.size()};
     }
-    alg::RadixHashTable ht(keys, fl.exec_threads());
+    alg::RadixHashTable ht(keys, fl.exec_threads(), fl.gov);
     alg::CountRadixBuild(fl, ht);
     const int chunks = PlanChunks(fl.exec_threads(), loop->rows());
     ParallelChunks(chunks, loop->rows(), [&](int, size_t b, size_t e) {
@@ -385,19 +397,25 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
     // side uses the radix-partitioned flat table of algebra/radix.h when
     // the kernel is enabled.
     pairs.reserve(lhs->rows());
+    // Dictionary-coded value probe: the compile layer atomizes both join
+    // inputs, so with dict_items on their "item" columns are already
+    // 8-byte code columns the join reuses in place. Hash and verify are
+    // lock-free array reads, so the probe — the serial bottleneck of
+    // the XMark join queries until now — fans out across the thread
+    // pool. Pre-sort pair order is irrelevant: the (iter, sid) pairs
+    // are sorted + deduped below either way, so chunked emission stays
+    // bit-identical to the serial probe. Returns false (codes
+    // unavailable, e.g. dictionary overflow) → generic probes below.
+    bool dict_done = false;
     if (ctx.flags->dict_items) {
-      // Dictionary-coded value probe: the compile layer atomizes both join
-      // inputs, so with dict_items on their "item" columns are already
-      // 8-byte code columns the join reuses in place. Hash and verify are
-      // lock-free array reads, so the probe — the serial bottleneck of
-      // the XMark join queries until now — fans out across the thread
-      // pool. Pre-sort pair order is irrelevant: the (iter, sid) pairs
-      // are sorted + deduped below either way, so chunked emission stays
-      // bit-identical to the serial probe.
       const int lvi = lhs->ColumnIndex("item"), rvi = rhs->ColumnIndex("item");
-      alg::DictJoinEmitPairs(mgr, *ctx.flags, *lhs,
-                             static_cast<size_t>(lvi), *li, *rhs,
-                             static_cast<size_t>(rvi), *ri, &pairs);
+      dict_done = alg::DictJoinEmitPairs(mgr, *ctx.flags, *lhs,
+                                         static_cast<size_t>(lvi), *li, *rhs,
+                                         static_cast<size_t>(rvi), *ri,
+                                         &pairs);
+    }
+    if (dict_done) {
+      // pairs emitted above
     } else if (ctx.flags->radix_join) {
       ++stats.radix_joins;
       stats.join_key_bytes += static_cast<int64_t>(
@@ -411,9 +429,11 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
           rhash[r] = HashItem(cmgr, rv->GetItem(r));
       });
       if (hchunks > 1) stats.par_tasks += hchunks;
-      alg::RadixHashTable ht{std::span<const uint64_t>(rhash), threads};
+      alg::RadixHashTable ht{std::span<const uint64_t>(rhash), threads,
+                             ctx.flags->gov};
       alg::CountRadixBuild(*ctx.flags, ht);
       for (size_t l = 0; l < lhs->rows(); ++l) {
+        if (StopAt(*ctx.flags, l)) break;
         Item v = lv->GetItem(l);
         ht.ForEach(HashItem(mgr, v), [&](uint32_t r) {
           if (CompareItems(mgr, v, CmpOp::kEq, rv->GetItem(r)))
@@ -429,6 +449,7 @@ Result<TablePtr> EvalExistJoin(PlanNode* n, Ctx& ctx, const TablePtr& lhs,
       for (size_t r = 0; r < rhs->rows(); ++r)
         ht[HashItem(mgr, rv->GetItem(r))].push_back(r);
       for (size_t l = 0; l < lhs->rows(); ++l) {
+        if (StopAt(*ctx.flags, l)) break;
         Item v = lv->GetItem(l);
         auto it = ht.find(HashItem(mgr, v));
         if (it == ht.end()) continue;
@@ -600,6 +621,14 @@ Result<TablePtr> EvalConstructElem(PlanNode* n, Ctx& ctx,
   std::vector<Item> out_item(loop->rows());
   size_t c = 0;
   for (size_t r = 0; r < loop->rows(); ++r) {
+    // Bail between constructed elements: the transient container stays
+    // internally consistent (every appended subtree is complete), and the
+    // lease returns the whole container regardless.
+    if (StopAt(*ctx.flags, r)) {
+      out_iter.resize(r);
+      out_item.resize(r);
+      break;
+    }
     int64_t it = lc->GetI64(r);
     out_iter[r] = it;
     int32_t frag = tr->next_frag();
@@ -744,6 +773,13 @@ Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
   alg::ExecFlags& fl = *ctx.flags;
   DocumentManager& mgr = *ctx.mgr;
   TablePtr out;
+
+  // Per-operator governance checkpoint (docs/robustness.md): cancellation,
+  // deadline and budget trips surface here as typed Statuses and unwind
+  // through the recursive descent — no operator starts once a stop is
+  // requested. The fault point is the harness's coarsest injection site.
+  MXQ_FAULT_POINT("eval.op");
+  if (fl.gov != nullptr) MXQ_RETURN_IF_ERROR(fl.gov->Check());
 
   switch (n->op) {
     case OpCode::kLiteral:
@@ -920,6 +956,10 @@ Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
       break;
     }
   }
+  // Post-operator checkpoint: a kernel that observed a stop request mid-
+  // morsel returns a truncated (but well-formed) table; convert that into
+  // the typed Status before it can be memoized or validated.
+  if (fl.gov != nullptr) MXQ_RETURN_IF_ERROR(fl.gov->Check());
   if (ctx.opts->validate_props) {
     Status vs = VerifyProps(mgr, *out);
     if (!vs.ok())
@@ -1074,6 +1114,37 @@ Status XQueryEngine::ExecuteCommon(const CompiledQuery& q, EvalOptions* opts,
   EvalOptions local_opts;  // defaults when the caller passes none
   if (!opts) opts = &local_opts;
 
+  // Resource governance (docs/robustness.md): build the execution context
+  // from per-call overrides over engine defaults, join the engine-wide and
+  // session cancel scopes, then pass admission control before any
+  // evaluation work starts.
+  const GovernanceOptions gov = governance();
+  ExecContext ectx;
+  const int64_t deadline_ms =
+      opts->deadline_ms > 0 ? opts->deadline_ms : gov.default_deadline_ms;
+  if (deadline_ms > 0)
+    ectx.set_deadline(ExecContext::Clock::now() +
+                      std::chrono::milliseconds(deadline_ms));
+  const int64_t budget = opts->memory_budget_bytes > 0
+                             ? opts->memory_budget_bytes
+                             : gov.default_memory_budget_bytes;
+  if (budget > 0) ectx.set_memory_budget(budget);
+  ectx.Watch(&engine_cancel_group_);
+  if (opts->cancel_group) ectx.Watch(opts->cancel_group.get());
+
+  MXQ_RETURN_IF_ERROR(Admit(ectx));  // shed outcomes are booked in Admit
+  Status st =
+      ExecuteAdmitted(q, opts, params, transient, table, scan, exec, &ectx);
+  ReleaseAdmission();
+  RecordOutcome(st);
+  return st;
+}
+
+Status XQueryEngine::ExecuteAdmitted(const CompiledQuery& q, EvalOptions* opts,
+                                     const ParamMap* params,
+                                     DocumentContainer* transient,
+                                     TablePtr* table, ScanStats* scan,
+                                     alg::ExecStats* exec, ExecContext* ectx) {
   // Resolve external-variable bindings into plan slots, with type checks.
   std::vector<const std::vector<Item>*> slots(q.params.size());
   for (size_t i = 0; i < q.params.size(); ++i) {
@@ -1095,10 +1166,21 @@ Status XQueryEngine::ExecuteCommon(const CompiledQuery& q, EvalOptions* opts,
   // accumulating as before) as well as reported per execution.
   alg::ExecFlags flags = opts->alg;
   flags.stats.Reset();
+  flags.gov = ectx;
   scan->Reset();
+
+  // Thread-local context: Column allocations on this thread charge the
+  // execution's MemAccount and fault injections target this execution.
+  // (Pool worker threads see no thread-local context; they observe stops
+  // through flags.gov at morsel boundaries instead.)
+  ScopedExecContext scoped(ectx);
 
   Ctx ctx{mgr_, opts, &flags, transient, scan, &slots, {}};
   MXQ_ASSIGN_OR_RETURN(TablePtr t, Eval(q.root.get(), ctx));
+  // Final checkpoint: a stop requested during the last operator must not
+  // escape as a truncated-but-OK result.
+  MXQ_RETURN_IF_ERROR(ectx->Check());
+  flags.stats.peak_mem_bytes = ectx->mem()->peak_bytes();
   *table = std::move(t);
   *exec = flags.stats;
   opts->alg.stats.Add(flags.stats);

@@ -89,6 +89,110 @@ void XQueryEngine::set_plan_cache_capacity(size_t capacity) {
 }
 
 // ---------------------------------------------------------------------------
+// Resource governance: admission control (docs/robustness.md)
+// ---------------------------------------------------------------------------
+//
+// One brief mutex acquisition per execution (not per row): with limits off
+// this is the entire overhead of governance on the admission side. With
+// max_in_flight set, arrivals beyond the bound wait on gov_cv_ up to
+// max_queue deep; anything beyond that is shed immediately so overload
+// degrades into fast, typed rejections instead of unbounded queueing.
+
+void XQueryEngine::set_governance(const GovernanceOptions& g) {
+  {
+    std::lock_guard<std::mutex> lk(gov_mu_);
+    gov_opts_ = g;
+  }
+  // A raised (or removed) limit admits queued requests right away.
+  gov_cv_.notify_all();
+}
+
+GovernanceOptions XQueryEngine::governance() const {
+  std::lock_guard<std::mutex> lk(gov_mu_);
+  return gov_opts_;
+}
+
+GovernanceStats XQueryEngine::governance_stats() const {
+  std::lock_guard<std::mutex> lk(gov_mu_);
+  return gov_stats_;
+}
+
+void XQueryEngine::CancelAll() {
+  engine_cancel_group_.CancelAll();
+  WakeAdmissionWaiters();
+}
+
+void XQueryEngine::WakeAdmissionWaiters() { gov_cv_.notify_all(); }
+
+Status XQueryEngine::Admit(const ExecContext& ectx) {
+  std::unique_lock<std::mutex> lk(gov_mu_);
+  ++gov_stats_.requests;
+  if (gov_opts_.max_in_flight > 0 && in_flight_ >= gov_opts_.max_in_flight) {
+    if (queued_ >= gov_opts_.max_queue) {
+      ++gov_stats_.shed_queue_full;
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queued_) + " queued, " +
+          std::to_string(in_flight_) + " in flight)");
+    }
+    ++queued_;
+    if (queued_ > gov_stats_.peak_queued) gov_stats_.peak_queued = queued_;
+    auto admissible = [&] {
+      return gov_opts_.max_in_flight == 0 ||
+             in_flight_ < gov_opts_.max_in_flight || ectx.StopRequested();
+    };
+    bool woke = true;
+    if (ectx.has_deadline()) {
+      woke = gov_cv_.wait_until(lk, ectx.deadline(), admissible);
+    } else {
+      gov_cv_.wait(lk, admissible);
+    }
+    --queued_;
+    if (!woke) {
+      ++gov_stats_.shed_deadline;
+      return Status::DeadlineExceeded("deadline expired while queued");
+    }
+    if (ectx.StopRequested()) {
+      Status st = ectx.Check();
+      if (st.code() == StatusCode::kDeadlineExceeded) {
+        ++gov_stats_.shed_deadline;
+      } else {
+        ++gov_stats_.shed_cancelled;
+      }
+      return st.ok() ? Status::Cancelled("cancelled while queued") : st;
+    }
+  }
+  ++in_flight_;
+  ++gov_stats_.admitted;
+  if (in_flight_ > gov_stats_.peak_in_flight)
+    gov_stats_.peak_in_flight = in_flight_;
+  return Status::OK();
+}
+
+void XQueryEngine::ReleaseAdmission() {
+  {
+    std::lock_guard<std::mutex> lk(gov_mu_);
+    --in_flight_;
+  }
+  gov_cv_.notify_one();
+}
+
+void XQueryEngine::RecordOutcome(const Status& st) {
+  std::lock_guard<std::mutex> lk(gov_mu_);
+  if (st.ok()) {
+    ++gov_stats_.completed_ok;
+    return;
+  }
+  switch (st.code()) {
+    case StatusCode::kCancelled: ++gov_stats_.cancelled; break;
+    case StatusCode::kDeadlineExceeded: ++gov_stats_.deadline_exceeded; break;
+    case StatusCode::kResourceExhausted:
+      ++gov_stats_.resource_exhausted;
+      break;
+    default: ++gov_stats_.failed_other; break;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // ResultCursor
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,512 @@
+// Resource-governance tests (docs/robustness.md): admission control,
+// deadlines, cooperative cancellation, per-execution memory budgets, the
+// dictionary-overflow fallback, and the fault-injection harness. The core
+// contract under test: every governed failure surfaces as a typed Status —
+// never a crash, leak, or stuck worker — and the engine then serves
+// subsequent queries bit-identically to an ungoverned run. Run under both
+// MXQ_SANITIZE=thread and MXQ_SANITIZE=address,undefined (tests/run_matrix.sh).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/item_dict.h"
+#include "test_util.h"
+#include "xml/shredder.h"
+#include "xquery/engine.h"
+
+namespace mxq {
+namespace xq {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedMs(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count();
+}
+
+// A query whose plan is a long chain of cheap operators: with a delay fault
+// armed on "eval.op" its runtime is (ops x delay), which the cancellation
+// and admission tests use as a controllable slow query.
+std::string SlowChainQuery(int terms) {
+  std::string q = "0";
+  for (int i = 0; i < terms; ++i) q += " + 1";
+  return q;
+}
+
+// Value join + aggregation + construction over the fixture document:
+// touches the atomize, filter, sort, join.build, join.probe, and aggr
+// fault points (whichever the chosen plan reaches — the sweep below does
+// not assume any particular one is on the path).
+constexpr const char* kJoinQuery =
+    R"(for $p in doc("auction.xml")//person
+       let $a := for $t in doc("auction.xml")//auction
+                 where $t/buyer/@person = $p/@id return $t
+       return <item person="{$p/name/text()}">{count($a)}</item>)";
+
+class GovernanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        ShredDocument(
+            &mgr_, "auction.xml",
+            "<site><people>"
+            "<person id=\"person0\"><name>Kasidit</name><age>25</age></person>"
+            "<person id=\"person1\"><name>Amara</name><age>30</age></person>"
+            "<person id=\"person2\"><name>Bola</name><age>19</age></person>"
+            "</people><auctions>"
+            "<auction><buyer person=\"person0\"/><price>10</price></auction>"
+            "<auction><buyer person=\"person0\"/><price>25</price></auction>"
+            "<auction><buyer person=\"person2\"/><price>90</price></auction>"
+            "</auctions></site>")
+            .ok());
+  }
+  void TearDown() override { fault::Disarm(); }
+
+  DocumentManager mgr_;
+};
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST_F(GovernanceTest, DeadlineSurfacesAsTypedStatus) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(SlowChainQuery(50));
+  ASSERT_TRUE(q.ok());
+
+  // 5 ms per operator makes the 1 ms deadline un-missable by the second
+  // checkpoint.
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 5000});
+  s.options().deadline_ms = 1;
+  auto r = s.Execute(*q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  fault::Disarm();
+
+  // The same session, deadline lifted: served bit-identically.
+  s.options().deadline_ms = 0;
+  auto ok = s.Execute(*q);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->Serialize(mgr_), "50");
+  EXPECT_EQ(eng.governance_stats().deadline_exceeded, 1);
+}
+
+TEST_F(GovernanceTest, EngineDefaultDeadlineAppliesAndPerCallOverrides) {
+  XQueryEngine eng(&mgr_);
+  GovernanceOptions gov;
+  gov.default_deadline_ms = 1;
+  eng.set_governance(gov);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(SlowChainQuery(50));
+  ASSERT_TRUE(q.ok());
+
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 5000});
+  auto r = s.Execute(*q);  // inherits the engine default
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  fault::Disarm();
+
+  s.options().deadline_ms = 60'000;  // per-call override beats the default
+  auto ok = s.Execute(*q);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->Serialize(mgr_), "50");
+}
+
+// ---------------------------------------------------------------------------
+// Memory budgets
+// ---------------------------------------------------------------------------
+
+TEST_F(GovernanceTest, MemoryBudgetSurfacesAsTypedStatus) {
+  DocumentManager mgr;
+  testutil::RandomDoc(&mgr, 30000, /*seed=*/7);
+  XQueryEngine eng(&mgr);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(R"(count(doc("rand7")//a))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  // Unbudgeted baseline; its peak proves the accounting seam is live.
+  auto base = s.Execute(*q);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const std::string expected = base->Serialize(mgr);
+  EXPECT_GT(base->exec_stats().peak_mem_bytes, 0);
+
+  // A budget far below the baseline peak must trip — as a clean Status.
+  s.options().memory_budget_bytes = 4096;
+  auto r = s.Execute(*q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_NE(r.status().ToString().find("memory budget"), std::string::npos);
+
+  // Budget lifted: the engine serves the same result again.
+  s.options().memory_budget_bytes = 0;
+  auto again = s.Execute(*q);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->Serialize(mgr), expected);
+  EXPECT_EQ(eng.governance_stats().resource_exhausted, 1);
+}
+
+TEST_F(GovernanceTest, EngineDefaultBudgetAppliesAndPerCallOverrides) {
+  DocumentManager mgr;
+  testutil::RandomDoc(&mgr, 30000, /*seed=*/7);
+  XQueryEngine eng(&mgr);
+  GovernanceOptions gov;
+  gov.default_memory_budget_bytes = 4096;
+  eng.set_governance(gov);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(R"(count(doc("rand7")//a))");
+  ASSERT_TRUE(q.ok());
+
+  auto r = s.Execute(*q);  // inherits the tiny engine default
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+
+  s.options().memory_budget_bytes = int64_t{1} << 30;  // per-call override
+  auto ok = s.Execute(*q);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+TEST_F(GovernanceTest, SessionCancelAllStopsInFlightExecution) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  const std::string slow = SlowChainQuery(100);
+  auto q = s.Prepare(slow);
+  ASSERT_TRUE(q.ok());
+
+  // Baseline: how long the full delayed run takes uncancelled.
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 5000});
+  auto t0 = Clock::now();
+  auto base = s.Execute(*q);
+  const int64_t full_ms = ElapsedMs(t0, Clock::now());
+  ASSERT_TRUE(base.ok());
+  ASSERT_GE(full_ms, 100);  // ~100 ops x 5 ms
+
+  // Cancelled run: fire CancelAll from another thread mid-execution.
+  Status st;
+  auto t1 = Clock::now();
+  std::thread worker([&] { st = s.Execute(*q).status(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  s.CancelAll();
+  worker.join();
+  const int64_t cancelled_ms = ElapsedMs(t1, Clock::now());
+  fault::Disarm();
+
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled) << st.ToString();
+  // Morsel-bounded latency: the cancelled run must end well before a full
+  // run would (it executes only the operators reached before the cancel).
+  EXPECT_LT(cancelled_ms, full_ms);
+
+  // A group cancel never leaks into executions started afterwards.
+  auto after = s.Execute(*q);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->Serialize(mgr_), base->Serialize(mgr_));
+  EXPECT_EQ(eng.governance_stats().cancelled, 1);
+}
+
+TEST_F(GovernanceTest, EngineCancelAllSweepsEveryExecution) {
+  XQueryEngine eng(&mgr_);
+  const std::string slow = SlowChainQuery(100);
+  auto plan = eng.Prepare(slow);
+  ASSERT_TRUE(plan.ok());
+
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 5000});
+  std::vector<Status> st(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      Session s = eng.CreateSession();
+      st[t] = s.Execute(*plan).status();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  eng.CancelAll();
+  for (auto& th : threads) th.join();
+  fault::Disarm();
+
+  for (const Status& s : st) {
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kCancelled) << s.ToString();
+  }
+  // The engine itself keeps serving.
+  Session s = eng.CreateSession();
+  auto r = s.Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Serialize(mgr_), "100");
+}
+
+TEST_F(GovernanceTest, ResultAndCursorCancelReleaseResourcesEarly) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare("<x>{1 + 1}</x>");
+  ASSERT_TRUE(q.ok());
+
+  auto r = s.Execute(*q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r->transient(), nullptr);
+  const int32_t free_before = mgr_.free_transients();
+  r->Cancel();
+  EXPECT_EQ(r->transient(), nullptr);
+  EXPECT_TRUE(r->items.empty());
+  EXPECT_EQ(mgr_.free_transients(), free_before + 1);
+  r->Cancel();  // idempotent
+  EXPECT_EQ(mgr_.free_transients(), free_before + 1);
+
+  auto cur = s.OpenCursor(*q);
+  ASSERT_TRUE(cur.ok());
+  EXPECT_FALSE(cur->done());
+  cur->Cancel();
+  EXPECT_TRUE(cur->done());
+  std::vector<Item> batch;
+  EXPECT_EQ(cur->Next(&batch), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST_F(GovernanceTest, AdmissionFloodShedsBeyondQueueBound) {
+  constexpr int kThreads = 8;
+  XQueryEngine eng(&mgr_);
+  GovernanceOptions gov;
+  gov.max_in_flight = 1;
+  gov.max_queue = 2;
+  eng.set_governance(gov);
+  const std::string slow = SlowChainQuery(100);
+  auto plan = eng.Prepare(slow);
+  ASSERT_TRUE(plan.ok());
+
+  // ~500 ms per execution: all 8 arrivals overlap the first one.
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 5000});
+  std::atomic<int> ok{0}, shed{0}, wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Session s = eng.CreateSession();
+      auto r = s.Execute(*plan);
+      if (r.ok()) {
+        if (r->Serialize(mgr_) == "100")
+          ++ok;
+        else
+          ++wrong;
+      } else if (r.status().code() == StatusCode::kResourceExhausted) {
+        ++shed;
+      } else {
+        ++wrong;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  fault::Disarm();
+
+  // Every request either completed correctly or was shed with the typed
+  // Status — nothing crashed, hung, or returned garbage.
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(ok.load() + shed.load(), kThreads);
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_GE(shed.load(), 1) << "flood never exceeded the queue bound";
+
+  auto st = eng.governance_stats();
+  EXPECT_EQ(st.requests, kThreads);
+  EXPECT_EQ(st.admitted, ok.load());
+  EXPECT_EQ(st.shed_queue_full, shed.load());
+  EXPECT_EQ(st.completed_ok, ok.load());
+  EXPECT_EQ(st.peak_in_flight, 1);
+  EXPECT_LE(st.peak_queued, 2);
+
+  // Limits off again: the engine serves immediately.
+  eng.set_governance(GovernanceOptions{});
+  Session s = eng.CreateSession();
+  auto r = s.Execute(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Serialize(mgr_), "100");
+}
+
+TEST_F(GovernanceTest, QueuedRequestHonorsDeadline) {
+  XQueryEngine eng(&mgr_);
+  GovernanceOptions gov;
+  gov.max_in_flight = 1;
+  gov.max_queue = 4;
+  eng.set_governance(gov);
+  const std::string slow = SlowChainQuery(100);
+  auto plan = eng.Prepare(slow);
+  ASSERT_TRUE(plan.ok());
+
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 5000});
+  std::thread holder([&] {
+    Session s = eng.CreateSession();
+    (void)s.Execute(*plan);  // occupies the single slot for ~500 ms
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Session s = eng.CreateSession();
+  s.options().deadline_ms = 30;  // expires while queued
+  auto r = s.Execute(*plan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  EXPECT_EQ(eng.governance_stats().shed_deadline, 1);
+
+  eng.CancelAll();  // release the holder quickly
+  holder.join();
+  fault::Disarm();
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary overflow (the former std::abort path)
+// ---------------------------------------------------------------------------
+
+TEST_F(GovernanceTest, ItemDictOverflowReturnsInvalidCode) {
+  StringPool pool;
+  ItemDict dict;
+  dict.set_max_entries_for_test(2);
+  // Two distinct entry-class values fit...
+  ItemDict::Code a = dict.Encode(pool, Item::String(pool.Intern("alpha")));
+  ItemDict::Code b = dict.Encode(pool, Item::String(pool.Intern("beta")));
+  ASSERT_NE(a, ItemDict::kInvalidCode);
+  ASSERT_NE(b, ItemDict::kInvalidCode);
+  EXPECT_FALSE(dict.exhausted());
+  // ...the third overflows: an invalid code and a sticky flag, no abort.
+  ItemDict::Code c = dict.Encode(pool, Item::String(pool.Intern("gamma")));
+  EXPECT_EQ(c, ItemDict::kInvalidCode);
+  EXPECT_TRUE(dict.exhausted());
+  // Existing codes keep decoding, and re-encoding an interned value works.
+  EXPECT_EQ(dict.Decode(a).str_id(), pool.Intern("alpha"));
+  EXPECT_EQ(dict.Encode(pool, Item::String(pool.Intern("beta"))), b);
+}
+
+TEST_F(GovernanceTest, QueryFallsBackWhenDictionaryOverflows) {
+  // Reference run: dictionary compaction disabled.
+  auto run = [](bool dict_on, size_t cap) {
+    DocumentManager mgr;
+    EXPECT_TRUE(
+        ShredDocument(
+            &mgr, "auction.xml",
+            "<site><people>"
+            "<person id=\"person0\"><name>Kasidit</name></person>"
+            "<person id=\"person1\"><name>Amara</name></person>"
+            "<person id=\"person2\"><name>Bola</name></person>"
+            "</people><auctions>"
+            "<auction><buyer person=\"person0\"/></auction>"
+            "<auction><buyer person=\"person2\"/></auction>"
+            "</auctions></site>")
+            .ok());
+    if (cap > 0) mgr.item_dict().set_max_entries_for_test(cap);
+    XQueryEngine eng(&mgr);
+    Session s = eng.CreateSession();
+    s.options().alg.dict_items = dict_on;
+    auto r = s.Run(
+        R"(for $p in doc("auction.xml")//person
+           let $a := for $t in doc("auction.xml")//auction
+                     where $t/buyer/@person = $p/@id return $t
+           return <n>{count($a)}</n>)");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : std::string();
+  };
+  const std::string expected = run(false, 0);
+  ASSERT_FALSE(expected.empty());
+  // Dict on with a capacity too small for the join keys: the encode
+  // overflows mid-query and every kernel falls back to uncoded items —
+  // same answer, no abort.
+  EXPECT_EQ(run(true, 2), expected);
+  EXPECT_EQ(run(true, 0), expected);  // and plenty of room: also identical
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection sweep
+// ---------------------------------------------------------------------------
+
+TEST_F(GovernanceTest, InjectedFaultsSurfaceAsStatusAndEngineRecovers) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  s.options().alg.dict_items = true;  // route the join through the dict path
+  auto q = s.Prepare(kJoinQuery);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  auto base = s.Execute(*q);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const std::string expected = base->Serialize(mgr_);
+
+  const char* points[] = {"eval.op",    "atomize",    "filter", "sort",
+                          "join.build", "join.probe", "aggr"};
+  struct {
+    fault::Kind kind;
+    StatusCode code;
+  } kinds[] = {{fault::Kind::kCancel, StatusCode::kCancelled},
+               {fault::Kind::kMemExhaust, StatusCode::kResourceExhausted}};
+  int64_t total_injected = 0;
+  for (const char* point : points) {
+    for (const auto& k : kinds) {
+      fault::Arm(point, k.kind);
+      auto r = s.Execute(*q);
+      const int64_t injected = fault::InjectionCount();
+      total_injected += injected;
+      if (injected > 0) {
+        // The fault fired on this plan's path: it must surface as exactly
+        // the typed Status, never a crash or a silent wrong answer.
+        ASSERT_FALSE(r.ok()) << point << ": injected fault swallowed";
+        EXPECT_EQ(r.status().code(), k.code)
+            << point << ": " << r.status().ToString();
+      } else {
+        // Point not on this plan's path: the run must be untouched.
+        ASSERT_TRUE(r.ok()) << point << ": " << r.status().ToString();
+        EXPECT_EQ(r->Serialize(mgr_), expected) << point;
+      }
+      fault::Disarm();
+      // Recovery: the very next execution is bit-identical to baseline.
+      auto after = s.Execute(*q);
+      ASSERT_TRUE(after.ok()) << point << ": " << after.status().ToString();
+      EXPECT_EQ(after->Serialize(mgr_), expected) << point;
+    }
+  }
+  // The sweep is not vacuous: at least the per-operator point must fire.
+  EXPECT_GT(total_injected, 0);
+
+  // Transient containers all returned to the pool (no leaks on the error
+  // unwinds): serial executions keep recycling, never accreting.
+  const int32_t containers = mgr_.num_containers();
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(s.Execute(*q).ok());
+  EXPECT_EQ(mgr_.num_containers(), containers);
+}
+
+// ---------------------------------------------------------------------------
+// Stats bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST_F(GovernanceTest, GovernanceStatsPartitionOutcomes) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare("1 + 1");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(s.Execute(*q).ok());
+  ASSERT_TRUE(s.Execute(*q).ok());
+  ASSERT_FALSE(s.Run(R"(doc("nope.xml"))").ok());  // NotFound -> failed_other
+
+  auto st = eng.governance_stats();
+  EXPECT_EQ(st.requests, 3);
+  EXPECT_EQ(st.admitted, 3);
+  EXPECT_EQ(st.completed_ok, 2);
+  EXPECT_EQ(st.failed_other, 1);
+  EXPECT_EQ(st.requests, st.admitted + st.shed_queue_full + st.shed_deadline +
+                             st.shed_cancelled);
+  EXPECT_EQ(st.admitted, st.completed_ok + st.cancelled +
+                             st.deadline_exceeded + st.resource_exhausted +
+                             st.failed_other);
+}
+
+}  // namespace
+}  // namespace xq
+}  // namespace mxq

@@ -3,22 +3,32 @@
 # MXQ_DICT=0 and once with MXQ_DICT=1 so both physical item-column
 # encodings stay green in every PR. Registered as the `run_matrix` ctest
 # target (CMakeLists.txt), which runs it against the current build —
-# including a ThreadSanitizer build when that is what was configured:
+# including a sanitizer build when that is what was configured:
 #
 #   # plain matrix (both encodings, current build):
 #   ctest --test-dir build -R '^run_matrix$' --output-on-failure
 #
-#   # TSan matrix (what CI should run once per PR): configure a TSan build
-#   # and its run_matrix target validates both encodings under the
-#   # sanitizer, parallel probes included:
+#   # TSan matrix (races in the parallel kernels, admission control, and
+#   # cancellation delivery):
 #   cmake -B build-tsan -S . -DMXQ_SANITIZE=thread
 #   cmake --build build-tsan -j
 #   ctest --test-dir build-tsan -R '^run_matrix$' --output-on-failure
 #
+#   # ASan+UBSan matrix (leaks and UB on the governance error paths: every
+#   # deadline/cancel/budget unwind and fault injection runs under it):
+#   cmake -B build-asan -S . -DMXQ_SANITIZE=address,undefined
+#   cmake --build build-asan -j
+#   ctest --test-dir build-asan -R '^run_matrix$' --output-on-failure
+#
 # Standalone usage: tests/run_matrix.sh [build-dir]   (default: ./build)
-#   MXQ_MATRIX_THREADS   thread width exported to the inner runs (default 4,
-#                        so the parallel kernels engage even where the
-#                        process default would be 1)
+#   MXQ_MATRIX_THREADS    thread width exported to the inner runs (default 4,
+#                         so the parallel kernels engage even where the
+#                         process default would be 1)
+#   MXQ_MATRIX_SANITIZE   opt-in: space-separated -fsanitize values (e.g.
+#                         "thread address,undefined"). For each value the
+#                         script configures + builds build-san-<value> next
+#                         to [build-dir] and runs the full matrix inside it.
+#                         Default empty: only [build-dir] runs, as before.
 set -euo pipefail
 
 BUILD=${1:-build}
@@ -28,9 +38,24 @@ BUILD=${1:-build}
 }
 
 THREADS=${MXQ_MATRIX_THREADS:-4}
-for dict in 0 1; do
-  echo "== tier-1 suite with MXQ_DICT=$dict MXQ_THREADS=$THREADS" >&2
-  MXQ_DICT=$dict MXQ_THREADS=$THREADS \
-    ctest --test-dir "$BUILD" -E '^run_matrix$' --output-on-failure
+
+run_matrix_in() {
+  local dir=$1
+  for dict in 0 1; do
+    echo "== tier-1 suite in $dir with MXQ_DICT=$dict MXQ_THREADS=$THREADS" >&2
+    MXQ_DICT=$dict MXQ_THREADS=$THREADS \
+      ctest --test-dir "$dir" -E '^run_matrix$' --output-on-failure
+  done
+}
+
+run_matrix_in "$BUILD"
+
+for san in ${MXQ_MATRIX_SANITIZE:-}; do
+  SBUILD="$(dirname "$BUILD")/build-san-${san//,/+}"
+  echo "== configuring sanitizer leg: -fsanitize=$san -> $SBUILD" >&2
+  cmake -B "$SBUILD" -S "$(dirname "$0")/.." -DMXQ_SANITIZE="$san" >/dev/null
+  cmake --build "$SBUILD" -j >/dev/null
+  run_matrix_in "$SBUILD"
 done
-echo "== run_matrix: both encodings green" >&2
+
+echo "== run_matrix: all legs green" >&2

@@ -446,6 +446,29 @@ TEST_F(ServingApiTest, ConcurrentColdPrepareSharesOnePlan) {
   EXPECT_EQ(eng.plan_cache_stats().size, 1);
 }
 
+TEST_F(ServingApiTest, FailingQueriesDoNotLeakTransients) {
+  // Every Execute error path must release its transient container back to
+  // the manager's free pool: a serving loop that keeps hitting failing
+  // queries (here: a doc() that resolves mid-evaluation and fails) must not
+  // accrete containers or lose free-pool entries.
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  ASSERT_TRUE(s.Run("<x/>").ok());  // warm one transient through the pool
+  const int32_t containers = mgr_.num_containers();
+  const int32_t free_before = mgr_.free_transients();
+  for (int i = 0; i < 100; ++i) {
+    auto r = s.Run(R"(<wrap>{doc("missing.xml")//person}</wrap>)");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound) << r.status().ToString();
+  }
+  EXPECT_EQ(mgr_.num_containers(), containers);
+  EXPECT_EQ(mgr_.free_transients(), free_before);
+  // And the pool still serves successful executions afterwards.
+  auto ok = s.Run(R"(count(doc("auction.xml")//person))");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "3");
+}
+
 }  // namespace
 }  // namespace xq
 }  // namespace mxq
