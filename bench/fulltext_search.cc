@@ -1,0 +1,178 @@
+// Fulltext search benchmark (docs/fulltext.md): ft:contains / ft:score via
+// the inverted index (ExecFlags::fulltext, the default) against the naive
+// subtree-scan fallback (MXQ_FT=0) on a synthetic word corpus. Both paths
+// return byte-identical results (tests/fulltext_test.cc); this bench
+// records what the posting-list probes buy. With MXQ_BENCH_JSON set, a
+// kernel summary with the index-vs-scan speedups is written for
+// bench/run_all.sh to merge into the BENCH_pr<N>.json artifact.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "fulltext/index.h"
+#include "xml/shredder.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using mxq::bench::JsonWriter;
+
+// Deterministic corpus: `docs` documents of 6 paragraphs x 40 words drawn
+// from a small vocabulary by an LCG, plus a rare needle ("cobalt") in 1 of
+// 64 documents. Default scale 0.1 (bench/run_all.sh) => 2000 documents,
+// ~960k tokens.
+std::string MakeCorpus(int docs) {
+  static const char* kVocab[] = {
+      "alpha", "beta",  "gamma", "delta", "epsilon", "zeta",  "eta",
+      "theta", "iota",  "kappa", "lambda", "mu",     "nu",    "xi",
+      "omicron", "pi",  "rho",   "sigma", "tau",     "upsilon"};
+  constexpr int kV = sizeof(kVocab) / sizeof(kVocab[0]);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<int>((state >> 33) % kV);
+  };
+  std::string xml = "<corpus>";
+  for (int d = 0; d < docs; ++d) {
+    xml += "<doc>";
+    for (int p = 0; p < 6; ++p) {
+      xml += "<p>";
+      for (int w = 0; w < 40; ++w) {
+        if (w) xml += ' ';
+        xml += kVocab[next()];
+      }
+      if (p == 1 && d % 64 == 3) xml += " cobalt";
+      xml += "</p>";
+    }
+    xml += "</doc>";
+  }
+  xml += "</corpus>";
+  return xml;
+}
+
+int DocsForScale() {
+  const int docs = static_cast<int>(20000 * mxq::bench::ScaleEnv());
+  return docs < 64 ? 64 : docs;
+}
+
+/// One shredded corpus + engine, cached per document count; the fulltext
+/// index is built eagerly so the index-path timings never include the
+/// one-off build.
+class CorpusInstance {
+ public:
+  explicit CorpusInstance(int docs) : engine_(&mgr_) {
+    mxq::ShredOptions opts;
+    opts.build_fulltext = true;
+    auto r = mxq::ShredDocument(&mgr_, "ft.xml", MakeCorpus(docs), opts);
+    if (!r.ok()) std::abort();
+  }
+
+  const mxq::xq::CompiledQuery& Compiled(const std::string& q) {
+    auto it = plans_.find(q);
+    if (it == plans_.end()) {
+      auto c = engine_.Compile(q);
+      if (!c.ok()) std::abort();
+      it = plans_.emplace(q, std::move(*c)).first;
+    }
+    return it->second;
+  }
+
+  size_t Run(const std::string& q, bool index_path) {
+    mxq::xq::EvalOptions eo;
+    eo.alg.fulltext = index_path;
+    auto r = engine_.Execute(Compiled(q), &eo);
+    if (!r.ok()) std::abort();
+    return r->items.size();
+  }
+
+  static CorpusInstance& Get(int docs) {
+    static std::map<int, std::unique_ptr<CorpusInstance>> cache;
+    auto it = cache.find(docs);
+    if (it == cache.end())
+      it = cache.emplace(docs, std::make_unique<CorpusInstance>(docs)).first;
+    return *it->second;
+  }
+
+ private:
+  mxq::DocumentManager mgr_;
+  mxq::xq::XQueryEngine engine_;
+  std::map<std::string, mxq::xq::CompiledQuery> plans_;
+};
+
+const char* kQueries[] = {
+    // rare term: high selectivity, the index's best case
+    R"(count(for $d in doc("ft.xml")//doc
+             where ft:contains($d, "cobalt") return $d))",
+    // common term: every document matches, existence probes still cheap
+    R"(count(for $d in doc("ft.xml")//doc
+             where ft:contains($d, "alpha") return $d))",
+    // phrase: k-way position merge on the index, window scan on fallback
+    R"(count(for $d in doc("ft.xml")//doc
+             where ft:contains($d, "alpha beta") return $d))",
+    // conjunction of independent groups
+    R"(count(for $d in doc("ft.xml")//doc
+             where ft:contains($d, "cobalt", "sigma") return $d))",
+    // BM25: tf extraction + scoring on every matching text node
+    R"(count(for $d in doc("ft.xml")//doc
+             where ft:score($d, "cobalt") > 0 return $d))",
+};
+const char* kQueryNames[] = {"contains_rare", "contains_common", "phrase",
+                             "conjunction", "score_rare"};
+
+void FtQuery(benchmark::State& s, bool index_path) {
+  auto& inst = CorpusInstance::Get(DocsForScale());
+  const std::string q = kQueries[s.range(0)];
+  for (auto _ : s)
+    benchmark::DoNotOptimize(inst.Run(q, index_path));
+  s.SetLabel(kQueryNames[s.range(0)]);
+}
+
+void FulltextIndex(benchmark::State& s) { FtQuery(s, true); }
+void FulltextScan(benchmark::State& s) { FtQuery(s, false); }
+
+/// Direct best-of comparison of the two paths per query, with the speedup
+/// the acceptance check reads from the merged artifact.
+void WriteKernelSummary(const char* path) {
+  auto& inst = CorpusInstance::Get(DocsForScale());
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", std::string("fulltext_search"));
+  w.Field("docs", static_cast<int64_t>(DocsForScale()));
+  w.BeginArray("queries");
+  for (int qi = 0; qi < 5; ++qi) {
+    const std::string q = kQueries[qi];
+    const int reps = 5;
+    double index_ms = mxq::bench::BestOfMs(reps, [&] { inst.Run(q, true); });
+    double scan_ms = mxq::bench::BestOfMs(reps, [&] { inst.Run(q, false); });
+    w.BeginObject();
+    w.Field("query", std::string(kQueryNames[qi]));
+    w.Field("index_ms", index_ms);
+    w.Field("scan_ms", scan_ms);
+    w.Field("speedup", scan_ms / index_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.WriteFile(path);
+}
+
+}  // namespace
+
+BENCHMARK(FulltextIndex)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(FulltextScan)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (const char* path = std::getenv("MXQ_BENCH_JSON"))
+    WriteKernelSummary(path);
+  benchmark::Shutdown();
+  return 0;
+}

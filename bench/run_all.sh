@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benchmark set (fig13_joinrec, fig14_sortred,
-# fig15_scalability, table1_xmark, serving_throughput) and merges everything
+# fig15_scalability, table1_xmark, serving_throughput, fulltext_search)
+# and merges everything
 # — google-benchmark results plus the kernel-comparison / thread-sweep /
 # session-sweep summaries the bench mains emit via MXQ_BENCH_JSON — into one
-# JSON artifact (default BENCH_pr6.json) that is checked in as the perf
+# JSON artifact (default BENCH_pr7.json) that is checked in as the perf
 # evidence for the PR.
+#
+# fulltext_search compares ft:contains / ft:score answered by the inverted
+# index (the default) against the naive subtree-scan fallback (MXQ_FT=0);
+# its kernel summary carries the index-vs-scan speedup per query.
 #
 # fig15_scalability is the partition-parallel thread sweep: each kernel
 # (radix join, counting sort, morsel filter) and the join-heavy XMark
@@ -30,7 +35,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT=${1:-BENCH_pr6.json}
+OUT=${1:-BENCH_pr7.json}
 BUILD=${BUILD_DIR:-build}
 export MXQ_SCALE=${MXQ_SCALE:-0.1}
 FILTER=${BENCH_FILTER:+--benchmark_filter=${BENCH_FILTER}}
@@ -42,7 +47,7 @@ trap 'rm -rf "$TMP"' EXIT
 # variants must not be compared cold-vs-warm.
 REPS=${BENCH_REPS:-3}
 for b in fig13_joinrec fig14_sortred fig15_scalability table1_xmark \
-         serving_throughput; do
+         serving_throughput fulltext_search; do
   [ -x "$BUILD/$b" ] || { echo "missing $BUILD/$b — build first" >&2; exit 1; }
   echo "== $b (MXQ_SCALE=$MXQ_SCALE, reps=$REPS)" >&2
   MXQ_BENCH_JSON="$TMP/$b.kernels.json" \
@@ -66,7 +71,7 @@ def load(path):
         return None
 
 for b in ("fig13_joinrec", "fig14_sortred", "fig15_scalability",
-          "table1_xmark", "serving_throughput"):
+          "table1_xmark", "serving_throughput", "fulltext_search"):
     gb = load(os.path.join(tmp, f"{b}.json"))
     entry = {}
     if gb:
@@ -115,6 +120,18 @@ for bench, new, old in (
                 pow(2, sum(__import__("math").log2(v)
                            for v in per.values()) / len(per)), 3)}
 merged["kernel_speedup_vs_legacy"] = speedups
+
+# Fulltext: index-vs-scan speedup per query from the bench's own summary.
+ft = merged["benches"].get("fulltext_search", {}).get("kernel_summary")
+if ft:
+    per = {q["query"]: round(q["speedup"], 3)
+           for q in ft.get("queries", []) if q.get("speedup")}
+    if per:
+        merged["fulltext_index_speedup_vs_scan"] = {
+            "per_query": per,
+            "geomean": round(
+                pow(2, sum(__import__("math").log2(v)
+                           for v in per.values()) / len(per)), 3)}
 
 with open(out, "w") as f:
     json.dump(merged, f, indent=1, sort_keys=True)

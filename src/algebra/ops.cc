@@ -75,6 +75,7 @@ ExecFlags ExecFlags::FromEnv() {
   fl.sel_vectors = BoolEnv("MXQ_SEL_VECTORS", fl.sel_vectors);
   fl.dense_sort = BoolEnv("MXQ_DENSE_SORT", fl.dense_sort);
   fl.dict_items = BoolEnv("MXQ_DICT", fl.dict_items);
+  fl.fulltext = BoolEnv("MXQ_FT", fl.fulltext);
   if (const char* s = std::getenv("MXQ_THREADS")) {
     int v = std::atoi(s);
     if (v >= 1) fl.threads = std::min(v, 64);

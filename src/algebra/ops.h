@@ -82,6 +82,11 @@ struct ExecStats {
   // partition-parallel execution (docs/execution.md "Parallel execution")
   int64_t par_tasks = 0;       // chunk tasks dispatched by parallel regions
   int64_t par_partitions = 0;  // radix partitions built/probed in parallel
+  // fulltext predicates (docs/fulltext.md): rows answered by posting-list
+  // probes vs. by the naive subtree-scan fallback (MXQ_FT=0, or index
+  // unavailable after dictionary exhaustion)
+  int64_t ft_index_probes = 0;
+  int64_t ft_scan_probes = 0;
   // Peak column bytes live at once during the execution, as accounted by
   // the governance MemAccount (docs/robustness.md). Max-merged in Add():
   // accumulating across executions reports the worst single execution.
@@ -99,7 +104,7 @@ struct ExecStats {
   /// Every field must be summed here — the static_assert below trips when a
   /// counter is added to the struct without extending this list.
   void Add(const ExecStats& o) {
-    static_assert(sizeof(ExecStats) == 25 * sizeof(int64_t),
+    static_assert(sizeof(ExecStats) == 27 * sizeof(int64_t),
                   "new ExecStats field: add it to Add()");
     sorts_performed += o.sorts_performed;
     sorts_elided += o.sorts_elided;
@@ -122,6 +127,8 @@ struct ExecStats {
     join_key_bytes += o.join_key_bytes;
     par_tasks += o.par_tasks;
     par_partitions += o.par_partitions;
+    ft_index_probes += o.ft_index_probes;
+    ft_scan_probes += o.ft_scan_probes;
     if (o.peak_mem_bytes > peak_mem_bytes) peak_mem_bytes = o.peak_mem_bytes;
     join_ms += o.join_ms;
     sort_ms += o.sort_ms;
@@ -145,6 +152,11 @@ struct ExecFlags {
   // probe loop, so item-valued probes fan out across the thread pool), and
   // gathers/unions move codes, decoding only at pipeline breakers.
   bool dict_items = true;
+  // Fulltext predicates (ft:contains / ft:score, docs/fulltext.md) answer
+  // from the per-container inverted index; `false` ablates to the naive
+  // subtree-scan fallback (tokenize every text node under each candidate),
+  // which the differential suite holds byte-identical to the index path.
+  bool fulltext = true;
   // Partition-parallel execution width of the operator kernels. 0 =
   // process default (env MXQ_THREADS, else hardware concurrency); 1 =
   // serial operator execution. Layers that no flags reach — the staircase
@@ -172,7 +184,8 @@ struct ExecFlags {
 
   /// Centralized environment parsing: MXQ_THREADS plus the kernel toggles
   /// (MXQ_ORDER_OPT, MXQ_POSITIONAL, MXQ_RADIX_JOIN, MXQ_SEL_VECTORS,
-  /// MXQ_DENSE_SORT, MXQ_DICT; "0"/"false"/"no" disable). Benches, tests,
+  /// MXQ_DENSE_SORT, MXQ_DICT, MXQ_FT; "0"/"false"/"no" disable). Benches,
+  /// tests,
   /// and the evaluator all construct flags through this one helper so no
   /// component reads a toggle the others ignore.
   static ExecFlags FromEnv();

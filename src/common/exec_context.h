@@ -170,8 +170,9 @@ class ExecContext {
 /// Thread-local current context, installed by the evaluator for the span of
 /// one execution. Allocation seams (storage/column.h) and the fault harness
 /// (common/fault.h) reach it without plumbing a parameter through every
-/// constructor. Worker-pool threads see null: parallel kernels charge and
-/// poll through the explicit ExecFlags pointer instead.
+/// constructor. ThreadPool workers install the submitting thread's context
+/// for the span of each job (common/thread_pool.h), so columns built inside
+/// parallel regions charge the owning execution's MemAccount too.
 inline ExecContext*& CurrentExecContextSlot() {
   thread_local ExecContext* ctx = nullptr;
   return ctx;

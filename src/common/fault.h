@@ -19,9 +19,10 @@
 //
 // Injection acts on the thread-local CurrentExecContext(): kCancel flips
 // its cancel flag, kMemExhaust trips its memory account (as if an
-// allocation had blown the budget). Points reached outside an execution
-// (or on pool worker threads, which do not install the TLS context) still
-// count hits but inject nothing except delays.
+// allocation had blown the budget). ThreadPool workers inherit the
+// submitting execution's context for the span of a job, so points inside
+// parallel regions inject into the owning execution too. Points reached
+// outside any execution still count hits but inject nothing except delays.
 
 #ifndef MXQ_COMMON_FAULT_H_
 #define MXQ_COMMON_FAULT_H_

@@ -6,22 +6,30 @@
 // core MonetDB storage discipline — and makes equality comparisons O(1).
 //
 // The pool is shared by every session of an engine and by the parallel
-// execution kernels, so it is internally synchronized: lookups take a shared
-// lock, interning takes an exclusive one. Returned references stay valid
-// forever — storage is a deque and ids are append-only.
+// execution kernels, and its two access patterns are asymmetric: Get/View
+// by id is a per-row cost in comparators, serialization, and the fulltext
+// tokenizer, while Intern is a per-distinct-string cost. Storage therefore
+// follows the same append-only chunked publish scheme as ItemDict's entry
+// table: strings live in fixed-size chunks of std::string slots whose
+// addresses never move, chunk pointers are installed with release stores,
+// and a release-published count makes every id < size() readable with plain
+// acquire loads — Get/View/size take no lock at all. Only Intern/Find touch
+// the hash index, under a shared_mutex (shared for the hit fast path,
+// exclusive to insert). Returned references stay valid forever.
 
 #ifndef MXQ_COMMON_STRING_POOL_H_
 #define MXQ_COMMON_STRING_POOL_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace mxq {
 
@@ -45,7 +53,12 @@ struct StringPoolHash {
 /// directly as positional indexes into per-string side tables.
 class StringPool {
  public:
-  StringPool() = default;
+  StringPool() : chunks_(kMaxChunks) {}
+  ~StringPool() {
+    const size_t n = count_.load(std::memory_order_acquire);
+    for (size_t c = 0; c * kChunkSize < n; ++c)
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
 
@@ -61,10 +74,20 @@ class StringPool {
     std::unique_lock<std::shared_mutex> lk(mu_);
     auto it = index_.find(s);  // re-check: raced with another interner
     if (it != index_.end()) return it->second;
-    StrId id = static_cast<StrId>(strings_.size());
-    strings_.emplace_back(s);
-    // string_view key points into the deque-stored string, which never moves.
-    index_.emplace(std::string_view(strings_.back()), id);
+    const size_t idx = count_.load(std::memory_order_relaxed);
+    assert(idx < kMaxChunks * kChunkSize && "string pool exhausted");
+    std::string* chunk = chunks_[idx >> kChunkBits].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new std::string[kChunkSize];
+      chunks_[idx >> kChunkBits].store(chunk, std::memory_order_release);
+    }
+    chunk[idx & (kChunkSize - 1)] = std::string(s);
+    // Publish after the slot is fully written: a reader that observes
+    // size() > idx (acquire) sees the string contents.
+    count_.store(idx + 1, std::memory_order_release);
+    // string_view key points into the chunk-stored string, which never moves.
+    StrId id = static_cast<StrId>(idx);
+    index_.emplace(std::string_view(chunk[idx & (kChunkSize - 1)]), id);
     return id;
   }
 
@@ -75,22 +98,19 @@ class StringPool {
     return it == index_.end() ? kInvalidStrId : it->second;
   }
 
-  /// Returns the string for a valid id. The reference is stable: ids are
-  /// append-only and the deque never relocates stored strings.
+  /// Returns the string for a valid id, lock-free. The reference is stable:
+  /// ids are append-only and chunk slots never relocate. Safe from any
+  /// thread for any id obtained through a synchronized channel (a column, a
+  /// published dict code, an index lookup) — the same discipline as
+  /// ItemDict::EntryOf.
   const std::string& Get(StrId id) const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
-    return strings_[id];
+    return chunks_[static_cast<size_t>(id) >> kChunkBits].load(
+        std::memory_order_acquire)[static_cast<size_t>(id) & (kChunkSize - 1)];
   }
 
-  std::string_view View(StrId id) const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
-    return strings_[id];
-  }
+  std::string_view View(StrId id) const { return Get(id); }
 
-  size_t size() const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
-    return strings_.size();
-  }
+  size_t size() const { return count_.load(std::memory_order_acquire); }
 
   /// Monotonic count of Intern() calls (hits included). Regression hook for
   /// the dictionary-coded join tests: a dict-coded probe loop must perform
@@ -101,9 +121,16 @@ class StringPool {
   }
 
  private:
+  // 4096 strings per chunk, up to 1<<14 chunks = 67M strings; the chunk
+  // pointer table is 128 KiB per pool, allocated once up front.
+  static constexpr int kChunkBits = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = size_t{1} << 14;
+
   std::atomic<int64_t> intern_calls_{0};
-  mutable std::shared_mutex mu_;
-  std::deque<std::string> strings_;  // deque: stable addresses for the index
+  mutable std::shared_mutex mu_;  // guards index_ and insertion order only
+  std::vector<std::atomic<std::string*>> chunks_;
+  std::atomic<size_t> count_{0};
   std::unordered_map<std::string_view, StrId, StringPoolHash, std::equal_to<>>
       index_;
 };

@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/exec_context.h"
+
 namespace mxq {
 
 inline int HardwareThreads() {
@@ -114,6 +116,11 @@ class ThreadPool {
       std::lock_guard<std::mutex> lk(mu_);
       executors = std::min(tasks, 1 + static_cast<int>(workers_.size()));
       job_fn_ = &fn;
+      // Workers run the job under the submitting execution's governance
+      // context, so chunk allocations on worker threads charge the same
+      // MemAccount (and hit the same fault points) as the caller's — a
+      // parallel kernel cannot evade memory_budget_bytes by fanning out.
+      job_ctx_ = CurrentExecContext();
       job_tasks_ = tasks;
       job_executors_ = executors;
       pending_ = executors - 1;
@@ -162,6 +169,7 @@ class ThreadPool {
       cv_.wait(lk, [&] { return generation_ != seen; });
       seen = generation_;
       const std::function<void(int)>* fn = job_fn_;
+      ExecContext* ctx = job_ctx_;
       const int e = widx + 1;
       const int executors = job_executors_;
       const int tasks = job_tasks_;
@@ -169,7 +177,10 @@ class ThreadPool {
       // worker set): just re-arm on the next generation.
       if (fn == nullptr || e >= executors) continue;
       lk.unlock();
-      RunBlock(e, executors, tasks, *fn);
+      {
+        ScopedExecContext scoped(ctx);
+        RunBlock(e, executors, tasks, *fn);
+      }
       lk.lock();
       if (--pending_ == 0) done_cv_.notify_one();
     }
@@ -181,6 +192,7 @@ class ThreadPool {
   std::condition_variable done_cv_;  // the caller waits here for pending_==0
   std::vector<std::jthread> workers_;
   const std::function<void(int)>* job_fn_ = nullptr;
+  ExecContext* job_ctx_ = nullptr;  // caller's governance context, if any
   int job_tasks_ = 0;
   int job_executors_ = 0;
   int pending_ = 0;

@@ -1,0 +1,122 @@
+// Fulltext index construction (see index.h for the layout contract).
+
+#include "fulltext/index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/item.h"
+#include "common/item_dict.h"
+#include "common/string_pool.h"
+#include "fulltext/tokenizer.h"
+#include "storage/document.h"
+
+namespace mxq {
+namespace ft {
+
+void FullTextIndex::Append(const Posting& p) {
+  const uint64_t idx = count_.load(std::memory_order_relaxed);
+  assert((idx >> kChunkBits) < kMaxChunks && "posting table exhausted");
+  Posting* chunk = chunks_[idx >> kChunkBits].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Posting[kChunkSize];
+    chunks_[idx >> kChunkBits].store(chunk, std::memory_order_release);
+  }
+  chunk[idx & (kChunkSize - 1)] = p;
+  // Publish after the slot is written: readers below the count see the
+  // posting (ItemDict's entry-table discipline).
+  count_.store(idx + 1, std::memory_order_release);
+}
+
+FullTextIndex::~FullTextIndex() {
+  const uint64_t n = count_.load(std::memory_order_acquire);
+  for (size_t ci = 0; ci * kChunkSize < n; ++ci)
+    delete[] chunks_[ci].load(std::memory_order_relaxed);
+}
+
+int64_t FullTextIndex::TextLen(int64_t pre) const {
+  auto it = std::lower_bound(text_pre_.begin(), text_pre_.end(), pre);
+  if (it == text_pre_.end() || *it != pre) return 0;
+  return text_len_[static_cast<size_t>(it - text_pre_.begin())];
+}
+
+std::shared_ptr<const FullTextIndex> FullTextIndex::Build(
+    const DocumentContainer& c) {
+  std::shared_ptr<FullTextIndex> idx(new FullTextIndex());
+  DocumentManager& mgr = *c.manager();
+  StringPool& pool = mgr.strings();
+  ItemDict& dict = mgr.item_dict();
+
+  // One pre-order scan. Postings accumulate per term in scan order, which
+  // is exactly (pre, pos) sorted order — the flush below never re-sorts.
+  std::unordered_map<int64_t, std::vector<Posting>> acc;
+  std::string folded;
+  const int64_t slots = c.LogicalSlots();
+  for (int64_t pre = c.SkipUnused(0); pre < slots;
+       pre = c.SkipUnused(pre + 1)) {
+    if (c.KindAt(pre) != NodeKind::kText) continue;
+    const std::string& text = pool.Get(static_cast<StrId>(c.RefAt(pre)));
+    int64_t ntok = 0;
+    Tokenize(text, [&](std::string_view raw, int32_t pos) {
+      ++ntok;
+      if (!idx->ok_) return;
+      FoldInto(raw, &folded);
+      ItemDict::Code code =
+          dict.Encode(pool, Item::String(pool.Intern(folded)));
+      if (code == ItemDict::kInvalidCode) {
+        // Shared dictionary exhausted: the index cannot name this term, so
+        // it cannot answer queries faithfully. Mark unusable; probes scan.
+        idx->ok_ = false;
+        return;
+      }
+      acc[code].emplace_back(Posting{pre, pos});
+    });
+    idx->text_pre_.push_back(pre);
+    idx->text_len_.push_back(ntok);
+    idx->total_tokens_ += ntok;
+  }
+  if (!idx->ok_) return idx;
+
+  // Flush each term's postings into a contiguous span of the chunked table.
+  idx->terms_.reserve(acc.size());
+  for (auto& [code, posts] : acc) {
+    TermSpan s;
+    s.begin = idx->count_.load(std::memory_order_relaxed);
+    int64_t last_pre = -1;
+    for (const Posting& p : posts) {
+      if (p.pre != last_pre) {
+        ++s.df;
+        last_pre = p.pre;
+      }
+      idx->Append(p);
+    }
+    s.end = idx->count_.load(std::memory_order_relaxed);
+    idx->terms_.emplace(code, s);
+  }
+  return idx;
+}
+
+}  // namespace ft
+
+// Defined here rather than in storage/ so the storage layer does not link
+// against the fulltext subsystem — it only holds the (forward-declared)
+// cache slot and drops it on invalidation.
+std::shared_ptr<const ft::FullTextIndex> DocumentContainer::fulltext_index()
+    const {
+  std::lock_guard<std::mutex> lk(index_mu_);
+  if (!ft_index_) ft_index_ = ft::FullTextIndex::Build(*this);
+  return ft_index_;
+}
+
+std::shared_ptr<const ft::FullTextIndex>
+DocumentContainer::fulltext_index_if_built() const {
+  std::lock_guard<std::mutex> lk(index_mu_);
+  return ft_index_;
+}
+
+}  // namespace mxq

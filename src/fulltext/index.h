@@ -1,0 +1,135 @@
+// Inverted fulltext index over one DocumentContainer's text nodes
+// (docs/fulltext.md; the ROADMAP's EMBANKS direction).
+//
+// The term dictionary IS the engine's ItemDict: a term is the dictionary
+// code of its folded token string (Item::String of the interned token), so
+// fulltext probes, value joins, and dictionary-coded columns all speak the
+// same 8-byte code space, and a query-side term lookup is StringPool::Find
+// + ItemDict::Find — no second dictionary to build or synchronize.
+//
+// Posting lists are sorted arrays of (pre, tokpos) per term — pre is the
+// *text node's* pre rank, tokpos its 0-based token ordinal — stored as
+// contiguous spans of one append-only chunked table that follows ItemDict's
+// publish pattern: fixed-size chunks behind release-stored pointers and a
+// release-published count, so every read below the published count is a
+// plain acquire load. An index instance is immutable after Build() and
+// published to probes as shared_ptr<const>; the chunked layout keeps reads
+// lock-free and addresses stable without requiring one giant allocation.
+//
+// Per-text-node token counts and corpus totals (N, total tokens) ride along
+// for BM25 scoring; both live in pre-sorted parallel arrays so probes
+// binary-search them without touching the container.
+
+#ifndef MXQ_FULLTEXT_INDEX_H_
+#define MXQ_FULLTEXT_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace mxq {
+
+class DocumentContainer;
+
+namespace ft {
+
+struct Posting {
+  int64_t pre;  // pre rank of the text node
+  int32_t pos;  // 0-based token ordinal within that text node
+};
+
+class FullTextIndex {
+ public:
+  /// Contiguous span [begin, end) of the posting table, plus the term's
+  /// document frequency (number of distinct text nodes it occurs in).
+  struct TermSpan {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    int64_t df = 0;
+  };
+
+  /// Builds the index for `c` by one pre-order scan of its text nodes.
+  /// Never fails hard: if the shared ItemDict's entry space is exhausted
+  /// mid-build, the returned index has ok() == false and probes fall back
+  /// to the scan path for this container.
+  static std::shared_ptr<const FullTextIndex> Build(const DocumentContainer& c);
+
+  FullTextIndex(const FullTextIndex&) = delete;
+  FullTextIndex& operator=(const FullTextIndex&) = delete;
+  ~FullTextIndex();
+
+  bool ok() const { return ok_; }
+
+  // ---- corpus statistics (document unit = text node) ----------------------
+  int64_t text_nodes() const { return static_cast<int64_t>(text_pre_.size()); }
+  int64_t total_tokens() const { return total_tokens_; }
+  double avg_len() const {
+    return text_pre_.empty()
+               ? 0.0
+               : static_cast<double>(total_tokens_) /
+                     static_cast<double>(text_pre_.size());
+  }
+
+  /// Token count of the text node at `pre` (0 if `pre` is not indexed).
+  int64_t TextLen(int64_t pre) const;
+
+  // ---- term access ---------------------------------------------------------
+
+  /// Span of the term with dictionary code `code`, or null if absent.
+  /// Lock-free: the term map is immutable after Build().
+  const TermSpan* Lookup(int64_t code) const {
+    auto it = terms_.find(code);
+    return it == terms_.end() ? nullptr : &it->second;
+  }
+
+  size_t distinct_terms() const { return terms_.size(); }
+
+  /// Posting at table index `i` (must be < published count). Acquire loads
+  /// only — safe from any probe thread.
+  Posting PostingAt(uint64_t i) const {
+    return chunks_[i >> kChunkBits].load(std::memory_order_acquire)
+        [i & (kChunkSize - 1)];
+  }
+
+  /// First index in [s.begin, s.end) whose posting has pre >= `pre_lo`
+  /// (postings are sorted by (pre, pos)). Returns s.end if none — the
+  /// galloping/binary probe both paths of TextProbe are built on.
+  uint64_t LowerBoundPre(const TermSpan& s, int64_t pre_lo) const {
+    uint64_t lo = s.begin, hi = s.end;
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (PostingAt(mid).pre < pre_lo)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+ private:
+  FullTextIndex() = default;
+
+  /// Appends one posting (build thread only; publishes with release).
+  void Append(const Posting& p);
+
+  // 8192 postings per chunk; 1<<16 chunks = 536M postings per container.
+  static constexpr int kChunkBits = 13;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = size_t{1} << 16;
+
+  std::vector<std::atomic<Posting*>> chunks_{kMaxChunks};
+  std::atomic<uint64_t> count_{0};
+
+  std::unordered_map<int64_t, TermSpan> terms_;  // code -> span; frozen
+  std::vector<int64_t> text_pre_;  // indexed text nodes, pre-sorted
+  std::vector<int64_t> text_len_;  // parallel: token count per text node
+  int64_t total_tokens_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ft
+}  // namespace mxq
+
+#endif  // MXQ_FULLTEXT_INDEX_H_

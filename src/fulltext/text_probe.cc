@@ -1,0 +1,451 @@
+// TextProbe implementation (contract in text_probe.h; docs/fulltext.md).
+//
+// Byte-identity discipline: the index path and the scan fallback must
+// produce bit-identical doubles, so both evaluate BM25 through the single
+// Bm25Term helper below and accumulate per-node contributions in the same
+// order — (text pre ascending, query group ascending). The scan path gets
+// that order for free (it walks the subtree in document order); the index
+// path collects (pre, group, tf) triples per group and sorts them into the
+// same order before summing.
+
+#include "fulltext/text_probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/item_dict.h"
+#include "common/thread_pool.h"
+#include "fulltext/index.h"
+#include "fulltext/tokenizer.h"
+#include "storage/document.h"
+
+namespace mxq {
+namespace alg {
+namespace {
+
+using ft::FullTextIndex;
+
+// Same cancellation cadence as the evaluator's serial loops.
+constexpr size_t kStopMask = 4095;
+inline bool StopAt(const ExecFlags& fl, size_t i) {
+  return (i & kStopMask) == 0 && fl.stop_requested();
+}
+
+/// One query group = one string-literal argument, tokenized+folded.
+/// Multi-token groups are phrases (consecutive positions in one text node).
+struct Group {
+  std::vector<std::string> tokens;
+};
+
+std::vector<Group> ParseGroups(const std::vector<std::string>& args) {
+  std::vector<Group> gs;
+  gs.reserve(args.size());
+  std::string folded;
+  for (const std::string& a : args) {
+    Group g;
+    ft::Tokenize(a, [&](std::string_view raw, int32_t) {
+      ft::FoldInto(raw, &folded);
+      g.tokens.push_back(folded);
+    });
+    gs.push_back(std::move(g));
+  }
+  return gs;
+}
+
+/// BM25 contribution of one (group, text node) pair. k1/b are the classic
+/// defaults; document unit = text node (docs/fulltext.md "Scoring").
+inline double Bm25Term(double tf, double df, double n_docs, double len,
+                       double avg_len) {
+  constexpr double kK1 = 1.2;
+  constexpr double kB = 0.75;
+  const double idf = std::log((n_docs - df + 0.5) / (df + 0.5) + 1.0);
+  const double norm = 1.0 - kB + (avg_len > 0.0 ? kB * (len / avg_len) : 0.0);
+  return idf * (tf * (kK1 + 1.0)) / (tf + kK1 * norm);
+}
+
+// ---------------------------------------------------------------------------
+// scan fallback primitives
+// ---------------------------------------------------------------------------
+
+/// Folded tokens of the text node at `pre` (reuses the caller's buffers).
+void TokensOf(const StringPool& pool, const DocumentContainer& c, int64_t pre,
+              std::string* folded, std::vector<std::string>* toks) {
+  toks->clear();
+  const std::string& text = pool.Get(static_cast<StrId>(c.RefAt(pre)));
+  ft::Tokenize(text, [&](std::string_view raw, int32_t) {
+    ft::FoldInto(raw, folded);
+    toks->push_back(*folded);
+  });
+}
+
+/// Occurrences of `g` in one text node's token list (phrase = consecutive).
+int64_t GroupTf(const std::vector<std::string>& toks, const Group& g) {
+  const size_t k = g.tokens.size();
+  if (toks.size() < k) return 0;
+  int64_t tf = 0;
+  if (k == 1) {
+    for (const std::string& t : toks)
+      if (t == g.tokens[0]) ++tf;
+    return tf;
+  }
+  for (size_t i = 0; i + k <= toks.size(); ++i) {
+    bool all = true;
+    for (size_t j = 0; j < k; ++j)
+      if (toks[i + j] != g.tokens[j]) {
+        all = false;
+        break;
+      }
+    if (all) ++tf;
+  }
+  return tf;
+}
+
+// ---------------------------------------------------------------------------
+// index-path primitives (binary-search probes over posting spans)
+// ---------------------------------------------------------------------------
+
+/// Does the term have a posting exactly at (pre, pos)? Walks the node's
+/// postings from the span's lower bound (sorted by pos within a pre).
+bool HasPostingAt(const FullTextIndex& idx, const FullTextIndex::TermSpan& s,
+                  int64_t pre, int32_t pos) {
+  for (uint64_t i = idx.LowerBoundPre(s, pre); i < s.end; ++i) {
+    const ft::Posting p = idx.PostingAt(i);
+    if (p.pre != pre || p.pos > pos) return false;
+    if (p.pos == pos) return true;
+  }
+  return false;
+}
+
+/// Followers check for a phrase anchored at (pre, pos) of its first token.
+bool PhraseAt(const FullTextIndex& idx,
+              const std::vector<const FullTextIndex::TermSpan*>& sp,
+              int64_t pre, int32_t pos) {
+  for (size_t j = 1; j < sp.size(); ++j)
+    if (!HasPostingAt(idx, *sp[j], pre, pos + static_cast<int32_t>(j)))
+      return false;
+  return true;
+}
+
+/// Any occurrence of the group in pre range [lo, hi]?
+bool GroupInRange(const FullTextIndex& idx,
+                  const std::vector<const FullTextIndex::TermSpan*>& sp,
+                  int64_t lo, int64_t hi) {
+  if (sp.size() == 1) {
+    const uint64_t i = idx.LowerBoundPre(*sp[0], lo);
+    return i < sp[0]->end && idx.PostingAt(i).pre <= hi;
+  }
+  for (uint64_t i = idx.LowerBoundPre(*sp[0], lo); i < sp[0]->end; ++i) {
+    const ft::Posting p = idx.PostingAt(i);
+    if (p.pre > hi) return false;
+    if (PhraseAt(idx, sp, p.pre, p.pos)) return true;
+  }
+  return false;
+}
+
+/// Appends (pre, tf) for every text node in [lo, hi] where the group
+/// occurs, pre ascending.
+void GroupTfsInRange(const FullTextIndex& idx,
+                     const std::vector<const FullTextIndex::TermSpan*>& sp,
+                     int64_t lo, int64_t hi,
+                     std::vector<std::pair<int64_t, int64_t>>* out) {
+  int64_t cur = -1, tf = 0;
+  auto flush = [&] {
+    if (tf > 0) out->emplace_back(cur, tf);
+  };
+  const bool phrase = sp.size() > 1;
+  for (uint64_t i = idx.LowerBoundPre(*sp[0], lo); i < sp[0]->end; ++i) {
+    const ft::Posting p = idx.PostingAt(i);
+    if (p.pre > hi) break;
+    if (p.pre != cur) {
+      flush();
+      cur = p.pre;
+      tf = 0;
+    }
+    if (!phrase || PhraseAt(idx, sp, p.pre, p.pos)) ++tf;
+  }
+  flush();
+}
+
+/// Document frequency of a phrase group: distinct text nodes with >= 1 full
+/// occurrence, computed once per (query, container) by walking the first
+/// token's whole span. Must equal what the scan fallback counts.
+int64_t PhraseDf(const FullTextIndex& idx,
+                 const std::vector<const FullTextIndex::TermSpan*>& sp) {
+  int64_t df = 0, cur = -1;
+  bool matched = false;
+  for (uint64_t i = sp[0]->begin; i < sp[0]->end; ++i) {
+    const ft::Posting p = idx.PostingAt(i);
+    if (p.pre != cur) {
+      cur = p.pre;
+      matched = false;
+    }
+    if (!matched && PhraseAt(idx, sp, p.pre, p.pos)) {
+      matched = true;
+      ++df;
+    }
+  }
+  return df;
+}
+
+// ---------------------------------------------------------------------------
+// per-container probe state
+// ---------------------------------------------------------------------------
+
+struct ContainerState {
+  const DocumentContainer* doc = nullptr;
+  // Index path when set; null = scan fallback (MXQ_FT=0, or the index is
+  // unusable after dictionary exhaustion).
+  std::shared_ptr<const FullTextIndex> idx;
+  // Index path: per group, per token, its posting span (null pointer entry
+  // = token absent from this container = group matches nothing here).
+  std::vector<std::vector<const FullTextIndex::TermSpan*>> spans;
+  std::vector<bool> group_possible;  // all tokens present (index path)
+  // Corpus statistics (populated only for scored probes).
+  double n_docs = 0.0;
+  double avg_len = 0.0;
+  std::vector<double> df;  // per group
+  int64_t rows = 0;        // input rows landing in this container
+};
+
+/// Builds the probe state for one container: resolves term spans on the
+/// index path, or computes corpus stats by a full scan on the fallback.
+ContainerState MakeState(DocumentManager& mgr, const ExecFlags& fl,
+                         const DocumentContainer* doc,
+                         const std::vector<Group>& groups, bool scored) {
+  ContainerState st;
+  st.doc = doc;
+  if (fl.fulltext) {
+    std::shared_ptr<const FullTextIndex> idx = doc->fulltext_index();
+    if (idx->ok()) st.idx = std::move(idx);
+  }
+  const StringPool& pool = mgr.strings();
+  if (st.idx) {
+    ItemDict& dict = mgr.item_dict();
+    st.spans.resize(groups.size());
+    st.group_possible.assign(groups.size(), true);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (const std::string& tok : groups[g].tokens) {
+        const FullTextIndex::TermSpan* span = nullptr;
+        const StrId sid = pool.Find(tok);
+        if (sid != kInvalidStrId) {
+          const ItemDict::Code code = dict.Encode(pool, Item::String(sid));
+          if (code != ItemDict::kInvalidCode) span = st.idx->Lookup(code);
+        }
+        st.spans[g].push_back(span);
+        if (span == nullptr) st.group_possible[g] = false;
+      }
+    }
+    if (scored) {
+      st.n_docs = static_cast<double>(st.idx->text_nodes());
+      st.avg_len = st.idx->avg_len();
+      st.df.assign(groups.size(), 0.0);
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (!st.group_possible[g]) continue;
+        st.df[g] = groups[g].tokens.size() == 1
+                       ? static_cast<double>(st.spans[g][0]->df)
+                       : static_cast<double>(PhraseDf(*st.idx, st.spans[g]));
+      }
+    }
+    return st;
+  }
+  if (scored) {
+    // Fallback corpus scan: same document unit, token rules, and df
+    // definition as the index builder, so both paths feed Bm25Term the
+    // same doubles.
+    st.df.assign(groups.size(), 0.0);
+    int64_t n_text = 0, total = 0;
+    std::string folded;
+    std::vector<std::string> toks;
+    const int64_t slots = doc->LogicalSlots();
+    for (int64_t pre = doc->SkipUnused(0); pre < slots;
+         pre = doc->SkipUnused(pre + 1)) {
+      if (doc->KindAt(pre) != NodeKind::kText) continue;
+      if (StopAt(fl, static_cast<size_t>(n_text))) break;
+      TokensOf(pool, *doc, pre, &folded, &toks);
+      ++n_text;
+      total += static_cast<int64_t>(toks.size());
+      for (size_t g = 0; g < groups.size(); ++g)
+        if (GroupTf(toks, groups[g]) > 0) st.df[g] += 1.0;
+    }
+    st.n_docs = static_cast<double>(n_text);
+    st.avg_len =
+        n_text == 0 ? 0.0 : static_cast<double>(total) / st.n_docs;
+  }
+  return st;
+}
+
+}  // namespace
+
+Result<TablePtr> TextProbe(DocumentManager& mgr, const ExecFlags& fl,
+                           const TablePtr& rel, const TablePtr& loop,
+                           const std::vector<std::string>& args, bool scored) {
+  // Postings-probe fault boundary (docs/robustness.md): injections here
+  // surface exactly like any kernel-boundary fault, before any fan-out.
+  MXQ_FAULT_POINT("ft.probe");
+
+  const std::vector<Group> groups = ParseGroups(args);
+  bool degenerate = groups.empty();
+  for (const Group& g : groups)
+    if (g.tokens.empty()) degenerate = true;
+
+  const int rel_iter = rel->ColumnIndex("iter");
+  const int rel_item = rel->ColumnIndex("item");
+  const size_t nrows = rel->rows();
+
+  // Per-row verdicts, written into disjoint slots by the morsel loop.
+  std::vector<uint8_t> match;
+  std::vector<double> score;
+  if (scored)
+    score.assign(nrows, 0.0);
+  else
+    match.assign(nrows, 0);
+
+  if (!degenerate && nrows > 0) {
+    // Serial pre-pass: discover the containers on this probe's input and
+    // build their probe state (get-or-build the index / resolve spans /
+    // corpus stats) once, so the parallel loop below only reads.
+    std::unordered_map<int32_t, ContainerState> states;
+    for (size_t r = 0; r < nrows; ++r) {
+      if (StopAt(fl, r)) break;
+      const Item it = rel->ItemAt(rel_item, r);
+      if (!it.is_node()) continue;
+      const int32_t cid = it.node().container;
+      auto found = states.find(cid);
+      if (found == states.end())
+        found = states
+                    .emplace(cid, MakeState(mgr, fl, mgr.container(cid),
+                                            groups, scored))
+                    .first;
+      ++found->second.rows;
+    }
+    for (const auto& [cid, st] : states) {
+      if (st.idx)
+        fl.stats.ft_index_probes += st.rows;
+      else
+        fl.stats.ft_scan_probes += st.rows;
+    }
+
+    // Morsel-parallel row loop: each row resolves independently (disjoint
+    // output slots, read-only shared state), stitched by position.
+    const int chunks = PlanChunks(fl.exec_threads(), nrows);
+    ParallelChunks(chunks, nrows, [&](int, size_t b, size_t e) {
+      std::string folded;
+      std::vector<std::string> toks;
+      std::vector<std::pair<int64_t, int64_t>> tfs;
+      std::vector<std::tuple<int64_t, size_t, int64_t>> triples;
+      for (size_t r = b; r < e; ++r) {
+        if (StopAt(fl, r - b)) break;
+        const Item it = rel->ItemAt(rel_item, r);
+        if (!it.is_node()) continue;
+        const NodeRef nr = it.node();
+        // A stop request can truncate the pre-pass; rows whose container
+        // never got a state stay unmatched (the post-operator governance
+        // checkpoint converts the stop into a typed Status anyway).
+        auto found = states.find(nr.container);
+        if (found == states.end()) continue;
+        const ContainerState& st = found->second;
+        const DocumentContainer& doc = *st.doc;
+        const int64_t lo = nr.pre;
+        const int64_t hi = nr.pre + doc.SizeAt(nr.pre);
+        if (st.idx) {
+          const FullTextIndex& idx = *st.idx;
+          if (!scored) {
+            bool all = true;
+            for (size_t g = 0; g < groups.size() && all; ++g)
+              all = st.group_possible[g] &&
+                    GroupInRange(idx, st.spans[g], lo, hi);
+            match[r] = all ? 1 : 0;
+          } else {
+            triples.clear();
+            for (size_t g = 0; g < groups.size(); ++g) {
+              if (!st.group_possible[g]) continue;
+              tfs.clear();
+              GroupTfsInRange(idx, st.spans[g], lo, hi, &tfs);
+              for (const auto& [pre, tf] : tfs)
+                triples.emplace_back(pre, g, tf);
+            }
+            // (pre, group) ascending = the scan path's accumulation order.
+            std::sort(triples.begin(), triples.end());
+            double s = 0.0;
+            for (const auto& [pre, g, tf] : triples)
+              s += Bm25Term(static_cast<double>(tf), st.df[g], st.n_docs,
+                            static_cast<double>(idx.TextLen(pre)),
+                            st.avg_len);
+            score[r] = s;
+          }
+        } else {
+          // Naive fallback: tokenize every text node under the subtree.
+          const StringPool& pool = mgr.strings();
+          std::vector<uint8_t> seen(groups.size(), 0);
+          size_t remaining = groups.size();
+          double s = 0.0;
+          for (int64_t pre = doc.SkipUnused(lo); pre <= hi;
+               pre = doc.SkipUnused(pre + 1)) {
+            if (doc.KindAt(pre) != NodeKind::kText) continue;
+            TokensOf(pool, doc, pre, &folded, &toks);
+            for (size_t g = 0; g < groups.size(); ++g) {
+              const int64_t tf = GroupTf(toks, groups[g]);
+              if (tf <= 0) continue;
+              if (scored) {
+                s += Bm25Term(static_cast<double>(tf), st.df[g], st.n_docs,
+                              static_cast<double>(toks.size()), st.avg_len);
+              } else if (!seen[g]) {
+                seen[g] = 1;
+                --remaining;
+              }
+            }
+            if (!scored && remaining == 0) break;
+          }
+          if (scored)
+            score[r] = s;
+          else
+            match[r] = remaining == 0 ? 1 : 0;
+        }
+      }
+    });
+    if (chunks > 1) fl.stats.par_tasks += chunks;
+  }
+
+  // Serial per-iteration aggregation in rel row order: any-match for
+  // ft:contains, summed score for ft:score — identical on both paths.
+  std::vector<uint8_t> agg_b;
+  std::vector<double> agg_d;
+  if (scored)
+    agg_d.assign(loop->rows(), 0.0);
+  else
+    agg_b.assign(loop->rows(), 0);
+  std::unordered_map<int64_t, size_t> loop_row;
+  loop_row.reserve(loop->rows());
+  for (size_t r = 0; r < loop->rows(); ++r)
+    loop_row.emplace(loop->I64At(0, r), r);
+  for (size_t r = 0; r < nrows && !degenerate; ++r) {
+    auto it = loop_row.find(rel->I64At(rel_iter, r));
+    if (it == loop_row.end()) continue;
+    if (scored)
+      agg_d[it->second] += score[r];
+    else
+      agg_b[it->second] |= match[r];
+  }
+
+  std::vector<Item> out_val(loop->rows());
+  for (size_t r = 0; r < loop->rows(); ++r)
+    out_val[r] = scored ? Item::Double(agg_d[r])
+                        : Item::Bool(agg_b[r] != 0);
+
+  auto t = Table::Make();
+  t->AddColumn("iter", loop->raw_col(0), loop->col_sel(0));
+  t->AddColumn("item", Column::MakeItem(std::move(out_val)));
+  if (loop->props().is_key(loop->name(0))) t->props().key.insert("iter");
+  if (loop->props().is_dense(loop->name(0))) t->props().dense.insert("iter");
+  if (loop->props().OrderedBy({loop->name(0)})) t->props().ord = {"iter"};
+  return t;
+}
+
+}  // namespace alg
+}  // namespace mxq

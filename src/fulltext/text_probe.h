@@ -1,0 +1,42 @@
+// alg::TextProbe — the fulltext predicate operator (docs/fulltext.md).
+//
+// Evaluates ft:contains / ft:score over a loop-lifted node sequence: for
+// each loop iteration, does any node in the group's sequence contain every
+// query group (a group = one string-literal argument; multi-token groups
+// are phrases), and what is the summed BM25 score of its matching nodes.
+//
+// Two physically different, bit-identical paths:
+//   * index path (ExecFlags::fulltext): per-container inverted index;
+//     existence and tf come from binary-search probes of posting spans
+//     (k-way position merge for phrases), morsel-parallel over input rows;
+//   * scan fallback: tokenize every text node under each candidate subtree
+//     with the same tokenizer and count matches directly.
+// The differential suite (tests/fulltext_test.cc) holds the two paths
+// byte-identical across the kernel-toggle matrix and thread widths.
+
+#ifndef MXQ_FULLTEXT_TEXT_PROBE_H_
+#define MXQ_FULLTEXT_TEXT_PROBE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "common/status.h"
+
+namespace mxq {
+namespace alg {
+
+/// `rel`: (iter, pos, item) node sequence; `loop`: the loop relation (col 0
+/// = iter). `args`: the query's string-literal arguments, one group each.
+/// Returns (iter, item) with one row per loop iteration: xs:boolean
+/// (`scored` = false, ft:contains) or xs:double (`scored` = true,
+/// ft:score; 0.0 for iterations with no match). Non-node and attribute
+/// items never match and score 0.
+Result<TablePtr> TextProbe(DocumentManager& mgr, const ExecFlags& fl,
+                           const TablePtr& rel, const TablePtr& loop,
+                           const std::vector<std::string>& args, bool scored);
+
+}  // namespace alg
+}  // namespace mxq
+
+#endif  // MXQ_FULLTEXT_TEXT_PROBE_H_

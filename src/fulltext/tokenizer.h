@@ -1,0 +1,69 @@
+// Fulltext tokenizer (docs/fulltext.md "Tokenization").
+//
+// One tokenization, two consumers: the index builder (fulltext/index.cc)
+// and the naive scan fallback (fulltext/text_probe.cc) must segment and
+// fold text identically, or the differential suite's byte-identity claim is
+// vacuous. The rules are deliberately simple and locale-free:
+//
+//   * a token is a maximal run of [0-9A-Za-z] or bytes >= 0x80 (UTF-8
+//     sequences pass through whole, so non-ASCII words are one token);
+//   * every other byte is a separator;
+//   * ASCII letters are folded to lower case; non-ASCII bytes are kept
+//     verbatim (no Unicode case folding — documented dialect restriction).
+//
+// Token positions are 0-based ordinals within one text node; phrase
+// matching means consecutive positions in the *same* text node.
+
+#ifndef MXQ_FULLTEXT_TOKENIZER_H_
+#define MXQ_FULLTEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mxq {
+namespace ft {
+
+inline bool IsTokenByte(unsigned char c) {
+  return (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') ||
+         (c >= 'a' && c <= 'z') || c >= 0x80;
+}
+
+inline char FoldByte(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
+}
+
+/// Appends the case-folded image of `raw` to `*out` (cleared first).
+inline void FoldInto(std::string_view raw, std::string* out) {
+  out->clear();
+  out->reserve(raw.size());
+  for (char c : raw) out->push_back(FoldByte(c));
+}
+
+/// Calls fn(raw_token, position) for each token of `text`, left to right.
+/// `raw_token` is the unfolded substring (views into `text`); positions are
+/// 0-based token ordinals.
+template <class F>
+inline void Tokenize(std::string_view text, F&& fn) {
+  const size_t n = text.size();
+  size_t i = 0;
+  int32_t pos = 0;
+  while (i < n) {
+    while (i < n && !IsTokenByte(static_cast<unsigned char>(text[i]))) ++i;
+    const size_t b = i;
+    while (i < n && IsTokenByte(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > b) fn(text.substr(b, i - b), pos++);
+  }
+}
+
+/// Number of tokens in `text` (the per-text-node document length BM25 uses).
+inline int64_t CountTokens(std::string_view text) {
+  int64_t n = 0;
+  Tokenize(text, [&](std::string_view, int32_t) { ++n; });
+  return n;
+}
+
+}  // namespace ft
+}  // namespace mxq
+
+#endif  // MXQ_FULLTEXT_TOKENIZER_H_

@@ -45,6 +45,10 @@
 
 namespace mxq {
 
+namespace ft {
+class FullTextIndex;
+}  // namespace ft
+
 enum class NodeKind : uint8_t {
   kDoc = 0,
   kElem,
@@ -250,6 +254,15 @@ class DocumentContainer {
   /// Attribute rows with qname `qn`, sorted by owner document order.
   const std::vector<int64_t>& AttrsNamed(StrId qn) const;
 
+  /// Inverted fulltext index over this container's text nodes
+  /// (fulltext/index.h). Get-or-build under index_mu_ like the name
+  /// indexes; the returned instance is immutable, so probes read it
+  /// lock-free while InvalidateIndexes()/Clear() swap in a rebuild for
+  /// later executions. Defined in fulltext/index.cc.
+  std::shared_ptr<const ft::FullTextIndex> fulltext_index() const;
+  /// The index if already built, else null (no build; introspection/tests).
+  std::shared_ptr<const ft::FullTextIndex> fulltext_index_if_built() const;
+
   void InvalidateIndexes() {
     std::lock_guard<std::mutex> lk(index_mu_);
     elem_index_.clear();
@@ -258,6 +271,7 @@ class DocumentContainer {
     attr_index_built_ = false;
     attr_owner_sorted_ = attr_appended_in_order_;
     attr_perm_.clear();
+    ft_index_.reset();
   }
 
   // ---- subtree copy (element construction, updates) ------------------------
@@ -357,6 +371,7 @@ class DocumentContainer {
   mutable std::unordered_map<StrId, std::vector<int64_t>> attr_name_index_;
   mutable bool elem_index_built_ = false;
   mutable bool attr_index_built_ = false;
+  mutable std::shared_ptr<const ft::FullTextIndex> ft_index_;
 
   std::unique_ptr<PageMap> page_map_;
 };

@@ -286,13 +286,18 @@ Result<DocumentContainer*> ShredDocument(DocumentManager* mgr,
   Shredder sh(c, xml, opts);
   auto root = sh.ParseDocument(c->next_frag());
   if (!root.ok()) return root.status();
+  if (opts.build_fulltext) (void)c->fulltext_index();
   return c;
 }
 
 Result<int64_t> ShredFragment(DocumentContainer* container,
                               std::string_view xml, const ShredOptions& opts) {
   Shredder sh(container, xml, opts);
-  return sh.ParseFragment(container->next_frag());
+  auto root = sh.ParseFragment(container->next_frag());
+  // Appended nodes make any built name/fulltext index stale: drop them so
+  // the next consumer rebuilds over the grown container.
+  if (root.ok()) container->InvalidateIndexes();
+  return root;
 }
 
 }  // namespace mxq

@@ -25,6 +25,10 @@ struct ShredOptions {
   /// Discard whitespace-only text nodes (on: typical DB behaviour, and what
   /// XMark-style data expects).
   bool strip_whitespace_text = true;
+  /// Build the fulltext inverted index (docs/fulltext.md) eagerly as part
+  /// of shredding. Off by default: the index is otherwise built lazily on
+  /// the first ft:contains/ft:score probe against the container.
+  bool build_fulltext = false;
 };
 
 /// \brief Parses `xml` and loads it as document `name` into `mgr`.

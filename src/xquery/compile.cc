@@ -1035,6 +1035,23 @@ Result<PlanPtr> Compiler::CompileCall(const Expr& e, LoopCtx* loop,
   if (f == "contains") return map2(ScalarFn::kContains);
   if (f == "starts-with") return map2(ScalarFn::kStartsWith);
   if (f == "substring") return map2(ScalarFn::kSubstring2);
+  if (f == "ft:contains" || f == "ft:score") {
+    // Fulltext predicate (docs/fulltext.md): term arguments must be string
+    // literals so the query terms are plan constants — the probe resolves
+    // them against the per-container index at execution time.
+    if (e.children.size() < 2)
+      return Status(Err(f + " needs a sequence and at least one term"));
+    for (size_t i = 1; i < e.children.size(); ++i)
+      if (e.children[i]->kind != ExprKind::kStringLit)
+        return Status(Err(f + " term arguments must be string literals"));
+    MXQ_ASSIGN_OR_RETURN(PlanPtr rel, Compile(*e.children[0], loop, env));
+    PlanPtr n = MakePlan(OpCode::kTextProbe);
+    n->inputs = {std::move(rel), loop->loop};
+    for (size_t i = 1; i < e.children.size(); ++i)
+      n->cols_list.push_back(e.children[i]->str);
+    n->flag = (f == "ft:score");
+    return ConstCol(std::move(n), "pos", Item::Int(1));
+  }
   if (f == "concat") {
     if (e.children.size() < 2) return Status(Err("concat needs >= 2 args"));
     PlanPtr acc;

@@ -19,6 +19,7 @@
 #include "common/counting_sort.h"
 #include "common/exec_context.h"
 #include "common/fault.h"
+#include "fulltext/text_probe.h"
 #include "staircase/loop_lifted.h"
 #include "xml/serializer.h"
 #include "xquery/engine.h"
@@ -937,6 +938,13 @@ Result<TablePtr> Eval(PlanNode* n, Ctx& ctx) {
       if (!n->assert_props.ord.empty()) out->props().ord = n->assert_props.ord;
       for (const auto& g : n->assert_props.grpord)
         out->props().grpord.push_back(g);
+      break;
+    }
+    case OpCode::kTextProbe: {
+      MXQ_ASSIGN_OR_RETURN(TablePtr rel, EvalIn(n->inputs[0], ctx));
+      MXQ_ASSIGN_OR_RETURN(TablePtr loop, EvalIn(n->inputs[1], ctx));
+      MXQ_ASSIGN_OR_RETURN(
+          out, alg::TextProbe(mgr, fl, rel, loop, n->cols_list, n->flag));
       break;
     }
     case OpCode::kParam: {

@@ -52,6 +52,7 @@ enum class OpCode : uint8_t {
   kStringJoinAggr, // group concat: inputs rel, loop; sep
   kAssertProps,    // adds compiler-known properties to the input
   kParam,          // external-variable slot: (pos, item) of the bound value
+  kTextProbe,      // inputs: rel, loop; cols_list = query terms; flag = scored
 };
 
 enum class ScalarFn : uint8_t {

@@ -1,0 +1,362 @@
+// Fulltext subsystem tests (docs/fulltext.md).
+//
+// The core is a differential suite: every ft:contains / ft:score query runs
+// on both physical paths — posting-list probes (MXQ_FT=1) and the naive
+// subtree scan (MXQ_FT=0) — across the kernel-toggle matrix and thread
+// widths {1, 4}, and every serialized result must be byte-identical to the
+// serial scan baseline. BM25 scores are doubles, so byte-identity is the
+// strictest possible check that both paths compute the same arithmetic in
+// the same order.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fulltext/index.h"
+#include "fulltext/tokenizer.h"
+#include "xml/shredder.h"
+#include "xquery/engine.h"
+
+namespace mxq {
+namespace {
+
+using xq::CompileOptions;
+using xq::EvalOptions;
+using xq::XQueryEngine;
+
+// ---------------------------------------------------------------------------
+// tokenizer
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Toks(const std::string& text) {
+  std::vector<std::string> out;
+  std::string folded;
+  ft::Tokenize(text, [&](std::string_view raw, int32_t pos) {
+    EXPECT_EQ(pos, static_cast<int32_t>(out.size()));
+    ft::FoldInto(raw, &folded);
+    out.push_back(folded);
+  });
+  return out;
+}
+
+TEST(Tokenizer, SplitsOnNonAlnumAndFoldsAscii) {
+  EXPECT_EQ(Toks("Hello, World!"), (std::vector<std::string>{"hello", "world"}));
+  EXPECT_EQ(Toks("  a--b_c  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Toks("x86-64 CPUs"), (std::vector<std::string>{"x86", "64", "cpus"}));
+  EXPECT_EQ(Toks(""), std::vector<std::string>{});
+  EXPECT_EQ(Toks("...!?"), std::vector<std::string>{});
+  EXPECT_EQ(ft::CountTokens("one two  three"), 3);
+}
+
+TEST(Tokenizer, NonAsciiBytesAreTokenBytesAndNotFolded) {
+  // UTF-8 high bytes stay verbatim (byte-level tokenizer; no Unicode
+  // case folding), so multi-byte words round-trip unchanged.
+  EXPECT_EQ(Toks("caf\xc3\xa9 Bar"),
+            (std::vector<std::string>{"caf\xc3\xa9", "bar"}));
+}
+
+// ---------------------------------------------------------------------------
+// fixtures
+// ---------------------------------------------------------------------------
+
+// Deterministic synthetic corpus: paragraphs of vocabulary words, plus a
+// rare needle in a known paragraph. An LCG (not std::rand) keeps the
+// corpus identical across platforms.
+std::string MakeCorpus(int docs, int paras_per_doc, int words_per_para) {
+  static const char* kVocab[] = {
+      "alpha", "beta",  "gamma", "delta", "epsilon", "zeta",  "eta",
+      "theta", "iota",  "kappa", "lambda", "mu",     "nu",    "xi",
+      "omicron", "pi",  "rho",   "sigma", "tau",     "upsilon"};
+  constexpr int kV = sizeof(kVocab) / sizeof(kVocab[0]);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<int>((state >> 33) % kV);
+  };
+  std::string xml = "<corpus>";
+  for (int d = 0; d < docs; ++d) {
+    xml += "<doc id=\"" + std::to_string(d) + "\">";
+    for (int p = 0; p < paras_per_doc; ++p) {
+      xml += "<p>";
+      for (int w = 0; w < words_per_para; ++w) {
+        if (w) xml += ' ';
+        xml += kVocab[next()];
+      }
+      if (d == 3 && p == 1) xml += " cobalt";  // the rare needle
+      xml += "</p>";
+    }
+    xml += "</doc>";
+  }
+  xml += "</corpus>";
+  return xml;
+}
+
+class FulltextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ShredDocument(&mgr_, "tiny.xml",
+                              "<d><a>Hello brave new World</a>"
+                              "<b>world peace now</b>"
+                              "<c>unrelated text</c></d>")
+                    .ok());
+    ASSERT_TRUE(
+        ShredDocument(&mgr_, "corpus.xml", MakeCorpus(16, 4, 24)).ok());
+  }
+
+  /// Executes `q` under explicit toggles; returns the serialized result and
+  /// accumulates the execution's stats into `*stats` when non-null.
+  std::string RunWith(const std::string& q, bool ft, int threads,
+                      bool kernels_on, alg::ExecStats* stats = nullptr) {
+    XQueryEngine eng(&mgr_);
+    auto comp = eng.Compile(q);
+    EXPECT_TRUE(comp.ok()) << q << " -> " << comp.status().ToString();
+    if (!comp.ok()) return "<compile error>";
+    EvalOptions eo;
+    eo.alg.fulltext = ft;
+    eo.alg.threads = threads;
+    eo.alg.order_opt = eo.alg.positional = kernels_on;
+    eo.alg.radix_join = eo.alg.sel_vectors = kernels_on;
+    eo.alg.dense_sort = eo.alg.dict_items = kernels_on;
+    auto res = eng.Execute(*comp, &eo);
+    EXPECT_TRUE(res.ok()) << q << " -> " << res.status().ToString();
+    if (!res.ok()) return "<exec error>";
+    if (stats) stats->Add(eo.alg.stats);
+    return res->Serialize(mgr_);
+  }
+
+  /// Differential sweep: scan-serial baseline, then every combination of
+  /// {index, scan} x {kernels on, off} x threads {1, 4} must serialize
+  /// byte-identically.
+  std::string Differential(const std::string& q) {
+    const std::string base = RunWith(q, /*ft=*/false, 1, /*kernels_on=*/true);
+    for (bool ft : {false, true}) {
+      for (bool kernels : {true, false}) {
+        for (int threads : {1, 4}) {
+          EXPECT_EQ(RunWith(q, ft, threads, kernels), base)
+              << q << " [ft=" << ft << " kernels=" << kernels
+              << " threads=" << threads << "]";
+        }
+      }
+    }
+    return base;
+  }
+
+  DocumentManager mgr_;
+};
+
+// ---------------------------------------------------------------------------
+// hand-checked semantics (tiny.xml)
+// ---------------------------------------------------------------------------
+
+TEST_F(FulltextTest, ContainsBasics) {
+  // Matching is per node-subtree, case-folded, word- (not substring-) based.
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "hello"))"),
+            "true");
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "HELLO"))"),
+            "true");
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "hell"))"),
+            "false");  // words, not substrings
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "peace"))"),
+            "false");
+  EXPECT_EQ(Differential(R"(for $x in doc("tiny.xml")/d
+                            return ft:contains($x, "peace"))"),
+            "true");  // subtree includes <b>
+  EXPECT_EQ(Differential(R"(for $x in doc("tiny.xml")//b
+                            return ft:contains($x, "world", "peace"))"),
+            "true");
+}
+
+TEST_F(FulltextTest, PhraseNeedsConsecutivePositionsInOneTextNode) {
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "brave new world"))"),
+            "true");
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "new brave"))"),
+            "false");  // order matters
+  // "world" ends <a>'s text and "peace" starts <b>'s: a phrase must not
+  // match across text-node boundaries even though both words are under /d.
+  EXPECT_EQ(Differential(R"(for $x in doc("tiny.xml")/d
+                            return ft:contains($x, "world peace"))"),
+            "true");  // ...but it does match inside <b> itself
+  EXPECT_EQ(Differential(R"(for $x in doc("tiny.xml")/d
+                            return ft:contains($x, "hello brave new world peace"))"),
+            "false");
+}
+
+TEST_F(FulltextTest, ConjunctionGroupsAreIndependent) {
+  // "hello" is in <a>, "peace" in <b>: the conjunction holds for /d (both
+  // groups occur somewhere in the subtree) but for neither <a> nor <b>.
+  EXPECT_EQ(Differential(R"(for $x in doc("tiny.xml")/d
+                            return ft:contains($x, "hello", "peace"))"),
+            "true");
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "hello", "peace"))"),
+            "false");
+}
+
+TEST_F(FulltextTest, NonNodeItemsNeverMatch) {
+  EXPECT_EQ(Differential(R"(ft:contains("hello hello", "hello"))"), "false");
+  EXPECT_EQ(Differential(R"(ft:score("hello hello", "hello"))"), "0");
+}
+
+TEST_F(FulltextTest, DegenerateTermsMatchNothing) {
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "..."))"),
+            "false");  // punctuation-only argument tokenizes to nothing
+  EXPECT_EQ(Differential(R"(for $a in doc("tiny.xml")//a
+                            return ft:contains($a, "xyzzy"))"),
+            "false");  // term absent from the corpus (and the StringPool)
+}
+
+TEST_F(FulltextTest, ScoreIsPositiveForMatchesZeroOtherwise) {
+  const std::string s = Differential(
+      R"(for $x in doc("tiny.xml")//a return ft:score($x, "hello"))");
+  EXPECT_NE(s, "0");
+  EXPECT_EQ(s.find('-'), std::string::npos) << s;  // BM25 here is >= 0
+  EXPECT_EQ(Differential(
+                R"(for $x in doc("tiny.xml")//c return ft:score($x, "hello"))"),
+            "0");
+}
+
+TEST_F(FulltextTest, TermArgumentsMustBeStringLiterals) {
+  XQueryEngine eng(&mgr_);
+  EXPECT_FALSE(eng.Compile(R"(for $a in doc("tiny.xml")//a
+                              return ft:contains($a, string($a)))")
+                   .ok());
+  EXPECT_FALSE(eng.Compile(R"(ft:contains())").ok());
+  EXPECT_FALSE(eng.Compile(R"(for $a in doc("tiny.xml")//a
+                              return ft:contains($a))")
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// differential sweep on the synthetic corpus
+// ---------------------------------------------------------------------------
+
+TEST_F(FulltextTest, CorpusDifferentialContains) {
+  Differential(R"(for $d in doc("corpus.xml")//doc
+                  where ft:contains($d, "alpha") return $d/@id)");
+  Differential(R"(for $d in doc("corpus.xml")//doc
+                  where ft:contains($d, "cobalt") return $d/@id)");
+  Differential(R"(for $p in doc("corpus.xml")//p
+                  where ft:contains($p, "alpha", "gamma") return $p)");
+  Differential(R"(for $p in doc("corpus.xml")//p
+                  where ft:contains($p, "alpha beta") return $p)");
+  Differential(R"(count(for $p in doc("corpus.xml")//p
+                  where ft:contains($p, "sigma") return $p))");
+}
+
+TEST_F(FulltextTest, CorpusDifferentialScore) {
+  // Full BM25 over every paragraph and over whole docs: doubles must be
+  // byte-identical between index probes and the scan across all toggles.
+  Differential(R"(for $p in doc("corpus.xml")//p
+                  return ft:score($p, "alpha"))");
+  Differential(R"(for $d in doc("corpus.xml")//doc
+                  return ft:score($d, "alpha", "kappa"))");
+  Differential(R"(for $d in doc("corpus.xml")//doc
+                  return ft:score($d, "alpha beta"))");
+  Differential(R"(for $d in doc("corpus.xml")//doc
+                  where ft:score($d, "cobalt") > 0 return $d/@id)");
+}
+
+TEST_F(FulltextTest, NeedleFindsExactlyItsDocument) {
+  EXPECT_EQ(Differential(R"(for $d in doc("corpus.xml")//doc
+                            where ft:contains($d, "cobalt") return $d/@id)"),
+            "id=\"3\"");
+}
+
+// ---------------------------------------------------------------------------
+// stats, build lifecycle, fallback
+// ---------------------------------------------------------------------------
+
+TEST_F(FulltextTest, StatsRecordWhichPathAnswered) {
+  const std::string q = R"(for $p in doc("corpus.xml")//p
+                           return ft:contains($p, "alpha"))";
+  alg::ExecStats on, off;
+  RunWith(q, /*ft=*/true, 1, true, &on);
+  RunWith(q, /*ft=*/false, 1, true, &off);
+  EXPECT_GT(on.ft_index_probes, 0);
+  EXPECT_EQ(on.ft_scan_probes, 0);
+  EXPECT_EQ(off.ft_index_probes, 0);
+  EXPECT_GT(off.ft_scan_probes, 0);
+}
+
+TEST_F(FulltextTest, IndexBuildsLazilyOncePerContainer) {
+  auto doc = mgr_.GetDocument("corpus.xml");
+  ASSERT_TRUE(doc.ok());
+  const DocumentContainer* c = *doc;
+  EXPECT_EQ(c->fulltext_index_if_built(), nullptr);
+  auto idx = c->fulltext_index();
+  ASSERT_NE(idx, nullptr);
+  EXPECT_TRUE(idx->ok());
+  EXPECT_GT(idx->text_nodes(), 0);
+  EXPECT_GT(idx->total_tokens(), 0);
+  EXPECT_EQ(c->fulltext_index(), idx);  // memoized, not rebuilt
+  EXPECT_EQ(c->fulltext_index_if_built(), idx);
+}
+
+TEST_F(FulltextTest, ShredTimeBuildViaOptions) {
+  ShredOptions opts;
+  opts.build_fulltext = true;
+  auto doc = ShredDocument(&mgr_, "eager.xml", "<r><t>hello index</t></r>",
+                           opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE((*doc)->fulltext_index_if_built(), nullptr);
+}
+
+TEST_F(FulltextTest, MutationInvalidatesAndRebuildFindsNewText) {
+  auto doc = mgr_.GetDocument("tiny.xml");
+  ASSERT_TRUE(doc.ok());
+  DocumentContainer* c = *doc;
+  auto before = c->fulltext_index();
+  ASSERT_TRUE(before->ok());
+
+  // Appending a fragment runs the mutation path, which must drop the
+  // cached index; the next probe rebuilds and sees the new token.
+  ASSERT_TRUE(ShredFragment(c, "<z>freshly added quicksilver</z>").ok());
+  EXPECT_EQ(c->fulltext_index_if_built(), nullptr);
+  auto after = c->fulltext_index();
+  EXPECT_NE(after, before);
+  EXPECT_GT(after->total_tokens(), before->total_tokens());
+
+  // The rebuilt index names the new token; the old one never did.
+  const StringPool& pool = mgr_.strings();
+  const StrId sid = pool.Find("quicksilver");
+  ASSERT_NE(sid, kInvalidStrId);
+  const ItemDict::Code code =
+      mgr_.item_dict().Encode(pool, Item::String(sid));
+  EXPECT_NE(after->Lookup(code), nullptr);
+  EXPECT_EQ(before->Lookup(code), nullptr);
+}
+
+TEST_F(FulltextTest, DictionaryExhaustionFallsBackToScan) {
+  // Cap the shared ItemDict so the index build cannot name all terms: the
+  // index marks itself unusable and every probe takes the scan path —
+  // same answers, no error.
+  DocumentManager mgr;
+  ASSERT_TRUE(
+      ShredDocument(&mgr, "t.xml", "<d><a>one two three four</a></d>").ok());
+  mgr.item_dict().set_max_entries_for_test(2);
+  auto doc = mgr.GetDocument("t.xml");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE((*doc)->fulltext_index()->ok());
+
+  XQueryEngine eng(&mgr);
+  const std::string q =
+      R"(for $a in doc("t.xml")//a return ft:contains($a, "three"))";
+  EvalOptions eo;
+  eo.alg.fulltext = true;
+  auto r = eng.Run(q, {}, &eo);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "true");
+  EXPECT_GT(eo.alg.stats.ft_scan_probes, 0);
+  EXPECT_EQ(eo.alg.stats.ft_index_probes, 0);
+}
+
+}  // namespace
+}  // namespace mxq

@@ -14,8 +14,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/fault.h"
 #include "common/item_dict.h"
+#include "common/thread_pool.h"
+#include "storage/column.h"
 #include "test_util.h"
 #include "xml/shredder.h"
 #include "xquery/engine.h"
@@ -505,6 +508,66 @@ TEST_F(GovernanceTest, GovernanceStatsPartitionOutcomes) {
   EXPECT_EQ(st.admitted, st.completed_ok + st.cancelled +
                              st.deadline_exceeded + st.resource_exhausted +
                              st.failed_other);
+}
+
+// ---------------------------------------------------------------------------
+// Fulltext probe boundary
+// ---------------------------------------------------------------------------
+
+TEST_F(GovernanceTest, FulltextProbeFaultSurfacesAndEngineRecovers) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(R"(for $p in doc("auction.xml")//person
+                        where ft:contains($p, "kasidit") return $p/name)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  auto base = s.Execute(*q);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const std::string expected = base->Serialize(mgr_);
+  ASSERT_FALSE(expected.empty());
+
+  struct {
+    fault::Kind kind;
+    StatusCode code;
+  } kinds[] = {{fault::Kind::kCancel, StatusCode::kCancelled},
+               {fault::Kind::kMemExhaust, StatusCode::kResourceExhausted}};
+  for (const auto& k : kinds) {
+    fault::Arm("ft.probe", k.kind);
+    auto r = s.Execute(*q);
+    // Unlike the generic sweep, ft.probe is known to be on this plan's
+    // path: the injection must fire and surface as the typed Status.
+    EXPECT_GT(fault::InjectionCount(), 0);
+    ASSERT_FALSE(r.ok()) << "ft.probe fault swallowed";
+    EXPECT_EQ(r.status().code(), k.code) << r.status().ToString();
+    fault::Disarm();
+    auto after = s.Execute(*q);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(after->Serialize(mgr_), expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-thread memory billing
+// ---------------------------------------------------------------------------
+
+TEST(WorkerBilling, PoolWorkersChargeSubmittersMemAccount) {
+  // Columns built on pool workers during a parallel region must charge the
+  // submitting execution's MemAccount — a kernel cannot evade its memory
+  // budget by fanning out (thread_pool.h job_ctx_ propagation).
+  ExecContext ec;
+  ScopedExecContext scoped(&ec);
+  constexpr int kTasks = 8;
+  constexpr size_t kRows = 4096;
+  std::vector<ColumnPtr> cols(kTasks);
+  ThreadPool::Global().Run(kTasks, [&](int t) {
+    cols[t] = Column::MakeI64(std::vector<int64_t>(kRows, t));
+  });
+  const int64_t expect =
+      int64_t{kTasks} * static_cast<int64_t>(kRows * sizeof(int64_t));
+  EXPECT_GE(ec.mem()->peak_bytes(), expect);
+  EXPECT_GE(ec.mem()->live_bytes(), expect);
+  cols.clear();  // releases flow back to the same account
+  EXPECT_EQ(ec.mem()->live_bytes(), 0);
 }
 
 }  // namespace

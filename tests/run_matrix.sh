@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 suite across the dictionary-encoding matrix: runs ctest once with
-# MXQ_DICT=0 and once with MXQ_DICT=1 so both physical item-column
-# encodings stay green in every PR. Registered as the `run_matrix` ctest
-# target (CMakeLists.txt), which runs it against the current build —
-# including a sanitizer build when that is what was configured:
+# Tier-1 suite across the physical-encoding matrix: the dictionary legs
+# (MXQ_DICT=0/1, both item-column encodings) plus a fulltext leg
+# (MXQ_FT=0, the subtree-scan fallback; the dict legs run with the default
+# MXQ_FT=1 index path) so every physical plan alternative stays green in
+# every PR. Registered as the `run_matrix` ctest target (CMakeLists.txt),
+# which runs it against the current build — including a sanitizer build
+# when that is what was configured:
 #
 #   # plain matrix (both encodings, current build):
 #   ctest --test-dir build -R '^run_matrix$' --output-on-failure
 #
-#   # TSan matrix (races in the parallel kernels, admission control, and
-#   # cancellation delivery):
+#   # TSan matrix (races in the parallel kernels, admission control,
+#   # cancellation delivery, and the lock-free StringPool / fulltext
+#   # posting-table publication):
 #   cmake -B build-tsan -S . -DMXQ_SANITIZE=thread
 #   cmake --build build-tsan -j
 #   ctest --test-dir build-tsan -R '^run_matrix$' --output-on-failure
@@ -41,9 +44,16 @@ THREADS=${MXQ_MATRIX_THREADS:-4}
 
 run_matrix_in() {
   local dir=$1
-  for dict in 0 1; do
-    echo "== tier-1 suite in $dir with MXQ_DICT=$dict MXQ_THREADS=$THREADS" >&2
-    MXQ_DICT=$dict MXQ_THREADS=$THREADS \
+  # Explicit legs, not the full MXQ_DICT x MXQ_FT product: the fulltext
+  # scan fallback is orthogonal to the item-column encoding, so one
+  # MXQ_FT=0 leg (at the default dict encoding) bounds the runtime while
+  # still covering every physical path.
+  local legs=("1 1" "0 1" "1 0")
+  for leg in "${legs[@]}"; do
+    set -- $leg
+    local dict=$1 ft=$2
+    echo "== tier-1 suite in $dir with MXQ_DICT=$dict MXQ_FT=$ft MXQ_THREADS=$THREADS" >&2
+    MXQ_DICT=$dict MXQ_FT=$ft MXQ_THREADS=$THREADS \
       ctest --test-dir "$dir" -E '^run_matrix$' --output-on-failure
   done
 }
