@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benchmark set (fig13_joinrec, fig14_sortred,
-# fig15_scalability, table1_xmark, serving_throughput, fulltext_search)
-# and merges everything
+# fig15_scalability, table1_xmark, serving_throughput, fulltext_search,
+# shred_serialize) and merges everything
 # — google-benchmark results plus the kernel-comparison / thread-sweep /
 # session-sweep summaries the bench mains emit via MXQ_BENCH_JSON — into one
-# JSON artifact (default BENCH_pr7.json) that is checked in as the perf
+# JSON artifact (default BENCH_pr8.json) that is checked in as the perf
 # evidence for the PR.
 #
 # fulltext_search compares ft:contains / ft:score answered by the inverted
 # index (the default) against the naive subtree-scan fallback (MXQ_FT=0);
 # its kernel summary carries the index-vs-scan speedup per query.
+#
+# shred_serialize prices the atomic-ingestion work (docs/robustness.md
+# "Ingestion"): its kernel summary carries the directly measured
+# governed-vs-plain shred overhead (acceptance bar: <= 3%) and the cost of
+# a failed shred including watermark rollback.
 #
 # fig15_scalability is the partition-parallel thread sweep: each kernel
 # (radix join, counting sort, morsel filter) and the join-heavy XMark
@@ -35,7 +40,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT=${1:-BENCH_pr7.json}
+OUT=${1:-BENCH_pr8.json}
 BUILD=${BUILD_DIR:-build}
 export MXQ_SCALE=${MXQ_SCALE:-0.1}
 FILTER=${BENCH_FILTER:+--benchmark_filter=${BENCH_FILTER}}
@@ -47,7 +52,7 @@ trap 'rm -rf "$TMP"' EXIT
 # variants must not be compared cold-vs-warm.
 REPS=${BENCH_REPS:-3}
 for b in fig13_joinrec fig14_sortred fig15_scalability table1_xmark \
-         serving_throughput fulltext_search; do
+         serving_throughput fulltext_search shred_serialize; do
   [ -x "$BUILD/$b" ] || { echo "missing $BUILD/$b — build first" >&2; exit 1; }
   echo "== $b (MXQ_SCALE=$MXQ_SCALE, reps=$REPS)" >&2
   MXQ_BENCH_JSON="$TMP/$b.kernels.json" \
@@ -71,7 +76,8 @@ def load(path):
         return None
 
 for b in ("fig13_joinrec", "fig14_sortred", "fig15_scalability",
-          "table1_xmark", "serving_throughput", "fulltext_search"):
+          "table1_xmark", "serving_throughput", "fulltext_search",
+          "shred_serialize"):
     gb = load(os.path.join(tmp, f"{b}.json"))
     entry = {}
     if gb:
@@ -132,6 +138,19 @@ if ft:
             "geomean": round(
                 pow(2, sum(__import__("math").log2(v)
                            for v in per.values()) / len(per)), 3)}
+
+# Governed-ingestion overhead: the shred bench's own best-of summary.
+sh = merged["benches"].get("shred_serialize", {}).get("kernel_summary")
+if sh:
+    per = {str(e["doc_bytes"]): round(e["overhead"], 4)
+           for e in sh.get("shreds", []) if e.get("overhead")}
+    if per:
+        merged["governed_shred_overhead"] = {
+            "per_doc_bytes": per,
+            "max": max(per.values()),
+            "rollback_ms": {str(e["doc_bytes"]): round(e["rollback_ms"], 3)
+                            for e in sh.get("shreds", [])
+                            if e.get("rollback_ms") is not None}}
 
 with open(out, "w") as f:
     json.dump(merged, f, indent=1, sort_keys=True)

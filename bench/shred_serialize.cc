@@ -4,10 +4,24 @@
 //
 // The sequential-access argument: shredding appends to the pre|size|level
 // table in document order; serialization reads it back in the same order.
+//
+// The governed variants measure what the atomic-ingestion work costs on
+// the hot path (docs/robustness.md "Ingestion"): ShredGoverned threads an
+// ExecContext (cancel/deadline polls + MemAccount charging) through the
+// same shred — the acceptance bar is <= 3% over the plain run — and
+// ShredRollback prices a failed shred (a max_nodes breach near the end of
+// the input) including the watermark truncation that rolls the container
+// back. With MXQ_BENCH_JSON set, a kernel summary with the directly
+// measured governed/plain ratio is written for bench/run_all.sh.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
 #include "bench_util.h"
+#include "common/exec_context.h"
 #include "xml/serializer.h"
 
 namespace {
@@ -29,6 +43,65 @@ void Shred(benchmark::State& state) {
   }
   state.counters["doc_bytes"] = static_cast<double>(xml.size());
   state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["MB_per_s"] = benchmark::Counter(
+      static_cast<double>(xml.size()) / 1e6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// The same shred with the full governance surface engaged: an ExecContext
+// with a (generous) deadline and memory budget, so every checkpoint and
+// the MemAccount charging run for real.
+void ShredGoverned(benchmark::State& state) {
+  double scale = kScales[state.range(0)] * mxq::bench::ScaleEnv();
+  mxq::xmark::XMarkOptions opts;
+  opts.scale = scale;
+  std::string xml = mxq::xmark::GenerateXMark(opts);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    mxq::DocumentManager mgr;
+    mxq::ExecContext ctx;
+    ctx.set_deadline(mxq::ExecContext::Clock::now() +
+                     std::chrono::minutes(10));
+    ctx.set_memory_budget(int64_t{8} << 30);
+    mxq::ShredOptions so;
+    so.ctx = &ctx;
+    auto r = mxq::ShredDocument(&mgr, "auction.xml", xml, so);
+    if (!r.ok()) state.SkipWithError("governed shred failed");
+    nodes = static_cast<size_t>((*r)->NodeCount());
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["doc_bytes"] = static_cast<double>(xml.size());
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["MB_per_s"] = benchmark::Counter(
+      static_cast<double>(xml.size()) / 1e6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// A failed shred priced end to end: parse ~the whole input, trip the
+// max_nodes limit near the end, roll the container back to its watermark.
+// The interesting number is the delta over a successful append of the same
+// input — the rollback itself is O(appended rows) vector resizing.
+void ShredRollback(benchmark::State& state) {
+  double scale = kScales[state.range(0)] * mxq::bench::ScaleEnv();
+  mxq::xmark::XMarkOptions opts;
+  opts.scale = scale;
+  std::string xml = mxq::xmark::GenerateXMark(opts);
+  // Probe once for the row count so the limit trips in the last stretch.
+  mxq::DocumentManager probe_mgr;
+  auto probe = mxq::ShredDocument(&probe_mgr, "probe.xml", xml);
+  if (!probe.ok()) {
+    state.SkipWithError("probe shred failed");
+    return;
+  }
+  mxq::ShredOptions so;
+  so.max_nodes = (*probe)->PhysicalSlots() - 1;
+  for (auto _ : state) {
+    mxq::DocumentManager mgr;
+    auto r = mxq::ShredDocument(&mgr, "auction.xml", xml, so);
+    if (r.ok()) state.SkipWithError("limit did not trip");
+    benchmark::DoNotOptimize(r.status().code());
+  }
+  state.counters["doc_bytes"] = static_cast<double>(xml.size());
   state.counters["MB_per_s"] = benchmark::Counter(
       static_cast<double>(xml.size()) / 1e6,
       benchmark::Counter::kIsIterationInvariantRate);
@@ -67,10 +140,73 @@ void CopyDocumentQuery(benchmark::State& state) {
   }
 }
 
+/// Direct best-of timing of governed vs plain shreds (and the rollback
+/// cost), written as JSON for bench/run_all.sh. The `overhead` field is
+/// the acceptance number: governed_ms / plain_ms at the largest scale.
+void WriteKernelSummary(const char* path) {
+  mxq::bench::JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", std::string("shred_serialize"));
+  w.BeginArray("shreds");
+  for (double s : {0.02, 0.2}) {
+    const double scale = s * mxq::bench::ScaleEnv();
+    mxq::xmark::XMarkOptions opts;
+    opts.scale = scale;
+    std::string xml = mxq::xmark::GenerateXMark(opts);
+    const int reps = s > 0.05 ? 5 : 15;
+    double plain_ms = mxq::bench::BestOfMs(reps, [&] {
+      mxq::DocumentManager mgr;
+      auto r = mxq::ShredDocument(&mgr, "auction.xml", xml);
+      benchmark::DoNotOptimize(r.ok());
+    });
+    double governed_ms = mxq::bench::BestOfMs(reps, [&] {
+      mxq::DocumentManager mgr;
+      mxq::ExecContext ctx;
+      ctx.set_deadline(mxq::ExecContext::Clock::now() +
+                     std::chrono::minutes(10));
+      ctx.set_memory_budget(int64_t{8} << 30);
+      mxq::ShredOptions so;
+      so.ctx = &ctx;
+      auto r = mxq::ShredDocument(&mgr, "auction.xml", xml, so);
+      benchmark::DoNotOptimize(r.ok());
+    });
+    mxq::DocumentManager probe_mgr;
+    auto probe = mxq::ShredDocument(&probe_mgr, "probe.xml", xml);
+    mxq::ShredOptions limit;
+    limit.max_nodes = probe.ok() ? (*probe)->PhysicalSlots() - 1 : 1;
+    double rollback_ms = mxq::bench::BestOfMs(reps, [&] {
+      mxq::DocumentManager mgr;
+      auto r = mxq::ShredDocument(&mgr, "auction.xml", xml, limit);
+      benchmark::DoNotOptimize(r.ok());
+    });
+    w.BeginObject();
+    w.Field("scale", scale);
+    w.Field("doc_bytes", static_cast<int64_t>(xml.size()));
+    w.Field("plain_ms", plain_ms);
+    w.Field("governed_ms", governed_ms);
+    w.Field("overhead", governed_ms / plain_ms);
+    w.Field("rollback_ms", rollback_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.WriteFile(path);
+}
+
 }  // namespace
 
 BENCHMARK(Shred)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(ShredGoverned)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(ShredRollback)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(Serialize)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(CopyDocumentQuery)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (const char* path = std::getenv("MXQ_BENCH_JSON"))
+    WriteKernelSummary(path);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/exec_context.h"
+#include "common/fault.h"
 #include "common/item.h"
 #include "common/item_dict.h"
 #include "common/string_pool.h"
@@ -18,6 +20,19 @@
 
 namespace mxq {
 namespace ft {
+
+namespace {
+
+/// Abandon-the-build poll (docs/robustness.md): a governed stop mid-build
+/// returns null from Build, the cache slot stays empty, and the next call
+/// rebuilds from scratch. Stop reasons are sticky, so the execution that
+/// abandoned the build surfaces the typed Status at its next checkpoint.
+bool BuildStopRequested() {
+  ExecContext* ctx = CurrentExecContext();
+  return ctx != nullptr && ctx->StopRequested();
+}
+
+}  // namespace
 
 void FullTextIndex::Append(const Posting& p) {
   const uint64_t idx = count_.load(std::memory_order_relaxed);
@@ -47,6 +62,7 @@ int64_t FullTextIndex::TextLen(int64_t pre) const {
 
 std::shared_ptr<const FullTextIndex> FullTextIndex::Build(
     const DocumentContainer& c) {
+  MXQ_FAULT_POINT("ft.build");
   std::shared_ptr<FullTextIndex> idx(new FullTextIndex());
   DocumentManager& mgr = *c.manager();
   StringPool& pool = mgr.strings();
@@ -57,8 +73,10 @@ std::shared_ptr<const FullTextIndex> FullTextIndex::Build(
   std::unordered_map<int64_t, std::vector<Posting>> acc;
   std::string folded;
   const int64_t slots = c.LogicalSlots();
+  int64_t scanned = 0;
   for (int64_t pre = c.SkipUnused(0); pre < slots;
        pre = c.SkipUnused(pre + 1)) {
+    if ((++scanned & 4095) == 0 && BuildStopRequested()) return nullptr;
     if (c.KindAt(pre) != NodeKind::kText) continue;
     const std::string& text = pool.Get(static_cast<StrId>(c.RefAt(pre)));
     int64_t ntok = 0;
@@ -81,6 +99,7 @@ std::shared_ptr<const FullTextIndex> FullTextIndex::Build(
     idx->total_tokens_ += ntok;
   }
   if (!idx->ok_) return idx;
+  if (BuildStopRequested()) return nullptr;
 
   // Flush each term's postings into a contiguous span of the chunked table.
   idx->terms_.reserve(acc.size());
@@ -109,7 +128,12 @@ std::shared_ptr<const FullTextIndex> FullTextIndex::Build(
 std::shared_ptr<const ft::FullTextIndex> DocumentContainer::fulltext_index()
     const {
   std::lock_guard<std::mutex> lk(index_mu_);
-  if (!ft_index_) ft_index_ = ft::FullTextIndex::Build(*this);
+  if (!ft_index_) {
+    // Build returns null when the governing execution was stopped (or an
+    // injected fault fired) mid-build: leave the cache slot empty — absent,
+    // rebuild on next call — and let the caller surface the typed Status.
+    ft_index_ = ft::FullTextIndex::Build(*this);
+  }
   return ft_index_;
 }
 

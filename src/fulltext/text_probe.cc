@@ -221,8 +221,11 @@ ContainerState MakeState(DocumentManager& mgr, const ExecFlags& fl,
   ContainerState st;
   st.doc = doc;
   if (fl.fulltext) {
+    // Null when the build was abandoned at a governance stop / injected
+    // fault: fall back to the scan path; the stop reason is sticky and the
+    // evaluator's next checkpoint surfaces the typed Status.
     std::shared_ptr<const FullTextIndex> idx = doc->fulltext_index();
-    if (idx->ok()) st.idx = std::move(idx);
+    if (idx != nullptr && idx->ok()) st.idx = std::move(idx);
   }
   const StringPool& pool = mgr.strings();
   if (st.idx) {

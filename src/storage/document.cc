@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/exec_context.h"
+#include "common/fault.h"
+
 namespace mxq {
 
 // ---------------------------------------------------------------------------
@@ -59,6 +62,136 @@ void DocumentContainer::MarkUnused(int64_t rid, int64_t run_remaining) {
   size_[rid] = run_remaining;
   level_[rid] = -1;
   ref_[rid] = -1;
+}
+
+void DocumentContainer::TruncateTo(const Watermark& m) {
+  assert(m.slots <= PhysicalSlots() && m.attrs <= AttrCount() &&
+         m.pis <= PICount() && "watermark is from a different container state");
+  const bool grown = PhysicalSlots() != m.slots || AttrCount() != m.attrs ||
+                     PICount() != m.pis || next_frag_ != m.next_frag;
+  if (!grown) return;
+  size_.resize(m.slots);
+  level_.resize(m.slots);
+  kind_.resize(m.slots);
+  ref_.resize(m.slots);
+  frag_.resize(m.slots);
+  node_count_ = m.node_count;
+  next_frag_ = m.next_frag;
+  attr_owner_.resize(m.attrs);
+  attr_qn_.resize(m.attrs);
+  attr_val_.resize(m.attrs);
+  attr_appended_in_order_ = m.attr_appended_in_order;
+  pi_target_.resize(m.pis);
+  pi_value_.resize(m.pis);
+  // Conservative: any index built against the grown state is stale. (The
+  // shredder only builds indexes after a *successful* parse, so in practice
+  // nothing is dropped here.)
+  InvalidateIndexes();
+}
+
+// ---------------------------------------------------------------------------
+// DocumentContainer: structural audit
+// ---------------------------------------------------------------------------
+
+Status DocumentContainer::CheckInvariants() const {
+  auto fail = [this](const std::string& what, int64_t pre) {
+    return Status::Internal("container '" + name_ + "' (id " +
+                            std::to_string(id_) + ") invariant violated at pre " +
+                            std::to_string(pre) + ": " + what);
+  };
+  const int64_t n = LogicalSlots();
+  const int64_t pool_n = static_cast<int64_t>(mgr_->strings().size());
+  struct Open {
+    int64_t end;
+    int32_t level;
+    int32_t frag;
+  };
+  std::vector<Open> stack;
+  int64_t real = 0;
+  bool have_root = false;
+  int32_t last_root_frag = 0;
+  for (int64_t p = 0; p < n; ++p) {
+    const int64_t sz = SizeAt(p);
+    const int32_t lv = LevelAt(p);
+    const NodeKind k = KindAt(p);
+    if (k == NodeKind::kUnused) {
+      if (lv != -1) return fail("unused slot with level != -1", p);
+      if (sz < 0 || p + sz >= n) return fail("unused run overruns container", p);
+      // Inductive run check: the claimed run must start with another unused
+      // slot covering the remainder (SkipUnused's O(1) skip correctness).
+      if (sz > 0 && (KindAt(p + 1) != NodeKind::kUnused || SizeAt(p + 1) < sz - 1))
+        return fail("unused run covers a real node", p);
+      continue;
+    }
+    while (!stack.empty() && p > stack.back().end) stack.pop_back();
+    ++real;
+    if (sz < 0) return fail("negative size", p);
+    if (p + sz >= n) return fail("subtree overruns container", p);
+    const int32_t fg = FragAt(p);
+    if (stack.empty()) {
+      if (lv != 0) return fail("root node at level != 0", p);
+      if (have_root && fg < last_root_frag)
+        return fail("fragment ordinals not monotone across roots", p);
+      have_root = true;
+      last_root_frag = fg;
+    } else {
+      if (p + sz > stack.back().end)
+        return fail("subtree not nested inside its parent", p);
+      if (lv != stack.back().level + 1)
+        return fail("level is not parent level + 1", p);
+      if (fg != stack.back().frag)
+        return fail("fragment ordinal differs from parent", p);
+    }
+    const int64_t ref = RefAt(p);
+    switch (k) {
+      case NodeKind::kDoc:
+        if (lv != 0) return fail("document node below level 0", p);
+        break;
+      case NodeKind::kElem:
+        if (ref < 0 || ref >= pool_n)
+          return fail("element tag ref outside string pool", p);
+        break;
+      case NodeKind::kText:
+      case NodeKind::kComment:
+        if (ref < 0 || ref >= pool_n)
+          return fail("content ref outside string pool", p);
+        if (sz != 0) return fail("leaf node with non-zero size", p);
+        break;
+      case NodeKind::kPI:
+        if (ref < 0 || ref >= PICount())
+          return fail("PI ref outside the PI table", p);
+        if (sz != 0) return fail("leaf node with non-zero size", p);
+        break;
+      case NodeKind::kUnused:
+        break;  // handled above
+    }
+    if (sz > 0) stack.push_back(Open{p + sz, lv, fg});
+  }
+  if (real != node_count_)
+    return fail("node_count " + std::to_string(node_count_) +
+                    " != counted real nodes " + std::to_string(real),
+                -1);
+  const int64_t slots = PhysicalSlots();
+  for (int64_t row = 0; row < AttrCount(); ++row) {
+    const int64_t owner = attr_owner_[row];
+    if (owner < 0 || owner >= slots)
+      return fail("attr row " + std::to_string(row) + " owner rid out of range",
+                  -1);
+    if (kind_[owner] != NodeKind::kElem)
+      return fail("attr row " + std::to_string(row) + " owner is not an element",
+                  -1);
+    if (attr_qn_[row] < 0 || attr_qn_[row] >= pool_n ||
+        attr_val_[row] < 0 || attr_val_[row] >= pool_n)
+      return fail("attr row " + std::to_string(row) + " refs outside string pool",
+                  -1);
+  }
+  for (int64_t row = 0; row < PICount(); ++row) {
+    if (pi_target_[row] < 0 || pi_target_[row] >= pool_n ||
+        pi_value_[row] < 0 || pi_value_[row] >= pool_n)
+      return fail("PI row " + std::to_string(row) + " refs outside string pool",
+                  -1);
+  }
+  return Status::OK();
 }
 
 void DocumentContainer::ShiftAttrOwners(int64_t lo, int64_t hi,
@@ -230,39 +363,64 @@ std::string DocumentContainer::StringValueOf(int64_t pre) const {
 // DocumentContainer: name indexes
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// True when the calling execution has been asked to stop (cancel, budget,
+/// deadline): an index build observing this abandons its partial work and
+/// leaves the "absent, rebuild on next call" state — never a half-index.
+/// The stop reasons are all sticky, so the caller's next governance
+/// checkpoint converts the same condition into the typed Status.
+bool BuildStopRequested() {
+  ExecContext* ctx = CurrentExecContext();
+  return ctx != nullptr && ctx->StopRequested();
+}
+
+}  // namespace
+
 const std::vector<int64_t>& DocumentContainer::ElementsNamed(StrId qn) const {
+  static const std::vector<int64_t> kEmpty;
   std::lock_guard<std::mutex> lk(index_mu_);
   if (!elem_index_built_) {
+    // Build into a local map and commit only on success: a governed stop
+    // mid-build must not poison the cached state for later executions.
+    MXQ_FAULT_POINT("index.build");
+    std::unordered_map<StrId, std::vector<int64_t>> built;
     int64_t n = LogicalSlots();
     for (int64_t p = 0; p < n;) {
+      if ((p & 4095) == 0 && BuildStopRequested()) return kEmpty;
       if (IsUnused(p)) {
         p += SizeAt(p) + 1;
         continue;
       }
       if (KindAt(p) == NodeKind::kElem)
-        elem_index_[static_cast<StrId>(RefAt(p))].push_back(p);
+        built[static_cast<StrId>(RefAt(p))].push_back(p);
       ++p;
     }
+    if (BuildStopRequested()) return kEmpty;
+    elem_index_ = std::move(built);
     elem_index_built_ = true;
   }
-  static const std::vector<int64_t> kEmpty;
   auto it = elem_index_.find(qn);
   return it == elem_index_.end() ? kEmpty : it->second;
 }
 
 const std::vector<int64_t>& DocumentContainer::AttrsNamed(StrId qn) const {
+  static const std::vector<int64_t> kEmpty;
   std::lock_guard<std::mutex> lk(index_mu_);
   if (!attr_index_built_) {
+    MXQ_FAULT_POINT("index.build");
     // Rows keyed by qname, ordered by owner document (pre) order.
     std::vector<int64_t> rows(attr_owner_.size());
     for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int64_t>(i);
     std::stable_sort(rows.begin(), rows.end(), [this](int64_t a, int64_t b) {
       return Pre(attr_owner_[a]) < Pre(attr_owner_[b]);
     });
-    for (int64_t r : rows) attr_name_index_[attr_qn_[r]].push_back(r);
+    if (BuildStopRequested()) return kEmpty;
+    std::unordered_map<StrId, std::vector<int64_t>> built;
+    for (int64_t r : rows) built[attr_qn_[r]].push_back(r);
+    attr_name_index_ = std::move(built);
     attr_index_built_ = true;
   }
-  static const std::vector<int64_t> kEmpty;
   auto it = attr_name_index_.find(qn);
   return it == attr_name_index_.end() ? kEmpty : it->second;
 }
@@ -331,12 +489,41 @@ void DocumentContainer::ConvertToPaged(int page_bits) {
 // DocumentManager
 // ---------------------------------------------------------------------------
 
+DocumentManager::~DocumentManager() {
+  const int32_t n = ctr_count_.load(std::memory_order_acquire);
+  for (int32_t id = 0; id < n; ++id) delete container(id);
+  for (size_t ci = 0; ci * kCtrChunkSize < static_cast<size_t>(n); ++ci)
+    delete[] ctr_chunks_[ci].load(std::memory_order_relaxed);
+}
+
 DocumentContainer* DocumentManager::CreateContainer(const std::string& name) {
   std::unique_lock<std::shared_mutex> lk(mu_);
-  int32_t id = static_cast<int32_t>(containers_.size());
-  containers_.push_back(std::make_unique<DocumentContainer>(id, name, this));
+  const int32_t id = ctr_count_.load(std::memory_order_relaxed);
+  assert(static_cast<size_t>(id) < kCtrMaxChunks * kCtrChunkSize &&
+         "container registry exhausted");
+  DocumentContainer** chunk =
+      ctr_chunks_[static_cast<size_t>(id) >> kCtrChunkBits].load(
+          std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new DocumentContainer*[kCtrChunkSize]();
+    ctr_chunks_[static_cast<size_t>(id) >> kCtrChunkBits].store(
+        chunk, std::memory_order_release);
+  }
+  auto* c = new DocumentContainer(id, name, this);
+  chunk[id & (kCtrChunkSize - 1)] = c;
+  // Publish after the slot is written: any id handed out below is readable
+  // lock-free (StringPool's chunked release-publish discipline).
+  ctr_count_.store(id + 1, std::memory_order_release);
   if (!name.empty()) by_name_[name] = id;
-  return containers_.back().get();
+  return c;
+}
+
+void DocumentManager::PublishDocument(DocumentContainer* c,
+                                      const std::string& name) {
+  if (c == nullptr || name.empty()) return;
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  c->name_ = name;
+  by_name_[name] = c->id();
 }
 
 Result<DocumentContainer*> DocumentManager::GetDocument(
@@ -345,7 +532,7 @@ Result<DocumentContainer*> DocumentManager::GetDocument(
   auto it = by_name_.find(name);
   if (it == by_name_.end())
     return Status::NotFound("document not loaded: " + name);
-  return containers_[it->second].get();
+  return container(it->second);
 }
 
 DocumentContainer* DocumentManager::AcquireTransient() {

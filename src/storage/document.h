@@ -28,6 +28,7 @@
 #ifndef MXQ_STORAGE_DOCUMENT_H_
 #define MXQ_STORAGE_DOCUMENT_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -125,6 +126,20 @@ class DocumentManager;
 /// \brief One document (or the transient node space) in pre|size|level form.
 class DocumentContainer {
  public:
+  /// \brief Cheap rollback point over the append-only growth of a container
+  /// (docs/robustness.md "Ingestion"). Captures the physical lengths of the
+  /// node/attribute/PI tables plus the derived counters; TruncateTo()
+  /// restores them byte-identically. Only valid against growth that is pure
+  /// appends since Mark() — the shredder's discipline (it never mutates
+  /// pre-mark rows) — not against structural updates.
+  struct Watermark {
+    int64_t slots = 0;
+    int64_t attrs = 0;
+    int64_t pis = 0;
+    int64_t node_count = 0;
+    int32_t next_frag = 0;
+    bool attr_appended_in_order = true;
+  };
   DocumentContainer(int32_t id, std::string name, DocumentManager* mgr)
       : id_(id), name_(std::move(name)), mgr_(mgr) {}
 
@@ -232,6 +247,39 @@ class DocumentContainer {
   }
   StrId PITarget(int64_t row) const { return pi_target_[row]; }
   StrId PIValue(int64_t row) const { return pi_value_[row]; }
+  int64_t PICount() const { return static_cast<int64_t>(pi_target_.size()); }
+
+  // ---- watermark rollback (atomic ingestion, docs/robustness.md) -----------
+
+  /// Snapshot of the current append frontier; see Watermark.
+  Watermark Mark() const {
+    Watermark m;
+    m.slots = PhysicalSlots();
+    m.attrs = AttrCount();
+    m.pis = PICount();
+    m.node_count = node_count_;
+    m.next_frag = next_frag_;
+    m.attr_appended_in_order = attr_appended_in_order_;
+    return m;
+  }
+
+  /// Rolls every table back to `m`, discarding all rows appended since.
+  /// After the call the container is byte-identical to its state at Mark()
+  /// (interned strings stay in the shared pool — interning is idempotent
+  /// and ids are never reused, so leftovers are invisible). No-op when
+  /// nothing was appended.
+  void TruncateTo(const Watermark& m);
+
+  /// \brief Full structural audit of the pre|size|level encoding.
+  ///
+  /// Verifies, over the logical (pre) view: subtree sizes nest properly and
+  /// never overrun the container, levels increase by exactly one from parent
+  /// to child (roots at level 0), every subtree carries its root's fragment
+  /// ordinal and root fragments are monotone, unused runs are well formed,
+  /// node_count matches, and every attribute/PI/string reference is in
+  /// range. Returns kInternal with a diagnostic on the first violation.
+  /// O(n); test/recovery tooling, not a hot path.
+  Status CheckInvariants() const;
 
   // ---- navigation helpers --------------------------------------------------
 
@@ -335,6 +383,8 @@ class DocumentContainer {
   }
 
  private:
+  friend class DocumentManager;  // PublishDocument names a finished load
+
   void EnsureAttrPerm() const;
 
   int32_t id_;
@@ -387,7 +437,8 @@ class DocumentContainer {
 /// that acquired them.
 class DocumentManager {
  public:
-  DocumentManager() = default;
+  DocumentManager() : ctr_chunks_(kCtrMaxChunks) {}
+  ~DocumentManager();
   DocumentManager(const DocumentManager&) = delete;
   DocumentManager& operator=(const DocumentManager&) = delete;
 
@@ -406,20 +457,32 @@ class DocumentManager {
   /// Creates a fresh container. `name` may be empty for transient containers.
   DocumentContainer* CreateContainer(const std::string& name);
 
+  /// Binds `name` to an already-registered container, making it visible to
+  /// GetDocument / doc(). ShredDocument publishes only after a fully
+  /// successful parse, so a failed load is never observable by name
+  /// (docs/robustness.md "Ingestion"). Rebinding an existing name points it
+  /// at the new container (the previous one stays registered by id).
+  void PublishDocument(DocumentContainer* c, const std::string& name);
+
   /// Looks up a loaded document by name.
   Result<DocumentContainer*> GetDocument(const std::string& name);
 
+  /// Resolves a container id, lock-free: the registry is append-only
+  /// chunked storage with a release-published count, the same discipline as
+  /// StringPool::Get — any id obtained through a synchronized channel (a
+  /// node item, a column, GetDocument) resolves without touching mu_. This
+  /// sits on every per-row node dereference (StringValueOf, serialization,
+  /// staircase batch setup), which is why it must not take a shared lock.
   DocumentContainer* container(int32_t id) {
-    std::shared_lock<std::shared_mutex> lk(mu_);
-    return containers_[id].get();
+    return ctr_chunks_[static_cast<size_t>(id) >> kCtrChunkBits].load(
+        std::memory_order_acquire)[id & (kCtrChunkSize - 1)];
   }
   const DocumentContainer* container(int32_t id) const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
-    return containers_[id].get();
+    return ctr_chunks_[static_cast<size_t>(id) >> kCtrChunkBits].load(
+        std::memory_order_acquire)[id & (kCtrChunkSize - 1)];
   }
   int32_t num_containers() const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
-    return static_cast<int32_t>(containers_.size());
+    return ctr_count_.load(std::memory_order_acquire);
   }
 
   // ---- transient container lifecycle ---------------------------------------
@@ -453,10 +516,20 @@ class DocumentManager {
   Item AtomizeNode(const Item& node_item);
 
  private:
+  // Container registry storage: append-only chunks of stable pointers, ids
+  // assigned densely. 1024 containers per chunk x 4096 chunks = 4M
+  // containers; the chunk-pointer table is 32 KiB, allocated once. Writers
+  // (CreateContainer) serialize on mu_ and publish via ctr_count_; readers
+  // (container()) are lock-free.
+  static constexpr int kCtrChunkBits = 10;
+  static constexpr size_t kCtrChunkSize = size_t{1} << kCtrChunkBits;
+  static constexpr size_t kCtrMaxChunks = size_t{1} << 12;
+
   StringPool pool_;
   ItemDict dict_;
-  mutable std::shared_mutex mu_;  // guards the registry tables below
-  std::vector<std::unique_ptr<DocumentContainer>> containers_;
+  mutable std::shared_mutex mu_;  // guards by_name_ / free pool / creation
+  std::vector<std::atomic<DocumentContainer**>> ctr_chunks_;
+  std::atomic<int32_t> ctr_count_{0};
   std::unordered_map<std::string, int32_t> by_name_;
   std::vector<DocumentContainer*> free_transients_;
 };

@@ -3,22 +3,45 @@
 #include <cctype>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace mxq {
 
 namespace {
+
+// Estimated bytes appended to the container per row kind, the amounts the
+// governed shredder charges against the execution's MemAccount. Node row:
+// size(8) + level(4) + kind(1) + ref(8) + frag(4), rounded to the allocated
+// stride. Attribute row: owner(8) + qname(4) + value(4). PI property row:
+// target(4) + value(4).
+constexpr int64_t kSlotBytes = 25;
+constexpr int64_t kAttrBytes = 16;
+constexpr int64_t kPIBytes = 8;
+
+// Stop-poll / memory-charge batch: one StopRequested() + Charge() per this
+// many appended rows. Small enough that cancellation latency and budget
+// overshoot are bounded by ~a page of rows, large enough to stay inside the
+// <=3% governed-shred overhead budget.
+constexpr int64_t kPollRows = 64;
 
 /// Single-pass recursive-descent XML reader that appends directly into a
 /// DocumentContainer.
 class Shredder {
  public:
   Shredder(DocumentContainer* c, std::string_view in, const ShredOptions& opts)
-      : c_(c), pool_(c->manager()->strings()), opts_(opts), in_(in) {}
+      : c_(c),
+        pool_(c->manager()->strings()),
+        opts_(opts),
+        ctx_(opts.ctx != nullptr ? opts.ctx : CurrentExecContext()),
+        in_(in) {}
 
   /// Parses a full document (with synthetic document node at pre 0).
   Result<int64_t> ParseDocument(int32_t frag) {
+    MXQ_RETURN_IF_ERROR(CheckInputSize());
     frag_ = frag;
     int64_t doc_rid =
         c_->AppendSlot(NodeKind::kDoc, /*ref=*/-1, /*level=*/0, frag_);
+    MXQ_RETURN_IF_ERROR(Tick(kSlotBytes));
     level_ = 1;
     open_.push_back(doc_rid);
     SkipProlog();
@@ -29,12 +52,16 @@ class Shredder {
       SkipWhitespace();
       if (!AtEnd()) return Err("trailing content after document element");
     }
+    // Final checkpoint: a stop (or injected fault) that landed between two
+    // batched polls must not be swallowed by a successful return.
+    MXQ_RETURN_IF_ERROR(Poll());
     return doc_rid;
   }
 
   /// Parses a fragment: top-level nodes become children of no one
   /// (level 0 roots of fragment `frag`).
   Result<int64_t> ParseFragment(int32_t frag) {
+    MXQ_RETURN_IF_ERROR(CheckInputSize());
     frag_ = frag;
     level_ = 0;
     document_mode_ = false;
@@ -42,7 +69,29 @@ class Shredder {
     MXQ_RETURN_IF_ERROR(ParseContent());
     if (!open_.empty()) return Err("unexpected end of input: open element");
     if (c_->PhysicalSlots() == first) return Err("empty fragment");
+    MXQ_RETURN_IF_ERROR(Poll());
     return first;
+  }
+
+  /// Pushes any not-yet-charged appended bytes to the MemAccount (success
+  /// path: the rows survive, the account keeps carrying them).
+  void FlushCharge() {
+    if (ctx_ != nullptr && pending_bytes_ > 0) {
+      ctx_->mem()->Charge(pending_bytes_);
+      charged_bytes_ += pending_bytes_;
+      pending_bytes_ = 0;
+    }
+  }
+
+  /// Failure path: the rollback discards every appended row, so hand the
+  /// already-charged bytes back to the account (uncharged pending is simply
+  /// dropped).
+  void ReleaseCharges() {
+    pending_bytes_ = 0;
+    if (ctx_ != nullptr && charged_bytes_ > 0) {
+      ctx_->mem()->Release(charged_bytes_);
+      charged_bytes_ = 0;
+    }
   }
 
  private:
@@ -61,6 +110,46 @@ class Shredder {
   Status Err(const std::string& msg) const {
     return Status::ParseError("XML: " + msg + " at offset " +
                               std::to_string(pos_));
+  }
+
+  // ---- governance (docs/robustness.md "Ingestion") -------------------------
+
+  Status CheckInputSize() const {
+    if (opts_.max_input_bytes > 0 &&
+        static_cast<int64_t>(in_.size()) > opts_.max_input_bytes) {
+      return Status::ResourceExhausted(
+          "shred: input is " + std::to_string(in_.size()) +
+          " bytes, max_input_bytes is " +
+          std::to_string(opts_.max_input_bytes));
+    }
+    return Status::OK();
+  }
+
+  /// Per-appended-row tick: fault point, max_nodes limit, and every
+  /// kPollRows rows a batched stop poll + memory charge.
+  Status Tick(int64_t bytes) {
+    MXQ_FAULT_POINT("shred.slot");
+    ++rows_;
+    pending_bytes_ += bytes;
+    if (opts_.max_nodes > 0 && rows_ > opts_.max_nodes) {
+      return Status::ResourceExhausted(
+          "shred: appended row count exceeds max_nodes " +
+          std::to_string(opts_.max_nodes));
+    }
+    if ((rows_ & (kPollRows - 1)) == 0) return Poll();
+    return Status::OK();
+  }
+
+  /// Unbatched checkpoint: charge what is pending, then surface the typed
+  /// stop reason if the execution was cancelled / timed out / over budget.
+  Status Poll() {
+    FlushCharge();
+    if (ctx_ != nullptr && ctx_->StopRequested()) {
+      Status st = ctx_->Check();
+      if (!st.ok()) return st;
+      return Status::Cancelled("execution cancelled");
+    }
+    return Status::OK();
   }
 
   void SkipProlog() {
@@ -106,6 +195,7 @@ class Shredder {
 
   /// Decodes entity and character references into `out`.
   Status DecodeText(std::string_view raw, std::string* out) {
+    MXQ_FAULT_POINT("shred.text");
     out->clear();
     out->reserve(raw.size());
     for (size_t i = 0; i < raw.size();) {
@@ -188,12 +278,14 @@ class Shredder {
           std::string_view body = in_.substr(pos_ + 4, end - pos_ - 4);
           c_->AppendSlot(NodeKind::kComment, pool_.Intern(body), level_,
                          frag_);
+          MXQ_RETURN_IF_ERROR(Tick(kSlotBytes));
           pos_ = end + 3;
         } else if (LookingAt("<![CDATA[")) {
           size_t end = in_.find("]]>", pos_ + 9);
           if (end == std::string_view::npos) return Err("unterminated CDATA");
           std::string_view body = in_.substr(pos_ + 9, end - pos_ - 9);
           c_->AppendSlot(NodeKind::kText, pool_.Intern(body), level_, frag_);
+          MXQ_RETURN_IF_ERROR(Tick(kSlotBytes));
           pos_ = end + 3;
         } else if (LookingAt("<?")) {
           pos_ += 2;
@@ -204,6 +296,7 @@ class Shredder {
           std::string_view value = in_.substr(pos_, end - pos_);
           int64_t row = c_->AddPI(pool_.Intern(target), pool_.Intern(value));
           c_->AppendSlot(NodeKind::kPI, row, level_, frag_);
+          MXQ_RETURN_IF_ERROR(Tick(kSlotBytes + kPIBytes));
           pos_ = end + 2;
         } else {
           MXQ_RETURN_IF_ERROR(ParseStartTag());
@@ -224,6 +317,7 @@ class Shredder {
           return Err("text content outside the document element");
         MXQ_RETURN_IF_ERROR(DecodeText(raw, &decoded));
         c_->AppendSlot(NodeKind::kText, pool_.Intern(decoded), level_, frag_);
+        MXQ_RETURN_IF_ERROR(Tick(kSlotBytes));
       }
     }
     return Status::OK();
@@ -232,8 +326,17 @@ class Shredder {
   Status ParseStartTag() {
     ++pos_;  // '<'
     MXQ_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+    // Element depth: the document element (fragment root) is depth 1.
+    // level_ counts the doc node in document mode, so the offsets differ.
+    int32_t depth = level_ + (document_mode_ ? 0 : 1);
+    if (opts_.max_depth > 0 && depth > opts_.max_depth) {
+      return Status::ResourceExhausted(
+          "shred: element nesting exceeds max_depth " +
+          std::to_string(opts_.max_depth));
+    }
     int64_t rid =
         c_->AppendSlot(NodeKind::kElem, pool_.Intern(name), level_, frag_);
+    MXQ_RETURN_IF_ERROR(Tick(kSlotBytes));
     std::string decoded;
     for (;;) {
       SkipWhitespace();
@@ -262,17 +365,22 @@ class Shredder {
       pos_ = end + 1;
       MXQ_RETURN_IF_ERROR(DecodeText(raw, &decoded));
       c_->AppendAttr(rid, pool_.Intern(attr_name), pool_.Intern(decoded));
+      MXQ_RETURN_IF_ERROR(Tick(kAttrBytes));
     }
   }
 
   DocumentContainer* c_;
   StringPool& pool_;
   ShredOptions opts_;
+  ExecContext* ctx_;  // effective context: opts.ctx, else ambient; may be null
   std::string_view in_;
   size_t pos_ = 0;
   int32_t frag_ = 0;
   int32_t level_ = 0;
   bool document_mode_ = true;
+  int64_t rows_ = 0;            // appended rows (nodes + attrs + PI entries)
+  int64_t pending_bytes_ = 0;   // appended but not yet charged
+  int64_t charged_bytes_ = 0;   // charged to ctx_->mem() so far
   std::vector<int64_t> open_;  // rids of open elements (plus doc node)
 };
 
@@ -282,21 +390,57 @@ Result<DocumentContainer*> ShredDocument(DocumentManager* mgr,
                                          const std::string& name,
                                          std::string_view xml,
                                          const ShredOptions& opts) {
-  DocumentContainer* c = mgr->CreateContainer(name);
+  // Parse into an unnamed pooled container and publish the name only after
+  // the whole load (and any eager index build) succeeded: a failed load is
+  // invisible — GetDocument(name) keeps returning NotFound, the scratch
+  // container is recycled, and no half-populated document can ever be
+  // reached by a query (docs/robustness.md "Ingestion").
+  DocumentContainer* c = mgr->AcquireTransient();
+  // Install the governing context for the span of the load so fault points
+  // and column-growth charging (storage/column.h) see it.
+  ScopedExecContext scoped(opts.ctx != nullptr ? opts.ctx
+                                               : CurrentExecContext());
   Shredder sh(c, xml, opts);
   auto root = sh.ParseDocument(c->next_frag());
-  if (!root.ok()) return root.status();
-  if (opts.build_fulltext) (void)c->fulltext_index();
+  Status st = root.ok() ? Status::OK() : root.status();
+  if (st.ok() && opts.build_fulltext) {
+    auto idx = c->fulltext_index();
+    if (idx == nullptr) {
+      // Build abandoned at a governance stop / injected fault: surface the
+      // typed reason and treat the load as failed.
+      ExecContext* ctx = CurrentExecContext();
+      if (ctx != nullptr) st = ctx->Check();
+      if (st.ok()) st = Status::Cancelled("fulltext index build abandoned");
+    }
+  }
+  if (!st.ok()) {
+    sh.ReleaseCharges();
+    mgr->ReleaseTransient(c);  // Clear()s and recycles; the name never bound
+    return st;
+  }
+  sh.FlushCharge();
+  mgr->PublishDocument(c, name);
   return c;
 }
 
 Result<int64_t> ShredFragment(DocumentContainer* container,
                               std::string_view xml, const ShredOptions& opts) {
+  const DocumentContainer::Watermark mark = container->Mark();
+  ScopedExecContext scoped(opts.ctx != nullptr ? opts.ctx
+                                               : CurrentExecContext());
   Shredder sh(container, xml, opts);
   auto root = sh.ParseFragment(container->next_frag());
+  if (!root.ok()) {
+    // Roll the container back byte-identically to its pre-call state; the
+    // indexes were built against exactly that state, so they stay valid.
+    sh.ReleaseCharges();
+    container->TruncateTo(mark);
+    return root.status();
+  }
+  sh.FlushCharge();
   // Appended nodes make any built name/fulltext index stale: drop them so
   // the next consumer rebuilds over the grown container.
-  if (root.ok()) container->InvalidateIndexes();
+  container->InvalidateIndexes();
   return root;
 }
 

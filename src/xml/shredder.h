@@ -13,9 +13,11 @@
 #ifndef MXQ_XML_SHREDDER_H_
 #define MXQ_XML_SHREDDER_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "storage/document.h"
 
@@ -29,12 +31,40 @@ struct ShredOptions {
   /// of shredding. Off by default: the index is otherwise built lazily on
   /// the first ft:contains/ft:score probe against the container.
   bool build_fulltext = false;
+
+  // ---- hard input limits (docs/robustness.md "Ingestion") -----------------
+  // Each limit returns a typed kResourceExhausted Status when exceeded —
+  // never an abort — and the container rolls back to its pre-shred state.
+  // 0 = unlimited, except max_depth whose default guards the untrusted
+  // front door out of the box.
+
+  /// Maximum element nesting depth (the document element is depth 1).
+  int32_t max_depth = 1024;
+  /// Maximum input size in bytes, checked before parsing starts.
+  int64_t max_input_bytes = 0;
+  /// Maximum appended rows (nodes + attributes + PI entries).
+  int64_t max_nodes = 0;
+
+  // ---- governance (docs/robustness.md) ------------------------------------
+
+  /// Optional execution context: the shredder polls its cancel flag /
+  /// deadline every few rows and charges its MemAccount for the appended
+  /// node-table bytes, so ingestion honors the same cancel / deadline /
+  /// budget contract as query execution. Non-owning; may be null.
+  ExecContext* ctx = nullptr;
 };
 
 /// \brief Parses `xml` and loads it as document `name` into `mgr`.
 ///
 /// Returns the new document container. The container root (pre 0) is the
 /// document node; the document element is its child.
+///
+/// Atomic: on any failure (parse error, input limit, governed cancel /
+/// deadline / budget) no container is published — GetDocument(name) keeps
+/// returning NotFound, the scratch container is recycled into the
+/// manager's transient pool, and the registry is left as if the call never
+/// happened. Interned strings remain in the shared pool (interning is
+/// idempotent; leftovers are unreachable).
 Result<DocumentContainer*> ShredDocument(DocumentManager* mgr,
                                          const std::string& name,
                                          std::string_view xml,
@@ -42,6 +72,11 @@ Result<DocumentContainer*> ShredDocument(DocumentManager* mgr,
 
 /// \brief Parses `xml` as a fragment into an existing container, appending a
 /// new fragment (no document node). Returns the fragment root pre.
+///
+/// Atomic: on any failure the container is rolled back byte-identically to
+/// its pre-call state (watermark truncation over the append-only tables),
+/// and previously built indexes stay valid. On success, built indexes are
+/// invalidated (the appended nodes made them stale).
 Result<int64_t> ShredFragment(DocumentContainer* container,
                               std::string_view xml,
                               const ShredOptions& opts = {});

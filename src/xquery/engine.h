@@ -244,6 +244,25 @@ struct GovernanceOptions {
   int64_t default_memory_budget_bytes = 0;
 };
 
+/// \brief Bounded retry with exponential backoff + jitter for admission
+/// sheds (docs/robustness.md "Retry policy"). Only a *shed* —
+/// kResourceExhausted from the admission queue being full — is retried:
+/// that failure is transient by construction (a slot frees when any
+/// in-flight query finishes). Deterministic failures (memory budget,
+/// limits, parse errors) and kCancelled/kDeadlineExceeded are returned
+/// immediately, so a retry never masks a real error.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retry).
+  int max_attempts = 4;
+  /// Backoff before retry k (1-based): initial_backoff_ms * multiplier^(k-1),
+  /// capped at max_backoff_ms, then scaled by a uniform random factor in
+  /// [1 - jitter, 1] to decorrelate competing retriers.
+  int64_t initial_backoff_ms = 2;
+  int64_t max_backoff_ms = 50;
+  double multiplier = 2.0;
+  double jitter = 0.5;
+};
+
 /// Admission/outcome counters (monotonic over the engine's lifetime).
 /// Every Execute/ExecuteCursor call lands in exactly one of: shed_*,
 /// or admitted and then one of the completion counters.
@@ -448,6 +467,18 @@ class Session {
   }
   Result<ResultCursor> OpenCursor(const PreparedQuery& q) {
     return engine_->ExecuteCursor(*q, &opts_, &params_);
+  }
+
+  /// Execute with bounded retries on admission shed (queue full): retries
+  /// convert transient overload into bounded extra latency instead of an
+  /// error the caller must handle. Any other failure — including memory-
+  /// budget kResourceExhausted, which is deterministic — returns
+  /// immediately. Defined in session.cc.
+  Result<QueryResult> ExecuteWithRetry(const CompiledQuery& q,
+                                       const RetryPolicy& policy = {});
+  Result<QueryResult> ExecuteWithRetry(const PreparedQuery& q,
+                                       const RetryPolicy& policy = {}) {
+    return ExecuteWithRetry(*q, policy);
   }
 
   /// Convenience: prepare (cached) + execute + serialize.

@@ -4,6 +4,11 @@
 // per-caller handle over these thread-safe engine facilities.
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <thread>
 
 #include "xquery/engine.h"
 
@@ -189,6 +194,56 @@ void XQueryEngine::RecordOutcome(const Status& st) {
       ++gov_stats_.resource_exhausted;
       break;
     default: ++gov_stats_.failed_other; break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session: bounded retry on admission shed (docs/robustness.md)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Retry predicate: only an admission *shed* is transient by construction
+/// (a slot frees whenever any in-flight execution finishes). The message
+/// prefix is part of Admit()'s contract above; every other
+/// kResourceExhausted (memory budget, shred limits) is deterministic and
+/// must not be retried.
+bool IsAdmissionShed(const Status& st) {
+  return st.code() == StatusCode::kResourceExhausted &&
+         st.message().rfind("admission queue full", 0) == 0;
+}
+
+}  // namespace
+
+Result<QueryResult> Session::ExecuteWithRetry(const CompiledQuery& q,
+                                              const RetryPolicy& policy) {
+  // Decorrelating jitter from a per-thread xorshift state: competing
+  // retriers spread out instead of thundering back in lockstep, with no
+  // shared PRNG to contend on.
+  thread_local uint64_t rng_state =
+      0x9e3779b97f4a7c15ull ^
+      static_cast<uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  auto next_unit = [&]() {  // uniform in [0, 1)
+    rng_state ^= rng_state << 13;
+    rng_state ^= rng_state >> 7;
+    rng_state ^= rng_state << 17;
+    return static_cast<double>(rng_state >> 11) /
+           static_cast<double>(uint64_t{1} << 53);
+  };
+  const int attempts = std::max(1, policy.max_attempts);
+  double backoff = static_cast<double>(policy.initial_backoff_ms);
+  for (int attempt = 1;; ++attempt) {
+    auto r = Execute(q);
+    if (r.ok() || !IsAdmissionShed(r.status()) || attempt >= attempts)
+      return r;
+    const double capped =
+        std::min(backoff, static_cast<double>(policy.max_backoff_ms));
+    const double scale = 1.0 - policy.jitter * next_unit();
+    const auto sleep_ms =
+        std::max<int64_t>(0, std::llround(capped * scale));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff *= policy.multiplier;
   }
 }
 

@@ -1,0 +1,531 @@
+// Chaos harness for the governed serving + ingestion surface
+// (docs/robustness.md "Ingestion"): concurrent sessions run queries,
+// governed fragment appends, and CancelAll storms while every fault point
+// in the system is swept with forced cancellations and simulated
+// allocation failures. The contract under test:
+//
+//   * every failure surfaces as a typed Status (kCancelled /
+//     kDeadlineExceeded / kResourceExhausted) — never a crash, abort, or
+//     silent wrong answer;
+//   * every container still passes DocumentContainer::CheckInvariants()
+//     after the storm — a faulted shred rolls back, it never leaves a
+//     half-encoded tree;
+//   * after disarming, query results are byte-identical to a never-faulted
+//     run, and a previously faulted fragment append succeeds cleanly.
+//
+// Run under MXQ_SANITIZE=thread and MXQ_SANITIZE=address,undefined as the
+// chaos leg of tests/run_matrix.sh (MXQ_THREADS=4).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "common/exec_context.h"
+#include "common/fault.h"
+#include "test_util.h"
+#include "xml/serializer.h"
+#include "xml/shredder.h"
+#include "xquery/engine.h"
+
+namespace mxq {
+namespace xq {
+namespace {
+
+// Every fault point in the system: execution kernels (PR 6) + the
+// ingestion / index-build points added with the atomic-shred work.
+constexpr const char* kAllPoints[] = {
+    "eval.op",    "atomize",    "filter",     "sort",
+    "join.build", "join.probe", "aggr",       "ft.probe",
+    "shred.slot", "shred.text", "index.build", "ft.build"};
+
+// Join + aggregation + construction query over the fixture document —
+// touches most execution kernels; the nametest-pushdown and ft variants
+// below pull in the index.build / ft.build / ft.probe paths.
+constexpr const char* kJoinQuery =
+    R"(for $p in doc("auction.xml")//person
+       let $a := for $t in doc("auction.xml")//auction
+                 where $t/buyer/@person = $p/@id return $t
+       return <item person="{$p/name/text()}">{count($a)}</item>)";
+
+constexpr const char* kFtQuery =
+    R"(for $p in doc("auction.xml")//person
+       where ft:contains($p, "kasidit") return $p/name)";
+
+// A query whose plan is a long chain of cheap operators: with a delay
+// fault armed on "eval.op" its runtime is (ops x delay), which the retry
+// tests use as a controllable slot-holding query.
+std::string SlowChainQuery(int terms) {
+  std::string q = "0";
+  for (int i = 0; i < terms; ++i) q += " + 1";
+  return q;
+}
+
+// A well-formed fragment for governed appends: enough rows (elements,
+// attributes, text) that batched shred polls actually fire.
+std::string AppendFragment(int reps) {
+  std::string f;
+  for (int i = 0; i < reps; ++i)
+    f += "<entry id=\"e" + std::to_string(i) + "\"><v>val " +
+         std::to_string(i) + "</v><w x=\"y\"/></entry>";
+  return f;
+}
+
+// Full byte-level snapshot of a container's logical state through the
+// public accessors; the rollback tests assert snapshots compare equal.
+struct ContainerSnapshot {
+  std::vector<int64_t> size, ref, attr_owner;
+  std::vector<int32_t> level, frag;
+  std::vector<NodeKind> kind;
+  std::vector<StrId> attr_qn, attr_val, pi_target, pi_value;
+  int64_t node_count = 0;
+  DocumentContainer::Watermark mark;
+
+  bool operator==(const ContainerSnapshot& o) const {
+    return size == o.size && ref == o.ref && attr_owner == o.attr_owner &&
+           level == o.level && frag == o.frag && kind == o.kind &&
+           attr_qn == o.attr_qn && attr_val == o.attr_val &&
+           pi_target == o.pi_target && pi_value == o.pi_value &&
+           node_count == o.node_count && mark.slots == o.mark.slots &&
+           mark.attrs == o.mark.attrs && mark.pis == o.mark.pis &&
+           mark.next_frag == o.mark.next_frag &&
+           mark.attr_appended_in_order == o.mark.attr_appended_in_order;
+  }
+};
+
+ContainerSnapshot Snapshot(const DocumentContainer& c) {
+  ContainerSnapshot s;
+  const int64_t n = c.PhysicalSlots();
+  for (int64_t rid = 0; rid < n; ++rid) {
+    s.size.push_back(c.SizeAtRid(rid));
+    s.level.push_back(c.LevelAtRid(rid));
+    s.kind.push_back(c.KindAtRid(rid));
+    s.ref.push_back(c.RefAt(c.Pre(rid)));
+    s.frag.push_back(c.FragAt(c.Pre(rid)));
+  }
+  for (int64_t row = 0; row < c.AttrCount(); ++row) {
+    s.attr_owner.push_back(c.AttrOwnerRid(row));
+    s.attr_qn.push_back(c.AttrQn(row));
+    s.attr_val.push_back(c.AttrValue(row));
+  }
+  for (int64_t row = 0; row < c.PICount(); ++row) {
+    s.pi_target.push_back(c.PITarget(row));
+    s.pi_value.push_back(c.PIValue(row));
+  }
+  s.node_count = c.NodeCount();
+  s.mark = c.Mark();
+  return s;
+}
+
+// Statuses a governed/chaos failure may legally carry. Everything else
+// (Internal, ParseError on well-formed input, aborts) is a bug.
+bool IsTypedGovernanceFailure(const Status& st) {
+  return st.code() == StatusCode::kCancelled ||
+         st.code() == StatusCode::kDeadlineExceeded ||
+         st.code() == StatusCode::kResourceExhausted;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        ShredDocument(
+            &mgr_, "auction.xml",
+            "<site><people>"
+            "<person id=\"person0\"><name>Kasidit</name><age>25</age></person>"
+            "<person id=\"person1\"><name>Amara</name><age>30</age></person>"
+            "<person id=\"person2\"><name>Bola</name><age>19</age></person>"
+            "</people><auctions>"
+            "<auction><buyer person=\"person0\"/><price>10</price></auction>"
+            "<auction><buyer person=\"person0\"/><price>25</price></auction>"
+            "<auction><buyer person=\"person2\"/><price>90</price></auction>"
+            "</auctions></site>")
+            .ok());
+  }
+  void TearDown() override { fault::Disarm(); }
+
+  void CheckAllContainers() {
+    for (int32_t id = 0; id < mgr_.num_containers(); ++id) {
+      Status st = mgr_.container(id)->CheckInvariants();
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+
+  DocumentManager mgr_;
+};
+
+// ---------------------------------------------------------------------------
+// The chaos sweep: every fault point x {cancel, mem-exhaust} x workers {1,4}
+// ---------------------------------------------------------------------------
+
+class ChaosSweepTest : public ChaosTest,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(ChaosSweepTest, FaultStormLeavesTypedStatusesAndIntactContainers) {
+  const int kWorkers = GetParam();
+  XQueryEngine eng(&mgr_);
+
+  // Unfaulted baselines (also pre-builds nothing: each worker session
+  // below races index builds on purpose).
+  std::string expected_join, expected_ft;
+  {
+    Session s = eng.CreateSession();
+    s.options().nametest_pushdown = true;
+    auto j = s.Run(kJoinQuery);
+    ASSERT_TRUE(j.ok()) << j.status().ToString();
+    expected_join = *j;
+    auto f = s.Run(kFtQuery);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    expected_ft = *f;
+  }
+
+  const std::string fragment = AppendFragment(40);
+  const fault::Kind kinds[] = {fault::Kind::kCancel, fault::Kind::kMemExhaust};
+
+  std::atomic<int64_t> wrong{0};
+
+  for (const char* point : kAllPoints) {
+    for (fault::Kind kind : kinds) {
+      // every=true: concurrent workers all see injections, not just the
+      // first execution to reach the point.
+      fault::Arm(point, kind, {.every = true});
+
+      std::vector<std::thread> workers;
+      workers.reserve(kWorkers);
+      for (int w = 0; w < kWorkers; ++w) {
+        workers.emplace_back([&, w] {
+          Session s = eng.CreateSession();
+          s.options().nametest_pushdown = true;  // index.build on the path
+          // Each worker owns one transient container for fragment appends
+          // (single-writer discipline; queries never touch it).
+          DocumentContainer* scratch = mgr_.AcquireTransient();
+          for (int iter = 0; iter < 10; ++iter) {
+            const int op = (iter + w) % 4;
+            if (op == 0 || op == 1) {
+              auto r = s.Run(op == 0 ? kJoinQuery : kFtQuery);
+              if (!r.ok() && !IsTypedGovernanceFailure(r.status())) ++wrong;
+            } else if (op == 2) {
+              ShredOptions so;
+              ExecContext ctx;  // fresh: stop reasons are sticky per-context
+              ctx.Watch(s.options().cancel_group.get());
+              so.ctx = &ctx;
+              auto r = ShredFragment(scratch, fragment, so);
+              if (!r.ok() && !IsTypedGovernanceFailure(r.status())) ++wrong;
+              if (!scratch->CheckInvariants().ok()) ++wrong;
+            } else {
+              s.CancelAll();
+            }
+          }
+          mgr_.ReleaseTransient(scratch);
+        });
+      }
+      for (auto& t : workers) t.join();
+      fault::Disarm();
+
+      ASSERT_EQ(wrong.load(), 0)
+          << "untyped failure or invariant break at point " << point;
+      CheckAllContainers();
+
+      // Recovery: with the fault disarmed the engine serves baseline
+      // results byte-identically (fresh session - no stale sticky state).
+      Session s = eng.CreateSession();
+      s.options().nametest_pushdown = true;
+      auto j = s.Run(kJoinQuery);
+      ASSERT_TRUE(j.ok()) << point << ": " << j.status().ToString();
+      EXPECT_EQ(*j, expected_join) << point;
+      auto f = s.Run(kFtQuery);
+      ASSERT_TRUE(f.ok()) << point << ": " << f.status().ToString();
+      EXPECT_EQ(*f, expected_ft) << point;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ChaosSweepTest, ::testing::Values(1, 4));
+
+// ---------------------------------------------------------------------------
+// Mid-shred fault: byte-identical rollback
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, MidShredFaultRollsContainerBackByteIdentically) {
+  DocumentContainer* c = mgr_.AcquireTransient();
+  ShredOptions plain;
+  ASSERT_TRUE(ShredFragment(c, AppendFragment(5), plain).ok());
+  const ContainerSnapshot before = Snapshot(*c);
+  ASSERT_TRUE(c->CheckInvariants().ok());
+
+  const std::string big = AppendFragment(60);
+  for (const char* point : {"shred.slot", "shred.text"}) {
+    // nth=100 (slot) / nth=30 (text): the fault fires mid-document, after
+    // real rows landed — the interesting rollback case.
+    fault::Arm(point, fault::Kind::kCancel,
+               {.nth = std::string(point) == "shred.slot" ? 100 : 30});
+    ExecContext ctx;
+    ShredOptions so;
+    so.ctx = &ctx;
+    auto r = ShredFragment(c, big, so);
+    EXPECT_GT(fault::InjectionCount(), 0) << point << " never fired";
+    ASSERT_FALSE(r.ok()) << point << ": mid-shred fault swallowed";
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+        << point << ": " << r.status().ToString();
+    fault::Disarm();
+
+    // Byte-identical: every column, counter, and the append frontier.
+    EXPECT_TRUE(Snapshot(*c) == before) << point << ": rollback not clean";
+    ASSERT_TRUE(c->CheckInvariants().ok());
+  }
+
+  // The same append, unfaulted, now succeeds on the rolled-back container.
+  ASSERT_TRUE(ShredFragment(c, big, plain).ok());
+  ASSERT_TRUE(c->CheckInvariants().ok());
+  mgr_.ReleaseTransient(c);
+}
+
+TEST_F(ChaosTest, MemExhaustMidShredRollsBackAndReleasesCharges) {
+  DocumentContainer* c = mgr_.AcquireTransient();
+  const ContainerSnapshot before = Snapshot(*c);
+
+  fault::Arm("shred.slot", fault::Kind::kMemExhaust, {.nth = 80});
+  ExecContext ctx;
+  ShredOptions so;
+  so.ctx = &ctx;
+  auto r = ShredFragment(c, AppendFragment(60), so);
+  fault::Disarm();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_TRUE(Snapshot(*c) == before);
+  // The rollback handed every charged byte back to the account.
+  EXPECT_EQ(ctx.mem()->live_bytes(), 0);
+  mgr_.ReleaseTransient(c);
+}
+
+TEST_F(ChaosTest, GovernedShredChargesMemAccount) {
+  DocumentContainer* c = mgr_.AcquireTransient();
+  ExecContext ctx;
+  ShredOptions so;
+  so.ctx = &ctx;
+  auto r = ShredFragment(c, AppendFragment(50), so);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // ~25 bytes per node row: 50 entries x 4 nodes + text + attrs each.
+  EXPECT_GT(ctx.mem()->live_bytes(), 1000);
+  EXPECT_EQ(ctx.mem()->live_bytes(), ctx.mem()->peak_bytes());
+  mgr_.ReleaseTransient(c);
+}
+
+TEST_F(ChaosTest, ShredHonorsMemoryBudget) {
+  DocumentContainer* c = mgr_.AcquireTransient();
+  const ContainerSnapshot before = Snapshot(*c);
+  ExecContext ctx;
+  ctx.set_memory_budget(512);  // far below the fragment's footprint
+  ShredOptions so;
+  so.ctx = &ctx;
+  auto r = ShredFragment(c, AppendFragment(200), so);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_TRUE(Snapshot(*c) == before);
+  mgr_.ReleaseTransient(c);
+}
+
+TEST_F(ChaosTest, ShredHonorsCancelAndDeadline) {
+  DocumentContainer* c = mgr_.AcquireTransient();
+  {
+    ExecContext ctx;
+    ctx.Cancel();  // pre-cancelled: the first poll must observe it
+    ShredOptions so;
+    so.ctx = &ctx;
+    auto r = ShredFragment(c, AppendFragment(200), so);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+  {
+    ExecContext ctx;
+    ctx.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));  // already expired
+    ShredOptions so;
+    so.ctx = &ctx;
+    auto r = ShredFragment(c, AppendFragment(200), so);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << r.status().ToString();
+  }
+  EXPECT_EQ(c->PhysicalSlots(), 0);
+  mgr_.ReleaseTransient(c);
+}
+
+// ---------------------------------------------------------------------------
+// Faulted index builds leave "absent, rebuild next call"
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, FaultedIndexBuildRecoversOnNextCall) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  s.options().nametest_pushdown = true;
+  auto q = s.Prepare(R"(count(doc("auction.xml")//person))");
+  ASSERT_TRUE(q.ok());
+
+  // Baseline on a *different* engine-session would cache the index; build
+  // it here once, then invalidate so each armed run rebuilds.
+  auto base = s.Execute(*q);
+  ASSERT_TRUE(base.ok());
+  const std::string expected = base->Serialize(mgr_);
+
+  DocumentContainer* doc = *mgr_.GetDocument("auction.xml");
+  for (fault::Kind kind : {fault::Kind::kCancel, fault::Kind::kMemExhaust}) {
+    doc->InvalidateIndexes();
+    fault::Arm("index.build", kind, {.every = true});
+    auto r = s.Execute(*q);
+    if (fault::InjectionCount() > 0) {
+      ASSERT_FALSE(r.ok()) << "index.build fault swallowed";
+      EXPECT_TRUE(IsTypedGovernanceFailure(r.status()))
+          << r.status().ToString();
+    }
+    fault::Disarm();
+    auto after = s.Execute(*q);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(after->Serialize(mgr_), expected);
+  }
+}
+
+TEST_F(ChaosTest, FaultedFulltextBuildRecoversOnNextCall) {
+  // Under MXQ_FT=0 the scan fallback answers without ever building the
+  // index, so only the byte-identical recovery (not the rebuild) applies.
+  const bool ft_index_on = alg::ExecFlags::FromEnv().fulltext;
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  auto q = s.Prepare(kFtQuery);
+  ASSERT_TRUE(q.ok());
+  auto base = s.Execute(*q);
+  ASSERT_TRUE(base.ok());
+  const std::string expected = base->Serialize(mgr_);
+
+  DocumentContainer* doc = *mgr_.GetDocument("auction.xml");
+  for (fault::Kind kind : {fault::Kind::kCancel, fault::Kind::kMemExhaust}) {
+    doc->InvalidateIndexes();
+    fault::Arm("ft.build", kind, {.every = true});
+    auto r = s.Execute(*q);
+    fault::Disarm();
+    // The build was abandoned — cache stays empty — and the sticky stop
+    // reason surfaced as a typed Status (the probe itself checkpoints).
+    if (!r.ok()) EXPECT_TRUE(IsTypedGovernanceFailure(r.status()));
+    EXPECT_EQ(doc->fulltext_index_if_built(), nullptr)
+        << "abandoned ft build left a poisoned cache entry";
+    auto after = s.Execute(*q);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(after->Serialize(mgr_), expected);
+    if (ft_index_on) EXPECT_NE(doc->fulltext_index_if_built(), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExecuteWithRetry: admission sheds become bounded extra latency
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, ExecuteWithRetrySucceedsAfterTransientShed) {
+  XQueryEngine eng(&mgr_);
+  GovernanceOptions gov;
+  gov.max_in_flight = 1;
+  gov.max_queue = 0;  // no queueing: a busy slot sheds immediately
+  eng.set_governance(gov);
+  auto slow = eng.Prepare(SlowChainQuery(50));
+  ASSERT_TRUE(slow.ok());
+  auto quick = eng.Prepare("1 + 1");
+  ASSERT_TRUE(quick.ok());
+
+  // Occupy the only slot with one delayed run (>= 50 ms), then retry
+  // against it: the retrier sheds, backs off, and succeeds once the slot
+  // frees. The retry budget (500 x <= 10 ms) dwarfs any plausible hold
+  // time, so the outcome is deterministic even on a loaded single core.
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 1000});
+  std::thread holder([&] {
+    Session s = eng.CreateSession();
+    ASSERT_TRUE(s.Execute(*slow).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  Session s = eng.CreateSession();
+  RetryPolicy policy;
+  policy.max_attempts = 500;
+  policy.initial_backoff_ms = 2;
+  policy.max_backoff_ms = 10;
+  auto r = s.ExecuteWithRetry(*quick, policy);
+  holder.join();
+  fault::Disarm();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Serialize(mgr_), "2");
+}
+
+TEST_F(ChaosTest, ExecuteWithRetryGivesUpAfterMaxAttempts) {
+  XQueryEngine eng(&mgr_);
+  GovernanceOptions gov;
+  gov.max_in_flight = 1;
+  gov.max_queue = 0;
+  eng.set_governance(gov);
+  auto slow = eng.Prepare(SlowChainQuery(100));
+  ASSERT_TRUE(slow.ok());
+  auto quick = eng.Prepare("1 + 1");
+  ASSERT_TRUE(quick.ok());
+
+  std::atomic<bool> stop{false};
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 1000});
+  std::thread holder([&] {
+    Session s = eng.CreateSession();
+    while (!stop.load()) ASSERT_TRUE(s.Execute(*slow).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  Session s = eng.CreateSession();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  const int64_t requests_before = eng.governance_stats().requests;
+  auto r = s.ExecuteWithRetry(*quick, policy);
+  const int64_t attempts = eng.governance_stats().requests - requests_before;
+  stop.store(true);
+  holder.join();
+  fault::Disarm();
+
+  if (!r.ok()) {
+    // Gave up: the typed shed Status, after exactly max_attempts tries.
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(attempts, 3);
+  } else {
+    // A slot freed during a backoff window — legal; bounded attempts.
+    EXPECT_LE(attempts, 3);
+  }
+}
+
+TEST_F(ChaosTest, ExecuteWithRetryDoesNotRetryDeterministicFailures) {
+  XQueryEngine eng(&mgr_);
+  Session s = eng.CreateSession();
+  // Memory-budget kResourceExhausted is deterministic: one attempt only.
+  testutil::RandomDoc(&mgr_, 30000, /*seed=*/7);
+  auto q = eng.Prepare(R"(count(doc("rand7")//a))");
+  ASSERT_TRUE(q.ok());
+  s.options().memory_budget_bytes = 4096;
+  const int64_t requests_before = eng.governance_stats().requests;
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  auto r = s.ExecuteWithRetry(*q, policy);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(eng.governance_stats().requests - requests_before, 1)
+      << "deterministic failure was retried";
+
+  // NotFound and parse-level failures: also a single attempt.
+  auto bad = eng.Prepare(R"(doc("nope.xml"))");
+  ASSERT_TRUE(bad.ok());
+  const int64_t before2 = eng.governance_stats().requests;
+  auto r2 = s.ExecuteWithRetry(*bad, policy);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(eng.governance_stats().requests - before2, 1);
+}
+
+}  // namespace
+}  // namespace xq
+}  // namespace mxq

@@ -1,0 +1,283 @@
+// Malformed-input corpus for the atomic shredder (docs/robustness.md
+// "Ingestion"): every broken document in the corpus must fail with a
+// *typed* Status (kParseError for syntax, kResourceExhausted for limit
+// breaches) and must leave no trace behind:
+//
+//   * a failed ShredDocument never publishes a name — GetDocument keeps
+//     returning NotFound, and the scratch container is recycled into the
+//     transient pool, so repeated failed loads do not grow the registry;
+//   * a failed ShredFragment rolls the target container back
+//     byte-identically to its pre-call state and CheckInvariants() still
+//     passes.
+//
+// The corpus covers truncations at every construct boundary, mismatched
+// and unmatched tags, bad entity references, pathological DOCTYPE internal
+// subsets, and documents nested beyond ShredOptions::max_depth. Runs clean
+// under MXQ_SANITIZE=address,undefined (run_matrix.sh).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/document.h"
+#include "xml/shredder.h"
+
+namespace mxq {
+namespace {
+
+// Byte-level snapshot of a container's logical state via public accessors;
+// rollback tests assert snapshots compare equal.
+struct Snap {
+  std::vector<int64_t> size, ref, attr_owner;
+  std::vector<int32_t> level, frag;
+  std::vector<NodeKind> kind;
+  std::vector<StrId> attr_qn, attr_val, pi_target, pi_value;
+  int64_t node_count = 0;
+
+  bool operator==(const Snap& o) const {
+    return size == o.size && ref == o.ref && attr_owner == o.attr_owner &&
+           level == o.level && frag == o.frag && kind == o.kind &&
+           attr_qn == o.attr_qn && attr_val == o.attr_val &&
+           pi_target == o.pi_target && pi_value == o.pi_value &&
+           node_count == o.node_count;
+  }
+};
+
+Snap TakeSnap(const DocumentContainer& c) {
+  Snap s;
+  for (int64_t rid = 0; rid < c.PhysicalSlots(); ++rid) {
+    s.size.push_back(c.SizeAtRid(rid));
+    s.level.push_back(c.LevelAtRid(rid));
+    s.kind.push_back(c.KindAtRid(rid));
+    s.ref.push_back(c.RefAt(c.Pre(rid)));
+    s.frag.push_back(c.FragAt(c.Pre(rid)));
+  }
+  for (int64_t row = 0; row < c.AttrCount(); ++row) {
+    s.attr_owner.push_back(c.AttrOwnerRid(row));
+    s.attr_qn.push_back(c.AttrQn(row));
+    s.attr_val.push_back(c.AttrValue(row));
+  }
+  for (int64_t row = 0; row < c.PICount(); ++row) {
+    s.pi_target.push_back(c.PITarget(row));
+    s.pi_value.push_back(c.PIValue(row));
+  }
+  s.node_count = c.NodeCount();
+  return s;
+}
+
+struct BadDoc {
+  const char* label;
+  std::string xml;
+  StatusCode want;
+};
+
+// Truncations, tag mismatches, entity errors: all kParseError.
+std::vector<BadDoc> SyntaxCorpus() {
+  return {
+      {"truncated after start tag", "<a><b>text", StatusCode::kParseError},
+      {"truncated inside start tag", "<a", StatusCode::kParseError},
+      {"truncated inside attribute", "<a href=\"x", StatusCode::kParseError},
+      {"attribute missing value", "<a href></a>", StatusCode::kParseError},
+      {"attribute unquoted value", "<a href=x></a>",
+       StatusCode::kParseError},
+      {"unterminated comment", "<a><!-- never closed </a>",
+       StatusCode::kParseError},
+      {"unterminated CDATA", "<a><![CDATA[ stuck </a>",
+       StatusCode::kParseError},
+      {"unterminated PI", "<a><?pi no end </a>", StatusCode::kParseError},
+      {"mismatched end tag", "<a><b></a></b>", StatusCode::kParseError},
+      {"unmatched end tag", "<a></a></a>", StatusCode::kParseError},
+      {"malformed end tag", "<a></a b>", StatusCode::kParseError},
+      {"end tag only", "</a>", StatusCode::kParseError},
+      {"trailing sibling after document element", "<a></a><b/>",
+       StatusCode::kParseError},
+      {"text outside document element", "hello<a/>",
+       StatusCode::kParseError},
+      {"unknown entity", "<a>&nope;</a>", StatusCode::kParseError},
+      {"unterminated entity", "<a>&amp</a>", StatusCode::kParseError},
+      {"unknown entity in attribute", "<a v=\"&bad;\"/>",
+       StatusCode::kParseError},
+      {"empty tag name", "<><a/></>", StatusCode::kParseError},
+      {"DOCTYPE then truncated element", "<!DOCTYPE d [<!ELEMENT a EMPTY>]><a>",
+       StatusCode::kParseError},
+  };
+}
+
+// Pathological DOCTYPE internal subsets: deeply nested brackets must be
+// skipped in one bounded scan — the parse terminates and the (element-less
+// or truncated) document still gets a typed verdict.
+std::string NestedDoctype(int depth, bool close, const std::string& body) {
+  std::string d = "<!DOCTYPE d [";
+  for (int i = 0; i < depth; ++i) d += "[<!x[";
+  for (int i = 0; i < depth && close; ++i) d += "]]";
+  d += close ? "]>" : "";
+  return d + body;
+}
+
+// Documents nested beyond ShredOptions::max_depth: kResourceExhausted.
+std::string DeepDoc(int depth) {
+  std::string d;
+  for (int i = 0; i < depth; ++i) d += "<e>";
+  for (int i = 0; i < depth; ++i) d += "</e>";
+  return d;
+}
+
+TEST(MalformedInputTest, SyntaxCorpusFailsTypedAndStaysInvisible) {
+  DocumentManager mgr;
+  const int32_t warm = [&] {
+    // Warm the transient pool once so the steady-state assertion below is
+    // exact: every later failed load recycles instead of allocating.
+    auto r = ShredDocument(&mgr, "probe.xml", "<a");
+    EXPECT_FALSE(r.ok());
+    return mgr.num_containers();
+  }();
+
+  for (const BadDoc& bad : SyntaxCorpus()) {
+    auto r = ShredDocument(&mgr, "bad.xml", bad.xml);
+    ASSERT_FALSE(r.ok()) << bad.label;
+    EXPECT_EQ(r.status().code(), bad.want)
+        << bad.label << ": " << r.status().ToString();
+    // Failed loads are invisible: no name registered, no registry growth.
+    EXPECT_EQ(mgr.GetDocument("bad.xml").status().code(),
+              StatusCode::kNotFound)
+        << bad.label;
+    EXPECT_EQ(mgr.num_containers(), warm)
+        << bad.label << ": failed load leaked a container";
+    EXPECT_EQ(mgr.free_transients(), 1)
+        << bad.label << ": scratch container not recycled";
+  }
+
+  // The same name loads fine afterwards — nothing was poisoned.
+  auto ok = ShredDocument(&mgr, "bad.xml", "<a><b>fine</b></a>");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(mgr.GetDocument("bad.xml").ok());
+  EXPECT_TRUE((*ok)->CheckInvariants().ok());
+}
+
+TEST(MalformedInputTest, FragmentCorpusRollsBackByteIdentically) {
+  DocumentManager mgr;
+  auto doc = ShredDocument(&mgr, "base.xml", "<r><keep>me</keep></r>");
+  ASSERT_TRUE(doc.ok());
+  DocumentContainer* c = *doc;
+
+  // Grow the container once so rollback has a non-trivial pre-state.
+  ASSERT_TRUE(ShredFragment(c, "<extra a=\"1\">x<?p q?></extra>").ok());
+  const Snap before = TakeSnap(*c);
+  const auto mark = c->Mark();
+
+  std::vector<BadDoc> corpus = SyntaxCorpus();
+  // Fragment-only shapes: multiple roots are legal, but each must close.
+  corpus.push_back({"fragment unclosed second root", "<a/><b><c>",
+                    StatusCode::kParseError});
+  corpus.push_back({"empty fragment", "   ", StatusCode::kParseError});
+  for (const BadDoc& bad : corpus) {
+    if (std::string(bad.label) == "trailing sibling after document element" ||
+        std::string(bad.label) == "text outside document element")
+      continue;  // legal in fragment mode (multiple roots, bare text)
+    auto r = ShredFragment(c, bad.xml);
+    ASSERT_FALSE(r.ok()) << bad.label;
+    EXPECT_EQ(r.status().code(), bad.want)
+        << bad.label << ": " << r.status().ToString();
+    const auto after = c->Mark();
+    EXPECT_EQ(after.slots, mark.slots) << bad.label;
+    EXPECT_EQ(after.attrs, mark.attrs) << bad.label;
+    EXPECT_EQ(after.pis, mark.pis) << bad.label;
+    EXPECT_EQ(after.next_frag, mark.next_frag) << bad.label;
+    EXPECT_TRUE(c->CheckInvariants().ok()) << bad.label;
+    EXPECT_TRUE(TakeSnap(*c) == before)
+        << bad.label << ": rollback was not byte-identical";
+  }
+}
+
+TEST(MalformedInputTest, PathologicalDoctypeTerminates) {
+  DocumentManager mgr;
+  // Deep but well-formed internal subset followed by a real element: OK.
+  auto ok = ShredDocument(&mgr, "dt.xml", NestedDoctype(2000, true, "<a/>"));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE((*ok)->CheckInvariants().ok());
+
+  // Unclosed subset swallows the rest of the input; the element-less
+  // document is accepted (the dialect allows it) but nothing leaks.
+  auto empty =
+      ShredDocument(&mgr, "dt2.xml", NestedDoctype(2000, false, "<a/>"));
+  if (empty.ok()) {
+    EXPECT_TRUE((*empty)->CheckInvariants().ok());
+  } else {
+    EXPECT_EQ(empty.status().code(), StatusCode::kParseError);
+    EXPECT_EQ(mgr.GetDocument("dt2.xml").status().code(),
+              StatusCode::kNotFound);
+  }
+}
+
+TEST(MalformedInputTest, DepthBeyondMaxDepthIsResourceExhausted) {
+  DocumentManager mgr;
+  ShredOptions opts;
+  opts.max_depth = 64;
+  auto r = ShredDocument(&mgr, "deep.xml", DeepDoc(65), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(mgr.GetDocument("deep.xml").status().code(),
+            StatusCode::kNotFound);
+
+  // Exactly at the limit: fine.
+  auto ok = ShredDocument(&mgr, "deep.xml", DeepDoc(64), opts);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE((*ok)->CheckInvariants().ok());
+
+  // The default limit still terminates a 100k-deep bomb with a typed
+  // Status instead of exhausting the stack.
+  auto bomb = ShredDocument(&mgr, "bomb.xml", DeepDoc(100000));
+  ASSERT_FALSE(bomb.ok());
+  EXPECT_EQ(bomb.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(mgr.GetDocument("bomb.xml").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MalformedInputTest, InputAndNodeLimitsAreResourceExhausted) {
+  DocumentManager mgr;
+  ShredOptions opts;
+  opts.max_input_bytes = 32;
+  auto r = ShredDocument(&mgr, "big.xml",
+                         "<a><b>0123456789012345678901234567890123</b></a>",
+                         opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+
+  ShredOptions nodes;
+  nodes.max_nodes = 8;
+  std::string many = "<r>";
+  for (int i = 0; i < 32; ++i) many += "<e/>";
+  many += "</r>";
+  auto r2 = ShredDocument(&mgr, "many.xml", many, nodes);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(mgr.GetDocument("many.xml").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MalformedInputTest, RepeatedFailedLoadsDoNotGrowTheRegistry) {
+  DocumentManager mgr;
+  ASSERT_TRUE(ShredDocument(&mgr, "ok.xml", "<a/>").ok());
+  auto warmup = ShredDocument(&mgr, "x.xml", "<broken");
+  ASSERT_FALSE(warmup.ok());
+  const int32_t containers = mgr.num_containers();
+  for (int i = 0; i < 100; ++i) {
+    auto r = ShredDocument(&mgr, "x.xml", "<broken attempt=\"" +
+                                              std::to_string(i) + "\"");
+    ASSERT_FALSE(r.ok());
+  }
+  EXPECT_EQ(mgr.num_containers(), containers)
+      << "failed loads allocated fresh containers instead of recycling";
+  EXPECT_EQ(mgr.free_transients(), 1);
+  EXPECT_EQ(mgr.GetDocument("x.xml").status().code(), StatusCode::kNotFound);
+
+  // The recycled scratch serves a successful load with no stale state.
+  auto ok = ShredDocument(&mgr, "x.xml", "<fresh><child/></fresh>");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE((*ok)->CheckInvariants().ok());
+  EXPECT_EQ(mgr.free_transients(), 0);
+}
+
+}  // namespace
+}  // namespace mxq

@@ -23,6 +23,12 @@
 #   cmake --build build-asan -j
 #   ctest --test-dir build-asan -R '^run_matrix$' --output-on-failure
 #
+# Besides the encoding legs, the matrix runs a dedicated chaos leg: the
+# fault-point storm (chaos_test) and the malformed-input corpus
+# (malformed_input_test) under MXQ_THREADS=4, so atomic-ingestion rollback
+# and the lock-free registry are exercised concurrently in every
+# configuration — including the TSan / ASan+UBSan builds above.
+#
 # Standalone usage: tests/run_matrix.sh [build-dir]   (default: ./build)
 #   MXQ_MATRIX_THREADS    thread width exported to the inner runs (default 4,
 #                         so the parallel kernels engage even where the
@@ -56,6 +62,13 @@ run_matrix_in() {
     MXQ_DICT=$dict MXQ_FT=$ft MXQ_THREADS=$THREADS \
       ctest --test-dir "$dir" -E '^run_matrix$' --output-on-failure
   done
+  # Chaos leg: the fault-storm and malformed-input suites again, pinned to
+  # the concurrent width regardless of MXQ_MATRIX_THREADS overrides, so the
+  # ingestion rollback / lock-free registry paths always race for real.
+  echo "== chaos leg in $dir with MXQ_THREADS=4" >&2
+  MXQ_THREADS=4 \
+    ctest --test-dir "$dir" -R '^(chaos_test|malformed_input_test)$' \
+      --output-on-failure
 }
 
 run_matrix_in "$BUILD"

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "storage/document.h"
 #include "storage/table.h"
 #include "xml/serializer.h"
@@ -287,6 +292,110 @@ TEST(StringPoolTest, InternDedupes) {
   EXPECT_EQ(pool.Get(a), "hello");
   EXPECT_EQ(pool.Find("world"), b);
   EXPECT_EQ(pool.Find("missing"), kInvalidStrId);
+}
+
+TEST(WatermarkTest, TruncateToRollsBackEveryTable) {
+  DocumentManager mgr;
+  auto doc = ShredDocument(&mgr, "w.xml",
+                           "<r a=\"1\"><c>t</c><?pi v?><!--x--></r>");
+  ASSERT_TRUE(doc.ok());
+  DocumentContainer* c = *doc;
+  const auto mark = c->Mark();
+  const int64_t slots = c->PhysicalSlots();
+  const int64_t attrs = c->AttrCount();
+  const int64_t pis = c->PICount();
+  const int64_t nodes = c->NodeCount();
+
+  // Grow every append-only table past the watermark, then roll back.
+  ASSERT_TRUE(ShredFragment(c, "<extra b=\"2\">y<?p q?></extra>").ok());
+  ASSERT_GT(c->PhysicalSlots(), slots);
+  ASSERT_GT(c->AttrCount(), attrs);
+  ASSERT_GT(c->PICount(), pis);
+  c->TruncateTo(mark);
+  EXPECT_EQ(c->PhysicalSlots(), slots);
+  EXPECT_EQ(c->AttrCount(), attrs);
+  EXPECT_EQ(c->PICount(), pis);
+  EXPECT_EQ(c->NodeCount(), nodes);
+  EXPECT_EQ(c->next_frag(), mark.next_frag);
+  EXPECT_TRUE(c->CheckInvariants().ok());
+
+  // Truncating to the current state is a no-op.
+  c->TruncateTo(c->Mark());
+  EXPECT_EQ(c->PhysicalSlots(), slots);
+
+  // The rolled-back container still grows correctly afterwards.
+  ASSERT_TRUE(ShredFragment(c, "<again/>").ok());
+  EXPECT_TRUE(c->CheckInvariants().ok());
+}
+
+TEST(CheckInvariantsTest, AcceptsWellFormedContainers) {
+  DocumentManager mgr;
+  auto doc = ShredDocument(
+      &mgr, "ok.xml",
+      "<site a=\"1\"><p id=\"x\">text<![CDATA[raw]]></p><?pi v?><!--c--></site>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE((*doc)->CheckInvariants().ok());
+  ASSERT_TRUE(ShredFragment(*doc, "<more><deep><deeper/></deep></more>").ok());
+  EXPECT_TRUE((*doc)->CheckInvariants().ok());
+}
+
+TEST(CheckInvariantsTest, RejectsCorruptedColumns) {
+  DocumentManager mgr;
+
+  // Size extending past the end of the container.
+  auto d1 = ShredDocument(&mgr, "c1.xml", "<r><a/><b/></r>");
+  ASSERT_TRUE(d1.ok());
+  (*d1)->SetSize(0, (*d1)->PhysicalSlots() + 10);
+  EXPECT_FALSE((*d1)->CheckInvariants().ok());
+
+  // Negative size.
+  auto d2 = ShredDocument(&mgr, "c2.xml", "<r><a/></r>");
+  ASSERT_TRUE(d2.ok());
+  (*d2)->SetSize(1, -3);
+  EXPECT_FALSE((*d2)->CheckInvariants().ok());
+
+  // Level jump deeper than parent+1 (impossible nesting).
+  auto d3 = ShredDocument(&mgr, "c3.xml", "<r><a/></r>");
+  ASSERT_TRUE(d3.ok());
+  (*d3)->SetLevel((*d3)->PhysicalSlots() - 1, 9);
+  EXPECT_FALSE((*d3)->CheckInvariants().ok());
+}
+
+TEST(DocumentManagerTest, ConcurrentRegistryReadsDuringCreation) {
+  // Readers resolve container(id) lock-free while a writer keeps creating
+  // containers: every id below the published count must resolve to a
+  // non-null container whose columns are readable. Run under
+  // MXQ_SANITIZE=thread to prove the publication protocol.
+  DocumentManager mgr;
+  constexpr int kDocs = 200;
+  std::atomic<bool> done{false};
+  std::atomic<int> wrong{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const int32_t n = mgr.num_containers();
+        for (int32_t id = 0; id < n; ++id) {
+          const DocumentContainer* c = mgr.container(id);
+          if (c == nullptr || c->id() != id) ++wrong;
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < kDocs; ++i) {
+    auto r = ShredDocument(&mgr, "doc" + std::to_string(i) + ".xml",
+                           "<d n=\"" + std::to_string(i) + "\"><v/></d>");
+    ASSERT_TRUE(r.ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GE(mgr.num_containers(), kDocs);
+  for (int i = 0; i < kDocs; i += 37)
+    EXPECT_TRUE(mgr.GetDocument("doc" + std::to_string(i) + ".xml").ok());
 }
 
 TEST(ItemTest, PackingPreservesDocumentOrder) {
