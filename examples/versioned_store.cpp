@@ -59,12 +59,22 @@ int main() {
 
   show("initial configuration:");
 
+  // Updates are fallible (malformed fragment, bad target): bail out loudly
+  // instead of dropping the Status.
+  auto check = [](const Status& st) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "update error: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+
   // Structural insert: a new service (fits the page free space: O(1) pages).
   StrId config_qn = mgr.strings().Find("config");
   int64_t root = (*doc)->ElementsNamed(config_qn)[0];
-  upd.InsertXml(root, updates::InsertPos::kLast,
-                "<service name=\"cache\"><port>6379</port>"
-                "<replicas>1</replicas></service>");
+  check(upd.InsertXml(root, updates::InsertPos::kLast,
+                      "<service name=\"cache\"><port>6379</port>"
+                      "<replicas>1</replicas></service>")
+            .status());
   std::printf("\nafter inserting the cache service "
               "(pages touched: %lld, appended: %lld):\n",
               static_cast<long long>(upd.stats().pages_touched),
@@ -78,7 +88,7 @@ int main() {
   for (int64_t p : (*doc)->ElementsNamed(port_qn)) {
     // Replace the text child of the gateway's port.
     if ((*doc)->StringValueOf(p) == "8080") {
-      upd.ReplaceText(p + 1, "8443");
+      check(upd.ReplaceText(p + 1, "8443"));
       break;
     }
   }
@@ -94,7 +104,7 @@ int main() {
     StrId name_qn = mgr.strings().Find("name");
     int64_t row = (*doc)->AttrOf(s, name_qn);
     if (row >= 0 && mgr.strings().Get((*doc)->AttrValue(row)) == "search") {
-      upd.DeleteSubtree(s);
+      check(upd.DeleteSubtree(s));
       break;
     }
   }

@@ -1,10 +1,10 @@
 #include "common/fault.h"
 
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "common/exec_context.h"
+#include "common/thread_annotations.h"
 
 namespace mxq {
 namespace fault {
@@ -12,12 +12,12 @@ namespace fault {
 namespace {
 
 struct State {
-  std::mutex mu;
-  std::string point;
-  Kind kind = Kind::kNone;
-  Options opts;
-  int64_t hits = 0;        // times the armed point was reached
-  int64_t injections = 0;  // times it actually fired
+  Mutex mu;
+  std::string point MXQ_GUARDED_BY(mu);
+  Kind kind MXQ_GUARDED_BY(mu) = Kind::kNone;
+  Options opts MXQ_GUARDED_BY(mu);
+  int64_t hits MXQ_GUARDED_BY(mu) = 0;   // times the armed point was reached
+  int64_t injections MXQ_GUARDED_BY(mu) = 0;  // times it actually fired
 };
 
 State& GetState() {
@@ -29,7 +29,7 @@ State& GetState() {
 
 void Arm(const std::string& point, Kind kind, Options opts) {
   State& s = GetState();
-  std::lock_guard<std::mutex> lk(s.mu);
+  MutexLock lk(&s.mu);
   s.point = point;
   s.kind = kind;
   s.opts = opts;
@@ -40,7 +40,7 @@ void Arm(const std::string& point, Kind kind, Options opts) {
 
 void Disarm() {
   State& s = GetState();
-  std::lock_guard<std::mutex> lk(s.mu);
+  MutexLock lk(&s.mu);
   s.kind = Kind::kNone;
   s.point.clear();
   ArmedFlag().store(false, std::memory_order_release);
@@ -48,7 +48,7 @@ void Disarm() {
 
 int64_t InjectionCount() {
   State& s = GetState();
-  std::lock_guard<std::mutex> lk(s.mu);
+  MutexLock lk(&s.mu);
   return s.injections;
 }
 
@@ -57,7 +57,7 @@ void HitSlow(const char* point) {
   Kind kind = Kind::kNone;
   int delay_us = 0;
   {
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     if (s.kind == Kind::kNone || s.point != point) return;
     ++s.hits;
     const bool fire = s.opts.every ? s.hits >= s.opts.nth : s.hits == s.opts.nth;

@@ -55,14 +55,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/item.h"
 #include "common/string_pool.h"
+#include "common/thread_annotations.h"
 
 namespace mxq {
 
@@ -303,7 +302,7 @@ class ItemDict {
   Code Intern(const StringPool& pool, const Item& atom) {
     const EntryKey key{static_cast<uint8_t>(atom.kind), atom.i};
     {
-      std::shared_lock<std::shared_mutex> lk(mu_);
+      ReaderLock lk(&mu_);
       auto it = index_.find(key);
       if (it != index_.end()) return MakeCode(kTagEntry, it->second);
     }
@@ -333,7 +332,7 @@ class ItemDict {
         break;
       }
     }
-    std::unique_lock<std::shared_mutex> lk(mu_);
+    WriterLock lk(&mu_);
     auto it = index_.find(key);  // raced with another encoder?
     if (it != index_.end()) return MakeCode(kTagEntry, it->second);
     const uint32_t idx = count_.load(std::memory_order_relaxed);
@@ -357,12 +356,20 @@ class ItemDict {
     return MakeCode(kTagEntry, idx);
   }
 
-  mutable std::shared_mutex mu_;  // guards index_ and appends
-  std::unordered_map<EntryKey, uint32_t, EntryKeyHash> index_;
+  mutable SharedMutex mu_;  // guards index_ and appends
+  std::unordered_map<EntryKey, uint32_t, EntryKeyHash> index_
+      MXQ_GUARDED_BY(mu_);
+  // publication: chunk pointers release-stored once, acquire-loaded by
+  // EntryOf; entry contents are covered by the count_ publication.
   std::vector<std::atomic<Entry*>> chunks_;
+  // publication: release-stored after the entry is fully written — a code
+  // handed out by Encode happens-after its entry, so Decode/HashCode/
+  // EqualCodes on published codes read settled memory without locking.
   std::atomic<uint32_t> count_{0};
+  // publication: sticky flag, relaxed — monotonic and advisory (kernels use
+  // it only to skip doomed encode passes).
   std::atomic<bool> exhausted_{false};
-  uint32_t max_entries_ = kMaxEntries;  // lowered only by tests
+  uint32_t max_entries_ = kMaxEntries;  // lowered only by tests, before use
 };
 
 }  // namespace mxq

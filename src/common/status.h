@@ -34,7 +34,14 @@ enum class StatusCode : uint8_t {
 ///
 /// The OK status is represented without allocation; error statuses carry a
 /// heap-allocated code+message record.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a silent correctness bug in an engine
+/// whose recovery contracts are typed-error based (docs/robustness.md) —
+/// every producer call site must consume, propagate, or explicitly discard
+/// with `(void)` plus a comment saying why ignoring is intended. Enforced
+/// as an error by the MXQ_WERROR_THREAD_SAFETY build
+/// (docs/static_analysis.md).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 
@@ -111,8 +118,9 @@ class Status {
 };
 
 /// \brief A value or an error Status (Arrow's Result / absl::StatusOr).
+/// [[nodiscard]] like Status: discarding one silently drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}
   Result(Status status) : status_(std::move(status)), has_value_(false) {}

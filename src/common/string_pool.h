@@ -24,12 +24,12 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace mxq {
 
@@ -67,11 +67,11 @@ class StringPool {
     intern_calls_.fetch_add(1, std::memory_order_relaxed);
     {
       // Fast path: already interned (the common case on query hot paths).
-      std::shared_lock<std::shared_mutex> lk(mu_);
+      ReaderLock lk(&mu_);
       auto it = index_.find(s);
       if (it != index_.end()) return it->second;
     }
-    std::unique_lock<std::shared_mutex> lk(mu_);
+    WriterLock lk(&mu_);
     auto it = index_.find(s);  // re-check: raced with another interner
     if (it != index_.end()) return it->second;
     const size_t idx = count_.load(std::memory_order_relaxed);
@@ -93,7 +93,7 @@ class StringPool {
 
   /// Returns the id of `s` or kInvalidStrId if not interned.
   StrId Find(std::string_view s) const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    ReaderLock lk(&mu_);
     auto it = index_.find(s);
     return it == index_.end() ? kInvalidStrId : it->second;
   }
@@ -127,12 +127,20 @@ class StringPool {
   static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
   static constexpr size_t kMaxChunks = size_t{1} << 14;
 
+  // publication: monotonic counter, relaxed — a statistics hook, ordered
+  // against nothing.
   std::atomic<int64_t> intern_calls_{0};
-  mutable std::shared_mutex mu_;  // guards index_ and insertion order only
+  mutable SharedMutex mu_;  // guards index_ and insertion order only
+  // publication: chunk pointers are installed once with a release store and
+  // never change; Get() reads them with acquire. Slot contents are covered
+  // by the count_ publication below, not by mu_.
   std::vector<std::atomic<std::string*>> chunks_;
+  // publication: release-stored after the new slot is fully written; any
+  // reader that acquires count_ > idx sees slot idx settled. This is the
+  // pool's only reader-side synchronization — Get/View/size never lock.
   std::atomic<size_t> count_{0};
   std::unordered_map<std::string_view, StrId, StringPoolHash, std::equal_to<>>
-      index_;
+      index_ MXQ_GUARDED_BY(mu_);
 };
 
 }  // namespace mxq

@@ -1,0 +1,193 @@
+// Compile-time concurrency contracts (docs/static_analysis.md).
+//
+// Wraps Clang's thread-safety analysis attributes in portable MXQ_* macros
+// and provides annotated Mutex / SharedMutex capabilities plus RAII locks,
+// so every mutex-protected structure in the engine can *declare* its lock
+// protocol and have the compiler enforce it:
+//
+//   mxq::Mutex mu_;
+//   int64_t hits_ MXQ_GUARDED_BY(mu_);   // access without mu_ = build error
+//
+//   void Bump() {
+//     MutexLock lk(&mu_);
+//     ++hits_;                           // OK: lock is held
+//   }
+//
+// Under Clang with -Wthread-safety (the MXQ_WERROR_THREAD_SAFETY CMake
+// option turns it into -Werror=thread-safety), a guarded field touched
+// outside its lock, a MXQ_REQUIRES function called without the capability,
+// or an MXQ_EXCLUDES violation is a compile error. Under every other
+// compiler the macros expand to nothing and the wrappers are zero-cost
+// forwarding shims over the std primitives.
+//
+// The engine distinguishes two field disciplines; the annotation states
+// which one each field follows (docs/static_analysis.md "Contract"):
+//
+//   * MXQ_GUARDED_BY(mu)  -- classic lock-protected state. All reads and
+//     writes hold mu. This is what the analysis enforces.
+//   * `// publication:` fields -- lock-free published state (the chunked
+//     release/acquire pattern of StringPool / ItemDict / the fulltext
+//     posting table / DocumentManager's container registry). These are
+//     std::atomic with explicit memory_order arguments; they are
+//     deliberately NOT guarded (readers never lock), and
+//     tools/lint/check_memory_order.py keeps their orderings explicit.
+//
+// Every MXQ_NO_THREAD_SAFETY_ANALYSIS escape hatch must carry a comment
+// explaining why the analysis cannot express the protocol (policy in
+// docs/static_analysis.md).
+//
+// Attribute spellings follow Clang's documented capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), same scheme as
+// abseil's thread_annotations.h.
+
+#ifndef MXQ_COMMON_THREAD_ANNOTATIONS_H_
+#define MXQ_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define MXQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MXQ_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// Type declares a capability (lockable).
+#define MXQ_CAPABILITY(x) MXQ_THREAD_ANNOTATION_(capability(x))
+// RAII type that acquires in its constructor and releases in its destructor.
+#define MXQ_SCOPED_CAPABILITY MXQ_THREAD_ANNOTATION_(scoped_lockable)
+
+// Field is protected by the given capability.
+#define MXQ_GUARDED_BY(x) MXQ_THREAD_ANNOTATION_(guarded_by(x))
+// Pointer field whose *pointee* is protected by the given capability.
+#define MXQ_PT_GUARDED_BY(x) MXQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function acquires/releases the capability (exclusive / shared).
+#define MXQ_ACQUIRE(...) MXQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MXQ_ACQUIRE_SHARED(...) \
+  MXQ_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define MXQ_RELEASE(...) MXQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MXQ_RELEASE_SHARED(...) \
+  MXQ_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+// Releases whichever mode was acquired (scoped locks that may hold either).
+#define MXQ_RELEASE_GENERIC(...) \
+  MXQ_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+// Function tries to acquire; first argument is the success return value.
+#define MXQ_TRY_ACQUIRE(...) \
+  MXQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Caller must hold the capability (exclusive / shared) across the call.
+#define MXQ_REQUIRES(...) \
+  MXQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MXQ_REQUIRES_SHARED(...) \
+  MXQ_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock prevention).
+#define MXQ_EXCLUDES(...) MXQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the given capability.
+#define MXQ_RETURN_CAPABILITY(x) MXQ_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: function body is not analyzed. Every use must carry a
+// justification comment (docs/static_analysis.md "Escape hatches").
+#define MXQ_NO_THREAD_SAFETY_ANALYSIS \
+  MXQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace mxq {
+
+/// \brief std::mutex annotated as a Clang capability.
+///
+/// A zero-cost shim: all methods forward to the wrapped std::mutex. Meets
+/// BasicLockable, so std::condition_variable_any can wait on it directly
+/// (CondVar below) — the wait's internal unlock/relock is invisible to the
+/// analysis, which is sound because the capability state is identical
+/// before and after the call.
+class MXQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MXQ_ACQUIRE() { mu_.lock(); }
+  void unlock() MXQ_RELEASE() { mu_.unlock(); }
+  bool try_lock() MXQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief std::shared_mutex annotated as a Clang capability
+/// (exclusive writer / shared readers).
+class MXQ_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MXQ_ACQUIRE() { mu_.lock(); }
+  void unlock() MXQ_RELEASE() { mu_.unlock(); }
+  bool try_lock() MXQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() MXQ_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MXQ_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() MXQ_TRY_ACQUIRE(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive lock over a Mutex (std::lock_guard with the
+/// acquire/release contract visible to the analysis).
+class MXQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) MXQ_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() MXQ_RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief RAII exclusive lock over a SharedMutex (writer side).
+class MXQ_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) MXQ_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterLock() MXQ_RELEASE() { mu_->unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// \brief RAII shared lock over a SharedMutex (reader side).
+class MXQ_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) MXQ_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderLock() MXQ_RELEASE_GENERIC() { mu_->unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Condition variable usable with the annotated Mutex: wait(Mutex&) via the
+/// BasicLockable interface. Waiters hold the Mutex (MutexLock or explicit
+/// lock()) and loop on their predicate around wait()/wait_until — guarded
+/// predicate state is then visibly read under the lock, which is what lets
+/// the analysis check cv-protected state machines (XQueryEngine admission,
+/// ThreadPool job handoff).
+using CondVar = std::condition_variable_any;
+
+}  // namespace mxq
+
+#endif  // MXQ_COMMON_THREAD_ANNOTATIONS_H_

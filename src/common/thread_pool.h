@@ -21,16 +21,15 @@
 #define MXQ_COMMON_THREAD_POOL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/thread_annotations.h"
 
 namespace mxq {
 
@@ -90,7 +89,8 @@ class ThreadPool {
   /// Max workers ever spawned (callers clamp thread counts well below).
   static constexpr int kMaxWorkers = 63;
 
-  void Run(int tasks, const std::function<void(int)>& fn) {
+  void Run(int tasks, const std::function<void(int)>& fn)
+      MXQ_EXCLUDES(run_mu_, mu_) {
     if (tasks <= 1) {
       for (int t = 0; t < tasks; ++t) fn(t);
       return;
@@ -109,11 +109,12 @@ class ThreadPool {
       for (int t = 0; t < tasks; ++t) fn(t);
       return;
     }
-    std::lock_guard<std::mutex> run_lock(run_mu_, std::adopt_lock);
+    // run_mu_ is held from here to the unlock below; the only early exits
+    // above precede the try_lock. (Tasks must not throw — pool contract.)
     EnsureWorkers(tasks - 1);
     int executors;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       executors = std::min(tasks, 1 + static_cast<int>(workers_.size()));
       job_fn_ = &fn;
       // Workers run the job under the submitting execution's governance
@@ -129,13 +130,17 @@ class ThreadPool {
     cv_.notify_all();
     RunBlock(0, executors, tasks, fn);  // caller is executor 0
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      done_cv_.wait(lk, [&] { return pending_ == 0; });
+      MutexLock lk(&mu_);
+      while (pending_ != 0) done_cv_.wait(mu_);
       job_fn_ = nullptr;
     }
+    run_mu_.unlock();
   }
 
-  int workers() const { return static_cast<int>(workers_.size()); }
+  int workers() const MXQ_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
+    return static_cast<int>(workers_.size());
+  }
 
  private:
   ThreadPool() = default;
@@ -149,24 +154,30 @@ class ThreadPool {
     in_task_ = false;
   }
 
-  void EnsureWorkers(int want) {
+  void EnsureWorkers(int want) MXQ_EXCLUDES(mu_) {
     // Bound the persistent worker set by the hardware (floor of 8 so the
     // determinism tests and TSan runs get real concurrency even on tiny
     // CI machines) — a job wider than the worker set just assigns larger
     // blocks per executor, which static partitioning handles natively.
     want = std::min({want, kMaxWorkers, std::max(8, HardwareThreads() - 1)});
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     while (static_cast<int>(workers_.size()) < want) {
       int widx = static_cast<int>(workers_.size());
       workers_.emplace_back([this, widx] { WorkerLoop(widx); });
     }
   }
 
-  void WorkerLoop(int widx) {
+  // MXQ_NO_THREAD_SAFETY_ANALYSIS: the worker loop holds mu_ across
+  // iterations of an infinite loop, dropping it only inside cv waits and
+  // around job execution — acquire and release are intentionally unbalanced
+  // within the function body, which the per-function analysis cannot
+  // express. The protocol is exercised under TSan by every run_matrix
+  // sanitizer leg (tests/run_matrix.sh).
+  void WorkerLoop(int widx) MXQ_NO_THREAD_SAFETY_ANALYSIS {
     uint64_t seen = 0;
-    std::unique_lock<std::mutex> lk(mu_);
+    mu_.lock();
     while (true) {
-      cv_.wait(lk, [&] { return generation_ != seen; });
+      while (generation_ == seen) cv_.wait(mu_);
       seen = generation_;
       const std::function<void(int)>* fn = job_fn_;
       ExecContext* ctx = job_ctx_;
@@ -176,27 +187,28 @@ class ThreadPool {
       // Not participating (job already complete, or narrower than the
       // worker set): just re-arm on the next generation.
       if (fn == nullptr || e >= executors) continue;
-      lk.unlock();
+      mu_.unlock();
       {
         ScopedExecContext scoped(ctx);
         RunBlock(e, executors, tasks, *fn);
       }
-      lk.lock();
+      mu_.lock();
       if (--pending_ == 0) done_cv_.notify_one();
     }
   }
 
-  std::mutex run_mu_;  // serializes whole jobs
-  std::mutex mu_;      // guards all job/worker state below
-  std::condition_variable cv_;       // workers wait here for a generation
-  std::condition_variable done_cv_;  // the caller waits here for pending_==0
-  std::vector<std::jthread> workers_;
-  const std::function<void(int)>* job_fn_ = nullptr;
-  ExecContext* job_ctx_ = nullptr;  // caller's governance context, if any
-  int job_tasks_ = 0;
-  int job_executors_ = 0;
-  int pending_ = 0;
-  uint64_t generation_ = 0;
+  Mutex run_mu_;      // serializes whole jobs
+  mutable Mutex mu_;  // guards all job/worker state below
+  CondVar cv_;       // workers wait here for a generation
+  CondVar done_cv_;  // the caller waits here for pending_==0
+  std::vector<std::jthread> workers_ MXQ_GUARDED_BY(mu_);
+  const std::function<void(int)>* job_fn_ MXQ_GUARDED_BY(mu_) = nullptr;
+  // caller's governance context, if any
+  ExecContext* job_ctx_ MXQ_GUARDED_BY(mu_) = nullptr;
+  int job_tasks_ MXQ_GUARDED_BY(mu_) = 0;
+  int job_executors_ MXQ_GUARDED_BY(mu_) = 0;
+  int pending_ MXQ_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ MXQ_GUARDED_BY(mu_) = 0;
 
   static thread_local bool in_task_;
 };

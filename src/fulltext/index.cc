@@ -127,7 +127,7 @@ std::shared_ptr<const FullTextIndex> FullTextIndex::Build(
 // cache slot and drops it on invalidation.
 std::shared_ptr<const ft::FullTextIndex> DocumentContainer::fulltext_index()
     const {
-  std::lock_guard<std::mutex> lk(index_mu_);
+  MutexLock lk(&index_mu_);
   if (!ft_index_) {
     // Build returns null when the governing execution was stopped (or an
     // injected fault fired) mid-build: leave the cache slot empty — absent,
@@ -139,7 +139,7 @@ std::shared_ptr<const ft::FullTextIndex> DocumentContainer::fulltext_index()
 
 std::shared_ptr<const ft::FullTextIndex>
 DocumentContainer::fulltext_index_if_built() const {
-  std::lock_guard<std::mutex> lk(index_mu_);
+  MutexLock lk(&index_mu_);
   return ft_index_;
 }
 

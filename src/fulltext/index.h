@@ -119,6 +119,11 @@ class FullTextIndex {
   static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
   static constexpr size_t kMaxChunks = size_t{1} << 16;
 
+  // publication: build-thread-only appends; chunk pointers are installed
+  // once with release stores and count_ is release-published after each
+  // slot write, so PostingAt's acquire loads see settled postings for any
+  // index below the count a probe obtained. After Build() returns the whole
+  // object is frozen behind shared_ptr<const> — no lock, no GUARDED_BY.
   std::vector<std::atomic<Posting*>> chunks_{kMaxChunks};
   std::atomic<uint64_t> count_{0};
 

@@ -269,7 +269,7 @@ void DocumentContainer::EnsureAttrPerm() const {
   // Serializes the lazy build; once built, attr_perm_ is immutable until
   // InvalidateIndexes, so callers may read it lock-free after returning
   // (the acquire here orders the build before their reads).
-  std::lock_guard<std::mutex> lk(index_mu_);
+  MutexLock lk(&index_mu_);
   if (attr_owner_sorted_ && attr_perm_.empty()) {
     // Rows already sorted by owner; identity permutation, built lazily.
     attr_perm_.resize(attr_owner_.size());
@@ -379,7 +379,7 @@ bool BuildStopRequested() {
 
 const std::vector<int64_t>& DocumentContainer::ElementsNamed(StrId qn) const {
   static const std::vector<int64_t> kEmpty;
-  std::lock_guard<std::mutex> lk(index_mu_);
+  MutexLock lk(&index_mu_);
   if (!elem_index_built_) {
     // Build into a local map and commit only on success: a governed stop
     // mid-build must not poison the cached state for later executions.
@@ -406,7 +406,7 @@ const std::vector<int64_t>& DocumentContainer::ElementsNamed(StrId qn) const {
 
 const std::vector<int64_t>& DocumentContainer::AttrsNamed(StrId qn) const {
   static const std::vector<int64_t> kEmpty;
-  std::lock_guard<std::mutex> lk(index_mu_);
+  MutexLock lk(&index_mu_);
   if (!attr_index_built_) {
     MXQ_FAULT_POINT("index.build");
     // Rows keyed by qname, ordered by owner document (pre) order.
@@ -497,7 +497,7 @@ DocumentManager::~DocumentManager() {
 }
 
 DocumentContainer* DocumentManager::CreateContainer(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterLock lk(&mu_);
   const int32_t id = ctr_count_.load(std::memory_order_relaxed);
   assert(static_cast<size_t>(id) < kCtrMaxChunks * kCtrChunkSize &&
          "container registry exhausted");
@@ -521,14 +521,14 @@ DocumentContainer* DocumentManager::CreateContainer(const std::string& name) {
 void DocumentManager::PublishDocument(DocumentContainer* c,
                                       const std::string& name) {
   if (c == nullptr || name.empty()) return;
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterLock lk(&mu_);
   c->name_ = name;
   by_name_[name] = c->id();
 }
 
 Result<DocumentContainer*> DocumentManager::GetDocument(
     const std::string& name) {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderLock lk(&mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end())
     return Status::NotFound("document not loaded: " + name);
@@ -537,7 +537,7 @@ Result<DocumentContainer*> DocumentManager::GetDocument(
 
 DocumentContainer* DocumentManager::AcquireTransient() {
   {
-    std::unique_lock<std::shared_mutex> lk(mu_);
+    WriterLock lk(&mu_);
     if (!free_transients_.empty()) {
       DocumentContainer* c = free_transients_.back();
       free_transients_.pop_back();
@@ -554,7 +554,7 @@ void DocumentManager::ReleaseTransient(DocumentContainer* c) {
   // a pooled container must not pin the working set of one huge result
   // forever — drop outsized buffers before recycling.
   c->ShrinkIfOversized(/*max_retained_slots=*/1 << 16);
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterLock lk(&mu_);
   free_transients_.push_back(c);
 }
 

@@ -32,8 +32,6 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -43,6 +41,7 @@
 #include "common/item_dict.h"
 #include "common/status.h"
 #include "common/string_pool.h"
+#include "common/thread_annotations.h"
 
 namespace mxq {
 
@@ -298,21 +297,25 @@ class DocumentContainer {
   // ---- element/attribute name indexes (paper: "index on element names") ---
 
   /// Pres of all elements with tag `qn`, in document order.
-  const std::vector<int64_t>& ElementsNamed(StrId qn) const;
+  const std::vector<int64_t>& ElementsNamed(StrId qn) const
+      MXQ_EXCLUDES(index_mu_);
   /// Attribute rows with qname `qn`, sorted by owner document order.
-  const std::vector<int64_t>& AttrsNamed(StrId qn) const;
+  const std::vector<int64_t>& AttrsNamed(StrId qn) const
+      MXQ_EXCLUDES(index_mu_);
 
   /// Inverted fulltext index over this container's text nodes
   /// (fulltext/index.h). Get-or-build under index_mu_ like the name
   /// indexes; the returned instance is immutable, so probes read it
   /// lock-free while InvalidateIndexes()/Clear() swap in a rebuild for
   /// later executions. Defined in fulltext/index.cc.
-  std::shared_ptr<const ft::FullTextIndex> fulltext_index() const;
+  std::shared_ptr<const ft::FullTextIndex> fulltext_index() const
+      MXQ_EXCLUDES(index_mu_);
   /// The index if already built, else null (no build; introspection/tests).
-  std::shared_ptr<const ft::FullTextIndex> fulltext_index_if_built() const;
+  std::shared_ptr<const ft::FullTextIndex> fulltext_index_if_built() const
+      MXQ_EXCLUDES(index_mu_);
 
-  void InvalidateIndexes() {
-    std::lock_guard<std::mutex> lk(index_mu_);
+  void InvalidateIndexes() MXQ_EXCLUDES(index_mu_) {
+    MutexLock lk(&index_mu_);
     elem_index_.clear();
     attr_name_index_.clear();
     elem_index_built_ = false;
@@ -385,7 +388,7 @@ class DocumentContainer {
  private:
   friend class DocumentManager;  // PublishDocument names a finished load
 
-  void EnsureAttrPerm() const;
+  void EnsureAttrPerm() const MXQ_EXCLUDES(index_mu_);
 
   int32_t id_;
   std::string name_;
@@ -405,6 +408,15 @@ class DocumentContainer {
   std::vector<StrId> attr_qn_;
   std::vector<StrId> attr_val_;
   bool attr_appended_in_order_ = true;  // owners nondecreasing?
+  // publication: attr_owner_sorted_ / attr_perm_ follow the container's
+  // two-phase discipline, so they are deliberately not GUARDED_BY —
+  // mutation paths (AppendAttr, ShiftAttrOwners, RebuildPaged, TruncateTo)
+  // write them under the single-writer/external-exclusion contract
+  // (docs/api.md "Thread safety"), while concurrent read-only executions
+  // build attr_perm_ lazily under index_mu_ (EnsureAttrPerm) and then read
+  // it lock-free: it is immutable until InvalidateIndexes, and every reader
+  // passed through the EnsureAttrPerm critical section, which orders the
+  // build before its reads.
   mutable bool attr_owner_sorted_ = true;
   mutable std::vector<int64_t> attr_perm_;  // rows sorted by owner rid
 
@@ -416,12 +428,15 @@ class DocumentContainer {
   // so concurrent read-only queries can share one container; the returned
   // vectors are stable until InvalidateIndexes (updates require external
   // exclusion, see docs/api.md "Thread safety").
-  mutable std::mutex index_mu_;
-  mutable std::unordered_map<StrId, std::vector<int64_t>> elem_index_;
-  mutable std::unordered_map<StrId, std::vector<int64_t>> attr_name_index_;
-  mutable bool elem_index_built_ = false;
-  mutable bool attr_index_built_ = false;
-  mutable std::shared_ptr<const ft::FullTextIndex> ft_index_;
+  mutable Mutex index_mu_;
+  mutable std::unordered_map<StrId, std::vector<int64_t>> elem_index_
+      MXQ_GUARDED_BY(index_mu_);
+  mutable std::unordered_map<StrId, std::vector<int64_t>> attr_name_index_
+      MXQ_GUARDED_BY(index_mu_);
+  mutable bool elem_index_built_ MXQ_GUARDED_BY(index_mu_) = false;
+  mutable bool attr_index_built_ MXQ_GUARDED_BY(index_mu_) = false;
+  mutable std::shared_ptr<const ft::FullTextIndex> ft_index_
+      MXQ_GUARDED_BY(index_mu_);
 
   std::unique_ptr<PageMap> page_map_;
 };
@@ -455,17 +470,20 @@ class DocumentManager {
   const ItemDict& item_dict() const { return dict_; }
 
   /// Creates a fresh container. `name` may be empty for transient containers.
-  DocumentContainer* CreateContainer(const std::string& name);
+  DocumentContainer* CreateContainer(const std::string& name)
+      MXQ_EXCLUDES(mu_);
 
   /// Binds `name` to an already-registered container, making it visible to
   /// GetDocument / doc(). ShredDocument publishes only after a fully
   /// successful parse, so a failed load is never observable by name
   /// (docs/robustness.md "Ingestion"). Rebinding an existing name points it
   /// at the new container (the previous one stays registered by id).
-  void PublishDocument(DocumentContainer* c, const std::string& name);
+  void PublishDocument(DocumentContainer* c, const std::string& name)
+      MXQ_EXCLUDES(mu_);
 
   /// Looks up a loaded document by name.
-  Result<DocumentContainer*> GetDocument(const std::string& name);
+  Result<DocumentContainer*> GetDocument(const std::string& name)
+      MXQ_EXCLUDES(mu_);
 
   /// Resolves a container id, lock-free: the registry is append-only
   /// chunked storage with a release-published count, the same discipline as
@@ -496,15 +514,15 @@ class DocumentManager {
 
   /// Returns an empty transient container exclusively owned by the caller
   /// until released (typically via ~QueryResult / ~ResultCursor).
-  DocumentContainer* AcquireTransient();
+  DocumentContainer* AcquireTransient() MXQ_EXCLUDES(mu_);
 
   /// Returns a container obtained from AcquireTransient to the free pool.
   /// Outstanding node items referencing it become invalid.
-  void ReleaseTransient(DocumentContainer* c);
+  void ReleaseTransient(DocumentContainer* c) MXQ_EXCLUDES(mu_);
 
   /// Containers currently in the transient free pool (introspection/tests).
-  int32_t free_transients() const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+  int32_t free_transients() const MXQ_EXCLUDES(mu_) {
+    ReaderLock lk(&mu_);
     return static_cast<int32_t>(free_transients_.size());
   }
 
@@ -527,11 +545,16 @@ class DocumentManager {
 
   StringPool pool_;
   ItemDict dict_;
-  mutable std::shared_mutex mu_;  // guards by_name_ / free pool / creation
+  mutable SharedMutex mu_;  // guards by_name_ / free pool / creation
+  // publication: chunk pointers release-stored once by CreateContainer
+  // (under mu_), acquire-loaded by the lock-free container() fast path;
+  // slot contents are covered by the ctr_count_ publication below.
   std::vector<std::atomic<DocumentContainer**>> ctr_chunks_;
+  // publication: release-stored after the registry slot is written, so any
+  // id obtained through a synchronized channel resolves without mu_.
   std::atomic<int32_t> ctr_count_{0};
-  std::unordered_map<std::string, int32_t> by_name_;
-  std::vector<DocumentContainer*> free_transients_;
+  std::unordered_map<std::string, int32_t> by_name_ MXQ_GUARDED_BY(mu_);
+  std::vector<DocumentContainer*> free_transients_ MXQ_GUARDED_BY(mu_);
 };
 
 }  // namespace mxq

@@ -26,12 +26,10 @@
 #ifndef MXQ_XQUERY_ENGINE_H_
 #define MXQ_XQUERY_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -39,6 +37,7 @@
 
 #include "common/exec_context.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/document.h"
 #include "xquery/plan.h"
 
@@ -300,7 +299,8 @@ class XQueryEngine {
   /// CompileOptions). Thread-safe; the returned plan is immutable and may be
   /// executed concurrently by any number of sessions.
   Result<PreparedQuery> Prepare(const std::string& query,
-                                const CompileOptions& opts = {});
+                                const CompileOptions& opts = {})
+      MXQ_EXCLUDES(cache_mu_);
 
   /// Creates a per-caller session (cheap; create one per thread).
   Session CreateSession();
@@ -325,18 +325,18 @@ class XQueryEngine {
 
   DocumentManager* manager() { return mgr_; }
 
-  PlanCacheStats plan_cache_stats() const;
+  PlanCacheStats plan_cache_stats() const MXQ_EXCLUDES(cache_mu_);
   /// Rebounds the plan cache (0 disables caching); evicts LRU-first.
-  void set_plan_cache_capacity(size_t capacity);
+  void set_plan_cache_capacity(size_t capacity) MXQ_EXCLUDES(cache_mu_);
 
   // ---- resource governance (docs/robustness.md) ---------------------------
 
   /// Installs admission-control limits and default budgets. Thread-safe;
   /// applies to subsequent Execute/ExecuteCursor calls (and wakes queued
   /// requests so a raised limit admits them immediately).
-  void set_governance(const GovernanceOptions& g);
-  GovernanceOptions governance() const;
-  GovernanceStats governance_stats() const;
+  void set_governance(const GovernanceOptions& g) MXQ_EXCLUDES(gov_mu_);
+  GovernanceOptions governance() const MXQ_EXCLUDES(gov_mu_);
+  GovernanceStats governance_stats() const MXQ_EXCLUDES(gov_mu_);
 
   /// Cancels every in-flight and queued execution on this engine. Each
   /// observes the request at its next checkpoint (bounded by one morsel)
@@ -345,8 +345,8 @@ class XQueryEngine {
 
   /// \deprecated Scan statistics of the most recent Execute on this engine.
   /// Racy under concurrency — read QueryResult::scan_stats() instead.
-  ScanStats last_scan_stats() const {
-    std::lock_guard<std::mutex> lk(last_scan_mu_);
+  ScanStats last_scan_stats() const MXQ_EXCLUDES(last_scan_mu_) {
+    MutexLock lk(&last_scan_mu_);
     return last_scan_;
   }
 
@@ -368,10 +368,10 @@ class XQueryEngine {
 
   /// Blocks until an execution slot is free (or sheds per GovernanceOptions;
   /// `ectx` supplies the queue-wait deadline and cancellation).
-  Status Admit(const ExecContext& ectx);
-  void ReleaseAdmission();
+  Status Admit(const ExecContext& ectx) MXQ_EXCLUDES(gov_mu_);
+  void ReleaseAdmission() MXQ_EXCLUDES(gov_mu_);
   /// Books the completion Status of an admitted execution.
-  void RecordOutcome(const Status& st);
+  void RecordOutcome(const Status& st) MXQ_EXCLUDES(gov_mu_);
   /// Wakes queued admissions so a CancelGroup bump takes effect immediately.
   void WakeAdmissionWaiters();
 
@@ -384,27 +384,38 @@ class XQueryEngine {
     PreparedQuery plan;
   };
   /// Pops LRU entries until the cache fits its bound (cache_mu_ held).
-  void EvictOverCapacityLocked();
+  void EvictOverCapacityLocked() MXQ_REQUIRES(cache_mu_);
 
-  mutable std::mutex cache_mu_;
-  std::list<CacheEntry> cache_lru_;
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_;
-  size_t cache_capacity_;
-  int64_t cache_hits_ = 0;
-  int64_t cache_misses_ = 0;
-  int64_t cache_evictions_ = 0;
+  /// True when a queued request may take an execution slot (or should stop
+  /// waiting because its context fired). gov_mu_ held.
+  bool AdmissibleLocked(const ExecContext& ectx) const
+      MXQ_REQUIRES(gov_mu_) {
+    return gov_opts_.max_in_flight == 0 ||
+           in_flight_ < gov_opts_.max_in_flight || ectx.StopRequested();
+  }
 
-  mutable std::mutex last_scan_mu_;
-  ScanStats last_scan_;  // deprecated shim only
+  mutable Mutex cache_mu_;
+  std::list<CacheEntry> cache_lru_ MXQ_GUARDED_BY(cache_mu_);
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_
+      MXQ_GUARDED_BY(cache_mu_);
+  size_t cache_capacity_ MXQ_GUARDED_BY(cache_mu_);
+  int64_t cache_hits_ MXQ_GUARDED_BY(cache_mu_) = 0;
+  int64_t cache_misses_ MXQ_GUARDED_BY(cache_mu_) = 0;
+  int64_t cache_evictions_ MXQ_GUARDED_BY(cache_mu_) = 0;
 
-  // Resource governance (guarded by gov_mu_; the cancel group is its own
-  // synchronization). in_flight_/queued_ are the live admission state.
-  mutable std::mutex gov_mu_;
-  std::condition_variable gov_cv_;
-  GovernanceOptions gov_opts_;
-  GovernanceStats gov_stats_;
-  int in_flight_ = 0;
-  int queued_ = 0;
+  mutable Mutex last_scan_mu_;
+  ScanStats last_scan_ MXQ_GUARDED_BY(last_scan_mu_);  // deprecated shim only
+
+  // Resource governance (guarded by gov_mu_). in_flight_/queued_ are the
+  // live admission state.
+  mutable Mutex gov_mu_;
+  CondVar gov_cv_;
+  GovernanceOptions gov_opts_ MXQ_GUARDED_BY(gov_mu_);
+  GovernanceStats gov_stats_ MXQ_GUARDED_BY(gov_mu_);
+  int in_flight_ MXQ_GUARDED_BY(gov_mu_) = 0;
+  int queued_ MXQ_GUARDED_BY(gov_mu_) = 0;
+  // publication: epoch-based cancellation scope — internally synchronized
+  // (one atomic epoch with release bumps / acquire reads), never guarded.
   CancelGroup engine_cancel_group_;
 };
 
@@ -503,6 +514,9 @@ class Session {
   const EvalOptions& options() const { return opts_; }
 
  private:
+  // Deliberately unguarded: a Session is a single-caller handle (create one
+  // per thread). The sole cross-thread entry point, CancelAll(), touches
+  // only the CancelGroup, which is internally synchronized.
   XQueryEngine* engine_;
   EvalOptions opts_;
   ParamMap params_;

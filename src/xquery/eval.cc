@@ -1193,7 +1193,7 @@ Status XQueryEngine::ExecuteAdmitted(const CompiledQuery& q, EvalOptions* opts,
   *exec = flags.stats;
   opts->alg.stats.Add(flags.stats);
   {
-    std::lock_guard<std::mutex> lk(last_scan_mu_);
+    MutexLock lk(&last_scan_mu_);
     last_scan_ = *scan;  // deprecated last_scan_stats() shim
   }
   return Status::OK();

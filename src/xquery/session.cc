@@ -39,7 +39,7 @@ Result<PreparedQuery> XQueryEngine::Prepare(const std::string& query,
                                             const CompileOptions& opts) {
   const std::string key = PlanCacheKey(query, opts);
   {
-    std::lock_guard<std::mutex> lk(cache_mu_);
+    MutexLock lk(&cache_mu_);
     auto it = cache_map_.find(key);
     if (it != cache_map_.end()) {
       ++cache_hits_;
@@ -54,7 +54,7 @@ Result<PreparedQuery> XQueryEngine::Prepare(const std::string& query,
   MXQ_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query, opts));
   auto plan = std::make_shared<const CompiledQuery>(std::move(compiled));
 
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  MutexLock lk(&cache_mu_);
   auto it = cache_map_.find(key);
   if (it != cache_map_.end()) {
     // Another session compiled the same query concurrently; keep one plan.
@@ -77,7 +77,7 @@ void XQueryEngine::EvictOverCapacityLocked() {
 }
 
 PlanCacheStats XQueryEngine::plan_cache_stats() const {
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  MutexLock lk(&cache_mu_);
   PlanCacheStats s;
   s.hits = cache_hits_;
   s.misses = cache_misses_;
@@ -88,7 +88,7 @@ PlanCacheStats XQueryEngine::plan_cache_stats() const {
 }
 
 void XQueryEngine::set_plan_cache_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  MutexLock lk(&cache_mu_);
   cache_capacity_ = capacity;
   EvictOverCapacityLocked();
 }
@@ -105,7 +105,7 @@ void XQueryEngine::set_plan_cache_capacity(size_t capacity) {
 
 void XQueryEngine::set_governance(const GovernanceOptions& g) {
   {
-    std::lock_guard<std::mutex> lk(gov_mu_);
+    MutexLock lk(&gov_mu_);
     gov_opts_ = g;
   }
   // A raised (or removed) limit admits queued requests right away.
@@ -113,12 +113,12 @@ void XQueryEngine::set_governance(const GovernanceOptions& g) {
 }
 
 GovernanceOptions XQueryEngine::governance() const {
-  std::lock_guard<std::mutex> lk(gov_mu_);
+  MutexLock lk(&gov_mu_);
   return gov_opts_;
 }
 
 GovernanceStats XQueryEngine::governance_stats() const {
-  std::lock_guard<std::mutex> lk(gov_mu_);
+  MutexLock lk(&gov_mu_);
   return gov_stats_;
 }
 
@@ -130,7 +130,7 @@ void XQueryEngine::CancelAll() {
 void XQueryEngine::WakeAdmissionWaiters() { gov_cv_.notify_all(); }
 
 Status XQueryEngine::Admit(const ExecContext& ectx) {
-  std::unique_lock<std::mutex> lk(gov_mu_);
+  MutexLock lk(&gov_mu_);
   ++gov_stats_.requests;
   if (gov_opts_.max_in_flight > 0 && in_flight_ >= gov_opts_.max_in_flight) {
     if (queued_ >= gov_opts_.max_queue) {
@@ -141,15 +141,23 @@ Status XQueryEngine::Admit(const ExecContext& ectx) {
     }
     ++queued_;
     if (queued_ > gov_stats_.peak_queued) gov_stats_.peak_queued = queued_;
-    auto admissible = [&] {
-      return gov_opts_.max_in_flight == 0 ||
-             in_flight_ < gov_opts_.max_in_flight || ectx.StopRequested();
-    };
+    // Explicit wait loops rather than predicate lambdas: the thread-safety
+    // analysis checks guarded reads in the loop body against gov_mu_, which
+    // the CondVar re-acquires before wait() returns. The lambda form would
+    // hide those reads in an unannotated closure. `woke` is false exactly
+    // when the deadline passed while still inadmissible (the same contract
+    // as wait_until's predicate overload).
     bool woke = true;
     if (ectx.has_deadline()) {
-      woke = gov_cv_.wait_until(lk, ectx.deadline(), admissible);
+      while (!AdmissibleLocked(ectx)) {
+        if (gov_cv_.wait_until(gov_mu_, ectx.deadline()) ==
+            std::cv_status::timeout) {
+          woke = AdmissibleLocked(ectx);
+          break;
+        }
+      }
     } else {
-      gov_cv_.wait(lk, admissible);
+      while (!AdmissibleLocked(ectx)) gov_cv_.wait(gov_mu_);
     }
     --queued_;
     if (!woke) {
@@ -175,14 +183,14 @@ Status XQueryEngine::Admit(const ExecContext& ectx) {
 
 void XQueryEngine::ReleaseAdmission() {
   {
-    std::lock_guard<std::mutex> lk(gov_mu_);
+    MutexLock lk(&gov_mu_);
     --in_flight_;
   }
   gov_cv_.notify_one();
 }
 
 void XQueryEngine::RecordOutcome(const Status& st) {
-  std::lock_guard<std::mutex> lk(gov_mu_);
+  MutexLock lk(&gov_mu_);
   if (st.ok()) {
     ++gov_stats_.completed_ok;
     return;

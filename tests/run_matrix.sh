@@ -12,7 +12,10 @@
 #
 #   # TSan matrix (races in the parallel kernels, admission control,
 #   # cancellation delivery, and the lock-free StringPool / fulltext
-#   # posting-table publication):
+#   # posting-table publication). TSan is the dynamic complement of the
+#   # compile-time lock discipline in docs/static_analysis.md — the
+#   # annotations prove lock usage, TSan checks the lock-free protocols
+#   # the annotations deliberately leave to `// publication:` comments:
 #   cmake -B build-tsan -S . -DMXQ_SANITIZE=thread
 #   cmake --build build-tsan -j
 #   ctest --test-dir build-tsan -R '^run_matrix$' --output-on-failure
@@ -38,6 +41,14 @@
 #                         script configures + builds build-san-<value> next
 #                         to [build-dir] and runs the full matrix inside it.
 #                         Default empty: only [build-dir] runs, as before.
+#   MXQ_MATRIX_LINT       set 0 to skip the lint leg (repo-invariant
+#                         checkers, negative-compilation harness, clang-tidy
+#                         when installed, and a MXQ_WERROR_THREAD_SAFETY=ON
+#                         side build — docs/static_analysis.md). The
+#                         sanitizer matrix above is the *dynamic* half of
+#                         the concurrency story; the lint leg is the static
+#                         half, catching lock-discipline violations at
+#                         compile time on Clang hosts.
 set -euo pipefail
 
 BUILD=${1:-build}
@@ -60,7 +71,7 @@ run_matrix_in() {
     local dict=$1 ft=$2
     echo "== tier-1 suite in $dir with MXQ_DICT=$dict MXQ_FT=$ft MXQ_THREADS=$THREADS" >&2
     MXQ_DICT=$dict MXQ_FT=$ft MXQ_THREADS=$THREADS \
-      ctest --test-dir "$dir" -E '^run_matrix$' --output-on-failure
+      ctest --test-dir "$dir" -E '^run_matrix$' -LE lint --output-on-failure
   done
   # Chaos leg: the fault-storm and malformed-input suites again, pinned to
   # the concurrent width regardless of MXQ_MATRIX_THREADS overrides, so the
@@ -72,6 +83,24 @@ run_matrix_in() {
 }
 
 run_matrix_in "$BUILD"
+
+# Lint leg (docs/static_analysis.md): the repo-invariant checkers and the
+# negative-compilation harness (ctest label `lint`), clang-tidy against the
+# checked-in baseline when the host has it, and a one-shot side build with
+# MXQ_WERROR_THREAD_SAFETY=ON so the discipline diagnostics
+# (-Werror=thread-safety under Clang, -Werror=unused-result everywhere)
+# fail the matrix even though the default build keeps them off.
+if [ "${MXQ_MATRIX_LINT:-1}" = 1 ]; then
+  echo "== lint leg: checkers + negative-compilation harness" >&2
+  ctest --test-dir "$BUILD" -L lint --output-on-failure
+  echo "== lint leg: clang-tidy baseline (skips if not installed)" >&2
+  "$(dirname "$0")/../tools/lint/run_tidy.sh" "$BUILD"
+  WBUILD="$(dirname "$BUILD")/build-werror-tsa"
+  echo "== lint leg: MXQ_WERROR_THREAD_SAFETY=ON build -> $WBUILD" >&2
+  cmake -B "$WBUILD" -S "$(dirname "$0")/.." \
+        -DMXQ_WERROR_THREAD_SAFETY=ON >/dev/null
+  cmake --build "$WBUILD" -j >/dev/null
+fi
 
 for san in ${MXQ_MATRIX_SANITIZE:-}; do
   SBUILD="$(dirname "$BUILD")/build-san-${san//,/+}"

@@ -1,0 +1,30 @@
+// Control snippet (tests/static_analysis_test.cmake).
+// Expected: COMPILES on every compiler — correct use of the annotated
+// wrappers and a consumed Status. Guards the harness itself: if this
+// fails, the flags or headers are broken, not the discipline.
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+struct Counter {
+  mutable mxq::Mutex mu;
+  int n MXQ_GUARDED_BY(mu) = 0;
+
+  void Bump() MXQ_EXCLUDES(mu) {
+    mxq::MutexLock lk(&mu);
+    ++n;
+  }
+  int get() const MXQ_EXCLUDES(mu) {
+    mxq::MutexLock lk(&mu);
+    return n;
+  }
+};
+
+mxq::Status DoWork() { return mxq::Status::OK(); }
+
+int main() {
+  Counter c;
+  c.Bump();
+  mxq::Status st = DoWork();
+  if (!st.ok()) return 1;
+  return c.get() == 1 ? 0 : 1;
+}

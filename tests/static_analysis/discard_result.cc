@@ -1,0 +1,12 @@
+// Negative-compilation snippet (tests/static_analysis_test.cmake).
+// Expected: FAILS on every compiler under -Werror=unused-result — Result<T>
+// is [[nodiscard]] (src/common/status.h) and the call drops it, losing
+// both the value and the error.
+#include "common/status.h"
+
+mxq::Result<int> Parse() { return 7; }
+
+int main() {
+  Parse();  // violation: discarded Result
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Negative-compilation snippet (tests/static_analysis_test.cmake).
+// Expected: FAILS on every compiler under -Werror=unused-result — Status
+// is [[nodiscard]] (src/common/status.h) and the call drops it.
+#include "common/status.h"
+
+mxq::Status DoWork() { return mxq::Status::OK(); }
+
+int main() {
+  DoWork();  // violation: discarded Status
+  return 0;
+}

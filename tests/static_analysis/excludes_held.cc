@@ -1,0 +1,26 @@
+// Negative-compilation snippet (tests/static_analysis_test.cmake).
+// Expected: FAILS under Clang (-Werror=thread-safety) — calling an
+// MXQ_EXCLUDES(mu) function while mu is held (self-deadlock on a
+// non-recursive mutex). Compiles cleanly under compilers without the
+// analysis.
+#include "common/thread_annotations.h"
+
+struct Counter {
+  mxq::Mutex mu;
+  int n MXQ_GUARDED_BY(mu) = 0;
+
+  void Bump() MXQ_EXCLUDES(mu) {
+    mxq::MutexLock lk(&mu);
+    ++n;
+  }
+  void Outer() {
+    mxq::MutexLock lk(&mu);
+    Bump();  // violation: Bump excludes mu, which is held here
+  }
+};
+
+int main() {
+  Counter c;
+  c.Outer();
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Negative-compilation snippet (tests/static_analysis_test.cmake).
+// Expected: FAILS under Clang (-Werror=thread-safety) — writing a
+// MXQ_GUARDED_BY field without holding its mutex. Compiles cleanly under
+// compilers without the analysis (the macros expand to nothing).
+#include "common/thread_annotations.h"
+
+struct Counter {
+  mxq::Mutex mu;
+  int n MXQ_GUARDED_BY(mu) = 0;
+
+  void Bump() { ++n; }  // violation: mu not held
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Negative-compilation snippet (tests/static_analysis_test.cmake).
+// Expected: FAILS under Clang (-Werror=thread-safety) — calling an
+// MXQ_REQUIRES(mu) function without holding mu. Compiles cleanly under
+// compilers without the analysis.
+#include "common/thread_annotations.h"
+
+struct Counter {
+  mxq::Mutex mu;
+  int n MXQ_GUARDED_BY(mu) = 0;
+
+  void BumpLocked() MXQ_REQUIRES(mu) { ++n; }
+  void Bump() { BumpLocked(); }  // violation: mu not held at the call
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Negative-compilation snippet (tests/static_analysis_test.cmake).
+// Expected: FAILS under Clang (-Werror=thread-safety) — writing a guarded
+// field while holding only the *shared* side of its SharedMutex (the
+// StringPool/ItemDict fast-path bug this discipline exists to prevent).
+// Compiles cleanly under compilers without the analysis.
+#include "common/thread_annotations.h"
+
+struct Pool {
+  mxq::SharedMutex mu;
+  int n MXQ_GUARDED_BY(mu) = 0;
+
+  void Bad() {
+    mxq::ReaderLock lk(&mu);
+    ++n;  // violation: write requires the exclusive capability
+  }
+};
+
+int main() {
+  Pool p;
+  p.Bad();
+  return 0;
+}

@@ -1,0 +1,84 @@
+# Negative-compilation harness (docs/static_analysis.md).
+#
+# Run as a ctest test (see top-level CMakeLists.txt):
+#   cmake -DMXQ_SOURCE_DIR=<repo> -DMXQ_WORK_DIR=<scratch>
+#         -DMXQ_CXX_COMPILER=<cxx> -DMXQ_CXX_COMPILER_ID=<id>
+#         -P tests/static_analysis_test.cmake
+#
+# Each snippet in tests/static_analysis/ documents one discipline violation
+# (or, for control_ok, its absence) and must fail — or compile — exactly as
+# its header comment says:
+#   * discard_* snippets drop a [[nodiscard]] Status/Result and must fail
+#     on EVERY compiler under -Werror=unused-result.
+#   * thread-safety snippets violate MXQ_GUARDED_BY/MXQ_REQUIRES/
+#     MXQ_EXCLUDES contracts and must fail under Clang
+#     (-Werror=thread-safety) while compiling CLEANLY under compilers
+#     without the analysis — proving the macros are true no-ops there.
+#   * control_ok must compile everywhere.
+# Any mismatch is a FATAL_ERROR with the compiler's diagnostics attached.
+
+if(NOT MXQ_SOURCE_DIR OR NOT MXQ_CXX_COMPILER)
+  message(FATAL_ERROR "static_analysis_test: MXQ_SOURCE_DIR and "
+                      "MXQ_CXX_COMPILER are required")
+endif()
+
+set(snippet_dir "${MXQ_SOURCE_DIR}/tests/static_analysis")
+if(MXQ_WORK_DIR)
+  file(MAKE_DIRECTORY "${MXQ_WORK_DIR}")
+endif()
+
+# Mirrors the MXQ_WERROR_THREAD_SAFETY=ON compile line of the top-level
+# CMakeLists: -fsyntax-only keeps the harness link-free and fast.
+set(flags -std=c++20 -fsyntax-only "-I${MXQ_SOURCE_DIR}/src"
+    -Werror=unused-result)
+if(MXQ_CXX_COMPILER_ID MATCHES "Clang")
+  list(APPEND flags -Wthread-safety -Werror=thread-safety)
+  set(have_tsa TRUE)
+else()
+  set(have_tsa FALSE)
+endif()
+
+set(failures "")
+
+# expect = FAIL or PASS
+function(check_snippet name expect)
+  execute_process(
+      COMMAND "${MXQ_CXX_COMPILER}" ${flags} "${snippet_dir}/${name}.cc"
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+  if(expect STREQUAL "FAIL" AND rc EQUAL 0)
+    set(failures "${failures}\n  ${name}.cc compiled but must NOT"
+        PARENT_SCOPE)
+  elseif(expect STREQUAL "PASS" AND NOT rc EQUAL 0)
+    set(failures
+        "${failures}\n  ${name}.cc failed but must compile:\n${err}"
+        PARENT_SCOPE)
+  else()
+    message(STATUS "static_analysis: ${name}.cc — ${expect} as expected")
+  endif()
+endfunction()
+
+# Status discipline: binding on every compiler.
+foreach(name discard_status discard_result)
+  check_snippet(${name} FAIL)
+endforeach()
+
+# Thread-safety discipline: binding under Clang, no-op (and therefore
+# compiling) elsewhere.
+foreach(name guarded_write_no_lock requires_unheld
+             shared_write_under_reader excludes_held)
+  if(have_tsa)
+    check_snippet(${name} FAIL)
+  else()
+    check_snippet(${name} PASS)
+  endif()
+endforeach()
+
+check_snippet(control_ok PASS)
+
+if(failures)
+  message(FATAL_ERROR "static_analysis snippets out of contract:${failures}")
+endif()
+message(STATUS "static_analysis: all snippets behave as documented "
+        "(thread-safety analysis: ${have_tsa})")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Repo invariant: the fault-point registry is consistent everywhere.
+
+A named fault point exists in three places that must agree
+(docs/static_analysis.md):
+
+  1. the MXQ_FAULT_POINT("...") sites in src/,
+  2. the chaos sweep's kAllPoints[] table (tests/chaos_test.cc), which
+     arms every point against every kernel, and
+  3. the point list in docs/robustness.md.
+
+A point added to src/ but not to kAllPoints[] is never chaos-tested; a
+point removed from src/ but left in the table makes the sweep arm a name
+nothing hits (silently vacuous). Both directions are checked, plus doc
+mentions, plus a guard against dotted point-like names documented in the
+fault-injection section that no longer exist in src/.
+
+Usage: check_fault_points.py <repo-root>   (exit 0 = consistent)
+"""
+
+import pathlib
+import re
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_fault_points: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+
+    src_points = set()
+    for f in (root / "src").rglob("*.cc"):
+        src_points |= set(re.findall(r'MXQ_FAULT_POINT\("([^"]+)"\)', f.read_text()))
+    for f in (root / "src").rglob("*.h"):
+        if f.name == "fault.h":  # the macro definition itself
+            continue
+        src_points |= set(re.findall(r'MXQ_FAULT_POINT\("([^"]+)"\)', f.read_text()))
+    if not src_points:
+        fail("no MXQ_FAULT_POINT sites found under src/ (wrong root?)")
+
+    chaos = (root / "tests" / "chaos_test.cc").read_text()
+    m = re.search(r"kAllPoints\[\]\s*=\s*\{(.*?)\}", chaos, re.DOTALL)
+    if not m:
+        fail("kAllPoints[] table not found in tests/chaos_test.cc")
+    chaos_points = set(re.findall(r'"([^"]+)"', m.group(1)))
+
+    missing_in_chaos = src_points - chaos_points
+    if missing_in_chaos:
+        fail(
+            f"fault points in src/ but not in chaos kAllPoints[] "
+            f"(never chaos-swept): {sorted(missing_in_chaos)}"
+        )
+    stale_in_chaos = chaos_points - src_points
+    if stale_in_chaos:
+        fail(
+            f"chaos kAllPoints[] arms names with no MXQ_FAULT_POINT site "
+            f"(vacuous sweep entries): {sorted(stale_in_chaos)}"
+        )
+
+    docs = (root / "docs" / "robustness.md").read_text()
+    undocumented = {p for p in src_points if f"`{p}`" not in docs}
+    if undocumented:
+        fail(f"fault points not documented in docs/robustness.md: {sorted(undocumented)}")
+
+    # Dotted point-like names in the fault-injection section must be real.
+    sect = re.search(r"## Fault injection(.*?)(\n## |\Z)", docs, re.DOTALL)
+    if sect:
+        doc_dotted = set(re.findall(r"`([a-z]+\.[a-z]+)`", sect.group(1)))
+        ghosts = doc_dotted - src_points
+        if ghosts:
+            fail(f"docs/robustness.md documents nonexistent fault points: {sorted(ghosts)}")
+
+    print(f"check_fault_points: OK ({len(src_points)} points consistent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Repo invariant: every governed kernel keeps a cancellation checkpoint.
+
+Resource governance (docs/robustness.md) bounds cancel/deadline latency to
+"one morsel" only because every row-looping kernel polls its ExecContext.
+An edit that drops the last checkpoint from a kernel file silently turns a
+bounded-latency guarantee into an unbounded one — nothing fails until a
+production query refuses to die. This check pins the invariant:
+
+  * every file in the kernel registry below contains at least one
+    checkpoint idiom, and
+  * any src/ file that places an MXQ_FAULT_POINT also polls — a fault
+    point marks a kernel boundary, and kernel boundaries are exactly
+    where governance must be observable.
+
+Checkpoint idioms (the complete set used by the codebase):
+  StopRequested( / stop_requested( / CancelTick( / BuildStopRequested( /
+  gov->Check(
+
+Usage: check_governance_polls.py <repo-root>   (exit 0 = consistent)
+"""
+
+import pathlib
+import re
+import sys
+
+# Row-loop kernel translation units. Extend this list when a new governed
+# kernel lands; the fault-point rule below catches the common case
+# automatically (new kernels get fault points for the chaos sweep).
+KERNEL_FILES = [
+    "src/algebra/ops.cc",
+    "src/algebra/radix.h",
+    "src/staircase/loop_lifted.cc",
+    "src/fulltext/index.cc",
+    "src/fulltext/text_probe.cc",
+    "src/xquery/eval.cc",
+    "src/xml/shredder.cc",
+]
+
+CHECKPOINT = re.compile(
+    r"StopRequested\s*\(|stop_requested\s*\(|CancelTick\s*\(|"
+    r"BuildStopRequested\s*\(|gov->Check\s*\("
+)
+
+
+def fail(msg: str) -> None:
+    print(f"check_governance_polls: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+
+    for rel in KERNEL_FILES:
+        f = root / rel
+        if not f.exists():
+            fail(f"kernel registry lists missing file {rel} (update the list)")
+        if not CHECKPOINT.search(f.read_text()):
+            fail(f"{rel}: governed kernel has no cancellation checkpoint")
+
+    unpolled = []
+    for f in sorted((root / "src").rglob("*.cc")) + sorted((root / "src").rglob("*.h")):
+        text = f.read_text()
+        if f.name in ("fault.h", "fault.cc"):
+            continue
+        if 'MXQ_FAULT_POINT("' in text and not CHECKPOINT.search(text):
+            unpolled.append(str(f.relative_to(root)))
+    if unpolled:
+        fail(f"files with fault points but no governance checkpoint: {unpolled}")
+
+    print(f"check_governance_polls: OK ({len(KERNEL_FILES)} kernels polled)")
+
+
+if __name__ == "__main__":
+    main()

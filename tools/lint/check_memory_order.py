@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Repo invariant: publication-pattern atomics never use default ordering.
+
+The lock-free read paths (StringPool::Get, ItemDict::EntryOf, fulltext
+PostingAt, the DocumentManager container registry) rest on an explicit
+release/acquire protocol documented by `// publication:` comments next to
+each atomic field (docs/static_analysis.md). A bare `.load()` / `.store(x)`
+defaults to seq_cst — which is *correct* but hides the protocol: the next
+editor can no longer tell a deliberate acquire from an accidental default,
+and the annotations rot. This check enforces the house style mechanically:
+
+  In any src/ file that contains a `// publication:` comment, every atomic
+  operation (`load`, `store`, `fetch_add`, `fetch_sub`, `exchange`,
+  `compare_exchange_*`) must name a std::memory_order explicitly.
+
+Usage: check_memory_order.py <repo-root>   (exit 0 = consistent)
+"""
+
+import pathlib
+import re
+import sys
+
+ATOMIC_OP = re.compile(
+    r"\.(load|store|fetch_add|fetch_sub|exchange|compare_exchange_weak|"
+    r"compare_exchange_strong)\s*\("
+)
+
+
+def fail(msg: str) -> None:
+    print(f"check_memory_order: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def call_args(text: str, open_paren: int) -> str:
+    """Returns the argument text of the call whose '(' is at open_paren."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i]
+    return text[open_paren + 1 :]  # unbalanced: caller reports it all
+
+
+def main() -> None:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+
+    violations = []
+    checked = 0
+    for f in sorted((root / "src").rglob("*.cc")) + sorted((root / "src").rglob("*.h")):
+        text = f.read_text()
+        if "// publication:" not in text:
+            continue
+        checked += 1
+        for m in ATOMIC_OP.finditer(text):
+            args = call_args(text, m.end() - 1)
+            if "memory_order" not in args:
+                line = text.count("\n", 0, m.start()) + 1
+                violations.append(
+                    f"{f.relative_to(root)}:{line}: .{m.group(1)}() without an "
+                    f"explicit std::memory_order"
+                )
+    if checked == 0:
+        fail("no files with '// publication:' comments found (wrong root?)")
+    if violations:
+        fail("implicit seq_cst in publication-pattern files:\n  " + "\n  ".join(violations))
+
+    print(f"check_memory_order: OK ({checked} publication-pattern files)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# clang-tidy over the whole library against the checked-in .clang-tidy
+# baseline (docs/static_analysis.md).
+#
+# Usage: tools/lint/run_tidy.sh [build-dir]
+#
+# The build dir must hold a compile_commands.json (every configure exports
+# one — CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists).
+# Exits 0 with a notice when clang-tidy is not installed: the container
+# toolchain is GCC-only, so the tidy leg is advisory there and binding on
+# hosts that have Clang.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_tidy: clang-tidy not found on PATH; skipping (advisory leg)."
+  exit 0
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_tidy: ${BUILD_DIR}/compile_commands.json missing." >&2
+  echo "run_tidy: configure first: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 1
+fi
+
+# run-clang-tidy parallelizes when available; otherwise iterate.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "${BUILD_DIR}" -quiet "src/.*\.cc$"
+else
+  status=0
+  while IFS= read -r f; do
+    echo "== clang-tidy ${f}"
+    clang-tidy -p "${BUILD_DIR}" --quiet "${f}" || status=1
+  done < <(find src -name '*.cc' | sort)
+  exit "${status}"
+fi
