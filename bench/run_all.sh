@@ -4,7 +4,7 @@
 # shred_serialize) and merges everything
 # — google-benchmark results plus the kernel-comparison / thread-sweep /
 # session-sweep summaries the bench mains emit via MXQ_BENCH_JSON — into one
-# JSON artifact (default BENCH_pr8.json) that is checked in as the perf
+# JSON artifact (default BENCH_pr10.json) that is checked in as the perf
 # evidence for the PR.
 #
 # fulltext_search compares ft:contains / ft:score answered by the inverted
@@ -20,8 +20,10 @@
 # (radix join, counting sort, morsel filter) and the join-heavy XMark
 # queries at ExecFlags::threads = 1/2/4/N. serving_throughput is the
 # Session-API sweep: queries/sec for 1/2/4 concurrent sessions sharing one
-# engine, plan cache warm vs cold. Speedups and session scaling are bounded
-# by the `num_cpus` recorded in the artifact's context.
+# engine, plan cache warm vs cold, plus the streaming-cursor sweep
+# (docs/execution.md §6): first-row latency and charged peak memory of a
+# full-document scan, streaming vs materializing. Speedups and session
+# scaling are bounded by the `num_cpus` recorded in the artifact's context.
 #
 # Usage: bench/run_all.sh [out.json]
 #   MXQ_SCALE     document scale multiplier (default 0.1)
@@ -40,7 +42,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT=${1:-BENCH_pr8.json}
+OUT=${1:-BENCH_pr10.json}
 BUILD=${BUILD_DIR:-build}
 export MXQ_SCALE=${MXQ_SCALE:-0.1}
 FILTER=${BENCH_FILTER:+--benchmark_filter=${BENCH_FILTER}}

@@ -233,6 +233,74 @@ void WriteOverloadSweep(mxq::bench::JsonWriter& w, int reqs) {
   w.EndObject();
 }
 
+/// Streaming vs materializing cursor over a full-document scan
+/// (docs/execution.md §6): first-row latency (open + first batch) and the
+/// charged peak. The streamed scan must yield its first batch well before
+/// the materializing path finishes building the relation, with a charged
+/// peak bounded by the vector size instead of the result size.
+void WriteStreamingSweep(mxq::bench::JsonWriter& w) {
+  auto& inst = Instance();
+  // A bare path: the streamable scan shape.
+  const char* kScanQuery = R"(doc("auction.xml")//item/name/text())";
+  mxq::xq::Session session = inst.engine().CreateSession();
+  auto plan = session.Prepare(kScanQuery);
+  if (!plan.ok()) std::abort();
+
+  struct ModeStats {
+    double first_ms = 1e300;
+    double drain_ms = 1e300;
+    int64_t peak_bytes = 0;
+    int64_t rows = 0;
+    bool streamed = false;
+  };
+  auto measure = [&](bool stream) {
+    ModeStats m;
+    session.options().stream_results = stream;
+    for (int round = 0; round < 5; ++round) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto cur = session.OpenCursor(*plan);
+      if (!cur.ok()) std::abort();
+      std::vector<mxq::Item> batch;
+      int64_t rows = static_cast<int64_t>(cur->Next(&batch, 64));
+      const double first = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      while (size_t got = cur->Next(&batch, 1024))
+        rows += static_cast<int64_t>(got);
+      if (!cur->status().ok()) std::abort();
+      const double drain = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      m.first_ms = std::min(m.first_ms, first);
+      m.drain_ms = std::min(m.drain_ms, drain);
+      m.peak_bytes = cur->exec_stats().peak_mem_bytes;
+      m.rows = rows;
+      m.streamed = cur->streaming();
+    }
+    return m;
+  };
+  const ModeStats st = measure(/*stream=*/true);
+  const ModeStats mat = measure(/*stream=*/false);
+  if (!st.streamed || mat.streamed || st.rows != mat.rows) std::abort();
+
+  w.BeginObject("streaming_cursor");
+  w.Field("query", std::string(kScanQuery));
+  w.Field("rows", st.rows);
+  w.Field("first_batch_ms_streaming", st.first_ms);
+  w.Field("first_batch_ms_materializing", mat.first_ms);
+  w.Field("first_batch_speedup",
+          st.first_ms > 0 ? mat.first_ms / st.first_ms : 0.0);
+  w.Field("drain_ms_streaming", st.drain_ms);
+  w.Field("drain_ms_materializing", mat.drain_ms);
+  w.Field("peak_mem_bytes_streaming", st.peak_bytes);
+  w.Field("peak_mem_bytes_materializing", mat.peak_bytes);
+  w.Field("peak_mem_ratio",
+          mat.peak_bytes > 0
+              ? static_cast<double>(st.peak_bytes) / mat.peak_bytes
+              : 0.0);
+  w.EndObject();
+}
+
 void WriteSessionSweep(const char* path) {
   const int reqs = 32;
   mxq::bench::JsonWriter w;
@@ -265,6 +333,7 @@ void WriteSessionSweep(const char* path) {
   w.Field("overhead_pct", MeasureGovernanceOverheadPct(reqs));
   WriteOverloadSweep(w, reqs);
   w.EndObject();
+  WriteStreamingSweep(w);
   w.EndObject();
   w.WriteFile(path);
 }

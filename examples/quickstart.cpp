@@ -96,7 +96,9 @@ int main() {
               static_cast<long long>(cache.size));
 
   // 5. Streaming cursor: consume a large result in batches instead of one
-  //    materialized vector + string.
+  //    materialized vector + string. Scan-shaped paths like this one stream
+  //    through the vector pipeline — the first batch exists before the full
+  //    result does, so total_rows() is only final once done() (docs/api.md).
   auto titles = session.Prepare(R"(doc("library.xml")//book/title/text())");
   if (!titles.ok()) {
     std::fprintf(stderr, "compile error: %s\n",
@@ -109,11 +111,17 @@ int main() {
                  cursor.status().ToString().c_str());
     return 1;
   }
-  std::printf("\ncursor over %zu titles, batches of 2:\n",
-              cursor->total_rows());
+  std::printf("\n%s cursor, batches of 2:\n",
+              cursor->streaming() ? "streaming" : "materialized");
   std::vector<Item> batch;
   while (cursor->Next(&batch, 2)) {
     std::printf("  batch: %s\n", SerializeSequence(mgr, batch).c_str());
   }
+  if (!cursor->status().ok()) {
+    std::fprintf(stderr, "cursor failed: %s\n",
+                 cursor->status().ToString().c_str());
+    return 1;
+  }
+  std::printf("drained %zu titles\n", cursor->total_rows());
   return 0;
 }

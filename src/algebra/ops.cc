@@ -80,6 +80,10 @@ ExecFlags ExecFlags::FromEnv() {
     int v = std::atoi(s);
     if (v >= 1) fl.threads = std::min(v, 64);
   }
+  if (const char* s = std::getenv("MXQ_VECTOR")) {
+    int v = std::atoi(s);
+    if (v >= 1) fl.vector_size = std::min(v, 1 << 20);
+  }
   return fl;
 }
 
@@ -1304,25 +1308,38 @@ TablePtr GroupAggr(DocumentManager& mgr, const ExecFlags& fl,
   const ColumnPtr& g = t->col(group_col);
   const Column* v = val_col.empty() ? nullptr : t->col(val_col).get();
 
-  // Grouping is free when the input is ordered by the group column (§4.2);
-  // otherwise fall back to a hash accumulator.
   MXQ_FAULT_POINT("aggr");
+  // Two phases so the accumulation — the expensive part: Atomize +
+  // coercions per row — can fan out across the pool bit-identically.
+  //
+  // Phase 1 (serial, cheap): assign every row a dense group id in
+  // first-appearance order. Grouping is free when the input is ordered by
+  // the group column (§4.2); otherwise a hash assigns ids.
   bool ordered = fl.order_opt && t->props().OrderedBy({group_col});
-  std::vector<std::pair<int64_t, Acc>> accs;
-  std::unordered_map<int64_t, size_t> idx;
-  for (size_t i = 0; i < t->rows(); ++i) {
-    if (StopAt(fl, i)) break;
-    int64_t key = g->GetI64(i);
-    Acc* acc;
-    if (ordered) {
-      if (accs.empty() || accs.back().first != key)
-        accs.emplace_back(key, Acc{});
-      acc = &accs.back().second;
-    } else {
-      auto [it, inserted] = idx.try_emplace(key, accs.size());
-      if (inserted) accs.emplace_back(key, Acc{});
-      acc = &accs[it->second].second;
+  const size_t n = t->rows();
+  std::vector<uint32_t> gid(n);
+  std::vector<int64_t> keys;  // group id -> key, first-appearance order
+  std::unordered_map<int64_t, uint32_t> idx;
+  size_t upto = n;  // rows assigned before a cancellation stop
+  for (size_t i = 0; i < n; ++i) {
+    if (StopAt(fl, i)) {
+      upto = i;
+      break;
     }
+    int64_t key = g->GetI64(i);
+    if (ordered) {
+      if (keys.empty() || keys.back() != key) keys.push_back(key);
+      gid[i] = static_cast<uint32_t>(keys.size() - 1);
+    } else {
+      auto [it, inserted] =
+          idx.try_emplace(key, static_cast<uint32_t>(keys.size()));
+      if (inserted) keys.push_back(key);
+      gid[i] = it->second;
+    }
+  }
+  const size_t ngroups = keys.size();
+  std::vector<Acc> accs(ngroups);
+  auto accumulate = [&](Acc* acc, size_t i) {
     ++acc->count;
     if (v) {
       Item item = Atomize(mgr, v->GetItem(i));
@@ -1344,15 +1361,54 @@ TablePtr GroupAggr(DocumentManager& mgr, const ExecFlags& fl,
         }
       }
     }
+  };
+
+  // Phase 2: accumulate. Parallelism partitions *groups*, not rows — each
+  // group's rows are folded by exactly one chunk, in original row order, so
+  // floating-point sums and first-seen min/max ties associate exactly as in
+  // the serial loop: bit-identical at any thread count.
+  const int chunks = v != nullptr ? PlanChunks(fl.exec_threads(), upto) : 1;
+  if (chunks > 1 && ngroups > 0) {
+    // Counting scatter of row indexes by group id, preserving row order.
+    std::vector<uint32_t> offsets(ngroups + 1, 0);
+    for (size_t i = 0; i < upto; ++i) ++offsets[gid[i] + 1];
+    for (size_t gi = 0; gi < ngroups; ++gi) offsets[gi + 1] += offsets[gi];
+    std::vector<uint32_t> rows(upto);
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < upto; ++i)
+      rows[cursor[gid[i]]++] = static_cast<uint32_t>(i);
+    ParallelChunks(chunks, ngroups, [&](int, size_t gb, size_t ge) {
+      for (size_t gi = gb; gi < ge; ++gi) {
+        Acc* acc = &accs[gi];
+        for (uint32_t k = offsets[gi]; k < offsets[gi + 1]; ++k) {
+          if (StopAt(fl, k)) return;  // chunk bails; evaluator surfaces
+          accumulate(acc, rows[k]);
+        }
+      }
+    });
+    fl.stats.par_tasks += chunks;
+  } else {
+    for (size_t i = 0; i < upto; ++i) {
+      if (StopAt(fl, i)) break;
+      accumulate(&accs[gid[i]], i);
+    }
   }
+
+  // Emission order: input order when grouped on ordered runs, ascending key
+  // otherwise (unique keys, so the sort is deterministic).
+  std::vector<uint32_t> order(ngroups);
+  for (size_t gi = 0; gi < ngroups; ++gi) order[gi] = uint32_t(gi);
   if (!ordered)
-    std::sort(accs.begin(), accs.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
 
   std::vector<int64_t> groups;
   std::vector<Item> out_val;
-  for (auto& [key, acc] : accs) {
-    groups.push_back(key);
+  groups.reserve(ngroups);
+  out_val.reserve(ngroups);
+  for (uint32_t gi : order) {
+    const Acc& acc = accs[gi];
+    groups.push_back(keys[gi]);
     switch (kind) {
       case AggKind::kCount: out_val.push_back(Item::Int(acc.count)); break;
       case AggKind::kSum:

@@ -87,6 +87,13 @@ struct ExecStats {
   // unavailable after dictionary exhaustion)
   int64_t ft_index_probes = 0;
   int64_t ft_scan_probes = 0;
+  // Vectors emitted by the pull-based pipeline layer (algebra/pipeline.h):
+  // each charged batch of <= ExecFlags::vector_size rows handed downstream
+  // counts once. Distinct from tuples_materialized — streamed rows flow
+  // through bounded vectors and are never materialized into a full-size
+  // intermediate, so the two counters stay independently meaningful
+  // (docs/execution.md §6).
+  int64_t vectors_flowed = 0;
   // Peak column bytes live at once during the execution, as accounted by
   // the governance MemAccount (docs/robustness.md). Max-merged in Add():
   // accumulating across executions reports the worst single execution.
@@ -104,7 +111,7 @@ struct ExecStats {
   /// Every field must be summed here — the static_assert below trips when a
   /// counter is added to the struct without extending this list.
   void Add(const ExecStats& o) {
-    static_assert(sizeof(ExecStats) == 27 * sizeof(int64_t),
+    static_assert(sizeof(ExecStats) == 28 * sizeof(int64_t),
                   "new ExecStats field: add it to Add()");
     sorts_performed += o.sorts_performed;
     sorts_elided += o.sorts_elided;
@@ -129,6 +136,7 @@ struct ExecStats {
     par_partitions += o.par_partitions;
     ft_index_probes += o.ft_index_probes;
     ft_scan_probes += o.ft_scan_probes;
+    vectors_flowed += o.vectors_flowed;
     if (o.peak_mem_bytes > peak_mem_bytes) peak_mem_bytes = o.peak_mem_bytes;
     join_ms += o.join_ms;
     sort_ms += o.sort_ms;
@@ -166,6 +174,13 @@ struct ExecFlags {
   // (deterministic chunking + in-order stitching), so this is a pure
   // performance knob.
   int threads = 0;
+  // Rows per vector in the pull-based pipeline layer (algebra/pipeline.h,
+  // env MXQ_VECTOR). Bounds the intermediate footprint of streamed
+  // executions: each in-flight batch holds at most this many rows, so the
+  // governance MemAccount charges per vector instead of per relation
+  // (docs/execution.md §6). Purely a batching knob — streamed results are
+  // byte-identical at any size.
+  int vector_size = 1024;
   // Governance context of the owning execution (docs/robustness.md); null
   // outside governed executions (tests/benches constructing flags
   // directly). Non-owning: set by ExecuteCommon for the span of one
@@ -182,12 +197,11 @@ struct ExecFlags {
   /// Effective execution width (resolves threads == 0).
   int exec_threads() const;
 
-  /// Centralized environment parsing: MXQ_THREADS plus the kernel toggles
-  /// (MXQ_ORDER_OPT, MXQ_POSITIONAL, MXQ_RADIX_JOIN, MXQ_SEL_VECTORS,
-  /// MXQ_DENSE_SORT, MXQ_DICT, MXQ_FT; "0"/"false"/"no" disable). Benches,
-  /// tests,
-  /// and the evaluator all construct flags through this one helper so no
-  /// component reads a toggle the others ignore.
+  /// Centralized environment parsing: MXQ_THREADS and MXQ_VECTOR plus the
+  /// kernel toggles (MXQ_ORDER_OPT, MXQ_POSITIONAL, MXQ_RADIX_JOIN,
+  /// MXQ_SEL_VECTORS, MXQ_DENSE_SORT, MXQ_DICT, MXQ_FT; "0"/"false"/"no"
+  /// disable). Benches, tests, and the evaluator all construct flags through
+  /// this one helper so no component reads a toggle the others ignore.
   static ExecFlags FromEnv();
 };
 

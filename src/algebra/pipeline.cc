@@ -1,0 +1,76 @@
+#include "algebra/pipeline.h"
+
+#include <algorithm>
+
+#include "common/exec_context.h"
+
+namespace mxq {
+namespace alg {
+
+namespace {
+
+/// Typed stop status for a stage that observed a cancellation: the armed
+/// ExecContext knows whether it was a cancel, deadline, or budget trip.
+Status StopStatus(const ExecFlags& fl) {
+  if (fl.gov != nullptr) {
+    Status st = fl.gov->Check();
+    if (!st.ok()) return st;
+  }
+  return Status::Cancelled("pipeline stage stopped");
+}
+
+}  // namespace
+
+Result<TablePtr> SliceSource::Next() {
+  if (!t_ || row_ >= t_->rows()) return TablePtr{};
+  if (fl_->stop_requested()) return StopStatus(*fl_);
+  const size_t take =
+      std::min<size_t>(static_cast<size_t>(fl_->vector_size),
+                       t_->rows() - row_);
+  auto keep = std::make_shared<SelVector>();
+  keep->idx.resize(take);
+  for (size_t k = 0; k < take; ++k)
+    keep->idx[k] = static_cast<uint32_t>(row_ + k);
+  auto out = t_->Select(std::move(keep));
+  // A contiguous ascending window preserves order, group-order, keys and
+  // constants of the parent; dense columns lose their property (the window
+  // no longer starts at the dense origin).
+  out->props() = t_->props();
+  out->props().dense.clear();
+  row_ += take;
+  ++fl_->stats.vectors_flowed;
+  return out;
+}
+
+Result<TablePtr> ItemBufferSource::Next() {
+  if (row_ >= items_.size()) return TablePtr{};
+  if (fl_->stop_requested()) return StopStatus(*fl_);
+  const size_t take =
+      std::min<size_t>(static_cast<size_t>(fl_->vector_size),
+                       items_.size() - row_);
+  // A fresh Column per vector: MakeItem charges the installed ExecContext's
+  // MemAccount and the destructor releases it when the consumer drops the
+  // batch — at most one in-flight vector is accounted at a time.
+  std::vector<Item> window(items_.begin() + row_,
+                           items_.begin() + row_ + take);
+  auto out = Table::Make();
+  out->AddColumn(col_, Column::MakeItem(std::move(window)));
+  row_ += take;
+  ++fl_->stats.vectors_flowed;
+  return out;
+}
+
+Result<TablePtr> TransformStage::Next() {
+  for (;;) {
+    if (fl_->stop_requested()) return StopStatus(*fl_);
+    MXQ_ASSIGN_OR_RETURN(TablePtr in, upstream_->Next());
+    if (!in) return TablePtr{};
+    MXQ_ASSIGN_OR_RETURN(TablePtr out, fn_(in));
+    if (!out || out->rows() == 0) continue;  // fully filtered: pull again
+    ++fl_->stats.vectors_flowed;
+    return out;
+  }
+}
+
+}  // namespace alg
+}  // namespace mxq

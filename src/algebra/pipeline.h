@@ -1,0 +1,140 @@
+// Pull-based vector pipelines over the algebra kernels (docs/execution.md
+// §6, the X100 "breaking the memory wall" direction of the paper lineage).
+//
+// The operators in ops.h materialize their full result — simple, and the
+// right call for pipeline *breakers* (sort, radix build, group boundary)
+// whose output order depends on their whole input. But a result that only
+// needs to be *consumed* (a streaming ResultCursor) should never hold the
+// full relation: execution is sliced into fixed-size vectors (default 1024
+// rows, `ExecFlags::vector_size` / env MXQ_VECTOR) pulled one at a time
+// through a chain of VectorSource stages, so the charged intermediate
+// footprint is bounded by the vector size, not the input size.
+//
+// Contracts every stage obeys:
+//   * Next() returns at most `vector_size` rows per call, an empty TablePtr
+//     at end of stream, and a non-OK Status on error — including the typed
+//     governance statuses: every pull is a cancellation checkpoint
+//     (ExecFlags::stop_requested), so an abandoned or cancelled consumer
+//     stops the producer within one vector.
+//   * Vectors whose columns are freshly built charge the installed
+//     ExecContext's MemAccount through the ordinary Column constructors —
+//     the vector IS the governance memory unit. Zero-copy window vectors
+//     (SliceSource) share their parent's already-charged columns.
+//   * Each emitted vector increments `ExecStats::vectors_flowed`; stages
+//     never touch `tuples_materialized`, which keeps counting full-size
+//     materializations only (the two are reported distinctly).
+//
+// Stage composition is non-owning by pointer; a Pipeline owns the stages
+// and hands out the tail to pull from.
+
+#ifndef MXQ_ALGEBRA_PIPELINE_H_
+#define MXQ_ALGEBRA_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace mxq {
+namespace alg {
+
+/// \brief One stage of a pull-based vector pipeline.
+class VectorSource {
+ public:
+  virtual ~VectorSource() = default;
+
+  /// Pulls the next vector: a table of 1..vector_size rows, an empty
+  /// TablePtr at end of stream (and on every call thereafter), or a non-OK
+  /// Status on error / cancellation. A stage that returned non-OK stays
+  /// failed.
+  virtual Result<TablePtr> Next() = 0;
+};
+
+/// \brief Pipeline-breaker adapter: slices an already-materialized table
+/// into zero-copy window vectors (Table::Select on consecutive row ranges).
+/// This is how breaker outputs re-enter the streaming world: the breaker
+/// ran exactly as it always has, bit-identically, and its result flows on
+/// in bounded batches.
+class SliceSource final : public VectorSource {
+ public:
+  /// `fl` must outlive the source (it is the owning execution's flags).
+  SliceSource(TablePtr t, const ExecFlags* fl)
+      : t_(std::move(t)), fl_(fl) {}
+
+  Result<TablePtr> Next() override;
+
+ private:
+  TablePtr t_;
+  const ExecFlags* fl_;
+  size_t row_ = 0;
+};
+
+/// \brief Streams charged vectors out of an uncharged scratch buffer of
+/// items. Kernels that compute into plain std::vector scratch (staircase
+/// outputs, probe result lists) hand the buffer over once; each pull copies
+/// the next window into a fresh Column, which charges the installed
+/// MemAccount — so the *accounted* footprint per pull is one vector, the
+/// same unit the budget admits by.
+class ItemBufferSource final : public VectorSource {
+ public:
+  ItemBufferSource(std::vector<Item> items, std::string col_name,
+                   const ExecFlags* fl)
+      : items_(std::move(items)), col_(std::move(col_name)), fl_(fl) {}
+
+  Result<TablePtr> Next() override;
+
+ private:
+  std::vector<Item> items_;
+  std::string col_;
+  const ExecFlags* fl_;
+  size_t row_ = 0;
+};
+
+/// \brief Chains a non-breaking per-vector operator (filter, projection,
+/// gather, atomize — anything whose output rows depend only on the current
+/// vector) onto an upstream stage. The function may return fewer rows than
+/// it was given (filters); all-filtered vectors are skipped, not emitted.
+class TransformStage final : public VectorSource {
+ public:
+  using Fn = std::function<Result<TablePtr>(const TablePtr&)>;
+
+  /// `upstream` is non-owning (a Pipeline owns both stages).
+  TransformStage(VectorSource* upstream, Fn fn, const ExecFlags* fl)
+      : upstream_(upstream), fn_(std::move(fn)), fl_(fl) {}
+
+  Result<TablePtr> Next() override;
+
+ private:
+  VectorSource* upstream_;
+  Fn fn_;
+  const ExecFlags* fl_;
+};
+
+/// \brief Owns a chain of stages, source first; pull from `tail()`.
+class Pipeline {
+ public:
+  /// Appends a stage (constructed to read from the previous tail) and
+  /// returns it for downstream wiring.
+  VectorSource* Push(std::unique_ptr<VectorSource> stage) {
+    stages_.push_back(std::move(stage));
+    return stages_.back().get();
+  }
+
+  VectorSource* tail() const {
+    return stages_.empty() ? nullptr : stages_.back().get();
+  }
+  bool empty() const { return stages_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<VectorSource>> stages_;
+};
+
+}  // namespace alg
+}  // namespace mxq
+
+#endif  // MXQ_ALGEBRA_PIPELINE_H_

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/pipeline.h"
 #include "common/exec_context.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -83,6 +84,14 @@ struct EvalOptions {
   /// one. Session wires its own group here so Session::CancelAll() reaches
   /// every execution launched with the session's options.
   std::shared_ptr<CancelGroup> cancel_group;
+  /// ExecuteCursor only: when the plan is a streamable scan shape
+  /// (docs/execution.md §6), execute it through the vector pipeline so the
+  /// first batch is available before the full result exists and the charged
+  /// footprint stays O(ExecFlags::vector_size). `false` forces the
+  /// materializing path (the differential tests sweep both). Streamed and
+  /// materialized batches are byte-identical; only the ResultCursor's
+  /// total_rows()/stats timing differs (docs/api.md).
+  bool stream_results = true;
 };
 
 /// External-variable bindings by name (each value is an item sequence).
@@ -169,11 +178,50 @@ class QueryResult {
   alg::ExecStats exec_;
 };
 
+/// Heap-owned execution state of a *streaming* cursor (docs/execution.md
+/// §6): the retained governance context, per-execution flags/stats, and the
+/// pipeline tail the cursor pulls from. One allocation so the pipeline's
+/// internal pointers into this state survive the cursor being moved.
+/// Non-movable (ExecContext holds atomics); always behind a unique_ptr.
+struct CursorStream {
+  ExecContext ectx;        // deadline / cancel scopes / MemAccount, armed at
+                           // open, polled by every pull until exhaustion
+  alg::ExecFlags flags;    // kernel toggles + per-execution stats (gov ->
+                           // &ectx); stats accumulate across pulls
+  ScanStats scan;          // staircase scan stats, filled as vectors flow
+  std::unique_ptr<alg::VectorSource> src;  // pipeline tail
+  TablePtr buffered;       // partially consumed in-flight vector
+  size_t buf_row = 0;
+  int buf_item = -1;       // item column index of `buffered`
+  bool exhausted = false;  // src returned end-of-stream
+  Status status;           // sticky first error (cancel/deadline/budget too)
+
+  CursorStream() = default;
+  CursorStream(const CursorStream&) = delete;
+  CursorStream& operator=(const CursorStream&) = delete;
+};
+
 /// \brief Streaming view over one execution's result sequence.
 ///
-/// The plan still materializes operator-at-a-time (the engine's execution
-/// model), but the cursor hands the final relation out in batches instead of
-/// forcing one std::vector<Item> + serialized string for the whole result.
+/// For streamable scan plans (docs/execution.md §6) the cursor *is* the
+/// execution: each Next() pulls vectors from the pipeline under the
+/// execution's retained governance context, so the first batch is available
+/// before the full result exists and the charged intermediate footprint is
+/// bounded by ExecFlags::vector_size. Pipeline-breaker plans (and
+/// EvalOptions::stream_results == false) fall back to full materialization
+/// at open, bit-identically, and the cursor hands the final relation out in
+/// batches as before.
+///
+/// Contract differences between the two modes (see docs/api.md):
+///   * total_rows(): known at open when materialized; for a streaming
+///     cursor it reports rows yielded so far and reaches the final count
+///     only once done().
+///   * status(): a streaming pull that fails (cancellation, deadline,
+///     memory budget, I/O) makes Next() return 0 and parks the typed error
+///     here; materialized cursors surface such errors at open instead.
+///   * stats: complete at open when materialized; accumulate across pulls
+///     when streaming.
+///
 /// Move-only RAII like QueryResult; items yielded by Next() may reference
 /// the cursor-owned transient container, so consume a batch before
 /// destroying the cursor.
@@ -182,19 +230,36 @@ class ResultCursor {
   static constexpr size_t kDefaultBatch = 1024;
 
   /// Replaces `*out` with the next batch of up to `max` items; returns the
-  /// batch size (0 = exhausted).
+  /// batch size (0 = exhausted, cancelled, or failed — check status()).
   size_t Next(std::vector<Item>* out, size_t max = kDefaultBatch);
 
-  bool done() const { return row_ >= total_rows(); }
+  bool done() const {
+    if (stream_) return stream_->exhausted && stream_->buffered == nullptr;
+    return row_ >= total_rows();
+  }
+  /// Materialized: the result relation's row count (known at open).
+  /// Streaming: rows yielded so far (== position(); final once done()).
   size_t total_rows() const;
   size_t position() const { return row_; }
+  /// True when this cursor executes through the vector pipeline.
+  bool streaming() const { return stream_ != nullptr; }
 
-  const ScanStats& scan_stats() const { return scan_; }
-  const alg::ExecStats& exec_stats() const { return exec_; }
+  /// OK, or the typed error a streaming pull stopped on (kCancelled /
+  /// kDeadlineExceeded / kResourceExhausted / kNotFound...). Sticky.
+  Status status() const { return stream_ ? stream_->status : Status::OK(); }
 
-  /// Abandons the remaining batches: drops the result relation and returns
-  /// the constructed-node space immediately. done() becomes true. Idempotent.
+  const ScanStats& scan_stats() const {
+    return stream_ ? stream_->scan : scan_;
+  }
+  const alg::ExecStats& exec_stats() const {
+    return stream_ ? stream_->flags.stats : exec_;
+  }
+
+  /// Abandons the remaining batches: stops the pipeline, drops the result
+  /// relation and returns the constructed-node space immediately. done()
+  /// becomes true. Idempotent.
   void Cancel() {
+    stream_.reset();
     table_.reset();
     item_col_ = -1;
     row_ = 0;
@@ -210,6 +275,9 @@ class ResultCursor {
   size_t row_ = 0;
   ScanStats scan_;
   alg::ExecStats exec_;
+  // Declared after lease_: stream state (and its in-flight vectors) is
+  // destroyed before the transient container is released.
+  std::unique_ptr<CursorStream> stream_;
 };
 
 /// A cached compiled plan, shared between the plan cache and any number of
@@ -343,13 +411,6 @@ class XQueryEngine {
   /// and returns kCancelled; the engine keeps serving new queries.
   void CancelAll();
 
-  /// \deprecated Scan statistics of the most recent Execute on this engine.
-  /// Racy under concurrency — read QueryResult::scan_stats() instead.
-  ScanStats last_scan_stats() const MXQ_EXCLUDES(last_scan_mu_) {
-    MutexLock lk(&last_scan_mu_);
-    return last_scan_;
-  }
-
  private:
   friend class Session;  // WakeAdmissionWaiters after a group cancel
 
@@ -402,9 +463,6 @@ class XQueryEngine {
   int64_t cache_hits_ MXQ_GUARDED_BY(cache_mu_) = 0;
   int64_t cache_misses_ MXQ_GUARDED_BY(cache_mu_) = 0;
   int64_t cache_evictions_ MXQ_GUARDED_BY(cache_mu_) = 0;
-
-  mutable Mutex last_scan_mu_;
-  ScanStats last_scan_ MXQ_GUARDED_BY(last_scan_mu_);  // deprecated shim only
 
   // Resource governance (guarded by gov_mu_). in_flight_/queued_ are the
   // live admission state.

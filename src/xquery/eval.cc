@@ -24,6 +24,7 @@
 #include "xml/serializer.h"
 #include "xquery/engine.h"
 #include "xquery/plan.h"
+#include "xquery/stream.h"
 
 namespace mxq {
 namespace xq {
@@ -39,6 +40,9 @@ struct Ctx {
   // External-variable bindings, one sequence per CompiledQuery::params slot.
   const std::vector<const std::vector<Item>*>* params;
   // Execution-local DAG memoization (one materialization per plan node).
+  // This is also what keeps ExecStats::tuples_materialized honest on shared
+  // DAG nodes: a node reached through N plan edges evaluates — and counts —
+  // exactly once; later edges hit the memo before any counter is touched.
   std::unordered_map<const PlanNode*, TablePtr> memo;
 };
 
@@ -180,76 +184,18 @@ Item ApplyFn2(Ctx& ctx, const PlanNode& n, const Item& x, const Item& y) {
 // ---------------------------------------------------------------------------
 
 Result<TablePtr> EvalStep(PlanNode* n, Ctx& ctx, const TablePtr& in) {
-  DocumentManager& mgr = *ctx.mgr;
-  // Resolve the node test.
-  NodeTest test;
-  test.sel = n->sel;
-  if (!n->name_test.empty()) {
-    test.qn = mgr.strings().Find(n->name_test);
-    if (test.qn == kInvalidStrId) {
-      // Name never interned: no node anywhere matches.
-      auto t = Table::Make();
-      t->AddColumn("iter", Column::MakeI64({}));
-      t->AddColumn("item", Column::MakeItem({}));
-      t->props().ord = {"item", "iter"};
-      return t;
-    }
-  }
-
+  // The per-container staircase loop lives in RunStepKernel (xquery/stream.h)
+  // so the streaming path executes the byte-identical step code; this
+  // materializing wrapper only feeds Columns in and builds the Column result.
   const ColumnPtr& iter_col = in->col("iter");
   const ColumnPtr& item_col = in->col("item");
   std::vector<int64_t> out_iter;
   std::vector<Item> out_item;
-  out_iter.reserve(in->rows());
-  out_item.reserve(in->rows());
-
-  // The input is sorted on (item, iter) == (container, pre, iter): rows of
-  // one container are contiguous.
-  size_t i = 0;
-  const size_t nrows = in->rows();
-  while (i < nrows) {
-    if (ctx.flags->stop_requested()) break;  // per-container checkpoint
-    Item first = item_col->GetItem(i);
-    if (!first.is_node()) {  // attribute/atomic context rows have no axes
-      ++i;
-      continue;
-    }
-    int32_t cid = first.node().container;
-    std::vector<int64_t> ctx_iter, ctx_pre;
-    while (i < nrows) {
-      Item it = item_col->GetItem(i);
-      if (!it.is_node() || it.node().container != cid) break;
-      ctx_pre.push_back(it.node().pre);
-      ctx_iter.push_back(iter_col->GetI64(i));
-      ++i;
-    }
-    const DocumentContainer& doc = *mgr.container(cid);
-
-    LLStepResult res;
-    StepMode mode = n->axis == Axis::kChild ? ctx.opts->child_mode
-                                            : ctx.opts->desc_mode;
-    bool pushdown =
-        ctx.opts->nametest_pushdown && test.is_named_elem() &&
-        (n->axis == Axis::kChild || n->axis == Axis::kDescendant ||
-         n->axis == Axis::kDescendantOrSelf);
-    if (pushdown) {
-      res = LoopLiftedStaircaseCandidates(doc, n->axis, ctx_iter, ctx_pre,
-                                          doc.ElementsNamed(test.qn),
-                                          ctx.scan, ctx.flags->gov);
-    } else if (mode == StepMode::kIterative) {
-      res = IterativeStaircase(doc, n->axis, ctx_iter, ctx_pre, test,
-                               ctx.scan, ctx.flags->gov);
-    } else {
-      res = LoopLiftedStaircase(doc, n->axis, ctx_iter, ctx_pre, test,
-                                ctx.scan, ctx.flags->gov);
-    }
-    for (size_t k = 0; k < res.node.size(); ++k) {
-      out_iter.push_back(res.iter[k]);
-      out_item.push_back(n->axis == Axis::kAttribute
-                             ? Item::Attr(cid, res.node[k])
-                             : Item::Node(cid, res.node[k]));
-    }
-  }
+  RunStepKernel(
+      *ctx.mgr, *ctx.opts, *ctx.flags, *n, in->rows(),
+      [&](size_t i) { return item_col->GetItem(i); },
+      [&](size_t i) { return iter_col->GetI64(i); }, ctx.scan, &out_iter,
+      &out_item);
   auto t = Table::Make();
   t->AddColumn("iter", Column::MakeI64(std::move(out_iter)));
   t->AddColumn("item", Column::MakeItem(std::move(out_item)));
@@ -1192,10 +1138,6 @@ Status XQueryEngine::ExecuteAdmitted(const CompiledQuery& q, EvalOptions* opts,
   *table = std::move(t);
   *exec = flags.stats;
   opts->alg.stats.Add(flags.stats);
-  {
-    MutexLock lk(&last_scan_mu_);
-    last_scan_ = *scan;  // deprecated last_scan_stats() shim
-  }
   return Status::OK();
 }
 
@@ -1218,6 +1160,49 @@ Result<QueryResult> XQueryEngine::Execute(const CompiledQuery& q,
 Result<ResultCursor> XQueryEngine::ExecuteCursor(const CompiledQuery& q,
                                                  EvalOptions* opts,
                                                  const ParamMap* params) {
+  EvalOptions local_opts;  // defaults when the caller passes none
+  if (!opts) opts = &local_opts;
+
+  // Streaming open (docs/execution.md §6): when the plan is the streamable
+  // scan shape, arm a retained governance context and hand the cursor the
+  // pipeline tail instead of running the plan — the first batch then exists
+  // before the full result does, and charged intermediates stay bounded by
+  // ExecFlags::vector_size. Admission covers the *open* only, exactly like
+  // the materializing path releases its slot before the cursor is returned;
+  // pull-time statistics live in the cursor (CursorStream), not in
+  // opts->alg.stats or governance_stats (the cursor may outlive both).
+  if (opts->stream_results) {
+    auto cs = std::make_unique<CursorStream>();
+    const GovernanceOptions gov = governance();
+    const int64_t deadline_ms =
+        opts->deadline_ms > 0 ? opts->deadline_ms : gov.default_deadline_ms;
+    if (deadline_ms > 0)
+      cs->ectx.set_deadline(ExecContext::Clock::now() +
+                            std::chrono::milliseconds(deadline_ms));
+    const int64_t budget = opts->memory_budget_bytes > 0
+                               ? opts->memory_budget_bytes
+                               : gov.default_memory_budget_bytes;
+    if (budget > 0) cs->ectx.set_memory_budget(budget);
+    cs->ectx.Watch(&engine_cancel_group_);
+    if (opts->cancel_group) cs->ectx.Watch(opts->cancel_group.get());
+    cs->flags = opts->alg;
+    cs->flags.stats.Reset();
+    cs->flags.gov = &cs->ectx;
+    // The matcher is pure plan-shape inspection — cheap enough to run
+    // before admission, so non-streamable plans pay nothing extra.
+    cs->src = TryBuildPathStream(mgr_, q, *opts, cs.get());
+    if (cs->src != nullptr) {
+      MXQ_RETURN_IF_ERROR(Admit(cs->ectx));
+      ReleaseAdmission();
+      RecordOutcome(Status::OK());
+      ResultCursor cur;
+      cur.lease_ = TransientLease(mgr_, mgr_->AcquireTransient());
+      cur.stream_ = std::move(cs);
+      return cur;
+    }
+  }
+
+  // Pipeline breaker (or streaming disabled): unchanged materializing path.
   ResultCursor cur;
   cur.lease_ = TransientLease(mgr_, mgr_->AcquireTransient());
   TablePtr t;

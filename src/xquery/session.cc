@@ -239,6 +239,22 @@ Result<QueryResult> Session::ExecuteWithRetry(const CompiledQuery& q,
     return static_cast<double>(rng_state >> 11) /
            static_cast<double>(uint64_t{1} << 53);
   };
+
+  // The backoff context mirrors what Execute() will arm for the next
+  // attempt: a blind sleep_for here would serve out the full backoff even
+  // after CancelAll() or a deadline expiry, turning a sub-millisecond
+  // cancellation contract into seconds of latency. The deadline spans the
+  // whole retry loop (queueing *and* backing off both consume it).
+  ExecContext bctx;
+  const int64_t deadline_ms = opts_.deadline_ms > 0
+                                  ? opts_.deadline_ms
+                                  : engine_->governance().default_deadline_ms;
+  if (deadline_ms > 0)
+    bctx.set_deadline(ExecContext::Clock::now() +
+                      std::chrono::milliseconds(deadline_ms));
+  bctx.Watch(&engine_->engine_cancel_group_);
+  if (opts_.cancel_group) bctx.Watch(opts_.cancel_group.get());
+
   const int attempts = std::max(1, policy.max_attempts);
   double backoff = static_cast<double>(policy.initial_backoff_ms);
   for (int attempt = 1;; ++attempt) {
@@ -250,7 +266,22 @@ Result<QueryResult> Session::ExecuteWithRetry(const CompiledQuery& q,
     const double scale = 1.0 - policy.jitter * next_unit();
     const auto sleep_ms =
         std::max<int64_t>(0, std::llround(capped * scale));
-    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    // Sleep in bounded slices, polling the context between them, so a
+    // cancel/deadline during backoff is observed within ~2 ms instead of
+    // after the remaining backoff.
+    const auto until = ExecContext::Clock::now() +
+                       std::chrono::milliseconds(sleep_ms);
+    while (ExecContext::Clock::now() < until) {
+      if (bctx.StopRequested()) {
+        Status st = bctx.Check();
+        return st.ok() ? Status::Cancelled("cancelled during retry backoff")
+                       : st;
+      }
+      const auto remain = until - ExecContext::Clock::now();
+      std::this_thread::sleep_for(
+          std::min<ExecContext::Clock::duration>(
+              remain, std::chrono::milliseconds(2)));
+    }
     backoff *= policy.multiplier;
   }
 }
@@ -260,12 +291,55 @@ Result<QueryResult> Session::ExecuteWithRetry(const CompiledQuery& q,
 // ---------------------------------------------------------------------------
 
 size_t ResultCursor::total_rows() const {
+  if (stream_) return row_;  // rows yielded so far; final once done()
   return table_ ? table_->rows() : 0;
 }
 
 size_t ResultCursor::Next(std::vector<Item>* out, size_t max) {
   out->clear();
-  if (!table_ || item_col_ < 0 || max == 0) return 0;
+  if (max == 0) return 0;
+
+  if (stream_) {
+    CursorStream& cs = *stream_;
+    if (!cs.status.ok()) return 0;  // sticky failure
+    // Pulls run under the execution's retained context: vectors built by
+    // the pipeline charge its MemAccount, and every stage polls it.
+    ScopedExecContext scoped(&cs.ectx);
+    size_t yielded = 0;
+    while (yielded < max) {
+      if (cs.buffered == nullptr) {
+        if (cs.exhausted) break;
+        auto batch = cs.src->Next();
+        if (!batch.ok()) {
+          cs.status = batch.status();
+          cs.exhausted = true;
+          break;
+        }
+        if (*batch == nullptr) {  // end of stream
+          cs.exhausted = true;
+          break;
+        }
+        cs.buffered = std::move(*batch);
+        cs.buf_row = 0;
+        cs.buf_item = cs.buffered->ColumnIndex("item");
+        cs.flags.stats.peak_mem_bytes = std::max(
+            cs.flags.stats.peak_mem_bytes, cs.ectx.mem()->peak_bytes());
+      }
+      const size_t n = cs.buffered->rows();
+      const size_t take = std::min(max - yielded, n - cs.buf_row);
+      out->reserve(out->size() + take);
+      for (size_t k = 0; k < take; ++k)
+        out->push_back(cs.buffered->ItemAt(
+            static_cast<size_t>(cs.buf_item), cs.buf_row + k));
+      cs.buf_row += take;
+      yielded += take;
+      if (cs.buf_row >= n) cs.buffered.reset();  // releases its charge
+    }
+    row_ += yielded;
+    return yielded;
+  }
+
+  if (!table_ || item_col_ < 0) return 0;
   const size_t n = table_->rows();
   if (row_ >= n) return 0;
   const size_t take = std::min(max, n - row_);

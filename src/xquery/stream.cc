@@ -1,0 +1,242 @@
+#include "xquery/stream.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/exec_context.h"
+#include "staircase/loop_lifted.h"
+
+namespace mxq {
+namespace xq {
+
+// ---------------------------------------------------------------------------
+// shared axis-step kernel
+// ---------------------------------------------------------------------------
+
+void RunStepKernel(DocumentManager& mgr, const EvalOptions& opts,
+                   const alg::ExecFlags& fl, const PlanNode& n, size_t nrows,
+                   const std::function<Item(size_t)>& item_at,
+                   const std::function<int64_t(size_t)>& iter_at,
+                   ScanStats* scan, std::vector<int64_t>* out_iter,
+                   std::vector<Item>* out_item) {
+  // Resolve the node test.
+  NodeTest test;
+  test.sel = n.sel;
+  if (!n.name_test.empty()) {
+    test.qn = mgr.strings().Find(n.name_test);
+    // Name never interned: no node anywhere matches.
+    if (test.qn == kInvalidStrId) return;
+  }
+
+  out_iter->reserve(nrows);
+  out_item->reserve(nrows);
+
+  // The input is sorted on (item, iter) == (container, pre, iter): rows of
+  // one container are contiguous.
+  size_t i = 0;
+  while (i < nrows) {
+    if (fl.stop_requested()) break;  // per-container checkpoint
+    Item first = item_at(i);
+    if (!first.is_node()) {  // attribute/atomic context rows have no axes
+      ++i;
+      continue;
+    }
+    int32_t cid = first.node().container;
+    std::vector<int64_t> ctx_iter, ctx_pre;
+    while (i < nrows) {
+      Item it = item_at(i);
+      if (!it.is_node() || it.node().container != cid) break;
+      ctx_pre.push_back(it.node().pre);
+      ctx_iter.push_back(iter_at(i));
+      ++i;
+    }
+    const DocumentContainer& doc = *mgr.container(cid);
+
+    LLStepResult res;
+    StepMode mode =
+        n.axis == Axis::kChild ? opts.child_mode : opts.desc_mode;
+    bool pushdown =
+        opts.nametest_pushdown && test.is_named_elem() &&
+        (n.axis == Axis::kChild || n.axis == Axis::kDescendant ||
+         n.axis == Axis::kDescendantOrSelf);
+    if (pushdown) {
+      res = LoopLiftedStaircaseCandidates(doc, n.axis, ctx_iter, ctx_pre,
+                                          doc.ElementsNamed(test.qn), scan,
+                                          fl.gov);
+    } else if (mode == StepMode::kIterative) {
+      res = IterativeStaircase(doc, n.axis, ctx_iter, ctx_pre, test, scan,
+                               fl.gov);
+    } else {
+      res = LoopLiftedStaircase(doc, n.axis, ctx_iter, ctx_pre, test, scan,
+                                fl.gov);
+    }
+    for (size_t k = 0; k < res.node.size(); ++k) {
+      out_iter->push_back(res.iter[k]);
+      out_item->push_back(n.axis == Axis::kAttribute
+                              ? Item::Attr(cid, res.node[k])
+                              : Item::Node(cid, res.node[k]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// streaming source for the scan shape
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Typed stop status off the cursor's retained context.
+Status StopStatus(const CursorStream& cs) {
+  Status st = cs.ectx.Check();
+  if (!st.ok()) return st;
+  return Status::Cancelled("streaming pull stopped");
+}
+
+bool ColsEq(const std::vector<std::string>& a,
+            std::initializer_list<const char*> b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end(),
+                    [](const std::string& x, const char* y) { return x == y; });
+}
+
+bool KeepEq(const alg::KeepCols& a,
+            std::initializer_list<std::pair<const char*, const char*>> b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end(),
+                    [](const auto& x, const auto& y) {
+                      return x.first == y.first && x.second == y.second;
+                    });
+}
+
+bool NoDesc(const std::vector<bool>& d) {
+  return std::none_of(d.begin(), d.end(), [](bool b) { return b; });
+}
+
+/// Runs the step cascade of a streamable path plan: contexts for steps live
+/// in plain scratch buffers (uncharged, like every kernel's working set);
+/// only the emitted vectors become charged Columns, via the wrapped
+/// ItemBufferSource — so the accounted footprint of the execution is one
+/// in-flight vector, never the relation.
+class PathStreamSource final : public alg::VectorSource {
+ public:
+  PathStreamSource(DocumentManager* mgr, CursorStream* cs,
+                   const EvalOptions& opts,
+                   std::vector<const PlanNode*> steps, std::string doc_name)
+      : mgr_(mgr),
+        cs_(cs),
+        eval_(opts),
+        steps_(std::move(steps)),
+        doc_name_(std::move(doc_name)) {}
+
+  Result<TablePtr> Next() override {
+    if (!emitter_) {
+      MXQ_RETURN_IF_ERROR(Run());
+    }
+    return emitter_->Next();
+  }
+
+ private:
+  Status Run() {
+    auto doc = mgr_->GetDocument(doc_name_);
+    if (!doc.ok()) return doc.status();
+    // CompileDocRoot's base context: the document node, one iteration.
+    std::vector<int64_t> iter{1};
+    std::vector<Item> item{Item::Node((*doc)->id(), 0)};
+    for (const PlanNode* stp : steps_) {
+      if (cs_->flags.stop_requested()) return StopStatus(*cs_);
+      // The compiled Sort{item,iter} + Distinct{item,iter} pair over a
+      // relation already in (item, iter) order: adjacent-duplicate drop.
+      size_t w = 0;
+      for (size_t r = 0; r < item.size(); ++r) {
+        if (w > 0 && item[r] == item[w - 1] && iter[r] == iter[w - 1])
+          continue;
+        item[w] = item[r];
+        iter[w] = iter[r];
+        ++w;
+      }
+      item.resize(w);
+      iter.resize(w);
+      std::vector<int64_t> out_iter;
+      std::vector<Item> out_item;
+      RunStepKernel(*mgr_, eval_, cs_->flags, *stp, item.size(),
+                    [&](size_t r) { return item[r]; },
+                    [&](size_t r) { return iter[r]; }, &cs_->scan, &out_iter,
+                    &out_item);
+      if (cs_->flags.stop_requested()) return StopStatus(*cs_);
+      iter = std::move(out_iter);
+      item = std::move(out_item);
+    }
+    // RowNum{pos} and the root Sort{iter,pos} are identity over a single
+    // iteration (stream.h): emit the items as-is, vector by vector.
+    emitter_ = std::make_unique<alg::ItemBufferSource>(std::move(item), "item",
+                                                       &cs_->flags);
+    return Status::OK();
+  }
+
+  DocumentManager* mgr_;
+  CursorStream* cs_;
+  EvalOptions eval_;  // step modes / pushdown captured at open
+  std::vector<const PlanNode*> steps_;
+  std::string doc_name_;
+  std::unique_ptr<alg::ItemBufferSource> emitter_;
+};
+
+}  // namespace
+
+std::unique_ptr<alg::VectorSource> TryBuildPathStream(DocumentManager* mgr,
+                                                      const CompiledQuery& q,
+                                                      const EvalOptions& opts,
+                                                      CursorStream* cs) {
+  // Declared external variables force the materializing path even when
+  // unused by the plan: binding presence/type checks happen there.
+  if (!q.params.empty()) return nullptr;
+
+  // Root: CompileQuery's Sort{iter,pos}.
+  const PlanNode* n = q.root.get();
+  if (n == nullptr || n->op != OpCode::kSort ||
+      !ColsEq(n->cols_list, {"iter", "pos"}) || !NoDesc(n->desc))
+    return nullptr;
+  const PlanNode* cur = n->inputs[0].get();
+
+  // Step chains, top-down: Proj . RowNum . Step . Distinct . Sort.
+  std::vector<const PlanNode*> steps;
+  while (cur->op == OpCode::kProject) {
+    if (!KeepEq(cur->keep,
+                {{"iter", "iter"}, {"pos", "pos"}, {"item", "item"}}))
+      return nullptr;
+    const PlanNode* rn = cur->inputs[0].get();
+    if (rn->op != OpCode::kRowNum || rn->out != "pos" ||
+        !ColsEq(rn->cols_list, {"item"}) || rn->group != "iter")
+      return nullptr;
+    const PlanNode* st = rn->inputs[0].get();
+    if (st->op != OpCode::kStep) return nullptr;
+    const PlanNode* d = st->inputs[0].get();
+    if (d->op != OpCode::kDistinct || !ColsEq(d->cols_list, {"item", "iter"}))
+      return nullptr;
+    const PlanNode* s2 = d->inputs[0].get();
+    if (s2->op != OpCode::kSort || !ColsEq(s2->cols_list, {"item", "iter"}) ||
+        !NoDesc(s2->desc))
+      return nullptr;
+    steps.push_back(st);
+    cur = s2->inputs[0].get();
+  }
+
+  // Base: CompileDocRoot's Cross(Literal[1-row loop], DocRoot). The 1-row
+  // loop is what makes every enforcer above order-neutral (single
+  // iteration); a multi-row loop (FLWOR) must not stream.
+  if (cur->op != OpCode::kCross ||
+      !KeepEq(cur->keep, {{"pos", "pos"}, {"item", "item"}}))
+    return nullptr;
+  const PlanNode* lit = cur->inputs[0].get();
+  const PlanNode* droot = cur->inputs[1].get();
+  if (lit->op != OpCode::kLiteral || lit->literal == nullptr ||
+      lit->literal->rows() != 1)
+    return nullptr;
+  if (droot->op != OpCode::kDocRoot) return nullptr;
+
+  std::reverse(steps.begin(), steps.end());  // execute base-first
+  return std::make_unique<PathStreamSource>(mgr, cs, opts, std::move(steps),
+                                            droot->doc_name);
+}
+
+}  // namespace xq
+}  // namespace mxq

@@ -1,0 +1,69 @@
+// Streaming execution of scan-shaped plans through the vector pipeline
+// (docs/execution.md §6).
+//
+// The compiler emits one fixed shape for a bare single-document path
+// expression (compile.cc):
+//
+//   Sort{iter,pos}                                  <- CompileQuery root
+//     (Proj{iter,pos,item} . RowNum[pos/{item};iter]
+//        . Step . Distinct{item,iter} . Sort{item,iter})*   <- per axis step
+//       Cross(Literal[loop(1)], DocRoot)            <- CompileDocRoot base
+//
+// With a single-row outer loop the whole relation carries one iteration, so
+// every enforcer in that chain is order-neutral by construction: the
+// inter-step Sort{item,iter} is elided (step output is created in that
+// order), Distinct{item,iter} over sorted input is an adjacent-duplicate
+// drop, RowNum numbers 1..n in row order, and the root Sort{iter,pos} is
+// the identity permutation. TryBuildPathStream recognizes exactly this
+// shape — nothing else — and returns a VectorSource producing the result's
+// item sequence byte-identically to the materializing evaluator. Any other
+// plan (predicates, FLWOR, joins, constructors, parameters: the pipeline
+// breakers) returns null and executes on the materializing path, also
+// bit-identically, because it *is* the unmodified legacy path.
+
+#ifndef MXQ_XQUERY_STREAM_H_
+#define MXQ_XQUERY_STREAM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "algebra/pipeline.h"
+#include "xquery/engine.h"
+#include "xquery/plan.h"
+
+namespace mxq {
+namespace xq {
+
+/// Shared axis-step kernel: the per-container loop-lifted staircase of
+/// docs/execution.md §3, factored out of the materializing EvalStep so the
+/// streaming path executes the byte-identical step code. The context
+/// relation — sorted on (item, iter), rows of one container contiguous —
+/// is read through row accessors (the evaluator feeds Columns, the stream
+/// feeds scratch buffers); results append to `out_iter`/`out_item` in
+/// (item, iter) order. A name test over a string never interned matches
+/// nothing and returns empty outputs. Polls `fl.stop_requested()` per
+/// container and leaves truncated outputs on a stop (callers surface the
+/// typed Status).
+void RunStepKernel(DocumentManager& mgr, const EvalOptions& opts,
+                   const alg::ExecFlags& fl, const PlanNode& step,
+                   size_t nrows, const std::function<Item(size_t)>& item_at,
+                   const std::function<int64_t(size_t)>& iter_at,
+                   ScanStats* scan, std::vector<int64_t>* out_iter,
+                   std::vector<Item>* out_item);
+
+/// Builds the streaming source for `q` when its plan is the streamable scan
+/// shape above, else returns null (caller falls back to materializing).
+/// The source holds pointers into `*cs` (flags, scan stats, ectx via
+/// flags.gov) — `cs` must be the heap-owned stream state of the cursor that
+/// will pull from it, with `cs->flags` already configured. Pulls charge
+/// their vectors to the installed ExecContext and poll it for cancellation.
+std::unique_ptr<alg::VectorSource> TryBuildPathStream(DocumentManager* mgr,
+                                                      const CompiledQuery& q,
+                                                      const EvalOptions& opts,
+                                                      CursorStream* cs);
+
+}  // namespace xq
+}  // namespace mxq
+
+#endif  // MXQ_XQUERY_STREAM_H_

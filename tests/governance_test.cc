@@ -368,6 +368,49 @@ TEST_F(GovernanceTest, QueuedRequestHonorsDeadline) {
   fault::Disarm();
 }
 
+TEST_F(GovernanceTest, CancelDuringRetryBackoffObservedPromptly) {
+  XQueryEngine eng(&mgr_);
+  GovernanceOptions gov;
+  gov.max_in_flight = 1;
+  gov.max_queue = 0;  // every overlapping arrival sheds immediately
+  eng.set_governance(gov);
+  const std::string slow = SlowChainQuery(100);
+  auto plan = eng.Prepare(slow);
+  ASSERT_TRUE(plan.ok());
+
+  fault::Arm("eval.op", fault::Kind::kDelay, {.every = true, .delay_us = 5000});
+  std::thread holder([&] {
+    Session s = eng.CreateSession();
+    (void)s.Execute(*plan);  // occupies the single slot for ~500 ms
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The retrier sheds on arrival and enters a multi-second backoff; the
+  // session cancel must cut the sleep short within the ~2 ms poll slice,
+  // not after the remaining seconds.
+  Session s = eng.CreateSession();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 5000;
+  policy.max_backoff_ms = 5000;
+  policy.jitter = 0.0;
+  Status st;
+  auto t0 = Clock::now();
+  std::thread retrier([&] { st = s.ExecuteWithRetry(*plan, policy).status(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  s.CancelAll();
+  retrier.join();
+  const int64_t elapsed_ms = ElapsedMs(t0, Clock::now());
+
+  eng.CancelAll();  // release the holder
+  holder.join();
+  fault::Disarm();
+
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled) << st.ToString();
+  EXPECT_LT(elapsed_ms, 1500) << "backoff ignored the cancellation";
+}
+
 // ---------------------------------------------------------------------------
 // Dictionary overflow (the former std::abort path)
 // ---------------------------------------------------------------------------

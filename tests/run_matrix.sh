@@ -30,7 +30,9 @@
 # fault-point storm (chaos_test) and the malformed-input corpus
 # (malformed_input_test) under MXQ_THREADS=4, so atomic-ingestion rollback
 # and the lock-free registry are exercised concurrently in every
-# configuration — including the TSan / ASan+UBSan builds above.
+# configuration — including the TSan / ASan+UBSan builds above — and a
+# vector leg (MXQ_VECTOR=7) that re-runs the cursor-exercising suites with
+# a tiny odd pipeline vector size (docs/execution.md §6).
 #
 # Standalone usage: tests/run_matrix.sh [build-dir]   (default: ./build)
 #   MXQ_MATRIX_THREADS    thread width exported to the inner runs (default 4,
@@ -79,6 +81,16 @@ run_matrix_in() {
   echo "== chaos leg in $dir with MXQ_THREADS=4" >&2
   MXQ_THREADS=4 \
     ctest --test-dir "$dir" -R '^(chaos_test|malformed_input_test)$' \
+      --output-on-failure
+  # Vector leg: MXQ_VECTOR reaches every streamed cursor through
+  # ExecFlags::FromEnv (docs/execution.md §6). A deliberately tiny, odd
+  # vector size maximizes window-boundary traffic in the pipeline stages;
+  # the streaming suites must stay byte-identical to the materializing
+  # path at any size. Scoped to the cursor-exercising suites — the other
+  # suites never open streamed cursors, so the knob cannot reach them.
+  echo "== vector leg in $dir with MXQ_VECTOR=7" >&2
+  MXQ_VECTOR=7 MXQ_THREADS=$THREADS \
+    ctest --test-dir "$dir" -R '^(pipeline_test|serving_api_test|xquery_test)$' \
       --output-on-failure
 }
 

@@ -27,13 +27,19 @@ import sys
 # Row-loop kernel translation units. Extend this list when a new governed
 # kernel lands; the fault-point rule below catches the common case
 # automatically (new kernels get fault points for the chaos sweep).
+#
+# The two pipeline files pin the docs/execution.md §6 contract that every
+# pipeline stage's pull loop is a cancellation checkpoint: an abandoned or
+# cancelled streaming consumer must stop the producer within one vector.
 KERNEL_FILES = [
     "src/algebra/ops.cc",
+    "src/algebra/pipeline.cc",
     "src/algebra/radix.h",
     "src/staircase/loop_lifted.cc",
     "src/fulltext/index.cc",
     "src/fulltext/text_probe.cc",
     "src/xquery/eval.cc",
+    "src/xquery/stream.cc",
     "src/xml/shredder.cc",
 ]
 
